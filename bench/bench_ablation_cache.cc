@@ -1,0 +1,90 @@
+// Ablation (beyond the paper's figures): read cost vs memory budget of the
+// cache layer. §2.4 notes ByteGraph's remedy for slow reads was "more
+// memory resource to improve cache hit rates"; BG3's memory layer is the
+// same kind of cache over cloud storage. This bench sweeps the resident
+// page budget of one Bw-tree and reports the storage reads per query a
+// Zipf read workload pays at each budget.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "bwtree/bwtree.h"
+#include "cloud/cloud_store.h"
+#include "common/random.h"
+
+using namespace bg3;
+using namespace bg3::bwtree;
+
+namespace {
+
+constexpr uint64_t kKeys = 50'000;
+constexpr int kReads = 40'000;
+
+std::string KeyOf(uint64_t id) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "u%010llu", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+struct Point {
+  double reads_per_query;
+  double resident_fraction;
+  double mem_mb;
+};
+
+Point Run(double resident_fraction) {
+  cloud::CloudStoreOptions copts;
+  copts.extent_capacity = 1 << 20;
+  cloud::CloudStore store(copts);
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 128;
+  opts.base_stream = store.CreateStream("base");
+  opts.delta_stream = store.CreateStream("delta");
+  BwTree tree(&store, opts);
+
+  Random load_rng(1);
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    (void)tree.Upsert(KeyOf(i), "profile-payload-32-bytes-long!!!");
+  }
+  const size_t pages = tree.LeafCount();
+  const size_t budget =
+      static_cast<size_t>(static_cast<double>(pages) * resident_fraction);
+
+  // Steady-state loop: reads under a Zipf distribution with periodic
+  // eviction back to the budget (a background memory regulator).
+  ZipfGenerator keys(kKeys, 0.9, 7);
+  (void)tree.EvictColdPages(budget);
+  const uint64_t reads_before = store.stats().read_ops.Get();
+  for (int i = 0; i < kReads; ++i) {
+    (void)tree.Get(KeyOf(keys.Next()));
+    if (i % 1024 == 0) (void)tree.EvictColdPages(budget);
+  }
+  Point p;
+  p.reads_per_query =
+      static_cast<double>(store.stats().read_ops.Get() - reads_before) /
+      kReads;
+  p.resident_fraction = resident_fraction;
+  p.mem_mb = tree.ApproxMemoryBytes() / 1e6;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Ablation — cache budget vs storage reads per query",
+      "no direct paper counterpart; quantifies §2.4's 'more memory to "
+      "improve cache hit rates' tradeoff on BG3's own memory layer");
+
+  printf("%18s %20s %12s\n", "resident budget", "storage reads/query",
+         "memory(MB)");
+  for (double fraction : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const Point p = Run(fraction);
+    printf("%17.0f%% %20.3f %12.1f\n", fraction * 100, p.reads_per_query,
+           p.mem_mb);
+    fflush(stdout);
+  }
+  bench::Note("Zipf(0.9) reads: a small resident budget already absorbs the "
+              "hot head; storage reads fall steeply, then level off");
+  return 0;
+}

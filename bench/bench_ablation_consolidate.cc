@@ -1,0 +1,89 @@
+// Ablation (beyond the paper's figures): how the consolidation threshold
+// trades read amplification against write bandwidth in both delta modes.
+// This quantifies the design space around the paper's fixed choice of 10
+// (§4.3.1) — small thresholds consolidate eagerly (fast reads, more base
+// rewrites), large thresholds grow chains (slow reads on the traditional
+// tree, bigger merged deltas on the read-optimized one).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "bwtree/bwtree.h"
+#include "cloud/cloud_store.h"
+#include "common/random.h"
+
+using namespace bg3;
+using namespace bg3::bwtree;
+
+namespace {
+
+constexpr uint64_t kKeys = 20'000;
+constexpr int kWrites = 90'000;
+constexpr int kReads = 10'000;
+
+std::string KeyOf(uint64_t id) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "u%010llu", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+struct Point {
+  double reads_per_query;
+  double bytes_per_write;
+};
+
+Point Run(DeltaMode mode, uint32_t consolidate_threshold) {
+  cloud::CloudStoreOptions copts;
+  copts.extent_capacity = 1 << 20;
+  cloud::CloudStore store(copts);
+  BwTreeOptions opts;
+  opts.delta_mode = mode;
+  opts.consolidate_threshold = consolidate_threshold;
+  opts.max_leaf_entries = 128;  // normal leaf splits
+  opts.read_cache = ReadCacheMode::kNone;
+  opts.base_stream = store.CreateStream("base");
+  opts.delta_stream = store.CreateStream("delta");
+  BwTree tree(&store, opts);
+
+  ZipfGenerator write_keys(kKeys, 0.8, 1);
+  for (int i = 0; i < kWrites; ++i) {
+    (void)tree.Upsert(KeyOf(write_keys.Next()), "payload-32-bytes-of-props!!");
+  }
+  const uint64_t bytes = store.stats().append_bytes.Get();
+
+  ZipfGenerator read_keys(kKeys, 0.8, 2);
+  const uint64_t reads_before = store.stats().read_ops.Get();
+  for (int i = 0; i < kReads; ++i) {
+    (void)tree.Get(KeyOf(read_keys.Next()));
+  }
+  Point p;
+  p.reads_per_query =
+      static_cast<double>(store.stats().read_ops.Get() - reads_before) /
+      kReads;
+  p.bytes_per_write = static_cast<double>(bytes) / kWrites;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation — consolidation threshold sweep",
+                "paper fixes ConsolidateNum=10; this sweep shows the "
+                "read-amp / write-bandwidth tradeoff around that choice");
+
+  printf("%10s | %-34s | %-34s\n", "", "traditional (SLED-like)",
+         "read-optimized (BG3)");
+  printf("%10s | %16s %16s | %16s %16s\n", "threshold", "reads/query",
+         "bytes/write", "reads/query", "bytes/write");
+  for (uint32_t threshold : {2u, 5u, 10u, 20u, 50u}) {
+    const Point t = Run(DeltaMode::kTraditional, threshold);
+    const Point r = Run(DeltaMode::kReadOptimized, threshold);
+    printf("%10u | %16.2f %16.0f | %16.2f %16.0f\n", threshold,
+           t.reads_per_query, t.bytes_per_write, r.reads_per_query,
+           r.bytes_per_write);
+    fflush(stdout);
+  }
+  bench::Note("read-optimized holds reads/query <= 2 at any threshold; the "
+              "traditional chain degrades linearly with it");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the table/figure reproduction binaries. Each bench
+// prints (a) the paper's reference series and (b) the measured series, in
+// aligned columns, so EXPERIMENTS.md can be filled by copy-paste.
+#ifndef BG3_BENCH_BENCH_COMMON_H_
+#define BG3_BENCH_BENCH_COMMON_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace bg3::bench {
+
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  printf("\n================================================================\n");
+  printf("%s\n", title.c_str());
+  printf("paper reference: %s\n", paper_ref.c_str());
+  printf("================================================================\n");
+}
+
+inline void Note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  printf("  ");
+  vprintf(fmt, args);
+  va_end(args);
+  printf("\n");
+}
+
+/// Pretty QPS with K/M suffix.
+inline std::string Qps(double qps) {
+  char buf[32];
+  if (qps >= 1e6) {
+    snprintf(buf, sizeof(buf), "%.2fM", qps / 1e6);
+  } else if (qps >= 1e3) {
+    snprintf(buf, sizeof(buf), "%.1fK", qps / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%.0f", qps);
+  }
+  return buf;
+}
+
+inline std::string Mb(double bytes) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.2fMB", bytes / 1e6);
+  return buf;
+}
+
+}  // namespace bg3::bench
+
+#endif  // BG3_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// Figure 10 reproduction: write bandwidth of the traditional Bw-tree (SLED)
+// vs the Read Optimized Bw-tree under a write-only power-law benchmark
+// (§4.3.1). The merged-delta design re-writes prior delta entries, so BG3
+// appends *more* bytes — but only modestly, and always sequentially.
+//
+// Paper: 64.5 MB (SLED) vs 70 MB (BG3) for the same op count: +9.3%.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "bwtree/bwtree.h"
+#include "cloud/cloud_store.h"
+#include "common/random.h"
+
+using namespace bg3;
+using namespace bg3::bwtree;
+
+namespace {
+
+constexpr uint64_t kKeys = 20'000;
+
+std::string KeyOf(uint64_t id) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "u%010llu", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+void BM_Fig10_WriteOnly(benchmark::State& state) {
+  const DeltaMode mode =
+      state.range(0) == 0 ? DeltaMode::kTraditional : DeltaMode::kReadOptimized;
+  cloud::CloudStoreOptions copts;
+  copts.extent_capacity = 1 << 20;
+  cloud::CloudStore store(copts);
+  BwTreeOptions opts;
+  opts.delta_mode = mode;
+  opts.consolidate_threshold = 10;
+  opts.max_leaf_entries = 128;  // leaf splits on; no forest split-out
+  opts.base_stream = store.CreateStream("base");
+  opts.delta_stream = store.CreateStream("delta");
+  BwTree tree(&store, opts);
+
+  ZipfGenerator keys(kKeys, 0.8, 42);
+  const std::string payload = "follow-record-payload-48-bytes-of-properties!";
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    (void)tree.Upsert(KeyOf(keys.Next()), payload);
+    ++ops;
+  }
+  const double written = static_cast<double>(store.stats().append_bytes.Get());
+  state.counters["MB_written"] = benchmark::Counter(written / 1e6);
+  state.counters["bytes_per_op"] =
+      benchmark::Counter(written / static_cast<double>(ops ? ops : 1));
+  state.SetLabel(mode == DeltaMode::kTraditional ? "SLED(traditional)"
+                                                 : "BG3(read-optimized)");
+}
+BENCHMARK(BM_Fig10_WriteOnly)->Arg(0)->Arg(1)->Iterations(20000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner("Figure 10 — write bandwidth, write-only power-law (§4.3.1)",
+                "SLED 64.5MB vs BG3 70MB at 20K ops (+9.3%, all sequential "
+                "appends); counters MB_written / bytes_per_op below");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

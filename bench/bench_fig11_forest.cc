@@ -1,0 +1,137 @@
+// Figure 11 reproduction: write throughput and memory cost of the Bw-tree
+// forest as the number of Bw-trees grows (§4.3.2). "N trees" in the paper
+// means the N-1 hottest users hold dedicated trees and every other user
+// shares the INIT tree — which is why throughput keeps improving beyond 64
+// trees: each extra tree peels more of the Zipf head off the shared tree.
+//
+// Paper: 1 -> 64 -> 100K -> 1M trees give 50K -> 90K -> 150K -> 289K write
+// QPS (x1.8 / x3.0 / x5.8), while memory grows 3.37x (1->100K) and another
+// 2.52x (100K->1M): sub-proportional returns at the high end.
+//
+// Host note: this machine may expose a single core, where real threads
+// cannot exhibit latch-contention scaling. The bench therefore reports
+//   (a) the measured single-thread op rate (per-op cost),
+//   (b) the serialization mass s = sum over trees of (traffic share)^2,
+//   (c) modeled multi-core QPS = rate x min(16, 1/s) — 16 writer clients
+//       whose ops serialize per tree, the contention structure of §3.2.1.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/cloud_store.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "forest/forest.h"
+
+using namespace bg3;
+
+namespace {
+
+constexpr uint64_t kUsers = 1'000'000;
+constexpr double kTheta = 0.8;
+constexpr int kOps = 150'000;
+constexpr int kModelThreads = 16;
+
+struct RunResult {
+  double single_thread_qps = 0;
+  double serialization_mass = 0;
+  double modeled_qps = 0;
+  double mem_mb = 0;
+};
+
+RunResult RunForest(size_t num_trees) {
+  cloud::CloudStoreOptions copts;
+  copts.extent_capacity = 4u << 20;
+  cloud::CloudStore store(copts);
+  forest::ForestOptions fopts;
+  fopts.split_out_threshold = ~0ull;  // dedication is explicit below
+  fopts.init_tree_capacity = ~0ull;
+  fopts.tree_options.base_stream = store.CreateStream("base");
+  fopts.tree_options.delta_stream = store.CreateStream("delta");
+  // "Full-cache stress testing": pure in-memory write path.
+  fopts.tree_options.flush_mode = bwtree::FlushMode::kNone;
+  forest::BwTreeForest forest(&store, fopts);
+
+  // Dedicate the num_trees-1 hottest users (Zipf item k is the k-th
+  // hottest); everyone else shares INIT.
+  for (uint64_t u = 0; u + 1 < num_trees; ++u) {
+    (void)forest.DedicateOwner(u);
+  }
+
+  // Single-thread measured write phase.
+  ZipfGenerator users(kUsers, kTheta, 321);
+  Random rng(7);
+  std::string sort_key(8, '\0');
+  const uint64_t start = NowMicros();
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t user = users.Next();
+    const uint64_t video = rng.Next();
+    for (int b = 0; b < 8; ++b) {
+      sort_key[b] = static_cast<char>(video >> (8 * b));
+    }
+    (void)forest.Upsert(user, sort_key, "like-event");
+  }
+  const double seconds = (NowMicros() - start) / 1e6;
+
+  // Serialization mass: probability two concurrent ops land on the same
+  // tree. Dedicated user u is its own tree; all other users share INIT.
+  ZipfGenerator sample(kUsers, kTheta, 99);
+  constexpr int kSamples = 400'000;
+  std::vector<uint32_t> dedicated_hits(num_trees > 0 ? num_trees : 1, 0);
+  uint64_t init_hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t user = sample.Next();
+    if (user + 1 < num_trees) {
+      ++dedicated_hits[user];
+    } else {
+      ++init_hits;
+    }
+  }
+  double mass = 0;
+  for (uint64_t u = 0; u + 1 < num_trees; ++u) {
+    const double p = static_cast<double>(dedicated_hits[u]) / kSamples;
+    mass += p * p;
+  }
+  const double init_share = static_cast<double>(init_hits) / kSamples;
+  mass += init_share * init_share;
+
+  RunResult r;
+  r.single_thread_qps = kOps / seconds;
+  r.serialization_mass = mass;
+  const double parallelism =
+      std::min<double>(kModelThreads, mass > 0 ? 1.0 / mass : kModelThreads);
+  r.modeled_qps = r.single_thread_qps * parallelism;
+  r.mem_mb = forest.ApproxMemoryBytes() / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Figure 11 — scaling write QPS & space cost with #Bw-trees (§4.3.2)",
+      "1 -> 64 -> 100K -> 1M trees: 50K -> 90K -> 150K -> 289K write QPS "
+      "(x1.8/x3.0/x5.8); memory x3.37 to 100K then x2.52 to 1M");
+
+  printf("%10s %14s %10s %14s %12s\n", "#bw-trees", "1-thr QPS", "s-mass",
+         "modeled-QPS", "memory(MB)");
+  double first_qps = 0, first_mem = 0;
+  for (size_t trees : {1ul, 64ul, 100'000ul, 1'000'000ul}) {
+    const RunResult r = RunForest(trees);
+    if (first_qps == 0) {
+      first_qps = r.modeled_qps;
+      first_mem = r.mem_mb;
+    }
+    printf("%10zu %14s %10.4f %14s %12.1f   (qps x%.2f, mem x%.2f)\n", trees,
+           bench::Qps(r.single_thread_qps).c_str(), r.serialization_mass,
+           bench::Qps(r.modeled_qps).c_str(), r.mem_mb,
+           r.modeled_qps / first_qps, r.mem_mb / first_mem);
+    fflush(stdout);
+  }
+  bench::Note(
+      "modeled-QPS applies the measured per-op rate to 16 clients whose "
+      "ops serialize per tree (see header); on a multi-core host the "
+      "measured curve shows the same shape directly");
+  return 0;
+}

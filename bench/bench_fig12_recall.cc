@@ -1,0 +1,82 @@
+// Figure 12 reproduction: recall rate of RO nodes under network packet loss.
+// The previous-generation ByteGraph forwards write commands asynchronously
+// (eventual consistency): lost packets are lost data within the window. BG3
+// synchronizes through the WAL on strongly consistent shared storage, so its
+// recall is 1.0 regardless of packet loss.
+//
+// Paper: ByteGraph recall 98% / 91% / 83% at 1% / 5% / 10% loss; BG3 = 1.0.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cloud/cloud_store.h"
+#include "graph/edge.h"
+#include "replication/channel.h"
+#include "replication/forwarding.h"
+#include "replication/ro_node.h"
+#include "replication/rw_node.h"
+
+using namespace bg3;
+using namespace bg3::replication;
+
+namespace {
+
+constexpr int kEdges = 20'000;
+
+std::string EdgeKey(int i) {
+  return graph::EncodeFlatEdgeKey(i % 500, 1, 100'000 + i);
+}
+
+double ForwardingRecall(double loss_rate) {
+  ChannelOptions copts;
+  copts.loss_rate = loss_rate;
+  copts.loss_burst = 2;
+  copts.seed = 1234 + static_cast<uint64_t>(loss_rate * 1000);
+  LossyChannel channel(copts);
+  ForwardingRwNode rw({&channel});
+  ForwardingRoNode ro(&channel);
+  for (int i = 0; i < kEdges; ++i) {
+    (void)rw.Put(EdgeKey(i), "transfer");
+  }
+  ro.Drain();
+  int recalled = 0;
+  for (int i = 0; i < kEdges; ++i) recalled += ro.Get(EdgeKey(i)).ok() ? 1 : 0;
+  return static_cast<double>(recalled) / kEdges;
+}
+
+double WalRecall() {
+  cloud::CloudStore store;
+  RwNodeOptions rw_opts;
+  rw_opts.tree.tree_id = 1;
+  rw_opts.tree.base_stream = store.CreateStream("base");
+  rw_opts.tree.delta_stream = store.CreateStream("delta");
+  rw_opts.wal.stream = store.CreateStream("wal");
+  rw_opts.flush_group_pages = 32;
+  RwNode rw(&store, rw_opts);
+  RoNodeOptions ro_opts;
+  ro_opts.wal_stream = rw_opts.wal.stream;
+  RoNode ro(&store, ro_opts);
+  for (int i = 0; i < kEdges; ++i) {
+    (void)rw.Put(EdgeKey(i), graph::EncodeEdgeValue(i, "transfer"));
+  }
+  int recalled = 0;
+  for (int i = 0; i < kEdges; ++i) {
+    recalled += ro.Get(1, EdgeKey(i)).ok() ? 1 : 0;
+  }
+  return static_cast<double>(recalled) / kEdges;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 12 — recall vs packet loss (§4.5)",
+                "ByteGraph forwarding: 0.98 / 0.91 / 0.83 at 1/5/10% loss; "
+                "BG3 WAL sync: 1.00 at any loss rate");
+
+  printf("%-10s %-24s %-18s\n", "loss", "ByteGraph(forwarding)", "BG3(WAL)");
+  const double bg3_recall = WalRecall();  // network loss cannot affect it
+  for (double loss : {0.01, 0.02, 0.05, 0.08, 0.10}) {
+    printf("%8.0f%% %-24.4f %-18.4f\n", loss * 100, ForwardingRecall(loss),
+           bg3_recall);
+  }
+  return 0;
+}

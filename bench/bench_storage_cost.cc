@@ -1,0 +1,75 @@
+// §4.2 "Storage Cost Saving" reproduction: the same logical edge workload on
+// BG3 (Bw-tree forest over append-only storage + workload-aware GC) and on
+// ByteGraph (edge trees over a leveled LSM). The paper reports ~80% average
+// storage-cost saving, driven by LSM write amplification and per-bit cost.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bytegraph/bytegraph_db.h"
+#include "cloud/cloud_store.h"
+#include "common/random.h"
+#include "core/graph_db.h"
+#include "workload/graph_gen.h"
+
+using namespace bg3;
+
+int main() {
+  bench::Banner("Storage cost saving (§4.2)",
+                "BG3 saves ~80% of storage cost vs ByteGraph across the "
+                "three workloads (write amplification + cheaper bytes)");
+
+  constexpr int kUsers = 2'000;
+  constexpr int kRounds = 40;
+  constexpr int kEdgesPerRound = 2'000;
+
+  // BG3 with periodic space reclamation.
+  cloud::CloudStoreOptions bg3_copts;
+  bg3_copts.extent_capacity = 256 << 10;
+  cloud::CloudStore bg3_store(bg3_copts);
+  core::GraphDBOptions bg3_opts;
+  bg3_opts.gc_policy = core::GcPolicyKind::kWorkloadAware;
+  bg3_opts.gc_target_dead_ratio = 0.2;
+  bg3_opts.forest.tree_options.max_leaf_entries = 64;
+  core::GraphDB bg3(&bg3_store, bg3_opts);
+
+  // ByteGraph over the sharded LSM.
+  cloud::CloudStore bg_store;
+  bytegraph::ByteGraphOptions bg_opts;
+  bg_opts.lsm.memtable_bytes = 64 << 10;  // RocksDB-like write-buffer : data
+  bg_opts.lsm.compaction.l0_compaction_trigger = 2;
+  bg_opts.lsm.compaction.level_base_bytes = 512 << 10;
+  bytegraph::ByteGraphDB bytegraph(&bg_store, bg_opts);
+
+  Random rng(11);
+  ZipfGenerator src_gen(kUsers, 0.9, 21);
+  ZipfGenerator dst_gen(50'000, 0.9, 22);
+  const std::string props = workload::MakeProperties(3, 24);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kEdgesPerRound; ++i) {
+      const graph::VertexId src = src_gen.Next();
+      const graph::VertexId dst = dst_gen.Next();
+      (void)bg3.AddEdge(src, 1, dst, props, 1);
+      (void)bytegraph.AddEdge(src, 1, dst, props, 1);
+    }
+    (void)bg3.RunGcCycle();
+  }
+
+  const uint64_t bg3_written = bg3_store.stats().append_bytes.Get();
+  const uint64_t bg3_live = bg3_store.LiveBytes();
+  const uint64_t bg_written = bg_store.stats().append_bytes.Get();
+  const uint64_t bg_live = bg_store.LiveBytes();
+
+  printf("%-12s %14s %14s\n", "system", "bytes written", "live bytes");
+  printf("%-12s %14s %14s\n", "BG3", bench::Mb(bg3_written).c_str(),
+         bench::Mb(bg3_live).c_str());
+  printf("%-12s %14s %14s\n", "ByteGraph", bench::Mb(bg_written).c_str(),
+         bench::Mb(bg_live).c_str());
+  printf("\nwrite saving: %.1f%% (paper: ~80%% cost saving)\n",
+         100.0 * (1.0 - static_cast<double>(bg3_written) / bg_written));
+  printf("live saving : %.1f%%\n",
+         100.0 * (1.0 - static_cast<double>(bg3_live) / bg_live));
+  bench::Note(
+      "the paper's 80%% also includes cheaper $/bit of shared cloud storage "
+      "vs SSD-backed KV clusters, which a simulator cannot price");
+  return 0;
+}

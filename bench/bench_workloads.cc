@@ -1,0 +1,78 @@
+// Table 1 reproduction: realised characteristics of the three ByteDance
+// workload generators (read/write mix, hop distribution, skew), verified
+// against the paper's description.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/workloads.h"
+
+using namespace bg3;
+using namespace bg3::workload;
+
+namespace {
+
+void Characterize(WorkloadGenerator* gen, int samples) {
+  int inserts = 0, one_hop = 0, multi_hop = 0, reach = 0;
+  int hop_hist[16] = {0};
+  uint64_t top10_src = 0;
+  for (int i = 0; i < samples; ++i) {
+    const Op op = gen->Next();
+    switch (op.type) {
+      case Op::Type::kInsertEdge:
+        ++inserts;
+        break;
+      case Op::Type::kOneHop:
+        ++one_hop;
+        ++hop_hist[1];
+        break;
+      case Op::Type::kMultiHop:
+        ++multi_hop;
+        ++hop_hist[op.hops < 16 ? op.hops : 15];
+        break;
+      case Op::Type::kReachCheck:
+        ++reach;
+        ++hop_hist[op.hops < 16 ? op.hops : 15];
+        break;
+    }
+    if (op.src < 10) ++top10_src;
+  }
+  const double n = samples;
+  printf("  %-24s reads=%5.1f%%  writes=%5.1f%%  top-10-src share=%4.1f%%\n",
+         gen->name().c_str(), 100.0 * (samples - inserts) / n,
+         100.0 * inserts / n, 100.0 * top10_src / n);
+  printf("  %-24s hop histogram:", "");
+  for (int h = 1; h < 12; ++h) {
+    if (hop_hist[h] > 0) printf(" %d-hop=%.1f%%", h, 100.0 * hop_hist[h] / n);
+  }
+  printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Table 1 — workload characterisation",
+      "Follow 99R/1W 1-hop | RiskControl 50/50 5-10 hops | Recommend "
+      "read-only 70/20/10 x 1/2/3-hop; all Zipf-skewed");
+
+  const int kSamples = 200'000;
+  {
+    FollowWorkload::Options o;
+    o.num_users = 100'000;
+    FollowWorkload gen(o, 1);
+    Characterize(&gen, kSamples);
+  }
+  {
+    RiskControlWorkload::Options o;
+    o.num_accounts = 100'000;
+    RiskControlWorkload gen(o, 2);
+    Characterize(&gen, kSamples);
+  }
+  {
+    RecommendWorkload::Options o;
+    o.num_users = 100'000;
+    RecommendWorkload gen(o, 3);
+    Characterize(&gen, kSamples);
+  }
+  return 0;
+}

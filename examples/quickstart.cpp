@@ -1,0 +1,53 @@
+// Quickstart: open a BG3 GraphDB over simulated cloud storage, write a tiny
+// social graph, and run the basic read operations.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "cloud/cloud_store.h"
+#include "core/graph_db.h"
+
+int main() {
+  using namespace bg3;
+
+  // The shared append-only cloud store (one per deployment).
+  cloud::CloudStore store;
+
+  // A BG3 instance with default options: read-optimized Bw-trees, a
+  // space-optimized forest, workload-aware space reclamation.
+  core::GraphDBOptions options;
+  core::GraphDB db(&store, options);
+
+  // Vertices carry opaque property bytes.
+  constexpr graph::VertexId kAlice = 1, kBob = 2, kCarol = 3;
+  db.AddVertex(kAlice, "name=alice");
+  db.AddVertex(kBob, "name=bob");
+  db.AddVertex(kCarol, "name=carol");
+
+  // Edge type 1 = "follows". Timestamps default to the DB clock when 0.
+  constexpr graph::EdgeType kFollows = 1;
+  db.AddEdge(kAlice, kFollows, kBob, "since=2024", 0);
+  db.AddEdge(kAlice, kFollows, kCarol, "since=2025", 0);
+  db.AddEdge(kBob, kFollows, kCarol, "since=2026", 0);
+
+  // Point lookups.
+  auto props = db.GetEdge(kAlice, kFollows, kBob);
+  printf("alice->bob: %s\n", props.ok() ? props.value().c_str() : "missing");
+
+  // Adjacency scan: whom does alice follow?
+  std::vector<graph::Neighbor> followees;
+  db.GetNeighbors(kAlice, kFollows, /*limit=*/10, &followees);
+  printf("alice follows %zu users:", followees.size());
+  for (const auto& n : followees) printf(" %llu", (unsigned long long)n.dst);
+  printf("\n");
+
+  // Unfollow.
+  db.DeleteEdge(kAlice, kFollows, kCarol);
+  followees.clear();
+  db.GetNeighbors(kAlice, kFollows, 10, &followees);
+  printf("after unfollow, alice follows %zu user(s)\n", followees.size());
+
+  // Engine internals.
+  printf("--- db stats ---\n%s\n", db.Stats().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Leader-follower replication demo (§3.4 / Fig. 7): a RW node WAL-publishes
+// every write to shared storage; RO nodes tail the WAL with lazy replay and
+// serve strongly consistent reads — contrast with the old command-forwarding
+// scheme that silently loses data under packet loss (Fig. 12).
+//
+//   $ ./replication_demo
+#include <cstdio>
+
+#include "cloud/cloud_store.h"
+#include "graph/edge.h"
+#include "replication/channel.h"
+#include "replication/forwarding.h"
+#include "replication/ro_node.h"
+#include "replication/rw_node.h"
+
+int main() {
+  using namespace bg3;
+
+  cloud::CloudStore store;
+
+  // --- BG3-style WAL synchronization -------------------------------------
+  replication::RwNodeOptions rw_opts;
+  rw_opts.tree.tree_id = 1;
+  rw_opts.tree.base_stream = store.CreateStream("base");
+  rw_opts.tree.delta_stream = store.CreateStream("delta");
+  rw_opts.wal.stream = store.CreateStream("wal");
+  rw_opts.flush_group_pages = 16;
+  replication::RwNode rw(&store, rw_opts);
+
+  replication::RoNodeOptions ro_opts;
+  ro_opts.wal_stream = rw_opts.wal.stream;
+  replication::RoNode ro_a(&store, ro_opts);
+  ro_opts.seed = 0x21;
+  replication::RoNode ro_b(&store, ro_opts);
+
+  const int kEdges = 2000;
+  printf("writing %d fund-transfer edges on the RW node...\n", kEdges);
+  for (int i = 0; i < kEdges; ++i) {
+    const auto key = graph::EncodeFlatEdgeKey(i % 50, 1, 10'000 + i);
+    rw.Put(key, graph::EncodeEdgeValue(i, "amount=" + std::to_string(i)));
+  }
+
+  int visible_a = 0, visible_b = 0;
+  for (int i = 0; i < kEdges; ++i) {
+    const auto key = graph::EncodeFlatEdgeKey(i % 50, 1, 10'000 + i);
+    visible_a += ro_a.Get(1, key).ok() ? 1 : 0;
+    visible_b += ro_b.Get(1, key).ok() ? 1 : 0;
+  }
+  printf("WAL sync: RO-a sees %d/%d, RO-b sees %d/%d (strong consistency)\n",
+         visible_a, kEdges, visible_b, kEdges);
+  printf("simulated leader-follower latency: %s\n",
+         ro_a.sync_latency().ToString().c_str());
+
+  // --- the previous-generation forwarding scheme, for contrast -------------
+  replication::ChannelOptions lossy;
+  lossy.loss_rate = 0.05;
+  replication::LossyChannel channel(lossy);
+  replication::ForwardingRwNode old_rw({&channel});
+  replication::ForwardingRoNode old_ro(&channel);
+  for (int i = 0; i < kEdges; ++i) {
+    old_rw.Put("k" + std::to_string(i), "v");
+  }
+  old_ro.Drain();
+  int recalled = 0;
+  for (int i = 0; i < kEdges; ++i) {
+    recalled += old_ro.Get("k" + std::to_string(i)).ok() ? 1 : 0;
+  }
+  printf("command forwarding @5%% packet loss: RO sees %d/%d (recall %.1f%%)\n",
+         recalled, kEdges, 100.0 * recalled / kEdges);
+  return 0;
+}

@@ -1,0 +1,641 @@
+#include "bwtree/bwtree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bg3::bwtree {
+
+BwTree::BwTree(cloud::CloudStore* store, const BwTreeOptions& options)
+    : store_(store),
+      opts_(options),
+      lsn_source_(options.lsn_source != nullptr ? options.lsn_source
+                                                : &local_lsn_),
+      page_id_source_(options.page_id_source != nullptr
+                          ? options.page_id_source
+                          : &local_page_id_) {
+  BG3_CHECK(store_ != nullptr || opts_.flush_mode == FlushMode::kNone)
+      << "a cloud store is required unless flushing is disabled";
+  BG3_CHECK(!(opts_.read_cache == ReadCacheMode::kNone &&
+              opts_.flush_mode != FlushMode::kSync))
+      << "zero-cache reads require sync flushing (storage must be current)";
+  if (opts_.bootstrap) return;  // layout comes from InstallRecoveredPages
+  // Initial empty leaf covering the whole key space.
+  auto page = std::make_unique<LeafPage>(NextPageId());
+  page->low_key = "";
+  page->has_high_key = false;
+  LeafPage* raw = index_.InsertPage(std::move(page));
+  index_.InsertRoute("", raw->id);
+  if (opts_.listener != nullptr) {
+    opts_.listener->OnTreeInit(opts_.tree_id, raw->id);
+  }
+}
+
+Status BwTree::InstallRecoveredPages(std::vector<RecoveredPage> pages) {
+  BG3_CHECK(opts_.bootstrap) << "InstallRecoveredPages requires bootstrap";
+  BG3_CHECK_EQ(index_.PageCount(), 0u) << "layout already installed";
+  if (pages.empty()) return Status::InvalidArgument("no pages to install");
+  std::sort(pages.begin(), pages.end(),
+            [](const RecoveredPage& a, const RecoveredPage& b) {
+              return a.low_key < b.low_key;
+            });
+  if (!pages.front().low_key.empty()) {
+    return Status::InvalidArgument("first page must cover the key space start");
+  }
+  PageId max_id = 0;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    RecoveredPage& rp = pages[i];
+    if (rp.id == kInvalidPage) return Status::InvalidArgument("bad page id");
+    if (i + 1 < pages.size() &&
+        (!rp.has_high_key || rp.high_key != pages[i + 1].low_key)) {
+      return Status::InvalidArgument("recovered pages do not tile key space");
+    }
+    auto page = std::make_unique<LeafPage>(rp.id);
+    page->low_key = rp.low_key;
+    page->high_key = rp.high_key;
+    page->has_high_key = rp.has_high_key;
+    page->base_entries = std::move(rp.entries);
+    page->base_ptr = rp.base_ptr;
+    page->last_lsn = rp.last_lsn;
+    page->dirty = true;  // republish a fresh image on the next flush
+    max_id = std::max(max_id, rp.id);
+    LeafPage* raw = index_.InsertPage(std::move(page));
+    index_.InsertRoute(raw->low_key, raw->id);
+  }
+  // Future page ids must not collide with the recovered layout.
+  PageId cur = page_id_source_->load(std::memory_order_relaxed);
+  while (cur <= max_id && !page_id_source_->compare_exchange_weak(
+                              cur, max_id + 1, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+LeafPage* BwTree::FindAndLatchLeaf(const Slice& key,
+                                   std::unique_lock<std::mutex>* lock) {
+  for (;;) {
+    LeafPage* leaf = index_.FindLeaf(key);
+    BG3_CHECK(leaf != nullptr);
+    std::unique_lock<std::mutex> latch(leaf->latch, std::try_to_lock);
+    if (!latch.owns_lock()) {
+      stats_.latch_conflicts.Inc();
+      latch.lock();
+    }
+    // Re-validate: the leaf may have split between routing and latching.
+    const bool in_range =
+        key.compare(Slice(leaf->low_key)) >= 0 &&
+        (!leaf->has_high_key || key.compare(Slice(leaf->high_key)) < 0);
+    if (in_range) {
+      leaf->last_access_tick =
+          access_tick_.fetch_add(1, std::memory_order_relaxed);
+      *lock = std::move(latch);
+      return leaf;
+    }
+  }
+}
+
+Status BwTree::Upsert(const Slice& key, const Slice& value) {
+  stats_.upserts.Inc();
+  return Write(DeltaEntry{DeltaOp::kUpsert, key.ToString(), value.ToString()});
+}
+
+Status BwTree::Delete(const Slice& key) {
+  stats_.deletes.Inc();
+  return Write(DeltaEntry{DeltaOp::kDelete, key.ToString(), {}});
+}
+
+Status BwTree::Write(DeltaEntry entry) {
+  std::unique_lock<std::mutex> lock;
+  LeafPage* leaf = FindAndLatchLeaf(entry.key, &lock);
+  const Lsn lsn = NextLsn();
+  leaf->last_lsn = lsn;
+  if (opts_.listener != nullptr) {
+    opts_.listener->OnMutation(opts_.tree_id, leaf->id, lsn, entry);
+  }
+  Status s = opts_.delta_mode == DeltaMode::kTraditional
+                 ? ApplyTraditionalLocked(leaf, std::move(entry), lsn)
+                 : ApplyReadOptimizedLocked(leaf, std::move(entry), lsn);
+  if (!s.ok()) return s;
+  if (opts_.flush_mode == FlushMode::kDeferred) leaf->dirty = true;
+  return MaybeSplitLocked(leaf);
+}
+
+Status BwTree::ApplyTraditionalLocked(LeafPage* leaf, DeltaEntry entry,
+                                      Lsn lsn) {
+  // Classic Bw-tree: prepend a single-entry delta to the chain.
+  leaf->chain.insert(leaf->chain.begin(),
+                     LeafPage::Delta{{std::move(entry)}, {}});
+  if (opts_.flush_mode == FlushMode::kSync) {
+    BG3_RETURN_IF_ERROR(AppendDeltaLocked(leaf, &leaf->chain.front(), lsn));
+  }
+  if (leaf->chain.size() >= opts_.consolidate_threshold) {
+    return ConsolidateLocked(leaf);
+  }
+  if (opts_.flush_mode == FlushMode::kSync) NotifyFlushedLocked(leaf);
+  return Status::OK();
+}
+
+Status BwTree::ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry,
+                                        Lsn lsn) {
+  // Algorithm 1 of the paper.
+  if (leaf->chain.empty()) {
+    // Lines 9-17: first modification since the last consolidation — behave
+    // like a traditional Bw-tree.
+    leaf->chain.push_back(LeafPage::Delta{{std::move(entry)}, {}});
+    if (opts_.flush_mode == FlushMode::kSync) {
+      BG3_RETURN_IF_ERROR(AppendDeltaLocked(leaf, &leaf->chain.front(), lsn));
+      NotifyFlushedLocked(leaf);
+    }
+    return Status::OK();
+  }
+  // Lines 18-31: merge the existing delta with the new update so the page
+  // keeps at most one delta.
+  LeafPage::Delta& cur = leaf->chain.front();
+  if (cur.update_count + 1 > opts_.consolidate_threshold) {
+    // Lines 21-27: the merged delta has absorbed ConsolidateNum updates —
+    // consolidate the base page with everything instead.
+    leaf->chain.front().entries.push_back(std::move(entry));
+    return ConsolidateLocked(leaf);
+  }
+  std::vector<DeltaEntry> merged = MergeDeltas(cur.entries, {entry});
+  const cloud::PagePointer old_ptr = cur.ptr;
+  const uint32_t updates = cur.update_count + 1;  // line 29: count = old + 1
+  cur.entries = std::move(merged);
+  cur.update_count = updates;
+  cur.ptr = {};
+  if (opts_.flush_mode == FlushMode::kSync) {
+    BG3_RETURN_IF_ERROR(AppendDeltaLocked(leaf, &cur, lsn));
+    if (!old_ptr.IsNull()) store_->MarkInvalid(old_ptr);
+    NotifyFlushedLocked(leaf);
+  }
+  return Status::OK();
+}
+
+void BwTree::FoldChainLocked(LeafPage* leaf) {
+  if (leaf->chain.empty()) return;
+  std::vector<const std::vector<DeltaEntry>*> oldest_first;
+  oldest_first.reserve(leaf->chain.size());
+  for (auto it = leaf->chain.rbegin(); it != leaf->chain.rend(); ++it) {
+    oldest_first.push_back(&it->entries);
+  }
+  leaf->base_entries =
+      ApplyDeltaChain(std::move(leaf->base_entries), oldest_first);
+}
+
+Status BwTree::EnsureResidentLocked(LeafPage* leaf) {
+  if (leaf->resident) return Status::OK();
+  if (!leaf->base_ptr.IsNull()) {
+    auto base = store_->Read(leaf->base_ptr);
+    if (!base.ok()) {
+      if (opts_.tolerate_missing_extents && base.status().IsIOError()) {
+        leaf->base_entries.clear();
+        leaf->resident = true;
+        return Status::OK();
+      }
+      return base.status();
+    }
+    Slice in(base.value());
+    RecordHeader header;
+    BG3_RETURN_IF_ERROR(DecodeRecordHeader(&in, &header));
+    BG3_RETURN_IF_ERROR(DecodeBasePagePayload(in, &leaf->base_entries));
+  }
+  leaf->resident = true;
+  stats_.page_reloads.Inc();
+  return Status::OK();
+}
+
+size_t BwTree::EvictColdPages(size_t target_resident) {
+  // Collect eviction candidates: resident, clean, with a flushed base image
+  // (or nothing to lose), coldest first.
+  struct Candidate {
+    PageId id;
+    uint64_t tick;
+  };
+  std::vector<Candidate> candidates;
+  size_t resident = 0;
+  index_.ForEachPage([&](LeafPage* p) {
+    std::lock_guard<std::mutex> lock(p->latch);
+    if (!p->resident) return;
+    ++resident;
+    if (p->dirty) return;
+    if (p->base_ptr.IsNull() && !p->base_entries.empty()) return;
+    candidates.push_back(Candidate{p->id, p->last_access_tick});
+  });
+  if (resident <= target_resident) return 0;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.tick < b.tick;
+            });
+  size_t evicted = 0;
+  for (const Candidate& c : candidates) {
+    if (resident - evicted <= target_resident) break;
+    LeafPage* p = index_.FindPage(c.id);
+    if (p == nullptr) continue;
+    std::lock_guard<std::mutex> lock(p->latch);
+    if (!p->resident || p->dirty) continue;
+    p->base_entries.clear();
+    p->base_entries.shrink_to_fit();
+    p->resident = false;
+    ++evicted;
+    stats_.page_evictions.Inc();
+  }
+  return evicted;
+}
+
+size_t BwTree::ResidentPageCount() const {
+  size_t resident = 0;
+  index_.ForEachPage([&](LeafPage* p) {
+    std::lock_guard<std::mutex> lock(p->latch);
+    if (p->resident) ++resident;
+  });
+  return resident;
+}
+
+Status BwTree::ConsolidateLocked(LeafPage* leaf) {
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  stats_.consolidations.Inc();
+  // Invalidate the storage images being superseded.
+  const cloud::PagePointer old_base = leaf->base_ptr;
+  std::vector<cloud::PagePointer> old_deltas;
+  for (const auto& d : leaf->chain) {
+    if (!d.ptr.IsNull()) old_deltas.push_back(d.ptr);
+  }
+  FoldChainLocked(leaf);
+  leaf->chain.clear();
+  if (opts_.flush_mode == FlushMode::kSync) {
+    BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf));
+    if (!old_base.IsNull()) store_->MarkInvalid(old_base);
+    for (const auto& p : old_deltas) store_->MarkInvalid(p);
+    NotifyFlushedLocked(leaf);
+  } else if (opts_.flush_mode == FlushMode::kDeferred) {
+    leaf->dirty = true;
+  }
+  return Status::OK();
+}
+
+Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
+  if (!opts_.allow_split) return Status::OK();
+  size_t chain_entries = 0;
+  for (const auto& d : leaf->chain) chain_entries += d.entries.size();
+  if ((leaf->resident ? leaf->base_entries.size() : 0) + chain_entries <=
+      opts_.max_leaf_entries) {
+    // Note: a non-resident page's base size is bounded by max_leaf_entries
+    // by construction, so deferring its split check until it next becomes
+    // resident (on consolidation) cannot overflow it unboundedly.
+    if (leaf->resident) return Status::OK();
+    if (chain_entries <= opts_.max_leaf_entries) return Status::OK();
+  }
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  stats_.splits.Inc();
+  // Fold everything so we can cut the full ordered content in half.
+  const cloud::PagePointer old_base = leaf->base_ptr;
+  std::vector<cloud::PagePointer> old_deltas;
+  for (const auto& d : leaf->chain) {
+    if (!d.ptr.IsNull()) old_deltas.push_back(d.ptr);
+  }
+  FoldChainLocked(leaf);
+  leaf->chain.clear();
+  if (leaf->base_entries.size() <= opts_.max_leaf_entries) {
+    // Deletes can shrink the folded content below the threshold.
+    if (opts_.flush_mode == FlushMode::kSync) {
+      BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf));
+      if (!old_base.IsNull()) store_->MarkInvalid(old_base);
+      for (const auto& p : old_deltas) store_->MarkInvalid(p);
+      NotifyFlushedLocked(leaf);
+    }
+    return Status::OK();
+  }
+
+  const size_t mid = leaf->base_entries.size() / 2;
+  const std::string separator = leaf->base_entries[mid].key;
+
+  auto sibling = std::make_unique<LeafPage>(NextPageId());
+  sibling->low_key = separator;
+  sibling->high_key = leaf->high_key;
+  sibling->has_high_key = leaf->has_high_key;
+  sibling->base_entries.assign(
+      std::make_move_iterator(leaf->base_entries.begin() + mid),
+      std::make_move_iterator(leaf->base_entries.end()));
+  leaf->base_entries.resize(mid);
+  leaf->high_key = separator;
+  leaf->has_high_key = true;
+
+  const Lsn lsn = NextLsn();
+  leaf->last_lsn = lsn;
+  sibling->last_lsn = lsn;
+
+  // Latch the sibling before publishing it (uncontended by construction) so
+  // we can finish its flush without racing new writers.
+  LeafPage* sib = index_.InsertPage(std::move(sibling));
+  std::unique_lock<std::mutex> sib_latch(sib->latch);
+  index_.InsertRoute(separator, sib->id);
+
+  if (opts_.listener != nullptr) {
+    opts_.listener->OnSplit(opts_.tree_id, leaf->id, sib->id, lsn, separator);
+  }
+
+  if (opts_.flush_mode == FlushMode::kSync) {
+    BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf));
+    BG3_RETURN_IF_ERROR(AppendBaseLocked(sib));
+    if (!old_base.IsNull()) store_->MarkInvalid(old_base);
+    for (const auto& p : old_deltas) store_->MarkInvalid(p);
+    NotifyFlushedLocked(leaf);
+    NotifyFlushedLocked(sib);
+  } else if (opts_.flush_mode == FlushMode::kDeferred) {
+    leaf->dirty = true;
+    sib->dirty = true;
+  }
+  return Status::OK();
+}
+
+Status BwTree::AppendBaseLocked(LeafPage* leaf) {
+  const std::string record = EncodeBasePage(opts_.tree_id, leaf->id,
+                                            leaf->last_lsn, leaf->base_entries);
+  auto res = store_->Append(opts_.base_stream, record);
+  BG3_RETURN_IF_ERROR(res.status());
+  leaf->base_ptr = res.value();
+  leaf->flushed_lsn = leaf->last_lsn;
+  leaf->dirty = false;
+  return Status::OK();
+}
+
+Status BwTree::AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta,
+                                 Lsn lsn) {
+  const std::string record =
+      EncodeDelta(opts_.tree_id, leaf->id, lsn, delta->entries);
+  auto res = store_->Append(opts_.delta_stream, record);
+  BG3_RETURN_IF_ERROR(res.status());
+  delta->ptr = res.value();
+  leaf->flushed_lsn = lsn;
+  return Status::OK();
+}
+
+void BwTree::NotifyFlushedLocked(LeafPage* leaf) {
+  if (opts_.listener == nullptr) return;
+  std::vector<cloud::PagePointer> delta_ptrs;
+  for (auto it = leaf->chain.rbegin(); it != leaf->chain.rend(); ++it) {
+    if (!it->ptr.IsNull()) delta_ptrs.push_back(it->ptr);
+  }
+  opts_.listener->OnPageFlushed(opts_.tree_id, leaf->id, leaf->flushed_lsn,
+                                leaf->base_ptr, delta_ptrs, leaf->low_key,
+                                leaf->high_key, leaf->has_high_key);
+}
+
+Result<std::string> BwTree::Get(const Slice& key) {
+  stats_.gets.Inc();
+  std::unique_lock<std::mutex> lock;
+  LeafPage* leaf = FindAndLatchLeaf(key, &lock);
+
+  if (opts_.read_cache == ReadCacheMode::kFull) {
+    // Check the delta chain newest-first, then the base page.
+    std::string value;
+    bool deleted = false;
+    for (const auto& d : leaf->chain) {
+      if (LookupInDelta(d.entries, key, &value, &deleted)) {
+        if (deleted) return Status::NotFound("deleted");
+        return value;
+      }
+    }
+    BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+    if (LookupInBase(leaf->base_entries, key, &value)) return value;
+    return Status::NotFound("no such key");
+  }
+
+  // Zero-cache path: fetch the storage images — one read for the base page
+  // plus one per delta (the I/O cost Fig. 9 measures).
+  std::vector<Entry> merged;
+  BG3_RETURN_IF_ERROR(LoadMergedFromStorageLocked(leaf, &merged));
+  std::string value;
+  if (LookupInBase(merged, key, &value)) return value;
+  return Status::NotFound("no such key");
+}
+
+Status BwTree::LoadMergedFromStorageLocked(LeafPage* leaf,
+                                           std::vector<Entry>* out) {
+  out->clear();
+  std::vector<Entry> base;
+  if (!leaf->base_ptr.IsNull()) {
+    auto res = store_->Read(leaf->base_ptr);
+    if (!res.ok()) {
+      if (!(opts_.tolerate_missing_extents && res.status().IsIOError())) {
+        return res.status();
+      }
+    } else {
+      Slice in(res.value());
+      RecordHeader header;
+      BG3_RETURN_IF_ERROR(DecodeRecordHeader(&in, &header));
+      BG3_RETURN_IF_ERROR(DecodeBasePagePayload(in, &base));
+    }
+  }
+  std::vector<std::vector<DeltaEntry>> chains;  // oldest-first
+  for (auto it = leaf->chain.rbegin(); it != leaf->chain.rend(); ++it) {
+    if (it->ptr.IsNull()) continue;
+    auto res = store_->Read(it->ptr);
+    if (!res.ok()) {
+      if (opts_.tolerate_missing_extents && res.status().IsIOError()) continue;
+      return res.status();
+    }
+    Slice in(res.value());
+    RecordHeader header;
+    BG3_RETURN_IF_ERROR(DecodeRecordHeader(&in, &header));
+    std::vector<DeltaEntry> entries;
+    BG3_RETURN_IF_ERROR(DecodeDeltaPayload(in, &entries));
+    chains.push_back(std::move(entries));
+  }
+  std::vector<const std::vector<DeltaEntry>*> chain_ptrs;
+  chain_ptrs.reserve(chains.size());
+  for (const auto& c : chains) chain_ptrs.push_back(&c);
+  *out = ApplyDeltaChain(std::move(base), chain_ptrs);
+  return Status::OK();
+}
+
+Status BwTree::MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out) {
+  if (opts_.read_cache == ReadCacheMode::kNone) {
+    return LoadMergedFromStorageLocked(leaf, out);
+  }
+  std::vector<const std::vector<DeltaEntry>*> oldest_first;
+  for (auto it = leaf->chain.rbegin(); it != leaf->chain.rend(); ++it) {
+    oldest_first.push_back(&it->entries);
+  }
+  *out = ApplyDeltaChain(leaf->base_entries, oldest_first);
+  return Status::OK();
+}
+
+Status BwTree::CollectRangeLocked(LeafPage* leaf, const std::string& start,
+                                  const std::string& end, size_t limit,
+                                  std::vector<Entry>* out) {
+  const bool bounded = !end.empty();
+  if (opts_.read_cache == ReadCacheMode::kNone) {
+    // Storage-backed read: the whole page must be fetched anyway.
+    std::vector<Entry> view;
+    BG3_RETURN_IF_ERROR(LoadMergedFromStorageLocked(leaf, &view));
+    auto it = std::lower_bound(
+        view.begin(), view.end(), start,
+        [](const Entry& e, const std::string& k) { return e.key < k; });
+    for (; it != view.end() && out->size() < limit; ++it) {
+      if (bounded && it->key >= end) break;
+      out->push_back(std::move(*it));
+    }
+    return Status::OK();
+  }
+  // In-memory fast path: merge-iterate the sorted base with a small overlay
+  // built from the (short) delta chain — O(limit + chain), not O(page).
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  std::map<std::string, const DeltaEntry*> overlay;  // newest wins
+  for (auto cit = leaf->chain.rbegin(); cit != leaf->chain.rend(); ++cit) {
+    for (const DeltaEntry& e : cit->entries) {
+      if (e.key < start) continue;
+      if (bounded && e.key >= end) continue;
+      overlay[e.key] = &e;
+    }
+  }
+  auto bit = std::lower_bound(
+      leaf->base_entries.begin(), leaf->base_entries.end(), start,
+      [](const Entry& e, const std::string& k) { return e.key < k; });
+  auto oit = overlay.begin();
+  while (out->size() < limit) {
+    const bool base_ok = bit != leaf->base_entries.end() &&
+                         !(bounded && bit->key >= end);
+    const bool over_ok = oit != overlay.end();
+    if (!base_ok && !over_ok) break;
+    if (over_ok && (!base_ok || oit->first <= bit->key)) {
+      const bool shadows_base = base_ok && oit->first == bit->key;
+      if (oit->second->op == DeltaOp::kUpsert) {
+        out->push_back(Entry{oit->first, oit->second->value});
+      }
+      if (shadows_base) ++bit;
+      ++oit;
+    } else {
+      out->push_back(*bit);
+      ++bit;
+    }
+  }
+  return Status::OK();
+}
+
+Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
+  stats_.scans.Inc();
+  std::string cursor = options.start_key;
+  const size_t target = options.limit == std::numeric_limits<size_t>::max()
+                            ? options.limit
+                            : out->size() + options.limit;
+  const bool bounded_end = !options.end_key.empty();
+  for (;;) {
+    if (out->size() >= target) return Status::OK();
+    std::unique_lock<std::mutex> lock;
+    LeafPage* leaf = FindAndLatchLeaf(cursor, &lock);
+    BG3_RETURN_IF_ERROR(CollectRangeLocked(leaf, cursor, options.end_key,
+                                           target, out));
+    if (out->size() >= target) return Status::OK();
+    if (!leaf->has_high_key) return Status::OK();
+    if (bounded_end && leaf->high_key >= options.end_key) return Status::OK();
+    cursor = leaf->high_key;
+  }
+}
+
+std::vector<PageId> BwTree::DirtyPageIds() const {
+  std::vector<PageId> out;
+  index_.ForEachPage([&out](LeafPage* p) {
+    std::lock_guard<std::mutex> lock(p->latch);
+    if (p->dirty) out.push_back(p->id);
+  });
+  return out;
+}
+
+Status BwTree::FlushPage(PageId id) {
+  LeafPage* leaf = index_.FindPage(id);
+  if (leaf == nullptr) return Status::NotFound("page");
+  std::lock_guard<std::mutex> lock(leaf->latch);
+  if (!leaf->dirty) return Status::OK();
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  // Deferred flushing always writes a consolidated image (group commit of
+  // §3.4 flushes whole dirty pages).
+  const cloud::PagePointer old_base = leaf->base_ptr;
+  FoldChainLocked(leaf);
+  leaf->chain.clear();
+  BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf));
+  if (!old_base.IsNull()) store_->MarkInvalid(old_base);
+  NotifyFlushedLocked(leaf);
+  return Status::OK();
+}
+
+size_t BwTree::FlushDirtyPages(size_t max_pages) {
+  size_t flushed = 0;
+  for (PageId id : DirtyPageIds()) {
+    if (flushed >= max_pages) break;
+    if (FlushPage(id).ok()) ++flushed;
+  }
+  return flushed;
+}
+
+Result<uint64_t> BwTree::Relocate(const cloud::PagePointer& old_ptr,
+                                  const Slice& record_bytes) {
+  Slice in = record_bytes;
+  RecordHeader header;
+  BG3_RETURN_IF_ERROR(DecodeRecordHeader(&in, &header));
+  if (header.tree_id != opts_.tree_id) {
+    return Status::InvalidArgument("record belongs to another tree");
+  }
+  LeafPage* leaf = index_.FindPage(header.page_id);
+  if (leaf == nullptr) {
+    // The page no longer exists; the record is garbage.
+    store_->MarkInvalid(old_ptr);
+    return uint64_t{0};
+  }
+  std::lock_guard<std::mutex> lock(leaf->latch);
+  if (header.kind == RecordKind::kBasePage && leaf->base_ptr == old_ptr) {
+    auto res = store_->Append(opts_.base_stream, record_bytes);
+    BG3_RETURN_IF_ERROR(res.status());
+    leaf->base_ptr = res.value();
+    store_->MarkInvalid(old_ptr);
+    NotifyFlushedLocked(leaf);
+    return static_cast<uint64_t>(record_bytes.size());
+  }
+  if (header.kind == RecordKind::kDelta) {
+    for (auto& d : leaf->chain) {
+      if (d.ptr == old_ptr) {
+        auto res = store_->Append(opts_.delta_stream, record_bytes);
+        BG3_RETURN_IF_ERROR(res.status());
+        d.ptr = res.value();
+        store_->MarkInvalid(old_ptr);
+        NotifyFlushedLocked(leaf);
+        return static_cast<uint64_t>(record_bytes.size());
+      }
+    }
+  }
+  // Stale record (superseded concurrently): nothing to move.
+  store_->MarkInvalid(old_ptr);
+  return uint64_t{0};
+}
+
+size_t BwTree::CountEntries() const {
+  size_t count = 0;
+  // const_cast: ForEachPage only hands out non-const pages; the walk itself
+  // does not mutate tree structure.
+  auto* self = const_cast<BwTree*>(this);
+  self->index_.ForEachPage([&count, self](LeafPage* p) {
+    std::lock_guard<std::mutex> lock(p->latch);
+    std::vector<Entry> view;
+    std::vector<const std::vector<DeltaEntry>*> oldest_first;
+    for (auto it = p->chain.rbegin(); it != p->chain.rend(); ++it) {
+      oldest_first.push_back(&it->entries);
+    }
+    view = ApplyDeltaChain(p->base_entries, oldest_first);
+    count += view.size();
+  });
+  return count;
+}
+
+size_t BwTree::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(*this) + index_.ApproxIndexBytes();
+  index_.ForEachPage([&bytes](LeafPage* p) {
+    std::lock_guard<std::mutex> lock(p->latch);
+    bytes += EntryBytes(p->base_entries);
+    bytes += p->low_key.capacity() + p->high_key.capacity();
+    for (const auto& d : p->chain) {
+      bytes += sizeof(d) + DeltaBytes(d.entries);
+    }
+  });
+  return bytes;
+}
+
+}  // namespace bg3::bwtree

@@ -1,0 +1,243 @@
+#ifndef BG3_BWTREE_BWTREE_H_
+#define BG3_BWTREE_BWTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bwtree/listener.h"
+#include "bwtree/mapping_table.h"
+#include "bwtree/page.h"
+#include "cloud/cloud_store.h"
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace bg3::bwtree {
+
+/// Delta maintenance policy of §3.2.2.
+enum class DeltaMode {
+  /// Classic Bw-tree (the SLED baseline of §4.3.1): every write appends one
+  /// single-entry delta; chains grow to the consolidation threshold.
+  kTraditional,
+  /// BG3's Read Optimized Bw-tree (Algorithm 1): each write merges the
+  /// page's existing delta with the update, so a page carries at most one
+  /// delta and a cache-miss read costs at most two storage reads.
+  kReadOptimized,
+};
+
+/// Durability policy for page images.
+enum class FlushMode {
+  /// Every write flushes its base/delta record before returning (§3.2.2:
+  /// "both the base page and the delta data have to be flushed").
+  kSync,
+  /// Writes only mutate memory and mark pages dirty; a background flusher
+  /// (the RW node of §3.4) persists dirty pages in groups, with the WAL
+  /// carrying durability in between.
+  kDeferred,
+  /// No persistence at all (pure in-memory stress tests).
+  kNone,
+};
+
+/// Read path cache policy.
+enum class ReadCacheMode {
+  /// Serve reads from the in-memory page state (full cache hit).
+  kFull,
+  /// Every read fetches the page's storage images (base + deltas), as in
+  /// the zero-cache read-amplification experiment of Fig. 9.
+  kNone,
+};
+
+struct BwTreeOptions {
+  TreeId tree_id = 0;
+  DeltaMode delta_mode = DeltaMode::kReadOptimized;
+  /// Consolidate a page once its delta count would exceed this (both
+  /// systems in §4.3.1 use 10).
+  uint32_t consolidate_threshold = 10;
+  /// Split a leaf once its merged entry count exceeds this.
+  size_t max_leaf_entries = 256;
+  bool allow_split = true;  ///< Fig. 9/10 restrict splitting for fairness.
+  ReadCacheMode read_cache = ReadCacheMode::kFull;
+  FlushMode flush_mode = FlushMode::kSync;
+  /// Treat reads hitting freed extents as absent data instead of IOError
+  /// (TTL workloads where whole extents expire, §3.3 Observation 2).
+  bool tolerate_missing_extents = false;
+
+  cloud::StreamId base_stream = 0;
+  cloud::StreamId delta_stream = 0;
+
+  /// Shared LSN/page-id allocators (a forest or replicated node passes
+  /// node-global counters); nullptr uses tree-local counters.
+  std::atomic<Lsn>* lsn_source = nullptr;
+  std::atomic<PageId>* page_id_source = nullptr;
+
+  /// Crash recovery: skip creating the initial page (and its OnTreeInit
+  /// notification); the caller installs the recovered layout via
+  /// InstallRecoveredPages before serving any request.
+  bool bootstrap = false;
+
+  TreeListener* listener = nullptr;
+};
+
+/// One leaf of a recovered tree layout (see BwTree::InstallRecoveredPages).
+struct RecoveredPage {
+  PageId id = kInvalidPage;
+  std::string low_key;
+  std::string high_key;
+  bool has_high_key = false;
+  /// Full logical content (storage image + replayed WAL).
+  std::vector<Entry> entries;
+  /// Newest mutation LSN reflected in `entries`.
+  Lsn last_lsn = 0;
+  /// Current storage image, if any (so the first post-recovery flush can
+  /// invalidate it); null when the page was never flushed pre-crash.
+  cloud::PagePointer base_ptr;
+};
+
+/// Write/read activity counters of one tree.
+struct BwTreeStats {
+  LightCounter upserts;
+  LightCounter deletes;
+  LightCounter gets;
+  LightCounter scans;
+  /// Latch acquisitions that found the latch held — the write conflicts the
+  /// Bw-tree forest is designed to reduce (§3.2.1 Observation 1).
+  LightCounter latch_conflicts;
+  LightCounter consolidations;
+  LightCounter splits;
+  /// Base pages reloaded from storage after eviction (cache misses of the
+  /// memory layer).
+  LightCounter page_reloads;
+  LightCounter page_evictions;
+};
+
+/// A single Bw-tree over append-only cloud storage: BG3's unit of graph
+/// adjacency storage (§3.2). Thread-safe; per-leaf latching.
+class BwTree {
+ public:
+  BwTree(cloud::CloudStore* store, const BwTreeOptions& options);
+
+  BwTree(const BwTree&) = delete;
+  BwTree& operator=(const BwTree&) = delete;
+
+  Status Upsert(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+
+  /// Point lookup; NotFound if absent or deleted.
+  Result<std::string> Get(const Slice& key);
+
+  struct ScanOptions {
+    std::string start_key;          ///< inclusive; empty = from the start.
+    std::string end_key;            ///< exclusive; empty = to the end.
+    size_t limit = std::numeric_limits<size_t>::max();
+  };
+  /// Ordered range scan into `out` (appends).
+  Status Scan(const ScanOptions& options, std::vector<Entry>* out);
+
+  // --- deferred-flush support (replication, §3.4) --------------------------
+
+  /// Ids of pages whose memory state is ahead of their storage images.
+  std::vector<PageId> DirtyPageIds() const;
+  /// Consolidates and flushes one page's image; no-op if not dirty.
+  Status FlushPage(PageId id);
+  /// Flushes up to `max_pages` dirty pages (group commit); returns flushed.
+  size_t FlushDirtyPages(size_t max_pages);
+
+  // --- memory-bounded caching -----------------------------------------------
+
+  /// Evicts least-recently-accessed clean leaf pages (drops their in-memory
+  /// base entries; the flushed base image stays authoritative) until at
+  /// most `target_resident` pages remain resident. Dirty pages and pages
+  /// without a flushed image are never evicted. Returns pages evicted.
+  size_t EvictColdPages(size_t target_resident);
+
+  size_t ResidentPageCount() const;
+
+  // --- crash recovery (bootstrap mode) --------------------------------------
+
+  /// Installs a recovered leaf layout into a tree constructed with
+  /// `bootstrap = true`. Pages must tile the key space (first low_key empty,
+  /// contiguous ranges). All pages come up dirty so the next group flush
+  /// republishes fresh images. Call once, before any other operation.
+  Status InstallRecoveredPages(std::vector<RecoveredPage> pages);
+
+  // --- space-reclamation support (GC, §3.3) --------------------------------
+
+  /// Re-installs a still-valid record (self-describing bytes read from a
+  /// victim extent) at a fresh location and invalidates `old_ptr`.
+  /// Returns the number of bytes rewritten (0 if the record was stale).
+  Result<uint64_t> Relocate(const cloud::PagePointer& old_ptr,
+                            const Slice& record_bytes);
+
+  // --- introspection --------------------------------------------------------
+  size_t LeafCount() const { return index_.PageCount(); }
+  /// Total entries across all leaves (walks the tree; O(pages)).
+  size_t CountEntries() const;
+  /// Approximate heap footprint: index structures + page payloads. The
+  /// Fig. 11 space-cost axis sums this across the forest.
+  size_t ApproxMemoryBytes() const;
+
+  BwTreeStats& stats() { return stats_; }
+  const BwTreeOptions& options() const { return opts_; }
+  cloud::CloudStore* store() { return store_; }
+
+ private:
+  friend class BwTreeIterator;
+
+  Lsn NextLsn() {
+    return lsn_source_->fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  PageId NextPageId() {
+    return page_id_source_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Routes to the leaf owning `key`, latches it, and re-validates the key
+  /// range (retrying if the leaf split concurrently). Returns the latched
+  /// leaf; `lock` holds the latch.
+  LeafPage* FindAndLatchLeaf(const Slice& key,
+                             std::unique_lock<std::mutex>* lock);
+
+  Status Write(DeltaEntry entry);
+  Status ApplyTraditionalLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn);
+  Status ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn);
+
+  /// Folds the delta chain into base_entries (memory only).
+  void FoldChainLocked(LeafPage* leaf);
+  /// FoldChainLocked + flush of the new base image (sync mode).
+  Status ConsolidateLocked(LeafPage* leaf);
+  Status MaybeSplitLocked(LeafPage* leaf);
+
+  /// Reloads an evicted page's base entries from its storage image.
+  Status EnsureResidentLocked(LeafPage* leaf);
+
+  Status AppendBaseLocked(LeafPage* leaf);
+  Status AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta, Lsn lsn);
+  void NotifyFlushedLocked(LeafPage* leaf);
+
+  /// Storage-image view of a page for cache-miss reads (Fig. 9 path).
+  Status LoadMergedFromStorageLocked(LeafPage* leaf, std::vector<Entry>* out);
+  /// Merged logical content per the read cache mode.
+  Status MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out);
+  /// Appends merged entries of [start, end) up to `limit` total entries in
+  /// `out`; O(result + chain) on the in-memory path.
+  Status CollectRangeLocked(LeafPage* leaf, const std::string& start,
+                            const std::string& end, size_t limit,
+                            std::vector<Entry>* out);
+
+  cloud::CloudStore* const store_;
+  const BwTreeOptions opts_;
+  PageIndex index_;
+  BwTreeStats stats_;
+
+  std::atomic<uint64_t> access_tick_{0};
+  std::atomic<Lsn> local_lsn_{0};
+  std::atomic<PageId> local_page_id_{0};
+  std::atomic<Lsn>* lsn_source_;
+  std::atomic<PageId>* page_id_source_;
+};
+
+}  // namespace bg3::bwtree
+
+#endif  // BG3_BWTREE_BWTREE_H_

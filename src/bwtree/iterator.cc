@@ -1,0 +1,42 @@
+#include "bwtree/iterator.h"
+
+namespace bg3::bwtree {
+
+BwTreeIterator::BwTreeIterator(BwTree* tree, std::string start_key,
+                               std::string end_key, size_t chunk_size)
+    : tree_(tree),
+      end_key_(std::move(end_key)),
+      chunk_size_(chunk_size),
+      next_start_(std::move(start_key)) {
+  Refill();
+}
+
+void BwTreeIterator::Next() {
+  ++pos_;
+  if (pos_ >= buffer_.size() && !exhausted_) Refill();
+}
+
+void BwTreeIterator::Refill() {
+  buffer_.clear();
+  pos_ = 0;
+  if (exhausted_ || !status_.ok()) return;
+  BwTree::ScanOptions opts;
+  opts.start_key = next_start_;
+  opts.end_key = end_key_;
+  opts.limit = chunk_size_;
+  status_ = tree_->Scan(opts, &buffer_);
+  if (!status_.ok()) {
+    buffer_.clear();
+    return;
+  }
+  if (buffer_.size() < chunk_size_) {
+    exhausted_ = true;
+  } else {
+    // Resume strictly after the last returned key: append a zero byte to
+    // form the smallest key greater than it.
+    next_start_ = buffer_.back().key;
+    next_start_.push_back('\0');
+  }
+}
+
+}  // namespace bg3::bwtree

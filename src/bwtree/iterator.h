@@ -1,0 +1,45 @@
+#ifndef BG3_BWTREE_ITERATOR_H_
+#define BG3_BWTREE_ITERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+
+namespace bg3::bwtree {
+
+/// Streaming cursor over a BwTree range. Fetches entries in chunks so large
+/// adjacency lists (super-vertices) do not need to be materialized at once.
+/// Snapshot semantics are per-chunk: each refill observes the current tree
+/// state, like a read-committed scan.
+class BwTreeIterator {
+ public:
+  /// Iterates [start_key, end_key) (empty end = unbounded).
+  BwTreeIterator(BwTree* tree, std::string start_key, std::string end_key,
+                 size_t chunk_size = 128);
+
+  bool Valid() const { return pos_ < buffer_.size(); }
+  const std::string& key() const { return buffer_[pos_].key; }
+  const std::string& value() const { return buffer_[pos_].value; }
+
+  void Next();
+
+  /// Non-OK if a chunk refill failed (storage error).
+  const Status& status() const { return status_; }
+
+ private:
+  void Refill();
+
+  BwTree* const tree_;
+  const std::string end_key_;
+  const size_t chunk_size_;
+  std::vector<Entry> buffer_;
+  size_t pos_ = 0;
+  std::string next_start_;
+  bool exhausted_ = false;
+  Status status_;
+};
+
+}  // namespace bg3::bwtree
+
+#endif  // BG3_BWTREE_ITERATOR_H_

@@ -1,0 +1,77 @@
+#include "bwtree/mapping_table.h"
+
+#include "common/logging.h"
+
+namespace bg3::bwtree {
+
+LeafPage* PageIndex::InsertPage(std::unique_ptr<LeafPage> page) {
+  std::unique_lock lock(mu_);
+  LeafPage* raw = page.get();
+  auto [it, inserted] = pages_.emplace(page->id, std::move(page));
+  BG3_CHECK(inserted) << "duplicate page id " << raw->id;
+  return raw;
+}
+
+void PageIndex::InsertRoute(const std::string& low_key, PageId page) {
+  std::unique_lock lock(mu_);
+  route_[low_key] = page;
+}
+
+LeafPage* PageIndex::FindLeaf(const Slice& key) const {
+  std::shared_lock lock(mu_);
+  if (route_.empty()) return nullptr;
+  auto it = route_.upper_bound(key.ToString());
+  BG3_CHECK(it != route_.begin()) << "route table must start at empty key";
+  --it;
+  auto pit = pages_.find(it->second);
+  BG3_CHECK(pit != pages_.end());
+  return pit->second.get();
+}
+
+LeafPage* PageIndex::FindPage(PageId id) const {
+  std::shared_lock lock(mu_);
+  auto it = pages_.find(id);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+LeafPage* PageIndex::NextLeaf(const LeafPage& page) const {
+  std::shared_lock lock(mu_);
+  auto it = route_.upper_bound(page.low_key);
+  if (it == route_.end()) return nullptr;
+  auto pit = pages_.find(it->second);
+  BG3_CHECK(pit != pages_.end());
+  return pit->second.get();
+}
+
+size_t PageIndex::PageCount() const {
+  std::shared_lock lock(mu_);
+  return pages_.size();
+}
+
+void PageIndex::ForEachPage(const std::function<void(LeafPage*)>& fn) const {
+  // Collect ids under the shared lock, visit without it so `fn` may latch.
+  std::vector<PageId> ids;
+  {
+    std::shared_lock lock(mu_);
+    ids.reserve(route_.size());
+    for (const auto& [key, id] : route_) ids.push_back(id);
+  }
+  for (PageId id : ids) {
+    if (LeafPage* p = FindPage(id)) fn(p);
+  }
+}
+
+size_t PageIndex::ApproxIndexBytes() const {
+  std::shared_lock lock(mu_);
+  size_t bytes = sizeof(*this);
+  // std::map node: ~3 pointers + color + payload; hash map: bucket pointer +
+  // node. These constants approximate libstdc++ layouts.
+  for (const auto& [key, id] : route_) {
+    bytes += 48 + key.capacity() + sizeof(PageId);
+  }
+  bytes += pages_.bucket_count() * sizeof(void*);
+  bytes += pages_.size() * (32 + sizeof(LeafPage));
+  return bytes;
+}
+
+}  // namespace bg3::bwtree

@@ -1,0 +1,112 @@
+#ifndef BG3_BWTREE_MAPPING_TABLE_H_
+#define BG3_BWTREE_MAPPING_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bwtree/page.h"
+#include "cloud/types.h"
+
+namespace bg3::bwtree {
+
+/// In-memory state of one Bw-tree leaf ("Edge Node"). The base entries plus
+/// the delta chain are the authoritative content on the writer node; the
+/// PagePointers record where the current storage images live.
+///
+/// Guarded by `latch` — the "classic lightweight locking mechanism [20]"
+/// the paper uses to serialize concurrent modifications of one page. The
+/// latch is the unit of write contention measured in Fig. 11.
+struct LeafPage {
+  explicit LeafPage(PageId id_in) : id(id_in) {}
+
+  std::mutex latch;
+  const PageId id;
+  std::string low_key;   ///< inclusive lower bound of this leaf's key range.
+  std::string high_key;  ///< exclusive upper bound; empty = +infinity.
+  bool has_high_key = false;
+
+  /// Sorted base entries as of the last consolidation.
+  std::vector<Entry> base_entries;
+  /// Storage location of the base image (null before first flush).
+  cloud::PagePointer base_ptr;
+
+  /// One element of the delta chain; `ptr` is its storage image location
+  /// (null in deferred-flush mode where durability comes from the WAL).
+  /// `update_count` is Algorithm 1's delta.count: the number of updates
+  /// folded into this delta (not its unique-key cardinality) — the
+  /// consolidation trigger compares against it.
+  struct Delta {
+    std::vector<DeltaEntry> entries;
+    cloud::PagePointer ptr;
+    uint32_t update_count = 1;
+  };
+  /// Newest first. Read-optimized mode maintains size() <= 1 (§3.2.2).
+  std::vector<Delta> chain;
+
+  Lsn last_lsn = 0;     ///< LSN of the newest mutation applied in memory.
+  Lsn flushed_lsn = 0;  ///< LSN covered by the storage images.
+  bool dirty = false;   ///< deferred mode: memory ahead of storage images.
+
+  /// False when base_entries were dropped under memory pressure; the base
+  /// image at base_ptr is then the authoritative copy and gets reloaded on
+  /// the next access (the BGS layer is a cache, not the store, §2.1).
+  bool resident = true;
+  /// Tree-local access tick for LRU eviction.
+  uint64_t last_access_tick = 0;
+};
+
+/// Page directory of one tree: the mapping table (page id -> page) plus the
+/// route table (leaf low key -> page id) standing in for the Root/Meta
+/// levels of the paper's edge tree. Lookups take a shared lock; only
+/// structure modifications (splits) take the exclusive lock.
+///
+/// Lock ordering: callers must NOT hold any leaf latch while calling
+/// methods that take the exclusive lock, except InsertRoute which is
+/// explicitly designed to be called while latching the splitting leaf (no
+/// reader ever waits on a leaf latch while holding the index lock).
+class PageIndex {
+ public:
+  PageIndex() = default;
+  PageIndex(const PageIndex&) = delete;
+  PageIndex& operator=(const PageIndex&) = delete;
+
+  /// Registers a new page (takes ownership).
+  LeafPage* InsertPage(std::unique_ptr<LeafPage> page);
+
+  /// Adds a route entry low_key -> page (split completion).
+  void InsertRoute(const std::string& low_key, PageId page);
+
+  /// Page responsible for `key` per the route table, or nullptr if the tree
+  /// has no pages yet. The caller must re-validate the key range after
+  /// latching (the page may have split in between).
+  LeafPage* FindLeaf(const Slice& key) const;
+
+  LeafPage* FindPage(PageId id) const;
+
+  /// Leaf following `page` in key order (nullptr if last).
+  LeafPage* NextLeaf(const LeafPage& page) const;
+
+  size_t PageCount() const;
+
+  /// Applies `fn` to every page, in key order, without holding any latch.
+  void ForEachPage(const std::function<void(LeafPage*)>& fn) const;
+
+  /// Approximate heap footprint of the directory structures themselves
+  /// (route map nodes + hash buckets), excluding page payloads.
+  size_t ApproxIndexBytes() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, PageId> route_;
+  std::unordered_map<PageId, std::unique_ptr<LeafPage>> pages_;
+};
+
+}  // namespace bg3::bwtree
+
+#endif  // BG3_BWTREE_MAPPING_TABLE_H_

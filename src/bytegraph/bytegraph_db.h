@@ -1,0 +1,120 @@
+#ifndef BG3_BYTEGRAPH_BYTEGRAPH_DB_H_
+#define BG3_BYTEGRAPH_BYTEGRAPH_DB_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "graph/engine.h"
+#include "lsm/lsm_db.h"
+
+namespace bg3::bytegraph {
+
+struct ByteGraphOptions {
+  lsm::LsmOptions lsm;
+  size_t lsm_shards = 8;
+  /// Edges per edge-tree node ("each adjacency list ... split into multiple
+  /// pages and indexed through a B-tree like edge tree structure", §2.2).
+  size_t max_node_edges = 128;
+  /// BGS-style memory cache over edge-tree KV pairs, in bytes. Misses pay
+  /// the elongated path: edge-tree index -> LSM index -> storage (§2.4).
+  size_t cache_bytes = 8u << 20;
+  size_t lock_stripes = 256;
+};
+
+struct ByteGraphStats {
+  Counter cache_hits;
+  Counter cache_misses;
+  Counter node_splits;
+};
+
+/// Reproduction of the previous-generation ByteGraph engine (§2): a B-tree
+/// like edge tree whose Root/Meta/Edge nodes are each stored as one KV pair
+/// in a distributed LSM-based KV store, fronted by an in-memory cache
+/// (the BGS layer). Used as the primary comparison system in Fig. 8 and the
+/// storage-cost analysis of §4.2.
+class ByteGraphDB : public graph::GraphEngine {
+ public:
+  ByteGraphDB(cloud::CloudStore* store, const ByteGraphOptions& options);
+
+  std::string name() const override { return "ByteGraph"; }
+
+  Status AddVertex(graph::VertexId id, const Slice& properties) override;
+  Result<std::string> GetVertex(graph::VertexId id) override;
+  Status DeleteVertex(graph::VertexId id, graph::EdgeType type) override;
+
+  Status AddEdge(graph::VertexId src, graph::EdgeType type,
+                 graph::VertexId dst, const Slice& properties,
+                 graph::TimestampUs created_us) override;
+  Status DeleteEdge(graph::VertexId src, graph::EdgeType type,
+                    graph::VertexId dst) override;
+  Result<std::string> GetEdge(graph::VertexId src, graph::EdgeType type,
+                              graph::VertexId dst) override;
+
+  Status GetNeighbors(graph::VertexId src, graph::EdgeType type, size_t limit,
+                      std::vector<graph::Neighbor>* out) override;
+
+  Status Flush() { return lsm_->Flush(); }
+
+  uint64_t StorageDataBytes() const { return lsm_->TotalDataBytes(); }
+  ByteGraphStats& stats() { return stats_; }
+  lsm::ShardedLsm* lsm() { return lsm_.get(); }
+
+ private:
+  // --- edge-tree node codecs ----------------------------------------------
+  struct EdgeRec {
+    graph::VertexId dst;
+    graph::TimestampUs created_us;
+    std::string properties;
+  };
+  struct MetaEntry {
+    graph::VertexId first_dst;  ///< smallest dst stored in the node.
+    uint32_t node_seq;
+  };
+  struct Meta {
+    std::vector<MetaEntry> entries;  ///< sorted by first_dst.
+    uint32_t next_seq = 0;
+  };
+
+  static std::string EncodeMeta(const Meta& meta);
+  static Status DecodeMeta(const Slice& data, Meta* out);
+  static std::string EncodeNode(const std::vector<EdgeRec>& edges);
+  static Status DecodeNode(const Slice& data, std::vector<EdgeRec>* out);
+
+  static std::string MetaKey(graph::VertexId src, graph::EdgeType type);
+  static std::string NodeKey(graph::VertexId src, graph::EdgeType type,
+                             uint32_t seq);
+  static std::string VertexKey(graph::VertexId id);
+
+  /// Cache-through KV read: BGS cache, then the LSM path.
+  Result<std::string> CachedGet(const std::string& key);
+  /// Write-through: updates the cache and the LSM.
+  Status CachedPut(const std::string& key, const std::string& value);
+  void CacheErase(const std::string& key);
+
+  std::mutex& StripeFor(graph::VertexId src, graph::EdgeType type);
+
+  const ByteGraphOptions opts_;
+  std::unique_ptr<lsm::ShardedLsm> lsm_;
+
+  // BGS cache: LRU over serialized tree nodes.
+  std::mutex cache_mu_;
+  std::list<std::string> lru_;  // most recent at front; values are keys
+  struct CacheEntry {
+    std::string value;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, CacheEntry> cache_;
+  size_t cache_used_ = 0;
+
+  std::vector<std::unique_ptr<std::mutex>> stripes_;
+  ByteGraphStats stats_;
+};
+
+}  // namespace bg3::bytegraph
+
+#endif  // BG3_BYTEGRAPH_BYTEGRAPH_DB_H_

@@ -1,0 +1,198 @@
+#include "cloud/cloud_store.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bg3::cloud {
+
+void IoStats::Reset() {
+  append_ops.Reset();
+  append_bytes.Reset();
+  read_ops.Reset();
+  read_bytes.Reset();
+  gc_moved_bytes.Reset();
+  extents_freed.Reset();
+  manifest_updates.Reset();
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "appends=" << append_ops.Get() << " (" << append_bytes.Get()
+     << " B) reads=" << read_ops.Get() << " (" << read_bytes.Get()
+     << " B) gc_moved=" << gc_moved_bytes.Get()
+     << " B extents_freed=" << extents_freed.Get()
+     << " manifest_updates=" << manifest_updates.Get();
+  return os.str();
+}
+
+CloudStore::CloudStore(const CloudStoreOptions& opts)
+    : opts_(opts), latency_model_(opts.latency) {}
+
+StreamId CloudStore::CreateStream(const std::string& name) {
+  std::unique_lock lock(topology_mu_);
+  auto it = stream_names_.find(name);
+  if (it != stream_names_.end()) return it->second;
+  const StreamId id = static_cast<StreamId>(streams_.size());
+  streams_.push_back(std::make_unique<Stream>(id, name, opts_.extent_capacity,
+                                              &next_extent_id_));
+  stream_names_.emplace(name, id);
+  return id;
+}
+
+Stream* CloudStore::GetStream(StreamId id) const {
+  std::shared_lock lock(topology_mu_);
+  return id < streams_.size() ? streams_[id].get() : nullptr;
+}
+
+Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
+                                       uint64_t* latency_us) {
+  Stream* s = GetStream(stream);
+  if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  const PagePointer ptr = s->Append(record);
+  stats_.append_ops.Inc();
+  stats_.append_bytes.Add(record.size());
+  if (observer_ != nullptr) observer_->OnAppend(ptr);
+  if (latency_us != nullptr) {
+    *latency_us = latency_model_.AppendLatencyUs(record.size());
+  }
+  return ptr;
+}
+
+Result<std::string> CloudStore::Read(const PagePointer& ptr,
+                                     uint64_t* latency_us) {
+  Stream* s = GetStream(ptr.stream_id);
+  if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  std::string out;
+  BG3_RETURN_IF_ERROR(s->Read(ptr, &out));
+  stats_.read_ops.Inc();
+  stats_.read_bytes.Add(out.size());
+  if (latency_us != nullptr) {
+    *latency_us = latency_model_.ReadLatencyUs(out.size());
+  }
+  return out;
+}
+
+void CloudStore::MarkInvalid(const PagePointer& ptr) {
+  Stream* s = GetStream(ptr.stream_id);
+  if (s != nullptr) {
+    s->MarkInvalid(ptr);
+    if (observer_ != nullptr) observer_->OnInvalidate(ptr);
+  }
+}
+
+Status CloudStore::FreeExtent(StreamId stream, ExtentId extent) {
+  Stream* s = GetStream(stream);
+  if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  BG3_RETURN_IF_ERROR(s->FreeExtent(extent));
+  stats_.extents_freed.Inc();
+  if (observer_ != nullptr) observer_->OnExtentFreed(stream, extent);
+  return Status::OK();
+}
+
+std::vector<ExtentStats> CloudStore::SealedExtentStats(StreamId stream) const {
+  const Stream* s = GetStream(stream);
+  if (s == nullptr) return {};
+  return s->SealedExtentStats();
+}
+
+Result<std::vector<std::pair<PagePointer, std::string>>>
+CloudStore::ReadValidRecords(StreamId stream, ExtentId extent) {
+  Stream* s = GetStream(stream);
+  if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  auto result = s->ReadValidRecords(extent);
+  if (result.ok()) {
+    for (const auto& [ptr, data] : result.value()) {
+      stats_.read_ops.Inc();
+      stats_.read_bytes.Add(data.size());
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<PagePointer, std::string>> CloudStore::TailRecords(
+    StreamId stream, const PagePointer& cursor, size_t max_records) {
+  Stream* s = GetStream(stream);
+  if (s == nullptr) return {};
+  auto out = s->TailRecords(cursor, max_records);
+  for (const auto& [ptr, data] : out) {
+    stats_.read_ops.Inc();
+    stats_.read_bytes.Add(data.size());
+  }
+  return out;
+}
+
+bool CloudStore::CorruptRecordForTesting(const PagePointer& ptr,
+                                         uint32_t byte_index) {
+  Stream* s = GetStream(ptr.stream_id);
+  return s != nullptr && s->CorruptRecordForTesting(ptr, byte_index);
+}
+
+uint64_t CloudStore::ManifestPut(const std::string& key, const Slice& value) {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  const uint64_t version = ++manifest_version_;
+  manifest_[key] = {value.ToString(), version};
+  stats_.manifest_updates.Inc();
+  return version;
+}
+
+Result<std::string> CloudStore::ManifestGet(const std::string& key,
+                                            uint64_t* version) const {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  auto it = manifest_.find(key);
+  if (it == manifest_.end()) return Status::NotFound("manifest key " + key);
+  if (version != nullptr) *version = it->second.second;
+  return it->second.first;
+}
+
+std::vector<std::pair<std::string, std::string>> CloudStore::ManifestList(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = manifest_.lower_bound(prefix); it != manifest_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second.first);
+  }
+  return out;
+}
+
+size_t CloudStore::TruncateStreamBefore(StreamId stream, ExtentId before) {
+  Stream* s = GetStream(stream);
+  if (s == nullptr) return 0;
+  size_t freed = 0;
+  for (const ExtentStats& stats : s->SealedExtentStats()) {
+    if (stats.id >= before) continue;
+    if (s->FreeExtent(stats.id).ok()) {
+      stats_.extents_freed.Inc();
+      if (observer_ != nullptr) observer_->OnExtentFreed(stream, stats.id);
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+uint64_t CloudStore::TotalBytes() const {
+  std::shared_lock lock(topology_mu_);
+  uint64_t sum = 0;
+  for (const auto& s : streams_) sum += s->total_bytes();
+  return sum;
+}
+
+uint64_t CloudStore::LiveBytes() const {
+  std::shared_lock lock(topology_mu_);
+  uint64_t sum = 0;
+  for (const auto& s : streams_) sum += s->live_bytes();
+  return sum;
+}
+
+uint64_t CloudStore::TotalBytes(StreamId stream) const {
+  const Stream* s = GetStream(stream);
+  return s == nullptr ? 0 : s->total_bytes();
+}
+
+uint64_t CloudStore::LiveBytes(StreamId stream) const {
+  const Stream* s = GetStream(stream);
+  return s == nullptr ? 0 : s->live_bytes();
+}
+
+}  // namespace bg3::cloud

@@ -1,0 +1,157 @@
+#ifndef BG3_CLOUD_CLOUD_STORE_H_
+#define BG3_CLOUD_CLOUD_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/latency_model.h"
+#include "cloud/stream.h"
+#include "cloud/types.h"
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace bg3::cloud {
+
+/// Aggregate I/O accounting. Read/write amplification figures (Figs. 9/10,
+/// Table 2, storage-cost saving) are all computed from these counters.
+struct IoStats {
+  Counter append_ops;
+  Counter append_bytes;
+  Counter read_ops;
+  Counter read_bytes;
+  Counter gc_moved_bytes;    ///< bytes rewritten by space reclamation.
+  Counter extents_freed;
+  Counter manifest_updates;
+
+  void Reset();
+  std::string ToString() const;
+};
+
+struct CloudStoreOptions {
+  size_t extent_capacity = 1 << 20;  ///< 1 MiB, ArkDB-style uniform extents.
+  LatencyModelOptions latency;
+};
+
+/// Event hook consumed by the GC usage tracker (§3.3 "Extent Usage
+/// Tracking"): it needs to timestamp appends and invalidations per extent to
+/// maintain TTL deadlines and update gradients.
+class StoreObserver {
+ public:
+  virtual ~StoreObserver() = default;
+  virtual void OnAppend(const PagePointer& ptr) {}
+  virtual void OnInvalidate(const PagePointer& ptr) {}
+  virtual void OnExtentFreed(StreamId stream, ExtentId extent) {}
+};
+
+/// Simulated shared append-only cloud storage (stand-in for ByteDance's
+/// internal service; similar role to Pangu / Tectonic / Azure Storage,
+/// §4.1). One process-wide instance is shared by the RW node and all RO
+/// nodes, which is exactly the property the paper's synchronization design
+/// builds on: once the RW node appends, every RO node can read the bytes.
+///
+/// Thread safety: stream topology is guarded by a shared_mutex (streams are
+/// only ever added); record appends/reads take a per-stream mutex, so
+/// traffic to different streams never contends — mirroring independent
+/// storage partitions of the real service.
+class CloudStore {
+ public:
+  explicit CloudStore(const CloudStoreOptions& opts = {});
+
+  CloudStore(const CloudStore&) = delete;
+  CloudStore& operator=(const CloudStore&) = delete;
+
+  /// Creates (or returns the existing) stream with this name.
+  StreamId CreateStream(const std::string& name);
+
+  /// Appends one record; returns its permanent location and, optionally,
+  /// the simulated latency of the operation in `latency_us`.
+  Result<PagePointer> Append(StreamId stream, const Slice& record,
+                             uint64_t* latency_us = nullptr);
+
+  Result<std::string> Read(const PagePointer& ptr,
+                           uint64_t* latency_us = nullptr);
+
+  /// Out-of-place update bookkeeping: the record at `ptr` no longer holds
+  /// live data.
+  void MarkInvalid(const PagePointer& ptr);
+
+  Status FreeExtent(StreamId stream, ExtentId extent);
+
+  std::vector<ExtentStats> SealedExtentStats(StreamId stream) const;
+
+  /// Re-reads all valid records of an extent (GC relocation input); counted
+  /// against read stats like any other I/O.
+  Result<std::vector<std::pair<PagePointer, std::string>>> ReadValidRecords(
+      StreamId stream, ExtentId extent);
+
+  /// Log tailing (WAL readers): records appended strictly after `cursor`
+  /// in append order; a default-constructed cursor reads from the start.
+  std::vector<std::pair<PagePointer, std::string>> TailRecords(
+      StreamId stream, const PagePointer& cursor, size_t max_records);
+
+  // --- strongly consistent manifest ---------------------------------------
+  // Small KV area modelling the shared mapping-table region of §3.4: the RW
+  // node atomically publishes new page-table versions here (step (8) in
+  // Fig. 7) and RO nodes read them. Each Put returns a monotonically
+  // increasing version.
+  uint64_t ManifestPut(const std::string& key, const Slice& value);
+  /// Returns NotFound if the key was never written.
+  Result<std::string> ManifestGet(const std::string& key,
+                                  uint64_t* version = nullptr) const;
+
+  /// All manifest entries whose key starts with `prefix`, key order
+  /// (readers bootstrapping the page-table layout).
+  std::vector<std::pair<std::string, std::string>> ManifestList(
+      const std::string& prefix) const;
+
+  /// Frees every *sealed* extent of `stream` with id < `before` (WAL-prefix
+  /// truncation once all readers have consumed past it). Returns the number
+  /// of extents freed.
+  size_t TruncateStreamBefore(StreamId stream, ExtentId before);
+
+  // --- space accounting ----------------------------------------------------
+  uint64_t TotalBytes() const;
+  uint64_t LiveBytes() const;
+  uint64_t TotalBytes(StreamId stream) const;
+  uint64_t LiveBytes(StreamId stream) const;
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+  LatencyModel& latency_model() { return latency_model_; }
+  const CloudStoreOptions& options() const { return opts_; }
+
+  /// At most one observer; must outlive the store or be reset to nullptr.
+  /// Set before concurrent use (not synchronized against in-flight ops).
+  void SetObserver(StoreObserver* observer) { observer_ = observer; }
+
+  /// Failure injection: flips a byte of the record at `ptr` so subsequent
+  /// reads fail their CRC-32C check with Status::Corruption.
+  bool CorruptRecordForTesting(const PagePointer& ptr, uint32_t byte_index);
+
+ private:
+  Stream* GetStream(StreamId id) const;
+
+  const CloudStoreOptions opts_;
+  LatencyModel latency_model_;
+  IoStats stats_;
+  StoreObserver* observer_ = nullptr;
+
+  mutable std::shared_mutex topology_mu_;
+  std::atomic<ExtentId> next_extent_id_{0};
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::map<std::string, StreamId> stream_names_;
+
+  mutable std::mutex manifest_mu_;
+  uint64_t manifest_version_ = 0;
+  std::map<std::string, std::pair<std::string, uint64_t>> manifest_;
+};
+
+}  // namespace bg3::cloud
+
+#endif  // BG3_CLOUD_CLOUD_STORE_H_

@@ -1,0 +1,107 @@
+#include "cloud/extent.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace bg3::cloud {
+
+Extent::Extent(ExtentId id, size_t capacity) : id_(id), capacity_(capacity) {
+  data_.reserve(capacity);
+}
+
+uint32_t Extent::Append(const Slice& record) {
+  BG3_CHECK(!sealed_ && !freed_);
+  BG3_CHECK(HasRoom(record.size()));
+  const uint32_t offset = static_cast<uint32_t>(data_.size());
+  data_.append(record.data(), record.size());
+  records_.push_back({offset, static_cast<uint32_t>(record.size()),
+                      Crc32c(record.data(), record.size()), true});
+  ++total_records_;
+  return offset;
+}
+
+Status Extent::Read(uint32_t offset, uint32_t length, std::string* out) const {
+  if (freed_) {
+    return Status::IOError("read from freed extent " + std::to_string(id_));
+  }
+  if (static_cast<size_t>(offset) + length > data_.size()) {
+    return Status::InvalidArgument("read past extent tail");
+  }
+  // Whole-record reads verify the stored checksum; partial-range reads (not
+  // used by any current caller) skip it.
+  const int idx = FindRecord(offset);
+  if (idx >= 0 && records_[idx].length == length &&
+      Crc32c(data_.data() + offset, length) != records_[idx].crc) {
+    return Status::Corruption("record checksum mismatch in extent " +
+                              std::to_string(id_));
+  }
+  out->assign(data_.data() + offset, length);
+  return Status::OK();
+}
+
+bool Extent::CorruptRecordForTesting(uint32_t offset, uint32_t byte_index) {
+  const int idx = FindRecord(offset);
+  if (freed_ || idx < 0 || byte_index >= records_[idx].length) return false;
+  data_[offset + byte_index] ^= 0x5A;
+  return true;
+}
+
+void Extent::Free() {
+  freed_ = true;
+  data_.clear();
+  data_.shrink_to_fit();
+  records_.clear();
+  records_.shrink_to_fit();
+}
+
+int Extent::FindRecord(uint32_t offset) const {
+  auto it = std::lower_bound(
+      records_.begin(), records_.end(), offset,
+      [](const RecordMeta& m, uint32_t off) { return m.offset < off; });
+  if (it == records_.end() || it->offset != offset) return -1;
+  return static_cast<int>(it - records_.begin());
+}
+
+uint32_t Extent::MarkInvalid(uint32_t offset) {
+  if (freed_) return 0;
+  const int idx = FindRecord(offset);
+  if (idx < 0 || !records_[idx].valid) return 0;
+  records_[idx].valid = false;
+  ++invalid_records_;
+  dead_bytes_ += records_[idx].length;
+  return records_[idx].length;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Extent::AllRecords() const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(records_.size());
+  for (const RecordMeta& m : records_) out.emplace_back(m.offset, m.length);
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Extent::RecordsAfter(
+    int64_t after_offset, size_t max_records) const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  auto it = std::upper_bound(
+      records_.begin(), records_.end(), after_offset,
+      [](int64_t off, const RecordMeta& m) {
+        return off < static_cast<int64_t>(m.offset);
+      });
+  for (; it != records_.end() && out.size() < max_records; ++it) {
+    out.emplace_back(it->offset, it->length);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Extent::ValidRecords() const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(valid_records());
+  for (const RecordMeta& m : records_) {
+    if (m.valid) out.emplace_back(m.offset, m.length);
+  }
+  return out;
+}
+
+}  // namespace bg3::cloud

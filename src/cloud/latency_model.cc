@@ -1,0 +1,28 @@
+#include "cloud/latency_model.h"
+
+#include <algorithm>
+
+namespace bg3::cloud {
+
+uint64_t LatencyModel::Queued(uint64_t service_us) const {
+  const double rho = rho_.load(std::memory_order_relaxed);
+  return static_cast<uint64_t>(static_cast<double>(service_us) / (1.0 - rho));
+}
+
+uint64_t LatencyModel::AppendLatencyUs(size_t bytes) const {
+  const uint64_t transfer_us =
+      static_cast<uint64_t>(bytes) / opts_.bandwidth_mb_per_s;  // B/(MB/s)=us
+  return Queued(opts_.append_base_us + transfer_us);
+}
+
+uint64_t LatencyModel::ReadLatencyUs(size_t bytes) const {
+  const uint64_t transfer_us =
+      static_cast<uint64_t>(bytes) / opts_.bandwidth_mb_per_s;
+  return Queued(opts_.read_base_us + transfer_us);
+}
+
+void LatencyModel::SetOfferedUtilization(double rho) {
+  rho_.store(std::clamp(rho, 0.0, 0.99), std::memory_order_relaxed);
+}
+
+}  // namespace bg3::cloud

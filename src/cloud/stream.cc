@@ -1,0 +1,172 @@
+#include "cloud/stream.h"
+
+#include "common/logging.h"
+
+namespace bg3::cloud {
+
+Stream::Stream(StreamId id, std::string name, size_t extent_capacity,
+               std::atomic<ExtentId>* extent_id_allocator)
+    : id_(id),
+      name_(std::move(name)),
+      extent_capacity_(extent_capacity),
+      extent_id_allocator_(extent_id_allocator) {
+  OpenNewExtent(extent_capacity_);
+}
+
+void Stream::OpenNewExtent(size_t capacity) {
+  const ExtentId eid =
+      extent_id_allocator_->fetch_add(1, std::memory_order_relaxed);
+  auto extent = std::make_unique<Extent>(eid, capacity);
+  active_ = extent.get();
+  extents_.emplace(eid, std::move(extent));
+}
+
+PagePointer Stream::Append(const Slice& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record.size() > extent_capacity_) {
+    // Oversized record: seal the current extent and give the record its own.
+    active_->Seal();
+    OpenNewExtent(record.size());
+  } else if (!active_->HasRoom(record.size())) {
+    active_->Seal();
+    OpenNewExtent(extent_capacity_);
+  }
+  const uint32_t offset = active_->Append(record);
+  total_bytes_ += record.size();
+  return PagePointer{id_, active_->id(), offset,
+                     static_cast<uint32_t>(record.size())};
+}
+
+Status Stream::Read(const PagePointer& ptr, std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Extent* e = FindExtentLocked(ptr.extent_id);
+  if (e == nullptr) {
+    return Status::NotFound("extent " + std::to_string(ptr.extent_id));
+  }
+  return e->Read(ptr.offset, ptr.length, out);
+}
+
+uint32_t Stream::MarkInvalid(const PagePointer& ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Extent* e = FindExtentLocked(ptr.extent_id);
+  if (e == nullptr) return 0;
+  const uint32_t len = e->MarkInvalid(ptr.offset);
+  dead_bytes_ += len;
+  return len;
+}
+
+bool Stream::CorruptRecordForTesting(const PagePointer& ptr,
+                                     uint32_t byte_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Extent* e = FindExtentLocked(ptr.extent_id);
+  return e != nullptr && e->CorruptRecordForTesting(ptr.offset, byte_index);
+}
+
+Status Stream::FreeExtent(ExtentId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = extents_.find(id);
+  if (it == extents_.end()) {
+    return Status::NotFound("extent " + std::to_string(id));
+  }
+  Extent* e = it->second.get();
+  BG3_CHECK(e != active_) << "cannot free the active extent";
+  total_bytes_ -= e->used_bytes();
+  dead_bytes_ -= e->dead_bytes();
+  extents_.erase(it);
+  return Status::OK();
+}
+
+std::vector<ExtentStats> Stream::SealedExtentStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExtentStats> out;
+  out.reserve(extents_.size());
+  for (const auto& [eid, e] : extents_) {
+    if (!e->sealed() || e->freed()) continue;
+    ExtentStats s;
+    s.id = eid;
+    s.sealed = true;
+    s.total_records = e->total_records();
+    s.invalid_records = e->invalid_records();
+    s.used_bytes = e->used_bytes();
+    s.dead_bytes = e->dead_bytes();
+    out.push_back(s);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<PagePointer, std::string>>>
+Stream::ReadValidRecords(ExtentId extent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Extent* e = FindExtentLocked(extent);
+  if (e == nullptr) return Status::NotFound("extent");
+  std::vector<std::pair<PagePointer, std::string>> out;
+  for (const auto& [offset, length] : e->ValidRecords()) {
+    std::string data;
+    BG3_RETURN_IF_ERROR(e->Read(offset, length, &data));
+    out.emplace_back(PagePointer{id_, extent, offset, length},
+                     std::move(data));
+  }
+  return out;
+}
+
+std::vector<std::pair<PagePointer, std::string>> Stream::TailRecords(
+    const PagePointer& cursor, size_t max_records) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<PagePointer, std::string>> out;
+  const bool from_start = cursor.IsNull();
+  auto it = extents_.begin();
+  if (!from_start) {
+    it = extents_.find(cursor.extent_id);
+    if (it == extents_.end()) {
+      // Cursor extent gone (truncated): resume at the next extent.
+      it = extents_.upper_bound(cursor.extent_id);
+    }
+  }
+  for (; it != extents_.end() && out.size() < max_records; ++it) {
+    const Extent* e = it->second.get();
+    if (e->freed()) continue;
+    const int64_t after = (!from_start && e->id() == cursor.extent_id)
+                              ? static_cast<int64_t>(cursor.offset)
+                              : -1;
+    for (const auto& [offset, length] :
+         e->RecordsAfter(after, max_records - out.size())) {
+      std::string data;
+      if (!e->Read(offset, length, &data).ok()) continue;
+      out.emplace_back(PagePointer{id_, e->id(), offset, length},
+                       std::move(data));
+    }
+  }
+  return out;
+}
+
+uint64_t Stream::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+uint64_t Stream::dead_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_bytes_;
+}
+
+uint64_t Stream::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_ - dead_bytes_;
+}
+
+size_t Stream::extent_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return extents_.size();
+}
+
+Extent* Stream::FindExtentLocked(ExtentId id) {
+  auto it = extents_.find(id);
+  return it == extents_.end() ? nullptr : it->second.get();
+}
+
+const Extent* Stream::FindExtentLocked(ExtentId id) const {
+  auto it = extents_.find(id);
+  return it == extents_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace bg3::cloud

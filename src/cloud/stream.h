@@ -1,0 +1,108 @@
+#ifndef BG3_CLOUD_STREAM_H_
+#define BG3_CLOUD_STREAM_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/extent.h"
+#include "cloud/types.h"
+#include "common/result.h"
+
+namespace bg3::cloud {
+
+/// Snapshot of one extent's reclamation-relevant state, returned to GC
+/// policies. Timestamps are maintained by the gc module, not here.
+struct ExtentStats {
+  ExtentId id = kInvalidExtent;
+  bool sealed = false;
+  uint32_t total_records = 0;
+  uint32_t invalid_records = 0;
+  uint64_t used_bytes = 0;
+  uint64_t dead_bytes = 0;
+
+  double FragmentationRate() const {
+    return total_records == 0
+               ? 0.0
+               : static_cast<double>(invalid_records) / total_records;
+  }
+};
+
+/// An ordered, append-only sequence of extents. BG3 keeps separate streams
+/// for base pages, delta pages and the WAL (§3.3, following ArkDB) so each
+/// can be reclaimed on its own schedule.
+class Stream {
+ public:
+  Stream(StreamId id, std::string name, size_t extent_capacity,
+         std::atomic<ExtentId>* extent_id_allocator);
+
+  /// All public methods are individually thread-safe (one mutex per stream,
+  /// so appends to different streams never contend).
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  StreamId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Appends one record, sealing the active extent and opening a new one if
+  /// needed. A record larger than the extent capacity gets a dedicated
+  /// oversized extent.
+  PagePointer Append(const Slice& record);
+
+  Status Read(const PagePointer& ptr, std::string* out) const;
+
+  /// See Extent::MarkInvalid; returns the invalidated length (0 if unknown).
+  uint32_t MarkInvalid(const PagePointer& ptr);
+
+  /// Failure injection passthrough (see Extent::CorruptRecordForTesting).
+  bool CorruptRecordForTesting(const PagePointer& ptr, uint32_t byte_index);
+
+  /// Frees a fully processed extent and releases its space.
+  Status FreeExtent(ExtentId id);
+
+  /// Sealed-extent stats oldest-first (the FIFO order traditional Bw-tree GC
+  /// walks, §3.3).
+  std::vector<ExtentStats> SealedExtentStats() const;
+
+  /// Copies of all valid records in `extent` (GC relocation input).
+  Result<std::vector<std::pair<PagePointer, std::string>>> ReadValidRecords(
+      ExtentId extent);
+
+  /// Log tailing: returns up to `max_records` records appended strictly
+  /// after `cursor` (pass a null pointer value — default PagePointer — to
+  /// read from the beginning). Records come back in append order.
+  std::vector<std::pair<PagePointer, std::string>> TailRecords(
+      const PagePointer& cursor, size_t max_records) const;
+
+  uint64_t total_bytes() const;
+  uint64_t dead_bytes() const;
+  uint64_t live_bytes() const;
+  size_t extent_count() const;
+  size_t extent_capacity() const { return extent_capacity_; }
+
+ private:
+  void OpenNewExtent(size_t capacity);
+  Extent* FindExtentLocked(ExtentId id);
+  const Extent* FindExtentLocked(ExtentId id) const;
+
+  const StreamId id_;
+  const std::string name_;
+  const size_t extent_capacity_;
+  std::atomic<ExtentId>* extent_id_allocator_;
+
+  mutable std::mutex mu_;
+  // Oldest-first; the last element is the active (unsealed) extent.
+  std::map<ExtentId, std::unique_ptr<Extent>> extents_;
+  Extent* active_ = nullptr;
+  uint64_t total_bytes_ = 0;
+  uint64_t dead_bytes_ = 0;
+};
+
+}  // namespace bg3::cloud
+
+#endif  // BG3_CLOUD_STREAM_H_

@@ -1,0 +1,73 @@
+#ifndef BG3_CLOUD_TYPES_H_
+#define BG3_CLOUD_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace bg3::cloud {
+
+using StreamId = uint32_t;
+using ExtentId = uint64_t;
+
+inline constexpr ExtentId kInvalidExtent = ~0ull;
+
+/// Physical location of one record (page image, delta, WAL block) inside the
+/// append-only store. Never reused: out-of-place updates always produce a
+/// new pointer and invalidate the old one.
+struct PagePointer {
+  StreamId stream_id = 0;
+  ExtentId extent_id = kInvalidExtent;
+  uint32_t offset = 0;
+  uint32_t length = 0;
+
+  bool IsNull() const { return extent_id == kInvalidExtent; }
+
+  void EncodeTo(std::string* dst) const {
+    PutFixed32(dst, stream_id);
+    PutFixed64(dst, extent_id);
+    PutFixed32(dst, offset);
+    PutFixed32(dst, length);
+  }
+
+  static bool DecodeFrom(Slice* input, PagePointer* out) {
+    return GetFixed32(input, &out->stream_id) &&
+           GetFixed64(input, &out->extent_id) &&
+           GetFixed32(input, &out->offset) && GetFixed32(input, &out->length);
+  }
+
+  friend bool operator==(const PagePointer& a, const PagePointer& b) {
+    return a.stream_id == b.stream_id && a.extent_id == b.extent_id &&
+           a.offset == b.offset && a.length == b.length;
+  }
+};
+
+/// Pluggable time source. GC experiments (update gradient, TTL) advance a
+/// manual clock instead of sleeping; production-like paths use wall time.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  virtual uint64_t NowUs() const = 0;
+};
+
+class WallTimeSource : public TimeSource {
+ public:
+  uint64_t NowUs() const override { return NowMicros(); }
+};
+
+class ManualTimeSource : public TimeSource {
+ public:
+  uint64_t NowUs() const override { return now_us_; }
+  void AdvanceUs(uint64_t d) { now_us_ += d; }
+  void SetUs(uint64_t t) { now_us_ = t; }
+
+ private:
+  uint64_t now_us_ = 0;
+};
+
+}  // namespace bg3::cloud
+
+#endif  // BG3_CLOUD_TYPES_H_

@@ -1,0 +1,41 @@
+#ifndef BG3_COMMON_CODING_H_
+#define BG3_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace bg3 {
+
+// Little-endian fixed-width and LEB128 varint encoders/decoders used by all
+// on-"disk" formats (pages, WAL records, SSTables). Decoders return false on
+// truncated input instead of reading out of bounds.
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+uint16_t DecodeFixed16(const char* p);
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Appends a varint32 length prefix followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes PutVarint64 would append for `value`.
+size_t VarintLength(uint64_t value);
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_CODING_H_

@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+namespace bg3 {
+
+namespace {
+
+// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected: 0x82F63B78),
+// generated once at first use.
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const char* data, size_t n, uint32_t seed) {
+  static const Crc32cTable table;
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bg3

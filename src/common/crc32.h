@@ -1,0 +1,16 @@
+#ifndef BG3_COMMON_CRC32_H_
+#define BG3_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bg3 {
+
+/// CRC-32C (Castagnoli), software table implementation. Every record the
+/// cloud store persists is checksummed on append and verified on read, so
+/// bit rot surfaces as Status::Corruption instead of silent bad data.
+uint32_t Crc32c(const char* data, size_t n, uint32_t seed = 0);
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_CRC32_H_

@@ -1,0 +1,35 @@
+#ifndef BG3_COMMON_HASH_H_
+#define BG3_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace bg3 {
+
+/// 64-bit FNV-1a over arbitrary bytes; used for bloom filters and sharding.
+inline uint64_t Fnv1a64(const char* data, size_t n, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t HashSlice(const Slice& s, uint64_t seed = 0) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Finalizer-style integer mixer (splitmix64) for vertex-id sharding.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_HASH_H_

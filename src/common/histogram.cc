@@ -1,0 +1,117 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <sstream>
+
+namespace bg3 {
+
+Histogram::Histogram() { Reset(); }
+
+// Bucket layout: 4 sub-buckets per power of two. Bucket index for value v
+// (v >= 1) is 4*floor(log2(v)) + next-2-bits; small and fast.
+int Histogram::BucketFor(uint64_t v) {
+  if (v < 4) return static_cast<int>(v);
+  const int log2 = 63 - std::countl_zero(v);
+  const int sub = static_cast<int>((v >> (log2 - 2)) & 3);
+  const int idx = 4 * log2 + sub - 8;  // v=4 (log2=2, sub=0) maps to 0+4... shift
+  const int b = idx + 4;
+  return b >= kNumBuckets ? kNumBuckets - 1 : b;
+}
+
+uint64_t Histogram::BucketLow(int b) {
+  if (b < 4) return static_cast<uint64_t>(b);
+  const int idx = b - 4 + 8;
+  const int log2 = idx / 4;
+  const int sub = idx % 4;
+  if (log2 >= 64) return std::numeric_limits<uint64_t>::max();
+  const uint64_t base = 1ull << log2;
+  const uint64_t step = static_cast<uint64_t>(sub) << (log2 - 2);
+  // The top bucket's sub-steps can wrap past 2^64: saturate.
+  return base > std::numeric_limits<uint64_t>::max() - step
+             ? std::numeric_limits<uint64_t>::max()
+             : base + step;
+}
+
+uint64_t Histogram::BucketHigh(int b) {
+  if (b < 3) return static_cast<uint64_t>(b);
+  if (b == kNumBuckets - 1) return std::numeric_limits<uint64_t>::max();
+  return BucketLow(b + 1) - 1;
+}
+
+void Histogram::Record(uint64_t value_us) {
+  buckets_[BucketFor(value_us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_us, std::memory_order_relaxed);
+  uint64_t cur_min = min_.load(std::memory_order_relaxed);
+  while (value_us < cur_min &&
+         !min_.compare_exchange_weak(cur_min, value_us,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t cur_max = max_.load(std::memory_order_relaxed);
+  while (value_us > cur_max &&
+         !max_.compare_exchange_weak(cur_max, value_us,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  const uint64_t c = Count();
+  return c == 0 ? 0.0
+                : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(c);
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return Count() == 0 ? 0 : m;
+}
+
+uint64_t Histogram::Max() const {
+  return Count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const uint64_t lo = BucketLow(b);
+      const uint64_t hi = std::min(BucketHigh(b), Max());
+      const uint64_t width = hi > lo ? hi - lo : 0;
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(width));
+    }
+    seen += in_bucket;
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << Count() << " mean=" << Mean() << "us"
+     << " min=" << Min() << " p50=" << Percentile(0.50)
+     << " p95=" << Percentile(0.95) << " p99=" << Percentile(0.99)
+     << " max=" << Max();
+  return os.str();
+}
+
+}  // namespace bg3

@@ -1,0 +1,47 @@
+#ifndef BG3_COMMON_HISTOGRAM_H_
+#define BG3_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bg3 {
+
+/// Thread-safe log-bucketed latency histogram (microsecond inputs).
+/// Buckets grow geometrically so p50..p999 stay accurate from 1us to minutes
+/// with ~200 buckets. Records are lock-free atomic adds.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_us);
+
+  uint64_t Count() const;
+  double Mean() const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+  /// q in (0, 1], e.g. 0.5, 0.99. Linear interpolation within a bucket.
+  uint64_t Percentile(double q) const;
+
+  void Reset();
+
+  /// "count=... mean=...us p50=... p99=... max=..." for bench output.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 256;
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketLow(int b);
+  static uint64_t BucketHigh(int b);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets];
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_;
+  std::atomic<uint64_t> min_;
+  std::atomic<uint64_t> max_;
+};
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_HISTOGRAM_H_

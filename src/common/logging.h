@@ -1,0 +1,53 @@
+#ifndef BG3_COMMON_LOGGING_H_
+#define BG3_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace bg3 {
+namespace internal_logging {
+
+/// Collects the streamed message and aborts the process on destruction.
+/// Used only by BG3_CHECK; BG3 has no fatal paths in normal operation.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "BG3_CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace bg3
+
+/// Invariant check; always on (the cost is negligible relative to I/O paths).
+#define BG3_CHECK(cond)                         \
+  (cond) ? (void)0                              \
+         : ::bg3::internal_logging::Voidify() & \
+               ::bg3::internal_logging::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define BG3_CHECK_EQ(a, b) BG3_CHECK((a) == (b))
+#define BG3_CHECK_NE(a, b) BG3_CHECK((a) != (b))
+#define BG3_CHECK_LE(a, b) BG3_CHECK((a) <= (b))
+#define BG3_CHECK_LT(a, b) BG3_CHECK((a) < (b))
+#define BG3_CHECK_GE(a, b) BG3_CHECK((a) >= (b))
+#define BG3_CHECK_GT(a, b) BG3_CHECK((a) > (b))
+
+#endif  // BG3_COMMON_LOGGING_H_

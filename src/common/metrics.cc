@@ -1,0 +1,48 @@
+#include "common/metrics.h"
+
+#include <memory>
+#include <thread>
+
+namespace bg3 {
+
+namespace {
+
+// Per-thread shard index so each thread mostly touches one cache line.
+int ThisThreadShard() {
+  static std::atomic<int> next{0};
+  thread_local int shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace
+
+void Counter::Add(uint64_t n) {
+  shards_[ThisThreadShard() % kShards].v.fetch_add(n,
+                                                   std::memory_order_relaxed);
+}
+
+uint64_t Counter::Get() const {
+  uint64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->Get();
+  return out;
+}
+
+}  // namespace bg3

@@ -1,0 +1,79 @@
+#ifndef BG3_COMMON_METRICS_H_
+#define BG3_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bg3 {
+
+/// Cache-line padded atomic counter shard; Counter stripes increments across
+/// shards so hot counters (per-op I/O stats) do not serialize writers.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n);
+  void Inc() { Add(1); }
+  uint64_t Get() const;
+  void Reset();
+
+ private:
+  static constexpr int kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Unsharded atomic counter for per-instance stats where thousands to
+/// millions of instances may exist (per-tree counters in a forest): 8 bytes
+/// instead of Counter's padded shard array. Slightly more contended under
+/// heavy concurrency; use Counter for process-global hot counters.
+class LightCounter {
+ public:
+  LightCounter() = default;
+  LightCounter(const LightCounter&) = delete;
+  LightCounter& operator=(const LightCounter&) = delete;
+
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Inc() { Add(1); }
+  uint64_t Get() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Simple settable gauge (resident bytes, live pages, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void Sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Named counters registry, handy for dumping all stats from a bench binary.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  std::map<std::string, uint64_t> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_METRICS_H_

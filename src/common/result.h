@@ -1,0 +1,67 @@
+#ifndef BG3_COMMON_RESULT_H_
+#define BG3_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace bg3 {
+
+/// A value-or-Status holder (absl::StatusOr-like). `value()` aborts if the
+/// result holds an error; check `ok()` first on fallible paths.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors StatusOr ergonomics.
+  Result(T value) : var_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : var_(std::move(status)) {
+    BG3_CHECK(!std::get<Status>(var_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() {
+    BG3_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(var_);
+  }
+  const T& value() const {
+    BG3_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(var_);
+  }
+
+  T&& take() {
+    BG3_CHECK(ok()) << "Result::take() on error: " << status().ToString();
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace bg3
+
+/// Assigns the value of a Result expression to `lhs` or propagates the error.
+#define BG3_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto BG3_CONCAT_(_bg3_res_, __LINE__) = (expr); \
+  if (!BG3_CONCAT_(_bg3_res_, __LINE__).ok())     \
+    return BG3_CONCAT_(_bg3_res_, __LINE__).status(); \
+  lhs = BG3_CONCAT_(_bg3_res_, __LINE__).take()
+
+#define BG3_CONCAT_INNER_(a, b) a##b
+#define BG3_CONCAT_(a, b) BG3_CONCAT_INNER_(a, b)
+
+#endif  // BG3_COMMON_RESULT_H_

@@ -1,0 +1,70 @@
+#ifndef BG3_COMMON_SLICE_H_
+#define BG3_COMMON_SLICE_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace bg3 {
+
+/// Non-owning byte view (RocksDB-style). Convertible from/to
+/// std::string_view; the alias keeps call sites familiar to database code.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, mirrors RocksDB.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const { return data_[n]; }
+
+  void remove_prefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) {
+        r = -1;
+      } else if (size_ > b.size_) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_SLICE_H_

@@ -1,0 +1,48 @@
+#ifndef BG3_COMMON_THREADPOOL_H_
+#define BG3_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bg3 {
+
+/// Fixed-size background worker pool used for asynchronous dirty-page
+/// flushing (§3.4 "flushed ... by a background thread pool") and GC.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks submitted after Shutdown() are dropped.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all in-flight tasks finished.
+  void Drain();
+
+  /// Stops accepting work, drains the queue, joins all workers. Idempotent.
+  void Shutdown();
+
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_THREADPOOL_H_

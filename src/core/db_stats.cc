@@ -1,0 +1,23 @@
+#include "core/db_stats.h"
+
+#include <sstream>
+
+namespace bg3::core {
+
+std::string DbStats::ToString() const {
+  std::ostringstream os;
+  os << "storage: total=" << storage_total_bytes
+     << "B live=" << storage_live_bytes << "B appends=" << append_ops << " ("
+     << append_bytes << "B) reads=" << read_ops << " (" << read_bytes
+     << "B) gc_moved=" << gc_moved_bytes << "B extents_freed=" << extents_freed
+     << "\nforest: trees=" << tree_count << " init_entries=" << init_entries
+     << " split_outs=" << split_outs << " evictions=" << evictions
+     << " latch_conflicts=" << latch_conflicts
+     << " approx_memory=" << approx_memory_bytes << "B"
+     << "\ngc: reclaimed=" << gc_extents_reclaimed
+     << " expired=" << gc_extents_expired << " freed=" << gc_bytes_freed
+     << "B";
+  return os.str();
+}
+
+}  // namespace bg3::core

@@ -1,0 +1,40 @@
+#ifndef BG3_CORE_DB_STATS_H_
+#define BG3_CORE_DB_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bg3::core {
+
+/// Point-in-time snapshot of a GraphDB's internals, for bench reporting and
+/// the storage-cost comparison of §4.2.
+struct DbStats {
+  // storage
+  uint64_t storage_total_bytes = 0;
+  uint64_t storage_live_bytes = 0;
+  uint64_t append_ops = 0;
+  uint64_t append_bytes = 0;
+  uint64_t read_ops = 0;
+  uint64_t read_bytes = 0;
+  uint64_t gc_moved_bytes = 0;
+  uint64_t extents_freed = 0;
+
+  // forest
+  uint64_t tree_count = 0;
+  uint64_t init_entries = 0;
+  uint64_t split_outs = 0;
+  uint64_t evictions = 0;
+  uint64_t latch_conflicts = 0;
+  uint64_t approx_memory_bytes = 0;
+
+  // gc
+  uint64_t gc_extents_reclaimed = 0;
+  uint64_t gc_extents_expired = 0;
+  uint64_t gc_bytes_freed = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace bg3::core
+
+#endif  // BG3_CORE_DB_STATS_H_

@@ -1,0 +1,215 @@
+#include "core/graph_db.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "graph/edge.h"
+
+namespace bg3::core {
+
+bwtree::BwTree* GraphDB::ResolverImpl::Resolve(bwtree::TreeId id) {
+  if (id == kVertexTreeId) return db_->vertex_tree_.get();
+  return db_->forest_->ResolveTree(id);
+}
+
+GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
+    : store_(store), opts_(options) {
+  BG3_CHECK(opts_.Validate().ok()) << opts_.Validate().ToString();
+  time_source_ =
+      opts_.time_source != nullptr ? opts_.time_source : &wall_time_;
+
+  base_stream_ = store_->CreateStream("bg3-base");
+  delta_stream_ = store_->CreateStream("bg3-delta");
+
+  tracker_ = std::make_unique<gc::ExtentUsageTracker>(time_source_);
+  store_->SetObserver(tracker_.get());
+
+  bwtree::BwTreeOptions vertex_opts;
+  vertex_opts.tree_id = kVertexTreeId;
+  vertex_opts.base_stream = base_stream_;
+  vertex_opts.delta_stream = delta_stream_;
+  vertex_opts.max_leaf_entries = opts_.vertex_tree_max_leaf_entries;
+  vertex_opts.delta_mode = opts_.forest.tree_options.delta_mode;
+  vertex_opts.consolidate_threshold =
+      opts_.forest.tree_options.consolidate_threshold;
+  vertex_opts.flush_mode = opts_.forest.tree_options.flush_mode;
+  vertex_opts.tolerate_missing_extents = opts_.edge_ttl_us != 0;
+  vertex_tree_ = std::make_unique<bwtree::BwTree>(store_, vertex_opts);
+
+  forest::ForestOptions forest_opts = opts_.forest;
+  forest_opts.tree_options.base_stream = base_stream_;
+  forest_opts.tree_options.delta_stream = delta_stream_;
+  forest_opts.tree_options.tolerate_missing_extents = opts_.edge_ttl_us != 0;
+  forest_ = std::make_unique<forest::BwTreeForest>(store_, forest_opts);
+
+  resolver_ = std::make_unique<ResolverImpl>(this);
+  gc_policy_ = MakeGcPolicy(opts_.gc_policy, opts_.gc_min_fragmentation,
+                            opts_.gc_ttl_bypass_window_us);
+  if (gc_policy_ != nullptr) {
+    gc::ReclaimOptions reclaim;
+    reclaim.ttl_us = opts_.edge_ttl_us;
+    reclaim.target_dead_ratio = opts_.gc_target_dead_ratio;
+    reclaimer_ = std::make_unique<gc::SpaceReclaimer>(
+        store_, resolver_.get(), gc_policy_.get(), tracker_.get(), reclaim);
+  }
+}
+
+GraphDB::~GraphDB() {
+  StopMaintenance();
+  store_->SetObserver(nullptr);
+}
+
+void GraphDB::StartMaintenance(uint64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(maint_mu_);
+  if (maint_thread_.joinable()) return;
+  maint_stop_ = false;
+  maint_thread_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(maint_mu_);
+    while (!maint_stop_) {
+      maint_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                         [this] { return maint_stop_; });
+      if (maint_stop_) return;
+      lock.unlock();
+      (void)RunGcCycle();
+      lock.lock();
+    }
+  });
+}
+
+void GraphDB::StopMaintenance() {
+  std::thread joinee;
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    if (!maint_thread_.joinable()) return;
+    maint_stop_ = true;
+    joinee = std::move(maint_thread_);
+  }
+  maint_cv_.notify_all();
+  joinee.join();
+}
+
+bool GraphDB::EdgeExpired(graph::TimestampUs created_us) const {
+  return opts_.edge_ttl_us != 0 &&
+         created_us + opts_.edge_ttl_us <= time_source_->NowUs();
+}
+
+Status GraphDB::AddVertex(graph::VertexId id, const Slice& properties) {
+  return vertex_tree_->Upsert(graph::EncodeDstKey(id), properties);
+}
+
+Result<std::string> GraphDB::GetVertex(graph::VertexId id) {
+  return vertex_tree_->Get(graph::EncodeDstKey(id));
+}
+
+Status GraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
+  (void)vertex_tree_->Delete(graph::EncodeDstKey(id));
+  const uint64_t owner = graph::MakeOwnerId(id, type);
+  std::vector<bwtree::Entry> entries;
+  BG3_RETURN_IF_ERROR(forest_->ScanOwner(owner, Slice(), ~0ull, &entries));
+  for (const bwtree::Entry& e : entries) {
+    BG3_RETURN_IF_ERROR(forest_->Delete(owner, e.key));
+  }
+  return Status::OK();
+}
+
+Status GraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
+                        graph::VertexId dst, const Slice& properties,
+                        graph::TimestampUs created_us) {
+  if (created_us == 0) created_us = time_source_->NowUs();
+  return forest_->Upsert(graph::MakeOwnerId(src, type),
+                         graph::EncodeDstKey(dst),
+                         graph::EncodeEdgeValue(created_us, properties));
+}
+
+Status GraphDB::DeleteEdge(graph::VertexId src, graph::EdgeType type,
+                           graph::VertexId dst) {
+  return forest_->Delete(graph::MakeOwnerId(src, type),
+                         graph::EncodeDstKey(dst));
+}
+
+Result<std::string> GraphDB::GetEdge(graph::VertexId src, graph::EdgeType type,
+                                     graph::VertexId dst) {
+  auto value = forest_->Get(graph::MakeOwnerId(src, type),
+                            graph::EncodeDstKey(dst));
+  BG3_RETURN_IF_ERROR(value.status());
+  graph::TimestampUs created_us;
+  std::string properties;
+  if (!graph::DecodeEdgeValue(Slice(value.value()), &created_us,
+                              &properties)) {
+    return Status::Corruption("edge value");
+  }
+  if (EdgeExpired(created_us)) return Status::NotFound("edge expired");
+  return properties;
+}
+
+Status GraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
+                             size_t limit,
+                             std::vector<graph::Neighbor>* out) {
+  std::vector<bwtree::Entry> entries;
+  BG3_RETURN_IF_ERROR(forest_->ScanOwner(graph::MakeOwnerId(src, type),
+                                         Slice(), limit, &entries));
+  out->reserve(out->size() + entries.size());
+  for (const bwtree::Entry& e : entries) {
+    graph::VertexId dst;
+    graph::TimestampUs created_us;
+    std::string properties;
+    if (!graph::DecodeDstKey(Slice(e.key), &dst) ||
+        !graph::DecodeEdgeValue(Slice(e.value), &created_us, &properties)) {
+      return Status::Corruption("adjacency entry");
+    }
+    if (EdgeExpired(created_us)) continue;
+    out->push_back(graph::Neighbor{dst, created_us, std::move(properties)});
+  }
+  return Status::OK();
+}
+
+Status GraphDB::RunGcCycle() {
+  if (opts_.memory_budget_bytes != 0) {
+    const size_t memory =
+        forest_->ApproxMemoryBytes() + vertex_tree_->ApproxMemoryBytes();
+    if (memory > opts_.memory_budget_bytes) {
+      // Halve each tree's resident set; repeated cycles converge onto the
+      // budget while the LRU order keeps the hot head resident.
+      forest_->EvictColdPages(/*target_resident_per_tree=*/1);
+      (void)vertex_tree_->EvictColdPages(1);
+    }
+  }
+  if (reclaimer_ == nullptr) return Status::OK();
+  BG3_RETURN_IF_ERROR(
+      reclaimer_->RunCycle(base_stream_, opts_.gc_extents_per_cycle).status());
+  BG3_RETURN_IF_ERROR(
+      reclaimer_->RunCycle(delta_stream_, opts_.gc_extents_per_cycle)
+          .status());
+  return Status::OK();
+}
+
+DbStats GraphDB::Stats() const {
+  DbStats s;
+  s.storage_total_bytes = store_->TotalBytes();
+  s.storage_live_bytes = store_->LiveBytes();
+  const cloud::IoStats& io = store_->stats();
+  s.append_ops = io.append_ops.Get();
+  s.append_bytes = io.append_bytes.Get();
+  s.read_ops = io.read_ops.Get();
+  s.read_bytes = io.read_bytes.Get();
+  s.gc_moved_bytes = io.gc_moved_bytes.Get();
+  s.extents_freed = io.extents_freed.Get();
+
+  s.tree_count = forest_->TreeCount();
+  s.init_entries = forest_->InitEntryCount();
+  s.split_outs = forest_->stats().split_outs.Get();
+  s.evictions = forest_->stats().evictions.Get();
+  s.latch_conflicts = forest_->TotalLatchConflicts();
+  s.approx_memory_bytes =
+      forest_->ApproxMemoryBytes() + vertex_tree_->ApproxMemoryBytes();
+
+  if (reclaimer_ != nullptr) {
+    const gc::CycleResult& totals = reclaimer_->totals();
+    s.gc_extents_reclaimed = totals.extents_reclaimed;
+    s.gc_extents_expired = totals.extents_expired;
+    s.gc_bytes_freed = totals.bytes_freed;
+  }
+  return s;
+}
+
+}  // namespace bg3::core

@@ -1,0 +1,114 @@
+#ifndef BG3_CORE_GRAPH_DB_H_
+#define BG3_CORE_GRAPH_DB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "cloud/cloud_store.h"
+#include "core/db_stats.h"
+#include "core/options.h"
+#include "forest/forest.h"
+#include "gc/extent_usage.h"
+#include "gc/space_reclaimer.h"
+#include "graph/engine.h"
+
+namespace bg3::core {
+
+/// BG3's public database facade: a property-graph engine backed by the
+/// Space-Optimized Bw-tree Forest over append-only cloud storage, with
+/// workload-aware space reclamation (the single-node storage engine of
+/// Fig. 2; leader-follower deployment lives in bg3::replication).
+///
+/// One GraphDB installs itself as the CloudStore's observer for extent
+/// usage tracking — create at most one GraphDB per CloudStore.
+class GraphDB : public graph::GraphEngine {
+ public:
+  /// `store` must outlive the GraphDB. Aborts on invalid options (validate
+  /// beforehand for graceful handling).
+  GraphDB(cloud::CloudStore* store, const GraphDBOptions& options);
+  ~GraphDB() override;
+
+  GraphDB(const GraphDB&) = delete;
+  GraphDB& operator=(const GraphDB&) = delete;
+
+  std::string name() const override { return "BG3"; }
+
+  // --- graph::GraphEngine ---------------------------------------------------
+  Status AddVertex(graph::VertexId id, const Slice& properties) override;
+  Result<std::string> GetVertex(graph::VertexId id) override;
+  Status DeleteVertex(graph::VertexId id, graph::EdgeType type) override;
+  Status AddEdge(graph::VertexId src, graph::EdgeType type,
+                 graph::VertexId dst, const Slice& properties,
+                 graph::TimestampUs created_us) override;
+  Status DeleteEdge(graph::VertexId src, graph::EdgeType type,
+                    graph::VertexId dst) override;
+  Result<std::string> GetEdge(graph::VertexId src, graph::EdgeType type,
+                              graph::VertexId dst) override;
+  Status GetNeighbors(graph::VertexId src, graph::EdgeType type, size_t limit,
+                      std::vector<graph::Neighbor>* out) override;
+
+  // --- maintenance -----------------------------------------------------------
+  /// One space-reclamation cycle over the base and delta streams. Call
+  /// periodically (or use StartMaintenance; the benches call it explicitly
+  /// for determinism).
+  Status RunGcCycle();
+
+  /// Starts a background thread running RunGcCycle every `interval_ms`.
+  /// Idempotent; stopped automatically at destruction.
+  void StartMaintenance(uint64_t interval_ms);
+  /// Stops the background maintenance thread (blocks until joined).
+  void StopMaintenance();
+
+  DbStats Stats() const;
+
+  forest::BwTreeForest* forest() { return forest_.get(); }
+  bwtree::BwTree* vertex_tree() { return vertex_tree_.get(); }
+  cloud::CloudStore* store() { return store_; }
+  gc::SpaceReclaimer* reclaimer() { return reclaimer_.get(); }
+  const GraphDBOptions& options() const { return opts_; }
+  uint64_t NowUs() const { return time_source_->NowUs(); }
+
+ private:
+  class ResolverImpl : public gc::TreeResolver {
+   public:
+    explicit ResolverImpl(GraphDB* db) : db_(db) {}
+    bwtree::BwTree* Resolve(bwtree::TreeId id) override;
+
+   private:
+    GraphDB* const db_;
+  };
+
+  static constexpr bwtree::TreeId kVertexTreeId = 1ull << 62;
+
+  bool EdgeExpired(graph::TimestampUs created_us) const;
+
+  cloud::CloudStore* const store_;
+  const GraphDBOptions opts_;
+  cloud::WallTimeSource wall_time_;
+  const cloud::TimeSource* time_source_;
+
+  cloud::StreamId base_stream_ = 0;
+  cloud::StreamId delta_stream_ = 0;
+
+  std::unique_ptr<gc::ExtentUsageTracker> tracker_;
+  std::unique_ptr<bwtree::BwTree> vertex_tree_;
+  std::unique_ptr<forest::BwTreeForest> forest_;
+  std::unique_ptr<ResolverImpl> resolver_;
+  std::unique_ptr<gc::GcPolicy> gc_policy_;
+  std::unique_ptr<gc::SpaceReclaimer> reclaimer_;
+
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;
+  std::thread maint_thread_;
+};
+
+}  // namespace bg3::core
+
+#endif  // BG3_CORE_GRAPH_DB_H_

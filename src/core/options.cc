@@ -1,0 +1,40 @@
+#include "core/options.h"
+
+namespace bg3::core {
+
+Status GraphDBOptions::Validate() const {
+  if (gc_min_fragmentation < 0.0 || gc_min_fragmentation > 1.0) {
+    return Status::InvalidArgument("gc_min_fragmentation out of [0,1]");
+  }
+  if (gc_target_dead_ratio < 0.0 || gc_target_dead_ratio > 1.0) {
+    return Status::InvalidArgument("gc_target_dead_ratio out of [0,1]");
+  }
+  if (forest.owner_shards == 0) {
+    return Status::InvalidArgument("owner_shards must be > 0");
+  }
+  if (vertex_tree_max_leaf_entries == 0) {
+    return Status::InvalidArgument("vertex_tree_max_leaf_entries must be > 0");
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<gc::GcPolicy> MakeGcPolicy(GcPolicyKind kind,
+                                           double min_fragmentation,
+                                           uint64_t ttl_bypass_window_us) {
+  switch (kind) {
+    case GcPolicyKind::kNone:
+      return nullptr;
+    case GcPolicyKind::kFifo:
+      return std::make_unique<gc::FifoPolicy>();
+    case GcPolicyKind::kDirtyRatio:
+      return std::make_unique<gc::DirtyRatioPolicy>(min_fragmentation);
+    case GcPolicyKind::kWorkloadAware:
+      return std::make_unique<gc::WorkloadAwarePolicy>(min_fragmentation);
+    case GcPolicyKind::kHybridTtlGradient:
+      return std::make_unique<gc::HybridTtlGradientPolicy>(
+          ttl_bypass_window_us, min_fragmentation);
+  }
+  return nullptr;
+}
+
+}  // namespace bg3::core

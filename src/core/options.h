@@ -1,0 +1,68 @@
+#ifndef BG3_CORE_OPTIONS_H_
+#define BG3_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "cloud/types.h"
+#include "forest/forest.h"
+#include "gc/policy.h"
+
+namespace bg3::core {
+
+/// Which space-reclamation strategy a GraphDB runs (§3.3 / Table 2).
+enum class GcPolicyKind {
+  kNone,           ///< never reclaim (pure append).
+  kFifo,           ///< traditional Bw-tree FIFO queue.
+  kDirtyRatio,     ///< ArkDB-style fragmentation-rate baseline.
+  kWorkloadAware,  ///< BG3's Algorithm 2 (gradient + TTL bypass).
+  /// The paper's §4.4 future work: bypass only extents close to their TTL
+  /// deadline; distant-deadline extents compete under gradient+frag.
+  kHybridTtlGradient,
+};
+
+/// Top-level configuration of a BG3 GraphDB instance.
+struct GraphDBOptions {
+  /// Bw-tree forest configuration (split-out threshold, INIT capacity,
+  /// per-tree delta mode / consolidation / leaf size).
+  forest::ForestOptions forest;
+
+  GcPolicyKind gc_policy = GcPolicyKind::kWorkloadAware;
+  size_t gc_extents_per_cycle = 4;
+  double gc_min_fragmentation = 0.05;
+  /// kHybridTtlGradient: extents expiring within this window are left to
+  /// die in place; others remain reclamation candidates.
+  uint64_t gc_ttl_bypass_window_us = 60ull * 1'000'000;
+  /// Reclamation runs only above this dead-space ratio.
+  double gc_target_dead_ratio = 0.10;
+
+  /// Edge TTL (0 = edges never expire). With a TTL, reads filter expired
+  /// edges and the workload-aware reclaimer lets whole extents expire in
+  /// place (§3.3 Observation 2).
+  uint64_t edge_ttl_us = 0;
+
+  /// Time source for TTL/gradient bookkeeping; nullptr = wall clock.
+  /// Benches inject a ManualTimeSource to fast-forward expiry.
+  const cloud::TimeSource* time_source = nullptr;
+
+  /// Leaf capacity of the vertex-property tree.
+  size_t vertex_tree_max_leaf_entries = 256;
+
+  /// Soft memory budget for the engine's page state (0 = unlimited). The
+  /// maintenance loop evicts clean base pages LRU-first once
+  /// ApproxMemoryBytes exceeds the budget — the memory layer behaves as the
+  /// cache it is in the paper's architecture (§2.1).
+  size_t memory_budget_bytes = 0;
+
+  /// Validates ranges; returns InvalidArgument on nonsense combinations.
+  Status Validate() const;
+};
+
+/// Builds the policy object matching `kind` (nullptr for kNone).
+std::unique_ptr<gc::GcPolicy> MakeGcPolicy(GcPolicyKind kind,
+                                           double min_fragmentation,
+                                           uint64_t ttl_bypass_window_us = 0);
+
+}  // namespace bg3::core
+
+#endif  // BG3_CORE_OPTIONS_H_

@@ -1,0 +1,280 @@
+#include "forest/forest.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace bg3::forest {
+
+namespace {
+
+void AppendBigEndian64(std::string* dst, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+}  // namespace
+
+std::string BwTreeForest::MakeInitKey(OwnerId owner, const Slice& sort_key) {
+  std::string key;
+  key.reserve(8 + sort_key.size());
+  AppendBigEndian64(&key, owner);
+  key.append(sort_key.data(), sort_key.size());
+  return key;
+}
+
+std::string BwTreeForest::OwnerPrefix(OwnerId owner) {
+  std::string key;
+  AppendBigEndian64(&key, owner);
+  return key;
+}
+
+BwTreeForest::BwTreeForest(cloud::CloudStore* store,
+                           const ForestOptions& options)
+    : store_(store), opts_(options) {
+  BG3_CHECK_GT(opts_.owner_shards, 0u);
+  shards_.reserve(opts_.owner_shards);
+  for (size_t i = 0; i < opts_.owner_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  init_tree_ = std::make_unique<bwtree::BwTree>(store_, MakeTreeOptions(0));
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_[0] = init_tree_.get();
+}
+
+bwtree::BwTreeOptions BwTreeForest::MakeTreeOptions(bwtree::TreeId id) const {
+  bwtree::BwTreeOptions o = opts_.tree_options;
+  o.tree_id = id;
+  if (o.lsn_source == nullptr) {
+    o.lsn_source = const_cast<std::atomic<bwtree::Lsn>*>(&lsn_source_);
+  }
+  if (o.page_id_source == nullptr) {
+    o.page_id_source =
+        const_cast<std::atomic<bwtree::PageId>*>(&page_id_source_);
+  }
+  return o;
+}
+
+std::shared_ptr<BwTreeForest::OwnerState> BwTreeForest::GetOrCreateState(
+    OwnerId owner) {
+  Shard& shard = *shards_[Mix64(owner) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.owners[owner];
+  if (!slot) slot = std::make_shared<OwnerState>();
+  return slot;
+}
+
+std::shared_ptr<BwTreeForest::OwnerState> BwTreeForest::FindState(
+    OwnerId owner) const {
+  const Shard& shard = *shards_[Mix64(owner) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.owners.find(owner);
+  return it == shard.owners.end() ? nullptr : it->second;
+}
+
+Status BwTreeForest::Upsert(OwnerId owner, const Slice& sort_key,
+                            const Slice& value) {
+  auto state = GetOrCreateState(owner);
+  bool check_init_capacity = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->tree != nullptr) {
+      BG3_RETURN_IF_ERROR(state->tree->Upsert(sort_key, value));
+      ++state->count;
+      return Status::OK();
+    }
+    BG3_RETURN_IF_ERROR(
+        init_tree_->Upsert(MakeInitKey(owner, sort_key), value));
+    ++state->count;
+    init_entries_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.split_out_threshold == 0 ||
+        state->count > opts_.split_out_threshold) {
+      BG3_RETURN_IF_ERROR(
+          SplitOutLocked(owner, state.get(), &stats_.split_outs));
+    }
+    check_init_capacity =
+        init_entries_.load(std::memory_order_relaxed) > opts_.init_tree_capacity;
+  }
+  if (check_init_capacity) MaybeEvictFromInit();
+  return Status::OK();
+}
+
+Status BwTreeForest::Delete(OwnerId owner, const Slice& sort_key) {
+  auto state = GetOrCreateState(owner);
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->tree != nullptr) {
+    BG3_RETURN_IF_ERROR(state->tree->Delete(sort_key));
+  } else {
+    BG3_RETURN_IF_ERROR(init_tree_->Delete(MakeInitKey(owner, sort_key)));
+    if (init_entries_.load(std::memory_order_relaxed) > 0) {
+      init_entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (state->count > 0) --state->count;
+  return Status::OK();
+}
+
+Result<std::string> BwTreeForest::Get(OwnerId owner, const Slice& sort_key) {
+  auto state = FindState(owner);
+  if (state == nullptr) return Status::NotFound("unknown owner");
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->tree != nullptr) return state->tree->Get(sort_key);
+  return init_tree_->Get(MakeInitKey(owner, sort_key));
+}
+
+Status BwTreeForest::ScanOwner(OwnerId owner, const Slice& start_sort_key,
+                               size_t limit, std::vector<bwtree::Entry>* out) {
+  auto state = FindState(owner);
+  if (state == nullptr) return Status::OK();  // no entries yet
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->tree != nullptr) {
+    bwtree::BwTree::ScanOptions scan;
+    scan.start_key = start_sort_key.ToString();
+    scan.limit = limit;
+    return state->tree->Scan(scan, out);
+  }
+  // INIT-resident: prefix scan [owner|start, owner+1) and strip the prefix.
+  bwtree::BwTree::ScanOptions scan;
+  scan.start_key = MakeInitKey(owner, start_sort_key);
+  scan.end_key = owner == ~0ull ? std::string() : OwnerPrefix(owner + 1);
+  scan.limit = limit;
+  std::vector<bwtree::Entry> raw;
+  BG3_RETURN_IF_ERROR(init_tree_->Scan(scan, &raw));
+  out->reserve(out->size() + raw.size());
+  for (auto& e : raw) {
+    out->push_back(bwtree::Entry{e.key.substr(8), std::move(e.value)});
+  }
+  return Status::OK();
+}
+
+size_t BwTreeForest::OwnerEntryCount(OwnerId owner) const {
+  auto state = FindState(owner);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->count;
+}
+
+Status BwTreeForest::DedicateOwner(OwnerId owner) {
+  auto state = GetOrCreateState(owner);
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->tree != nullptr) return Status::OK();
+  return SplitOutLocked(owner, state.get(), &stats_.split_outs);
+}
+
+Status BwTreeForest::SplitOutLocked(OwnerId owner, OwnerState* state,
+                                    LightCounter* reason) {
+  BG3_CHECK(state->tree == nullptr);
+  const bwtree::TreeId id =
+      next_tree_id_.fetch_add(1, std::memory_order_relaxed);
+  auto tree = std::make_unique<bwtree::BwTree>(store_, MakeTreeOptions(id));
+
+  // Move the owner's INIT entries into the dedicated tree with shortened
+  // keys, deleting them from INIT.
+  bwtree::BwTree::ScanOptions scan;
+  scan.start_key = OwnerPrefix(owner);
+  scan.end_key = owner == ~0ull ? std::string() : OwnerPrefix(owner + 1);
+  std::vector<bwtree::Entry> entries;
+  BG3_RETURN_IF_ERROR(init_tree_->Scan(scan, &entries));
+  for (const auto& e : entries) {
+    BG3_RETURN_IF_ERROR(tree->Upsert(e.key.substr(8), e.value));
+  }
+  for (const auto& e : entries) {
+    BG3_RETURN_IF_ERROR(init_tree_->Delete(e.key));
+  }
+  const size_t moved = entries.size();
+  size_t cur = init_entries_.load(std::memory_order_relaxed);
+  while (!init_entries_.compare_exchange_weak(
+      cur, cur >= moved ? cur - moved : 0, std::memory_order_relaxed)) {
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    registry_[id] = tree.get();
+  }
+  state->tree = std::move(tree);
+  reason->Inc();
+  return Status::OK();
+}
+
+void BwTreeForest::MaybeEvictFromInit() {
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  if (init_entries_.load(std::memory_order_relaxed) <=
+      opts_.init_tree_capacity) {
+    return;  // another eviction already relieved the pressure
+  }
+  // Find the INIT-resident owner with the most entries (approximate: counts
+  // read without the per-owner lock; the winner is re-checked under it).
+  OwnerId victim = 0;
+  size_t victim_count = 0;
+  std::shared_ptr<OwnerState> victim_state;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [owner, state] : shard->owners) {
+      if (state->tree == nullptr && state->count > victim_count) {
+        victim = owner;
+        victim_count = state->count;
+        victim_state = state;
+      }
+    }
+  }
+  if (victim_state == nullptr) return;
+  std::lock_guard<std::mutex> lock(victim_state->mu);
+  if (victim_state->tree != nullptr) return;  // raced with a split-out
+  (void)SplitOutLocked(victim, victim_state.get(), &stats_.evictions);
+}
+
+size_t BwTreeForest::DedicatedTreeCount() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return registry_.size() - 1;  // minus INIT
+}
+
+size_t BwTreeForest::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  std::vector<bwtree::BwTree*> trees;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    trees.reserve(registry_.size());
+    for (const auto& [id, tree] : registry_) trees.push_back(tree);
+  }
+  for (bwtree::BwTree* t : trees) bytes += t->ApproxMemoryBytes();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    bytes += shard->owners.bucket_count() * sizeof(void*);
+    bytes += shard->owners.size() * (32 + sizeof(OwnerState));
+  }
+  return bytes;
+}
+
+size_t BwTreeForest::EvictColdPages(size_t target_resident_per_tree) {
+  std::vector<bwtree::BwTree*> trees;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    trees.reserve(registry_.size());
+    for (const auto& [id, tree] : registry_) trees.push_back(tree);
+  }
+  size_t evicted = 0;
+  for (bwtree::BwTree* t : trees) {
+    evicted += t->EvictColdPages(target_resident_per_tree);
+  }
+  return evicted;
+}
+
+bwtree::BwTree* BwTreeForest::ResolveTree(bwtree::TreeId id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+uint64_t BwTreeForest::TotalLatchConflicts() const {
+  uint64_t sum = 0;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& [id, tree] : registry_) {
+    sum += tree->stats().latch_conflicts.Get();
+  }
+  return sum;
+}
+
+}  // namespace bg3::forest

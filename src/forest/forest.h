@@ -1,0 +1,158 @@
+#ifndef BG3_FOREST_FOREST_H_
+#define BG3_FOREST_FOREST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "common/metrics.h"
+
+namespace bg3::forest {
+
+/// Owner of an adjacency list: in the Douyin-likes example of §3.2.1, the
+/// user id (the graph layer folds vertex id + edge type into this handle).
+using OwnerId = uint64_t;
+
+struct ForestOptions {
+  /// Once an owner accumulates more than this many entries in the INIT
+  /// tree, its data is split out into a dedicated Bw-tree ("each workload
+  /// can be configured with a threshold", §3.2.1). 0 dedicates owners on
+  /// their first write.
+  size_t split_out_threshold = 1024;
+
+  /// When the INIT tree's total entry count exceeds this, the owner with
+  /// the most INIT entries is evicted into a dedicated tree ("when the
+  /// total size of Bw-tree (INIT) exceeds the threshold, we select the user
+  /// with the most edges", §3.2.1).
+  size_t init_tree_capacity = 4u << 20;
+
+  /// Template for every tree the forest creates; tree_id / lsn_source /
+  /// page_id_source are managed by the forest itself.
+  bwtree::BwTreeOptions tree_options;
+
+  /// Shard count of the owner hash table.
+  size_t owner_shards = 64;
+};
+
+struct ForestStats {
+  LightCounter split_outs;  ///< owners moved to dedicated trees by threshold.
+  LightCounter evictions;   ///< owners evicted by INIT-capacity pressure.
+};
+
+/// Space Optimized Bw-tree Forest (§3.2.1): a hash table of owners whose
+/// values point at either the shared INIT Bw-tree (small owners, stored
+/// with composite [owner|sort] keys) or a dedicated per-owner Bw-tree
+/// (hot owners, stored with shortened [sort]-only keys — the key shrinking
+/// that saves space once all of a tree's edges share one source).
+///
+/// Thread safety: a per-owner mutex serializes operations of one owner
+/// (consistent with §3.2.1 Observation 2: one user never likes two videos
+/// at the same moment); cross-owner writes only contend on the INIT tree's
+/// internal page latches — the contention the forest exists to reduce.
+class BwTreeForest {
+ public:
+  BwTreeForest(cloud::CloudStore* store, const ForestOptions& options);
+
+  BwTreeForest(const BwTreeForest&) = delete;
+  BwTreeForest& operator=(const BwTreeForest&) = delete;
+
+  /// Inserts/updates one entry of `owner`'s list, keyed by `sort_key`.
+  Status Upsert(OwnerId owner, const Slice& sort_key, const Slice& value);
+  Status Delete(OwnerId owner, const Slice& sort_key);
+  Result<std::string> Get(OwnerId owner, const Slice& sort_key);
+
+  /// Ordered scan of one owner's entries from `start_sort_key`; returned
+  /// entry keys are sort keys (the owner prefix is stripped for INIT-tree
+  /// residents).
+  Status ScanOwner(OwnerId owner, const Slice& start_sort_key, size_t limit,
+                   std::vector<bwtree::Entry>* out);
+
+  /// Entries currently attributed to `owner` (tracked count).
+  size_t OwnerEntryCount(OwnerId owner) const;
+
+  /// Forces `owner` into a dedicated tree immediately (workloads that know
+  /// their hot set up front; also how Fig. 11 controls the tree count).
+  /// No-op if the owner is already dedicated.
+  Status DedicateOwner(OwnerId owner);
+
+  // --- introspection -------------------------------------------------------
+  size_t DedicatedTreeCount() const;
+  /// Total Bw-trees (dedicated + INIT).
+  size_t TreeCount() const { return DedicatedTreeCount() + 1; }
+  size_t InitEntryCount() const {
+    return init_entries_.load(std::memory_order_relaxed);
+  }
+  /// INIT + dedicated trees + owner-table overhead (Fig. 11 space axis).
+  size_t ApproxMemoryBytes() const;
+
+  /// Memory pressure: evicts clean base pages LRU-first in every tree until
+  /// each tree holds at most `target_resident_per_tree` resident pages.
+  /// Returns total pages evicted (see BwTree::EvictColdPages).
+  size_t EvictColdPages(size_t target_resident_per_tree);
+
+  /// Resolves a tree id to its tree (GC relocation); nullptr if unknown.
+  bwtree::BwTree* ResolveTree(bwtree::TreeId id) const;
+  bwtree::BwTree* init_tree() { return init_tree_.get(); }
+
+  ForestStats& stats() { return stats_; }
+  const ForestOptions& options() const { return opts_; }
+
+  /// Aggregate of per-tree write-conflict counters (Fig. 11).
+  uint64_t TotalLatchConflicts() const;
+
+  /// INIT-tree composite key helpers, exposed for tests.
+  static std::string MakeInitKey(OwnerId owner, const Slice& sort_key);
+  static std::string OwnerPrefix(OwnerId owner);
+
+ private:
+  struct OwnerState {
+    std::mutex mu;
+    size_t count = 0;                      // entries attributed to the owner
+    std::unique_ptr<bwtree::BwTree> tree;  // null while resident in INIT
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<OwnerId, std::shared_ptr<OwnerState>> owners;
+  };
+
+  std::shared_ptr<OwnerState> GetOrCreateState(OwnerId owner);
+  std::shared_ptr<OwnerState> FindState(OwnerId owner) const;
+
+  /// Moves `owner`'s INIT entries into a fresh dedicated tree. Caller holds
+  /// `state->mu`.
+  Status SplitOutLocked(OwnerId owner, OwnerState* state, LightCounter* reason);
+
+  /// INIT-capacity eviction: finds the INIT-resident owner with the most
+  /// entries and splits it out.
+  void MaybeEvictFromInit();
+
+  bwtree::BwTreeOptions MakeTreeOptions(bwtree::TreeId id) const;
+
+  cloud::CloudStore* const store_;
+  const ForestOptions opts_;
+  ForestStats stats_;
+
+  std::atomic<bwtree::Lsn> lsn_source_{0};
+  std::atomic<bwtree::PageId> page_id_source_{0};
+  std::atomic<bwtree::TreeId> next_tree_id_{1};  // 0 is the INIT tree.
+
+  std::unique_ptr<bwtree::BwTree> init_tree_;
+  std::atomic<size_t> init_entries_{0};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<bwtree::TreeId, bwtree::BwTree*> registry_;
+
+  std::mutex evict_mu_;  // serializes capacity-pressure evictions.
+};
+
+}  // namespace bg3::forest
+
+#endif  // BG3_FOREST_FOREST_H_

@@ -1,0 +1,116 @@
+#ifndef BG3_GC_POLICY_H_
+#define BG3_GC_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/stream.h"
+#include "gc/extent_usage.h"
+
+namespace bg3::gc {
+
+/// One reclaimable extent as seen by a policy.
+struct GcCandidate {
+  cloud::ExtentStats stats;
+  ExtentUsage usage;
+};
+
+/// Inputs common to a selection round.
+struct SelectContext {
+  uint64_t now_us = 0;
+  /// TTL configured for this stream's data (0 = none). Workload-aware
+  /// policies bypass extents that will expire on their own (§3.3 Obs. 2).
+  uint64_t ttl_us = 0;
+};
+
+/// Victim-selection strategy for one reclamation cycle.
+class GcPolicy {
+ public:
+  virtual ~GcPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Picks up to `max_victims` extents to relocate, best victims first.
+  virtual std::vector<cloud::ExtentId> SelectVictims(
+      std::vector<GcCandidate> candidates, size_t max_victims,
+      const SelectContext& ctx) = 0;
+};
+
+/// Traditional Bw-tree reclamation: a FIFO queue — always relocate the
+/// oldest extents regardless of their content (§3.3 opening).
+class FifoPolicy : public GcPolicy {
+ public:
+  std::string name() const override { return "fifo"; }
+  std::vector<cloud::ExtentId> SelectVictims(std::vector<GcCandidate> c,
+                                             size_t n,
+                                             const SelectContext& ctx) override;
+};
+
+/// ArkDB-style baseline [31]: pick the extents with the highest ratio of
+/// reclaimable space (fragmentation / dirty ratio).
+class DirtyRatioPolicy : public GcPolicy {
+ public:
+  /// Extents below `min_fragmentation` are not worth moving.
+  explicit DirtyRatioPolicy(double min_fragmentation = 0.05)
+      : min_fragmentation_(min_fragmentation) {}
+
+  std::string name() const override { return "dirty-ratio"; }
+  std::vector<cloud::ExtentId> SelectVictims(std::vector<GcCandidate> c,
+                                             size_t n,
+                                             const SelectContext& ctx) override;
+
+ private:
+  const double min_fragmentation_;
+};
+
+/// BG3's workload-aware policy (Algorithm 2): prefer cold extents (smallest
+/// update gradient) and, among those, the highest fragmentation rate;
+/// bypass extents covered by a TTL so they expire in place.
+class WorkloadAwarePolicy : public GcPolicy {
+ public:
+  /// `cold_pool_factor`: the lowest-gradient pool examined per round is
+  /// max_victims * this factor, mirroring Algorithm 2's
+  /// getExtentsWithSmallestUpdateGradient / sortByFragmentationRate split.
+  explicit WorkloadAwarePolicy(double min_fragmentation = 0.05,
+                               size_t cold_pool_factor = 4)
+      : min_fragmentation_(min_fragmentation),
+        cold_pool_factor_(cold_pool_factor) {}
+
+  std::string name() const override { return "workload-aware"; }
+  std::vector<cloud::ExtentId> SelectVictims(std::vector<GcCandidate> c,
+                                             size_t n,
+                                             const SelectContext& ctx) override;
+
+ private:
+  const double min_fragmentation_;
+  const size_t cold_pool_factor_;
+};
+
+/// The paper's stated future work (§4.4): "merging the gradient strategy
+/// with the TTL approach, which only bypasses extents that have a set TTL
+/// and are close to their expiration time". Extents whose TTL deadline is
+/// within `bypass_window_us` of now are left to expire in place; everything
+/// else — including TTL'd data that still has a long life ahead — competes
+/// under the gradient+fragmentation rule, so long-TTL workloads (30-day
+/// retention) no longer strand dead space for the whole retention period.
+class HybridTtlGradientPolicy : public GcPolicy {
+ public:
+  explicit HybridTtlGradientPolicy(uint64_t bypass_window_us,
+                                   double min_fragmentation = 0.05,
+                                   size_t cold_pool_factor = 4)
+      : bypass_window_us_(bypass_window_us),
+        inner_(min_fragmentation, cold_pool_factor) {}
+
+  std::string name() const override { return "hybrid-ttl-gradient"; }
+  std::vector<cloud::ExtentId> SelectVictims(std::vector<GcCandidate> c,
+                                             size_t n,
+                                             const SelectContext& ctx) override;
+
+ private:
+  const uint64_t bypass_window_us_;
+  WorkloadAwarePolicy inner_;
+};
+
+}  // namespace bg3::gc
+
+#endif  // BG3_GC_POLICY_H_

@@ -1,0 +1,155 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace bg3::graph {
+
+namespace {
+
+Result<std::vector<VertexId>> NeighborIds(GraphEngine* engine, VertexId v,
+                                          EdgeType type, size_t limit) {
+  std::vector<Neighbor> neighbors;
+  BG3_RETURN_IF_ERROR(engine->GetNeighbors(v, type, limit, &neighbors));
+  std::vector<VertexId> ids;
+  ids.reserve(neighbors.size());
+  for (const Neighbor& n : neighbors) ids.push_back(n.dst);
+  return ids;
+}
+
+}  // namespace
+
+Result<size_t> CommonNeighbors(GraphEngine* engine, VertexId a, VertexId b,
+                               const SimilarityOptions& options) {
+  auto na = NeighborIds(engine, a, options.type, options.neighbor_limit);
+  BG3_RETURN_IF_ERROR(na.status());
+  auto nb = NeighborIds(engine, b, options.type, options.neighbor_limit);
+  BG3_RETURN_IF_ERROR(nb.status());
+  // Both lists arrive dst-sorted from every engine: linear merge.
+  size_t common = 0;
+  auto ia = na.value().begin();
+  auto ib = nb.value().begin();
+  while (ia != na.value().end() && ib != nb.value().end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++common;
+      ++ia;
+      ++ib;
+    }
+  }
+  return common;
+}
+
+Result<double> JaccardSimilarity(GraphEngine* engine, VertexId a, VertexId b,
+                                 const SimilarityOptions& options) {
+  auto na = NeighborIds(engine, a, options.type, options.neighbor_limit);
+  BG3_RETURN_IF_ERROR(na.status());
+  auto nb = NeighborIds(engine, b, options.type, options.neighbor_limit);
+  BG3_RETURN_IF_ERROR(nb.status());
+  auto common = CommonNeighbors(engine, a, b, options);
+  BG3_RETURN_IF_ERROR(common.status());
+  const size_t union_size =
+      na.value().size() + nb.value().size() - common.value();
+  if (union_size == 0) return 0.0;
+  return static_cast<double>(common.value()) /
+         static_cast<double>(union_size);
+}
+
+Result<std::unordered_map<VertexId, double>> PersonalizedPageRank(
+    GraphEngine* engine, VertexId source,
+    const PersonalizedPageRankOptions& options) {
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  // Forward push: maintain estimates p and residuals r; pushing a vertex
+  // moves alpha*r to its estimate and spreads the rest over its neighbors.
+  std::unordered_map<VertexId, double> p;
+  std::unordered_map<VertexId, double> r;
+  r[source] = 1.0;
+  std::deque<VertexId> queue{source};
+  std::unordered_set<VertexId> queued{source};
+
+  size_t pushes = 0;
+  while (!queue.empty() && pushes < options.max_pushes) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    queued.erase(v);
+    const double rv = r[v];
+    if (rv < options.epsilon) continue;
+    ++pushes;
+    r[v] = 0.0;
+    p[v] += options.alpha * rv;
+    auto neighbors =
+        NeighborIds(engine, v, options.type, options.neighbor_limit);
+    BG3_RETURN_IF_ERROR(neighbors.status());
+    if (neighbors.value().empty()) {
+      // Dangling vertex: restart at the source.
+      r[source] += (1.0 - options.alpha) * rv;
+      if (r[source] >= options.epsilon && queued.insert(source).second) {
+        queue.push_back(source);
+      }
+      continue;
+    }
+    const double share =
+        (1.0 - options.alpha) * rv / static_cast<double>(neighbors.value().size());
+    for (VertexId u : neighbors.value()) {
+      r[u] += share;
+      if (r[u] >= options.epsilon && queued.insert(u).second) {
+        queue.push_back(u);
+      }
+    }
+  }
+  return p;
+}
+
+Result<std::vector<std::pair<VertexId, double>>> RecommendByPageRank(
+    GraphEngine* engine, VertexId source, size_t k,
+    const PersonalizedPageRankOptions& options) {
+  auto scores = PersonalizedPageRank(engine, source, options);
+  BG3_RETURN_IF_ERROR(scores.status());
+  auto direct =
+      NeighborIds(engine, source, options.type, options.neighbor_limit);
+  BG3_RETURN_IF_ERROR(direct.status());
+  std::unordered_set<VertexId> exclude(direct.value().begin(),
+                                       direct.value().end());
+  exclude.insert(source);
+
+  std::vector<std::pair<VertexId, double>> ranked;
+  for (const auto& [v, score] : scores.value()) {
+    if (exclude.count(v) > 0) continue;
+    ranked.emplace_back(v, score);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;  // deterministic tie-break
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+Result<size_t> LocalTriangleCount(GraphEngine* engine, VertexId v,
+                                  const TriangleOptions& options) {
+  auto direct = NeighborIds(engine, v, options.type, options.neighbor_limit);
+  BG3_RETURN_IF_ERROR(direct.status());
+  std::unordered_set<VertexId> direct_set(direct.value().begin(),
+                                          direct.value().end());
+  size_t triangles = 0;
+  for (VertexId a : direct.value()) {
+    auto second = NeighborIds(engine, a, options.type, options.neighbor_limit);
+    BG3_RETURN_IF_ERROR(second.status());
+    for (VertexId b : second.value()) {
+      if (b != v && direct_set.count(b) > 0) ++triangles;
+    }
+  }
+  return triangles;
+}
+
+}  // namespace bg3::graph

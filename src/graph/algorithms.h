@@ -1,0 +1,66 @@
+#ifndef BG3_GRAPH_ALGORITHMS_H_
+#define BG3_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/engine.h"
+
+namespace bg3::graph {
+
+/// Analysis primitives of the kind ByteDance runs for e-commerce risk
+/// control and content recommendation (§1, §2.6): neighborhood similarity
+/// scores and local random-walk ranking, all expressed against the
+/// GraphEngine read API (so they run on BG3, ByteGraph or the reference
+/// engine alike, and scale out to RO nodes in a deployment).
+
+struct SimilarityOptions {
+  EdgeType type = 0;
+  /// Neighbors fetched per vertex (degree cap for super-vertices).
+  size_t neighbor_limit = 1024;
+};
+
+/// |N(a) ∩ N(b)| — the classic link-prediction feature.
+Result<size_t> CommonNeighbors(GraphEngine* engine, VertexId a, VertexId b,
+                               const SimilarityOptions& options);
+
+/// |N(a) ∩ N(b)| / |N(a) ∪ N(b)| in [0, 1]; 0 when both sets are empty.
+Result<double> JaccardSimilarity(GraphEngine* engine, VertexId a, VertexId b,
+                                 const SimilarityOptions& options);
+
+struct PersonalizedPageRankOptions {
+  EdgeType type = 0;
+  double alpha = 0.15;          ///< teleport (restart) probability.
+  double epsilon = 1e-4;        ///< residual push threshold.
+  size_t neighbor_limit = 256;  ///< degree cap per push.
+  size_t max_pushes = 100'000;  ///< hard work bound.
+};
+
+/// Approximate personalized PageRank from `source` via forward push
+/// (Andersen-Chung-Lang): returns vertex -> probability mass for every
+/// vertex whose mass exceeded the push threshold. Deterministic.
+Result<std::unordered_map<VertexId, double>> PersonalizedPageRank(
+    GraphEngine* engine, VertexId source,
+    const PersonalizedPageRankOptions& options);
+
+/// Top-k recommendation candidates for `source` by PPR score, excluding the
+/// source itself and its direct neighbors (already-connected items).
+Result<std::vector<std::pair<VertexId, double>>> RecommendByPageRank(
+    GraphEngine* engine, VertexId source, size_t k,
+    const PersonalizedPageRankOptions& options);
+
+struct TriangleOptions {
+  EdgeType type = 0;
+  size_t neighbor_limit = 512;
+};
+
+/// Number of directed triangles through `v` (v -> a -> b -> anything with
+/// v -> b), a standard local-density feature for fraud scoring.
+Result<size_t> LocalTriangleCount(GraphEngine* engine, VertexId v,
+                                  const TriangleOptions& options);
+
+}  // namespace bg3::graph
+
+#endif  // BG3_GRAPH_ALGORITHMS_H_

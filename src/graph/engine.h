@@ -1,0 +1,56 @@
+#ifndef BG3_GRAPH_ENGINE_H_
+#define BG3_GRAPH_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/edge.h"
+
+namespace bg3::graph {
+
+/// Destination + payload of one adjacency entry returned by neighbor reads.
+struct Neighbor {
+  VertexId dst = 0;
+  TimestampUs created_us = 0;
+  std::string properties;
+};
+
+/// Minimal property-graph engine surface shared by BG3, the ByteGraph
+/// baseline and the reference (Neptune stand-in) engine, so the overall
+/// comparison (Fig. 8) drives all three through identical workloads.
+class GraphEngine {
+ public:
+  virtual ~GraphEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Status AddVertex(VertexId id, const Slice& properties) = 0;
+  virtual Result<std::string> GetVertex(VertexId id) = 0;
+  /// Removes the vertex record and all its out-edges of `type` (engines
+  /// have no in-edge index, so incoming edges are the caller's problem, as
+  /// in every adjacency-list store). No-op if absent.
+  virtual Status DeleteVertex(VertexId id, EdgeType type) = 0;
+
+  virtual Status AddEdge(VertexId src, EdgeType type, VertexId dst,
+                         const Slice& properties, TimestampUs created_us) = 0;
+  virtual Status DeleteEdge(VertexId src, EdgeType type, VertexId dst) = 0;
+  virtual Result<std::string> GetEdge(VertexId src, EdgeType type,
+                                      VertexId dst) = 0;
+
+  /// Up to `limit` neighbors of (src, type) in ascending destination order.
+  virtual Status GetNeighbors(VertexId src, EdgeType type, size_t limit,
+                              std::vector<Neighbor>* out) = 0;
+
+  /// Out-degree of (src, type), bounded by `limit`.
+  virtual Result<size_t> CountNeighbors(VertexId src, EdgeType type,
+                                        size_t limit) {
+    std::vector<Neighbor> neighbors;
+    BG3_RETURN_IF_ERROR(GetNeighbors(src, type, limit, &neighbors));
+    return neighbors.size();
+  }
+};
+
+}  // namespace bg3::graph
+
+#endif  // BG3_GRAPH_ENGINE_H_

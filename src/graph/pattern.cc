@@ -1,0 +1,64 @@
+#include "graph/pattern.h"
+
+namespace bg3::graph {
+
+namespace {
+
+Status MatchStep(GraphEngine* engine, VertexId current,
+                 const PathPattern& pattern, size_t step,
+                 std::vector<VertexId>* path,
+                 std::vector<std::vector<VertexId>>* matches) {
+  if (matches->size() >= pattern.max_matches) return Status::OK();
+  if (step == pattern.edge_types.size()) {
+    matches->push_back(*path);
+    return Status::OK();
+  }
+  std::vector<Neighbor> neighbors;
+  BG3_RETURN_IF_ERROR(engine->GetNeighbors(
+      current, pattern.edge_types[step], pattern.fanout_per_step, &neighbors));
+  for (const Neighbor& n : neighbors) {
+    if (matches->size() >= pattern.max_matches) break;
+    path->push_back(n.dst);
+    BG3_RETURN_IF_ERROR(
+        MatchStep(engine, n.dst, pattern, step + 1, path, matches));
+    path->pop_back();
+  }
+  return Status::OK();
+}
+
+Status CycleStep(GraphEngine* engine, VertexId start, VertexId current,
+                 const CycleOptions& options, int depth, bool* found) {
+  if (*found || depth >= options.max_length) return Status::OK();
+  std::vector<Neighbor> neighbors;
+  BG3_RETURN_IF_ERROR(
+      engine->GetNeighbors(current, options.type, options.fanout, &neighbors));
+  for (const Neighbor& n : neighbors) {
+    if (*found) break;
+    if (n.dst == start && depth >= 1) {
+      *found = true;
+      return Status::OK();
+    }
+    BG3_RETURN_IF_ERROR(
+        CycleStep(engine, start, n.dst, options, depth + 1, found));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<VertexId>>> MatchPath(
+    GraphEngine* engine, VertexId start, const PathPattern& pattern) {
+  std::vector<std::vector<VertexId>> matches;
+  std::vector<VertexId> path;
+  BG3_RETURN_IF_ERROR(MatchStep(engine, start, pattern, 0, &path, &matches));
+  return matches;
+}
+
+Result<bool> DetectCycle(GraphEngine* engine, VertexId start,
+                         const CycleOptions& options) {
+  bool found = false;
+  BG3_RETURN_IF_ERROR(CycleStep(engine, start, start, options, 0, &found));
+  return found;
+}
+
+}  // namespace bg3::graph

@@ -1,0 +1,38 @@
+#ifndef BG3_GRAPH_PATTERN_H_
+#define BG3_GRAPH_PATTERN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/engine.h"
+
+namespace bg3::graph {
+
+/// A path pattern: a sequence of edge types to follow from a start vertex.
+/// Subgraph pattern matching (Sun & Luo [32]) in its path form — the shape
+/// the financial-risk-control workload exercises.
+struct PathPattern {
+  std::vector<EdgeType> edge_types;
+  size_t fanout_per_step = 16;
+  size_t max_matches = 1024;
+};
+
+/// All destination paths matching `pattern` starting at `start`. Each match
+/// lists the vertices after `start`, one per pattern step.
+Result<std::vector<std::vector<VertexId>>> MatchPath(
+    GraphEngine* engine, VertexId start, const PathPattern& pattern);
+
+struct CycleOptions {
+  EdgeType type = 0;
+  int max_length = 6;      ///< cycle length bound.
+  size_t fanout = 16;
+};
+
+/// Loop detection for anti-money-laundering (§2.6): does a directed cycle
+/// through `start` of length <= max_length exist?
+Result<bool> DetectCycle(GraphEngine* engine, VertexId start,
+                         const CycleOptions& options);
+
+}  // namespace bg3::graph
+
+#endif  // BG3_GRAPH_PATTERN_H_

@@ -1,0 +1,148 @@
+#include "graph/subgraph.h"
+
+#include <unordered_set>
+
+namespace bg3::graph {
+
+namespace {
+
+struct PlanStep {
+  PatternEdge edge;
+  bool is_check = false;  ///< both endpoints bound: existence check.
+};
+
+/// Orders pattern edges so that every edge's `from` endpoint is bound when
+/// it executes (vertex 0 starts bound). Both-bound edges become existence
+/// checks and are scheduled as early as possible to prune the search.
+Status BuildPlan(const SubgraphPattern& pattern, std::vector<PlanStep>* plan) {
+  std::vector<bool> bound(pattern.vertex_count, false);
+  bound[0] = true;
+  std::vector<bool> used(pattern.edges.size(), false);
+  plan->clear();
+  plan->reserve(pattern.edges.size());
+  while (plan->size() < pattern.edges.size()) {
+    // Pass 1: schedule all ready existence checks (both endpoints bound).
+    bool progressed = false;
+    for (size_t i = 0; i < pattern.edges.size(); ++i) {
+      const PatternEdge& e = pattern.edges[i];
+      if (!used[i] && bound[e.from] && bound[e.to]) {
+        plan->push_back(PlanStep{e, /*is_check=*/true});
+        used[i] = true;
+        progressed = true;
+      }
+    }
+    // Pass 2: schedule one forward expansion.
+    for (size_t i = 0; i < pattern.edges.size(); ++i) {
+      const PatternEdge& e = pattern.edges[i];
+      if (!used[i] && bound[e.from] && !bound[e.to]) {
+        plan->push_back(PlanStep{e, /*is_check=*/false});
+        used[i] = true;
+        bound[e.to] = true;
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) {
+      return Status::InvalidArgument(
+          "pattern requires reverse expansion or is disconnected from the "
+          "anchor (orient edges forward from vertex 0)");
+    }
+  }
+  return Status::OK();
+}
+
+struct MatchContext {
+  GraphEngine* engine;
+  const SubgraphPattern* pattern;
+  const std::vector<PlanStep>* plan;
+  std::vector<VertexId> assignment;
+  std::unordered_set<VertexId> used;  // injectivity
+  std::vector<SubgraphMatch>* out;
+};
+
+Status Recurse(MatchContext* ctx, size_t step) {
+  if (ctx->out->size() >= ctx->pattern->max_matches) return Status::OK();
+  if (step == ctx->plan->size()) {
+    ctx->out->push_back(ctx->assignment);
+    return Status::OK();
+  }
+  const PlanStep& ps = (*ctx->plan)[step];
+  const PatternEdge& e = ps.edge;
+  const VertexId src = ctx->assignment[e.from];
+  if (ps.is_check) {
+    // Existence check (includes the cycle-closing edge back to the anchor).
+    auto edge = ctx->engine->GetEdge(src, e.type, ctx->assignment[e.to]);
+    if (edge.status().IsNotFound()) return Status::OK();
+    BG3_RETURN_IF_ERROR(edge.status());
+    return Recurse(ctx, step + 1);
+  }
+  // Forward expansion of e.to.
+  std::vector<Neighbor> neighbors;
+  BG3_RETURN_IF_ERROR(ctx->engine->GetNeighbors(
+      src, e.type, ctx->pattern->fanout_per_expansion, &neighbors));
+  for (const Neighbor& n : neighbors) {
+    if (ctx->pattern->injective && ctx->used.count(n.dst) > 0) continue;
+    ctx->assignment[e.to] = n.dst;
+    ctx->used.insert(n.dst);
+    BG3_RETURN_IF_ERROR(Recurse(ctx, step + 1));
+    ctx->used.erase(n.dst);
+    if (ctx->out->size() >= ctx->pattern->max_matches) return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidatePattern(const SubgraphPattern& pattern) {
+  if (pattern.vertex_count == 0) {
+    return Status::InvalidArgument("pattern needs at least the anchor");
+  }
+  for (const PatternEdge& e : pattern.edges) {
+    if (e.from >= pattern.vertex_count || e.to >= pattern.vertex_count) {
+      return Status::InvalidArgument("pattern edge endpoint out of range");
+    }
+    if (e.from == e.to) {
+      return Status::InvalidArgument("self-loop pattern edges not supported");
+    }
+  }
+  std::vector<PlanStep> plan;
+  return BuildPlan(pattern, &plan);
+}
+
+Result<std::vector<SubgraphMatch>> MatchSubgraph(
+    GraphEngine* engine, VertexId anchor, const SubgraphPattern& pattern) {
+  BG3_RETURN_IF_ERROR(ValidatePattern(pattern));
+  std::vector<PlanStep> plan;
+  BG3_RETURN_IF_ERROR(BuildPlan(pattern, &plan));
+
+  std::vector<SubgraphMatch> matches;
+  MatchContext ctx;
+  ctx.engine = engine;
+  ctx.pattern = &pattern;
+  ctx.plan = &plan;
+  ctx.assignment.assign(pattern.vertex_count, 0);
+  ctx.assignment[0] = anchor;
+  ctx.used.insert(anchor);
+  ctx.out = &matches;
+  BG3_RETURN_IF_ERROR(Recurse(&ctx, 0));
+  return matches;
+}
+
+SubgraphPattern CyclePattern(uint32_t length, EdgeType type) {
+  SubgraphPattern p;
+  p.vertex_count = length;
+  for (uint32_t i = 0; i < length; ++i) {
+    p.edges.push_back(PatternEdge{i, (i + 1) % length, type});
+  }
+  return p;
+}
+
+SubgraphPattern DiamondPattern(EdgeType type) {
+  SubgraphPattern p;
+  p.vertex_count = 4;
+  p.edges = {PatternEdge{0, 1, type}, PatternEdge{0, 2, type},
+             PatternEdge{1, 3, type}, PatternEdge{2, 3, type}};
+  return p;
+}
+
+}  // namespace bg3::graph

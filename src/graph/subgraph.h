@@ -1,0 +1,59 @@
+#ifndef BG3_GRAPH_SUBGRAPH_H_
+#define BG3_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/engine.h"
+
+namespace bg3::graph {
+
+/// General subgraph pattern matching in the style the financial-risk-control
+/// workload uses (Table 1 cites Sun & Luo's in-memory subgraph matching
+/// study [32]): a small pattern graph is matched against the data graph by
+/// backtracking over an edge-ordered search plan, expanding candidates
+/// through GetNeighbors.
+///
+/// Pattern vertices are small integers 0..n-1; vertex 0 is the anchor bound
+/// to the start vertex of the query.
+struct PatternEdge {
+  uint32_t from = 0;  ///< pattern vertex index.
+  uint32_t to = 0;    ///< pattern vertex index.
+  EdgeType type = 0;
+};
+
+struct SubgraphPattern {
+  uint32_t vertex_count = 0;
+  std::vector<PatternEdge> edges;
+  /// Require all matched data vertices to be distinct (isomorphism rather
+  /// than homomorphism). The anti-money-laundering loop of §2.6 needs this.
+  bool injective = true;
+  size_t max_matches = 1024;
+  size_t fanout_per_expansion = 64;
+};
+
+/// One match: assignment[i] is the data vertex bound to pattern vertex i.
+using SubgraphMatch = std::vector<VertexId>;
+
+/// Validates the pattern (edge endpoints in range, connected when rooted at
+/// vertex 0 through its directed edges in some order).
+Status ValidatePattern(const SubgraphPattern& pattern);
+
+/// All matches of `pattern` with pattern vertex 0 bound to `anchor`.
+Result<std::vector<SubgraphMatch>> MatchSubgraph(
+    GraphEngine* engine, VertexId anchor, const SubgraphPattern& pattern);
+
+/// Convenience: the k-cycle pattern through the anchor (0->1->...->k-1->0),
+/// the §2.6 loop-detection shape expressed as a subgraph pattern.
+SubgraphPattern CyclePattern(uint32_t length, EdgeType type);
+
+/// Convenience: the diamond (split-rejoin) pattern 0->1, 0->2, 1->3, 2->3 —
+/// the classic layering shape in anti-money-laundering screens: funds split
+/// across two intermediaries and reconverge.
+SubgraphPattern DiamondPattern(EdgeType type);
+
+}  // namespace bg3::graph
+
+#endif  // BG3_GRAPH_SUBGRAPH_H_

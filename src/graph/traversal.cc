@@ -1,0 +1,58 @@
+#include "graph/traversal.h"
+
+#include <unordered_set>
+
+namespace bg3::graph {
+
+Result<std::vector<VertexId>> KHopNeighbors(GraphEngine* engine,
+                                            VertexId start, EdgeType type,
+                                            const TraversalOptions& options) {
+  std::vector<VertexId> visited_order;
+  std::unordered_set<VertexId> visited{start};
+  std::vector<VertexId> frontier{start};
+  std::vector<Neighbor> neighbors;
+
+  for (int hop = 0; hop < options.hops && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      neighbors.clear();
+      BG3_RETURN_IF_ERROR(
+          engine->GetNeighbors(v, type, options.fanout_per_vertex, &neighbors));
+      for (const Neighbor& n : neighbors) {
+        if (visited.size() >= options.max_visited) return visited_order;
+        if (visited.insert(n.dst).second) {
+          visited_order.push_back(n.dst);
+          next.push_back(n.dst);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return visited_order;
+}
+
+Result<bool> IsReachable(GraphEngine* engine, VertexId start, VertexId target,
+                         EdgeType type, const TraversalOptions& options) {
+  if (start == target) return true;
+  std::unordered_set<VertexId> visited{start};
+  std::vector<VertexId> frontier{start};
+  std::vector<Neighbor> neighbors;
+
+  for (int hop = 0; hop < options.hops && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      neighbors.clear();
+      BG3_RETURN_IF_ERROR(
+          engine->GetNeighbors(v, type, options.fanout_per_vertex, &neighbors));
+      for (const Neighbor& n : neighbors) {
+        if (n.dst == target) return true;
+        if (visited.size() >= options.max_visited) return false;
+        if (visited.insert(n.dst).second) next.push_back(n.dst);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return false;
+}
+
+}  // namespace bg3::graph

@@ -1,0 +1,37 @@
+#ifndef BG3_GRAPH_TRAVERSAL_H_
+#define BG3_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/engine.h"
+
+namespace bg3::graph {
+
+struct TraversalOptions {
+  int hops = 1;
+  /// Neighbors expanded per vertex per hop (query fan-out budget; the
+  /// Douyin recommendation workload samples subgraphs, not full closures).
+  size_t fanout_per_vertex = 32;
+  /// Upper bound on the visited frontier (guards super-vertices).
+  size_t max_visited = 100'000;
+};
+
+/// Multi-hop breadth-first expansion from `start` along `type` edges.
+/// Returns the visited destination set (excluding `start`), in discovery
+/// order — the "multi-hop neighbor query" of the Douyin recommendation
+/// workload (Table 1).
+Result<std::vector<VertexId>> KHopNeighbors(GraphEngine* engine,
+                                            VertexId start, EdgeType type,
+                                            const TraversalOptions& options);
+
+/// True if `target` is reachable from `start` within `options.hops` hops —
+/// the edge-existence check the financial-risk-control workload issues
+/// against RO nodes (Table 1).
+Result<bool> IsReachable(GraphEngine* engine, VertexId start, VertexId target,
+                         EdgeType type, const TraversalOptions& options);
+
+}  // namespace bg3::graph
+
+#endif  // BG3_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,140 @@
+#include "lsm/compaction.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace bg3::lsm {
+
+uint64_t Compactor::LevelTarget(int level) const {
+  double target = static_cast<double>(opts_.level_base_bytes);
+  for (int i = 1; i < level; ++i) target *= opts_.level_multiplier;
+  return static_cast<uint64_t>(target);
+}
+
+Status Compactor::MaybeCompact(VersionSet* versions) {
+  for (;;) {
+    int level = -1;
+    if (versions->L0Count() >
+        static_cast<size_t>(opts_.l0_compaction_trigger)) {
+      level = 0;
+    } else {
+      for (int i = 1; i + 1 < versions->max_levels(); ++i) {
+        if (versions->LevelBytes(i) > LevelTarget(i)) {
+          level = i;
+          break;
+        }
+      }
+    }
+    if (level < 0) return Status::OK();
+    BG3_RETURN_IF_ERROR(CompactLevel(versions, level));
+  }
+}
+
+Status Compactor::CompactLevel(VersionSet* versions, int level) {
+  stats_.compactions.Inc();
+  const int next = level + 1;
+  BG3_CHECK_LT(next, versions->max_levels());
+
+  // Inputs: all of L0 (its runs overlap each other), or a single table of a
+  // deeper level (partial compaction — the standard leveled strategy, so
+  // non-overlapping data is not rewritten).
+  std::vector<std::shared_ptr<SsTable>> inputs;
+  if (level == 0) {
+    inputs = versions->level(0);
+  } else if (!versions->level(level).empty()) {
+    inputs.push_back(versions->level(level).front());
+  }
+  if (inputs.empty()) return Status::OK();
+
+  // The key span of the inputs selects the overlapping victims in `next`.
+  std::string span_lo = inputs.front()->smallest();
+  std::string span_hi_inclusive = inputs.front()->largest();
+  for (const auto& t : inputs) {
+    span_lo = std::min(span_lo, t->smallest());
+    span_hi_inclusive = std::max(span_hi_inclusive, t->largest());
+  }
+  std::vector<std::shared_ptr<SsTable>> overlaps;
+  std::vector<std::shared_ptr<SsTable>> untouched;
+  for (const auto& t : versions->level(next)) {
+    const bool overlap = !(t->largest() < span_lo) &&
+                         !(span_hi_inclusive < t->smallest());
+    (overlap ? overlaps : untouched).push_back(t);
+  }
+
+  // Merge, newest source first so its records win.
+  std::map<std::string, KvRecord> merged;
+  auto absorb_older = [&](const std::vector<std::shared_ptr<SsTable>>& tables) {
+    for (const auto& table : tables) {
+      auto records = table->ReadAll();
+      BG3_RETURN_IF_ERROR(records.status());
+      stats_.bytes_read.Add(table->data_bytes());
+      for (KvRecord& r : records.value()) merged.emplace(r.key, std::move(r));
+      // emplace keeps the first (newer) record per key.
+    }
+    return Status::OK();
+  };
+  BG3_RETURN_IF_ERROR(absorb_older(inputs));    // L0 is newest-first already
+  BG3_RETURN_IF_ERROR(absorb_older(overlaps));  // lower level = older
+
+  // Tombstones can be dropped only when merging into the bottom level AND
+  // no non-overlapping table below could still hold the key. With leveled
+  // non-overlapping runs, the overlap set covers the span, so bottom-level
+  // merges may drop them.
+  const bool bottom = next + 1 == versions->max_levels();
+  std::vector<KvRecord> out;
+  out.reserve(merged.size());
+  for (auto& [key, record] : merged) {
+    if (bottom && record.tombstone) continue;
+    out.push_back(std::move(record));
+  }
+
+  // Chunk the merged run into target-size tables.
+  std::vector<std::shared_ptr<SsTable>> new_tables;
+  SsTable::Options topts;
+  topts.stream = opts_.stream;
+  topts.block_bytes = opts_.block_bytes;
+  topts.bloom_bits_per_key = opts_.bloom_bits_per_key;
+  size_t begin = 0;
+  size_t bytes = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    bytes += out[i].key.size() + out[i].value.size() + 8;
+    const bool last = i + 1 == out.size();
+    if (bytes >= opts_.sstable_target_bytes || last) {
+      std::vector<KvRecord> chunk(out.begin() + begin, out.begin() + i + 1);
+      auto table = SsTable::Build(store_, topts, chunk);
+      BG3_RETURN_IF_ERROR(table.status());
+      stats_.bytes_written.Add(table.value()->data_bytes());
+      new_tables.push_back(table.take());
+      begin = i + 1;
+      bytes = 0;
+    }
+  }
+
+  // Install: next level = untouched + outputs (sorted, non-overlapping);
+  // the compacted inputs leave their level.
+  for (const auto& t : inputs) t->MarkObsolete();
+  for (const auto& t : overlaps) t->MarkObsolete();
+  std::vector<std::shared_ptr<SsTable>> next_level = std::move(untouched);
+  next_level.insert(next_level.end(), new_tables.begin(), new_tables.end());
+  std::sort(next_level.begin(), next_level.end(),
+            [](const std::shared_ptr<SsTable>& a,
+               const std::shared_ptr<SsTable>& b) {
+              return a->smallest() < b->smallest();
+            });
+  versions->InstallLevel(next, std::move(next_level));
+
+  if (level == 0) {
+    versions->InstallLevel(0, {});
+  } else {
+    std::vector<std::shared_ptr<SsTable>> remaining;
+    for (const auto& t : versions->level(level)) {
+      if (t != inputs.front()) remaining.push_back(t);
+    }
+    versions->InstallLevel(level, std::move(remaining));
+  }
+  return Status::OK();
+}
+
+}  // namespace bg3::lsm

@@ -1,0 +1,54 @@
+#ifndef BG3_LSM_COMPACTION_H_
+#define BG3_LSM_COMPACTION_H_
+
+#include <cstdint>
+
+#include "cloud/cloud_store.h"
+#include "common/metrics.h"
+#include "lsm/version.h"
+
+namespace bg3::lsm {
+
+struct CompactionOptions {
+  cloud::StreamId stream = 0;
+  int l0_compaction_trigger = 4;
+  uint64_t level_base_bytes = 8u << 20;  ///< L1 target; ×multiplier per level.
+  double level_multiplier = 10.0;
+  size_t sstable_target_bytes = 2u << 20;
+  size_t block_bytes = 4096;
+  size_t bloom_bits_per_key = 10;
+};
+
+/// Counters of background compaction work — the LSM write amplification
+/// BG3's storage-cost comparison (§4.2) charges against ByteGraph.
+struct CompactionStats {
+  Counter compactions;
+  Counter bytes_read;
+  Counter bytes_written;
+};
+
+/// Leveled compaction (full-level merge policy): L0 merges entirely into
+/// L1 when the run count exceeds the trigger; Ln merges into Ln+1 when it
+/// exceeds its size target. Externally synchronized by LsmDb.
+class Compactor {
+ public:
+  Compactor(cloud::CloudStore* store, const CompactionOptions& options)
+      : store_(store), opts_(options) {}
+
+  /// Runs compactions until every level satisfies its invariant.
+  Status MaybeCompact(VersionSet* versions);
+
+  CompactionStats& stats() { return stats_; }
+
+ private:
+  Status CompactLevel(VersionSet* versions, int level);
+  uint64_t LevelTarget(int level) const;
+
+  cloud::CloudStore* const store_;
+  const CompactionOptions opts_;
+  CompactionStats stats_;
+};
+
+}  // namespace bg3::lsm
+
+#endif  // BG3_LSM_COMPACTION_H_

@@ -1,0 +1,167 @@
+#include "lsm/lsm_db.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace bg3::lsm {
+
+LsmDb::LsmDb(cloud::CloudStore* store, const LsmOptions& options)
+    : store_(store),
+      opts_(options),
+      versions_(options.max_levels),
+      compactor_(store, [&] {
+        CompactionOptions c = options.compaction;
+        c.stream = options.stream;
+        return c;
+      }()) {}
+
+Status LsmDb::Put(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.puts.Inc();
+  mem_.Put(key, value);
+  return MaybeFlushLocked();
+}
+
+Status LsmDb::Delete(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_.Delete(key);
+  return MaybeFlushLocked();
+}
+
+Status LsmDb::MaybeFlushLocked() {
+  if (mem_.ApproxBytes() < opts_.memtable_bytes) return Status::OK();
+  const std::vector<KvRecord> records = mem_.Dump();
+  if (records.empty()) return Status::OK();
+  SsTable::Options topts;
+  topts.stream = opts_.stream;
+  topts.block_bytes = opts_.compaction.block_bytes;
+  topts.bloom_bits_per_key = opts_.compaction.bloom_bits_per_key;
+  auto table = SsTable::Build(store_, topts, records);
+  BG3_RETURN_IF_ERROR(table.status());
+  versions_.AddToL0(table.take());
+  mem_.Clear();
+  stats_.memtable_flushes.Inc();
+  return compactor_.MaybeCompact(&versions_);
+}
+
+Result<std::string> LsmDb::Get(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.gets.Inc();
+  std::string value;
+  bool tombstone = false;
+  if (mem_.Get(key, &value, &tombstone)) {
+    if (tombstone) return Status::NotFound("deleted");
+    return value;
+  }
+  // Probe L0 newest-first, then each lower level: the multi-layer scan of
+  // §2.4 ("reading a data piece necessitates massive I/O to scan through
+  // multiple layers").
+  for (int level = 0; level < versions_.max_levels(); ++level) {
+    for (const auto& table : versions_.level(level)) {
+      stats_.tables_probed.Inc();
+      auto found = table->Get(key, &value, &tombstone);
+      BG3_RETURN_IF_ERROR(found.status());
+      if (found.value()) {
+        if (tombstone) return Status::NotFound("deleted");
+        return value;
+      }
+    }
+  }
+  return Status::NotFound("no such key");
+}
+
+Status LsmDb::Scan(const Slice& start, const Slice& end, size_t limit,
+                   std::vector<KvRecord>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Gather candidates newest-source-first, keep the newest record per key.
+  std::map<std::string, KvRecord> merged;
+  auto absorb = [&](const std::vector<KvRecord>& records) {
+    for (const KvRecord& r : records) merged.emplace(r.key, r);
+  };
+  std::vector<KvRecord> mem_records;
+  mem_.CollectRange(start, end, &mem_records);
+  absorb(mem_records);
+  for (int level = 0; level < versions_.max_levels(); ++level) {
+    for (const auto& table : versions_.level(level)) {
+      std::vector<KvRecord> records;
+      BG3_RETURN_IF_ERROR(table->CollectRange(start, end, &records));
+      absorb(records);
+    }
+  }
+  for (auto& [key, record] : merged) {
+    if (out->size() - 0 >= limit) break;
+    if (record.tombstone) continue;
+    out->push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+Status LsmDb::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<KvRecord> records = mem_.Dump();
+  if (!records.empty()) {
+    SsTable::Options topts;
+    topts.stream = opts_.stream;
+    topts.block_bytes = opts_.compaction.block_bytes;
+    topts.bloom_bits_per_key = opts_.compaction.bloom_bits_per_key;
+    auto table = SsTable::Build(store_, topts, records);
+    BG3_RETURN_IF_ERROR(table.status());
+    versions_.AddToL0(table.take());
+    mem_.Clear();
+    stats_.memtable_flushes.Inc();
+  }
+  return compactor_.MaybeCompact(&versions_);
+}
+
+uint64_t LsmDb::TotalDataBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.TotalBytes() + mem_.ApproxBytes();
+}
+
+ShardedLsm::ShardedLsm(cloud::CloudStore* store, const LsmOptions& options,
+                       size_t shards) {
+  BG3_CHECK_GT(shards, 0u);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    LsmOptions o = options;
+    o.stream = store->CreateStream("lsm-shard-" + std::to_string(i));
+    shards_.push_back(std::make_unique<LsmDb>(store, o));
+  }
+}
+
+LsmDb* ShardedLsm::Route(const Slice& key) {
+  return shards_[HashSlice(key) % shards_.size()].get();
+}
+
+Status ShardedLsm::Put(const Slice& key, const Slice& value) {
+  return Route(key)->Put(key, value);
+}
+
+Status ShardedLsm::Delete(const Slice& key) { return Route(key)->Delete(key); }
+
+Result<std::string> ShardedLsm::Get(const Slice& key) {
+  return Route(key)->Get(key);
+}
+
+Status ShardedLsm::Flush() {
+  for (auto& s : shards_) BG3_RETURN_IF_ERROR(s->Flush());
+  return Status::OK();
+}
+
+uint64_t ShardedLsm::TotalDataBytes() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->TotalDataBytes();
+  return sum;
+}
+
+uint64_t ShardedLsm::TotalCompactionBytesWritten() const {
+  uint64_t sum = 0;
+  for (const auto& s : shards_) {
+    sum += const_cast<LsmDb*>(s.get())->compaction_stats().bytes_written.Get();
+  }
+  return sum;
+}
+
+}  // namespace bg3::lsm

@@ -1,0 +1,46 @@
+#include "lsm/memtable.h"
+
+namespace bg3::lsm {
+
+void MemTable::Put(const Slice& key, const Slice& value) {
+  auto [it, inserted] =
+      table_.insert_or_assign(key.ToString(), Value{value.ToString(), false});
+  if (inserted) bytes_ += key.size() + 32;
+  bytes_ += value.size();
+}
+
+void MemTable::Delete(const Slice& key) {
+  auto [it, inserted] =
+      table_.insert_or_assign(key.ToString(), Value{std::string(), true});
+  if (inserted) bytes_ += key.size() + 32;
+}
+
+bool MemTable::Get(const Slice& key, std::string* value,
+                   bool* tombstone) const {
+  auto it = table_.find(key.ToString());
+  if (it == table_.end()) return false;
+  *tombstone = it->second.tombstone;
+  if (!it->second.tombstone) *value = it->second.data;
+  return true;
+}
+
+std::vector<KvRecord> MemTable::Dump() const {
+  std::vector<KvRecord> out;
+  out.reserve(table_.size());
+  for (const auto& [key, v] : table_) {
+    out.push_back(KvRecord{key, v.data, v.tombstone});
+  }
+  return out;
+}
+
+void MemTable::CollectRange(const Slice& start, const Slice& end,
+                            std::vector<KvRecord>* out) const {
+  auto it = table_.lower_bound(start.ToString());
+  const bool bounded = !end.empty();
+  for (; it != table_.end(); ++it) {
+    if (bounded && Slice(it->first).compare(end) >= 0) break;
+    out->push_back(KvRecord{it->first, it->second.data, it->second.tombstone});
+  }
+}
+
+}  // namespace bg3::lsm

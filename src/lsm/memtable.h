@@ -1,0 +1,60 @@
+#ifndef BG3_LSM_MEMTABLE_H_
+#define BG3_LSM_MEMTABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace bg3::lsm {
+
+/// A keyed record inside the LSM: either a live value or a tombstone.
+struct KvRecord {
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+};
+
+/// Sorted in-memory write buffer of the LSM engine (§2.2's KV storage).
+/// Externally synchronized by LsmDb.
+class MemTable {
+ public:
+  MemTable() = default;
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+
+  /// True if the memtable decides `key`: sets `*tombstone` or `*value`.
+  bool Get(const Slice& key, std::string* value, bool* tombstone) const;
+
+  void Clear() {
+    table_.clear();
+    bytes_ = 0;
+  }
+
+  size_t ApproxBytes() const { return bytes_; }
+  size_t Count() const { return table_.size(); }
+  bool Empty() const { return table_.empty(); }
+
+  /// All records in key order (flush input).
+  std::vector<KvRecord> Dump() const;
+
+  /// Records in [start, end) appended to `out` (merge-scan input).
+  void CollectRange(const Slice& start, const Slice& end,
+                    std::vector<KvRecord>* out) const;
+
+ private:
+  struct Value {
+    std::string data;
+    bool tombstone;
+  };
+  std::map<std::string, Value> table_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace bg3::lsm
+
+#endif  // BG3_LSM_MEMTABLE_H_

@@ -1,0 +1,176 @@
+#include "lsm/sstable.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace bg3::lsm {
+
+BloomFilter::BloomFilter(const std::vector<std::string>& keys,
+                         size_t bits_per_key) {
+  size_t bits = std::max<size_t>(64, keys.size() * bits_per_key);
+  bits_.assign((bits + 7) / 8, 0);
+  bits = bits_.size() * 8;
+  probes_ = std::max(1, static_cast<int>(bits_per_key * 69 / 100));  // ln2
+  for (const std::string& key : keys) {
+    uint64_t h1 = Fnv1a64(key.data(), key.size(), 0);
+    const uint64_t h2 = Fnv1a64(key.data(), key.size(), 0x9e37);
+    for (int i = 0; i < probes_; ++i) {
+      const size_t bit = h1 % bits;
+      bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+      h1 += h2;
+    }
+  }
+}
+
+bool BloomFilter::MayContain(const Slice& key) const {
+  if (bits_.empty()) return true;
+  const size_t bits = bits_.size() * 8;
+  uint64_t h1 = Fnv1a64(key.data(), key.size(), 0);
+  const uint64_t h2 = Fnv1a64(key.data(), key.size(), 0x9e37);
+  for (int i = 0; i < probes_; ++i) {
+    const size_t bit = h1 % bits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h1 += h2;
+  }
+  return true;
+}
+
+std::string SsTable::EncodeBlock(const std::vector<KvRecord>& records,
+                                 size_t begin, size_t end) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    PutLengthPrefixedSlice(&out, records[i].key);
+    out.push_back(records[i].tombstone ? 1 : 0);
+    PutLengthPrefixedSlice(&out, records[i].value);
+  }
+  return out;
+}
+
+Status SsTable::DecodeBlock(Slice input, std::vector<KvRecord>* out) {
+  uint32_t count;
+  if (!GetVarint32(&input, &count)) return Status::Corruption("block count");
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice key;
+    if (!GetLengthPrefixedSlice(&input, &key) || input.empty()) {
+      return Status::Corruption("block key");
+    }
+    const bool tombstone = input[0] != 0;
+    input.remove_prefix(1);
+    Slice value;
+    if (!GetLengthPrefixedSlice(&input, &value)) {
+      return Status::Corruption("block value");
+    }
+    out->push_back(KvRecord{key.ToString(), value.ToString(), tombstone});
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<SsTable>> SsTable::Build(
+    cloud::CloudStore* store, const Options& options,
+    const std::vector<KvRecord>& records) {
+  BG3_CHECK(!records.empty());
+  auto table = std::shared_ptr<SsTable>(new SsTable(store));
+  table->smallest_ = records.front().key;
+  table->largest_ = records.back().key;
+  table->entry_count_ = records.size();
+
+  std::vector<std::string> keys;
+  keys.reserve(records.size());
+  for (const KvRecord& r : records) keys.push_back(r.key);
+  table->bloom_ = BloomFilter(keys, options.bloom_bits_per_key);
+
+  size_t begin = 0;
+  size_t block_size = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    block_size += records[i].key.size() + records[i].value.size() + 8;
+    const bool last = i + 1 == records.size();
+    if (block_size >= options.block_bytes || last) {
+      const std::string block = EncodeBlock(records, begin, i + 1);
+      auto ptr = store->Append(options.stream, block);
+      BG3_RETURN_IF_ERROR(ptr.status());
+      table->block_first_keys_.push_back(records[begin].key);
+      table->block_ptrs_.push_back(ptr.value());
+      table->data_bytes_ += block.size();
+      begin = i + 1;
+      block_size = 0;
+    }
+  }
+  return table;
+}
+
+Result<bool> SsTable::Get(const Slice& key, std::string* value,
+                          bool* tombstone) const {
+  if (key.compare(Slice(smallest_)) < 0 || key.compare(Slice(largest_)) > 0) {
+    return false;
+  }
+  if (!bloom_.MayContain(key)) return false;
+  // Last block whose first key <= key.
+  auto it = std::upper_bound(block_first_keys_.begin(),
+                             block_first_keys_.end(), key.ToString());
+  if (it == block_first_keys_.begin()) return false;
+  const size_t block_idx = (it - block_first_keys_.begin()) - 1;
+  auto data = store_->Read(block_ptrs_[block_idx]);
+  BG3_RETURN_IF_ERROR(data.status());
+  std::vector<KvRecord> records;
+  BG3_RETURN_IF_ERROR(DecodeBlock(Slice(data.value()), &records));
+  auto rit = std::lower_bound(records.begin(), records.end(), key,
+                              [](const KvRecord& r, const Slice& k) {
+                                return Slice(r.key).compare(k) < 0;
+                              });
+  if (rit == records.end() || Slice(rit->key) != key) return false;
+  *tombstone = rit->tombstone;
+  if (!rit->tombstone) *value = rit->value;
+  return true;
+}
+
+Result<std::vector<KvRecord>> SsTable::ReadAll() const {
+  std::vector<KvRecord> out;
+  out.reserve(entry_count_);
+  for (const auto& ptr : block_ptrs_) {
+    auto data = store_->Read(ptr);
+    BG3_RETURN_IF_ERROR(data.status());
+    BG3_RETURN_IF_ERROR(DecodeBlock(Slice(data.value()), &out));
+  }
+  return out;
+}
+
+Status SsTable::CollectRange(const Slice& start, const Slice& end,
+                             std::vector<KvRecord>* out) const {
+  if (!Overlaps(start, end)) return Status::OK();
+  const bool bounded = !end.empty();
+  for (size_t b = 0; b < block_ptrs_.size(); ++b) {
+    // Skip blocks entirely before `start` or after `end`.
+    const bool next_before_start =
+        b + 1 < block_first_keys_.size() &&
+        Slice(block_first_keys_[b + 1]).compare(start) <= 0;
+    if (next_before_start) continue;
+    if (bounded && Slice(block_first_keys_[b]).compare(end) >= 0) break;
+    auto data = store_->Read(block_ptrs_[b]);
+    BG3_RETURN_IF_ERROR(data.status());
+    std::vector<KvRecord> records;
+    BG3_RETURN_IF_ERROR(DecodeBlock(Slice(data.value()), &records));
+    for (KvRecord& r : records) {
+      if (Slice(r.key).compare(start) < 0) continue;
+      if (bounded && Slice(r.key).compare(end) >= 0) break;
+      out->push_back(std::move(r));
+    }
+  }
+  return Status::OK();
+}
+
+bool SsTable::Overlaps(const Slice& start, const Slice& end) const {
+  if (!end.empty() && Slice(smallest_).compare(end) >= 0) return false;
+  if (Slice(largest_).compare(start) < 0) return false;
+  return true;
+}
+
+void SsTable::MarkObsolete() {
+  for (const auto& ptr : block_ptrs_) store_->MarkInvalid(ptr);
+}
+
+}  // namespace bg3::lsm

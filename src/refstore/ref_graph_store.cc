@@ -1,0 +1,161 @@
+#include "refstore/ref_graph_store.h"
+
+#include "common/coding.h"
+
+namespace bg3::refstore {
+
+RefGraphStore::RefGraphStore(cloud::CloudStore* store,
+                             const RefStoreOptions& options)
+    : store_(store), opts_(options) {
+  stream_ = store_->CreateStream("refstore-pages");
+}
+
+void RefGraphStore::BurnCpu() const {
+  // Fixed per-operation overhead standing in for query planning/execution
+  // of a general-purpose engine. volatile keeps the loop from being
+  // optimized away.
+  volatile uint64_t acc = 0xdead;
+  for (size_t i = 0; i < opts_.op_cost_iterations; ++i) {
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+  }
+}
+
+std::string RefGraphStore::EncodeAdjPage(
+    const std::map<graph::VertexId, AdjEntry>& adj) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(adj.size()));
+  for (const auto& [dst, entry] : adj) {
+    PutFixed64(&out, dst);
+    PutFixed64(&out, entry.created_us);
+    PutLengthPrefixedSlice(&out, entry.properties);
+  }
+  return out;
+}
+
+Status RefGraphStore::DecodeAdjPage(const Slice& data,
+                                    std::map<graph::VertexId, AdjEntry>* out) {
+  Slice in = data;
+  uint32_t count;
+  if (!GetVarint32(&in, &count)) return Status::Corruption("adj page");
+  out->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    graph::VertexId dst;
+    AdjEntry entry;
+    Slice props;
+    if (!GetFixed64(&in, &dst) || !GetFixed64(&in, &entry.created_us) ||
+        !GetLengthPrefixedSlice(&in, &props)) {
+      return Status::Corruption("adj page entry");
+    }
+    entry.properties = props.ToString();
+    out->emplace(dst, std::move(entry));
+  }
+  return Status::OK();
+}
+
+Result<std::map<graph::VertexId, RefGraphStore::AdjEntry>>
+RefGraphStore::LoadAdjLocked(const AdjKey& key) const {
+  std::map<graph::VertexId, AdjEntry> adj;
+  auto it = adj_index_.find(key);
+  if (it == adj_index_.end()) return adj;
+  auto data = store_->Read(it->second);
+  BG3_RETURN_IF_ERROR(data.status());
+  BG3_RETURN_IF_ERROR(DecodeAdjPage(Slice(data.value()), &adj));
+  return adj;
+}
+
+Status RefGraphStore::StoreAdjLocked(
+    const AdjKey& key, const std::map<graph::VertexId, AdjEntry>& adj) {
+  auto old = adj_index_.find(key);
+  const std::string page = EncodeAdjPage(adj);
+  auto ptr = store_->Append(stream_, page);
+  BG3_RETURN_IF_ERROR(ptr.status());
+  if (old != adj_index_.end()) store_->MarkInvalid(old->second);
+  adj_index_[key] = ptr.value();
+  return Status::OK();
+}
+
+Status RefGraphStore::AddVertex(graph::VertexId id, const Slice& properties) {
+  BurnCpu();
+  std::unique_lock lock(mu_);
+  auto ptr = store_->Append(stream_, properties);
+  BG3_RETURN_IF_ERROR(ptr.status());
+  auto it = vertex_index_.find(id);
+  if (it != vertex_index_.end()) store_->MarkInvalid(it->second);
+  vertex_index_[id] = ptr.value();
+  return Status::OK();
+}
+
+Result<std::string> RefGraphStore::GetVertex(graph::VertexId id) {
+  BurnCpu();
+  std::shared_lock lock(mu_);
+  auto it = vertex_index_.find(id);
+  if (it == vertex_index_.end()) return Status::NotFound("no such vertex");
+  return store_->Read(it->second);
+}
+
+Status RefGraphStore::DeleteVertex(graph::VertexId id,
+                                   graph::EdgeType type) {
+  BurnCpu();
+  std::unique_lock lock(mu_);
+  auto vit = vertex_index_.find(id);
+  if (vit != vertex_index_.end()) {
+    store_->MarkInvalid(vit->second);
+    vertex_index_.erase(vit);
+  }
+  auto ait = adj_index_.find({id, type});
+  if (ait != adj_index_.end()) {
+    store_->MarkInvalid(ait->second);
+    adj_index_.erase(ait);
+  }
+  return Status::OK();
+}
+
+Status RefGraphStore::AddEdge(graph::VertexId src, graph::EdgeType type,
+                              graph::VertexId dst, const Slice& properties,
+                              graph::TimestampUs created_us) {
+  BurnCpu();
+  std::unique_lock lock(mu_);
+  auto adj = LoadAdjLocked({src, type});
+  BG3_RETURN_IF_ERROR(adj.status());
+  adj.value()[dst] = AdjEntry{created_us, properties.ToString()};
+  return StoreAdjLocked({src, type}, adj.value());
+}
+
+Status RefGraphStore::DeleteEdge(graph::VertexId src, graph::EdgeType type,
+                                 graph::VertexId dst) {
+  BurnCpu();
+  std::unique_lock lock(mu_);
+  auto adj = LoadAdjLocked({src, type});
+  BG3_RETURN_IF_ERROR(adj.status());
+  adj.value().erase(dst);
+  return StoreAdjLocked({src, type}, adj.value());
+}
+
+Result<std::string> RefGraphStore::GetEdge(graph::VertexId src,
+                                           graph::EdgeType type,
+                                           graph::VertexId dst) {
+  BurnCpu();
+  std::shared_lock lock(mu_);
+  auto adj = LoadAdjLocked({src, type});
+  BG3_RETURN_IF_ERROR(adj.status());
+  auto it = adj.value().find(dst);
+  if (it == adj.value().end()) return Status::NotFound("no such edge");
+  return it->second.properties;
+}
+
+Status RefGraphStore::GetNeighbors(graph::VertexId src, graph::EdgeType type,
+                                   size_t limit,
+                                   std::vector<graph::Neighbor>* out) {
+  BurnCpu();
+  std::shared_lock lock(mu_);
+  auto adj = LoadAdjLocked({src, type});
+  BG3_RETURN_IF_ERROR(adj.status());
+  for (auto& [dst, entry] : adj.value()) {
+    if (out->size() >= limit) break;
+    out->push_back(
+        graph::Neighbor{dst, entry.created_us, std::move(entry.properties)});
+  }
+  return Status::OK();
+}
+
+}  // namespace bg3::refstore

@@ -1,0 +1,78 @@
+#ifndef BG3_REFSTORE_REF_GRAPH_STORE_H_
+#define BG3_REFSTORE_REF_GRAPH_STORE_H_
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_store.h"
+#include "graph/engine.h"
+
+namespace bg3::refstore {
+
+struct RefStoreOptions {
+  /// Per-operation fixed CPU cost (iterations of a checksum loop), standing
+  /// in for the query-engine overhead of a general-purpose graph database.
+  size_t op_cost_iterations = 2000;
+};
+
+/// Stand-in for the closed-source conventional comparator (AWS Neptune in
+/// §4.2). Deliberately conventional design: coarse global locking, no
+/// graph-native caching, and page-granular read/write-through to storage —
+/// every write rewrites its whole adjacency page, every read fetches and
+/// parses it. The paper only uses the comparator directionally (ByteGraph
+/// is 17-115x faster); this engine reproduces that order-of-magnitude gap.
+class RefGraphStore : public graph::GraphEngine {
+ public:
+  RefGraphStore(cloud::CloudStore* store, const RefStoreOptions& options = {});
+
+  std::string name() const override { return "RefStore(Neptune-standin)"; }
+
+  Status AddVertex(graph::VertexId id, const Slice& properties) override;
+  Result<std::string> GetVertex(graph::VertexId id) override;
+  Status DeleteVertex(graph::VertexId id, graph::EdgeType type) override;
+
+  Status AddEdge(graph::VertexId src, graph::EdgeType type,
+                 graph::VertexId dst, const Slice& properties,
+                 graph::TimestampUs created_us) override;
+  Status DeleteEdge(graph::VertexId src, graph::EdgeType type,
+                    graph::VertexId dst) override;
+  Result<std::string> GetEdge(graph::VertexId src, graph::EdgeType type,
+                              graph::VertexId dst) override;
+
+  Status GetNeighbors(graph::VertexId src, graph::EdgeType type, size_t limit,
+                      std::vector<graph::Neighbor>* out) override;
+
+ private:
+  struct AdjEntry {
+    graph::TimestampUs created_us;
+    std::string properties;
+  };
+  using AdjKey = std::pair<graph::VertexId, graph::EdgeType>;
+
+  static std::string EncodeAdjPage(
+      const std::map<graph::VertexId, AdjEntry>& adj);
+  static Status DecodeAdjPage(const Slice& data,
+                              std::map<graph::VertexId, AdjEntry>* out);
+
+  /// Reads + parses the adjacency page of (src, type) from storage.
+  Result<std::map<graph::VertexId, AdjEntry>> LoadAdjLocked(
+      const AdjKey& key) const;
+  Status StoreAdjLocked(const AdjKey& key,
+                        const std::map<graph::VertexId, AdjEntry>& adj);
+
+  void BurnCpu() const;
+
+  cloud::CloudStore* const store_;
+  const RefStoreOptions opts_;
+  cloud::StreamId stream_;
+
+  mutable std::shared_mutex mu_;  ///< one coarse lock for the whole store.
+  std::map<AdjKey, cloud::PagePointer> adj_index_;
+  std::map<graph::VertexId, cloud::PagePointer> vertex_index_;
+};
+
+}  // namespace bg3::refstore
+
+#endif  // BG3_REFSTORE_REF_GRAPH_STORE_H_

@@ -1,0 +1,33 @@
+#include "replication/channel.h"
+
+namespace bg3::replication {
+
+LossyChannel::LossyChannel(const ChannelOptions& options)
+    : opts_(options), rng_(options.seed) {}
+
+void LossyChannel::Send(std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sent_.Inc();
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    dropped_.Inc();
+    return;
+  }
+  if (opts_.loss_rate > 0.0 && rng_.Bernoulli(opts_.loss_rate)) {
+    // A drop event eats this message and the next loss_burst - 1.
+    burst_remaining_ = opts_.loss_burst > 0 ? opts_.loss_burst - 1 : 0;
+    dropped_.Inc();
+    return;
+  }
+  queue_.push_back(std::move(message));
+}
+
+std::vector<std::string> LossyChannel::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out(std::make_move_iterator(queue_.begin()),
+                               std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return out;
+}
+
+}  // namespace bg3::replication

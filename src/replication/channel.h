@@ -1,0 +1,55 @@
+#ifndef BG3_REPLICATION_CHANNEL_H_
+#define BG3_REPLICATION_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+
+namespace bg3::replication {
+
+struct ChannelOptions {
+  /// Probability that a send initiates a drop event.
+  double loss_rate = 0.0;
+  /// Consecutive messages lost per drop event (network loss is bursty; a
+  /// lost TCP-forwarded command batch takes neighbours with it).
+  size_t loss_burst = 2;
+  uint64_t seed = 0xc4a7;
+};
+
+/// Unidirectional lossy message channel modelling the asynchronous Gremlin
+/// command forwarding of the previous-generation ByteGraph (§2.3, §4.5):
+/// "this approach is prone to causing disorder or packet loss during the
+/// forwarding process". Thread safe.
+class LossyChannel {
+ public:
+  explicit LossyChannel(const ChannelOptions& options);
+
+  /// Enqueues `message` for the receiver; may silently drop it.
+  void Send(std::string message);
+
+  /// Receiver side: removes and returns all delivered messages.
+  std::vector<std::string> Drain();
+
+  uint64_t sent() const { return sent_.Get(); }
+  uint64_t dropped() const { return dropped_.Get(); }
+
+ private:
+  const ChannelOptions opts_;
+
+  std::mutex mu_;
+  std::deque<std::string> queue_;
+  Random rng_;
+  size_t burst_remaining_ = 0;
+
+  Counter sent_;
+  Counter dropped_;
+};
+
+}  // namespace bg3::replication
+
+#endif  // BG3_REPLICATION_CHANNEL_H_

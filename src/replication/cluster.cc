@@ -1,0 +1,128 @@
+#include "replication/cluster.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace bg3::replication {
+
+Bg3Cluster::Bg3Cluster(cloud::CloudStore* store, const ClusterOptions& options)
+    : store_(store), opts_(options) {
+  BG3_CHECK_GT(opts_.partitions, 0);
+  BG3_CHECK_GT(opts_.followers_per_partition, 0);
+  parts_.reserve(opts_.partitions);
+  for (int p = 0; p < opts_.partitions; ++p) {
+    auto part = std::make_unique<Partition>();
+    part->tree_id = static_cast<bwtree::TreeId>(p + 1);
+    part->wal_stream =
+        store_->CreateStream("cluster-p" + std::to_string(p) + "-wal");
+    part->leader = std::make_unique<RwNode>(store_, LeaderOptions(*part));
+    for (int f = 0; f < opts_.followers_per_partition; ++f) {
+      RoNodeOptions ro = opts_.ro;
+      ro.wal_stream = part->wal_stream;
+      ro.seed = opts_.ro.seed + p * 131 + f;
+      part->followers.push_back(std::make_unique<RoNode>(store_, ro));
+    }
+    parts_.push_back(std::move(part));
+  }
+}
+
+RwNodeOptions Bg3Cluster::LeaderOptions(const Partition& part) const {
+  RwNodeOptions rw;
+  rw.tree.tree_id = part.tree_id;
+  rw.tree.max_leaf_entries = opts_.max_leaf_entries;
+  rw.tree.base_stream = store_->CreateStream(
+      "cluster-p" + std::to_string(part.tree_id - 1) + "-base");
+  rw.tree.delta_stream = store_->CreateStream(
+      "cluster-p" + std::to_string(part.tree_id - 1) + "-delta");
+  rw.wal = opts_.wal;
+  rw.wal.stream = part.wal_stream;
+  rw.flush_group_pages = opts_.flush_group_pages;
+  rw.flush_group_mutations = opts_.flush_group_mutations;
+  return rw;
+}
+
+int Bg3Cluster::PartitionOf(const Slice& key) const {
+  return static_cast<int>(HashSlice(key) % parts_.size());
+}
+
+Status Bg3Cluster::Put(const Slice& key, const Slice& value) {
+  return parts_[PartitionOf(key)]->leader->Put(key, value);
+}
+
+Status Bg3Cluster::Delete(const Slice& key) {
+  return parts_[PartitionOf(key)]->leader->Delete(key);
+}
+
+Result<std::string> Bg3Cluster::Get(const Slice& key) {
+  Partition& part = *parts_[PartitionOf(key)];
+  const uint64_t rr = read_rr_.fetch_add(1, std::memory_order_relaxed);
+  RoNode* follower = part.followers[rr % part.followers.size()].get();
+  return follower->Get(part.tree_id, key);
+}
+
+Result<std::string> Bg3Cluster::GetFromLeader(const Slice& key) {
+  return parts_[PartitionOf(key)]->leader->Get(key);
+}
+
+Status Bg3Cluster::Scan(const Slice& start_key, const Slice& end_key,
+                        size_t limit, std::vector<bwtree::Entry>* out) {
+  // Hash partitioning scatters any key range across all partitions: scan
+  // each leader and merge. (Leaders give the strongest read; followers
+  // would work identically via RoNode::Scan.)
+  std::vector<bwtree::Entry> merged;
+  for (auto& part : parts_) {
+    bwtree::BwTree::ScanOptions scan;
+    scan.start_key = start_key.ToString();
+    scan.end_key = end_key.ToString();
+    scan.limit = limit;
+    BG3_RETURN_IF_ERROR(part->leader->Scan(scan, &merged));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const bwtree::Entry& a, const bwtree::Entry& b) {
+              return a.key < b.key;
+            });
+  if (merged.size() > limit) merged.resize(limit);
+  out->insert(out->end(), std::make_move_iterator(merged.begin()),
+              std::make_move_iterator(merged.end()));
+  return Status::OK();
+}
+
+Status Bg3Cluster::FlushAll() {
+  for (auto& part : parts_) {
+    BG3_RETURN_IF_ERROR(part->leader->FlushGroup());
+  }
+  return Status::OK();
+}
+
+Status Bg3Cluster::CrashAndRecoverLeader(int partition) {
+  if (partition < 0 || partition >= partitions()) {
+    return Status::InvalidArgument("no such partition");
+  }
+  Partition& part = *parts_[partition];
+  const RwNodeOptions opts = LeaderOptions(part);
+  part.leader.reset();  // crash: all volatile state gone
+  auto recovered = RwNode::Recover(store_, opts);
+  BG3_RETURN_IF_ERROR(recovered.status());
+  part.leader = recovered.take();
+  return Status::OK();
+}
+
+size_t Bg3Cluster::TruncateWal(int partition) {
+  if (partition < 0 || partition >= partitions()) return 0;
+  Partition& part = *parts_[partition];
+  const cloud::PagePointer checkpoint =
+      part.leader->last_checkpoint_wal_ptr();
+  if (checkpoint.IsNull()) return 0;  // nothing checkpointed yet
+  cloud::ExtentId before = checkpoint.extent_id;
+  for (auto& follower : part.followers) {
+    const cloud::PagePointer cursor = follower->WalCursor();
+    // A follower that never polled pins the whole log.
+    if (cursor.IsNull()) return 0;
+    before = std::min(before, cursor.extent_id);
+  }
+  return store_->TruncateStreamBefore(part.wal_stream, before);
+}
+
+}  // namespace bg3::replication

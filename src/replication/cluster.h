@@ -1,0 +1,96 @@
+#ifndef BG3_REPLICATION_CLUSTER_H_
+#define BG3_REPLICATION_CLUSTER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_store.h"
+#include "replication/ro_node.h"
+#include "replication/rw_node.h"
+
+namespace bg3::replication {
+
+struct ClusterOptions {
+  /// "It's feasible to deploy multiple RW nodes, as we can distribute write
+  /// requests across distinct RW nodes using hashing" (§3.1).
+  int partitions = 2;
+  /// RO nodes per partition (the 1M1F / 1M2F / ... setups of Fig. 14).
+  int followers_per_partition = 1;
+
+  size_t max_leaf_entries = 256;
+  size_t flush_group_pages = 64;
+  uint64_t flush_group_mutations = 8192;
+  wal::WalWriterOptions wal;  ///< template; stream assigned per partition.
+  RoNodeOptions ro;           ///< template; wal_stream assigned per partition.
+};
+
+/// A full BG3 deployment over one shared cloud store (Fig. 2): hashed write
+/// partitions, each a RW node with its own WAL and Bw-tree, replicated to a
+/// pool of strongly consistent RO nodes; plus the operational machinery the
+/// topology needs — leader crash recovery and WAL truncation bounded by the
+/// slowest follower.
+class Bg3Cluster {
+ public:
+  Bg3Cluster(cloud::CloudStore* store, const ClusterOptions& options);
+
+  Bg3Cluster(const Bg3Cluster&) = delete;
+  Bg3Cluster& operator=(const Bg3Cluster&) = delete;
+
+  // --- data path -------------------------------------------------------------
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+
+  /// Strongly consistent read served by a follower (round-robin across the
+  /// key's partition pool).
+  Result<std::string> Get(const Slice& key);
+  /// Read served by the partition leader.
+  Result<std::string> GetFromLeader(const Slice& key);
+
+  /// Globally ordered scan of [start, end): per-partition scans merged
+  /// (keys are hash-partitioned, so every partition may hold range pieces).
+  Status Scan(const Slice& start_key, const Slice& end_key, size_t limit,
+              std::vector<bwtree::Entry>* out);
+
+  // --- operations --------------------------------------------------------------
+  /// Group-flush every partition leader (checkpoint everywhere).
+  Status FlushAll();
+
+  /// Simulates a leader crash on `partition` and rebuilds it from shared
+  /// storage (manifest + WAL). Followers keep serving throughout.
+  Status CrashAndRecoverLeader(int partition);
+
+  /// Frees WAL extents every reader is guaranteed done with: strictly
+  /// before min(slowest follower cursor, newest checkpoint record) — fresh
+  /// followers bootstrap from the manifest, so nothing before the
+  /// checkpoint is ever needed again. Returns extents freed.
+  size_t TruncateWal(int partition);
+
+  // --- introspection -------------------------------------------------------------
+  int partitions() const { return static_cast<int>(parts_.size()); }
+  RwNode* leader(int partition) { return parts_[partition]->leader.get(); }
+  RoNode* follower(int partition, int index) {
+    return parts_[partition]->followers[index].get();
+  }
+  int PartitionOf(const Slice& key) const;
+
+ private:
+  struct Partition {
+    bwtree::TreeId tree_id = 0;
+    cloud::StreamId wal_stream = 0;
+    std::unique_ptr<RwNode> leader;
+    std::vector<std::unique_ptr<RoNode>> followers;
+  };
+
+  RwNodeOptions LeaderOptions(const Partition& part) const;
+
+  cloud::CloudStore* const store_;
+  const ClusterOptions opts_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::atomic<uint64_t> read_rr_{0};
+};
+
+}  // namespace bg3::replication
+
+#endif  // BG3_REPLICATION_CLUSTER_H_

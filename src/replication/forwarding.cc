@@ -1,0 +1,72 @@
+#include "replication/forwarding.h"
+
+#include "common/coding.h"
+
+namespace bg3::replication {
+
+Status ForwardingRwNode::Put(const Slice& key, const Slice& value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_[key.ToString()] = value.ToString();
+  }
+  Forward('P', key, value);
+  return Status::OK();
+}
+
+Status ForwardingRwNode::Delete(const Slice& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_.erase(key.ToString());
+  }
+  Forward('D', key, Slice());
+  return Status::OK();
+}
+
+Result<std::string> ForwardingRwNode::Get(const Slice& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key.ToString());
+  if (it == data_.end()) return Status::NotFound("no such key");
+  return it->second;
+}
+
+void ForwardingRwNode::Forward(char op, const Slice& key, const Slice& value) {
+  std::string cmd;
+  cmd.push_back(op);
+  PutLengthPrefixedSlice(&cmd, key);
+  PutLengthPrefixedSlice(&cmd, value);
+  for (LossyChannel* ch : followers_) ch->Send(cmd);
+}
+
+void ForwardingRoNode::Drain() {
+  for (std::string& cmd : channel_->Drain()) {
+    Slice in(cmd);
+    if (in.empty()) continue;
+    const char op = in[0];
+    in.remove_prefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&in, &key) ||
+        !GetLengthPrefixedSlice(&in, &value)) {
+      continue;  // malformed command: drop (models replay failure)
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (op == 'P') {
+      data_[key.ToString()] = value.ToString();
+    } else if (op == 'D') {
+      data_.erase(key.ToString());
+    }
+  }
+}
+
+Result<std::string> ForwardingRoNode::Get(const Slice& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key.ToString());
+  if (it == data_.end()) return Status::NotFound("no such key");
+  return it->second;
+}
+
+size_t ForwardingRoNode::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+}  // namespace bg3::replication

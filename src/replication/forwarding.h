@@ -1,0 +1,56 @@
+#ifndef BG3_REPLICATION_FORWARDING_H_
+#define BG3_REPLICATION_FORWARDING_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "replication/channel.h"
+
+namespace bg3::replication {
+
+/// The previous-generation ByteGraph leader-follower scheme (§2.3): the RW
+/// node applies a write locally and asynchronously forwards the write
+/// command to every RO node over the network. Only eventual consistency —
+/// a dropped command is simply missing on the RO until some eventual
+/// repair. Fig. 12 measures the resulting recall under packet loss.
+class ForwardingRwNode {
+ public:
+  explicit ForwardingRwNode(std::vector<LossyChannel*> followers)
+      : followers_(std::move(followers)) {}
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  Result<std::string> Get(const Slice& key) const;
+
+ private:
+  void Forward(char op, const Slice& key, const Slice& value);
+
+  std::vector<LossyChannel*> followers_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> data_;
+};
+
+/// RO-side replayer of forwarded commands.
+class ForwardingRoNode {
+ public:
+  explicit ForwardingRoNode(LossyChannel* channel) : channel_(channel) {}
+
+  /// Applies every delivered command (replay).
+  void Drain();
+
+  Result<std::string> Get(const Slice& key) const;
+  size_t Size() const;
+
+ private:
+  LossyChannel* const channel_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> data_;
+};
+
+}  // namespace bg3::replication
+
+#endif  // BG3_REPLICATION_FORWARDING_H_

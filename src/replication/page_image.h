@@ -1,0 +1,92 @@
+#ifndef BG3_REPLICATION_PAGE_IMAGE_H_
+#define BG3_REPLICATION_PAGE_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "bwtree/page.h"
+#include "cloud/types.h"
+#include "common/coding.h"
+
+namespace bg3::replication {
+
+/// Value stored in the shared mapping-table area (cloud manifest) per page:
+/// where the page's current storage images live and which LSN they cover.
+/// The RW node publishes these at step (8) of Fig. 7; RO nodes consult them
+/// ("looks up the old mapping in shared storage", step (5)).
+struct PageImageMeta {
+  bwtree::Lsn flushed_lsn = 0;
+  cloud::PagePointer base_ptr;
+  std::vector<cloud::PagePointer> delta_ptrs;  ///< oldest-first.
+  /// Key range [low_key, high_key) of the page at flush time; lets readers
+  /// bootstrap routing from the mapping table alone (WAL truncation).
+  std::string low_key;
+  std::string high_key;
+  bool has_high_key = false;
+
+  std::string Encode() const {
+    std::string out;
+    PutFixed64(&out, flushed_lsn);
+    base_ptr.EncodeTo(&out);
+    PutVarint32(&out, static_cast<uint32_t>(delta_ptrs.size()));
+    for (const auto& p : delta_ptrs) p.EncodeTo(&out);
+    PutLengthPrefixedSlice(&out, low_key);
+    PutLengthPrefixedSlice(&out, high_key);
+    out.push_back(has_high_key ? 1 : 0);
+    return out;
+  }
+
+  static Status Decode(Slice input, PageImageMeta* out) {
+    uint32_t count;
+    if (!GetFixed64(&input, &out->flushed_lsn) ||
+        !cloud::PagePointer::DecodeFrom(&input, &out->base_ptr) ||
+        !GetVarint32(&input, &count)) {
+      return Status::Corruption("page image meta");
+    }
+    out->delta_ptrs.clear();
+    out->delta_ptrs.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      cloud::PagePointer p;
+      if (!cloud::PagePointer::DecodeFrom(&input, &p)) {
+        return Status::Corruption("page image delta ptr");
+      }
+      out->delta_ptrs.push_back(p);
+    }
+    Slice low, high;
+    if (!GetLengthPrefixedSlice(&input, &low) ||
+        !GetLengthPrefixedSlice(&input, &high) || input.empty()) {
+      return Status::Corruption("page image key range");
+    }
+    out->low_key = low.ToString();
+    out->high_key = high.ToString();
+    out->has_high_key = input[0] != 0;
+    return Status::OK();
+  }
+};
+
+/// Manifest key of a page's image meta.
+inline std::string PageImageKey(bwtree::TreeId tree, bwtree::PageId page) {
+  return "pt/" + std::to_string(tree) + "/" + std::to_string(page);
+}
+
+/// Manifest key prefix covering every page of `tree`.
+inline std::string PageImagePrefix(bwtree::TreeId tree) {
+  return "pt/" + std::to_string(tree) + "/";
+}
+
+/// Parses a PageImageKey back into (tree, page); false if malformed.
+inline bool ParsePageImageKey(const std::string& key, bwtree::TreeId* tree,
+                              bwtree::PageId* page) {
+  if (key.rfind("pt/", 0) != 0) return false;
+  const size_t slash = key.find('/', 3);
+  if (slash == std::string::npos) return false;
+  char* end = nullptr;
+  *tree = strtoull(key.c_str() + 3, &end, 10);
+  if (end != key.c_str() + slash) return false;
+  *page = strtoull(key.c_str() + slash + 1, &end, 10);
+  return *end == '\0';
+}
+
+}  // namespace bg3::replication
+
+#endif  // BG3_REPLICATION_PAGE_IMAGE_H_

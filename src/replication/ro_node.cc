@@ -1,0 +1,502 @@
+#include "replication/ro_node.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "replication/page_image.h"
+
+namespace bg3::replication {
+
+namespace {
+
+bool KeyInRange(const Slice& key, const std::string& low,
+                const std::string& high, bool has_high) {
+  return key.compare(Slice(low)) >= 0 &&
+         (!has_high || key.compare(Slice(high)) < 0);
+}
+
+}  // namespace
+
+RoNode::RoNode(cloud::CloudStore* store, const RoNodeOptions& options)
+    : store_(store),
+      opts_(options),
+      reader_(store, options.wal_stream),
+      rng_(options.seed) {}
+
+Status RoNode::PollWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PollWalLocked();
+}
+
+Status RoNode::PollWalLocked() {
+  if (!bootstrapped_) {
+    BootstrapFromManifestLocked();
+    bootstrapped_ = true;
+  }
+  if (opts_.min_poll_gap_us > 0) {
+    const uint64_t now = NowMicros();
+    if (now - last_poll_us_ < opts_.min_poll_gap_us) return Status::OK();
+    last_poll_us_ = now;
+  }
+  // Drain everything appended since the last poll (the reader returns at
+  // most a bounded batch count per call).
+  for (;;) {
+    auto records = reader_.Poll();
+    BG3_RETURN_IF_ERROR(records.status());
+    if (records.value().empty()) return Status::OK();
+    for (const wal::WalRecord& rec : records.value()) {
+      BG3_RETURN_IF_ERROR(ApplyWalRecordLocked(rec));
+    }
+  }
+}
+
+void RoNode::BootstrapFromManifestLocked() {
+  // Published page images carry their key ranges, so the route/meta tables
+  // can be seeded without the WAL prefix that created them (which may have
+  // been truncated). WAL records that survive truncation re-apply on top:
+  // mutations are LSN-gated and split records are range-idempotent.
+  for (const auto& [key, value] : store_->ManifestList("pt/")) {
+    bwtree::TreeId tree_id;
+    bwtree::PageId page_id;
+    if (!ParsePageImageKey(key, &tree_id, &page_id)) continue;
+    PageImageMeta image;
+    if (!PageImageMeta::Decode(Slice(value), &image).ok()) continue;
+    TreeState& ts = trees_[tree_id];
+    PageMeta meta;
+    meta.low_key = image.low_key;
+    meta.high_key = image.high_key;
+    meta.has_high_key = image.has_high_key;
+    ts.meta[page_id] = std::move(meta);
+    ts.route[image.low_key] = page_id;
+    max_lsn_seen_ = std::max(max_lsn_seen_, image.flushed_lsn);
+  }
+}
+
+Status RoNode::ApplyWalRecordLocked(const wal::WalRecord& rec) {
+  max_lsn_seen_ = std::max(max_lsn_seen_, rec.lsn);
+  switch (rec.type) {
+    case wal::WalRecord::Type::kTreeInit: {
+      TreeState& ts = trees_[rec.tree_id];
+      if (!ts.route.empty()) return Status::OK();  // manifest-bootstrapped
+      ts.route[""] = rec.page_id;
+      PageMeta meta;
+      meta.low_key = "";
+      meta.has_high_key = false;
+      ts.meta[rec.page_id] = std::move(meta);
+      return Status::OK();
+    }
+    case wal::WalRecord::Type::kMutation: {
+      TreeState& ts = trees_[rec.tree_id];
+      PendingLog& log = ts.pending[rec.page_id];
+      log.records.push_back(rec);
+      stats_.wal_mutations.Inc();
+      // Leader-follower latency sample: publish latency (group wait + WAL
+      // append) + tail-poll delay + log read from shared storage.
+      const uint64_t poll_wait = rng_.Uniform(opts_.poll_interval_us + 1);
+      const uint64_t log_read =
+          store_->latency_model().ReadLatencyUs(64 + rec.entry.key.size() +
+                                                rec.entry.value.size());
+      sync_latency_.Record(rec.sim_publish_latency_us + poll_wait + log_read);
+      if (log.records.size() > opts_.pending_compact_threshold &&
+          log.records.size() > 2 * log.last_compacted_size) {
+        CompactPendingVector(&log.records);
+        log.last_compacted_size = log.records.size();
+        stats_.pending_merges.Inc();
+      }
+      return Status::OK();
+    }
+    case wal::WalRecord::Type::kSplit: {
+      TreeState& ts = trees_[rec.tree_id];
+      auto mit = ts.meta.find(rec.page_id);
+      if (mit == ts.meta.end()) {
+        return Status::Corruption("split of unknown page");
+      }
+      if (ts.meta.count(rec.aux_page_id) > 0) {
+        // Replay of a pre-bootstrap split: the manifest layout already
+        // reflects it (and possibly later splits); do not widen ranges.
+        return Status::OK();
+      }
+      // Bring a cached copy of the splitting page fully current *before*
+      // cutting it, so the new page's cached copy does not miss pending
+      // records that predate the split.
+      auto cit = cache_.find({rec.tree_id, rec.page_id});
+      if (cit != cache_.end()) {
+        ApplyPendingLocked(ts, rec.tree_id, rec.page_id, &cit->second);
+      }
+      PageMeta& old_meta = mit->second;
+      PageMeta new_meta;
+      new_meta.low_key = rec.separator;
+      new_meta.high_key = old_meta.high_key;
+      new_meta.has_high_key = old_meta.has_high_key;
+      new_meta.parent = rec.page_id;
+      new_meta.split_lsn = rec.lsn;
+      ts.meta[rec.aux_page_id] = std::move(new_meta);
+      old_meta.high_key = rec.separator;
+      old_meta.has_high_key = true;
+      ts.route[rec.separator] = rec.aux_page_id;
+      // Split the cached copy, if any ("the RO node directly creates it in
+      // memory" for pages born after the last flush).
+      if (cit != cache_.end()) {
+        CachedPage upper;
+        upper.applied_lsn = cit->second.applied_lsn;
+        upper.last_use = ++use_tick_;
+        auto& entries = cit->second.entries;
+        auto split_at = std::lower_bound(
+            entries.begin(), entries.end(), rec.separator,
+            [](const bwtree::Entry& e, const std::string& k) {
+              return e.key < k;
+            });
+        upper.entries.assign(std::make_move_iterator(split_at),
+                             std::make_move_iterator(entries.end()));
+        entries.erase(split_at, entries.end());
+        cache_[{rec.tree_id, rec.aux_page_id}] = std::move(upper);
+        EvictIfNeededLocked();
+      }
+      return Status::OK();
+    }
+    case wal::WalRecord::Type::kCheckpoint: {
+      // Storage images now cover everything up to rec.lsn: drop older
+      // lazy-replay entries ("once the RO reads this log item, it can
+      // discard all records ... with an LSN number less than" it).
+      // Cached pages must absorb those records first — a cache-resident
+      // copy never re-reads the manifest image, so discarding records it
+      // has not applied yet would serve stale data forever.
+      for (auto& [tree_id, ts] : trees_) {
+        for (auto& [page_id, log] : ts.pending) {
+          if (log.records.empty()) continue;
+          auto cit = cache_.find({tree_id, page_id});
+          if (cit != cache_.end()) {
+            ApplyPendingLocked(ts, tree_id, page_id, &cit->second);
+          }
+          const size_t before = log.records.size();
+          std::erase_if(log.records, [&](const wal::WalRecord& r) {
+            return r.lsn <= rec.lsn;
+          });
+          stats_.discarded.Add(before - log.records.size());
+          if (log.last_compacted_size > log.records.size()) {
+            log.last_compacted_size = log.records.size();
+          }
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown wal record type");
+}
+
+void RoNode::ApplyEntry(std::vector<bwtree::Entry>* entries,
+                        const bwtree::DeltaEntry& e) {
+  auto it = std::lower_bound(entries->begin(), entries->end(), e.key,
+                             [](const bwtree::Entry& a, const std::string& k) {
+                               return a.key < k;
+                             });
+  const bool found = it != entries->end() && it->key == e.key;
+  if (e.op == bwtree::DeltaOp::kDelete) {
+    if (found) entries->erase(it);
+    return;
+  }
+  if (found) {
+    it->value = e.value;
+  } else {
+    entries->insert(it, bwtree::Entry{e.key, e.value});
+  }
+}
+
+void RoNode::CompactPendingVector(std::vector<wal::WalRecord>* recs) {
+  // Keep only the last operation per key, preserving LSN order.
+  std::map<std::string, size_t> last_index;
+  for (size_t i = 0; i < recs->size(); ++i) {
+    last_index[(*recs)[i].entry.key] = i;
+  }
+  std::vector<wal::WalRecord> merged;
+  merged.reserve(last_index.size());
+  for (size_t i = 0; i < recs->size(); ++i) {
+    if (last_index[(*recs)[i].entry.key] == i) {
+      merged.push_back(std::move((*recs)[i]));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const wal::WalRecord& a, const wal::WalRecord& b) {
+              return a.lsn < b.lsn;
+            });
+  *recs = std::move(merged);
+}
+
+void RoNode::ApplyPendingLocked(TreeState& ts, bwtree::TreeId tree,
+                                bwtree::PageId page, CachedPage* cp) {
+  auto pit = ts.pending.find(page);
+  if (pit == ts.pending.end()) return;
+  for (const wal::WalRecord& rec : pit->second.records) {
+    if (rec.lsn <= cp->applied_lsn) continue;
+    ApplyEntry(&cp->entries, rec.entry);
+    cp->applied_lsn = rec.lsn;
+    stats_.replayed.Inc();
+  }
+}
+
+Result<RoNode::CachedPage*> RoNode::GetPageLocked(bwtree::TreeId tree,
+                                                  bwtree::PageId page) {
+  TreeState& ts = trees_[tree];
+  auto it = cache_.find({tree, page});
+  if (it != cache_.end()) {
+    stats_.cache_hits.Inc();
+    it->second.last_use = ++use_tick_;
+    ApplyPendingLocked(ts, tree, page, &it->second);
+    return &it->second;
+  }
+  stats_.cache_misses.Inc();
+  CachedPage cp;
+  BG3_RETURN_IF_ERROR(BuildViewLocked(tree, page, &cp));
+  cp.last_use = ++use_tick_;
+  auto [cit, inserted] = cache_.emplace(CacheKey{tree, page}, std::move(cp));
+  EvictIfNeededLocked();
+  ApplyPendingLocked(ts, tree, page, &cit->second);
+  return &cit->second;
+}
+
+Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
+                               CachedPage* out) {
+  TreeState& ts = trees_[tree];
+  auto target_meta_it = ts.meta.find(page);
+  if (target_meta_it == ts.meta.end()) {
+    return Status::NotFound("unknown page");
+  }
+  const PageMeta target_meta = target_meta_it->second;
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    // Walk the split-origin chain until a page with a published storage
+    // image: the "old mapping" lookup of Fig. 7 step (5). A page born after
+    // the last flush has no image and is reconstructed purely from its
+    // ancestors plus the lazy-replay log (step (6)).
+    std::vector<bwtree::PageId> chain;
+    bwtree::PageId cur = page;
+    bwtree::Lsn descend_split_lsn = 0;  // split edge we walked up through
+    PageImageMeta image;
+    bool have_image = false;
+    bool restart = false;
+    for (;;) {
+      chain.push_back(cur);
+      auto manifest = store_->ManifestGet(PageImageKey(tree, cur));
+      if (manifest.ok()) {
+        BG3_RETURN_IF_ERROR(
+            PageImageMeta::Decode(Slice(manifest.value()), &image));
+        if (cur != page && image.flushed_lsn >= descend_split_lsn) {
+          // The ancestor's image postdates the split we walked through, so
+          // it no longer contains our key range — but then our own image
+          // must have been published meanwhile. Retry from the top.
+          restart = true;
+        }
+        have_image = true;
+        break;
+      }
+      auto mit = ts.meta.find(cur);
+      BG3_CHECK(mit != ts.meta.end());
+      if (mit->second.parent == bwtree::kInvalidPage) break;  // empty base
+      descend_split_lsn = mit->second.split_lsn;
+      cur = mit->second.parent;
+    }
+    if (restart) continue;
+
+    // Load the base image + its deltas.
+    std::vector<bwtree::Entry> entries;
+    bwtree::Lsn base_lsn = 0;
+    if (have_image) {
+      base_lsn = image.flushed_lsn;
+      auto base = store_->Read(image.base_ptr);
+      BG3_RETURN_IF_ERROR(base.status());
+      stats_.storage_reads.Inc();
+      Slice in(base.value());
+      bwtree::RecordHeader header;
+      BG3_RETURN_IF_ERROR(bwtree::DecodeRecordHeader(&in, &header));
+      BG3_RETURN_IF_ERROR(bwtree::DecodeBasePagePayload(in, &entries));
+      std::vector<std::vector<bwtree::DeltaEntry>> chains;
+      for (const auto& ptr : image.delta_ptrs) {
+        auto delta = store_->Read(ptr);
+        BG3_RETURN_IF_ERROR(delta.status());
+        stats_.storage_reads.Inc();
+        Slice din(delta.value());
+        BG3_RETURN_IF_ERROR(bwtree::DecodeRecordHeader(&din, &header));
+        std::vector<bwtree::DeltaEntry> des;
+        BG3_RETURN_IF_ERROR(bwtree::DecodeDeltaPayload(din, &des));
+        chains.push_back(std::move(des));
+      }
+      if (!chains.empty()) {
+        std::vector<const std::vector<bwtree::DeltaEntry>*> ptrs;
+        for (const auto& c : chains) ptrs.push_back(&c);
+        entries = bwtree::ApplyDeltaChain(std::move(entries), ptrs);
+      }
+    }
+
+    // Replay pending records of every page on the origin chain, LSN order.
+    std::vector<const wal::WalRecord*> recs;
+    for (bwtree::PageId p : chain) {
+      auto pit = ts.pending.find(p);
+      if (pit == ts.pending.end()) continue;
+      for (const wal::WalRecord& r : pit->second.records) {
+        if (r.lsn > base_lsn) recs.push_back(&r);
+      }
+    }
+    std::sort(recs.begin(), recs.end(),
+              [](const wal::WalRecord* a, const wal::WalRecord* b) {
+                return a->lsn < b->lsn;
+              });
+    bwtree::Lsn applied = base_lsn;
+    for (const wal::WalRecord* r : recs) {
+      ApplyEntry(&entries, r->entry);
+      applied = std::max(applied, r->lsn);
+      stats_.replayed.Inc();
+    }
+
+    // Keep only this page's key range (ancestor images/logs cover more).
+    std::erase_if(entries, [&](const bwtree::Entry& e) {
+      return !KeyInRange(Slice(e.key), target_meta.low_key,
+                         target_meta.high_key, target_meta.has_high_key);
+    });
+    out->entries = std::move(entries);
+    out->applied_lsn = applied;
+    return Status::OK();
+  }
+  return Status::Corruption("page view kept racing with flush publication");
+}
+
+void RoNode::EvictIfNeededLocked() {
+  // Never evict down to nothing: the page just inserted by the caller must
+  // survive (it carries the highest last_use tick and is never the LRU
+  // victim while at least two pages exist).
+  while (cache_.size() > opts_.cache_capacity_pages && cache_.size() > 1) {
+    auto victim = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    cache_.erase(victim);
+  }
+}
+
+Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BG3_RETURN_IF_ERROR(PollWalLocked());
+  auto tit = trees_.find(tree);
+  if (tit == trees_.end() || tit->second.route.empty()) {
+    return Status::NotFound("tree not replicated yet");
+  }
+  TreeState& ts = tit->second;
+  auto rit = ts.route.upper_bound(key.ToString());
+  BG3_CHECK(rit != ts.route.begin());
+  --rit;
+  auto page = GetPageLocked(tree, rit->second);
+  BG3_RETURN_IF_ERROR(page.status());
+  std::string value;
+  if (bwtree::LookupInBase(page.value()->entries, key, &value)) return value;
+  return Status::NotFound("no such key");
+}
+
+Status RoNode::Scan(bwtree::TreeId tree, const Slice& start_key,
+                    const Slice& end_key, size_t limit,
+                    std::vector<bwtree::Entry>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BG3_RETURN_IF_ERROR(PollWalLocked());
+  auto tit = trees_.find(tree);
+  if (tit == trees_.end() || tit->second.route.empty()) {
+    return Status::OK();  // nothing replicated yet
+  }
+  TreeState& ts = tit->second;
+  std::string cursor = start_key.ToString();
+  const bool bounded = !end_key.empty();
+  size_t remaining = limit;
+  for (;;) {
+    if (remaining == 0) return Status::OK();
+    auto rit = ts.route.upper_bound(cursor);
+    BG3_CHECK(rit != ts.route.begin());
+    --rit;
+    const bwtree::PageId page_id = rit->second;
+    auto page = GetPageLocked(tree, page_id);
+    BG3_RETURN_IF_ERROR(page.status());
+    const auto& entries = page.value()->entries;
+    auto it = std::lower_bound(entries.begin(), entries.end(), cursor,
+                               [](const bwtree::Entry& e, const std::string& k) {
+                                 return e.key < k;
+                               });
+    for (; it != entries.end() && remaining > 0; ++it) {
+      if (bounded && Slice(it->key).compare(end_key) >= 0) return Status::OK();
+      out->push_back(*it);
+      --remaining;
+    }
+    const PageMeta& meta = ts.meta[page_id];
+    if (!meta.has_high_key) return Status::OK();
+    if (bounded && Slice(meta.high_key).compare(end_key) >= 0) {
+      return Status::OK();
+    }
+    cursor = meta.high_key;
+  }
+}
+
+Result<RoNode::ExportedTree> RoNode::ExportTree(bwtree::TreeId tree) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BG3_RETURN_IF_ERROR(PollWalLocked());
+  auto tit = trees_.find(tree);
+  if (tit == trees_.end() || tit->second.route.empty()) {
+    return Status::NotFound("tree not present in the WAL");
+  }
+  TreeState& ts = tit->second;
+  ExportedTree out;
+  out.tree_id = tree;
+  out.max_lsn = max_lsn_seen_;
+  out.pages.reserve(ts.route.size());
+  for (const auto& [low_key, page_id] : ts.route) {
+    auto cp = GetPageLocked(tree, page_id);
+    BG3_RETURN_IF_ERROR(cp.status());
+    const PageMeta& meta = ts.meta[page_id];
+    bwtree::RecoveredPage rp;
+    rp.id = page_id;
+    rp.low_key = meta.low_key;
+    rp.high_key = meta.high_key;
+    rp.has_high_key = meta.has_high_key;
+    rp.entries = cp.value()->entries;
+    rp.last_lsn = cp.value()->applied_lsn;
+    // Attach the current storage image so the recovered node's first flush
+    // can invalidate it (keeps GC accounting exact).
+    auto manifest = store_->ManifestGet(PageImageKey(tree, page_id));
+    if (manifest.ok()) {
+      PageImageMeta image;
+      BG3_RETURN_IF_ERROR(PageImageMeta::Decode(Slice(manifest.value()), &image));
+      rp.base_ptr = image.base_ptr;
+    }
+    out.pages.push_back(std::move(rp));
+  }
+  return out;
+}
+
+void RoNode::CompactPendingLogs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [tree_id, ts] : trees_) {
+    for (auto& [page_id, log] : ts.pending) {
+      if (log.records.size() > 1) {
+        CompactPendingVector(&log.records);
+        log.last_compacted_size = log.records.size();
+        stats_.pending_merges.Inc();
+      }
+    }
+  }
+}
+
+cloud::PagePointer RoNode::WalCursor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reader_.cursor();
+}
+
+size_t RoNode::PendingRecordCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [tree_id, ts] : trees_) {
+    for (const auto& [page_id, log] : ts.pending) n += log.records.size();
+  }
+  return n;
+}
+
+size_t RoNode::CachedPageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace bg3::replication

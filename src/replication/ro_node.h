@@ -1,0 +1,175 @@
+#ifndef BG3_REPLICATION_RO_NODE_H_
+#define BG3_REPLICATION_RO_NODE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "cloud/cloud_store.h"
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "wal/reader.h"
+
+namespace bg3::replication {
+
+struct RoNodeOptions {
+  cloud::StreamId wal_stream = 0;
+  /// Page cache capacity; eviction is LRU ("the cache on RO node
+  /// dynamically evicts pages from DRAM based on the read requests").
+  size_t cache_capacity_pages = 4096;
+  /// Simulated WAL tail interval; a record waits Uniform(0, interval) to be
+  /// noticed (feeds the leader-follower latency of Figs. 13/14).
+  uint64_t poll_interval_us = 50'000;
+  /// Pending-log vectors longer than this are merged in place ("we
+  /// regularly merge multiple modifications of the same page in the log
+  /// area in the background").
+  size_t pending_compact_threshold = 128;
+  /// Minimum wall-clock gap between actual WAL tail scans. 0 = tail on
+  /// every read (strict freshness, used by tests); production-style nodes
+  /// tail on a cadence so reads are not serialized on the WAL stream.
+  uint64_t min_poll_gap_us = 0;
+  uint64_t seed = 0x20;
+};
+
+/// Aggregated RO-node counters.
+struct RoNodeStats {
+  Counter cache_hits;
+  Counter cache_misses;
+  Counter wal_mutations;   ///< mutation records consumed from the WAL.
+  Counter replayed;        ///< pending records applied onto cached pages.
+  Counter discarded;       ///< pending records dropped by checkpoints.
+  Counter storage_reads;   ///< base/delta images fetched on cache misses.
+  Counter pending_merges;  ///< background pending-log compactions.
+};
+
+/// A Read-Only node of §3.4 / Fig. 7: tails the WAL into an in-memory
+/// lazy-replay log indexed by page id, serves reads from a page cache, and
+/// reconstructs missing pages from the *old* storage mapping plus replay —
+/// the mechanism that gives BG3 strong leader-follower consistency without
+/// blocking the RW node.
+///
+/// Thread safe via a single node mutex (reads of one RO node serialize;
+/// read scaling in Fig. 14 comes from adding RO nodes, as in the paper).
+class RoNode {
+ public:
+  RoNode(cloud::CloudStore* store, const RoNodeOptions& options);
+
+  RoNode(const RoNode&) = delete;
+  RoNode& operator=(const RoNode&) = delete;
+
+  /// Consumes newly appended WAL records (route/meta updates, pending-log
+  /// growth, checkpoint-based discard). Also called implicitly by reads.
+  Status PollWal();
+
+  /// Strongly consistent point read: reflects every write the RW node
+  /// WAL-published before this call.
+  Result<std::string> Get(bwtree::TreeId tree, const Slice& key);
+
+  /// Ordered range scan (multi-hop graph reads on RO nodes).
+  Status Scan(bwtree::TreeId tree, const Slice& start_key,
+              const Slice& end_key, size_t limit,
+              std::vector<bwtree::Entry>* out);
+
+  /// Background maintenance: merge pending logs page by page.
+  void CompactPendingLogs();
+
+  /// Full materialized layout of one tree, for crash recovery of an RW
+  /// node: every leaf page's key range and logical content as of the
+  /// latest WAL state (see replication::RecoverRwNode).
+  struct ExportedTree {
+    bwtree::TreeId tree_id = 0;
+    std::vector<bwtree::RecoveredPage> pages;  ///< key order.
+    bwtree::Lsn max_lsn = 0;                   ///< newest LSN in the WAL.
+  };
+  Result<ExportedTree> ExportTree(bwtree::TreeId tree);
+
+  size_t PendingRecordCount() const;
+  size_t CachedPageCount() const;
+
+  /// WAL position this node has consumed through; the minimum across all
+  /// readers bounds safe WAL truncation.
+  cloud::PagePointer WalCursor() const;
+
+  /// Simulated leader-follower latency samples (publish + poll + log read).
+  Histogram& sync_latency() { return sync_latency_; }
+  RoNodeStats& stats() { return stats_; }
+
+ private:
+  struct PageMeta {
+    std::string low_key;
+    std::string high_key;
+    bool has_high_key = false;
+    bwtree::PageId parent = bwtree::kInvalidPage;
+    bwtree::Lsn split_lsn = 0;
+  };
+
+  struct PendingLog {
+    std::vector<wal::WalRecord> records;  ///< LSN-ascending.
+    /// Size after the last merge; compaction re-runs only once the log has
+    /// grown meaningfully past it (merging can't shrink unique-key logs).
+    size_t last_compacted_size = 0;
+  };
+
+  struct TreeState {
+    std::map<std::string, bwtree::PageId> route;
+    std::unordered_map<bwtree::PageId, PageMeta> meta;
+    /// The lazy-replay log area, indexed by page number (§3.4 "to improve
+    /// the efficiency of searching the log area ... an index keyed by page
+    /// number").
+    std::unordered_map<bwtree::PageId, PendingLog> pending;
+  };
+
+  struct CachedPage {
+    std::vector<bwtree::Entry> entries;  ///< sorted merged view.
+    bwtree::Lsn applied_lsn = 0;
+    uint64_t last_use = 0;
+  };
+
+  using CacheKey = std::pair<bwtree::TreeId, bwtree::PageId>;
+
+  Status PollWalLocked();
+  Status ApplyWalRecordLocked(const wal::WalRecord& record);
+  /// Seeds route/meta from the shared mapping table, so a node can come up
+  /// against a truncated WAL (images + ranges substitute for the dropped
+  /// prefix of TreeInit/Split records).
+  void BootstrapFromManifestLocked();
+
+  /// Returns the cached page, building it from storage + replay on a miss.
+  Result<CachedPage*> GetPageLocked(bwtree::TreeId tree, bwtree::PageId page);
+  Status BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
+                         CachedPage* out);
+  /// Applies pending records newer than the page's applied_lsn.
+  void ApplyPendingLocked(TreeState& ts, bwtree::TreeId tree,
+                          bwtree::PageId page, CachedPage* cp);
+  void EvictIfNeededLocked();
+
+  static void ApplyEntry(std::vector<bwtree::Entry>* entries,
+                         const bwtree::DeltaEntry& e);
+  static void CompactPendingVector(std::vector<wal::WalRecord>* recs);
+
+  cloud::CloudStore* const store_;
+  const RoNodeOptions opts_;
+  wal::WalReader reader_;
+
+  mutable std::mutex mu_;
+  bool bootstrapped_ = false;
+  uint64_t last_poll_us_ = 0;
+  bwtree::Lsn max_lsn_seen_ = 0;
+  std::map<bwtree::TreeId, TreeState> trees_;
+  std::map<CacheKey, CachedPage> cache_;
+  uint64_t use_tick_ = 0;
+  Random rng_;
+
+  Histogram sync_latency_;
+  RoNodeStats stats_;
+};
+
+}  // namespace bg3::replication
+
+#endif  // BG3_REPLICATION_RO_NODE_H_

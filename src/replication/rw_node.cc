@@ -1,0 +1,199 @@
+#include "replication/rw_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "replication/ro_node.h"
+
+namespace bg3::replication {
+
+RwNode::RwNode(cloud::CloudStore* store, const RwNodeOptions& options)
+    : store_(store), opts_(options), wal_(store, options.wal) {
+  bwtree::BwTreeOptions tree_opts = opts_.tree;
+  tree_opts.flush_mode = bwtree::FlushMode::kDeferred;
+  tree_opts.read_cache = bwtree::ReadCacheMode::kFull;
+  tree_opts.listener = this;
+  if (tree_opts.lsn_source == nullptr) tree_opts.lsn_source = &lsn_source_;
+  tree_ = std::make_unique<bwtree::BwTree>(store_, tree_opts);
+}
+
+RwNode::RwNode(BootstrapTag, cloud::CloudStore* store,
+               const RwNodeOptions& options)
+    : store_(store), opts_(options), wal_(store, options.wal) {
+  bwtree::BwTreeOptions tree_opts = opts_.tree;
+  tree_opts.flush_mode = bwtree::FlushMode::kDeferred;
+  tree_opts.read_cache = bwtree::ReadCacheMode::kFull;
+  tree_opts.listener = this;
+  tree_opts.bootstrap = true;  // layout installed by Recover()
+  if (tree_opts.lsn_source == nullptr) tree_opts.lsn_source = &lsn_source_;
+  tree_ = std::make_unique<bwtree::BwTree>(store_, tree_opts);
+}
+
+Result<std::unique_ptr<RwNode>> RwNode::Recover(cloud::CloudStore* store,
+                                                const RwNodeOptions& options) {
+  // Materialize the full tree state the way an RO node would: manifest
+  // images ("old mapping") + WAL lazy replay.
+  RoNodeOptions ro_opts;
+  ro_opts.wal_stream = options.wal.stream;
+  ro_opts.cache_capacity_pages = ~0ull;
+  RoNode builder(store, ro_opts);
+  auto exported = builder.ExportTree(options.tree.tree_id);
+  BG3_RETURN_IF_ERROR(exported.status());
+
+  auto node = std::unique_ptr<RwNode>(new RwNode(BootstrapTag{}, store, options));
+  // Resume the LSN sequence after everything already in the WAL, so the
+  // recovered node's records extend the same total order.
+  node->lsn_source_.store(exported.value().max_lsn, std::memory_order_release);
+  node->last_checkpoint_.store(exported.value().max_lsn,
+                               std::memory_order_release);
+  BG3_RETURN_IF_ERROR(
+      node->tree_->InstallRecoveredPages(std::move(exported.value().pages)));
+  // Republish images for the recovered layout and checkpoint, so RO replay
+  // logs can be discarded and the WAL prefix becomes logically dead.
+  BG3_RETURN_IF_ERROR(node->FlushGroup());
+  return node;
+}
+
+Status RwNode::Put(const Slice& key, const Slice& value) {
+  BG3_RETURN_IF_ERROR(tree_->Upsert(key, value));
+  return MaybeFlushGroup();
+}
+
+Status RwNode::Delete(const Slice& key) {
+  BG3_RETURN_IF_ERROR(tree_->Delete(key));
+  return MaybeFlushGroup();
+}
+
+Result<std::string> RwNode::Get(const Slice& key) { return tree_->Get(key); }
+
+Status RwNode::Scan(const bwtree::BwTree::ScanOptions& options,
+                    std::vector<bwtree::Entry>* out) {
+  return tree_->Scan(options, out);
+}
+
+Status RwNode::MaybeFlushGroup() {
+  const bwtree::Lsn lsn = lsn_source_.load(std::memory_order_relaxed);
+  const bool mutation_pressure =
+      lsn - last_checkpoint_.load(std::memory_order_relaxed) >=
+      opts_.flush_group_mutations;
+  // Cheap dirty-count probe; exact flush happens under flush_mu_.
+  if (!mutation_pressure &&
+      tree_->DirtyPageIds().size() < opts_.flush_group_pages) {
+    return Status::OK();
+  }
+  return FlushGroup();
+}
+
+Status RwNode::FlushGroup() {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  // Every mutation with LSN <= checkpoint will be covered by the images we
+  // are about to flush (all currently dirty pages are flushed; later
+  // mutations may also sneak into the images, which is harmless — RO replay
+  // is LSN-gated per page).
+  const bwtree::Lsn checkpoint =
+      lsn_source_.load(std::memory_order_acquire);
+  const std::vector<bwtree::PageId> dirty = tree_->DirtyPageIds();
+  for (bwtree::PageId id : dirty) {
+    BG3_RETURN_IF_ERROR(tree_->FlushPage(id));
+  }
+  // The WAL must be visible before any manifest entry that presumes it
+  // (RO nodes replay from the WAL on top of published images).
+  BG3_RETURN_IF_ERROR(wal_.Flush());
+
+  // Publish staged mapping entries, children before parents (descending
+  // page id; page ids are allocated monotonically, so a split child always
+  // has a larger id than its parent). This guarantees an RO node never
+  // observes a parent's post-split image while the child image is missing.
+  std::vector<StagedImage> staged;
+  {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    staged.swap(staged_);
+  }
+  std::sort(staged.begin(), staged.end(),
+            [](const StagedImage& a, const StagedImage& b) {
+              return a.page > b.page;
+            });
+  // Deduplicate: keep only the newest image per page (a page may flush
+  // multiple times between groups via GC relocation).
+  for (auto it = staged.begin(); it != staged.end();) {
+    auto next = it + 1;
+    if (next != staged.end() && next->tree == it->tree &&
+        next->page == it->page) {
+      // Same page: keep the entry with the larger flushed_lsn.
+      if (next->meta.flushed_lsn < it->meta.flushed_lsn) *next = *it;
+      it = staged.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const StagedImage& s : staged) {
+    store_->ManifestPut(PageImageKey(s.tree, s.page), s.meta.Encode());
+  }
+
+  if (!dirty.empty() || !staged.empty()) {
+    wal::WalRecord rec;
+    rec.type = wal::WalRecord::Type::kCheckpoint;
+    rec.tree_id = opts_.tree.tree_id;
+    rec.lsn = checkpoint;
+    BG3_RETURN_IF_ERROR(wal_.Append(std::move(rec)));
+    BG3_RETURN_IF_ERROR(wal_.Flush());
+    last_checkpoint_.store(checkpoint, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(ckpt_ptr_mu_);
+    last_checkpoint_wal_ptr_ = wal_.last_append_ptr();
+  }
+  return Status::OK();
+}
+
+void RwNode::OnTreeInit(bwtree::TreeId tree, bwtree::PageId initial_page) {
+  wal::WalRecord rec;
+  rec.type = wal::WalRecord::Type::kTreeInit;
+  rec.tree_id = tree;
+  rec.page_id = initial_page;
+  (void)wal_.Append(std::move(rec));
+  (void)wal_.Flush();
+}
+
+void RwNode::OnMutation(bwtree::TreeId tree, bwtree::PageId page,
+                        bwtree::Lsn lsn, const bwtree::DeltaEntry& entry) {
+  wal::WalRecord rec;
+  rec.type = wal::WalRecord::Type::kMutation;
+  rec.tree_id = tree;
+  rec.page_id = page;
+  rec.lsn = lsn;
+  rec.entry = entry;
+  (void)wal_.Append(std::move(rec));
+}
+
+void RwNode::OnSplit(bwtree::TreeId tree, bwtree::PageId old_page,
+                     bwtree::PageId new_page, bwtree::Lsn lsn,
+                     const std::string& separator) {
+  wal::WalRecord rec;
+  rec.type = wal::WalRecord::Type::kSplit;
+  rec.tree_id = tree;
+  rec.page_id = old_page;
+  rec.aux_page_id = new_page;
+  rec.lsn = lsn;
+  rec.separator = separator;
+  (void)wal_.Append(std::move(rec));
+}
+
+void RwNode::OnPageFlushed(bwtree::TreeId tree, bwtree::PageId page,
+                           bwtree::Lsn flushed_lsn,
+                           const cloud::PagePointer& base_ptr,
+                           const std::vector<cloud::PagePointer>& delta_ptrs,
+                           const std::string& low_key,
+                           const std::string& high_key, bool has_high_key) {
+  StagedImage staged;
+  staged.tree = tree;
+  staged.page = page;
+  staged.meta.flushed_lsn = flushed_lsn;
+  staged.meta.base_ptr = base_ptr;
+  staged.meta.delta_ptrs = delta_ptrs;
+  staged.meta.low_key = low_key;
+  staged.meta.high_key = high_key;
+  staged.meta.has_high_key = has_high_key;
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  staged_.push_back(std::move(staged));
+}
+
+}  // namespace bg3::replication

@@ -1,0 +1,121 @@
+#ifndef BG3_REPLICATION_RW_NODE_H_
+#define BG3_REPLICATION_RW_NODE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "bwtree/listener.h"
+#include "common/metrics.h"
+#include "replication/page_image.h"
+#include "wal/writer.h"
+
+namespace bg3::replication {
+
+struct RwNodeOptions {
+  /// Tree configuration; flush_mode is forced to kDeferred (the RW node is
+  /// the group-commit flusher of §3.4) and the listener is the node itself.
+  bwtree::BwTreeOptions tree;
+  wal::WalWriterOptions wal;
+  /// Group commit: flush once this many pages are dirty ("accumulated dirty
+  /// pages on the RW are flushed by a background thread once [they] reach a
+  /// specific threshold").
+  size_t flush_group_pages = 64;
+  /// Also flush once this many mutations accumulated since the last
+  /// checkpoint (bounds RO replay-log growth when the working set is small
+  /// and the dirty-page threshold alone would never trigger).
+  uint64_t flush_group_mutations = 8192;
+};
+
+/// The Read/Write node of BG3's write-once read-many architecture (§3.4,
+/// Fig. 7). Every mutation is applied to the in-memory Bw-tree and logged
+/// to the WAL on shared storage (steps (1)-(2)); dirty pages are flushed in
+/// groups (step (7)); after a group the node publishes new page-table
+/// versions to the shared mapping area and appends a checkpoint record
+/// (step (8)).
+class RwNode : public bwtree::TreeListener {
+ public:
+  RwNode(cloud::CloudStore* store, const RwNodeOptions& options);
+
+  /// Crash recovery: rebuilds an RW node purely from shared storage — the
+  /// published mapping-table images plus WAL replay (the same machinery RO
+  /// nodes use for lazy page reconstruction). The recovered node continues
+  /// the existing WAL (LSNs resume after the highest recovered LSN), so RO
+  /// nodes that were tailing before the crash keep working unchanged.
+  static Result<std::unique_ptr<RwNode>> Recover(cloud::CloudStore* store,
+                                                 const RwNodeOptions& options);
+
+  RwNode(const RwNode&) = delete;
+  RwNode& operator=(const RwNode&) = delete;
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  Result<std::string> Get(const Slice& key);
+  Status Scan(const bwtree::BwTree::ScanOptions& options,
+              std::vector<bwtree::Entry>* out);
+
+  /// Flushes a dirty-page group if the threshold is reached.
+  Status MaybeFlushGroup();
+  /// Flushes all dirty pages, publishes their mapping entries (children
+  /// before parents) and appends the checkpoint WAL record.
+  Status FlushGroup();
+
+  bwtree::BwTree* tree() { return tree_.get(); }
+  wal::WalWriter* wal_writer() { return &wal_; }
+  bwtree::Lsn last_checkpoint_lsn() const {
+    return last_checkpoint_.load(std::memory_order_relaxed);
+  }
+
+  /// WAL location of the newest checkpoint record. Extents strictly before
+  /// it hold only data covered by published images — the upper bound for
+  /// safe WAL truncation (fresh readers bootstrap from the manifest).
+  cloud::PagePointer last_checkpoint_wal_ptr() const {
+    std::lock_guard<std::mutex> lock(ckpt_ptr_mu_);
+    return last_checkpoint_wal_ptr_;
+  }
+
+  // --- bwtree::TreeListener ------------------------------------------------
+  void OnTreeInit(bwtree::TreeId tree, bwtree::PageId initial_page) override;
+  void OnMutation(bwtree::TreeId tree, bwtree::PageId page, bwtree::Lsn lsn,
+                  const bwtree::DeltaEntry& entry) override;
+  void OnSplit(bwtree::TreeId tree, bwtree::PageId old_page,
+               bwtree::PageId new_page, bwtree::Lsn lsn,
+               const std::string& separator) override;
+  void OnPageFlushed(bwtree::TreeId tree, bwtree::PageId page,
+                     bwtree::Lsn flushed_lsn,
+                     const cloud::PagePointer& base_ptr,
+                     const std::vector<cloud::PagePointer>& delta_ptrs,
+                     const std::string& low_key, const std::string& high_key,
+                     bool has_high_key) override;
+
+ private:
+  struct StagedImage {
+    bwtree::TreeId tree;
+    bwtree::PageId page;
+    PageImageMeta meta;
+  };
+
+  struct BootstrapTag {};
+  RwNode(BootstrapTag, cloud::CloudStore* store, const RwNodeOptions& options);
+
+  cloud::CloudStore* const store_;
+  RwNodeOptions opts_;
+  wal::WalWriter wal_;
+  std::atomic<bwtree::Lsn> lsn_source_{0};
+  std::unique_ptr<bwtree::BwTree> tree_;
+
+  std::mutex flush_mu_;  ///< one group flush at a time.
+  std::mutex staged_mu_;
+  std::vector<StagedImage> staged_;
+
+  mutable std::mutex ckpt_ptr_mu_;
+  cloud::PagePointer last_checkpoint_wal_ptr_;
+
+  std::atomic<bwtree::Lsn> last_checkpoint_{0};
+};
+
+}  // namespace bg3::replication
+
+#endif  // BG3_REPLICATION_RW_NODE_H_

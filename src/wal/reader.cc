@@ -1,0 +1,16 @@
+#include "wal/reader.h"
+
+namespace bg3::wal {
+
+Result<std::vector<WalRecord>> WalReader::Poll(size_t max_batches) {
+  std::vector<WalRecord> out;
+  const auto batches = store_->TailRecords(stream_, cursor_, max_batches);
+  for (const auto& [ptr, data] : batches) {
+    BG3_RETURN_IF_ERROR(DecodeBatch(Slice(data), &out));
+    cursor_ = ptr;
+    ++batches_consumed_;
+  }
+  return out;
+}
+
+}  // namespace bg3::wal

@@ -1,0 +1,37 @@
+#ifndef BG3_WAL_READER_H_
+#define BG3_WAL_READER_H_
+
+#include <vector>
+
+#include "cloud/cloud_store.h"
+#include "wal/record.h"
+
+namespace bg3::wal {
+
+/// Tails the WAL stream of the shared store (step (3) in Fig. 7: the WAL
+/// "is instantly read into the RO node's memory"). Each RO node owns one
+/// reader; not thread safe (an RO node polls from one thread).
+class WalReader {
+ public:
+  WalReader(cloud::CloudStore* store, cloud::StreamId stream)
+      : store_(store), stream_(stream) {}
+
+  /// Decodes all batches appended since the previous poll, in order.
+  Result<std::vector<WalRecord>> Poll(size_t max_batches = 1024);
+
+  uint64_t batches_consumed() const { return batches_consumed_; }
+
+  /// Position of the last consumed batch (null before the first poll).
+  /// Everything at or before this pointer may be truncated for this reader.
+  const cloud::PagePointer& cursor() const { return cursor_; }
+
+ private:
+  cloud::CloudStore* const store_;
+  const cloud::StreamId stream_;
+  cloud::PagePointer cursor_;  ///< last consumed batch.
+  uint64_t batches_consumed_ = 0;
+};
+
+}  // namespace bg3::wal
+
+#endif  // BG3_WAL_READER_H_

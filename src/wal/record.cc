@@ -1,0 +1,80 @@
+#include "wal/record.h"
+
+#include "common/coding.h"
+
+namespace bg3::wal {
+
+void WalRecord::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutVarint64(dst, tree_id);
+  PutVarint64(dst, page_id);
+  PutVarint64(dst, aux_page_id);
+  PutVarint64(dst, lsn);
+  PutVarint64(dst, sim_publish_latency_us);
+  dst->push_back(static_cast<char>(entry.op));
+  PutLengthPrefixedSlice(dst, entry.key);
+  PutLengthPrefixedSlice(dst, entry.value);
+  PutLengthPrefixedSlice(dst, separator);
+}
+
+Status WalRecord::DecodeFrom(Slice* input, WalRecord* out) {
+  if (input->empty()) return Status::Corruption("empty wal record");
+  const uint8_t type = static_cast<uint8_t>((*input)[0]);
+  if (type < 1 || type > 4) return Status::Corruption("bad wal type");
+  out->type = static_cast<Type>(type);
+  input->remove_prefix(1);
+  uint64_t tree_id, page_id, aux, lsn, sim_latency;
+  if (!GetVarint64(input, &tree_id) || !GetVarint64(input, &page_id) ||
+      !GetVarint64(input, &aux) || !GetVarint64(input, &lsn) ||
+      !GetVarint64(input, &sim_latency)) {
+    return Status::Corruption("wal header");
+  }
+  out->tree_id = tree_id;
+  out->page_id = page_id;
+  out->aux_page_id = aux;
+  out->lsn = lsn;
+  out->sim_publish_latency_us = sim_latency;
+  if (input->empty()) return Status::Corruption("wal op");
+  out->entry.op = static_cast<bwtree::DeltaOp>((*input)[0]);
+  input->remove_prefix(1);
+  Slice key, value, separator;
+  if (!GetLengthPrefixedSlice(input, &key) ||
+      !GetLengthPrefixedSlice(input, &value) ||
+      !GetLengthPrefixedSlice(input, &separator)) {
+    return Status::Corruption("wal payload");
+  }
+  out->entry.key = key.ToString();
+  out->entry.value = value.ToString();
+  out->separator = separator.ToString();
+  return Status::OK();
+}
+
+std::string EncodeBatch(const std::vector<WalRecord>& records) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(records.size()));
+  std::string scratch;
+  for (const WalRecord& r : records) {
+    scratch.clear();
+    r.EncodeTo(&scratch);
+    PutLengthPrefixedSlice(&out, scratch);
+  }
+  return out;
+}
+
+Status DecodeBatch(Slice input, std::vector<WalRecord>* out) {
+  uint32_t count;
+  if (!GetVarint32(&input, &count)) return Status::Corruption("batch count");
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice rec;
+    if (!GetLengthPrefixedSlice(&input, &rec)) {
+      return Status::Corruption("batch record");
+    }
+    WalRecord r;
+    BG3_RETURN_IF_ERROR(WalRecord::DecodeFrom(&rec, &r));
+    out->push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace bg3::wal

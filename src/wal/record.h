@@ -1,0 +1,51 @@
+#ifndef BG3_WAL_RECORD_H_
+#define BG3_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwtree/page.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace bg3::wal {
+
+/// One entry of the write-ahead log that synchronizes RW and RO nodes
+/// (§3.4). Mutations and splits describe memory-state changes (LSNs 30-32
+/// in Fig. 7); checkpoints announce that the shared-storage images cover
+/// everything up to an LSN (the "LSN 34" record of Fig. 7, letting RO nodes
+/// discard older lazy-replay entries).
+struct WalRecord {
+  enum class Type : uint8_t {
+    kTreeInit = 1,    ///< tree_id, page_id: tree created with initial page.
+    kMutation = 2,    ///< upsert/delete `entry` applied to page at `lsn`.
+    kSplit = 3,       ///< page_id split; keys >= separator -> aux_page_id.
+    kCheckpoint = 4,  ///< storage images complete through `lsn`.
+  };
+
+  Type type = Type::kMutation;
+  bwtree::TreeId tree_id = 0;
+  bwtree::PageId page_id = bwtree::kInvalidPage;
+  bwtree::PageId aux_page_id = bwtree::kInvalidPage;  ///< kSplit: new page.
+  bwtree::Lsn lsn = 0;
+  bwtree::DeltaEntry entry;  ///< kMutation payload.
+  std::string separator;     ///< kSplit payload.
+
+  /// Simulated time from the RW memory update to this record being readable
+  /// in shared storage (group-buffer wait + WAL append latency); filled by
+  /// the writer at flush time. RO nodes add their own poll/read costs to
+  /// produce the leader-follower latency of Figs. 13/14.
+  uint64_t sim_publish_latency_us = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, WalRecord* out);
+};
+
+/// Batch framing: [count v32] (length-prefixed WalRecord)*.
+std::string EncodeBatch(const std::vector<WalRecord>& records);
+Status DecodeBatch(Slice input, std::vector<WalRecord>* out);
+
+}  // namespace bg3::wal
+
+#endif  // BG3_WAL_RECORD_H_

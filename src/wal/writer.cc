@@ -1,0 +1,48 @@
+#include "wal/writer.h"
+
+namespace bg3::wal {
+
+WalWriter::WalWriter(cloud::CloudStore* store, const WalWriterOptions& options)
+    : store_(store), opts_(options), rng_(options.seed) {}
+
+Status WalWriter::Append(WalRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.push_back(std::move(record));
+  if (buffer_.size() >= opts_.group_size) return FlushLocked();
+  return Status::OK();
+}
+
+Status WalWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+cloud::PagePointer WalWriter::last_append_ptr() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_append_ptr_;
+}
+
+Status WalWriter::FlushLocked() {
+  if (buffer_.empty()) return Status::OK();
+  // Stamp each record's simulated publish latency: its residency in the
+  // group buffer plus the append latency of the batch itself.
+  const std::string probe = EncodeBatch(buffer_);
+  const uint64_t append_latency =
+      store_->latency_model().AppendLatencyUs(probe.size());
+  for (WalRecord& r : buffer_) {
+    const uint64_t wait = opts_.group_size <= 1
+                              ? 0
+                              : rng_.Uniform(opts_.group_window_us + 1);
+    r.sim_publish_latency_us = wait + append_latency;
+  }
+  const std::string batch = EncodeBatch(buffer_);
+  auto res = store_->Append(opts_.stream, batch);
+  BG3_RETURN_IF_ERROR(res.status());
+  last_append_ptr_ = res.value();
+  batches_.Inc();
+  records_.Add(buffer_.size());
+  buffer_.clear();
+  return Status::OK();
+}
+
+}  // namespace bg3::wal

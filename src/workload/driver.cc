@@ -1,0 +1,135 @@
+#include "workload/driver.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "workload/graph_gen.h"
+
+namespace bg3::workload {
+
+PartitionedEngine::PartitionedEngine(
+    std::vector<graph::GraphEngine*> partitions)
+    : partitions_(std::move(partitions)) {
+  BG3_CHECK(!partitions_.empty());
+}
+
+std::string PartitionedEngine::name() const {
+  return partitions_[0]->name() + "x" + std::to_string(partitions_.size());
+}
+
+graph::GraphEngine* PartitionedEngine::Route(graph::VertexId src) {
+  return partitions_[Mix64(src) % partitions_.size()];
+}
+
+Status PartitionedEngine::AddVertex(graph::VertexId id,
+                                    const Slice& properties) {
+  return Route(id)->AddVertex(id, properties);
+}
+
+Result<std::string> PartitionedEngine::GetVertex(graph::VertexId id) {
+  return Route(id)->GetVertex(id);
+}
+
+Status PartitionedEngine::DeleteVertex(graph::VertexId id,
+                                       graph::EdgeType type) {
+  return Route(id)->DeleteVertex(id, type);
+}
+
+Status PartitionedEngine::AddEdge(graph::VertexId src, graph::EdgeType type,
+                                  graph::VertexId dst, const Slice& properties,
+                                  graph::TimestampUs created_us) {
+  return Route(src)->AddEdge(src, type, dst, properties, created_us);
+}
+
+Status PartitionedEngine::DeleteEdge(graph::VertexId src, graph::EdgeType type,
+                                     graph::VertexId dst) {
+  return Route(src)->DeleteEdge(src, type, dst);
+}
+
+Result<std::string> PartitionedEngine::GetEdge(graph::VertexId src,
+                                               graph::EdgeType type,
+                                               graph::VertexId dst) {
+  return Route(src)->GetEdge(src, type, dst);
+}
+
+Status PartitionedEngine::GetNeighbors(graph::VertexId src,
+                                       graph::EdgeType type, size_t limit,
+                                       std::vector<graph::Neighbor>* out) {
+  return Route(src)->GetNeighbors(src, type, limit, out);
+}
+
+void RunWorkload(
+    graph::GraphEngine* engine,
+    const std::function<std::unique_ptr<WorkloadGenerator>(int)>&
+        make_generator,
+    const DriverOptions& options, DriverResult* result) {
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> total_errors{0};
+
+  auto worker = [&](int thread_index) {
+    std::unique_ptr<WorkloadGenerator> gen = make_generator(thread_index);
+    const std::string props =
+        MakeProperties(thread_index, options.property_bytes);
+    std::vector<graph::Neighbor> neighbors;
+    uint64_t ops = 0;
+    uint64_t errors = 0;
+    for (uint64_t i = 0; i < options.ops_per_thread; ++i) {
+      const Op op = gen->Next();
+      const uint64_t t0 = options.record_latency ? NowMicros() : 0;
+      Status s = Status::OK();
+      switch (op.type) {
+        case Op::Type::kInsertEdge:
+          s = engine->AddEdge(op.src, options.edge_type, op.dst, props,
+                              NowMicros());
+          break;
+        case Op::Type::kOneHop: {
+          neighbors.clear();
+          s = engine->GetNeighbors(op.src, options.edge_type,
+                                   options.read_limit, &neighbors);
+          break;
+        }
+        case Op::Type::kMultiHop: {
+          graph::TraversalOptions t;
+          t.hops = op.hops;
+          t.fanout_per_vertex = options.multi_hop_fanout;
+          s = KHopNeighbors(engine, op.src, options.edge_type, t).status();
+          break;
+        }
+        case Op::Type::kReachCheck: {
+          graph::TraversalOptions t;
+          t.hops = op.hops;
+          t.fanout_per_vertex = options.multi_hop_fanout;
+          s = IsReachable(engine, op.src, op.dst, options.edge_type, t)
+                  .status();
+          break;
+        }
+      }
+      if (!s.ok() && !s.IsNotFound()) ++errors;
+      ++ops;
+      if (options.record_latency) {
+        result->latency_us.Record(NowMicros() - t0);
+      }
+    }
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+    total_errors.fetch_add(errors, std::memory_order_relaxed);
+  };
+
+  const uint64_t start = NowMicros();
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  for (int t = 0; t < options.threads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  const uint64_t elapsed = NowMicros() - start;
+
+  result->ops = total_ops.load();
+  result->errors = total_errors.load();
+  result->seconds = static_cast<double>(elapsed) / 1e6;
+  result->qps = result->seconds > 0
+                    ? static_cast<double>(result->ops) / result->seconds
+                    : 0.0;
+}
+
+}  // namespace bg3::workload

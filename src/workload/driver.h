@@ -1,0 +1,77 @@
+#ifndef BG3_WORKLOAD_DRIVER_H_
+#define BG3_WORKLOAD_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "graph/engine.h"
+#include "graph/traversal.h"
+#include "workload/workloads.h"
+
+namespace bg3::workload {
+
+/// Routes each operation to one of several engine instances by source
+/// vertex hash — the multi-node ("horizontal") scaling setup of Fig. 8,
+/// where a cluster partitions the graph across nodes.
+class PartitionedEngine : public graph::GraphEngine {
+ public:
+  explicit PartitionedEngine(std::vector<graph::GraphEngine*> partitions);
+
+  std::string name() const override;
+
+  Status AddVertex(graph::VertexId id, const Slice& properties) override;
+  Result<std::string> GetVertex(graph::VertexId id) override;
+  Status DeleteVertex(graph::VertexId id, graph::EdgeType type) override;
+  Status AddEdge(graph::VertexId src, graph::EdgeType type,
+                 graph::VertexId dst, const Slice& properties,
+                 graph::TimestampUs created_us) override;
+  Status DeleteEdge(graph::VertexId src, graph::EdgeType type,
+                    graph::VertexId dst) override;
+  Result<std::string> GetEdge(graph::VertexId src, graph::EdgeType type,
+                              graph::VertexId dst) override;
+  Status GetNeighbors(graph::VertexId src, graph::EdgeType type, size_t limit,
+                      std::vector<graph::Neighbor>* out) override;
+
+ private:
+  graph::GraphEngine* Route(graph::VertexId src);
+
+  std::vector<graph::GraphEngine*> partitions_;
+};
+
+struct DriverOptions {
+  int threads = 4;
+  uint64_t ops_per_thread = 10'000;
+  graph::EdgeType edge_type = 1;
+  size_t read_limit = 32;       ///< neighbors fetched per 1-hop query.
+  size_t multi_hop_fanout = 8;  ///< expansion budget per vertex per hop.
+  size_t property_bytes = 16;
+  bool record_latency = false;  ///< per-op latency histogram (adds overhead).
+};
+
+struct DriverResult {
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  Histogram latency_us;  ///< populated only with record_latency.
+
+  DriverResult() = default;
+  DriverResult(const DriverResult&) = delete;
+  DriverResult& operator=(const DriverResult&) = delete;
+  DriverResult(DriverResult&&) = delete;
+};
+
+/// Closed-loop multithreaded workload run: each thread owns a generator
+/// built by `make_generator(thread_index)` and fires ops back-to-back —
+/// the "kept adding clients until no further increase in throughput"
+/// methodology of §4.2, approximated with a fixed client count.
+void RunWorkload(
+    graph::GraphEngine* engine,
+    const std::function<std::unique_ptr<WorkloadGenerator>(int)>& make_generator,
+    const DriverOptions& options, DriverResult* result);
+
+}  // namespace bg3::workload
+
+#endif  // BG3_WORKLOAD_DRIVER_H_

@@ -1,0 +1,46 @@
+#include "workload/graph_gen.h"
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace bg3::workload {
+
+std::string MakeProperties(uint64_t seed, size_t bytes) {
+  std::string out;
+  out.reserve(bytes);
+  Random rng(seed);
+  while (out.size() < bytes) {
+    out.push_back(static_cast<char>('a' + rng.Uniform(26)));
+  }
+  return out;
+}
+
+Result<uint64_t> LoadGraph(graph::GraphEngine* engine,
+                           const GraphGenOptions& options) {
+  ZipfGenerator src_gen(options.num_sources, options.zipf_theta,
+                        options.seed);
+  ZipfGenerator dst_gen(options.num_dests, options.zipf_theta,
+                        options.seed + 1);
+  Random rng(options.seed + 2);
+  const std::string props = MakeProperties(options.seed, options.property_bytes);
+
+  if (options.add_vertices) {
+    for (uint64_t v = 0; v < options.num_sources; ++v) {
+      BG3_RETURN_IF_ERROR(engine->AddVertex(v, props));
+    }
+  }
+  uint64_t inserted = 0;
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    const graph::VertexId src = src_gen.Next();
+    // Offset destinations so src != dst in bipartite-style graphs; for
+    // follow graphs (num_dests == num_sources) self-loops are just skipped.
+    graph::VertexId dst = dst_gen.Next();
+    if (dst == src) dst = (dst + 1) % options.num_dests;
+    BG3_RETURN_IF_ERROR(engine->AddEdge(src, options.edge_type, dst, props,
+                                        NowMicros()));
+    ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace bg3::workload

@@ -1,0 +1,35 @@
+#ifndef BG3_WORKLOAD_GRAPH_GEN_H_
+#define BG3_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/engine.h"
+
+namespace bg3::workload {
+
+/// Synthetic power-law graph matching the shape of ByteDance's production
+/// graphs (§2.5: "the graph data exhibits a power-law distribution"), at a
+/// laptop-friendly scale (see DESIGN.md substitutions).
+struct GraphGenOptions {
+  uint64_t num_sources = 100'000;  ///< e.g. users.
+  uint64_t num_dests = 100'000;    ///< e.g. videos (== sources for follows).
+  uint64_t num_edges = 500'000;
+  /// Zipf skew of source activity and destination popularity.
+  double zipf_theta = 0.8;
+  graph::EdgeType edge_type = 1;
+  size_t property_bytes = 16;
+  uint64_t seed = 42;
+  bool add_vertices = false;  ///< also register every vertex with properties.
+};
+
+/// Bulk-loads a synthetic graph; returns the number of AddEdge calls.
+Result<uint64_t> LoadGraph(graph::GraphEngine* engine,
+                           const GraphGenOptions& options);
+
+/// Deterministic property blob for an edge/vertex.
+std::string MakeProperties(uint64_t seed, size_t bytes);
+
+}  // namespace bg3::workload
+
+#endif  // BG3_WORKLOAD_GRAPH_GEN_H_

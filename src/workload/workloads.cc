@@ -1,0 +1,61 @@
+#include "workload/workloads.h"
+
+namespace bg3::workload {
+
+FollowWorkload::FollowWorkload(const Options& options, uint64_t seed)
+    : opts_(options),
+      user_gen_(options.num_users, options.zipf_theta, seed),
+      dst_gen_(options.num_users, options.zipf_theta, seed + 1),
+      rng_(seed + 2) {}
+
+Op FollowWorkload::Next() {
+  Op op;
+  op.src = user_gen_.Next();
+  if (rng_.Bernoulli(opts_.write_fraction)) {
+    op.type = Op::Type::kInsertEdge;
+    op.dst = dst_gen_.Next();
+    if (op.dst == op.src) op.dst = (op.dst + 1) % opts_.num_users;
+  } else {
+    op.type = Op::Type::kOneHop;
+    op.hops = 1;
+  }
+  return op;
+}
+
+RiskControlWorkload::RiskControlWorkload(const Options& options, uint64_t seed)
+    : opts_(options),
+      account_gen_(options.num_accounts, options.zipf_theta, seed),
+      rng_(seed + 1) {}
+
+Op RiskControlWorkload::Next() {
+  Op op;
+  op.src = account_gen_.Next();
+  if (next_is_write_) {
+    op.type = Op::Type::kInsertEdge;
+    op.dst = account_gen_.Next();
+    if (op.dst == op.src) op.dst = (op.dst + 1) % opts_.num_accounts;
+  } else {
+    op.type = Op::Type::kReachCheck;
+    op.dst = account_gen_.Next();
+    op.hops = opts_.min_hops +
+              static_cast<int>(rng_.Uniform(opts_.max_hops - opts_.min_hops + 1));
+  }
+  next_is_write_ = !next_is_write_;
+  return op;
+}
+
+RecommendWorkload::RecommendWorkload(const Options& options, uint64_t seed)
+    : opts_(options),
+      user_gen_(options.num_users, options.zipf_theta, seed),
+      rng_(seed + 1) {}
+
+Op RecommendWorkload::Next() {
+  Op op;
+  op.src = user_gen_.Next();
+  const double r = rng_.NextDouble();
+  op.type = r < 0.70 ? Op::Type::kOneHop : Op::Type::kMultiHop;
+  op.hops = r < 0.70 ? 1 : (r < 0.90 ? 2 : 3);
+  return op;
+}
+
+}  // namespace bg3::workload

@@ -1,0 +1,102 @@
+#ifndef BG3_WORKLOAD_WORKLOADS_H_
+#define BG3_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "graph/edge.h"
+
+namespace bg3::workload {
+
+/// One operation of a workload stream.
+struct Op {
+  enum class Type {
+    kInsertEdge,   ///< AddEdge(src, type, dst).
+    kOneHop,       ///< GetNeighbors(src).
+    kMultiHop,     ///< k-hop neighbor expansion from src.
+    kReachCheck,   ///< multi-hop existence check src -> dst.
+  };
+  Type type = Type::kOneHop;
+  graph::VertexId src = 0;
+  graph::VertexId dst = 0;
+  int hops = 1;
+};
+
+/// Deterministic generator of one workload's op stream. One instance per
+/// driver thread (not thread safe), seeded per thread.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+  virtual std::string name() const = 0;
+  virtual Op Next() = 0;
+};
+
+/// "Douyin Follow" (Table 1): users' follow records — 99% one-hop neighbor
+/// queries (enumerate followees), 1% single-edge insertions, Zipf-skewed
+/// user activity.
+class FollowWorkload : public WorkloadGenerator {
+ public:
+  struct Options {
+    uint64_t num_users = 100'000;
+    double zipf_theta = 0.8;
+    double write_fraction = 0.01;
+  };
+  FollowWorkload(const Options& options, uint64_t seed);
+
+  std::string name() const override { return "douyin-follow"; }
+  Op Next() override;
+
+ private:
+  const Options opts_;
+  ZipfGenerator user_gen_;
+  ZipfGenerator dst_gen_;
+  Random rng_;
+};
+
+/// "Financial Risk Control" (Table 1): 50% single-edge insertions of fund
+/// transfers, 50% multi-hop existence checks (5-10 hops) verifying edges
+/// written by the RW node; data carries a TTL.
+class RiskControlWorkload : public WorkloadGenerator {
+ public:
+  struct Options {
+    uint64_t num_accounts = 100'000;
+    double zipf_theta = 0.8;
+    int min_hops = 5;
+    int max_hops = 10;
+  };
+  RiskControlWorkload(const Options& options, uint64_t seed);
+
+  std::string name() const override { return "financial-risk-control"; }
+  Op Next() override;
+
+ private:
+  const Options opts_;
+  ZipfGenerator account_gen_;
+  Random rng_;
+  bool next_is_write_ = true;  ///< strict 1:1 read/write alternation.
+};
+
+/// "Douyin Recommendation" (Table 1): read-only multi-hop neighbor queries
+/// generating subgraphs — 70% 1-hop, 20% 2-hop, 10% 3-hop.
+class RecommendWorkload : public WorkloadGenerator {
+ public:
+  struct Options {
+    uint64_t num_users = 100'000;
+    double zipf_theta = 0.8;
+  };
+  RecommendWorkload(const Options& options, uint64_t seed);
+
+  std::string name() const override { return "douyin-recommendation"; }
+  Op Next() override;
+
+ private:
+  const Options opts_;
+  ZipfGenerator user_gen_;
+  Random rng_;
+};
+
+}  // namespace bg3::workload
+
+#endif  // BG3_WORKLOAD_WORKLOADS_H_

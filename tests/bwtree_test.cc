@@ -1,0 +1,747 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "bwtree/iterator.h"
+#include "bwtree/page.h"
+#include "cloud/cloud_store.h"
+
+namespace bg3::bwtree {
+namespace {
+
+struct TreeFixture {
+  explicit TreeFixture(BwTreeOptions opts = {}, size_t extent_capacity = 1 << 16) {
+    cloud::CloudStoreOptions copts;
+    copts.extent_capacity = extent_capacity;
+    store = std::make_unique<cloud::CloudStore>(copts);
+    opts.base_stream = store->CreateStream("base");
+    opts.delta_stream = store->CreateStream("delta");
+    tree = std::make_unique<BwTree>(store.get(), opts);
+  }
+  std::unique_ptr<cloud::CloudStore> store;
+  std::unique_ptr<BwTree> tree;
+};
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+// --- page codecs ---------------------------------------------------------------
+
+TEST(PageCodecTest, BasePageRoundTrip) {
+  std::vector<Entry> entries = {{"a", "1"}, {"b", ""}, {"c", "333"}};
+  const std::string rec = EncodeBasePage(7, 42, 99, entries);
+  Slice in(rec);
+  RecordHeader header;
+  ASSERT_TRUE(DecodeRecordHeader(&in, &header).ok());
+  EXPECT_EQ(header.kind, RecordKind::kBasePage);
+  EXPECT_EQ(header.tree_id, 7u);
+  EXPECT_EQ(header.page_id, 42u);
+  EXPECT_EQ(header.lsn, 99u);
+  std::vector<Entry> decoded;
+  ASSERT_TRUE(DecodeBasePagePayload(in, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[1].key, "b");
+  EXPECT_EQ(decoded[2].value, "333");
+}
+
+TEST(PageCodecTest, DeltaRoundTrip) {
+  std::vector<DeltaEntry> entries = {{DeltaOp::kUpsert, "x", "1"},
+                                     {DeltaOp::kDelete, "y", ""}};
+  const std::string rec = EncodeDelta(1, 2, 3, entries);
+  Slice in(rec);
+  RecordHeader header;
+  ASSERT_TRUE(DecodeRecordHeader(&in, &header).ok());
+  EXPECT_EQ(header.kind, RecordKind::kDelta);
+  std::vector<DeltaEntry> decoded;
+  ASSERT_TRUE(DecodeDeltaPayload(in, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].op, DeltaOp::kUpsert);
+  EXPECT_EQ(decoded[1].op, DeltaOp::kDelete);
+}
+
+TEST(PageCodecTest, CorruptHeaderRejected) {
+  RecordHeader header;
+  Slice empty("");
+  EXPECT_TRUE(DecodeRecordHeader(&empty, &header).IsCorruption());
+  std::string bad = EncodeDelta(1, 2, 3, {});
+  bad[0] = 'Z';
+  Slice in(bad);
+  EXPECT_TRUE(DecodeRecordHeader(&in, &header).IsCorruption());
+}
+
+TEST(PageCodecTest, ApplyDeltaChainMergesInOrder) {
+  std::vector<Entry> base = {{"a", "1"}, {"c", "3"}};
+  std::vector<DeltaEntry> older = {{DeltaOp::kUpsert, "b", "2"},
+                                   {DeltaOp::kUpsert, "a", "old"}};
+  std::vector<DeltaEntry> newer = {{DeltaOp::kUpsert, "a", "new"},
+                                   {DeltaOp::kDelete, "c", ""}};
+  auto merged = ApplyDeltaChain(base, {&older, &newer});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].key, "a");
+  EXPECT_EQ(merged[0].value, "new");
+  EXPECT_EQ(merged[1].key, "b");
+}
+
+TEST(PageCodecTest, ApplyDeltaChainDeleteOfMissingKeyIsNoop) {
+  std::vector<Entry> base = {{"a", "1"}};
+  std::vector<DeltaEntry> d = {{DeltaOp::kDelete, "zz", ""}};
+  auto merged = ApplyDeltaChain(base, {&d});
+  ASSERT_EQ(merged.size(), 1u);
+}
+
+TEST(PageCodecTest, MergeDeltasNewerWins) {
+  std::vector<DeltaEntry> older = {{DeltaOp::kUpsert, "k", "v1"},
+                                   {DeltaOp::kUpsert, "m", "x"}};
+  std::vector<DeltaEntry> newer = {{DeltaOp::kDelete, "k", ""}};
+  auto merged = MergeDeltas(older, newer);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].key, "k");
+  EXPECT_EQ(merged[0].op, DeltaOp::kDelete);
+  EXPECT_EQ(merged[1].key, "m");
+}
+
+TEST(PageCodecTest, LookupHelpers) {
+  std::vector<Entry> base = {{"a", "1"}, {"c", "3"}};
+  std::string value;
+  EXPECT_TRUE(LookupInBase(base, "c", &value));
+  EXPECT_EQ(value, "3");
+  EXPECT_FALSE(LookupInBase(base, "b", &value));
+
+  std::vector<DeltaEntry> delta = {{DeltaOp::kUpsert, "x", "1"},
+                                   {DeltaOp::kDelete, "x", ""}};
+  bool deleted = false;
+  EXPECT_TRUE(LookupInDelta(delta, "x", &value, &deleted));
+  EXPECT_TRUE(deleted);  // newest entry (the delete) wins
+}
+
+// --- basic CRUD -----------------------------------------------------------------
+
+TEST(BwTreeTest, GetOnEmptyTreeIsNotFound) {
+  TreeFixture f;
+  EXPECT_TRUE(f.tree->Get("nope").status().IsNotFound());
+}
+
+TEST(BwTreeTest, UpsertThenGet) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Upsert("k1", "v1").ok());
+  EXPECT_EQ(f.tree->Get("k1").value(), "v1");
+}
+
+TEST(BwTreeTest, UpsertOverwrites) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Upsert("k", "v1").ok());
+  ASSERT_TRUE(f.tree->Upsert("k", "v2").ok());
+  EXPECT_EQ(f.tree->Get("k").value(), "v2");
+}
+
+TEST(BwTreeTest, DeleteHidesKey) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Upsert("k", "v").ok());
+  ASSERT_TRUE(f.tree->Delete("k").ok());
+  EXPECT_TRUE(f.tree->Get("k").status().IsNotFound());
+}
+
+TEST(BwTreeTest, DeleteOfAbsentKeyThenGet) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Delete("ghost").ok());
+  EXPECT_TRUE(f.tree->Get("ghost").status().IsNotFound());
+}
+
+TEST(BwTreeTest, EmptyValueIsStorable) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Upsert("k", "").ok());
+  auto v = f.tree->Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().empty());
+}
+
+TEST(BwTreeTest, ManyKeysSurviveConsolidationCycles) {
+  BwTreeOptions opts;
+  opts.consolidate_threshold = 4;
+  TreeFixture f(opts);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), "v" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(f.tree->Get(Key(i)).value(), "v" + std::to_string(i)) << i;
+  }
+  EXPECT_GT(f.tree->stats().consolidations.Get(), 0u);
+}
+
+// --- delta modes ------------------------------------------------------------------
+
+TEST(BwTreeTest, ReadOptimizedKeepsAtMostOneDelta) {
+  BwTreeOptions opts;
+  opts.delta_mode = DeltaMode::kReadOptimized;
+  opts.consolidate_threshold = 100;  // avoid consolidation in this test
+  opts.allow_split = false;
+  TreeFixture f(opts);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  }
+  // Every write must remain visible despite repeated delta merging.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(f.tree->Get(Key(i)).ok()) << i;
+  }
+}
+
+TEST(BwTreeTest, TraditionalModeCorrectness) {
+  BwTreeOptions opts;
+  opts.delta_mode = DeltaMode::kTraditional;
+  opts.consolidate_threshold = 10;
+  TreeFixture f(opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i % 10), "v" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(f.tree->Get(Key(i)).value(), "v" + std::to_string(90 + i));
+  }
+}
+
+TEST(BwTreeTest, ZeroCacheReadAmplificationLowerForReadOptimized) {
+  // The Fig. 9 mechanism: after the same write pattern, zero-cache reads on
+  // the traditional tree touch storage more often per read.
+  auto run = [](DeltaMode mode) {
+    BwTreeOptions opts;
+    opts.delta_mode = mode;
+    opts.consolidate_threshold = 10;
+    opts.allow_split = false;
+    opts.read_cache = ReadCacheMode::kNone;
+    TreeFixture f(opts);
+    // 12 updates across 4 keys on one page: the traditional tree
+    // consolidates at the 10th delta and retains a 2-deep chain; the
+    // read-optimized tree keeps at most one (merged) delta throughout.
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(f.tree->Upsert(Key(i), "v" + std::to_string(round)).ok());
+      }
+    }
+    const uint64_t reads_before = f.store->stats().read_ops.Get();
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(f.tree->Get(Key(i)).value(), "v2");
+    }
+    return f.store->stats().read_ops.Get() - reads_before;
+  };
+  const uint64_t traditional = run(DeltaMode::kTraditional);
+  const uint64_t read_optimized = run(DeltaMode::kReadOptimized);
+  EXPECT_GT(traditional, read_optimized);
+  // Read-optimized: <= base + 1 delta per read.
+  EXPECT_LE(read_optimized, 4u * 2u);
+}
+
+TEST(BwTreeTest, ReadOptimizedWritesMoreDeltaBytes) {
+  // The Fig. 10 mechanism: merged deltas re-write prior entries.
+  auto run = [](DeltaMode mode) {
+    BwTreeOptions opts;
+    opts.delta_mode = mode;
+    opts.consolidate_threshold = 10;
+    opts.allow_split = false;
+    TreeFixture f(opts);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(f.tree->Upsert(Key(i), std::string(50, 'v')).ok());
+    }
+    return f.store->TotalBytes(1);  // delta stream id is 1 in the fixture
+  };
+  EXPECT_GT(run(DeltaMode::kReadOptimized), run(DeltaMode::kTraditional));
+}
+
+// --- splits ---------------------------------------------------------------------
+
+TEST(BwTreeTest, SplitsKeepAllKeys) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 16;
+  TreeFixture f(opts);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), std::to_string(i)).ok());
+  }
+  EXPECT_GT(f.tree->stats().splits.Get(), 0u);
+  EXPECT_GT(f.tree->LeafCount(), 1u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(f.tree->Get(Key(i)).value(), std::to_string(i)) << i;
+  }
+  EXPECT_EQ(f.tree->CountEntries(), 300u);
+}
+
+TEST(BwTreeTest, SplitWithReverseInsertionOrder) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 8;
+  TreeFixture f(opts);
+  for (int i = 299; i >= 0; --i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(f.tree->Get(Key(i)).value(), std::to_string(i));
+  }
+}
+
+TEST(BwTreeTest, NoSplitWhenDisabled) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 8;
+  opts.allow_split = false;
+  TreeFixture f(opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  }
+  EXPECT_EQ(f.tree->LeafCount(), 1u);
+  EXPECT_EQ(f.tree->stats().splits.Get(), 0u);
+}
+
+// --- scans ----------------------------------------------------------------------
+
+TEST(BwTreeTest, ScanReturnsSortedRange) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 16;
+  TreeFixture f(opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), std::to_string(i)).ok());
+  }
+  std::vector<Entry> out;
+  BwTree::ScanOptions scan;
+  scan.start_key = Key(10);
+  scan.end_key = Key(20);
+  ASSERT_TRUE(f.tree->Scan(scan, &out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().key, Key(10));
+  EXPECT_EQ(out.back().key, Key(19));
+  for (size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1].key, out[i].key);
+}
+
+TEST(BwTreeTest, ScanHonorsLimit) {
+  TreeFixture f;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  std::vector<Entry> out;
+  BwTree::ScanOptions scan;
+  scan.limit = 7;
+  ASSERT_TRUE(f.tree->Scan(scan, &out).ok());
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(BwTreeTest, ScanSkipsDeleted) {
+  TreeFixture f;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  ASSERT_TRUE(f.tree->Delete(Key(5)).ok());
+  std::vector<Entry> out;
+  ASSERT_TRUE(f.tree->Scan({}, &out).ok());
+  EXPECT_EQ(out.size(), 9u);
+  for (const Entry& e : out) EXPECT_NE(e.key, Key(5));
+}
+
+TEST(BwTreeTest, ScanAcrossManyLeaves) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 8;
+  TreeFixture f(opts);
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  std::vector<Entry> out;
+  ASSERT_TRUE(f.tree->Scan({}, &out).ok());
+  ASSERT_EQ(out.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(out[i].key, Key(i));
+}
+
+TEST(BwTreeIteratorTest, IteratesInChunks) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 8;
+  TreeFixture f(opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), std::to_string(i)).ok());
+  }
+  BwTreeIterator it(f.tree.get(), Key(5), Key(95), /*chunk_size=*/9);
+  int expected = 5;
+  while (it.Valid()) {
+    EXPECT_EQ(it.key(), Key(expected));
+    it.Next();
+    ++expected;
+  }
+  EXPECT_TRUE(it.status().ok());
+  EXPECT_EQ(expected, 95);
+}
+
+TEST(BwTreeIteratorTest, EmptyRange) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Upsert("m", "v").ok());
+  BwTreeIterator it(f.tree.get(), "x", "z");
+  EXPECT_FALSE(it.Valid());
+}
+
+// --- flush modes ------------------------------------------------------------------
+
+TEST(BwTreeTest, DeferredModeTracksDirtyPages) {
+  BwTreeOptions opts;
+  opts.flush_mode = FlushMode::kDeferred;
+  TreeFixture f(opts);
+  ASSERT_TRUE(f.tree->Upsert("k", "v").ok());
+  EXPECT_EQ(f.tree->DirtyPageIds().size(), 1u);
+  EXPECT_EQ(f.store->stats().append_ops.Get(), 0u);  // nothing flushed yet
+  EXPECT_EQ(f.tree->FlushDirtyPages(100), 1u);
+  EXPECT_TRUE(f.tree->DirtyPageIds().empty());
+  EXPECT_GT(f.store->stats().append_ops.Get(), 0u);
+}
+
+TEST(BwTreeTest, FlushPageIsNoopWhenClean) {
+  BwTreeOptions opts;
+  opts.flush_mode = FlushMode::kDeferred;
+  TreeFixture f(opts);
+  ASSERT_TRUE(f.tree->Upsert("k", "v").ok());
+  ASSERT_EQ(f.tree->FlushDirtyPages(100), 1u);
+  const uint64_t appends = f.store->stats().append_ops.Get();
+  EXPECT_EQ(f.tree->FlushDirtyPages(100), 0u);
+  EXPECT_EQ(f.store->stats().append_ops.Get(), appends);
+}
+
+TEST(BwTreeTest, SyncModeFlushesEveryWrite) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Upsert("k", "v").ok());
+  EXPECT_GE(f.store->stats().append_ops.Get(), 1u);
+}
+
+// --- GC relocation ------------------------------------------------------------------
+
+TEST(BwTreeTest, RelocateMovesCurrentBasePage) {
+  BwTreeOptions opts;
+  opts.consolidate_threshold = 2;  // force base page flushes
+  TreeFixture f(opts);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  // Find a valid base record on the base stream.
+  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1000);
+  ASSERT_FALSE(records.empty());
+  bool moved_any = false;
+  for (const auto& [ptr, bytes] : records) {
+    auto moved = f.tree->Relocate(ptr, bytes);
+    ASSERT_TRUE(moved.ok());
+    if (moved.value() > 0) moved_any = true;
+  }
+  EXPECT_TRUE(moved_any);
+  // Data must remain fully readable after relocation.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(f.tree->Get(Key(i)).ok());
+}
+
+TEST(BwTreeTest, RelocateStaleRecordMovesNothing) {
+  BwTreeOptions opts;
+  opts.consolidate_threshold = 2;
+  TreeFixture f(opts);
+  ASSERT_TRUE(f.tree->Upsert("a", "1").ok());
+  auto records = f.store->TailRecords(1, cloud::PagePointer{}, 10);
+  ASSERT_FALSE(records.empty());
+  const auto [first_ptr, first_bytes] = records.front();
+  // Make the record stale by consolidating past it.
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(f.tree->Upsert("a", "x").ok());
+  auto moved = f.tree->Relocate(first_ptr, first_bytes);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), 0u);
+}
+
+TEST(BwTreeTest, RelocateRejectsForeignTree) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Upsert("a", "1").ok());
+  const std::string foreign = EncodeBasePage(999, 0, 1, {});
+  EXPECT_FALSE(f.tree->Relocate(cloud::PagePointer{0, 0, 0, 4}, foreign).ok());
+}
+
+// --- stats / memory ------------------------------------------------------------------
+
+TEST(BwTreeTest, CountersTrackOps) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Upsert("a", "1").ok());
+  ASSERT_TRUE(f.tree->Delete("a").ok());
+  (void)f.tree->Get("a");
+  EXPECT_EQ(f.tree->stats().upserts.Get(), 1u);
+  EXPECT_EQ(f.tree->stats().deletes.Get(), 1u);
+  EXPECT_EQ(f.tree->stats().gets.Get(), 1u);
+}
+
+TEST(BwTreeTest, MemoryGrowsWithData) {
+  TreeFixture f;
+  const size_t empty = f.tree->ApproxMemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), std::string(100, 'v')).ok());
+  }
+  EXPECT_GT(f.tree->ApproxMemoryBytes(), empty + 100'000);
+}
+
+// --- concurrency ------------------------------------------------------------------
+
+TEST(BwTreeTest, ConcurrentDisjointWriters) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 32;
+  TreeFixture f(opts);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(
+            f.tree->Upsert(Key(t * 1000 + i), std::to_string(t)).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(f.tree->CountEntries(), 2000u);
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_EQ(f.tree->Get(Key(t * 1000 + i)).value(), std::to_string(t));
+    }
+  }
+}
+
+TEST(BwTreeTest, ConcurrentReadersAndWriters) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 64;
+  TreeFixture f(opts);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "0").ok());
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int round = 1; round < 50; ++round) {
+      for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(f.tree->Upsert(Key(i), std::to_string(round)).ok());
+      }
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (int i = 0; i < 100; ++i) {
+        auto v = f.tree->Get(Key(i));
+        ASSERT_TRUE(v.ok());  // a key never disappears
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f.tree->Get(Key(i)).value(), "49");
+}
+
+TEST(BwTreeTest, HotKeyContentionCountsLatchConflicts) {
+  TreeFixture f;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(f.tree->Upsert("hot", "v").ok());
+      }
+    });
+  }
+  go.store(true);  // start all writers together so latches actually contend
+  for (auto& th : threads) th.join();
+  EXPECT_GT(f.tree->stats().latch_conflicts.Get(), 0u);
+}
+
+}  // namespace
+}  // namespace bg3::bwtree
+
+namespace bg3::bwtree {
+namespace {
+
+// Regression: the scan fast path overlays the delta chain onto the base
+// without materializing the page; deletes and updates at range boundaries
+// must be honored.
+TEST(BwTreeTest, ScanOverlayHonorsChainAtBoundaries) {
+  BwTreeOptions opts;
+  opts.consolidate_threshold = 100;  // keep everything in the chain
+  TreeFixture f(opts);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), "base" + std::to_string(i)).ok());
+  }
+  // Force a consolidation so Key(0..19) are base entries, then chain ops.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(100 + i), "x").ok());
+  }
+  ASSERT_TRUE(f.tree->Delete(Key(5)).ok());            // delete inside range
+  ASSERT_TRUE(f.tree->Upsert(Key(7), "updated").ok()); // update inside range
+  ASSERT_TRUE(f.tree->Upsert(Key(3) + "a", "inserted").ok());  // new between
+
+  std::vector<Entry> out;
+  BwTree::ScanOptions scan;
+  scan.start_key = Key(3);
+  scan.end_key = Key(9);
+  ASSERT_TRUE(f.tree->Scan(scan, &out).ok());
+  // Expect: 3, 3a(new), 4, 6(5 deleted), 7(updated), 8.
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0].key, Key(3));
+  EXPECT_EQ(out[1].key, Key(3) + "a");
+  EXPECT_EQ(out[1].value, "inserted");
+  EXPECT_EQ(out[2].key, Key(4));
+  EXPECT_EQ(out[3].key, Key(6));
+  EXPECT_EQ(out[4].key, Key(7));
+  EXPECT_EQ(out[4].value, "updated");
+  EXPECT_EQ(out[5].key, Key(8));
+}
+
+// Algorithm 1's consolidation trigger counts merged *updates*, not unique
+// keys: repeated updates of one key must still consolidate.
+TEST(BwTreeTest, ReadOptimizedConsolidatesByUpdateCount) {
+  BwTreeOptions opts;
+  opts.delta_mode = DeltaMode::kReadOptimized;
+  opts.consolidate_threshold = 5;
+  opts.allow_split = false;
+  TreeFixture f(opts);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(f.tree->Upsert("hot", "v" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(f.tree->stats().consolidations.Get(), 0u);
+  EXPECT_EQ(f.tree->Get("hot").value(), "v11");
+}
+
+}  // namespace
+}  // namespace bg3::bwtree
+
+namespace bg3::bwtree {
+namespace {
+
+// Failure injection: a corrupted base page must surface as Corruption on
+// the zero-cache read path, not as silent wrong data.
+TEST(BwTreeTest, CorruptedBasePageSurfacesOnZeroCacheRead) {
+  BwTreeOptions opts;
+  opts.consolidate_threshold = 2;  // force base images quickly
+  opts.read_cache = ReadCacheMode::kNone;
+  TreeFixture f(opts);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  // Corrupt the newest valid base record on the base stream.
+  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1000);
+  ASSERT_FALSE(records.empty());
+  bool corrupted = false;
+  for (auto it = records.rbegin(); it != records.rend() && !corrupted; ++it) {
+    corrupted = f.store->CorruptRecordForTesting(it->first, 20);
+  }
+  ASSERT_TRUE(corrupted);
+  int corruption_errors = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto v = f.tree->Get(Key(i));
+    if (!v.ok() && v.status().IsCorruption()) ++corruption_errors;
+  }
+  EXPECT_GT(corruption_errors, 0);
+}
+
+// GC must refuse to relocate a corrupted record rather than propagate it.
+TEST(BwTreeTest, GcRelocationStopsOnCorruptExtent) {
+  BwTreeOptions opts;
+  opts.consolidate_threshold = 2;
+  TreeFixture f(opts, /*extent_capacity=*/512);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  auto stats = f.store->SealedExtentStats(0);
+  ASSERT_FALSE(stats.empty());
+  // Corrupt something inside the first sealed extent.
+  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1);
+  ASSERT_FALSE(records.empty());
+  ASSERT_TRUE(f.store->CorruptRecordForTesting(records[0].first, 5));
+  auto read_back = f.store->ReadValidRecords(0, records[0].first.extent_id);
+  // Either the record was already invalidated (fine) or reading it reports
+  // corruption — never silent success with bad bytes.
+  if (!read_back.ok()) {
+    EXPECT_TRUE(read_back.status().IsCorruption());
+  } else {
+    for (const auto& [ptr, bytes] : read_back.value()) {
+      EXPECT_NE(ptr, records[0].first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bg3::bwtree
+
+namespace bg3::bwtree {
+namespace {
+
+// --- memory-bounded caching (BGS-as-cache semantics) -------------------------
+
+TEST(BwTreeEvictionTest, EvictedPagesReloadTransparently) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 16;
+  opts.consolidate_threshold = 4;
+  TreeFixture f(opts);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), "v" + std::to_string(i)).ok());
+  }
+  const size_t pages = f.tree->LeafCount();
+  ASSERT_GT(pages, 4u);
+  const size_t evicted = f.tree->EvictColdPages(/*target_resident=*/2);
+  EXPECT_GT(evicted, 0u);
+  EXPECT_LE(f.tree->ResidentPageCount(), pages);
+  const uint64_t reloads_before = f.tree->stats().page_reloads.Get();
+  // Every key still readable; reloads happen on demand.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(f.tree->Get(Key(i)).value(), "v" + std::to_string(i)) << i;
+  }
+  EXPECT_GT(f.tree->stats().page_reloads.Get(), reloads_before);
+}
+
+TEST(BwTreeEvictionTest, WritesToEvictedPagesWork) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 16;
+  opts.consolidate_threshold = 4;
+  TreeFixture f(opts);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v1").ok());
+  (void)f.tree->EvictColdPages(0);
+  // Updates (including ones that trigger consolidation and splits) must
+  // transparently reload the base image.
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v2").ok());
+  for (int i = 100; i < 160; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), "v2").ok());
+  }
+  for (int i = 0; i < 160; ++i) {
+    EXPECT_EQ(f.tree->Get(Key(i)).value(), "v2") << i;
+  }
+}
+
+TEST(BwTreeEvictionTest, ScansReloadEvictedPages) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 8;
+  TreeFixture f(opts);
+  for (int i = 0; i < 80; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  (void)f.tree->EvictColdPages(0);
+  std::vector<Entry> out;
+  ASSERT_TRUE(f.tree->Scan({}, &out).ok());
+  EXPECT_EQ(out.size(), 80u);
+}
+
+TEST(BwTreeEvictionTest, LruPrefersColdPages) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 8;
+  TreeFixture f(opts);
+  for (int i = 0; i < 80; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  // Touch the page holding Key(0) so it is the hottest.
+  ASSERT_TRUE(f.tree->Get(Key(0)).ok());
+  const size_t resident_before = f.tree->ResidentPageCount();
+  (void)f.tree->EvictColdPages(1);
+  ASSERT_LT(f.tree->ResidentPageCount(), resident_before);
+  // The hot page survived: reading Key(0) causes no reload.
+  const uint64_t reloads = f.tree->stats().page_reloads.Get();
+  ASSERT_TRUE(f.tree->Get(Key(0)).ok());
+  EXPECT_EQ(f.tree->stats().page_reloads.Get(), reloads);
+}
+
+TEST(BwTreeEvictionTest, DirtyPagesAreNotEvicted) {
+  BwTreeOptions opts;
+  opts.flush_mode = FlushMode::kDeferred;
+  opts.max_leaf_entries = 8;
+  TreeFixture f(opts);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
+  // Everything dirty: nothing evictable.
+  EXPECT_EQ(f.tree->EvictColdPages(0), 0u);
+  // After flushing, clean pages become evictable.
+  (void)f.tree->FlushDirtyPages(1000);
+  EXPECT_GT(f.tree->EvictColdPages(0), 0u);
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(f.tree->Get(Key(i)).ok());
+}
+
+TEST(BwTreeEvictionTest, MemoryDropsAfterEviction) {
+  BwTreeOptions opts;
+  opts.max_leaf_entries = 64;
+  TreeFixture f(opts);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(f.tree->Upsert(Key(i), std::string(100, 'x')).ok());
+  }
+  const size_t before = f.tree->ApproxMemoryBytes();
+  (void)f.tree->EvictColdPages(2);
+  EXPECT_LT(f.tree->ApproxMemoryBytes(), before / 2);
+}
+
+}  // namespace
+}  // namespace bg3::bwtree

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "bytegraph/bytegraph_db.h"
+#include "cloud/cloud_store.h"
+
+namespace bg3::bytegraph {
+namespace {
+
+struct BgFixture {
+  explicit BgFixture(ByteGraphOptions opts = {}) {
+    store = std::make_unique<cloud::CloudStore>();
+    opts.lsm.memtable_bytes = 4096;
+    opts.lsm.compaction.l0_compaction_trigger = 2;
+    opts.lsm.compaction.level_base_bytes = 16384;
+    db = std::make_unique<ByteGraphDB>(store.get(), opts);
+  }
+  std::unique_ptr<cloud::CloudStore> store;
+  std::unique_ptr<ByteGraphDB> db;
+};
+
+TEST(ByteGraphTest, VertexRoundTrip) {
+  BgFixture f;
+  ASSERT_TRUE(f.db->AddVertex(1, "props").ok());
+  EXPECT_EQ(f.db->GetVertex(1).value(), "props");
+  EXPECT_TRUE(f.db->GetVertex(2).status().IsNotFound());
+}
+
+TEST(ByteGraphTest, EdgeRoundTrip) {
+  BgFixture f;
+  ASSERT_TRUE(f.db->AddEdge(1, 1, 2, "p12", 10).ok());
+  EXPECT_EQ(f.db->GetEdge(1, 1, 2).value(), "p12");
+  EXPECT_TRUE(f.db->GetEdge(1, 1, 3).status().IsNotFound());
+}
+
+TEST(ByteGraphTest, EdgeOverwriteKeepsNewest) {
+  BgFixture f;
+  ASSERT_TRUE(f.db->AddEdge(1, 1, 2, "old", 1).ok());
+  ASSERT_TRUE(f.db->AddEdge(1, 1, 2, "new", 2).ok());
+  EXPECT_EQ(f.db->GetEdge(1, 1, 2).value(), "new");
+  std::vector<graph::Neighbor> out;
+  ASSERT_TRUE(f.db->GetNeighbors(1, 1, 10, &out).ok());
+  EXPECT_EQ(out.size(), 1u);  // no duplicate
+}
+
+TEST(ByteGraphTest, DeleteEdge) {
+  BgFixture f;
+  ASSERT_TRUE(f.db->AddEdge(1, 1, 2, "p", 1).ok());
+  ASSERT_TRUE(f.db->DeleteEdge(1, 1, 2).ok());
+  EXPECT_TRUE(f.db->GetEdge(1, 1, 2).status().IsNotFound());
+  ASSERT_TRUE(f.db->DeleteEdge(9, 9, 9).ok());  // absent: no-op
+}
+
+TEST(ByteGraphTest, NeighborsSortedAcrossNodeSplits) {
+  ByteGraphOptions opts;
+  opts.max_node_edges = 16;  // force edge-tree node splits
+  BgFixture f(opts);
+  for (int d = 499; d >= 0; --d) {
+    ASSERT_TRUE(f.db->AddEdge(7, 1, d, std::to_string(d), 1).ok());
+  }
+  EXPECT_GT(f.db->stats().node_splits.Get(), 0u);
+  std::vector<graph::Neighbor> out;
+  ASSERT_TRUE(f.db->GetNeighbors(7, 1, 1000, &out).ok());
+  ASSERT_EQ(out.size(), 500u);
+  for (int d = 0; d < 500; ++d) {
+    EXPECT_EQ(out[d].dst, static_cast<graph::VertexId>(d));
+    EXPECT_EQ(out[d].properties, std::to_string(d));
+  }
+}
+
+TEST(ByteGraphTest, NeighborsLimit) {
+  BgFixture f;
+  for (int d = 0; d < 50; ++d) {
+    ASSERT_TRUE(f.db->AddEdge(7, 1, d, "", 1).ok());
+  }
+  std::vector<graph::Neighbor> out;
+  ASSERT_TRUE(f.db->GetNeighbors(7, 1, 12, &out).ok());
+  EXPECT_EQ(out.size(), 12u);
+}
+
+TEST(ByteGraphTest, AdjacencyListsIsolatedByTypeAndSrc) {
+  BgFixture f;
+  ASSERT_TRUE(f.db->AddEdge(1, 1, 100, "a", 1).ok());
+  ASSERT_TRUE(f.db->AddEdge(1, 2, 101, "b", 1).ok());
+  ASSERT_TRUE(f.db->AddEdge(2, 1, 102, "c", 1).ok());
+  std::vector<graph::Neighbor> out;
+  ASSERT_TRUE(f.db->GetNeighbors(1, 1, 10, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst, 100u);
+}
+
+TEST(ByteGraphTest, DataSurvivesLsmFlushesAndCompactions) {
+  ByteGraphOptions opts;
+  opts.cache_bytes = 0;  // no BGS cache: every read goes through the LSM
+  BgFixture f(opts);
+  for (int d = 0; d < 800; ++d) {
+    ASSERT_TRUE(f.db->AddEdge(d % 20, 1, d, std::to_string(d), 1).ok());
+  }
+  ASSERT_TRUE(f.db->Flush().ok());
+  for (int d = 0; d < 800; ++d) {
+    EXPECT_EQ(f.db->GetEdge(d % 20, 1, d).value(), std::to_string(d)) << d;
+  }
+}
+
+TEST(ByteGraphTest, CacheHitsReduceLsmTraffic) {
+  BgFixture f;
+  for (int d = 0; d < 100; ++d) {
+    ASSERT_TRUE(f.db->AddEdge(1, 1, d, "", 1).ok());
+  }
+  const uint64_t misses_before = f.db->stats().cache_misses.Get();
+  std::vector<graph::Neighbor> out;
+  for (int round = 0; round < 10; ++round) {
+    out.clear();
+    ASSERT_TRUE(f.db->GetNeighbors(1, 1, 100, &out).ok());
+  }
+  // Hot adjacency stays cached: repeated reads add hits, not misses.
+  EXPECT_EQ(f.db->stats().cache_misses.Get(), misses_before);
+  EXPECT_GT(f.db->stats().cache_hits.Get(), 0u);
+}
+
+TEST(ByteGraphTest, ConcurrentWritersOnDistinctVertices) {
+  BgFixture f;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int d = 0; d < 200; ++d) {
+        ASSERT_TRUE(f.db->AddEdge(t, 1, d, "v", 1).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    std::vector<graph::Neighbor> out;
+    ASSERT_TRUE(f.db->GetNeighbors(t, 1, 1000, &out).ok());
+    EXPECT_EQ(out.size(), 200u);
+  }
+}
+
+}  // namespace
+}  // namespace bg3::bytegraph

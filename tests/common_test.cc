@@ -1,0 +1,487 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+
+namespace bg3 {
+namespace {
+
+// --- Status ------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesAndMessages) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::IOError("disk gone"); };
+  auto outer = [&]() -> Status {
+    BG3_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsIOError());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesOk) {
+  auto outer = []() -> Status {
+    BG3_RETURN_IF_ERROR(Status::OK());
+    return Status::NotFound("reached end");
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+// --- Result ------------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = r.take();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto fetch = [](bool fail) -> Result<int> {
+    if (fail) return Status::IOError("x");
+    return 7;
+  };
+  auto use = [&](bool fail) -> Status {
+    BG3_ASSIGN_OR_RETURN(int v, fetch(fail));
+    EXPECT_EQ(v, 7);
+    return Status::OK();
+  };
+  EXPECT_TRUE(use(false).ok());
+  EXPECT_TRUE(use(true).IsIOError());
+}
+
+// --- Slice -------------------------------------------------------------------
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(SliceTest, CompareIsMemcmpOrder) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompare) {
+  const std::string a("a\0b", 3);
+  const std::string b("a\0c", 3);
+  EXPECT_LT(Slice(a).compare(Slice(b)), 0);
+  EXPECT_EQ(Slice(a).size(), 3u);
+}
+
+TEST(SliceTest, StartsWithAndRemovePrefix) {
+  Slice s("prefix-body");
+  EXPECT_TRUE(s.starts_with("prefix"));
+  EXPECT_FALSE(s.starts_with("body"));
+  s.remove_prefix(7);
+  EXPECT_EQ(s.ToString(), "body");
+}
+
+// --- coding ------------------------------------------------------------------
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  Slice in(buf);
+  uint16_t a;
+  uint32_t b;
+  uint64_t c;
+  ASSERT_TRUE(GetFixed16(&in, &a));
+  ASSERT_TRUE(GetFixed32(&in, &b));
+  ASSERT_TRUE(GetFixed64(&in, &c));
+  EXPECT_EQ(a, 0xBEEF);
+  EXPECT_EQ(b, 0xDEADBEEF);
+  EXPECT_EQ(c, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, FixedTruncatedFails) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  buf.resize(3);
+  Slice in(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetFixed32(&in, &v));
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const uint64_t values[] = {0,       1,          127,        128,
+                             16383,   16384,      (1u << 21), (1ull << 35),
+                             ~0ull,   0xCAFEBABEull};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v));
+    Slice in(buf);
+    uint64_t out;
+    ASSERT_TRUE(GetVarint64(&in, &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 300u, 70000u, ~0u}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    Slice in(buf);
+    uint32_t out;
+    ASSERT_TRUE(GetVarint32(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.pop_back();
+  Slice in(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, "alpha");
+  PutLengthPrefixedSlice(&buf, "");
+  PutLengthPrefixedSlice(&buf, std::string(300, 'x'));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &c));
+  EXPECT_EQ(a.ToString(), "alpha");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 300u);
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedBodyFails) {
+  std::string buf;
+  PutVarint32(&buf, 10);
+  buf += "short";
+  Slice in(buf);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&in, &out));
+}
+
+// --- random / zipf -----------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.Uniform(17), 17u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliApproximatesProbability) {
+  Random r(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator z(1000, 0.8, 42);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(), 1000u);
+}
+
+TEST(ZipfTest, IsSkewedTowardSmallIds) {
+  ZipfGenerator z(100000, 0.9, 42);
+  uint64_t top10 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Next() < 10) ++top10;
+  }
+  // With theta=0.9 over 100k items, the top-10 items absorb a large
+  // fraction of all draws — far beyond the uniform 0.01%.
+  EXPECT_GT(top10, n / 10);
+}
+
+TEST(ZipfTest, LargeDomainConstructionIsFast) {
+  // Uses the integral extrapolation beyond 2^20 items.
+  ZipfGenerator z(50'000'000, 0.8, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Next(), 50'000'000u);
+}
+
+TEST(PowerLawDegreeTest, RespectsBounds) {
+  PowerLawDegree d(2.0, 2, 500, 9);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t deg = d.Next();
+    EXPECT_GE(deg, 2u);
+    EXPECT_LE(deg, 500u);
+  }
+}
+
+TEST(PowerLawDegreeTest, HeavyTailExists) {
+  PowerLawDegree d(1.5, 1, 100000, 13);
+  uint32_t max_deg = 0;
+  for (int i = 0; i < 50000; ++i) max_deg = std::max(max_deg, d.Next());
+  EXPECT_GT(max_deg, 1000u);  // tail reaches far beyond the minimum
+}
+
+// --- hash --------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aStableAndSeeded) {
+  const uint64_t h1 = Fnv1a64("abc", 3);
+  EXPECT_EQ(h1, Fnv1a64("abc", 3));
+  EXPECT_NE(h1, Fnv1a64("abd", 3));
+  EXPECT_NE(h1, Fnv1a64("abc", 3, 1));
+}
+
+TEST(HashTest, Mix64SpreadsSequentialIds) {
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 64; ++i) buckets.insert(Mix64(i) % 1024);
+  EXPECT_GT(buckets.size(), 55u);  // nearly collision-free spread
+}
+
+// --- clock -------------------------------------------------------------------
+
+TEST(ClockTest, WallClockMonotonic) {
+  const uint64_t a = NowMicros();
+  const uint64_t b = NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock c;
+  EXPECT_EQ(c.NowUs(), 0u);
+  EXPECT_EQ(c.Advance(100), 100u);
+  EXPECT_EQ(c.Advance(50), 150u);
+  EXPECT_EQ(c.NowUs(), 150u);
+}
+
+TEST(VirtualClockTest, AdvanceToNeverMovesBackward) {
+  VirtualClock c;
+  c.Advance(500);
+  EXPECT_EQ(c.AdvanceTo(200), 500u);
+  EXPECT_EQ(c.AdvanceTo(900), 900u);
+  EXPECT_EQ(c.NowUs(), 900u);
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(CounterTest, SingleThreaded) {
+  Counter c;
+  c.Inc();
+  c.Add(10);
+  EXPECT_EQ(c.Get(), 11u);
+  c.Reset();
+  EXPECT_EQ(c.Get(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Get(), 80000u);
+}
+
+TEST(MetricsRegistryTest, NamedCountersPersist) {
+  MetricsRegistry reg;
+  reg.GetCounter("reads")->Add(3);
+  reg.GetCounter("reads")->Add(4);
+  reg.GetCounter("writes")->Inc();
+  auto snap = reg.Snapshot();
+  EXPECT_EQ(snap["reads"], 7u);
+  EXPECT_EQ(snap["writes"], 1u);
+}
+
+// --- histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, TracksMinMeanMax) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Min(), 10u);
+  EXPECT_EQ(h.Max(), 30u);
+  EXPECT_NEAR(h.Mean(), 20.0, 0.001);
+}
+
+TEST(HistogramTest, PercentilesRoughlyCorrect) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // Log-bucketed: accept ~25% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 500.0, 130.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 990.0, 250.0);
+}
+
+TEST(HistogramTest, ConcurrentRecords) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= 1000; ++i) h.Record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), 4000u);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 1000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(~0ull);
+  h.Record(1);
+  EXPECT_EQ(h.Max(), ~0ull);
+  EXPECT_GE(h.Percentile(0.99), 1u);
+}
+
+// --- threadpool --------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForInFlight) {
+  ThreadPool pool(2);
+  std::atomic<bool> finished{false};
+  pool.Submit([&finished] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    finished.store(true);
+  });
+  pool.Drain();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDropsLateTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Shutdown();
+  pool.Shutdown();
+  pool.Submit([&count] { count.fetch_add(1); });  // dropped
+  EXPECT_LE(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace bg3
+
+namespace bg3 {
+namespace {
+
+TEST(LightCounterTest, BasicAndConcurrent) {
+  LightCounter c;
+  c.Inc();
+  c.Add(4);
+  EXPECT_EQ(c.Get(), 5u);
+  c.Reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 5000; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Get(), 20000u);
+}
+
+TEST(LightCounterTest, IsCompact) {
+  // The reason it exists: millions of per-tree stats instances.
+  EXPECT_LE(sizeof(LightCounter), 8u);
+}
+
+}  // namespace
+}  // namespace bg3

@@ -1,0 +1,174 @@
+// GraphEngine API conformance: the same behavioural contract, parameterized
+// over every engine implementation (BG3, ByteGraph-over-LSM, the reference
+// store). The overall-comparison benches only make sense because all three
+// satisfy identical semantics; this suite pins those semantics down.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bytegraph/bytegraph_db.h"
+#include "cloud/cloud_store.h"
+#include "core/graph_db.h"
+#include "refstore/ref_graph_store.h"
+
+namespace bg3::graph {
+namespace {
+
+struct EngineUnderTest {
+  std::unique_ptr<cloud::CloudStore> store;
+  std::unique_ptr<GraphEngine> engine;
+};
+
+using EngineFactory = std::function<EngineUnderTest()>;
+
+EngineUnderTest MakeBg3() {
+  EngineUnderTest e;
+  e.store = std::make_unique<cloud::CloudStore>();
+  core::GraphDBOptions opts;
+  opts.forest.split_out_threshold = 16;  // exercise split-outs in-suite
+  e.engine = std::make_unique<core::GraphDB>(e.store.get(), opts);
+  return e;
+}
+
+EngineUnderTest MakeByteGraph() {
+  EngineUnderTest e;
+  e.store = std::make_unique<cloud::CloudStore>();
+  bytegraph::ByteGraphOptions opts;
+  opts.max_node_edges = 8;  // exercise edge-tree node splits
+  opts.lsm.memtable_bytes = 4096;
+  e.engine = std::make_unique<bytegraph::ByteGraphDB>(e.store.get(), opts);
+  return e;
+}
+
+EngineUnderTest MakeRefStore() {
+  EngineUnderTest e;
+  e.store = std::make_unique<cloud::CloudStore>();
+  refstore::RefStoreOptions opts;
+  opts.op_cost_iterations = 1;
+  e.engine = std::make_unique<refstore::RefGraphStore>(e.store.get(), opts);
+  return e;
+}
+
+struct ConformanceParam {
+  const char* name;
+  EngineFactory factory;
+};
+
+class EngineConformanceTest : public testing::TestWithParam<ConformanceParam> {
+ protected:
+  void SetUp() override { eut_ = GetParam().factory(); }
+  GraphEngine* db() { return eut_.engine.get(); }
+  EngineUnderTest eut_;
+};
+
+TEST_P(EngineConformanceTest, VertexContract) {
+  EXPECT_TRUE(db()->GetVertex(1).status().IsNotFound());
+  ASSERT_TRUE(db()->AddVertex(1, "props-v1").ok());
+  EXPECT_EQ(db()->GetVertex(1).value(), "props-v1");
+  ASSERT_TRUE(db()->AddVertex(1, "props-v2").ok());  // overwrite
+  EXPECT_EQ(db()->GetVertex(1).value(), "props-v2");
+}
+
+TEST_P(EngineConformanceTest, EdgeContract) {
+  EXPECT_TRUE(db()->GetEdge(1, 1, 2).status().IsNotFound());
+  ASSERT_TRUE(db()->AddEdge(1, 1, 2, "e1", 10).ok());
+  EXPECT_EQ(db()->GetEdge(1, 1, 2).value(), "e1");
+  // Type and direction isolation.
+  EXPECT_TRUE(db()->GetEdge(1, 2, 2).status().IsNotFound());
+  EXPECT_TRUE(db()->GetEdge(2, 1, 1).status().IsNotFound());
+  // Overwrite keeps a single edge.
+  ASSERT_TRUE(db()->AddEdge(1, 1, 2, "e2", 11).ok());
+  EXPECT_EQ(db()->GetEdge(1, 1, 2).value(), "e2");
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(db()->GetNeighbors(1, 1, 10, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  // Delete is terminal and idempotent.
+  ASSERT_TRUE(db()->DeleteEdge(1, 1, 2).ok());
+  EXPECT_TRUE(db()->GetEdge(1, 1, 2).status().IsNotFound());
+  ASSERT_TRUE(db()->DeleteEdge(1, 1, 2).ok());
+}
+
+TEST_P(EngineConformanceTest, NeighborsSortedAndLimited) {
+  for (VertexId d : {50, 10, 40, 20, 30}) {
+    ASSERT_TRUE(db()->AddEdge(7, 1, d, "p" + std::to_string(d), 1).ok());
+  }
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(db()->GetNeighbors(7, 1, 100, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  for (size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1].dst, out[i].dst);
+  EXPECT_EQ(out[0].dst, 10u);
+  EXPECT_EQ(out[0].properties, "p10");
+  out.clear();
+  ASSERT_TRUE(db()->GetNeighbors(7, 1, 3, &out).ok());
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.back().dst, 30u);  // limit keeps the smallest dsts
+}
+
+TEST_P(EngineConformanceTest, NeighborsOfUnknownVertexIsEmptyNotError) {
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(db()->GetNeighbors(999, 1, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(db()->CountNeighbors(999, 1, 10).value(), 0u);
+}
+
+TEST_P(EngineConformanceTest, LargeAdjacencyListSurvivesStructureChanges) {
+  // Crosses leaf/node split thresholds of every engine configuration.
+  for (VertexId d = 0; d < 300; ++d) {
+    ASSERT_TRUE(db()->AddEdge(9, 1, d, std::to_string(d), 1).ok());
+  }
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(db()->GetNeighbors(9, 1, 1000, &out).ok());
+  ASSERT_EQ(out.size(), 300u);
+  for (VertexId d = 0; d < 300; ++d) {
+    EXPECT_EQ(out[d].dst, d);
+    EXPECT_EQ(out[d].properties, std::to_string(d));
+  }
+}
+
+TEST_P(EngineConformanceTest, TimestampsRoundTrip) {
+  ASSERT_TRUE(db()->AddEdge(1, 1, 2, "p", 123456789).ok());
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(db()->GetNeighbors(1, 1, 10, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].created_us, 123456789u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineConformanceTest,
+    testing::Values(ConformanceParam{"BG3", MakeBg3},
+                    ConformanceParam{"ByteGraph", MakeByteGraph},
+                    ConformanceParam{"RefStore", MakeRefStore}),
+    [](const testing::TestParamInfo<ConformanceParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace bg3::graph
+
+namespace bg3::graph {
+namespace {
+
+TEST_P(EngineConformanceTest, DeleteVertexRemovesRecordAndOutEdges) {
+  ASSERT_TRUE(db()->AddVertex(1, "props").ok());
+  for (VertexId d = 10; d < 40; ++d) {
+    ASSERT_TRUE(db()->AddEdge(1, 1, d, "e", 1).ok());
+  }
+  ASSERT_TRUE(db()->AddEdge(2, 1, 1, "incoming", 1).ok());
+  ASSERT_TRUE(db()->DeleteVertex(1, 1).ok());
+  EXPECT_TRUE(db()->GetVertex(1).status().IsNotFound());
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(db()->GetNeighbors(1, 1, 100, &out).ok());
+  EXPECT_TRUE(out.empty());
+  // Incoming edges are untouched (no in-edge index, by contract).
+  EXPECT_TRUE(db()->GetEdge(2, 1, 1).ok());
+  // Idempotent.
+  ASSERT_TRUE(db()->DeleteVertex(1, 1).ok());
+  // The vertex can come back.
+  ASSERT_TRUE(db()->AddEdge(1, 1, 99, "fresh", 1).ok());
+  EXPECT_EQ(db()->CountNeighbors(1, 1, 10).value(), 1u);
+}
+
+}  // namespace
+}  // namespace bg3::graph

@@ -1,0 +1,210 @@
+// Cross-module integration tests: the three engines must agree on graph
+// semantics; GC must run safely under a live workload; replication must
+// stay consistent while the graph layer drives it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "bytegraph/bytegraph_db.h"
+#include "cloud/cloud_store.h"
+#include "common/random.h"
+#include "core/graph_db.h"
+#include "graph/edge.h"
+#include "graph/traversal.h"
+#include "refstore/ref_graph_store.h"
+#include "replication/ro_node.h"
+#include "replication/rw_node.h"
+#include "workload/graph_gen.h"
+
+namespace bg3 {
+namespace {
+
+// --- engine equivalence ---------------------------------------------------------
+
+class EngineEquivalenceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    bg3_store_ = std::make_unique<cloud::CloudStore>();
+    bg_store_ = std::make_unique<cloud::CloudStore>();
+    ref_store_ = std::make_unique<cloud::CloudStore>();
+    core::GraphDBOptions bg3_opts;
+    bg3_opts.forest.split_out_threshold = 32;
+    bg3_ = std::make_unique<core::GraphDB>(bg3_store_.get(), bg3_opts);
+    bytegraph::ByteGraphOptions bg_opts;
+    bg_opts.max_node_edges = 16;
+    bg_ = std::make_unique<bytegraph::ByteGraphDB>(bg_store_.get(), bg_opts);
+    refstore::RefStoreOptions ref_opts;
+    ref_opts.op_cost_iterations = 1;
+    ref_ = std::make_unique<refstore::RefGraphStore>(ref_store_.get(), ref_opts);
+    engines_ = {bg3_.get(), bg_.get(), ref_.get()};
+  }
+
+  std::unique_ptr<cloud::CloudStore> bg3_store_, bg_store_, ref_store_;
+  std::unique_ptr<core::GraphDB> bg3_;
+  std::unique_ptr<bytegraph::ByteGraphDB> bg_;
+  std::unique_ptr<refstore::RefGraphStore> ref_;
+  std::vector<graph::GraphEngine*> engines_;
+};
+
+TEST_F(EngineEquivalenceTest, IdenticalOpsIdenticalNeighborSets) {
+  Random rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const graph::VertexId src = rng.Uniform(50);
+    const graph::VertexId dst = rng.Uniform(500);
+    const bool del = rng.Uniform(10) == 0;
+    for (graph::GraphEngine* e : engines_) {
+      if (del) {
+        ASSERT_TRUE(e->DeleteEdge(src, 1, dst).ok());
+      } else {
+        ASSERT_TRUE(e->AddEdge(src, 1, dst, "p" + std::to_string(i), i + 1).ok());
+      }
+    }
+  }
+  for (graph::VertexId src = 0; src < 50; ++src) {
+    std::vector<std::vector<graph::VertexId>> neighbor_sets;
+    for (graph::GraphEngine* e : engines_) {
+      std::vector<graph::Neighbor> out;
+      ASSERT_TRUE(e->GetNeighbors(src, 1, 100000, &out).ok());
+      std::vector<graph::VertexId> ids;
+      for (const auto& n : out) ids.push_back(n.dst);
+      EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end())) << e->name();
+      neighbor_sets.push_back(std::move(ids));
+    }
+    EXPECT_EQ(neighbor_sets[0], neighbor_sets[1]) << "src=" << src;
+    EXPECT_EQ(neighbor_sets[0], neighbor_sets[2]) << "src=" << src;
+  }
+}
+
+TEST_F(EngineEquivalenceTest, TraversalsAgree) {
+  workload::GraphGenOptions gen;
+  gen.num_sources = 200;
+  gen.num_dests = 200;
+  gen.num_edges = 3000;
+  for (graph::GraphEngine* e : engines_) {
+    ASSERT_TRUE(workload::LoadGraph(e, gen).ok());
+  }
+  graph::TraversalOptions t;
+  t.hops = 2;
+  t.fanout_per_vertex = 1u << 30;  // unbounded: deterministic result set
+  t.max_visited = 1u << 30;
+  for (graph::VertexId start : {0ull, 5ull, 17ull}) {
+    std::vector<size_t> sizes;
+    for (graph::GraphEngine* e : engines_) {
+      auto r = graph::KHopNeighbors(e, start, gen.edge_type, t);
+      ASSERT_TRUE(r.ok());
+      sizes.push_back(r.value().size());
+    }
+    EXPECT_EQ(sizes[0], sizes[1]);
+    EXPECT_EQ(sizes[0], sizes[2]);
+  }
+}
+
+// --- GC under live load -----------------------------------------------------------
+
+TEST(GcUnderLoadTest, ConcurrentWritesAndGcKeepDataIntact) {
+  cloud::CloudStoreOptions copts;
+  copts.extent_capacity = 4096;
+  cloud::CloudStore store(copts);
+  core::GraphDBOptions opts;
+  opts.gc_policy = core::GcPolicyKind::kWorkloadAware;
+  opts.gc_target_dead_ratio = 0.01;
+  opts.gc_min_fragmentation = 0.01;
+  opts.forest.tree_options.consolidate_threshold = 4;
+  core::GraphDB db(&store, opts);
+
+  std::atomic<bool> stop{false};
+  std::thread gc_thread([&] {
+    while (!stop.load()) {
+      ASSERT_TRUE(db.RunGcCycle().ok());
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      for (int round = 0; round < 30; ++round) {
+        for (int d = 0; d < 20; ++d) {
+          ASSERT_TRUE(
+              db.AddEdge(t, 1, d, "r" + std::to_string(round), 0).ok());
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  gc_thread.join();
+  for (int t = 0; t < 3; ++t) {
+    std::vector<graph::Neighbor> out;
+    ASSERT_TRUE(db.GetNeighbors(t, 1, 100, &out).ok());
+    ASSERT_EQ(out.size(), 20u);
+    for (const auto& n : out) EXPECT_EQ(n.properties, "r29");
+  }
+}
+
+// --- replication driven by the graph layer ------------------------------------------
+
+TEST(GraphReplicationTest, RoNodeServesGraphReads) {
+  cloud::CloudStore store;
+  replication::RwNodeOptions rw_opts;
+  rw_opts.tree.tree_id = 1;
+  rw_opts.tree.max_leaf_entries = 32;
+  rw_opts.tree.base_stream = store.CreateStream("base");
+  rw_opts.tree.delta_stream = store.CreateStream("delta");
+  rw_opts.wal.stream = store.CreateStream("wal");
+  rw_opts.flush_group_pages = 8;
+  replication::RwNode rw(&store, rw_opts);
+  replication::RoNodeOptions ro_opts;
+  ro_opts.wal_stream = rw_opts.wal.stream;
+  replication::RoNode ro(&store, ro_opts);
+
+  // Insert fund-transfer edges through the flat-key encoding.
+  for (int i = 0; i < 300; ++i) {
+    const auto key = graph::EncodeFlatEdgeKey(i % 20, 1, 1000 + i);
+    ASSERT_TRUE(rw.Put(key, graph::EncodeEdgeValue(i, "amt")).ok());
+  }
+  // RO-side adjacency scan: all edges of (src=3, type=1).
+  std::vector<bwtree::Entry> out;
+  ASSERT_TRUE(ro.Scan(1, graph::EncodeFlatEdgePrefix(3, 1),
+                      graph::EncodeFlatEdgePrefixEnd(3, 1), 1000, &out)
+                  .ok());
+  EXPECT_EQ(out.size(), 15u);  // 300 edges over 20 sources
+  for (const auto& e : out) {
+    graph::VertexId src, dst;
+    graph::EdgeType type;
+    ASSERT_TRUE(graph::DecodeFlatEdgeKey(Slice(e.key), &src, &type, &dst));
+    EXPECT_EQ(src, 3u);
+    EXPECT_EQ(type, 1u);
+  }
+}
+
+// --- storage-cost comparison mechanism -----------------------------------------------
+
+TEST(StorageCostTest, Bg3WritesFewerBytesThanByteGraphUnderChurn) {
+  // The §4.2 "storage cost saving" mechanism at test scale: LSM compaction
+  // rewrites data repeatedly, while BG3's delta-based engine appends far
+  // less for the same logical workload.
+  cloud::CloudStore bg3_store;
+  core::GraphDBOptions bg3_opts;
+  core::GraphDB bg3(&bg3_store, bg3_opts);
+
+  cloud::CloudStore bg_store;
+  bytegraph::ByteGraphOptions bg_opts;
+  bg_opts.lsm.memtable_bytes = 4096;
+  bg_opts.lsm.compaction.l0_compaction_trigger = 2;
+  bg_opts.lsm.compaction.level_base_bytes = 16384;
+  bytegraph::ByteGraphDB bg(&bg_store, bg_opts);
+
+  Random rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const graph::VertexId src = rng.Uniform(100);
+    const graph::VertexId dst = rng.Uniform(1000);
+    ASSERT_TRUE(bg3.AddEdge(src, 1, dst, "props", 1).ok());
+    ASSERT_TRUE(bg.AddEdge(src, 1, dst, "props", 1).ok());
+  }
+  EXPECT_LT(bg3_store.stats().append_bytes.Get(),
+            bg_store.stats().append_bytes.Get());
+}
+
+}  // namespace
+}  // namespace bg3

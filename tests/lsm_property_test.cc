@@ -1,0 +1,91 @@
+// Property-based LSM tests: randomized workloads against a std::map
+// reference model, swept across memtable sizes and compaction triggers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "cloud/cloud_store.h"
+#include "common/random.h"
+#include "lsm/lsm_db.h"
+
+namespace bg3::lsm {
+namespace {
+
+struct LsmParam {
+  size_t memtable_bytes;
+  int l0_trigger;
+  uint64_t level_base_bytes;
+};
+
+std::string ParamName(const testing::TestParamInfo<LsmParam>& info) {
+  return "mem" + std::to_string(info.param.memtable_bytes) + "_l0t" +
+         std::to_string(info.param.l0_trigger) + "_base" +
+         std::to_string(info.param.level_base_bytes);
+}
+
+class LsmModelTest : public testing::TestWithParam<LsmParam> {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<cloud::CloudStore>();
+    LsmOptions opts;
+    opts.stream = store_->CreateStream("lsm");
+    opts.memtable_bytes = GetParam().memtable_bytes;
+    opts.compaction.l0_compaction_trigger = GetParam().l0_trigger;
+    opts.compaction.level_base_bytes = GetParam().level_base_bytes;
+    opts.compaction.sstable_target_bytes = 2048;
+    opts.compaction.block_bytes = 256;
+    db_ = std::make_unique<LsmDb>(store_.get(), opts);
+  }
+  std::unique_ptr<cloud::CloudStore> store_;
+  std::unique_ptr<LsmDb> db_;
+};
+
+TEST_P(LsmModelTest, RandomOpsMatchReferenceModel) {
+  std::map<std::string, std::string> model;
+  Random rng(GetParam().memtable_bytes + GetParam().l0_trigger);
+  for (int i = 0; i < 4000; ++i) {
+    const std::string key = "key" + std::to_string(rng.Uniform(300));
+    const int action = static_cast<int>(rng.Uniform(10));
+    if (action < 6) {
+      const std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(db_->Put(key, value).ok());
+      model[key] = value;
+    } else if (action < 8) {
+      ASSERT_TRUE(db_->Delete(key).ok());
+      model.erase(key);
+    } else {
+      auto got = db_->Get(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        EXPECT_EQ(got.value(), it->second);
+      }
+    }
+  }
+  // Final sweep: every model key readable, scan matches.
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(db_->Get(key).value(), value);
+  }
+  std::vector<KvRecord> out;
+  ASSERT_TRUE(db_->Scan("", "", 1u << 20, &out).ok());
+  ASSERT_EQ(out.size(), model.size());
+  auto mit = model.begin();
+  for (const KvRecord& r : out) {
+    EXPECT_EQ(r.key, mit->first);
+    EXPECT_EQ(r.value, mit->second);
+    ++mit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LsmModelTest,
+    testing::Values(LsmParam{512, 2, 2048}, LsmParam{2048, 2, 4096},
+                    LsmParam{2048, 4, 8192}, LsmParam{8192, 3, 16384},
+                    LsmParam{1024, 1, 2048}),
+    ParamName);
+
+}  // namespace
+}  // namespace bg3::lsm

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cloud/cloud_store.h"
+#include "core/graph_db.h"
+#include "query/query.h"
+
+namespace bg3::query {
+namespace {
+
+constexpr graph::EdgeType kFollows = 1;
+constexpr graph::EdgeType kLikes = 2;
+
+struct QueryFixture {
+  QueryFixture() {
+    store = std::make_unique<cloud::CloudStore>();
+    core::GraphDBOptions opts;
+    db = std::make_unique<core::GraphDB>(store.get(), opts);
+    // 1 follows {2,3}; 2 follows {3,4}; 3 follows {1};
+    // 2 likes {100,101}; 4 likes {100}.
+    Add(1, kFollows, 2);
+    Add(1, kFollows, 3);
+    Add(2, kFollows, 3);
+    Add(2, kFollows, 4);
+    Add(3, kFollows, 1);
+    Add(2, kLikes, 100);
+    Add(2, kLikes, 101);
+    Add(4, kLikes, 100);
+  }
+  void Add(graph::VertexId s, graph::EdgeType t, graph::VertexId d) {
+    ASSERT_TRUE(db->AddEdge(s, t, d, "p", s * 1000 + d).ok());
+  }
+  std::unique_ptr<cloud::CloudStore> store;
+  std::unique_ptr<core::GraphDB> db;
+};
+
+TEST(QueryTest, SingleHopOut) {
+  QueryFixture f;
+  auto r = Query(f.db.get()).V(1).Out(kFollows).Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<graph::VertexId>{2, 3}));
+}
+
+TEST(QueryTest, TwoHopWithDedup) {
+  QueryFixture f;
+  // 1 -> {2,3} -> {3,4,1}; without dedup 3 appears via 2 and 1 via 3.
+  auto without = Query(f.db.get()).V(1).Out(kFollows).Out(kFollows).Count();
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without.value(), 3u);  // 3, 4 (from 2) and 1 (from 3)
+  auto with = Query(f.db.get())
+                  .V(1)
+                  .Out(kFollows)
+                  .Out(kFollows)
+                  .Dedup()
+                  .Execute();
+  ASSERT_TRUE(with.ok());
+  std::set<graph::VertexId> unique(with.value().begin(), with.value().end());
+  EXPECT_EQ(unique.size(), with.value().size());
+}
+
+TEST(QueryTest, MixedEdgeTypes) {
+  QueryFixture f;
+  // Videos liked by people user 1 follows.
+  auto r = Query(f.db.get()).V(1).Out(kFollows).Out(kLikes).Dedup().Order()
+               .Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<graph::VertexId>{100, 101}));
+}
+
+TEST(QueryTest, WhereFiltersVertices) {
+  QueryFixture f;
+  auto r = Query(f.db.get())
+               .V(1)
+               .Out(kFollows)
+               .Where([](graph::VertexId v) { return v % 2 == 0; })
+               .Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<graph::VertexId>{2}));
+}
+
+TEST(QueryTest, WhereEdgeFiltersByProvenance) {
+  QueryFixture f;
+  // Edge timestamps are s*1000+d; keep only the 1->3 edge.
+  auto r = Query(f.db.get())
+               .V(1)
+               .Out(kFollows)
+               .WhereEdge([](const graph::Neighbor& n) {
+                 return n.created_us == 1003;
+               })
+               .Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<graph::VertexId>{3}));
+}
+
+TEST(QueryTest, WhereEdgeWithoutOutFails) {
+  QueryFixture f;
+  auto r = Query(f.db.get())
+               .V(1)
+               .WhereEdge([](const graph::Neighbor&) { return true; })
+               .Execute();
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(QueryTest, LimitAndOrder) {
+  QueryFixture f;
+  auto r = Query(f.db.get())
+               .V({3, 1})
+               .Out(kFollows)
+               .Order()
+               .Limit(2)
+               .Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<graph::VertexId>{1, 2}));
+}
+
+TEST(QueryTest, SampleIsDeterministicAndBounded) {
+  QueryFixture f;
+  for (graph::VertexId d = 10; d < 60; ++d) {
+    ASSERT_TRUE(f.db->AddEdge(9, kFollows, d, "", 1).ok());
+  }
+  auto a = Query(f.db.get()).V(9).Out(kFollows).Sample(5, 42).Execute();
+  auto b = Query(f.db.get()).V(9).Out(kFollows).Sample(5, 42).Execute();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.value().size(), 5u);
+  auto c = Query(f.db.get()).V(9).Out(kFollows).Sample(5, 43).Execute();
+  EXPECT_NE(a.value(), c.value());  // different seed, different sample
+}
+
+TEST(QueryTest, CountAndAny) {
+  QueryFixture f;
+  EXPECT_EQ(Query(f.db.get()).V(1).Out(kFollows).Count().value(), 2u);
+  EXPECT_TRUE(Query(f.db.get()).V(1).Out(kFollows).Any().value());
+  EXPECT_FALSE(Query(f.db.get()).V(999).Out(kFollows).Any().value());
+}
+
+TEST(QueryTest, EmptySourceYieldsEmpty) {
+  QueryFixture f;
+  auto r = Query(f.db.get()).Out(kFollows).Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(QueryTest, PerVertexLimitBoundsFanout) {
+  QueryFixture f;
+  for (graph::VertexId d = 10; d < 60; ++d) {
+    ASSERT_TRUE(f.db->AddEdge(9, kFollows, d, "", 1).ok());
+  }
+  auto r = Query(f.db.get()).V(9).Out(kFollows, /*per_vertex_limit=*/7).Count();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7u);
+}
+
+}  // namespace
+}  // namespace bg3::query

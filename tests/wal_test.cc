@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/cloud_store.h"
+#include "wal/reader.h"
+#include "wal/record.h"
+#include "wal/writer.h"
+
+namespace bg3::wal {
+namespace {
+
+WalRecord Mutation(bwtree::Lsn lsn, const std::string& key,
+                   const std::string& value) {
+  WalRecord r;
+  r.type = WalRecord::Type::kMutation;
+  r.tree_id = 1;
+  r.page_id = 7;
+  r.lsn = lsn;
+  r.entry = {bwtree::DeltaOp::kUpsert, key, value};
+  return r;
+}
+
+// --- record codec --------------------------------------------------------------
+
+TEST(WalRecordTest, MutationRoundTrip) {
+  WalRecord r = Mutation(42, "key", "value");
+  r.sim_publish_latency_us = 1234;
+  std::string buf;
+  r.EncodeTo(&buf);
+  Slice in(buf);
+  WalRecord out;
+  ASSERT_TRUE(WalRecord::DecodeFrom(&in, &out).ok());
+  EXPECT_EQ(out.type, WalRecord::Type::kMutation);
+  EXPECT_EQ(out.tree_id, 1u);
+  EXPECT_EQ(out.page_id, 7u);
+  EXPECT_EQ(out.lsn, 42u);
+  EXPECT_EQ(out.entry.key, "key");
+  EXPECT_EQ(out.entry.value, "value");
+  EXPECT_EQ(out.sim_publish_latency_us, 1234u);
+}
+
+TEST(WalRecordTest, SplitRoundTrip) {
+  WalRecord r;
+  r.type = WalRecord::Type::kSplit;
+  r.tree_id = 2;
+  r.page_id = 10;
+  r.aux_page_id = 11;
+  r.lsn = 99;
+  r.separator = "mid-key";
+  std::string buf;
+  r.EncodeTo(&buf);
+  Slice in(buf);
+  WalRecord out;
+  ASSERT_TRUE(WalRecord::DecodeFrom(&in, &out).ok());
+  EXPECT_EQ(out.type, WalRecord::Type::kSplit);
+  EXPECT_EQ(out.aux_page_id, 11u);
+  EXPECT_EQ(out.separator, "mid-key");
+}
+
+TEST(WalRecordTest, CheckpointRoundTrip) {
+  WalRecord r;
+  r.type = WalRecord::Type::kCheckpoint;
+  r.lsn = 1000;
+  std::string buf;
+  r.EncodeTo(&buf);
+  Slice in(buf);
+  WalRecord out;
+  ASSERT_TRUE(WalRecord::DecodeFrom(&in, &out).ok());
+  EXPECT_EQ(out.type, WalRecord::Type::kCheckpoint);
+  EXPECT_EQ(out.lsn, 1000u);
+}
+
+TEST(WalRecordTest, RejectsGarbage) {
+  WalRecord out;
+  Slice empty("");
+  EXPECT_TRUE(WalRecord::DecodeFrom(&empty, &out).IsCorruption());
+  std::string bad = "\x09junkjunk";
+  Slice in(bad);
+  EXPECT_TRUE(WalRecord::DecodeFrom(&in, &out).IsCorruption());
+}
+
+TEST(WalBatchTest, RoundTripMultipleRecords) {
+  std::vector<WalRecord> records = {Mutation(1, "a", "1"), Mutation(2, "b", "2"),
+                                    Mutation(3, "c", "3")};
+  const std::string batch = EncodeBatch(records);
+  std::vector<WalRecord> out;
+  ASSERT_TRUE(DecodeBatch(Slice(batch), &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].entry.key, "c");
+}
+
+TEST(WalBatchTest, EmptyBatch) {
+  const std::string batch = EncodeBatch({});
+  std::vector<WalRecord> out;
+  ASSERT_TRUE(DecodeBatch(Slice(batch), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+// --- writer / reader --------------------------------------------------------------
+
+struct WalFixture {
+  explicit WalFixture(size_t group_size = 1) {
+    store = std::make_unique<cloud::CloudStore>();
+    WalWriterOptions wopts;
+    wopts.stream = store->CreateStream("wal");
+    wopts.group_size = group_size;
+    writer = std::make_unique<WalWriter>(store.get(), wopts);
+    reader = std::make_unique<WalReader>(store.get(), wopts.stream);
+  }
+  std::unique_ptr<cloud::CloudStore> store;
+  std::unique_ptr<WalWriter> writer;
+  std::unique_ptr<WalReader> reader;
+};
+
+TEST(WalWriterTest, WriteThroughVisibleImmediately) {
+  WalFixture f(/*group_size=*/1);
+  ASSERT_TRUE(f.writer->Append(Mutation(1, "k", "v")).ok());
+  auto records = f.reader->Poll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].entry.key, "k");
+}
+
+TEST(WalWriterTest, GroupedRecordsVisibleAfterFlush) {
+  WalFixture f(/*group_size=*/8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.writer->Append(Mutation(i, "k" + std::to_string(i), "v")).ok());
+  }
+  EXPECT_TRUE(f.reader->Poll().value().empty());  // still buffered
+  ASSERT_TRUE(f.writer->Flush().ok());
+  EXPECT_EQ(f.reader->Poll().value().size(), 5u);
+}
+
+TEST(WalWriterTest, GroupSizeTriggersAutoFlush) {
+  WalFixture f(/*group_size=*/3);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(f.writer->Append(Mutation(i, "k", "v")).ok());
+  }
+  EXPECT_EQ(f.reader->Poll().value().size(), 3u);
+  EXPECT_EQ(f.writer->batches_appended(), 1u);
+}
+
+TEST(WalWriterTest, PublishLatencyStamped) {
+  WalFixture f(/*group_size=*/1);
+  ASSERT_TRUE(f.writer->Append(Mutation(1, "k", "v")).ok());
+  auto records = f.reader->Poll();
+  ASSERT_EQ(records.value().size(), 1u);
+  // Write-through records still pay the append latency of the store.
+  EXPECT_GT(records.value()[0].sim_publish_latency_us, 0u);
+}
+
+TEST(WalReaderTest, PollReturnsOnlyNewRecords) {
+  WalFixture f;
+  ASSERT_TRUE(f.writer->Append(Mutation(1, "a", "1")).ok());
+  EXPECT_EQ(f.reader->Poll().value().size(), 1u);
+  EXPECT_TRUE(f.reader->Poll().value().empty());
+  ASSERT_TRUE(f.writer->Append(Mutation(2, "b", "2")).ok());
+  auto next = f.reader->Poll();
+  ASSERT_EQ(next.value().size(), 1u);
+  EXPECT_EQ(next.value()[0].entry.key, "b");
+}
+
+TEST(WalReaderTest, TwoIndependentReaders) {
+  WalFixture f;
+  WalReader second(f.store.get(), 0);
+  ASSERT_TRUE(f.writer->Append(Mutation(1, "a", "1")).ok());
+  EXPECT_EQ(f.reader->Poll().value().size(), 1u);
+  EXPECT_EQ(second.Poll().value().size(), 1u);  // own cursor
+}
+
+TEST(WalReaderTest, OrderPreservedAcrossManyBatches) {
+  WalFixture f(/*group_size=*/4);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.writer->Append(Mutation(i, "k" + std::to_string(i), "v")).ok());
+  }
+  ASSERT_TRUE(f.writer->Flush().ok());
+  auto records = f.reader->Poll();
+  ASSERT_EQ(records.value().size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(records.value()[i].lsn, static_cast<bwtree::Lsn>(i));
+  }
+}
+
+}  // namespace
+}  // namespace bg3::wal
+
+namespace bg3::wal {
+namespace {
+
+TEST(WalWriterTest, LastAppendPtrAdvances) {
+  WalFixture f(/*group_size=*/1);
+  EXPECT_TRUE(f.writer->last_append_ptr().IsNull());
+  ASSERT_TRUE(f.writer->Append(Mutation(1, "a", "1")).ok());
+  const cloud::PagePointer p1 = f.writer->last_append_ptr();
+  EXPECT_FALSE(p1.IsNull());
+  ASSERT_TRUE(f.writer->Append(Mutation(2, "b", "2")).ok());
+  const cloud::PagePointer p2 = f.writer->last_append_ptr();
+  EXPECT_FALSE(p1 == p2);
+}
+
+TEST(WalReaderTest, CursorTracksConsumption) {
+  WalFixture f;
+  EXPECT_TRUE(f.reader->cursor().IsNull());
+  ASSERT_TRUE(f.writer->Append(Mutation(1, "a", "1")).ok());
+  (void)f.reader->Poll();
+  EXPECT_FALSE(f.reader->cursor().IsNull());
+  EXPECT_TRUE(f.reader->cursor() == f.writer->last_append_ptr());
+}
+
+TEST(WalReaderTest, SurvivesTruncationOfConsumedPrefix) {
+  cloud::CloudStoreOptions copts;
+  copts.extent_capacity = 64;
+  cloud::CloudStore store(copts);
+  WalWriterOptions wopts;
+  wopts.stream = store.CreateStream("wal");
+  WalWriter writer(&store, wopts);
+  WalReader reader(&store, wopts.stream);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(writer.Append(Mutation(i, "key-" + std::to_string(i), "v")).ok());
+  }
+  (void)reader.Poll();  // consume everything
+  // Truncate the consumed prefix; new appends still flow to this reader.
+  (void)store.TruncateStreamBefore(wopts.stream,
+                                   reader.cursor().extent_id);
+  ASSERT_TRUE(writer.Append(Mutation(99, "fresh", "v")).ok());
+  auto records = reader.Poll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].entry.key, "fresh");
+}
+
+}  // namespace
+}  // namespace bg3::wal
