@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_forest.dir/bench_fig11_forest.cc.o"
+  "CMakeFiles/bench_fig11_forest.dir/bench_fig11_forest.cc.o.d"
+  "bench_fig11_forest"
+  "bench_fig11_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_sync_latency.cc" "bench/CMakeFiles/bench_fig13_sync_latency.dir/bench_fig13_sync_latency.cc.o" "gcc" "bench/CMakeFiles/bench_fig13_sync_latency.dir/bench_fig13_sync_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bg3_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_bwtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_bytegraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_refstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_read_amp.dir/bench_fig9_read_amp.cc.o"
+  "CMakeFiles/bench_fig9_read_amp.dir/bench_fig9_read_amp.cc.o.d"
+  "bench_fig9_read_amp"
+  "bench_fig9_read_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_read_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

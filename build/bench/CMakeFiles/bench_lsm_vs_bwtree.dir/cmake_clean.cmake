@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsm_vs_bwtree.dir/bench_lsm_vs_bwtree.cc.o"
+  "CMakeFiles/bench_lsm_vs_bwtree.dir/bench_lsm_vs_bwtree.cc.o.d"
+  "bench_lsm_vs_bwtree"
+  "bench_lsm_vs_bwtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsm_vs_bwtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

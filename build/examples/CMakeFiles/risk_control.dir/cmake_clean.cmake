@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_control.dir/risk_control.cpp.o"
+  "CMakeFiles/risk_control.dir/risk_control.cpp.o.d"
+  "risk_control"
+  "risk_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_follow.dir/social_follow.cpp.o"
+  "CMakeFiles/social_follow.dir/social_follow.cpp.o.d"
+  "social_follow"
+  "social_follow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_follow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

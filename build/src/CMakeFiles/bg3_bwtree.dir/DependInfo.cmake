@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwtree/bwtree.cc" "src/CMakeFiles/bg3_bwtree.dir/bwtree/bwtree.cc.o" "gcc" "src/CMakeFiles/bg3_bwtree.dir/bwtree/bwtree.cc.o.d"
+  "/root/repo/src/bwtree/iterator.cc" "src/CMakeFiles/bg3_bwtree.dir/bwtree/iterator.cc.o" "gcc" "src/CMakeFiles/bg3_bwtree.dir/bwtree/iterator.cc.o.d"
+  "/root/repo/src/bwtree/mapping_table.cc" "src/CMakeFiles/bg3_bwtree.dir/bwtree/mapping_table.cc.o" "gcc" "src/CMakeFiles/bg3_bwtree.dir/bwtree/mapping_table.cc.o.d"
+  "/root/repo/src/bwtree/page.cc" "src/CMakeFiles/bg3_bwtree.dir/bwtree/page.cc.o" "gcc" "src/CMakeFiles/bg3_bwtree.dir/bwtree/page.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bg3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_bwtree.dir/bwtree/bwtree.cc.o"
+  "CMakeFiles/bg3_bwtree.dir/bwtree/bwtree.cc.o.d"
+  "CMakeFiles/bg3_bwtree.dir/bwtree/iterator.cc.o"
+  "CMakeFiles/bg3_bwtree.dir/bwtree/iterator.cc.o.d"
+  "CMakeFiles/bg3_bwtree.dir/bwtree/mapping_table.cc.o"
+  "CMakeFiles/bg3_bwtree.dir/bwtree/mapping_table.cc.o.d"
+  "CMakeFiles/bg3_bwtree.dir/bwtree/page.cc.o"
+  "CMakeFiles/bg3_bwtree.dir/bwtree/page.cc.o.d"
+  "libbg3_bwtree.a"
+  "libbg3_bwtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_bwtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

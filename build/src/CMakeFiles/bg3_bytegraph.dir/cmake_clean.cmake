@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_bytegraph.dir/bytegraph/bytegraph_db.cc.o"
+  "CMakeFiles/bg3_bytegraph.dir/bytegraph/bytegraph_db.cc.o.d"
+  "libbg3_bytegraph.a"
+  "libbg3_bytegraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_bytegraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cloud_store.cc" "src/CMakeFiles/bg3_cloud.dir/cloud/cloud_store.cc.o" "gcc" "src/CMakeFiles/bg3_cloud.dir/cloud/cloud_store.cc.o.d"
+  "/root/repo/src/cloud/extent.cc" "src/CMakeFiles/bg3_cloud.dir/cloud/extent.cc.o" "gcc" "src/CMakeFiles/bg3_cloud.dir/cloud/extent.cc.o.d"
+  "/root/repo/src/cloud/latency_model.cc" "src/CMakeFiles/bg3_cloud.dir/cloud/latency_model.cc.o" "gcc" "src/CMakeFiles/bg3_cloud.dir/cloud/latency_model.cc.o.d"
+  "/root/repo/src/cloud/stream.cc" "src/CMakeFiles/bg3_cloud.dir/cloud/stream.cc.o" "gcc" "src/CMakeFiles/bg3_cloud.dir/cloud/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bg3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

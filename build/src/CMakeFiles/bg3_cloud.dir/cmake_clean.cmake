@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_cloud.dir/cloud/cloud_store.cc.o"
+  "CMakeFiles/bg3_cloud.dir/cloud/cloud_store.cc.o.d"
+  "CMakeFiles/bg3_cloud.dir/cloud/extent.cc.o"
+  "CMakeFiles/bg3_cloud.dir/cloud/extent.cc.o.d"
+  "CMakeFiles/bg3_cloud.dir/cloud/latency_model.cc.o"
+  "CMakeFiles/bg3_cloud.dir/cloud/latency_model.cc.o.d"
+  "CMakeFiles/bg3_cloud.dir/cloud/stream.cc.o"
+  "CMakeFiles/bg3_cloud.dir/cloud/stream.cc.o.d"
+  "libbg3_cloud.a"
+  "libbg3_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

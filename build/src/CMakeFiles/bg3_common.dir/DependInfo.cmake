@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/bg3_common.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/bg3_common.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/bg3_common.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/bg3_common.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/bg3_common.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/bg3_common.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/bg3_common.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/bg3_common.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/bg3_common.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/bg3_common.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/bg3_common.dir/common/random.cc.o" "gcc" "src/CMakeFiles/bg3_common.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/bg3_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/bg3_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/bg3_common.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/bg3_common.dir/common/threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

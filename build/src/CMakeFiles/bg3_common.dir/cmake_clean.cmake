@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_common.dir/common/clock.cc.o"
+  "CMakeFiles/bg3_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/bg3_common.dir/common/coding.cc.o"
+  "CMakeFiles/bg3_common.dir/common/coding.cc.o.d"
+  "CMakeFiles/bg3_common.dir/common/crc32.cc.o"
+  "CMakeFiles/bg3_common.dir/common/crc32.cc.o.d"
+  "CMakeFiles/bg3_common.dir/common/histogram.cc.o"
+  "CMakeFiles/bg3_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/bg3_common.dir/common/metrics.cc.o"
+  "CMakeFiles/bg3_common.dir/common/metrics.cc.o.d"
+  "CMakeFiles/bg3_common.dir/common/random.cc.o"
+  "CMakeFiles/bg3_common.dir/common/random.cc.o.d"
+  "CMakeFiles/bg3_common.dir/common/status.cc.o"
+  "CMakeFiles/bg3_common.dir/common/status.cc.o.d"
+  "CMakeFiles/bg3_common.dir/common/threadpool.cc.o"
+  "CMakeFiles/bg3_common.dir/common/threadpool.cc.o.d"
+  "libbg3_common.a"
+  "libbg3_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbg3_common.a"
+)

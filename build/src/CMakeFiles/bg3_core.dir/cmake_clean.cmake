@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_core.dir/core/db_stats.cc.o"
+  "CMakeFiles/bg3_core.dir/core/db_stats.cc.o.d"
+  "CMakeFiles/bg3_core.dir/core/graph_db.cc.o"
+  "CMakeFiles/bg3_core.dir/core/graph_db.cc.o.d"
+  "CMakeFiles/bg3_core.dir/core/options.cc.o"
+  "CMakeFiles/bg3_core.dir/core/options.cc.o.d"
+  "libbg3_core.a"
+  "libbg3_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_forest.dir/forest/forest.cc.o"
+  "CMakeFiles/bg3_forest.dir/forest/forest.cc.o.d"
+  "libbg3_forest.a"
+  "libbg3_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

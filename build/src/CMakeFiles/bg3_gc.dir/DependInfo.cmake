@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/extent_usage.cc" "src/CMakeFiles/bg3_gc.dir/gc/extent_usage.cc.o" "gcc" "src/CMakeFiles/bg3_gc.dir/gc/extent_usage.cc.o.d"
+  "/root/repo/src/gc/policy.cc" "src/CMakeFiles/bg3_gc.dir/gc/policy.cc.o" "gcc" "src/CMakeFiles/bg3_gc.dir/gc/policy.cc.o.d"
+  "/root/repo/src/gc/space_reclaimer.cc" "src/CMakeFiles/bg3_gc.dir/gc/space_reclaimer.cc.o" "gcc" "src/CMakeFiles/bg3_gc.dir/gc/space_reclaimer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bg3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_bwtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

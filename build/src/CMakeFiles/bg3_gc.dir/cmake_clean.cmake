@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_gc.dir/gc/extent_usage.cc.o"
+  "CMakeFiles/bg3_gc.dir/gc/extent_usage.cc.o.d"
+  "CMakeFiles/bg3_gc.dir/gc/policy.cc.o"
+  "CMakeFiles/bg3_gc.dir/gc/policy.cc.o.d"
+  "CMakeFiles/bg3_gc.dir/gc/space_reclaimer.cc.o"
+  "CMakeFiles/bg3_gc.dir/gc/space_reclaimer.cc.o.d"
+  "libbg3_gc.a"
+  "libbg3_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

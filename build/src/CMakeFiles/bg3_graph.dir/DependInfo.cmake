@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/bg3_graph.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/bg3_graph.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/edge.cc" "src/CMakeFiles/bg3_graph.dir/graph/edge.cc.o" "gcc" "src/CMakeFiles/bg3_graph.dir/graph/edge.cc.o.d"
+  "/root/repo/src/graph/pattern.cc" "src/CMakeFiles/bg3_graph.dir/graph/pattern.cc.o" "gcc" "src/CMakeFiles/bg3_graph.dir/graph/pattern.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/bg3_graph.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/bg3_graph.dir/graph/subgraph.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/bg3_graph.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/bg3_graph.dir/graph/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bg3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/bg3_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/bg3_graph.dir/graph/edge.cc.o"
+  "CMakeFiles/bg3_graph.dir/graph/edge.cc.o.d"
+  "CMakeFiles/bg3_graph.dir/graph/pattern.cc.o"
+  "CMakeFiles/bg3_graph.dir/graph/pattern.cc.o.d"
+  "CMakeFiles/bg3_graph.dir/graph/subgraph.cc.o"
+  "CMakeFiles/bg3_graph.dir/graph/subgraph.cc.o.d"
+  "CMakeFiles/bg3_graph.dir/graph/traversal.cc.o"
+  "CMakeFiles/bg3_graph.dir/graph/traversal.cc.o.d"
+  "libbg3_graph.a"
+  "libbg3_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

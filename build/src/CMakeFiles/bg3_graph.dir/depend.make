@@ -1,0 +1,2 @@
+# Empty dependencies file for bg3_graph.
+# This may be replaced when dependencies are built.

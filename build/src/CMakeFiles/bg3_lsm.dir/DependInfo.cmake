@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/compaction.cc" "src/CMakeFiles/bg3_lsm.dir/lsm/compaction.cc.o" "gcc" "src/CMakeFiles/bg3_lsm.dir/lsm/compaction.cc.o.d"
+  "/root/repo/src/lsm/lsm_db.cc" "src/CMakeFiles/bg3_lsm.dir/lsm/lsm_db.cc.o" "gcc" "src/CMakeFiles/bg3_lsm.dir/lsm/lsm_db.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/bg3_lsm.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/bg3_lsm.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/sstable.cc" "src/CMakeFiles/bg3_lsm.dir/lsm/sstable.cc.o" "gcc" "src/CMakeFiles/bg3_lsm.dir/lsm/sstable.cc.o.d"
+  "/root/repo/src/lsm/version.cc" "src/CMakeFiles/bg3_lsm.dir/lsm/version.cc.o" "gcc" "src/CMakeFiles/bg3_lsm.dir/lsm/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bg3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_lsm.dir/lsm/compaction.cc.o"
+  "CMakeFiles/bg3_lsm.dir/lsm/compaction.cc.o.d"
+  "CMakeFiles/bg3_lsm.dir/lsm/lsm_db.cc.o"
+  "CMakeFiles/bg3_lsm.dir/lsm/lsm_db.cc.o.d"
+  "CMakeFiles/bg3_lsm.dir/lsm/memtable.cc.o"
+  "CMakeFiles/bg3_lsm.dir/lsm/memtable.cc.o.d"
+  "CMakeFiles/bg3_lsm.dir/lsm/sstable.cc.o"
+  "CMakeFiles/bg3_lsm.dir/lsm/sstable.cc.o.d"
+  "CMakeFiles/bg3_lsm.dir/lsm/version.cc.o"
+  "CMakeFiles/bg3_lsm.dir/lsm/version.cc.o.d"
+  "libbg3_lsm.a"
+  "libbg3_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

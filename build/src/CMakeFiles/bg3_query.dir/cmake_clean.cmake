@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_query.dir/query/query.cc.o"
+  "CMakeFiles/bg3_query.dir/query/query.cc.o.d"
+  "libbg3_query.a"
+  "libbg3_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

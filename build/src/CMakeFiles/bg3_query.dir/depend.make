@@ -1,0 +1,2 @@
+# Empty dependencies file for bg3_query.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_refstore.dir/refstore/ref_graph_store.cc.o"
+  "CMakeFiles/bg3_refstore.dir/refstore/ref_graph_store.cc.o.d"
+  "libbg3_refstore.a"
+  "libbg3_refstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_refstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

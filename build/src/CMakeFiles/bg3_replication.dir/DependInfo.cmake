@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/channel.cc" "src/CMakeFiles/bg3_replication.dir/replication/channel.cc.o" "gcc" "src/CMakeFiles/bg3_replication.dir/replication/channel.cc.o.d"
+  "/root/repo/src/replication/cluster.cc" "src/CMakeFiles/bg3_replication.dir/replication/cluster.cc.o" "gcc" "src/CMakeFiles/bg3_replication.dir/replication/cluster.cc.o.d"
+  "/root/repo/src/replication/forwarding.cc" "src/CMakeFiles/bg3_replication.dir/replication/forwarding.cc.o" "gcc" "src/CMakeFiles/bg3_replication.dir/replication/forwarding.cc.o.d"
+  "/root/repo/src/replication/ro_node.cc" "src/CMakeFiles/bg3_replication.dir/replication/ro_node.cc.o" "gcc" "src/CMakeFiles/bg3_replication.dir/replication/ro_node.cc.o.d"
+  "/root/repo/src/replication/rw_node.cc" "src/CMakeFiles/bg3_replication.dir/replication/rw_node.cc.o" "gcc" "src/CMakeFiles/bg3_replication.dir/replication/rw_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bg3_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_bwtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bg3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

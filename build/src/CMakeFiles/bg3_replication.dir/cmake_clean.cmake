@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_replication.dir/replication/channel.cc.o"
+  "CMakeFiles/bg3_replication.dir/replication/channel.cc.o.d"
+  "CMakeFiles/bg3_replication.dir/replication/cluster.cc.o"
+  "CMakeFiles/bg3_replication.dir/replication/cluster.cc.o.d"
+  "CMakeFiles/bg3_replication.dir/replication/forwarding.cc.o"
+  "CMakeFiles/bg3_replication.dir/replication/forwarding.cc.o.d"
+  "CMakeFiles/bg3_replication.dir/replication/ro_node.cc.o"
+  "CMakeFiles/bg3_replication.dir/replication/ro_node.cc.o.d"
+  "CMakeFiles/bg3_replication.dir/replication/rw_node.cc.o"
+  "CMakeFiles/bg3_replication.dir/replication/rw_node.cc.o.d"
+  "libbg3_replication.a"
+  "libbg3_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

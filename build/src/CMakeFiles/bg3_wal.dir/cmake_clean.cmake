@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_wal.dir/wal/reader.cc.o"
+  "CMakeFiles/bg3_wal.dir/wal/reader.cc.o.d"
+  "CMakeFiles/bg3_wal.dir/wal/record.cc.o"
+  "CMakeFiles/bg3_wal.dir/wal/record.cc.o.d"
+  "CMakeFiles/bg3_wal.dir/wal/writer.cc.o"
+  "CMakeFiles/bg3_wal.dir/wal/writer.cc.o.d"
+  "libbg3_wal.a"
+  "libbg3_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg3_workload.dir/workload/driver.cc.o"
+  "CMakeFiles/bg3_workload.dir/workload/driver.cc.o.d"
+  "CMakeFiles/bg3_workload.dir/workload/graph_gen.cc.o"
+  "CMakeFiles/bg3_workload.dir/workload/graph_gen.cc.o.d"
+  "CMakeFiles/bg3_workload.dir/workload/workloads.cc.o"
+  "CMakeFiles/bg3_workload.dir/workload/workloads.cc.o.d"
+  "libbg3_workload.a"
+  "libbg3_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg3_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwtree_property_test.dir/bwtree_property_test.cc.o"
+  "CMakeFiles/bwtree_property_test.dir/bwtree_property_test.cc.o.d"
+  "bwtree_property_test"
+  "bwtree_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwtree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwtree_test.dir/bwtree_test.cc.o"
+  "CMakeFiles/bwtree_test.dir/bwtree_test.cc.o.d"
+  "bwtree_test"
+  "bwtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bytegraph_test.dir/bytegraph_test.cc.o"
+  "CMakeFiles/bytegraph_test.dir/bytegraph_test.cc.o.d"
+  "bytegraph_test"
+  "bytegraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bytegraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_property_test.dir/forest_property_test.cc.o"
+  "CMakeFiles/forest_property_test.dir/forest_property_test.cc.o.d"
+  "forest_property_test"
+  "forest_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

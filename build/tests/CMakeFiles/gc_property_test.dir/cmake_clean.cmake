@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_property_test.dir/gc_property_test.cc.o"
+  "CMakeFiles/gc_property_test.dir/gc_property_test.cc.o.d"
+  "gc_property_test"
+  "gc_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

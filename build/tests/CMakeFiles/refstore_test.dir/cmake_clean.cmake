@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refstore_test.dir/refstore_test.cc.o"
+  "CMakeFiles/refstore_test.dir/refstore_test.cc.o.d"
+  "refstore_test"
+  "refstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
