@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the BG3 sources using the
+# compile_commands.json exported by a CMake configure.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [build-dir] [source-glob...]
+#
+#   build-dir     directory containing compile_commands.json (default: build)
+#   source-glob   restrict to matching files (default: everything in src/)
+#
+# Exits 0 if clang-tidy is not installed (the container toolchain is GCC-only;
+# CI installs clang-tools for the lint job) so the script can sit in a
+# pipeline without breaking environments that lack it.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+shift || true
+
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY_BIN}" >/dev/null 2>&1; then
+  echo "run_clang_tidy: ${TIDY_BIN} not found; skipping (install clang-tidy" \
+       "or set CLANG_TIDY=/path/to/clang-tidy)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${BUILD_DIR}/compile_commands.json missing." >&2
+  echo "Configure first: cmake -B ${BUILD_DIR} -S ${REPO_ROOT}" >&2
+  exit 1
+fi
+
+if [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  mapfile -t FILES < <(find "${REPO_ROOT}/src" -name '*.cc' | sort)
+fi
+
+echo "run_clang_tidy: checking ${#FILES[@]} files against ${BUILD_DIR}" >&2
+
+# run-clang-tidy parallelizes when available; otherwise loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "${TIDY_BIN}" -p "${BUILD_DIR}" \
+    -quiet "${FILES[@]}"
+else
+  STATUS=0
+  for f in "${FILES[@]}"; do
+    "${TIDY_BIN}" -p "${BUILD_DIR}" --quiet "$f" || STATUS=1
+  done
+  exit "${STATUS}"
+fi

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace bg3::bwtree {
 
@@ -21,9 +22,9 @@ BwTree::BwTree(cloud::CloudStore* store, const BwTreeOptions& options)
       << "zero-cache reads require sync flushing (storage must be current)";
   if (opts_.bootstrap) return;  // layout comes from InstallRecoveredPages
   // Initial empty leaf covering the whole key space.
+  // Default-constructed LeafPage already covers the whole key space
+  // (empty low key, no high key).
   auto page = std::make_unique<LeafPage>(NextPageId());
-  page->low_key = "";
-  page->has_high_key = false;
   LeafPage* raw = index_.InsertPage(std::move(page));
   index_.InsertRoute("", raw->id);
   if (opts_.listener != nullptr) {
@@ -52,12 +53,17 @@ Status BwTree::InstallRecoveredPages(std::vector<RecoveredPage> pages) {
     }
     auto page = std::make_unique<LeafPage>(rp.id);
     page->low_key = rp.low_key;
-    page->high_key = rp.high_key;
-    page->has_high_key = rp.has_high_key;
-    page->base_entries = std::move(rp.entries);
-    page->base_ptr = rp.base_ptr;
-    page->last_lsn = rp.last_lsn;
-    page->dirty = true;  // republish a fresh image on the next flush
+    {
+      // Uncontended (the page is unpublished); latching makes the guarded
+      // writes visible to the thread-safety analysis.
+      MutexLock init_lock(&page->latch);
+      page->high_key = rp.high_key;
+      page->has_high_key = rp.has_high_key;
+      page->base_entries = std::move(rp.entries);
+      page->base_ptr = rp.base_ptr;
+      page->last_lsn = rp.last_lsn;
+      page->dirty = true;  // republish a fresh image on the next flush
+    }
     max_id = std::max(max_id, rp.id);
     LeafPage* raw = index_.InsertPage(std::move(page));
     index_.InsertRoute(raw->low_key, raw->id);
@@ -71,15 +77,16 @@ Status BwTree::InstallRecoveredPages(std::vector<RecoveredPage> pages) {
 }
 
 LeafPage* BwTree::FindAndLatchLeaf(const Slice& key,
-                                   std::unique_lock<std::mutex>* lock) {
+                                   std::unique_lock<Mutex>* lock) {
   for (;;) {
     LeafPage* leaf = index_.FindLeaf(key);
     BG3_CHECK(leaf != nullptr);
-    std::unique_lock<std::mutex> latch(leaf->latch, std::try_to_lock);
+    std::unique_lock<Mutex> latch(leaf->latch, std::try_to_lock);
     if (!latch.owns_lock()) {
       stats_.latch_conflicts.Inc();
       latch.lock();
     }
+    leaf->latch.AssertHeld();
     // Re-validate: the leaf may have split between routing and latching.
     const bool in_range =
         key.compare(Slice(leaf->low_key)) >= 0 &&
@@ -104,8 +111,9 @@ Status BwTree::Delete(const Slice& key) {
 }
 
 Status BwTree::Write(DeltaEntry entry) {
-  std::unique_lock<std::mutex> lock;
+  std::unique_lock<Mutex> lock;
   LeafPage* leaf = FindAndLatchLeaf(entry.key, &lock);
+  leaf->latch.AssertHeld();
   const Lsn lsn = NextLsn();
   leaf->last_lsn = lsn;
   if (opts_.listener != nullptr) {
@@ -167,6 +175,7 @@ Status BwTree::ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry,
     if (!old_ptr.IsNull()) store_->MarkInvalid(old_ptr);
     NotifyFlushedLocked(leaf);
   }
+  CheckLeafInvariantsLocked(leaf);
   return Status::OK();
 }
 
@@ -213,7 +222,7 @@ size_t BwTree::EvictColdPages(size_t target_resident) {
   std::vector<Candidate> candidates;
   size_t resident = 0;
   index_.ForEachPage([&](LeafPage* p) {
-    std::lock_guard<std::mutex> lock(p->latch);
+    MutexLock lock(&p->latch);
     if (!p->resident) return;
     ++resident;
     if (p->dirty) return;
@@ -230,7 +239,7 @@ size_t BwTree::EvictColdPages(size_t target_resident) {
     if (resident - evicted <= target_resident) break;
     LeafPage* p = index_.FindPage(c.id);
     if (p == nullptr) continue;
-    std::lock_guard<std::mutex> lock(p->latch);
+    MutexLock lock(&p->latch);
     if (!p->resident || p->dirty) continue;
     p->base_entries.clear();
     p->base_entries.shrink_to_fit();
@@ -244,7 +253,7 @@ size_t BwTree::EvictColdPages(size_t target_resident) {
 size_t BwTree::ResidentPageCount() const {
   size_t resident = 0;
   index_.ForEachPage([&](LeafPage* p) {
-    std::lock_guard<std::mutex> lock(p->latch);
+    MutexLock lock(&p->latch);
     if (p->resident) ++resident;
   });
   return resident;
@@ -269,6 +278,7 @@ Status BwTree::ConsolidateLocked(LeafPage* leaf) {
   } else if (opts_.flush_mode == FlushMode::kDeferred) {
     leaf->dirty = true;
   }
+  CheckLeafInvariantsLocked(leaf);
   return Status::OK();
 }
 
@@ -308,11 +318,17 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
   const size_t mid = leaf->base_entries.size() / 2;
   const std::string separator = leaf->base_entries[mid].key;
 
+  // Latch the sibling before initializing and publishing it (uncontended by
+  // construction) so we can finish its flush without racing new writers —
+  // and so the analysis sees every guarded write under the latch.
   auto sibling = std::make_unique<LeafPage>(NextPageId());
-  sibling->low_key = separator;
-  sibling->high_key = leaf->high_key;
-  sibling->has_high_key = leaf->has_high_key;
-  sibling->base_entries.assign(
+  LeafPage* sib = sibling.get();
+  sib->low_key = separator;
+  std::unique_lock<Mutex> sib_latch(sib->latch);
+  sib->latch.AssertHeld();
+  sib->high_key = leaf->high_key;
+  sib->has_high_key = leaf->has_high_key;
+  sib->base_entries.assign(
       std::make_move_iterator(leaf->base_entries.begin() + mid),
       std::make_move_iterator(leaf->base_entries.end()));
   leaf->base_entries.resize(mid);
@@ -321,12 +337,9 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
 
   const Lsn lsn = NextLsn();
   leaf->last_lsn = lsn;
-  sibling->last_lsn = lsn;
+  sib->last_lsn = lsn;
 
-  // Latch the sibling before publishing it (uncontended by construction) so
-  // we can finish its flush without racing new writers.
-  LeafPage* sib = index_.InsertPage(std::move(sibling));
-  std::unique_lock<std::mutex> sib_latch(sib->latch);
+  index_.InsertPage(std::move(sibling));
   index_.InsertRoute(separator, sib->id);
 
   if (opts_.listener != nullptr) {
@@ -344,6 +357,9 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
     leaf->dirty = true;
     sib->dirty = true;
   }
+  CheckLeafInvariantsLocked(leaf);
+  CheckLeafInvariantsLocked(sib);
+  if (BG3_DCHECK_IS_ON()) index_.CheckInvariants();
   return Status::OK();
 }
 
@@ -380,10 +396,34 @@ void BwTree::NotifyFlushedLocked(LeafPage* leaf) {
                                 leaf->high_key, leaf->has_high_key);
 }
 
+void BwTree::CheckLeafInvariantsLocked(LeafPage* leaf) {
+  if (!BG3_DCHECK_IS_ON()) return;
+  if (opts_.delta_mode == DeltaMode::kReadOptimized) {
+    // Algorithm 1: a read-optimized page carries at most one delta, so a
+    // cache-miss read costs at most two storage reads.
+    BG3_DCHECK_LE(leaf->chain.size(), 1u)
+        << "read-optimized page " << leaf->id << " grew a delta chain";
+  }
+  BG3_DCHECK_LE(leaf->flushed_lsn, leaf->last_lsn)
+      << "page " << leaf->id << " storage images ahead of memory state";
+  BG3_DCHECK(!leaf->dirty || opts_.flush_mode == FlushMode::kDeferred)
+      << "page " << leaf->id << " dirty outside deferred-flush mode";
+  BG3_DCHECK(!leaf->has_high_key || leaf->low_key < leaf->high_key)
+      << "page " << leaf->id << " has an inverted key range";
+  if (leaf->resident) {
+    const auto dup = std::adjacent_find(
+        leaf->base_entries.begin(), leaf->base_entries.end(),
+        [](const Entry& a, const Entry& b) { return a.key >= b.key; });
+    BG3_DCHECK(dup == leaf->base_entries.end())
+        << "page " << leaf->id << " base entries not strictly sorted";
+  }
+}
+
 Result<std::string> BwTree::Get(const Slice& key) {
   stats_.gets.Inc();
-  std::unique_lock<std::mutex> lock;
+  std::unique_lock<Mutex> lock;
   LeafPage* leaf = FindAndLatchLeaf(key, &lock);
+  leaf->latch.AssertHeld();
 
   if (opts_.read_cache == ReadCacheMode::kFull) {
     // Check the delta chain newest-first, then the base page.
@@ -521,8 +561,9 @@ Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
   const bool bounded_end = !options.end_key.empty();
   for (;;) {
     if (out->size() >= target) return Status::OK();
-    std::unique_lock<std::mutex> lock;
+    std::unique_lock<Mutex> lock;
     LeafPage* leaf = FindAndLatchLeaf(cursor, &lock);
+    leaf->latch.AssertHeld();
     BG3_RETURN_IF_ERROR(CollectRangeLocked(leaf, cursor, options.end_key,
                                            target, out));
     if (out->size() >= target) return Status::OK();
@@ -535,7 +576,7 @@ Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
 std::vector<PageId> BwTree::DirtyPageIds() const {
   std::vector<PageId> out;
   index_.ForEachPage([&out](LeafPage* p) {
-    std::lock_guard<std::mutex> lock(p->latch);
+    MutexLock lock(&p->latch);
     if (p->dirty) out.push_back(p->id);
   });
   return out;
@@ -544,7 +585,7 @@ std::vector<PageId> BwTree::DirtyPageIds() const {
 Status BwTree::FlushPage(PageId id) {
   LeafPage* leaf = index_.FindPage(id);
   if (leaf == nullptr) return Status::NotFound("page");
-  std::lock_guard<std::mutex> lock(leaf->latch);
+  MutexLock lock(&leaf->latch);
   if (!leaf->dirty) return Status::OK();
   BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
   // Deferred flushing always writes a consolidated image (group commit of
@@ -555,6 +596,7 @@ Status BwTree::FlushPage(PageId id) {
   BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf));
   if (!old_base.IsNull()) store_->MarkInvalid(old_base);
   NotifyFlushedLocked(leaf);
+  CheckLeafInvariantsLocked(leaf);
   return Status::OK();
 }
 
@@ -581,7 +623,7 @@ Result<uint64_t> BwTree::Relocate(const cloud::PagePointer& old_ptr,
     store_->MarkInvalid(old_ptr);
     return uint64_t{0};
   }
-  std::lock_guard<std::mutex> lock(leaf->latch);
+  MutexLock lock(&leaf->latch);
   if (header.kind == RecordKind::kBasePage && leaf->base_ptr == old_ptr) {
     auto res = store_->Append(opts_.base_stream, record_bytes);
     BG3_RETURN_IF_ERROR(res.status());
@@ -613,7 +655,7 @@ size_t BwTree::CountEntries() const {
   // does not mutate tree structure.
   auto* self = const_cast<BwTree*>(this);
   self->index_.ForEachPage([&count, self](LeafPage* p) {
-    std::lock_guard<std::mutex> lock(p->latch);
+    MutexLock lock(&p->latch);
     std::vector<Entry> view;
     std::vector<const std::vector<DeltaEntry>*> oldest_first;
     for (auto it = p->chain.rbegin(); it != p->chain.rend(); ++it) {
@@ -628,7 +670,7 @@ size_t BwTree::CountEntries() const {
 size_t BwTree::ApproxMemoryBytes() const {
   size_t bytes = sizeof(*this) + index_.ApproxIndexBytes();
   index_.ForEachPage([&bytes](LeafPage* p) {
-    std::lock_guard<std::mutex> lock(p->latch);
+    MutexLock lock(&p->latch);
     bytes += EntryBytes(p->base_entries);
     bytes += p->low_key.capacity() + p->high_key.capacity();
     for (const auto& d : p->chain) {

@@ -10,6 +10,7 @@
 
 #include "bwtree/listener.h"
 #include "bwtree/mapping_table.h"
+#include "common/thread_annotations.h"
 #include "bwtree/page.h"
 #include "cloud/cloud_store.h"
 #include "common/metrics.h"
@@ -195,36 +196,52 @@ class BwTree {
 
   /// Routes to the leaf owning `key`, latches it, and re-validates the key
   /// range (retrying if the leaf split concurrently). Returns the latched
-  /// leaf; `lock` holds the latch.
-  LeafPage* FindAndLatchLeaf(const Slice& key,
-                             std::unique_lock<std::mutex>* lock);
+  /// leaf; `lock` holds the latch. Callers must follow up with
+  /// `leaf->latch.AssertHeld()` so the thread-safety analysis learns about
+  /// the acquisition it cannot see through std::unique_lock.
+  LeafPage* FindAndLatchLeaf(const Slice& key, std::unique_lock<Mutex>* lock);
 
   Status Write(DeltaEntry entry);
-  Status ApplyTraditionalLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn);
-  Status ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn);
+  Status ApplyTraditionalLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn)
+      BG3_REQUIRES(leaf->latch);
+  Status ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn)
+      BG3_REQUIRES(leaf->latch);
 
   /// Folds the delta chain into base_entries (memory only).
-  void FoldChainLocked(LeafPage* leaf);
+  void FoldChainLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
   /// FoldChainLocked + flush of the new base image (sync mode).
-  Status ConsolidateLocked(LeafPage* leaf);
-  Status MaybeSplitLocked(LeafPage* leaf);
+  Status ConsolidateLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
+  Status MaybeSplitLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
 
   /// Reloads an evicted page's base entries from its storage image.
-  Status EnsureResidentLocked(LeafPage* leaf);
+  Status EnsureResidentLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
 
-  Status AppendBaseLocked(LeafPage* leaf);
-  Status AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta, Lsn lsn);
-  void NotifyFlushedLocked(LeafPage* leaf);
+  Status AppendBaseLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
+  Status AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta, Lsn lsn)
+      BG3_REQUIRES(leaf->latch);
+  void NotifyFlushedLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
 
   /// Storage-image view of a page for cache-miss reads (Fig. 9 path).
-  Status LoadMergedFromStorageLocked(LeafPage* leaf, std::vector<Entry>* out);
+  Status LoadMergedFromStorageLocked(LeafPage* leaf, std::vector<Entry>* out)
+      BG3_REQUIRES(leaf->latch);
   /// Merged logical content per the read cache mode.
-  Status MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out);
+  Status MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out)
+      BG3_REQUIRES(leaf->latch);
   /// Appends merged entries of [start, end) up to `limit` total entries in
   /// `out`; O(result + chain) on the in-memory path.
   Status CollectRangeLocked(LeafPage* leaf, const std::string& start,
                             const std::string& end, size_t limit,
-                            std::vector<Entry>* out);
+                            std::vector<Entry>* out) BG3_REQUIRES(leaf->latch);
+
+  /// Debug invariant check for one latched leaf, called at consolidation,
+  /// split and flush boundaries (BG3_DCHECK — compiled out when
+  /// BG3_ENABLE_DCHECKS is off):
+  ///  - read-optimized mode carries at most one delta (Alg. 1);
+  ///  - base entries are strictly sorted;
+  ///  - flushed_lsn never exceeds last_lsn;
+  ///  - a dirty page implies deferred flushing;
+  ///  - the key range is not inverted.
+  void CheckLeafInvariantsLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
 
   cloud::CloudStore* const store_;
   const BwTreeOptions opts_;

@@ -5,7 +5,7 @@
 namespace bg3::bwtree {
 
 LeafPage* PageIndex::InsertPage(std::unique_ptr<LeafPage> page) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   LeafPage* raw = page.get();
   auto [it, inserted] = pages_.emplace(page->id, std::move(page));
   BG3_CHECK(inserted) << "duplicate page id " << raw->id;
@@ -13,12 +13,12 @@ LeafPage* PageIndex::InsertPage(std::unique_ptr<LeafPage> page) {
 }
 
 void PageIndex::InsertRoute(const std::string& low_key, PageId page) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   route_[low_key] = page;
 }
 
 LeafPage* PageIndex::FindLeaf(const Slice& key) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (route_.empty()) return nullptr;
   auto it = route_.upper_bound(key.ToString());
   BG3_CHECK(it != route_.begin()) << "route table must start at empty key";
@@ -29,13 +29,13 @@ LeafPage* PageIndex::FindLeaf(const Slice& key) const {
 }
 
 LeafPage* PageIndex::FindPage(PageId id) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = pages_.find(id);
   return it == pages_.end() ? nullptr : it->second.get();
 }
 
 LeafPage* PageIndex::NextLeaf(const LeafPage& page) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = route_.upper_bound(page.low_key);
   if (it == route_.end()) return nullptr;
   auto pit = pages_.find(it->second);
@@ -44,7 +44,7 @@ LeafPage* PageIndex::NextLeaf(const LeafPage& page) const {
 }
 
 size_t PageIndex::PageCount() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return pages_.size();
 }
 
@@ -52,7 +52,7 @@ void PageIndex::ForEachPage(const std::function<void(LeafPage*)>& fn) const {
   // Collect ids under the shared lock, visit without it so `fn` may latch.
   std::vector<PageId> ids;
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(&mu_);
     ids.reserve(route_.size());
     for (const auto& [key, id] : route_) ids.push_back(id);
   }
@@ -62,7 +62,7 @@ void PageIndex::ForEachPage(const std::function<void(LeafPage*)>& fn) const {
 }
 
 size_t PageIndex::ApproxIndexBytes() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   size_t bytes = sizeof(*this);
   // std::map node: ~3 pointers + color + payload; hash map: bucket pointer +
   // node. These constants approximate libstdc++ layouts.
@@ -72,6 +72,38 @@ size_t PageIndex::ApproxIndexBytes() const {
   bytes += pages_.bucket_count() * sizeof(void*);
   bytes += pages_.size() * (32 + sizeof(LeafPage));
   return bytes;
+}
+
+void PageIndex::CheckInvariants() const {
+  ReaderMutexLock lock(&mu_);
+  // An empty route table is legal only pre-bootstrap (no pages installed).
+  if (route_.empty()) return;
+  BG3_CHECK(route_.begin()->first.empty())
+      << "route table must start at the empty key, found '"
+      << route_.begin()->first << "'";
+  for (const auto& [key, id] : route_) {
+    auto pit = pages_.find(id);
+    BG3_CHECK(pit != pages_.end())
+        << "route entry '" << key << "' -> page " << id
+        << " resolves to a dead mapping-table entry";
+    LeafPage* p = pit->second.get();
+    BG3_CHECK_EQ(p->id, id) << "mapping table id mismatch for page " << id;
+    // low_key is immutable after publication, safe to read latch-free.
+    BG3_CHECK(p->low_key == key)
+        << "route key '" << key << "' does not match page " << id
+        << " low key '" << p->low_key << "'";
+    // Deeper per-page state checks only when the latch is free: the walker
+    // holds the index lock shared and must never *wait* on a latch (the
+    // split path holds a latch while taking this lock exclusively).
+    if (p->latch.TryLock()) {
+      p->latch.AssertHeld();
+      BG3_CHECK(!p->has_high_key || p->low_key < p->high_key)
+          << "page " << id << " has inverted key range";
+      BG3_CHECK_LE(p->flushed_lsn, p->last_lsn)
+          << "page " << id << " flushed ahead of memory state";
+      p->latch.Unlock();
+    }
+  }
 }
 
 }  // namespace bg3::bwtree

@@ -5,13 +5,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bwtree/page.h"
 #include "cloud/types.h"
+#include "common/thread_annotations.h"
 
 namespace bg3::bwtree {
 
@@ -25,16 +25,21 @@ namespace bg3::bwtree {
 struct LeafPage {
   explicit LeafPage(PageId id_in) : id(id_in) {}
 
-  std::mutex latch;
+  Mutex latch;
   const PageId id;
-  std::string low_key;   ///< inclusive lower bound of this leaf's key range.
-  std::string high_key;  ///< exclusive upper bound; empty = +infinity.
-  bool has_high_key = false;
+  /// Inclusive lower bound of this leaf's key range. Immutable once the
+  /// page is published through PageIndex (a split never moves a leaf's low
+  /// key; the sibling takes the upper half), so it is readable without the
+  /// latch — PageIndex::NextLeaf relies on this.
+  std::string low_key;
+  /// Exclusive upper bound; empty = +infinity. Shrinks on split.
+  std::string high_key BG3_GUARDED_BY(latch);
+  bool has_high_key BG3_GUARDED_BY(latch) = false;
 
   /// Sorted base entries as of the last consolidation.
-  std::vector<Entry> base_entries;
+  std::vector<Entry> base_entries BG3_GUARDED_BY(latch);
   /// Storage location of the base image (null before first flush).
-  cloud::PagePointer base_ptr;
+  cloud::PagePointer base_ptr BG3_GUARDED_BY(latch);
 
   /// One element of the delta chain; `ptr` is its storage image location
   /// (null in deferred-flush mode where durability comes from the WAL).
@@ -47,18 +52,21 @@ struct LeafPage {
     uint32_t update_count = 1;
   };
   /// Newest first. Read-optimized mode maintains size() <= 1 (§3.2.2).
-  std::vector<Delta> chain;
+  std::vector<Delta> chain BG3_GUARDED_BY(latch);
 
-  Lsn last_lsn = 0;     ///< LSN of the newest mutation applied in memory.
-  Lsn flushed_lsn = 0;  ///< LSN covered by the storage images.
-  bool dirty = false;   ///< deferred mode: memory ahead of storage images.
+  /// LSN of the newest mutation applied in memory.
+  Lsn last_lsn BG3_GUARDED_BY(latch) = 0;
+  /// LSN covered by the storage images.
+  Lsn flushed_lsn BG3_GUARDED_BY(latch) = 0;
+  /// Deferred mode: memory ahead of storage images.
+  bool dirty BG3_GUARDED_BY(latch) = false;
 
   /// False when base_entries were dropped under memory pressure; the base
   /// image at base_ptr is then the authoritative copy and gets reloaded on
   /// the next access (the BGS layer is a cache, not the store, §2.1).
-  bool resident = true;
+  bool resident BG3_GUARDED_BY(latch) = true;
   /// Tree-local access tick for LRU eviction.
-  uint64_t last_access_tick = 0;
+  uint64_t last_access_tick BG3_GUARDED_BY(latch) = 0;
 };
 
 /// Page directory of one tree: the mapping table (page id -> page) plus the
@@ -101,10 +109,21 @@ class PageIndex {
   /// (route map nodes + hash buckets), excluding page payloads.
   size_t ApproxIndexBytes() const;
 
+  /// Debug invariant walker (aborts via BG3_CHECK on violation):
+  ///  - the route table is empty or starts at the empty (minimal) key;
+  ///  - every route entry resolves to a live page in the mapping table;
+  ///  - a route entry's key equals its page's low key (checked
+  ///    opportunistically with a try-lock so the walker can run while
+  ///    writers hold latches — it must never introduce a latch->index
+  ///    lock-order inversion).
+  /// Called from BG3_DCHECK hooks at split boundaries and from tests.
+  void CheckInvariants() const;
+
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, PageId> route_;
-  std::unordered_map<PageId, std::unique_ptr<LeafPage>> pages_;
+  mutable SharedMutex mu_;
+  std::map<std::string, PageId> route_ BG3_GUARDED_BY(mu_);
+  std::unordered_map<PageId, std::unique_ptr<LeafPage>> pages_
+      BG3_GUARDED_BY(mu_);
 };
 
 }  // namespace bg3::bwtree

@@ -30,7 +30,7 @@ CloudStore::CloudStore(const CloudStoreOptions& opts)
     : opts_(opts), latency_model_(opts.latency) {}
 
 StreamId CloudStore::CreateStream(const std::string& name) {
-  std::unique_lock lock(topology_mu_);
+  WriterMutexLock lock(&topology_mu_);
   auto it = stream_names_.find(name);
   if (it != stream_names_.end()) return it->second;
   const StreamId id = static_cast<StreamId>(streams_.size());
@@ -41,7 +41,7 @@ StreamId CloudStore::CreateStream(const std::string& name) {
 }
 
 Stream* CloudStore::GetStream(StreamId id) const {
-  std::shared_lock lock(topology_mu_);
+  ReaderMutexLock lock(&topology_mu_);
   return id < streams_.size() ? streams_[id].get() : nullptr;
 }
 
@@ -52,7 +52,9 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
   const PagePointer ptr = s->Append(record);
   stats_.append_ops.Inc();
   stats_.append_bytes.Add(record.size());
-  if (observer_ != nullptr) observer_->OnAppend(ptr);
+  if (StoreObserver* obs = observer_.load(std::memory_order_acquire)) {
+    obs->OnAppend(ptr);
+  }
   if (latency_us != nullptr) {
     *latency_us = latency_model_.AppendLatencyUs(record.size());
   }
@@ -77,7 +79,9 @@ void CloudStore::MarkInvalid(const PagePointer& ptr) {
   Stream* s = GetStream(ptr.stream_id);
   if (s != nullptr) {
     s->MarkInvalid(ptr);
-    if (observer_ != nullptr) observer_->OnInvalidate(ptr);
+    if (StoreObserver* obs = observer_.load(std::memory_order_acquire)) {
+      obs->OnInvalidate(ptr);
+    }
   }
 }
 
@@ -86,7 +90,9 @@ Status CloudStore::FreeExtent(StreamId stream, ExtentId extent) {
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
   BG3_RETURN_IF_ERROR(s->FreeExtent(extent));
   stats_.extents_freed.Inc();
-  if (observer_ != nullptr) observer_->OnExtentFreed(stream, extent);
+  if (StoreObserver* obs = observer_.load(std::memory_order_acquire)) {
+    obs->OnExtentFreed(stream, extent);
+  }
   return Status::OK();
 }
 
@@ -129,7 +135,7 @@ bool CloudStore::CorruptRecordForTesting(const PagePointer& ptr,
 }
 
 uint64_t CloudStore::ManifestPut(const std::string& key, const Slice& value) {
-  std::lock_guard<std::mutex> lock(manifest_mu_);
+  MutexLock lock(&manifest_mu_);
   const uint64_t version = ++manifest_version_;
   manifest_[key] = {value.ToString(), version};
   stats_.manifest_updates.Inc();
@@ -138,7 +144,7 @@ uint64_t CloudStore::ManifestPut(const std::string& key, const Slice& value) {
 
 Result<std::string> CloudStore::ManifestGet(const std::string& key,
                                             uint64_t* version) const {
-  std::lock_guard<std::mutex> lock(manifest_mu_);
+  MutexLock lock(&manifest_mu_);
   auto it = manifest_.find(key);
   if (it == manifest_.end()) return Status::NotFound("manifest key " + key);
   if (version != nullptr) *version = it->second.second;
@@ -147,7 +153,7 @@ Result<std::string> CloudStore::ManifestGet(const std::string& key,
 
 std::vector<std::pair<std::string, std::string>> CloudStore::ManifestList(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(manifest_mu_);
+  MutexLock lock(&manifest_mu_);
   std::vector<std::pair<std::string, std::string>> out;
   for (auto it = manifest_.lower_bound(prefix); it != manifest_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -164,7 +170,9 @@ size_t CloudStore::TruncateStreamBefore(StreamId stream, ExtentId before) {
     if (stats.id >= before) continue;
     if (s->FreeExtent(stats.id).ok()) {
       stats_.extents_freed.Inc();
-      if (observer_ != nullptr) observer_->OnExtentFreed(stream, stats.id);
+      if (StoreObserver* obs = observer_.load(std::memory_order_acquire)) {
+        obs->OnExtentFreed(stream, stats.id);
+      }
       ++freed;
     }
   }
@@ -172,14 +180,14 @@ size_t CloudStore::TruncateStreamBefore(StreamId stream, ExtentId before) {
 }
 
 uint64_t CloudStore::TotalBytes() const {
-  std::shared_lock lock(topology_mu_);
+  ReaderMutexLock lock(&topology_mu_);
   uint64_t sum = 0;
   for (const auto& s : streams_) sum += s->total_bytes();
   return sum;
 }
 
 uint64_t CloudStore::LiveBytes() const {
-  std::shared_lock lock(topology_mu_);
+  ReaderMutexLock lock(&topology_mu_);
   uint64_t sum = 0;
   for (const auto& s : streams_) sum += s->live_bytes();
   return sum;

@@ -15,6 +15,7 @@
 #include "cloud/types.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace bg3::cloud {
 
@@ -127,8 +128,12 @@ class CloudStore {
   const CloudStoreOptions& options() const { return opts_; }
 
   /// At most one observer; must outlive the store or be reset to nullptr.
-  /// Set before concurrent use (not synchronized against in-flight ops).
-  void SetObserver(StoreObserver* observer) { observer_ = observer; }
+  /// Normally set before concurrent use; the pointer itself is atomic so a
+  /// late SetObserver is race-free (in-flight ops see old or new, torn reads
+  /// are impossible).
+  void SetObserver(StoreObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
 
   /// Failure injection: flips a byte of the record at `ptr` so subsequent
   /// reads fail their CRC-32C check with Status::Corruption.
@@ -140,16 +145,17 @@ class CloudStore {
   const CloudStoreOptions opts_;
   LatencyModel latency_model_;
   IoStats stats_;
-  StoreObserver* observer_ = nullptr;
+  std::atomic<StoreObserver*> observer_{nullptr};
 
-  mutable std::shared_mutex topology_mu_;
+  mutable SharedMutex topology_mu_;
   std::atomic<ExtentId> next_extent_id_{0};
-  std::vector<std::unique_ptr<Stream>> streams_;
-  std::map<std::string, StreamId> stream_names_;
+  std::vector<std::unique_ptr<Stream>> streams_ BG3_GUARDED_BY(topology_mu_);
+  std::map<std::string, StreamId> stream_names_ BG3_GUARDED_BY(topology_mu_);
 
-  mutable std::mutex manifest_mu_;
-  uint64_t manifest_version_ = 0;
-  std::map<std::string, std::pair<std::string, uint64_t>> manifest_;
+  mutable Mutex manifest_mu_;
+  uint64_t manifest_version_ BG3_GUARDED_BY(manifest_mu_) = 0;
+  std::map<std::string, std::pair<std::string, uint64_t>> manifest_
+      BG3_GUARDED_BY(manifest_mu_);
 };
 
 }  // namespace bg3::cloud

@@ -71,6 +71,11 @@ uint32_t Extent::MarkInvalid(uint32_t offset) {
   records_[idx].valid = false;
   ++invalid_records_;
   dead_bytes_ += records_[idx].length;
+  // Extent accounting invariants (§3.3): the invalid count can never exceed
+  // the record count, and dead bytes can never exceed appended bytes — i.e.
+  // valid_records() and live_bytes() never go negative.
+  BG3_DCHECK_LE(invalid_records_, total_records_);
+  BG3_DCHECK_LE(dead_bytes_, used_bytes());
   return records_[idx].length;
 }
 

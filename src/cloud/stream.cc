@@ -10,6 +10,9 @@ Stream::Stream(StreamId id, std::string name, size_t extent_capacity,
       name_(std::move(name)),
       extent_capacity_(extent_capacity),
       extent_id_allocator_(extent_id_allocator) {
+  // Uncontended (the stream is not yet published), but the lock makes the
+  // guarded-member writes visible to the thread-safety analysis.
+  MutexLock lock(&mu_);
   OpenNewExtent(extent_capacity_);
 }
 
@@ -22,7 +25,7 @@ void Stream::OpenNewExtent(size_t capacity) {
 }
 
 PagePointer Stream::Append(const Slice& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (record.size() > extent_capacity_) {
     // Oversized record: seal the current extent and give the record its own.
     active_->Seal();
@@ -38,7 +41,7 @@ PagePointer Stream::Append(const Slice& record) {
 }
 
 Status Stream::Read(const PagePointer& ptr, std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Extent* e = FindExtentLocked(ptr.extent_id);
   if (e == nullptr) {
     return Status::NotFound("extent " + std::to_string(ptr.extent_id));
@@ -47,37 +50,44 @@ Status Stream::Read(const PagePointer& ptr, std::string* out) const {
 }
 
 uint32_t Stream::MarkInvalid(const PagePointer& ptr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Extent* e = FindExtentLocked(ptr.extent_id);
   if (e == nullptr) return 0;
   const uint32_t len = e->MarkInvalid(ptr.offset);
   dead_bytes_ += len;
+  BG3_DCHECK_LE(dead_bytes_, total_bytes_);
   return len;
 }
 
 bool Stream::CorruptRecordForTesting(const PagePointer& ptr,
                                      uint32_t byte_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Extent* e = FindExtentLocked(ptr.extent_id);
   return e != nullptr && e->CorruptRecordForTesting(ptr.offset, byte_index);
 }
 
 Status Stream::FreeExtent(ExtentId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = extents_.find(id);
   if (it == extents_.end()) {
     return Status::NotFound("extent " + std::to_string(id));
   }
   Extent* e = it->second.get();
   BG3_CHECK(e != active_) << "cannot free the active extent";
+  // Stream-level byte accounting must never underflow: an extent's bytes
+  // were added to the totals as they were appended/invalidated.
+  BG3_DCHECK_GE(total_bytes_, e->used_bytes());
+  BG3_DCHECK_GE(dead_bytes_, e->dead_bytes());
+  BG3_DCHECK_LE(e->dead_bytes(), e->used_bytes());
   total_bytes_ -= e->used_bytes();
   dead_bytes_ -= e->dead_bytes();
   extents_.erase(it);
+  BG3_DCHECK_LE(dead_bytes_, total_bytes_);
   return Status::OK();
 }
 
 std::vector<ExtentStats> Stream::SealedExtentStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<ExtentStats> out;
   out.reserve(extents_.size());
   for (const auto& [eid, e] : extents_) {
@@ -96,7 +106,7 @@ std::vector<ExtentStats> Stream::SealedExtentStats() const {
 
 Result<std::vector<std::pair<PagePointer, std::string>>>
 Stream::ReadValidRecords(ExtentId extent) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Extent* e = FindExtentLocked(extent);
   if (e == nullptr) return Status::NotFound("extent");
   std::vector<std::pair<PagePointer, std::string>> out;
@@ -111,7 +121,7 @@ Stream::ReadValidRecords(ExtentId extent) {
 
 std::vector<std::pair<PagePointer, std::string>> Stream::TailRecords(
     const PagePointer& cursor, size_t max_records) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<PagePointer, std::string>> out;
   const bool from_start = cursor.IsNull();
   auto it = extents_.begin();
@@ -140,22 +150,22 @@ std::vector<std::pair<PagePointer, std::string>> Stream::TailRecords(
 }
 
 uint64_t Stream::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_bytes_;
 }
 
 uint64_t Stream::dead_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dead_bytes_;
 }
 
 uint64_t Stream::live_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_bytes_ - dead_bytes_;
 }
 
 size_t Stream::extent_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return extents_.size();
 }
 

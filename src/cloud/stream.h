@@ -12,6 +12,7 @@
 #include "cloud/extent.h"
 #include "cloud/types.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace bg3::cloud {
 
@@ -86,21 +87,21 @@ class Stream {
   size_t extent_capacity() const { return extent_capacity_; }
 
  private:
-  void OpenNewExtent(size_t capacity);
-  Extent* FindExtentLocked(ExtentId id);
-  const Extent* FindExtentLocked(ExtentId id) const;
+  void OpenNewExtent(size_t capacity) BG3_REQUIRES(mu_);
+  Extent* FindExtentLocked(ExtentId id) BG3_REQUIRES(mu_);
+  const Extent* FindExtentLocked(ExtentId id) const BG3_REQUIRES(mu_);
 
   const StreamId id_;
   const std::string name_;
   const size_t extent_capacity_;
   std::atomic<ExtentId>* extent_id_allocator_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Oldest-first; the last element is the active (unsealed) extent.
-  std::map<ExtentId, std::unique_ptr<Extent>> extents_;
-  Extent* active_ = nullptr;
-  uint64_t total_bytes_ = 0;
-  uint64_t dead_bytes_ = 0;
+  std::map<ExtentId, std::unique_ptr<Extent>> extents_ BG3_GUARDED_BY(mu_);
+  Extent* active_ BG3_GUARDED_BY(mu_) = nullptr;
+  uint64_t total_bytes_ BG3_GUARDED_BY(mu_) = 0;
+  uint64_t dead_bytes_ BG3_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bg3::cloud

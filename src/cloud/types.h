@@ -1,6 +1,7 @@
 #ifndef BG3_CLOUD_TYPES_H_
 #define BG3_CLOUD_TYPES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -60,12 +61,18 @@ class WallTimeSource : public TimeSource {
 
 class ManualTimeSource : public TimeSource {
  public:
-  uint64_t NowUs() const override { return now_us_; }
-  void AdvanceUs(uint64_t d) { now_us_ += d; }
-  void SetUs(uint64_t t) { now_us_ = t; }
+  // Atomic: tests advance the clock from a driver thread while store
+  // observers read it from worker threads.
+  uint64_t NowUs() const override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+  void AdvanceUs(uint64_t d) {
+    now_us_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void SetUs(uint64_t t) { now_us_.store(t, std::memory_order_relaxed); }
 
  private:
-  uint64_t now_us_ = 0;
+  std::atomic<uint64_t> now_us_{0};
 };
 
 }  // namespace bg3::cloud

@@ -50,4 +50,40 @@ struct Voidify {
 #define BG3_CHECK_GE(a, b) BG3_CHECK((a) >= (b))
 #define BG3_CHECK_GT(a, b) BG3_CHECK((a) > (b))
 
+/// BG3_ASSERT is the always-on precondition spelling — same behavior as
+/// BG3_CHECK, kept as a distinct name so call sites read as API contracts
+/// ("the caller must...") rather than internal consistency checks.
+#define BG3_ASSERT(cond) BG3_CHECK(cond)
+#define BG3_ASSERT_EQ(a, b) BG3_CHECK_EQ(a, b)
+#define BG3_ASSERT_NE(a, b) BG3_CHECK_NE(a, b)
+#define BG3_ASSERT_LE(a, b) BG3_CHECK_LE(a, b)
+#define BG3_ASSERT_LT(a, b) BG3_CHECK_LT(a, b)
+#define BG3_ASSERT_GE(a, b) BG3_CHECK_GE(a, b)
+#define BG3_ASSERT_GT(a, b) BG3_CHECK_GT(a, b)
+
+/// Debug invariant checks. Enabled by default (BG3_ENABLE_DCHECKS is added
+/// as a compile definition by CMake unless -DBG3_ENABLE_DCHECKS=OFF); a
+/// production-tuned build turns them off and every BG3_DCHECK compiles to
+/// nothing (the condition is never evaluated but must still parse).
+///
+/// Use BG3_DCHECK for O(1) state checks on hot paths and for the structural
+/// invariant walkers (PageIndex::CheckInvariants, forest split-out checks,
+/// GC extent accounting) whose cost would be unacceptable always-on.
+#if defined(BG3_ENABLE_DCHECKS)
+#define BG3_DCHECK_IS_ON() 1
+#define BG3_DCHECK(cond) BG3_CHECK(cond)
+#else
+#define BG3_DCHECK_IS_ON() 0
+// `true || (cond)` short-circuits: the condition is parsed, never evaluated,
+// and the whole statement folds away.
+#define BG3_DCHECK(cond) BG3_CHECK(true || (cond))
+#endif
+
+#define BG3_DCHECK_EQ(a, b) BG3_DCHECK((a) == (b))
+#define BG3_DCHECK_NE(a, b) BG3_DCHECK((a) != (b))
+#define BG3_DCHECK_LE(a, b) BG3_DCHECK((a) <= (b))
+#define BG3_DCHECK_LT(a, b) BG3_DCHECK((a) < (b))
+#define BG3_DCHECK_GE(a, b) BG3_DCHECK((a) >= (b))
+#define BG3_DCHECK_GT(a, b) BG3_DCHECK((a) > (b))
+
 #endif  // BG3_COMMON_LOGGING_H_

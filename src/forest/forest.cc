@@ -41,7 +41,7 @@ BwTreeForest::BwTreeForest(cloud::CloudStore* store,
     shards_.push_back(std::make_unique<Shard>());
   }
   init_tree_ = std::make_unique<bwtree::BwTree>(store_, MakeTreeOptions(0));
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   registry_[0] = init_tree_.get();
 }
 
@@ -61,7 +61,7 @@ bwtree::BwTreeOptions BwTreeForest::MakeTreeOptions(bwtree::TreeId id) const {
 std::shared_ptr<BwTreeForest::OwnerState> BwTreeForest::GetOrCreateState(
     OwnerId owner) {
   Shard& shard = *shards_[Mix64(owner) % shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto& slot = shard.owners[owner];
   if (!slot) slot = std::make_shared<OwnerState>();
   return slot;
@@ -70,30 +70,31 @@ std::shared_ptr<BwTreeForest::OwnerState> BwTreeForest::GetOrCreateState(
 std::shared_ptr<BwTreeForest::OwnerState> BwTreeForest::FindState(
     OwnerId owner) const {
   const Shard& shard = *shards_[Mix64(owner) % shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.owners.find(owner);
   return it == shard.owners.end() ? nullptr : it->second;
 }
 
 Status BwTreeForest::Upsert(OwnerId owner, const Slice& sort_key,
                             const Slice& value) {
-  auto state = GetOrCreateState(owner);
+  auto owned = GetOrCreateState(owner);
+  OwnerState* state = owned.get();
   bool check_init_capacity = false;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     if (state->tree != nullptr) {
       BG3_RETURN_IF_ERROR(state->tree->Upsert(sort_key, value));
-      ++state->count;
+      state->count.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
     BG3_RETURN_IF_ERROR(
         init_tree_->Upsert(MakeInitKey(owner, sort_key), value));
-    ++state->count;
+    state->count.fetch_add(1, std::memory_order_relaxed);
     init_entries_.fetch_add(1, std::memory_order_relaxed);
     if (opts_.split_out_threshold == 0 ||
-        state->count > opts_.split_out_threshold) {
-      BG3_RETURN_IF_ERROR(
-          SplitOutLocked(owner, state.get(), &stats_.split_outs));
+        state->count.load(std::memory_order_relaxed) >
+            opts_.split_out_threshold) {
+      BG3_RETURN_IF_ERROR(SplitOutLocked(owner, state, &stats_.split_outs));
     }
     check_init_capacity =
         init_entries_.load(std::memory_order_relaxed) > opts_.init_tree_capacity;
@@ -103,8 +104,9 @@ Status BwTreeForest::Upsert(OwnerId owner, const Slice& sort_key,
 }
 
 Status BwTreeForest::Delete(OwnerId owner, const Slice& sort_key) {
-  auto state = GetOrCreateState(owner);
-  std::lock_guard<std::mutex> lock(state->mu);
+  auto owned = GetOrCreateState(owner);
+  OwnerState* state = owned.get();
+  MutexLock lock(&state->mu);
   if (state->tree != nullptr) {
     BG3_RETURN_IF_ERROR(state->tree->Delete(sort_key));
   } else {
@@ -113,23 +115,29 @@ Status BwTreeForest::Delete(OwnerId owner, const Slice& sort_key) {
       init_entries_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
-  if (state->count > 0) --state->count;
+  // count is only mutated under state->mu, so load/store here cannot race
+  // with another writer of the same owner.
+  if (state->count.load(std::memory_order_relaxed) > 0) {
+    state->count.fetch_sub(1, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
 Result<std::string> BwTreeForest::Get(OwnerId owner, const Slice& sort_key) {
-  auto state = FindState(owner);
-  if (state == nullptr) return Status::NotFound("unknown owner");
-  std::lock_guard<std::mutex> lock(state->mu);
+  auto owned = FindState(owner);
+  if (owned == nullptr) return Status::NotFound("unknown owner");
+  OwnerState* state = owned.get();
+  MutexLock lock(&state->mu);
   if (state->tree != nullptr) return state->tree->Get(sort_key);
   return init_tree_->Get(MakeInitKey(owner, sort_key));
 }
 
 Status BwTreeForest::ScanOwner(OwnerId owner, const Slice& start_sort_key,
                                size_t limit, std::vector<bwtree::Entry>* out) {
-  auto state = FindState(owner);
-  if (state == nullptr) return Status::OK();  // no entries yet
-  std::lock_guard<std::mutex> lock(state->mu);
+  auto owned = FindState(owner);
+  if (owned == nullptr) return Status::OK();  // no entries yet
+  OwnerState* state = owned.get();
+  MutexLock lock(&state->mu);
   if (state->tree != nullptr) {
     bwtree::BwTree::ScanOptions scan;
     scan.start_key = start_sort_key.ToString();
@@ -153,15 +161,15 @@ Status BwTreeForest::ScanOwner(OwnerId owner, const Slice& start_sort_key,
 size_t BwTreeForest::OwnerEntryCount(OwnerId owner) const {
   auto state = FindState(owner);
   if (state == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(state->mu);
-  return state->count;
+  return state->count.load(std::memory_order_relaxed);
 }
 
 Status BwTreeForest::DedicateOwner(OwnerId owner) {
-  auto state = GetOrCreateState(owner);
-  std::lock_guard<std::mutex> lock(state->mu);
+  auto owned = GetOrCreateState(owner);
+  OwnerState* state = owned.get();
+  MutexLock lock(&state->mu);
   if (state->tree != nullptr) return Status::OK();
-  return SplitOutLocked(owner, state.get(), &stats_.split_outs);
+  return SplitOutLocked(owner, state, &stats_.split_outs);
 }
 
 Status BwTreeForest::SplitOutLocked(OwnerId owner, OwnerState* state,
@@ -191,16 +199,31 @@ Status BwTreeForest::SplitOutLocked(OwnerId owner, OwnerState* state,
   }
 
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     registry_[id] = tree.get();
   }
   state->tree = std::move(tree);
+  // Publish after `tree` is installed; the eviction scan reads this flag
+  // with acquire order instead of touching `tree` without `mu`.
+  state->dedicated.store(true, std::memory_order_release);
   reason->Inc();
+
+  // Split-out boundary invariants: the owner's INIT prefix must now be
+  // empty (every entry moved, none left behind) and the registry must
+  // resolve the freshly minted tree id.
+  if (BG3_DCHECK_IS_ON()) {
+    std::vector<bwtree::Entry> leftover;
+    bwtree::BwTree::ScanOptions verify = scan;
+    verify.limit = 1;
+    BG3_CHECK(init_tree_->Scan(verify, &leftover).ok());
+    BG3_DCHECK_EQ(leftover.size(), 0u);
+    BG3_DCHECK(ResolveTree(id) == state->tree.get());
+  }
   return Status::OK();
 }
 
 void BwTreeForest::MaybeEvictFromInit() {
-  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  MutexLock evict_lock(&evict_mu_);
   if (init_entries_.load(std::memory_order_relaxed) <=
       opts_.init_tree_capacity) {
     return;  // another eviction already relieved the pressure
@@ -211,23 +234,29 @@ void BwTreeForest::MaybeEvictFromInit() {
   size_t victim_count = 0;
   std::shared_ptr<OwnerState> victim_state;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (const auto& [owner, state] : shard->owners) {
-      if (state->tree == nullptr && state->count > victim_count) {
+      // `dedicated` and `count` are atomics precisely so this scan does not
+      // have to take every owner's mutex (which would deadlock against
+      // Upsert holding its own owner mutex while calling here). The reads
+      // are approximate; the winner is re-validated under its mutex below.
+      if (!state->dedicated.load(std::memory_order_acquire) &&
+          state->count.load(std::memory_order_relaxed) > victim_count) {
         victim = owner;
-        victim_count = state->count;
+        victim_count = state->count.load(std::memory_order_relaxed);
         victim_state = state;
       }
     }
   }
   if (victim_state == nullptr) return;
-  std::lock_guard<std::mutex> lock(victim_state->mu);
-  if (victim_state->tree != nullptr) return;  // raced with a split-out
-  (void)SplitOutLocked(victim, victim_state.get(), &stats_.evictions);
+  OwnerState* vs = victim_state.get();
+  MutexLock lock(&vs->mu);
+  if (vs->tree != nullptr) return;  // raced with a split-out
+  (void)SplitOutLocked(victim, vs, &stats_.evictions);
 }
 
 size_t BwTreeForest::DedicatedTreeCount() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   return registry_.size() - 1;  // minus INIT
 }
 
@@ -235,13 +264,13 @@ size_t BwTreeForest::ApproxMemoryBytes() const {
   size_t bytes = sizeof(*this);
   std::vector<bwtree::BwTree*> trees;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     trees.reserve(registry_.size());
     for (const auto& [id, tree] : registry_) trees.push_back(tree);
   }
   for (bwtree::BwTree* t : trees) bytes += t->ApproxMemoryBytes();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     bytes += shard->owners.bucket_count() * sizeof(void*);
     bytes += shard->owners.size() * (32 + sizeof(OwnerState));
   }
@@ -251,7 +280,7 @@ size_t BwTreeForest::ApproxMemoryBytes() const {
 size_t BwTreeForest::EvictColdPages(size_t target_resident_per_tree) {
   std::vector<bwtree::BwTree*> trees;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     trees.reserve(registry_.size());
     for (const auto& [id, tree] : registry_) trees.push_back(tree);
   }
@@ -263,18 +292,59 @@ size_t BwTreeForest::EvictColdPages(size_t target_resident_per_tree) {
 }
 
 bwtree::BwTree* BwTreeForest::ResolveTree(bwtree::TreeId id) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   auto it = registry_.find(id);
   return it == registry_.end() ? nullptr : it->second;
 }
 
 uint64_t BwTreeForest::TotalLatchConflicts() const {
   uint64_t sum = 0;
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   for (const auto& [id, tree] : registry_) {
     sum += tree->stats().latch_conflicts.Get();
   }
   return sum;
+}
+
+void BwTreeForest::CheckInvariants() const {
+  {
+    MutexLock lock(&registry_mu_);
+    auto it = registry_.find(0);
+    BG3_CHECK(it != registry_.end()) << "registry lost the INIT tree";
+    BG3_CHECK(it->second == init_tree_.get())
+        << "registry id 0 does not point at the INIT tree";
+    const bwtree::TreeId bound =
+        next_tree_id_.load(std::memory_order_relaxed);
+    for (const auto& [id, tree] : registry_) {
+      BG3_CHECK(tree != nullptr) << "registry tree " << id << " is null";
+      BG3_CHECK_LT(id, bound) << "registry tree id beyond the id source";
+      BG3_CHECK_EQ(tree->options().tree_id, id)
+          << "registry id does not match the tree's own id";
+    }
+  }
+  // Every dedicated owner's tree must be registered under its id. Owner
+  // mutexes are only try-locked: the walker runs from split-out boundaries
+  // where a caller may hold another owner's mutex, and it must never wait.
+  for (const auto& shard : shards_) {
+    std::vector<std::shared_ptr<OwnerState>> states;
+    {
+      MutexLock lock(&shard->mu);
+      states.reserve(shard->owners.size());
+      for (const auto& [owner, state] : shard->owners) states.push_back(state);
+    }
+    for (const auto& state : states) {
+      if (!state->mu.TryLock()) continue;
+      state->mu.AssertHeld();
+      if (state->tree != nullptr) {
+        BG3_CHECK(state->dedicated.load(std::memory_order_relaxed))
+            << "owner has a dedicated tree but the dedicated flag is unset";
+        BG3_CHECK(ResolveTree(state->tree->options().tree_id) ==
+                  state->tree.get())
+            << "dedicated tree not resolvable through the registry";
+      }
+      state->mu.Unlock();
+    }
+  }
 }
 
 }  // namespace bg3::forest

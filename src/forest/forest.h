@@ -11,6 +11,7 @@
 
 #include "bwtree/bwtree.h"
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 
 namespace bg3::forest {
 
@@ -109,16 +110,30 @@ class BwTreeForest {
   static std::string MakeInitKey(OwnerId owner, const Slice& sort_key);
   static std::string OwnerPrefix(OwnerId owner);
 
+  /// Debug invariant walker (BG3_CHECK-aborts on violation): the registry
+  /// resolves the INIT tree at id 0, and every dedicated owner's tree is
+  /// registered under its id. Called from BG3_DCHECK hooks at split-out
+  /// boundaries and from tests.
+  void CheckInvariants() const;
+
  private:
   struct OwnerState {
-    std::mutex mu;
-    size_t count = 0;                      // entries attributed to the owner
-    std::unique_ptr<bwtree::BwTree> tree;  // null while resident in INIT
+    Mutex mu;
+    /// Entries attributed to the owner. Mutated only under `mu`; atomic so
+    /// the INIT-capacity eviction scan may read it without taking every
+    /// owner's mutex (the winner is re-validated under `mu`).
+    std::atomic<size_t> count{0};
+    /// Set (with release order) once `tree` is installed; the eviction scan
+    /// keys off this flag instead of reading `tree` unlatched.
+    std::atomic<bool> dedicated{false};
+    /// Null while resident in INIT.
+    std::unique_ptr<bwtree::BwTree> tree BG3_GUARDED_BY(mu);
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<OwnerId, std::shared_ptr<OwnerState>> owners;
+    mutable Mutex mu;
+    std::unordered_map<OwnerId, std::shared_ptr<OwnerState>> owners
+        BG3_GUARDED_BY(mu);
   };
 
   std::shared_ptr<OwnerState> GetOrCreateState(OwnerId owner);
@@ -126,7 +141,8 @@ class BwTreeForest {
 
   /// Moves `owner`'s INIT entries into a fresh dedicated tree. Caller holds
   /// `state->mu`.
-  Status SplitOutLocked(OwnerId owner, OwnerState* state, LightCounter* reason);
+  Status SplitOutLocked(OwnerId owner, OwnerState* state, LightCounter* reason)
+      BG3_REQUIRES(state->mu);
 
   /// INIT-capacity eviction: finds the INIT-resident owner with the most
   /// entries and splits it out.
@@ -147,10 +163,11 @@ class BwTreeForest {
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex registry_mu_;
-  std::unordered_map<bwtree::TreeId, bwtree::BwTree*> registry_;
+  mutable Mutex registry_mu_;
+  std::unordered_map<bwtree::TreeId, bwtree::BwTree*> registry_
+      BG3_GUARDED_BY(registry_mu_);
 
-  std::mutex evict_mu_;  // serializes capacity-pressure evictions.
+  Mutex evict_mu_;  // serializes capacity-pressure evictions.
 };
 
 }  // namespace bg3::forest

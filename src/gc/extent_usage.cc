@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace bg3::gc {
 
 double ExtentUsage::UpdateGradient(uint64_t now_us) const {
@@ -23,7 +25,7 @@ ExtentUsageTracker::ExtentUsageTracker(const cloud::TimeSource* time_source,
 
 void ExtentUsageTracker::OnAppend(const cloud::PagePointer& ptr) {
   const uint64_t now = time_source_->NowUs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ExtentUsage& u = usage_[ptr.extent_id];
   if (u.extent == cloud::kInvalidExtent) {
     u.stream = ptr.stream_id;
@@ -35,7 +37,7 @@ void ExtentUsageTracker::OnAppend(const cloud::PagePointer& ptr) {
 
 void ExtentUsageTracker::OnInvalidate(const cloud::PagePointer& ptr) {
   const uint64_t now = time_source_->NowUs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ExtentUsage& u = usage_[ptr.extent_id];
   if (u.extent == cloud::kInvalidExtent) {
     u.stream = ptr.stream_id;
@@ -56,17 +58,22 @@ void ExtentUsageTracker::OnInvalidate(const cloud::PagePointer& ptr) {
     u.window_start_us = now;
     u.window_start_invalid = u.invalid_count;
   }
+  // Gradient-window accounting can never run backwards: the window base
+  // always trails the current invalid count, and timestamps are monotone.
+  BG3_DCHECK_LE(u.window_start_invalid, u.invalid_count);
+  BG3_DCHECK_LE(u.window_start_us, now);
+  BG3_DCHECK_LE(u.created_us, now);
 }
 
 void ExtentUsageTracker::OnExtentFreed(cloud::StreamId stream,
                                        cloud::ExtentId extent) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   usage_.erase(extent);
 }
 
 ExtentUsage ExtentUsageTracker::GetUsage(cloud::StreamId stream,
                                          cloud::ExtentId extent) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = usage_.find(extent);
   if (it == usage_.end()) {
     ExtentUsage u;

@@ -7,6 +7,7 @@
 
 #include "cloud/cloud_store.h"
 #include "cloud/types.h"
+#include "common/thread_annotations.h"
 
 namespace bg3::gc {
 
@@ -67,10 +68,10 @@ class ExtentUsageTracker : public cloud::StoreObserver {
   const cloud::TimeSource* const time_source_;
   const uint64_t gradient_window_us_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Extent ids are allocated globally within a CloudStore, so the extent id
   // alone keys the map.
-  std::unordered_map<cloud::ExtentId, ExtentUsage> usage_;
+  std::unordered_map<cloud::ExtentId, ExtentUsage> usage_ BG3_GUARDED_BY(mu_);
 };
 
 }  // namespace bg3::gc

@@ -6,7 +6,7 @@ LossyChannel::LossyChannel(const ChannelOptions& options)
     : opts_(options), rng_(options.seed) {}
 
 void LossyChannel::Send(std::string message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sent_.Inc();
   if (burst_remaining_ > 0) {
     --burst_remaining_;
@@ -23,7 +23,7 @@ void LossyChannel::Send(std::string message) {
 }
 
 std::vector<std::string> LossyChannel::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out(std::make_move_iterator(queue_.begin()),
                                std::make_move_iterator(queue_.end()));
   queue_.clear();

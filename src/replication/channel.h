@@ -9,6 +9,7 @@
 
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 
 namespace bg3::replication {
 
@@ -41,10 +42,10 @@ class LossyChannel {
  private:
   const ChannelOptions opts_;
 
-  std::mutex mu_;
-  std::deque<std::string> queue_;
-  Random rng_;
-  size_t burst_remaining_ = 0;
+  Mutex mu_;
+  std::deque<std::string> queue_ BG3_GUARDED_BY(mu_);
+  Random rng_ BG3_GUARDED_BY(mu_);
+  size_t burst_remaining_ BG3_GUARDED_BY(mu_) = 0;
 
   Counter sent_;
   Counter dropped_;

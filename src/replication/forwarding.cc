@@ -6,7 +6,7 @@ namespace bg3::replication {
 
 Status ForwardingRwNode::Put(const Slice& key, const Slice& value) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     data_[key.ToString()] = value.ToString();
   }
   Forward('P', key, value);
@@ -15,7 +15,7 @@ Status ForwardingRwNode::Put(const Slice& key, const Slice& value) {
 
 Status ForwardingRwNode::Delete(const Slice& key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     data_.erase(key.ToString());
   }
   Forward('D', key, Slice());
@@ -23,7 +23,7 @@ Status ForwardingRwNode::Delete(const Slice& key) {
 }
 
 Result<std::string> ForwardingRwNode::Get(const Slice& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = data_.find(key.ToString());
   if (it == data_.end()) return Status::NotFound("no such key");
   return it->second;
@@ -48,7 +48,7 @@ void ForwardingRoNode::Drain() {
         !GetLengthPrefixedSlice(&in, &value)) {
       continue;  // malformed command: drop (models replay failure)
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (op == 'P') {
       data_[key.ToString()] = value.ToString();
     } else if (op == 'D') {
@@ -58,14 +58,14 @@ void ForwardingRoNode::Drain() {
 }
 
 Result<std::string> ForwardingRoNode::Get(const Slice& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = data_.find(key.ToString());
   if (it == data_.end()) return Status::NotFound("no such key");
   return it->second;
 }
 
 size_t ForwardingRoNode::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return data_.size();
 }
 

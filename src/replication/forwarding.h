@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 #include "replication/channel.h"
 
 namespace bg3::replication {
@@ -30,8 +31,8 @@ class ForwardingRwNode {
   void Forward(char op, const Slice& key, const Slice& value);
 
   std::vector<LossyChannel*> followers_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> data_;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> data_ BG3_GUARDED_BY(mu_);
 };
 
 /// RO-side replayer of forwarded commands.
@@ -47,8 +48,8 @@ class ForwardingRoNode {
 
  private:
   LossyChannel* const channel_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> data_;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> data_ BG3_GUARDED_BY(mu_);
 };
 
 }  // namespace bg3::replication

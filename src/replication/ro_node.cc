@@ -25,7 +25,7 @@ RoNode::RoNode(cloud::CloudStore* store, const RoNodeOptions& options)
       rng_(options.seed) {}
 
 Status RoNode::PollWal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return PollWalLocked();
 }
 
@@ -374,7 +374,7 @@ void RoNode::EvictIfNeededLocked() {
 }
 
 Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);
   if (tit == trees_.end() || tit->second.route.empty()) {
@@ -394,7 +394,7 @@ Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
 Status RoNode::Scan(bwtree::TreeId tree, const Slice& start_key,
                     const Slice& end_key, size_t limit,
                     std::vector<bwtree::Entry>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);
   if (tit == trees_.end() || tit->second.route.empty()) {
@@ -432,7 +432,7 @@ Status RoNode::Scan(bwtree::TreeId tree, const Slice& start_key,
 }
 
 Result<RoNode::ExportedTree> RoNode::ExportTree(bwtree::TreeId tree) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);
   if (tit == trees_.end() || tit->second.route.empty()) {
@@ -468,7 +468,7 @@ Result<RoNode::ExportedTree> RoNode::ExportTree(bwtree::TreeId tree) {
 }
 
 void RoNode::CompactPendingLogs() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [tree_id, ts] : trees_) {
     for (auto& [page_id, log] : ts.pending) {
       if (log.records.size() > 1) {
@@ -481,12 +481,12 @@ void RoNode::CompactPendingLogs() {
 }
 
 cloud::PagePointer RoNode::WalCursor() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return reader_.cursor();
 }
 
 size_t RoNode::PendingRecordCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& [tree_id, ts] : trees_) {
     for (const auto& [page_id, log] : ts.pending) n += log.records.size();
@@ -495,7 +495,7 @@ size_t RoNode::PendingRecordCount() const {
 }
 
 size_t RoNode::CachedPageCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.size();
 }
 

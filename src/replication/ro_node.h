@@ -14,6 +14,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "wal/reader.h"
 
 namespace bg3::replication {
@@ -133,21 +134,23 @@ class RoNode {
 
   using CacheKey = std::pair<bwtree::TreeId, bwtree::PageId>;
 
-  Status PollWalLocked();
-  Status ApplyWalRecordLocked(const wal::WalRecord& record);
+  Status PollWalLocked() BG3_REQUIRES(mu_);
+  Status ApplyWalRecordLocked(const wal::WalRecord& record) BG3_REQUIRES(mu_);
   /// Seeds route/meta from the shared mapping table, so a node can come up
   /// against a truncated WAL (images + ranges substitute for the dropped
   /// prefix of TreeInit/Split records).
-  void BootstrapFromManifestLocked();
+  void BootstrapFromManifestLocked() BG3_REQUIRES(mu_);
 
   /// Returns the cached page, building it from storage + replay on a miss.
-  Result<CachedPage*> GetPageLocked(bwtree::TreeId tree, bwtree::PageId page);
+  Result<CachedPage*> GetPageLocked(bwtree::TreeId tree, bwtree::PageId page)
+      BG3_REQUIRES(mu_);
   Status BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
-                         CachedPage* out);
+                         CachedPage* out) BG3_REQUIRES(mu_);
   /// Applies pending records newer than the page's applied_lsn.
   void ApplyPendingLocked(TreeState& ts, bwtree::TreeId tree,
-                          bwtree::PageId page, CachedPage* cp);
-  void EvictIfNeededLocked();
+                          bwtree::PageId page, CachedPage* cp)
+      BG3_REQUIRES(mu_);
+  void EvictIfNeededLocked() BG3_REQUIRES(mu_);
 
   static void ApplyEntry(std::vector<bwtree::Entry>* entries,
                          const bwtree::DeltaEntry& e);
@@ -157,14 +160,14 @@ class RoNode {
   const RoNodeOptions opts_;
   wal::WalReader reader_;
 
-  mutable std::mutex mu_;
-  bool bootstrapped_ = false;
-  uint64_t last_poll_us_ = 0;
-  bwtree::Lsn max_lsn_seen_ = 0;
-  std::map<bwtree::TreeId, TreeState> trees_;
-  std::map<CacheKey, CachedPage> cache_;
-  uint64_t use_tick_ = 0;
-  Random rng_;
+  mutable Mutex mu_;
+  bool bootstrapped_ BG3_GUARDED_BY(mu_) = false;
+  uint64_t last_poll_us_ BG3_GUARDED_BY(mu_) = 0;
+  bwtree::Lsn max_lsn_seen_ BG3_GUARDED_BY(mu_) = 0;
+  std::map<bwtree::TreeId, TreeState> trees_ BG3_GUARDED_BY(mu_);
+  std::map<CacheKey, CachedPage> cache_ BG3_GUARDED_BY(mu_);
+  uint64_t use_tick_ BG3_GUARDED_BY(mu_) = 0;
+  Random rng_ BG3_GUARDED_BY(mu_);
 
   Histogram sync_latency_;
   RoNodeStats stats_;

@@ -85,7 +85,7 @@ Status RwNode::MaybeFlushGroup() {
 }
 
 Status RwNode::FlushGroup() {
-  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  MutexLock flush_lock(&flush_mu_);
   // Every mutation with LSN <= checkpoint will be covered by the images we
   // are about to flush (all currently dirty pages are flushed; later
   // mutations may also sneak into the images, which is harmless — RO replay
@@ -106,7 +106,7 @@ Status RwNode::FlushGroup() {
   // observes a parent's post-split image while the child image is missing.
   std::vector<StagedImage> staged;
   {
-    std::lock_guard<std::mutex> lock(staged_mu_);
+    MutexLock lock(&staged_mu_);
     staged.swap(staged_);
   }
   std::sort(staged.begin(), staged.end(),
@@ -138,7 +138,7 @@ Status RwNode::FlushGroup() {
     BG3_RETURN_IF_ERROR(wal_.Append(std::move(rec)));
     BG3_RETURN_IF_ERROR(wal_.Flush());
     last_checkpoint_.store(checkpoint, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(ckpt_ptr_mu_);
+    MutexLock lock(&ckpt_ptr_mu_);
     last_checkpoint_wal_ptr_ = wal_.last_append_ptr();
   }
   return Status::OK();
@@ -192,7 +192,7 @@ void RwNode::OnPageFlushed(bwtree::TreeId tree, bwtree::PageId page,
   staged.meta.low_key = low_key;
   staged.meta.high_key = high_key;
   staged.meta.has_high_key = has_high_key;
-  std::lock_guard<std::mutex> lock(staged_mu_);
+  MutexLock lock(&staged_mu_);
   staged_.push_back(std::move(staged));
 }
 

@@ -9,6 +9,7 @@
 #include "bwtree/bwtree.h"
 #include "bwtree/listener.h"
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "replication/page_image.h"
 #include "wal/writer.h"
 
@@ -72,7 +73,7 @@ class RwNode : public bwtree::TreeListener {
   /// it hold only data covered by published images — the upper bound for
   /// safe WAL truncation (fresh readers bootstrap from the manifest).
   cloud::PagePointer last_checkpoint_wal_ptr() const {
-    std::lock_guard<std::mutex> lock(ckpt_ptr_mu_);
+    MutexLock lock(&ckpt_ptr_mu_);
     return last_checkpoint_wal_ptr_;
   }
 
@@ -106,12 +107,12 @@ class RwNode : public bwtree::TreeListener {
   std::atomic<bwtree::Lsn> lsn_source_{0};
   std::unique_ptr<bwtree::BwTree> tree_;
 
-  std::mutex flush_mu_;  ///< one group flush at a time.
-  std::mutex staged_mu_;
-  std::vector<StagedImage> staged_;
+  Mutex flush_mu_;  ///< one group flush at a time.
+  Mutex staged_mu_;
+  std::vector<StagedImage> staged_ BG3_GUARDED_BY(staged_mu_);
 
-  mutable std::mutex ckpt_ptr_mu_;
-  cloud::PagePointer last_checkpoint_wal_ptr_;
+  mutable Mutex ckpt_ptr_mu_;
+  cloud::PagePointer last_checkpoint_wal_ptr_ BG3_GUARDED_BY(ckpt_ptr_mu_);
 
   std::atomic<bwtree::Lsn> last_checkpoint_{0};
 };
