@@ -190,10 +190,27 @@ void BwTree::FoldChainLocked(LeafPage* leaf) {
       ApplyDeltaChain(std::move(leaf->base_entries), oldest_first);
 }
 
+Result<cloud::PagePointer> BwTree::RetryingAppend(cloud::StreamId stream,
+                                                  const Slice& record) {
+  RetryOptions retry = opts_.retry;
+  retry.retries = &store_->stats().retries;
+  retry.retry_exhausted = &store_->stats().retry_exhausted;
+  return RetryResultWithBackoff(retry,
+                                [&] { return store_->Append(stream, record); });
+}
+
+Result<std::string> BwTree::RetryingRead(const cloud::PagePointer& ptr) {
+  RetryOptions retry = opts_.retry;
+  retry.retry_corruption = true;  // wire corruption is transient
+  retry.retries = &store_->stats().retries;
+  retry.retry_exhausted = &store_->stats().retry_exhausted;
+  return RetryResultWithBackoff(retry, [&] { return store_->Read(ptr); });
+}
+
 Status BwTree::EnsureResidentLocked(LeafPage* leaf) {
   if (leaf->resident) return Status::OK();
   if (!leaf->base_ptr.IsNull()) {
-    auto base = store_->Read(leaf->base_ptr);
+    auto base = RetryingRead(leaf->base_ptr);
     if (!base.ok()) {
       if (opts_.tolerate_missing_extents && base.status().IsIOError()) {
         leaf->base_entries.clear();
@@ -366,7 +383,7 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
 Status BwTree::AppendBaseLocked(LeafPage* leaf) {
   const std::string record = EncodeBasePage(opts_.tree_id, leaf->id,
                                             leaf->last_lsn, leaf->base_entries);
-  auto res = store_->Append(opts_.base_stream, record);
+  auto res = RetryingAppend(opts_.base_stream, record);
   BG3_RETURN_IF_ERROR(res.status());
   leaf->base_ptr = res.value();
   leaf->flushed_lsn = leaf->last_lsn;
@@ -378,7 +395,7 @@ Status BwTree::AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta,
                                  Lsn lsn) {
   const std::string record =
       EncodeDelta(opts_.tree_id, leaf->id, lsn, delta->entries);
-  auto res = store_->Append(opts_.delta_stream, record);
+  auto res = RetryingAppend(opts_.delta_stream, record);
   BG3_RETURN_IF_ERROR(res.status());
   delta->ptr = res.value();
   leaf->flushed_lsn = lsn;
@@ -454,7 +471,7 @@ Status BwTree::LoadMergedFromStorageLocked(LeafPage* leaf,
   out->clear();
   std::vector<Entry> base;
   if (!leaf->base_ptr.IsNull()) {
-    auto res = store_->Read(leaf->base_ptr);
+    auto res = RetryingRead(leaf->base_ptr);
     if (!res.ok()) {
       if (!(opts_.tolerate_missing_extents && res.status().IsIOError())) {
         return res.status();
@@ -469,7 +486,7 @@ Status BwTree::LoadMergedFromStorageLocked(LeafPage* leaf,
   std::vector<std::vector<DeltaEntry>> chains;  // oldest-first
   for (auto it = leaf->chain.rbegin(); it != leaf->chain.rend(); ++it) {
     if (it->ptr.IsNull()) continue;
-    auto res = store_->Read(it->ptr);
+    auto res = RetryingRead(it->ptr);
     if (!res.ok()) {
       if (opts_.tolerate_missing_extents && res.status().IsIOError()) continue;
       return res.status();
@@ -625,7 +642,7 @@ Result<uint64_t> BwTree::Relocate(const cloud::PagePointer& old_ptr,
   }
   MutexLock lock(&leaf->latch);
   if (header.kind == RecordKind::kBasePage && leaf->base_ptr == old_ptr) {
-    auto res = store_->Append(opts_.base_stream, record_bytes);
+    auto res = RetryingAppend(opts_.base_stream, record_bytes);
     BG3_RETURN_IF_ERROR(res.status());
     leaf->base_ptr = res.value();
     store_->MarkInvalid(old_ptr);
@@ -635,7 +652,7 @@ Result<uint64_t> BwTree::Relocate(const cloud::PagePointer& old_ptr,
   if (header.kind == RecordKind::kDelta) {
     for (auto& d : leaf->chain) {
       if (d.ptr == old_ptr) {
-        auto res = store_->Append(opts_.delta_stream, record_bytes);
+        auto res = RetryingAppend(opts_.delta_stream, record_bytes);
         BG3_RETURN_IF_ERROR(res.status());
         d.ptr = res.value();
         store_->MarkInvalid(old_ptr);

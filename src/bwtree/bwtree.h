@@ -15,6 +15,7 @@
 #include "cloud/cloud_store.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/retry.h"
 
 namespace bg3::bwtree {
 
@@ -65,6 +66,13 @@ struct BwTreeOptions {
   /// Treat reads hitting freed extents as absent data instead of IOError
   /// (TTL workloads where whole extents expire, §3.3 Observation 2).
   bool tolerate_missing_extents = false;
+
+  /// Retry policy for every store append/read this tree issues (flush,
+  /// consolidation, cache-miss reads, GC relocation). Reads additionally
+  /// retry Corruption: an injected corrupt read models bit flips on the
+  /// wire, so re-reading the intact record succeeds; genuinely damaged
+  /// media keeps failing and surfaces once the budget is spent.
+  RetryOptions retry;
 
   cloud::StreamId base_stream = 0;
   cloud::StreamId delta_stream = 0;
@@ -215,6 +223,12 @@ class BwTree {
 
   /// Reloads an evicted page's base entries from its storage image.
   Status EnsureResidentLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
+
+  /// Store I/O with the tree's bounded retry policy applied (and retry
+  /// accounting wired to the store's IoStats).
+  Result<cloud::PagePointer> RetryingAppend(cloud::StreamId stream,
+                                            const Slice& record);
+  Result<std::string> RetryingRead(const cloud::PagePointer& ptr);
 
   Status AppendBaseLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
   Status AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta, Lsn lsn)

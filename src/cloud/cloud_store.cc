@@ -14,6 +14,9 @@ void IoStats::Reset() {
   gc_moved_bytes.Reset();
   extents_freed.Reset();
   manifest_updates.Reset();
+  injected_faults.Reset();
+  retries.Reset();
+  retry_exhausted.Reset();
 }
 
 std::string IoStats::ToString() const {
@@ -22,7 +25,10 @@ std::string IoStats::ToString() const {
      << " B) reads=" << read_ops.Get() << " (" << read_bytes.Get()
      << " B) gc_moved=" << gc_moved_bytes.Get()
      << " B extents_freed=" << extents_freed.Get()
-     << " manifest_updates=" << manifest_updates.Get();
+     << " manifest_updates=" << manifest_updates.Get()
+     << " injected_faults=" << injected_faults.Get()
+     << " retries=" << retries.Get()
+     << " retry_exhausted=" << retry_exhausted.Get();
   return os.str();
 }
 
@@ -45,10 +51,43 @@ Stream* CloudStore::GetStream(StreamId id) const {
   return id < streams_.size() ? streams_[id].get() : nullptr;
 }
 
+FaultDecision CloudStore::DecideFault(FaultOp op) const {
+  FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
+  if (injector == nullptr) return {};
+  FaultDecision d = injector->Decide(op);
+  if (d.Any()) stats_.injected_faults.Inc();
+  return d;
+}
+
 Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
                                        uint64_t* latency_us) {
   Stream* s = GetStream(stream);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  const FaultDecision fault = DecideFault(FaultOp::kAppend);
+  if (fault.fail) {
+    return Status::IOError("injected transient append failure");
+  }
+  if (fault.torn) {
+    // Torn append: the bytes land at the stream tail but the write is cut
+    // short — the tail half is garbage, every subsequent read fails its
+    // CRC-32C check, and the caller sees an I/O error (the storage service
+    // died mid-append before acknowledging). The dead bytes occupy extent
+    // capacity until GC frees it, exactly like a real partial append, so
+    // the record is appended for real, then garbled and invalidated.
+    const PagePointer ptr = s->Append(record);
+    stats_.append_ops.Inc();
+    stats_.append_bytes.Add(record.size());
+    StoreObserver* obs = observer_.load(std::memory_order_acquire);
+    if (obs != nullptr) obs->OnAppend(ptr);
+    if (record.size() > 0) {
+      const uint32_t half = static_cast<uint32_t>(record.size() / 2);
+      const uint32_t tail_len = static_cast<uint32_t>(record.size()) - half;
+      s->CorruptRecordForTesting(ptr, half + fault.torn_byte_draw % tail_len);
+    }
+    s->MarkInvalid(ptr);  // never becomes live data
+    if (obs != nullptr) obs->OnInvalidate(ptr);
+    return Status::IOError("injected torn append at stream tail");
+  }
   const PagePointer ptr = s->Append(record);
   stats_.append_ops.Inc();
   stats_.append_bytes.Add(record.size());
@@ -56,7 +95,8 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
     obs->OnAppend(ptr);
   }
   if (latency_us != nullptr) {
-    *latency_us = latency_model_.AppendLatencyUs(record.size());
+    *latency_us =
+        latency_model_.AppendLatencyUs(record.size()) + fault.extra_latency_us;
   }
   return ptr;
 }
@@ -65,12 +105,23 @@ Result<std::string> CloudStore::Read(const PagePointer& ptr,
                                      uint64_t* latency_us) {
   Stream* s = GetStream(ptr.stream_id);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  const FaultDecision fault = DecideFault(FaultOp::kRead);
+  if (fault.fail) {
+    return Status::IOError("injected transient read failure");
+  }
+  if (fault.corrupt) {
+    // Bit flips on the wire: the stored record is intact, so a retry of the
+    // same pointer succeeds (unlike CorruptRecordForTesting, which damages
+    // the medium itself).
+    return Status::Corruption("injected corrupt read (checksum mismatch)");
+  }
   std::string out;
   BG3_RETURN_IF_ERROR(s->Read(ptr, &out));
   stats_.read_ops.Inc();
   stats_.read_bytes.Add(out.size());
   if (latency_us != nullptr) {
-    *latency_us = latency_model_.ReadLatencyUs(out.size());
+    *latency_us =
+        latency_model_.ReadLatencyUs(out.size()) + fault.extra_latency_us;
   }
   return out;
 }
@@ -88,6 +139,9 @@ void CloudStore::MarkInvalid(const PagePointer& ptr) {
 Status CloudStore::FreeExtent(StreamId stream, ExtentId extent) {
   Stream* s = GetStream(stream);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  if (DecideFault(FaultOp::kFreeExtent).fail) {
+    return Status::IOError("injected transient free-extent failure");
+  }
   BG3_RETURN_IF_ERROR(s->FreeExtent(extent));
   stats_.extents_freed.Inc();
   if (StoreObserver* obs = observer_.load(std::memory_order_acquire)) {
@@ -116,10 +170,14 @@ CloudStore::ReadValidRecords(StreamId stream, ExtentId extent) {
   return result;
 }
 
-std::vector<std::pair<PagePointer, std::string>> CloudStore::TailRecords(
-    StreamId stream, const PagePointer& cursor, size_t max_records) {
+Result<std::vector<std::pair<PagePointer, std::string>>>
+CloudStore::TailRecords(StreamId stream, const PagePointer& cursor,
+                        size_t max_records) {
   Stream* s = GetStream(stream);
-  if (s == nullptr) return {};
+  if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  if (DecideFault(FaultOp::kTail).fail) {
+    return Status::IOError("injected transient tail failure");
+  }
   auto out = s->TailRecords(cursor, max_records);
   for (const auto& [ptr, data] : out) {
     stats_.read_ops.Inc();
@@ -144,6 +202,9 @@ uint64_t CloudStore::ManifestPut(const std::string& key, const Slice& value) {
 
 Result<std::string> CloudStore::ManifestGet(const std::string& key,
                                             uint64_t* version) const {
+  if (DecideFault(FaultOp::kManifestGet).fail) {
+    return Status::IOError("injected transient manifest-get failure");
+  }
   MutexLock lock(&manifest_mu_);
   auto it = manifest_.find(key);
   if (it == manifest_.end()) return Status::NotFound("manifest key " + key);

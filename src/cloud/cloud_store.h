@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/fault_injector.h"
 #include "cloud/latency_model.h"
 #include "cloud/stream.h"
 #include "cloud/types.h"
@@ -29,6 +30,13 @@ struct IoStats {
   Counter gc_moved_bytes;    ///< bytes rewritten by space reclamation.
   Counter extents_freed;
   Counter manifest_updates;
+
+  // Fault-injection observability (zero in every default bench run):
+  // faults fired by an attached FaultInjector, re-attempts spent by callers'
+  // RetryWithBackoff wrappers, and budgets that ran dry.
+  Counter injected_faults;
+  Counter retries;
+  Counter retry_exhausted;
 
   void Reset();
   std::string ToString() const;
@@ -93,7 +101,9 @@ class CloudStore {
 
   /// Log tailing (WAL readers): records appended strictly after `cursor`
   /// in append order; a default-constructed cursor reads from the start.
-  std::vector<std::pair<PagePointer, std::string>> TailRecords(
+  /// Records that fail their CRC check (torn appends) are skipped — they
+  /// were never durably written, so they are not part of the log.
+  Result<std::vector<std::pair<PagePointer, std::string>>> TailRecords(
       StreamId stream, const PagePointer& cursor, size_t max_records);
 
   // --- strongly consistent manifest ---------------------------------------
@@ -135,17 +145,31 @@ class CloudStore {
     observer_.store(observer, std::memory_order_release);
   }
 
+  /// At most one fault injector; must outlive the store or be reset to
+  /// nullptr. Null (the default) costs one relaxed atomic load per op.
+  /// Same publication contract as SetObserver.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
   /// Failure injection: flips a byte of the record at `ptr` so subsequent
   /// reads fail their CRC-32C check with Status::Corruption.
   bool CorruptRecordForTesting(const PagePointer& ptr, uint32_t byte_index);
 
  private:
   Stream* GetStream(StreamId id) const;
+  /// Consults the attached injector (if any) for `op`; counts fired faults.
+  FaultDecision DecideFault(FaultOp op) const;
 
   const CloudStoreOptions opts_;
   LatencyModel latency_model_;
-  IoStats stats_;
+  /// mutable: const read paths (ManifestGet) still account injected faults.
+  mutable IoStats stats_;
   std::atomic<StoreObserver*> observer_{nullptr};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 
   mutable SharedMutex topology_mu_;
   std::atomic<ExtentId> next_extent_id_{0};

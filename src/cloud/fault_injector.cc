@@ -1,0 +1,165 @@
+#include "cloud/fault_injector.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bg3::cloud {
+
+namespace {
+
+bool ClassApplies(FaultClass cls, FaultOp op) {
+  switch (cls) {
+    case FaultClass::kTransientError:
+      return true;
+    case FaultClass::kLatencySpike:
+      return op == FaultOp::kAppend || op == FaultOp::kRead;
+    case FaultClass::kTornAppend:
+      return op == FaultOp::kAppend;
+    case FaultClass::kCorruptRead:
+      return op == FaultOp::kRead;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kAppend:
+      return "append";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kFreeExtent:
+      return "free_extent";
+    case FaultOp::kManifestGet:
+      return "manifest_get";
+    case FaultOp::kTail:
+      return "tail";
+  }
+  return "?";
+}
+
+const char* FaultClassName(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kTransientError:
+      return "transient_error";
+    case FaultClass::kLatencySpike:
+      return "latency_spike";
+    case FaultClass::kTornAppend:
+      return "torn_append";
+    case FaultClass::kCorruptRead:
+      return "corrupt_read";
+  }
+  return "?";
+}
+
+uint64_t FaultInjectorStats::Total() const {
+  return transient_errors.Get() + latency_spikes.Get() + torn_appends.Get() +
+         corrupt_reads.Get();
+}
+
+std::string FaultInjectorStats::ToString() const {
+  std::ostringstream os;
+  os << "transient=" << transient_errors.Get()
+     << " spikes=" << latency_spikes.Get() << " torn=" << torn_appends.Get()
+     << " corrupt=" << corrupt_reads.Get();
+  return os.str();
+}
+
+FaultInjector::FaultInjector(const FaultInjectorOptions& options)
+    : opts_(options), rng_(options.seed) {}
+
+void FaultInjector::Arm(FaultOp op, FaultClass cls, uint64_t at_index) {
+  BG3_DCHECK(ClassApplies(cls, op))
+      << FaultClassName(cls) << " cannot fire on " << FaultOpName(op);
+  MutexLock lock(&mu_);
+  armed_.push_back(ArmedFault{op, cls, at_index});
+}
+
+void FaultInjector::ArmNext(FaultOp op, FaultClass cls) {
+  BG3_DCHECK(ClassApplies(cls, op))
+      << FaultClassName(cls) << " cannot fire on " << FaultOpName(op);
+  MutexLock lock(&mu_);
+  armed_.push_back(ArmedFault{op, cls, op_counts_[static_cast<int>(op)]});
+}
+
+void FaultInjector::ApplyClassLocked(FaultClass cls, FaultOp op,
+                                     FaultDecision* d) {
+  switch (cls) {
+    case FaultClass::kTransientError:
+      d->fail = true;
+      stats_.transient_errors.Inc();
+      break;
+    case FaultClass::kLatencySpike:
+      d->extra_latency_us += opts_.latency_spike_us;
+      stats_.latency_spikes.Inc();
+      break;
+    case FaultClass::kTornAppend:
+      d->torn = true;
+      d->torn_byte_draw = rng_.Next();
+      stats_.torn_appends.Inc();
+      break;
+    case FaultClass::kCorruptRead:
+      d->corrupt = true;
+      stats_.corrupt_reads.Inc();
+      break;
+  }
+  (void)op;
+}
+
+FaultDecision FaultInjector::Decide(FaultOp op) {
+  MutexLock lock(&mu_);
+  const uint64_t index = op_counts_[static_cast<int>(op)]++;
+  FaultDecision d;
+
+  // Schedule-driven one-shots first: exact failure points beat dice.
+  for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+    if (it->op == op && it->at_index == index) {
+      ApplyClassLocked(it->cls, op, &d);
+      armed_.erase(it);
+      break;
+    }
+  }
+
+  // Probability-driven draws, in a fixed class order so the RNG stream (and
+  // therefore the whole fault schedule of a single-threaded run) is a pure
+  // function of (seed, options). The first hard failure wins; a latency
+  // spike composes with nothing else only because a failed op has no
+  // latency to report.
+  if (!d.fail && opts_.transient_error_p > 0 &&
+      rng_.Bernoulli(opts_.transient_error_p)) {
+    ApplyClassLocked(FaultClass::kTransientError, op, &d);
+  }
+  if (!d.fail && !d.torn && op == FaultOp::kAppend &&
+      opts_.torn_append_p > 0 && rng_.Bernoulli(opts_.torn_append_p)) {
+    ApplyClassLocked(FaultClass::kTornAppend, op, &d);
+  }
+  if (!d.fail && !d.corrupt && op == FaultOp::kRead &&
+      opts_.corrupt_read_p > 0 && rng_.Bernoulli(opts_.corrupt_read_p)) {
+    ApplyClassLocked(FaultClass::kCorruptRead, op, &d);
+  }
+  if (!d.fail && ClassApplies(FaultClass::kLatencySpike, op) &&
+      opts_.latency_spike_p > 0 && rng_.Bernoulli(opts_.latency_spike_p)) {
+    ApplyClassLocked(FaultClass::kLatencySpike, op, &d);
+  }
+  return d;
+}
+
+uint64_t FaultInjector::OpCount(FaultOp op) const {
+  MutexLock lock(&mu_);
+  return op_counts_[static_cast<int>(op)];
+}
+
+std::string FaultInjector::ToString() const {
+  std::ostringstream os;
+  os << "fault-injector seed=" << opts_.seed
+     << " p(transient)=" << opts_.transient_error_p
+     << " p(spike)=" << opts_.latency_spike_p
+     << " p(torn)=" << opts_.torn_append_p
+     << " p(corrupt)=" << opts_.corrupt_read_p
+     << " fired: " << stats_.ToString();
+  return os.str();
+}
+
+}  // namespace bg3::cloud

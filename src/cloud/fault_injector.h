@@ -1,0 +1,143 @@
+#ifndef BG3_CLOUD_FAULT_INJECTOR_H_
+#define BG3_CLOUD_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/thread_annotations.h"
+
+namespace bg3::cloud {
+
+/// Cloud-store operation classes a fault can attach to. Mirrors the
+/// injection points wired into CloudStore: record appends, record reads,
+/// extent frees, manifest gets, and WAL tailing.
+enum class FaultOp : uint8_t {
+  kAppend = 0,
+  kRead,
+  kFreeExtent,
+  kManifestGet,
+  kTail,
+};
+inline constexpr int kNumFaultOps = 5;
+
+/// The four substrate failure modes of the fault model (DESIGN.md §5.2):
+/// transient service errors, tail-latency spikes, torn appends (a partial
+/// record at the stream tail) and corrupted reads (bit flips on the wire).
+enum class FaultClass : uint8_t {
+  kTransientError = 0,
+  kLatencySpike,
+  kTornAppend,
+  kCorruptRead,
+};
+inline constexpr int kNumFaultClasses = 4;
+
+const char* FaultOpName(FaultOp op);
+const char* FaultClassName(FaultClass cls);
+
+struct FaultInjectorOptions {
+  /// Seed of the injector's private RNG; printed by ToString() so any
+  /// failing run replays exactly.
+  uint64_t seed = 0xFA0175;
+
+  // Per-class firing probabilities for probability-driven injection.
+  // All default to 0 — an attached injector with default options is inert.
+  double transient_error_p = 0.0;  ///< any op.
+  double latency_spike_p = 0.0;    ///< appends and reads.
+  double torn_append_p = 0.0;      ///< appends only.
+  double corrupt_read_p = 0.0;     ///< reads only.
+
+  /// Extra latency added when a spike fires (on top of the LatencyModel).
+  uint64_t latency_spike_us = 50'000;
+};
+
+/// What CloudStore should do to the current operation.
+struct FaultDecision {
+  bool fail = false;     ///< return Status::IOError, no side effects.
+  bool torn = false;     ///< append lands but is cut short; caller sees IOError.
+  bool corrupt = false;  ///< read returns Status::Corruption (data intact).
+  uint64_t extra_latency_us = 0;
+  /// Random draw used by the store to pick which tail byte a torn append
+  /// garbles (only meaningful when `torn`).
+  uint64_t torn_byte_draw = 0;
+
+  bool Any() const { return fail || torn || corrupt || extra_latency_us != 0; }
+};
+
+/// Per-class firing counts.
+struct FaultInjectorStats {
+  Counter transient_errors;
+  Counter latency_spikes;
+  Counter torn_appends;
+  Counter corrupt_reads;
+
+  uint64_t Total() const;
+  std::string ToString() const;
+};
+
+/// Deterministic fault source for the simulated cloud substrate. Two modes,
+/// freely combined:
+///  - probability-driven: each operation draws from a seeded bg3::Random
+///    against the per-class probabilities, so a (seed, options) pair fully
+///    determines the fault schedule of a single-threaded run;
+///  - schedule-driven: Arm() plants a one-shot fault on the N-th subsequent
+///    operation of a given class, for tests that need an exact failure
+///    point.
+///
+/// Attach with CloudStore::SetFaultInjector. Thread safe (single internal
+/// mutex; injection sits on simulated-I/O paths where a mutex is noise).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorOptions& options = {});
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Plants a one-shot fault: fires on the `at_index`-th (0-based, counted
+  /// from construction) operation of type `op`, then disarms. The class
+  /// must be applicable to the op (torn appends on kAppend, corrupt reads
+  /// on kRead; BG3_DCHECK-enforced).
+  void Arm(FaultOp op, FaultClass cls, uint64_t at_index);
+
+  /// Plants a one-shot fault on the *next* operation of type `op`.
+  void ArmNext(FaultOp op, FaultClass cls);
+
+  /// Called by CloudStore once per injected operation, before any side
+  /// effect. Advances the op counter and the RNG stream.
+  FaultDecision Decide(FaultOp op);
+
+  /// Operations of this type seen so far (armed-fault index space).
+  uint64_t OpCount(FaultOp op) const;
+
+  uint64_t seed() const { return opts_.seed; }
+  const FaultInjectorOptions& options() const { return opts_; }
+  FaultInjectorStats& stats() { return stats_; }
+
+  /// One line with the seed and per-class firing counts — print this from
+  /// a failing test and the run replays from the seed.
+  std::string ToString() const;
+
+ private:
+  struct ArmedFault {
+    FaultOp op;
+    FaultClass cls;
+    uint64_t at_index;
+  };
+
+  void ApplyClassLocked(FaultClass cls, FaultOp op, FaultDecision* d)
+      BG3_REQUIRES(mu_);
+
+  const FaultInjectorOptions opts_;
+  FaultInjectorStats stats_;
+
+  mutable Mutex mu_;
+  Random rng_ BG3_GUARDED_BY(mu_);
+  uint64_t op_counts_[kNumFaultOps] BG3_GUARDED_BY(mu_) = {};
+  std::vector<ArmedFault> armed_ BG3_GUARDED_BY(mu_);
+};
+
+}  // namespace bg3::cloud
+
+#endif  // BG3_CLOUD_FAULT_INJECTOR_H_

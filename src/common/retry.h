@@ -1,0 +1,129 @@
+#ifndef BG3_COMMON_RETRY_H_
+#define BG3_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bg3 {
+
+/// Shared bounded retry/backoff policy for cloud-store I/O. The simulated
+/// substrate (and the real service it stands in for) produces transient
+/// IOError / Busy results and occasional in-flight corruption; every caller
+/// that talks to the store wraps its I/O in RetryWithBackoff so one blip
+/// does not surface as a request failure. The budget is deliberately small:
+/// persistent errors must reach the caller quickly so it can degrade
+/// (GC defers the extent, the RO node falls behind) instead of spinning.
+struct RetryOptions {
+  /// Total attempt budget, including the first try. Must be >= 1
+  /// (BG3_DCHECK-enforced). 1 disables retries entirely.
+  int max_attempts = 4;
+  uint64_t initial_backoff_us = 1'000;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_us = 64'000;
+
+  // Which error codes count as transient. Corruption is off by default:
+  // an append never "partially corrupts" on retryable paths, but read
+  // paths opt in because an injected corrupt read models bit-flips on the
+  // wire, not on the medium (the stored record is intact).
+  bool retry_io_error = true;
+  bool retry_busy = true;
+  bool retry_corruption = false;
+
+  /// Backoff wait hook. Null (the default) skips waiting — correct for the
+  /// simulated store, whose failures are schedule- not time-driven; drivers
+  /// with a real or virtual clock pass e.g.
+  /// `[&clock](uint64_t us) { clock.AdvanceUs(us); }`.
+  std::function<void(uint64_t)> sleep;
+
+  /// Observability hooks (normally CloudStore's IoStats counters).
+  Counter* retries = nullptr;          ///< incremented per re-attempt.
+  Counter* retry_exhausted = nullptr;  ///< incremented when the budget dies.
+};
+
+/// Deterministic exponential backoff schedule:
+/// initial, initial*m, initial*m^2, ... capped at max_backoff_us.
+class Backoff {
+ public:
+  explicit Backoff(const RetryOptions& opts)
+      : multiplier_(opts.backoff_multiplier),
+        max_us_(opts.max_backoff_us),
+        next_us_(opts.initial_backoff_us) {}
+
+  /// Delay before the next retry; advances the schedule.
+  uint64_t NextDelayUs() {
+    const uint64_t cur = next_us_ > max_us_ ? max_us_ : next_us_;
+    const double scaled = static_cast<double>(cur) * multiplier_;
+    next_us_ = scaled >= static_cast<double>(max_us_)
+                   ? max_us_
+                   : static_cast<uint64_t>(scaled);
+    return cur;
+  }
+
+ private:
+  const double multiplier_;
+  const uint64_t max_us_;
+  uint64_t next_us_;
+};
+
+inline bool IsRetryableError(const RetryOptions& opts, const Status& s) {
+  return (opts.retry_io_error && s.IsIOError()) ||
+         (opts.retry_busy && s.IsBusy()) ||
+         (opts.retry_corruption && s.IsCorruption());
+}
+
+/// Runs `op` (a callable returning Status) until it succeeds, returns a
+/// non-retryable error, or the attempt budget is exhausted. On exhaustion
+/// the *first* error is returned — it is the root cause; later attempts
+/// often fail with derived or less specific messages.
+template <typename Op>
+Status RetryWithBackoff(const RetryOptions& opts, Op&& op) {
+  BG3_DCHECK_GE(opts.max_attempts, 1)
+      << "retry budget must allow at least one attempt";
+  Backoff backoff(opts);
+  Status first;
+  for (int attempt = 1;; ++attempt) {
+    Status s = op();
+    if (s.ok() || !IsRetryableError(opts, s)) return s;
+    if (first.ok()) first = std::move(s);
+    if (attempt >= opts.max_attempts) {
+      if (opts.retry_exhausted != nullptr) opts.retry_exhausted->Inc();
+      return first;
+    }
+    if (opts.retries != nullptr) opts.retries->Inc();
+    const uint64_t delay = backoff.NextDelayUs();
+    if (opts.sleep) opts.sleep(delay);
+  }
+}
+
+/// Result<T> variant: `op` returns Result<T>; the successful value is
+/// passed through, exhaustion surfaces the first error.
+template <typename Op>
+auto RetryResultWithBackoff(const RetryOptions& opts, Op&& op)
+    -> decltype(op()) {
+  BG3_DCHECK_GE(opts.max_attempts, 1)
+      << "retry budget must allow at least one attempt";
+  Backoff backoff(opts);
+  Status first;
+  for (int attempt = 1;; ++attempt) {
+    auto res = op();
+    if (res.ok() || !IsRetryableError(opts, res.status())) return res;
+    if (first.ok()) first = res.status();
+    if (attempt >= opts.max_attempts) {
+      if (opts.retry_exhausted != nullptr) opts.retry_exhausted->Inc();
+      return decltype(op())(first);
+    }
+    if (opts.retries != nullptr) opts.retries->Inc();
+    const uint64_t delay = backoff.NextDelayUs();
+    if (opts.sleep) opts.sleep(delay);
+  }
+}
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_RETRY_H_

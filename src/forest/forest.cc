@@ -180,7 +180,10 @@ Status BwTreeForest::SplitOutLocked(OwnerId owner, OwnerState* state,
   auto tree = std::make_unique<bwtree::BwTree>(store_, MakeTreeOptions(id));
 
   // Move the owner's INIT entries into the dedicated tree with shortened
-  // keys, deleting them from INIT.
+  // keys. If any upsert fails (storage trouble the tree's own retry budget
+  // could not absorb), the unregistered tree is simply abandoned: INIT is
+  // untouched, the owner stays INIT-resident, and the orphan records the
+  // aborted tree may have flushed are dropped by GC's orphan path.
   bwtree::BwTree::ScanOptions scan;
   scan.start_key = OwnerPrefix(owner);
   scan.end_key = owner == ~0ull ? std::string() : OwnerPrefix(owner + 1);
@@ -189,15 +192,10 @@ Status BwTreeForest::SplitOutLocked(OwnerId owner, OwnerState* state,
   for (const auto& e : entries) {
     BG3_RETURN_IF_ERROR(tree->Upsert(e.key.substr(8), e.value));
   }
-  for (const auto& e : entries) {
-    BG3_RETURN_IF_ERROR(init_tree_->Delete(e.key));
-  }
-  const size_t moved = entries.size();
-  size_t cur = init_entries_.load(std::memory_order_relaxed);
-  while (!init_entries_.compare_exchange_weak(
-      cur, cur >= moved ? cur - moved : 0, std::memory_order_relaxed)) {
-  }
 
+  // Publish the fully populated tree *before* deleting the INIT copies, so
+  // a delete failure below cannot lose data: reads already route to the
+  // dedicated tree, and any INIT leftovers are shadowed dead weight.
   {
     MutexLock lock(&registry_mu_);
     registry_[id] = tree.get();
@@ -207,6 +205,19 @@ Status BwTreeForest::SplitOutLocked(OwnerId owner, OwnerState* state,
   // with acquire order instead of touching `tree` without `mu`.
   state->dedicated.store(true, std::memory_order_release);
   reason->Inc();
+
+  Status delete_status;
+  size_t deleted = 0;
+  for (const auto& e : entries) {
+    delete_status = init_tree_->Delete(e.key);
+    if (!delete_status.ok()) break;
+    ++deleted;
+  }
+  size_t cur = init_entries_.load(std::memory_order_relaxed);
+  while (!init_entries_.compare_exchange_weak(
+      cur, cur >= deleted ? cur - deleted : 0, std::memory_order_relaxed)) {
+  }
+  BG3_RETURN_IF_ERROR(delete_status);
 
   // Split-out boundary invariants: the owner's INIT prefix must now be
   // empty (every entry moved, none left behind) and the registry must

@@ -1,8 +1,20 @@
 #include "gc/space_reclaimer.h"
 
 #include "common/logging.h"
+#include "common/retry.h"
 
 namespace bg3::gc {
+
+namespace {
+
+/// Errors that defer a victim to the next cycle rather than failing it:
+/// substrate trouble (transient or not) is survivable — the extent is not
+/// going anywhere; logic errors (InvalidArgument etc.) still propagate.
+bool IsDeferrable(const Status& s) {
+  return s.IsIOError() || s.IsBusy() || s.IsCorruption();
+}
+
+}  // namespace
 
 SpaceReclaimer::SpaceReclaimer(cloud::CloudStore* store,
                                TreeResolver* resolver, GcPolicy* policy,
@@ -38,9 +50,17 @@ Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
     for (GcCandidate& cand : candidates) {
       const uint64_t deadline = cand.usage.TtlDeadlineUs(opts_.ttl_us);
       if (deadline != 0 && deadline <= now) {
+        const Status s = RetryWithBackoff(StoreRetryOptions(), [&] {
+          return store_->FreeExtent(stream, cand.stats.id);
+        });
+        if (!s.ok()) {
+          if (!IsDeferrable(s)) return s;
+          // The deadline stays in the past; next cycle frees it.
+          ++result.extents_deferred;
+          continue;
+        }
         result.bytes_freed += cand.stats.used_bytes;
         ++result.extents_expired;
-        BG3_RETURN_IF_ERROR(store_->FreeExtent(stream, cand.stats.id));
       } else {
         remaining.push_back(std::move(cand));
       }
@@ -65,7 +85,14 @@ Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
     for (cloud::ExtentId victim :
          policy_->SelectVictims(std::move(candidates), max_extents, ctx)) {
       auto moved = RelocateExtent(stream, victim);
-      BG3_RETURN_IF_ERROR(moved.status());
+      if (!moved.ok()) {
+        if (!IsDeferrable(moved.status())) return moved.status();
+        // Partial relocation is safe: records already moved were
+        // invalidated at their old location, so the re-attempt next cycle
+        // relocates only what remains.
+        ++result.extents_deferred;
+        continue;
+      }
       result.bytes_moved += moved.value();
       result.bytes_freed += used_bytes[victim];
       ++result.extents_reclaimed;
@@ -75,6 +102,7 @@ Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
   totals_.extents_examined += result.extents_examined;
   totals_.extents_reclaimed += result.extents_reclaimed;
   totals_.extents_expired += result.extents_expired;
+  totals_.extents_deferred += result.extents_deferred;
   totals_.bytes_moved += result.bytes_moved;
   totals_.bytes_freed += result.bytes_freed;
   return result;
@@ -82,7 +110,9 @@ Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
 
 Result<uint64_t> SpaceReclaimer::RelocateExtent(cloud::StreamId stream,
                                                 cloud::ExtentId extent) {
-  auto records = store_->ReadValidRecords(stream, extent);
+  auto records = RetryResultWithBackoff(StoreRetryOptions(), [&] {
+    return store_->ReadValidRecords(stream, extent);
+  });
   BG3_RETURN_IF_ERROR(records.status());
   uint64_t moved = 0;
   for (const auto& [ptr, bytes] : records.value()) {
@@ -100,9 +130,17 @@ Result<uint64_t> SpaceReclaimer::RelocateExtent(cloud::StreamId stream,
     moved += n.value();
   }
   // All valid records re-installed elsewhere: release the extent.
-  BG3_RETURN_IF_ERROR(store_->FreeExtent(stream, extent));
+  BG3_RETURN_IF_ERROR(RetryWithBackoff(
+      StoreRetryOptions(), [&] { return store_->FreeExtent(stream, extent); }));
   store_->stats().gc_moved_bytes.Add(moved);
   return moved;
+}
+
+RetryOptions SpaceReclaimer::StoreRetryOptions() const {
+  RetryOptions retry = opts_.retry;
+  retry.retries = &store_->stats().retries;
+  retry.retry_exhausted = &store_->stats().retry_exhausted;
+  return retry;
 }
 
 }  // namespace bg3::gc

@@ -8,6 +8,7 @@
 
 #include "bwtree/bwtree.h"
 #include "cloud/cloud_store.h"
+#include "common/retry.h"
 #include "gc/extent_usage.h"
 #include "gc/policy.h"
 
@@ -40,6 +41,11 @@ struct ReclaimOptions {
   /// Trigger threshold: a cycle relocates only while the stream's dead-byte
   /// ratio exceeds this (background GC runs ahead of space pressure).
   double target_dead_ratio = 0.10;
+  /// Retry policy for the cycle's store I/O (extent frees, valid-record
+  /// reads). Once a victim's budget is exhausted the extent is *deferred* —
+  /// skipped this cycle, retried next — rather than failing the cycle:
+  /// background reclamation must ride out storage trouble, not amplify it.
+  RetryOptions retry;
 };
 
 /// Outcome of one reclamation cycle; Table 2's "Write Amplification Bwd
@@ -49,6 +55,10 @@ struct CycleResult {
   size_t extents_examined = 0;
   size_t extents_reclaimed = 0;
   size_t extents_expired = 0;
+  /// Victims skipped after their I/O retry budget ran out; they remain
+  /// candidates for the next cycle (relocation is idempotent: records
+  /// already moved were invalidated at their old location).
+  size_t extents_deferred = 0;
   uint64_t bytes_moved = 0;   ///< valid data rewritten to new extents.
   uint64_t bytes_freed = 0;   ///< total capacity returned to the store.
 };
@@ -72,6 +82,8 @@ class SpaceReclaimer {
  private:
   Result<uint64_t> RelocateExtent(cloud::StreamId stream,
                                   cloud::ExtentId extent);
+  /// opts_.retry with accounting wired to the store's IoStats.
+  RetryOptions StoreRetryOptions() const;
 
   cloud::CloudStore* const store_;
   TreeResolver* const resolver_;

@@ -29,6 +29,29 @@ Status RoNode::PollWal() {
   return PollWalLocked();
 }
 
+RetryOptions RoNode::StoreRetryOptions() const {
+  RetryOptions retry = opts_.retry;
+  retry.retries = &store_->stats().retries;
+  retry.retry_exhausted = &store_->stats().retry_exhausted;
+  return retry;
+}
+
+RetryOptions RoNode::ReadRetryOptions() const {
+  RetryOptions retry = StoreRetryOptions();
+  retry.retry_corruption = true;  // wire corruption is transient
+  return retry;
+}
+
+Result<std::string> RoNode::RetryingManifestGet(const std::string& key) {
+  return RetryResultWithBackoff(StoreRetryOptions(),
+                                [&] { return store_->ManifestGet(key); });
+}
+
+Result<std::string> RoNode::RetryingStorageRead(const cloud::PagePointer& ptr) {
+  return RetryResultWithBackoff(ReadRetryOptions(),
+                                [&] { return store_->Read(ptr); });
+}
+
 Status RoNode::PollWalLocked() {
   if (!bootstrapped_) {
     BootstrapFromManifestLocked();
@@ -42,7 +65,16 @@ Status RoNode::PollWalLocked() {
   // Drain everything appended since the last poll (the reader returns at
   // most a bounded batch count per call).
   for (;;) {
-    auto records = reader_.Poll();
+    auto records = RetryResultWithBackoff(StoreRetryOptions(),
+                                          [&] { return reader_.Poll(); });
+    if (!records.ok() && IsRetryableError(StoreRetryOptions(),
+                                          records.status())) {
+      // Degradation, not failure: the WAL cursor has not moved, so the node
+      // simply falls behind and catches up on a later poll. Reads served
+      // meanwhile see the last consistently replicated state.
+      stats_.poll_degraded.Inc();
+      return Status::OK();
+    }
     BG3_RETURN_IF_ERROR(records.status());
     if (records.value().empty()) return Status::OK();
     for (const wal::WalRecord& rec : records.value()) {
@@ -277,7 +309,7 @@ Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
     bool restart = false;
     for (;;) {
       chain.push_back(cur);
-      auto manifest = store_->ManifestGet(PageImageKey(tree, cur));
+      auto manifest = RetryingManifestGet(PageImageKey(tree, cur));
       if (manifest.ok()) {
         BG3_RETURN_IF_ERROR(
             PageImageMeta::Decode(Slice(manifest.value()), &image));
@@ -290,6 +322,11 @@ Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
         have_image = true;
         break;
       }
+      // Only NotFound means "no image published yet" (keep walking up the
+      // split-origin chain); a manifest the substrate would not serve must
+      // not be mistaken for an unflushed page — that would rebuild the view
+      // from ancestors and silently lose the image's contents.
+      if (!manifest.status().IsNotFound()) return manifest.status();
       auto mit = ts.meta.find(cur);
       BG3_CHECK(mit != ts.meta.end());
       if (mit->second.parent == bwtree::kInvalidPage) break;  // empty base
@@ -303,7 +340,7 @@ Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
     bwtree::Lsn base_lsn = 0;
     if (have_image) {
       base_lsn = image.flushed_lsn;
-      auto base = store_->Read(image.base_ptr);
+      auto base = RetryingStorageRead(image.base_ptr);
       BG3_RETURN_IF_ERROR(base.status());
       stats_.storage_reads.Inc();
       Slice in(base.value());
@@ -312,7 +349,7 @@ Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
       BG3_RETURN_IF_ERROR(bwtree::DecodeBasePagePayload(in, &entries));
       std::vector<std::vector<bwtree::DeltaEntry>> chains;
       for (const auto& ptr : image.delta_ptrs) {
-        auto delta = store_->Read(ptr);
+        auto delta = RetryingStorageRead(ptr);
         BG3_RETURN_IF_ERROR(delta.status());
         stats_.storage_reads.Inc();
         Slice din(delta.value());
@@ -455,12 +492,15 @@ Result<RoNode::ExportedTree> RoNode::ExportTree(bwtree::TreeId tree) {
     rp.entries = cp.value()->entries;
     rp.last_lsn = cp.value()->applied_lsn;
     // Attach the current storage image so the recovered node's first flush
-    // can invalidate it (keeps GC accounting exact).
-    auto manifest = store_->ManifestGet(PageImageKey(tree, page_id));
+    // can invalidate it (keeps GC accounting exact). NotFound = the page
+    // was never flushed; any other failure must not be treated that way.
+    auto manifest = RetryingManifestGet(PageImageKey(tree, page_id));
     if (manifest.ok()) {
       PageImageMeta image;
       BG3_RETURN_IF_ERROR(PageImageMeta::Decode(Slice(manifest.value()), &image));
       rp.base_ptr = image.base_ptr;
+    } else if (!manifest.status().IsNotFound()) {
+      return manifest.status();
     }
     out.pages.push_back(std::move(rp));
   }

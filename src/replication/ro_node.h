@@ -14,6 +14,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/thread_annotations.h"
 #include "wal/reader.h"
 
@@ -36,6 +37,12 @@ struct RoNodeOptions {
   /// tail on a cadence so reads are not serialized on the WAL stream.
   uint64_t min_poll_gap_us = 0;
   uint64_t seed = 0x20;
+  /// Retry policy for the node's store I/O (WAL tailing, manifest gets,
+  /// base/delta reads). When a tail's budget is exhausted the node
+  /// *degrades* instead of failing reads: it serves the last consistent
+  /// state, leaves its WAL cursor in place, and catches up on a later poll
+  /// (stats().poll_degraded counts these episodes).
+  RetryOptions retry;
 };
 
 /// Aggregated RO-node counters.
@@ -47,6 +54,9 @@ struct RoNodeStats {
   Counter discarded;       ///< pending records dropped by checkpoints.
   Counter storage_reads;   ///< base/delta images fetched on cache misses.
   Counter pending_merges;  ///< background pending-log compactions.
+  /// WAL polls abandoned after retry exhaustion: the node fell behind and
+  /// will catch up once the substrate recovers.
+  Counter poll_degraded;
 };
 
 /// A Read-Only node of §3.4 / Fig. 7: tails the WAL into an in-memory
@@ -136,6 +146,15 @@ class RoNode {
 
   Status PollWalLocked() BG3_REQUIRES(mu_);
   Status ApplyWalRecordLocked(const wal::WalRecord& record) BG3_REQUIRES(mu_);
+
+  /// opts_.retry with accounting wired to the store's IoStats; the read
+  /// variant additionally retries Corruption (wire bit-flips re-read fine).
+  RetryOptions StoreRetryOptions() const;
+  RetryOptions ReadRetryOptions() const;
+  /// ManifestGet with retry; NotFound (a semantic "no image") passes
+  /// through untouched.
+  Result<std::string> RetryingManifestGet(const std::string& key);
+  Result<std::string> RetryingStorageRead(const cloud::PagePointer& ptr);
   /// Seeds route/meta from the shared mapping table, so a node can come up
   /// against a truncated WAL (images + ranges substitute for the dropped
   /// prefix of TreeInit/Split records).

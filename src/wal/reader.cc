@@ -4,9 +4,22 @@ namespace bg3::wal {
 
 Result<std::vector<WalRecord>> WalReader::Poll(size_t max_batches) {
   std::vector<WalRecord> out;
-  const auto batches = store_->TailRecords(stream_, cursor_, max_batches);
-  for (const auto& [ptr, data] : batches) {
-    BG3_RETURN_IF_ERROR(DecodeBatch(Slice(data), &out));
+  auto batches = store_->TailRecords(stream_, cursor_, max_batches);
+  BG3_RETURN_IF_ERROR(batches.status());
+  for (const auto& [ptr, data] : batches.value()) {
+    // Decode into a scratch vector and commit (records + cursor) per batch:
+    // if a batch fails to decode, everything already committed this poll is
+    // still delivered and the cursor stops just before the bad batch.
+    std::vector<WalRecord> decoded;
+    const Status s = DecodeBatch(Slice(data), &decoded);
+    if (!s.ok()) {
+      // Deliver the committed prefix; the next Poll re-reads the bad batch
+      // first and surfaces the error with nothing buffered behind it.
+      if (!out.empty()) break;
+      return s;
+    }
+    out.insert(out.end(), std::make_move_iterator(decoded.begin()),
+               std::make_move_iterator(decoded.end()));
     cursor_ = ptr;
     ++batches_consumed_;
   }

@@ -1,5 +1,7 @@
 #include "wal/writer.h"
 
+#include "common/retry.h"
+
 namespace bg3::wal {
 
 WalWriter::WalWriter(cloud::CloudStore* store, const WalWriterOptions& options)
@@ -36,7 +38,11 @@ Status WalWriter::FlushLocked() {
     r.sim_publish_latency_us = wait + append_latency;
   }
   const std::string batch = EncodeBatch(buffer_);
-  auto res = store_->Append(opts_.stream, batch);
+  RetryOptions retry = opts_.retry;
+  retry.retries = &store_->stats().retries;
+  retry.retry_exhausted = &store_->stats().retry_exhausted;
+  auto res = RetryResultWithBackoff(
+      retry, [&] { return store_->Append(opts_.stream, batch); });
   BG3_RETURN_IF_ERROR(res.status());
   last_append_ptr_ = res.value();
   batches_.Inc();

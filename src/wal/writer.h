@@ -8,6 +8,7 @@
 #include "cloud/cloud_store.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "wal/record.h"
 
 namespace bg3::wal {
@@ -22,6 +23,14 @@ struct WalWriterOptions {
   /// before its batch is appended. Feeds sim_publish_latency_us.
   uint64_t group_window_us = 10'000;
   uint64_t seed = 0x57a1;
+  /// Batch-append retry policy. A torn or transiently failed append is
+  /// simply re-appended: the damaged copy never passes its CRC check, so
+  /// tailing readers skip it, and duplicate *successful* batches are safe
+  /// (replay is LSN-gated and split/init records are idempotent on RO
+  /// nodes). On exhaustion the records stay buffered — the WAL falls
+  /// behind and the next Append/Flush tries again; nothing acknowledged is
+  /// ever dropped.
+  RetryOptions retry;
 };
 
 /// Appends WAL batches to the shared cloud store, totally ordered. Thread

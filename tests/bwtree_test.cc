@@ -408,7 +408,7 @@ TEST(BwTreeTest, RelocateMovesCurrentBasePage) {
   TreeFixture f(opts);
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
   // Find a valid base record on the base stream.
-  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1000);
+  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1000).value();
   ASSERT_FALSE(records.empty());
   bool moved_any = false;
   for (const auto& [ptr, bytes] : records) {
@@ -426,7 +426,7 @@ TEST(BwTreeTest, RelocateStaleRecordMovesNothing) {
   opts.consolidate_threshold = 2;
   TreeFixture f(opts);
   ASSERT_TRUE(f.tree->Upsert("a", "1").ok());
-  auto records = f.store->TailRecords(1, cloud::PagePointer{}, 10);
+  auto records = f.store->TailRecords(1, cloud::PagePointer{}, 10).value();
   ASSERT_FALSE(records.empty());
   const auto [first_ptr, first_bytes] = records.front();
   // Make the record stale by consolidating past it.
@@ -604,7 +604,7 @@ TEST(BwTreeTest, CorruptedBasePageSurfacesOnZeroCacheRead) {
   TreeFixture f(opts);
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(f.tree->Upsert(Key(i), "v").ok());
   // Corrupt the newest valid base record on the base stream.
-  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1000);
+  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1000).value();
   ASSERT_FALSE(records.empty());
   bool corrupted = false;
   for (auto it = records.rbegin(); it != records.rend() && !corrupted; ++it) {
@@ -628,7 +628,7 @@ TEST(BwTreeTest, GcRelocationStopsOnCorruptExtent) {
   auto stats = f.store->SealedExtentStats(0);
   ASSERT_FALSE(stats.empty());
   // Corrupt something inside the first sealed extent.
-  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1);
+  auto records = f.store->TailRecords(0, cloud::PagePointer{}, 1).value();
   ASSERT_FALSE(records.empty());
   ASSERT_TRUE(f.store->CorruptRecordForTesting(records[0].first, 5));
   auto read_back = f.store->ReadValidRecords(0, records[0].first.extent_id);

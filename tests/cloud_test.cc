@@ -158,7 +158,7 @@ TEST(CloudStoreTest, TailRecordsFromStart) {
   for (int i = 0; i < 5; ++i) {
     (void)store.Append(s, "rec" + std::to_string(i));
   }
-  auto records = store.TailRecords(s, PagePointer{}, 100);
+  auto records = store.TailRecords(s, PagePointer{}, 100).value();
   ASSERT_EQ(records.size(), 5u);
   for (int i = 0; i < 5; ++i) {
     EXPECT_EQ(records[i].second, "rec" + std::to_string(i));
@@ -169,10 +169,10 @@ TEST(CloudStoreTest, TailRecordsResumesAfterCursor) {
   CloudStore store(SmallExtents(64));
   const StreamId s = store.CreateStream("log");
   for (int i = 0; i < 3; ++i) (void)store.Append(s, "a" + std::to_string(i));
-  auto first = store.TailRecords(s, PagePointer{}, 100);
+  auto first = store.TailRecords(s, PagePointer{}, 100).value();
   ASSERT_EQ(first.size(), 3u);
   for (int i = 0; i < 3; ++i) (void)store.Append(s, "b" + std::to_string(i));
-  auto rest = store.TailRecords(s, first.back().first, 100);
+  auto rest = store.TailRecords(s, first.back().first, 100).value();
   ASSERT_EQ(rest.size(), 3u);
   EXPECT_EQ(rest[0].second, "b0");
 }
@@ -181,7 +181,7 @@ TEST(CloudStoreTest, TailRecordsHonorsMaxRecords) {
   CloudStore store;
   const StreamId s = store.CreateStream("log");
   for (int i = 0; i < 10; ++i) (void)store.Append(s, "x");
-  EXPECT_EQ(store.TailRecords(s, PagePointer{}, 4).size(), 4u);
+  EXPECT_EQ(store.TailRecords(s, PagePointer{}, 4).value().size(), 4u);
 }
 
 TEST(CloudStoreTest, TailSpansExtentBoundaries) {
@@ -190,9 +190,9 @@ TEST(CloudStoreTest, TailSpansExtentBoundaries) {
   for (int i = 0; i < 8; ++i) {
     (void)store.Append(s, std::string(20, static_cast<char>('0' + i)));
   }
-  auto all = store.TailRecords(s, PagePointer{}, 100);
+  auto all = store.TailRecords(s, PagePointer{}, 100).value();
   ASSERT_EQ(all.size(), 8u);
-  auto tail = store.TailRecords(s, all[3].first, 100);
+  auto tail = store.TailRecords(s, all[3].first, 100).value();
   ASSERT_EQ(tail.size(), 4u);
   EXPECT_EQ(tail[0].second[0], '4');
 }

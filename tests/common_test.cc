@@ -7,8 +7,11 @@
 #include <thread>
 #include <vector>
 
+#include "cloud/types.h"
 #include "common/clock.h"
 #include "common/coding.h"
+#include "common/logging.h"
+#include "common/retry.h"
 #include "common/hash.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
@@ -481,6 +484,146 @@ TEST(LightCounterTest, BasicAndConcurrent) {
 TEST(LightCounterTest, IsCompact) {
   // The reason it exists: millions of per-tree stats instances.
   EXPECT_LE(sizeof(LightCounter), 8u);
+}
+
+// --- retry/backoff ------------------------------------------------------------
+
+TEST(BackoffTest, ScheduleIsDeterministicAndCapped) {
+  RetryOptions opts;
+  opts.initial_backoff_us = 1'000;
+  opts.backoff_multiplier = 2.0;
+  opts.max_backoff_us = 8'000;
+  Backoff b(opts);
+  EXPECT_EQ(b.NextDelayUs(), 1'000u);
+  EXPECT_EQ(b.NextDelayUs(), 2'000u);
+  EXPECT_EQ(b.NextDelayUs(), 4'000u);
+  EXPECT_EQ(b.NextDelayUs(), 8'000u);
+  EXPECT_EQ(b.NextDelayUs(), 8'000u) << "stays at the cap";
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  Counter retries, exhausted;
+  RetryOptions opts;
+  opts.retries = &retries;
+  opts.retry_exhausted = &exhausted;
+  int calls = 0;
+  const Status s = RetryWithBackoff(opts, [&] {
+    return ++calls < 3 ? Status::IOError("blip") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries.Get(), 2u);
+  EXPECT_EQ(exhausted.Get(), 0u);
+}
+
+TEST(RetryTest, ExhaustionSurfacesTheFirstError) {
+  Counter retries, exhausted;
+  RetryOptions opts;
+  opts.max_attempts = 3;
+  opts.retries = &retries;
+  opts.retry_exhausted = &exhausted;
+  int calls = 0;
+  const Status s = RetryWithBackoff(opts, [&] {
+    return Status::IOError("attempt " + std::to_string(++calls));
+  });
+  EXPECT_TRUE(s.IsIOError());
+  // The first failure is the root cause; later ones are often derived.
+  EXPECT_NE(s.ToString().find("attempt 1"), std::string::npos) << s.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries.Get(), 2u);
+  EXPECT_EQ(exhausted.Get(), 1u);
+}
+
+TEST(RetryTest, SingleAttemptBudgetDisablesRetries) {
+  RetryOptions opts;
+  opts.max_attempts = 1;
+  int calls = 0;
+  const Status s = RetryWithBackoff(opts, [&] {
+    ++calls;
+    return Status::IOError("down");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
+  RetryOptions opts;
+  int calls = 0;
+  const Status s = RetryWithBackoff(opts, [&] {
+    ++calls;
+    return Status::InvalidArgument("caller bug");
+  });
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(calls, 1) << "logic errors must not be retried";
+}
+
+TEST(RetryTest, CorruptionRetriedOnlyWhenOptedIn) {
+  int calls = 0;
+  auto corrupt_once = [&] {
+    return ++calls == 1 ? Status::Corruption("wire flip") : Status::OK();
+  };
+
+  RetryOptions opts;  // default: corruption is terminal.
+  EXPECT_TRUE(RetryWithBackoff(opts, corrupt_once).IsCorruption());
+
+  calls = 0;
+  opts.retry_corruption = true;  // read path: re-read the intact record.
+  EXPECT_TRUE(RetryWithBackoff(opts, corrupt_once).ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, SleepHookDrivesManualClockThroughTheSchedule) {
+  cloud::ManualTimeSource clock;
+  RetryOptions opts;
+  opts.max_attempts = 4;
+  opts.initial_backoff_us = 1'000;
+  opts.max_backoff_us = 64'000;
+  opts.sleep = [&clock](uint64_t us) { clock.AdvanceUs(us); };
+  int calls = 0;
+  const Status s = RetryWithBackoff(opts, [&] {
+    ++calls;
+    return Status::IOError("down");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 4);
+  // Three waits: 1ms + 2ms + 4ms of virtual time, nothing real elapsed.
+  EXPECT_EQ(clock.NowUs(), 7'000u);
+}
+
+TEST(RetryTest, ResultVariantPassesValueThrough) {
+  RetryOptions opts;
+  int calls = 0;
+  auto res = RetryResultWithBackoff(opts, [&]() -> Result<int> {
+    return ++calls < 2 ? Result<int>(Status::Busy("throttled"))
+                       : Result<int>(42);
+  });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, ResultVariantSurfacesFirstErrorOnExhaustion) {
+  RetryOptions opts;
+  opts.max_attempts = 2;
+  int calls = 0;
+  auto res = RetryResultWithBackoff(opts, [&]() -> Result<int> {
+    return Status::IOError("err " + std::to_string(++calls));
+  });
+  EXPECT_TRUE(res.status().IsIOError());
+  EXPECT_NE(res.status().ToString().find("err 1"), std::string::npos);
+}
+
+TEST(RetryDeathTest, ZeroAttemptBudgetTrapsWhenDchecksOn) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RetryOptions opts;
+  opts.max_attempts = 0;
+  if (BG3_DCHECK_IS_ON()) {
+    EXPECT_DEATH((void)RetryWithBackoff(opts, [] { return Status::OK(); }),
+                 "BG3_CHECK failed");
+  } else {
+    // Release builds don't trap; the loop still runs the op at least once.
+    EXPECT_TRUE(RetryWithBackoff(opts, [] { return Status::OK(); }).ok());
+  }
 }
 
 }  // namespace

@@ -19,7 +19,9 @@
 #include "bwtree/mapping_table.h"
 #include "cloud/cloud_store.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "forest/forest.h"
+#include "test_seed.h"
 #include "gc/extent_usage.h"
 #include "gc/policy.h"
 #include "gc/space_reclaimer.h"
@@ -86,20 +88,27 @@ TEST(ForestStressTest, ConcurrentUpsertScanDeleteWithGcAndEviction) {
   constexpr int kWriters = 3;
   constexpr int kOwnersPerWriter = 4;
   constexpr int kOpsPerWriter = 300;
+  // Per-writer key/owner choices are drawn from seeded RNG streams so the
+  // op mix (not the thread interleaving) replays from the printed seed.
+  const uint64_t seed = test::AnnouncedSeed(
+      "ForestStressTest.ConcurrentUpsertScanDeleteWithGcAndEviction", 0x57E55);
   std::atomic<bool> stop{false};
   std::atomic<int> failures{0};
 
   std::vector<std::thread> threads;
   for (int w = 0; w < kWriters; ++w) {
-    threads.emplace_back([&f, &failures, w] {
+    threads.emplace_back([&f, &failures, seed, w] {
+      Random rng(seed ^ (0x9E3779B9u * (w + 1)));
       for (int i = 0; i < kOpsPerWriter; ++i) {
-        const forest::OwnerId owner = 1 + w * kOwnersPerWriter +
-                                      (i % kOwnersPerWriter);
-        const std::string key = SortKey(i % 40);  // churn -> dead records
+        const forest::OwnerId owner =
+            1 + w * kOwnersPerWriter +
+            static_cast<forest::OwnerId>(rng.Uniform(kOwnersPerWriter));
+        const std::string key =
+            SortKey(static_cast<int>(rng.Uniform(40)));  // churn -> dead records
         if (!f.forest->Upsert(owner, key, "v" + std::to_string(i)).ok()) {
           failures.fetch_add(1);
         }
-        if (i % 7 == 0 && !f.forest->Delete(owner, key).ok()) {
+        if (rng.Uniform(7) == 0 && !f.forest->Delete(owner, key).ok()) {
           failures.fetch_add(1);
         }
       }
@@ -194,17 +203,20 @@ TEST(BwTreeStressTest, ConcurrentWritersScansAndEviction) {
 
   constexpr int kWriters = 3;
   constexpr int kOps = 400;
+  const uint64_t seed = test::AnnouncedSeed(
+      "BwTreeStressTest.ConcurrentWritersScansAndEviction", 0xB7EE5);
   std::atomic<bool> stop{false};
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
   for (int w = 0; w < kWriters; ++w) {
-    threads.emplace_back([&tree, &failures, w] {
+    threads.emplace_back([&tree, &failures, seed, w] {
+      Random rng(seed ^ (0x9E3779B9u * (w + 1)));
       for (int i = 0; i < kOps; ++i) {
-        const int k = (w * 37 + i * 11) % 200;  // overlapping ranges
+        const int k = static_cast<int>(rng.Uniform(200));  // overlapping ranges
         if (!tree.Upsert(SortKey(k), "w" + std::to_string(w)).ok()) {
           failures.fetch_add(1);
         }
-        if (i % 13 == 0 && !tree.Delete(SortKey(k)).ok()) {
+        if (rng.Uniform(13) == 0 && !tree.Delete(SortKey(k)).ok()) {
           failures.fetch_add(1);
         }
       }

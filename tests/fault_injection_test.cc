@@ -1,0 +1,506 @@
+// Deterministic fault injection for the simulated cloud substrate: every
+// fault class (transient error, latency spike, torn append, corrupt read)
+// is exercised against the hardened callers — and shown to hurt when the
+// retry/degradation paths are disabled (ISSUE 2 acceptance matrix).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "cloud/cloud_store.h"
+#include "cloud/fault_injector.h"
+#include "cloud/types.h"
+#include "common/retry.h"
+#include "gc/extent_usage.h"
+#include "gc/policy.h"
+#include "gc/space_reclaimer.h"
+#include "replication/ro_node.h"
+#include "replication/rw_node.h"
+#include "wal/reader.h"
+#include "wal/record.h"
+#include "wal/writer.h"
+
+namespace bg3 {
+namespace {
+
+using cloud::CloudStore;
+using cloud::FaultClass;
+using cloud::FaultDecision;
+using cloud::FaultInjector;
+using cloud::FaultInjectorOptions;
+using cloud::FaultOp;
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+// --- injector determinism -----------------------------------------------------
+
+std::vector<std::string> DriveSchedule(uint64_t seed) {
+  FaultInjectorOptions opts;
+  opts.seed = seed;
+  opts.transient_error_p = 0.10;
+  opts.latency_spike_p = 0.10;
+  opts.torn_append_p = 0.05;
+  opts.corrupt_read_p = 0.05;
+  FaultInjector fi(opts);
+  std::vector<std::string> trace;
+  for (int i = 0; i < 400; ++i) {
+    const FaultOp op = (i % 2 == 0) ? FaultOp::kAppend : FaultOp::kRead;
+    const FaultDecision d = fi.Decide(op);
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%d:%d%d%d:%llu", i, d.fail, d.torn, d.corrupt,
+             static_cast<unsigned long long>(d.extra_latency_us));
+    trace.push_back(buf);
+  }
+  return trace;
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalSchedule) {
+  const auto a = DriveSchedule(0xDECADE);
+  const auto b = DriveSchedule(0xDECADE);
+  EXPECT_EQ(a, b) << "fault schedule must be a pure function of (seed, opts)";
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  EXPECT_NE(DriveSchedule(1), DriveSchedule(2));
+}
+
+TEST(FaultInjectorTest, ProbabilitiesActuallyFire) {
+  FaultInjectorOptions opts;
+  opts.transient_error_p = 0.5;
+  FaultInjector fi(opts);
+  for (int i = 0; i < 200; ++i) fi.Decide(FaultOp::kAppend);
+  EXPECT_GT(fi.stats().transient_errors.Get(), 0u) << fi.ToString();
+  EXPECT_EQ(fi.stats().torn_appends.Get(), 0u);
+}
+
+TEST(FaultInjectorTest, ArmedFaultFiresExactlyOnceAtIndex) {
+  FaultInjector fi;  // all probabilities zero: only the armed fault fires.
+  fi.Arm(FaultOp::kRead, FaultClass::kTransientError, /*at_index=*/2);
+  EXPECT_FALSE(fi.Decide(FaultOp::kRead).Any());
+  EXPECT_FALSE(fi.Decide(FaultOp::kRead).Any());
+  EXPECT_TRUE(fi.Decide(FaultOp::kRead).fail);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fi.Decide(FaultOp::kRead).Any()) << "must disarm after firing";
+  }
+  EXPECT_EQ(fi.stats().Total(), 1u);
+}
+
+TEST(FaultInjectorTest, ArmNextTargetsOnlyItsOpType) {
+  FaultInjector fi;
+  fi.ArmNext(FaultOp::kFreeExtent, FaultClass::kTransientError);
+  EXPECT_FALSE(fi.Decide(FaultOp::kAppend).Any());
+  EXPECT_FALSE(fi.Decide(FaultOp::kRead).Any());
+  EXPECT_TRUE(fi.Decide(FaultOp::kFreeExtent).fail);
+  EXPECT_EQ(fi.OpCount(FaultOp::kFreeExtent), 1u);
+}
+
+// --- store-level semantics per fault class ------------------------------------
+
+struct StoreFixture {
+  StoreFixture() {
+    store = std::make_unique<CloudStore>();
+    stream = store->CreateStream("data");
+    store->SetFaultInjector(&fi);
+  }
+  std::unique_ptr<CloudStore> store;
+  cloud::StreamId stream = 0;
+  FaultInjector fi;
+};
+
+TEST(CloudFaultTest, DefaultStoreReportsZeroInjectedFaults) {
+  CloudStore store;  // no injector attached: the bench configuration.
+  const auto s = store.CreateStream("s");
+  ASSERT_TRUE(store.Append(s, "hello").ok());
+  ASSERT_TRUE(store.Append(s, "world").ok());
+  EXPECT_EQ(store.stats().injected_faults.Get(), 0u);
+  EXPECT_EQ(store.stats().retries.Get(), 0u);
+  EXPECT_NE(store.stats().ToString().find("injected_faults=0"),
+            std::string::npos)
+      << store.stats().ToString();
+}
+
+TEST(CloudFaultTest, TransientAppendFailsBareSucceedsUnderRetry) {
+  StoreFixture f;
+  // Bare call (a retries-disabled caller): the injected fault surfaces.
+  f.fi.ArmNext(FaultOp::kAppend, FaultClass::kTransientError);
+  EXPECT_TRUE(f.store->Append(f.stream, "rec").status().IsIOError());
+  EXPECT_EQ(f.store->stats().injected_faults.Get(), 1u);
+
+  // Same fault under the shared retry wrapper: absorbed.
+  f.fi.ArmNext(FaultOp::kAppend, FaultClass::kTransientError);
+  RetryOptions retry;
+  retry.retries = &f.store->stats().retries;
+  auto res = RetryResultWithBackoff(
+      retry, [&] { return f.store->Append(f.stream, "rec"); });
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GT(f.store->stats().retries.Get(), 0u);
+}
+
+TEST(CloudFaultTest, LatencySpikeInflatesReportedLatency) {
+  StoreFixture f;
+  uint64_t base_us = 0;
+  ASSERT_TRUE(f.store->Append(f.stream, "baseline", &base_us).ok());
+
+  f.fi.ArmNext(FaultOp::kAppend, FaultClass::kLatencySpike);
+  uint64_t spiked_us = 0;
+  ASSERT_TRUE(f.store->Append(f.stream, "baseline", &spiked_us).ok());
+  // The model's own latency may jitter between calls; the spike dominates.
+  EXPECT_GE(spiked_us, f.fi.options().latency_spike_us);
+  EXPECT_GT(spiked_us, base_us);
+  EXPECT_EQ(f.fi.stats().latency_spikes.Get(), 1u);
+}
+
+TEST(CloudFaultTest, TornAppendIsInvisibleToTailReaders) {
+  StoreFixture f;
+  ASSERT_TRUE(f.store->Append(f.stream, "first").ok());
+  f.fi.ArmNext(FaultOp::kAppend, FaultClass::kTornAppend);
+  EXPECT_TRUE(f.store->Append(f.stream, "torn-victim").status().IsIOError());
+  ASSERT_TRUE(f.store->Append(f.stream, "third").ok());
+
+  // The torn record physically landed but fails its CRC: tailing skips it,
+  // exactly as if it had never been durably written.
+  auto tail = f.store->TailRecords(f.stream, cloud::PagePointer(), 100);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail.value().size(), 2u);
+  EXPECT_EQ(tail.value()[0].second, "first");
+  EXPECT_EQ(tail.value()[1].second, "third");
+}
+
+TEST(CloudFaultTest, CorruptReadKeepsDataIntactAndRetriesHeal) {
+  StoreFixture f;
+  auto ptr = f.store->Append(f.stream, "payload");
+  ASSERT_TRUE(ptr.ok());
+
+  // Bare read sees the injected checksum mismatch.
+  f.fi.ArmNext(FaultOp::kRead, FaultClass::kCorruptRead);
+  EXPECT_TRUE(f.store->Read(ptr.value()).status().IsCorruption());
+
+  // A read-path retry policy (retry_corruption=true: the flip happened on
+  // the wire) re-reads the intact record.
+  f.fi.ArmNext(FaultOp::kRead, FaultClass::kCorruptRead);
+  RetryOptions retry;
+  retry.retry_corruption = true;
+  auto res =
+      RetryResultWithBackoff(retry, [&] { return f.store->Read(ptr.value()); });
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value(), "payload");
+}
+
+TEST(CloudFaultTest, ManifestGetFaultSurfacesAsIOError) {
+  StoreFixture f;
+  f.store->ManifestPut("route", "v1");
+  f.fi.ArmNext(FaultOp::kManifestGet, FaultClass::kTransientError);
+  EXPECT_TRUE(f.store->ManifestGet("route").status().IsIOError());
+  EXPECT_EQ(f.store->ManifestGet("route").value(), "v1");
+}
+
+// --- WAL writer hardening -----------------------------------------------------
+
+wal::WalRecord Mutation(bwtree::Lsn lsn, const std::string& key,
+                        const std::string& value) {
+  wal::WalRecord r;
+  r.type = wal::WalRecord::Type::kMutation;
+  r.tree_id = 1;
+  r.page_id = 7;
+  r.lsn = lsn;
+  r.entry = {bwtree::DeltaOp::kUpsert, key, value};
+  return r;
+}
+
+TEST(WalFaultTest, TransientFaultFailsWriterWithoutRetries) {
+  StoreFixture f;
+  wal::WalWriterOptions w;
+  w.stream = f.stream;
+  w.retry.max_attempts = 1;  // retries disabled.
+  wal::WalWriter writer(f.store.get(), w);
+
+  f.fi.ArmNext(FaultOp::kAppend, FaultClass::kTransientError);
+  EXPECT_TRUE(writer.Append(Mutation(1, "a", "1")).IsIOError());
+
+  // Nothing acked was dropped: the record stayed buffered and the next
+  // flush (fault-free) publishes exactly one copy.
+  ASSERT_TRUE(writer.Flush().ok());
+  wal::WalReader reader(f.store.get(), f.stream);
+  auto records = reader.Poll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].entry.key, "a");
+}
+
+TEST(WalFaultTest, TransientFaultAbsorbedWithRetries) {
+  StoreFixture f;
+  wal::WalWriterOptions w;
+  w.stream = f.stream;
+  wal::WalWriter writer(f.store.get(), w);
+
+  f.fi.ArmNext(FaultOp::kAppend, FaultClass::kTransientError);
+  EXPECT_TRUE(writer.Append(Mutation(1, "a", "1")).ok());
+  EXPECT_GT(f.store->stats().retries.Get(), 0u);
+  EXPECT_EQ(f.store->stats().retry_exhausted.Get(), 0u);
+}
+
+TEST(WalFaultTest, TornAppendRepairedByRetryWithoutDuplicates) {
+  StoreFixture f;
+  wal::WalWriterOptions w;
+  w.stream = f.stream;
+  wal::WalWriter writer(f.store.get(), w);
+
+  ASSERT_TRUE(writer.Append(Mutation(1, "a", "1")).ok());
+  f.fi.ArmNext(FaultOp::kAppend, FaultClass::kTornAppend);
+  ASSERT_TRUE(writer.Append(Mutation(2, "b", "2")).ok());
+  ASSERT_TRUE(writer.Append(Mutation(3, "c", "3")).ok());
+  EXPECT_EQ(f.fi.stats().torn_appends.Get(), 1u);
+
+  // The damaged batch copy fails its CRC and is skipped; the retried copy
+  // is the only one a reader sees — no loss, no duplication.
+  wal::WalReader reader(f.store.get(), f.stream);
+  auto records = reader.Poll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  EXPECT_EQ(records.value()[0].lsn, 1u);
+  EXPECT_EQ(records.value()[1].lsn, 2u);
+  EXPECT_EQ(records.value()[2].lsn, 3u);
+}
+
+TEST(WalFaultTest, TornAppendLosesBatchWithoutRetries) {
+  StoreFixture f;
+  wal::WalWriterOptions w;
+  w.stream = f.stream;
+  w.retry.max_attempts = 1;
+  wal::WalWriter writer(f.store.get(), w);
+
+  f.fi.ArmNext(FaultOp::kAppend, FaultClass::kTornAppend);
+  // The append surfaces the tear instead of silently publishing garbage…
+  EXPECT_TRUE(writer.Append(Mutation(1, "a", "1")).IsIOError());
+  // …and until the writer flushes again, readers see nothing at all: a
+  // crash in this window is the data-loss scenario the recovery matrix
+  // pins down (RecoveryFaultMatrixTest).
+  wal::WalReader reader(f.store.get(), f.stream);
+  auto records = reader.Poll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
+// --- Bw-tree read path --------------------------------------------------------
+
+struct TreeFixture {
+  explicit TreeFixture(int max_attempts) {
+    store = std::make_unique<CloudStore>();
+    store->SetFaultInjector(&fi);
+    bwtree::BwTreeOptions opts;
+    opts.tree_id = 1;
+    opts.base_stream = store->CreateStream("base");
+    opts.delta_stream = store->CreateStream("delta");
+    opts.read_cache = bwtree::ReadCacheMode::kNone;  // every Get hits storage.
+    opts.retry.max_attempts = max_attempts;
+    tree = std::make_unique<bwtree::BwTree>(store.get(), opts);
+  }
+  std::unique_ptr<CloudStore> store;
+  FaultInjector fi;
+  std::unique_ptr<bwtree::BwTree> tree;
+};
+
+TEST(BwTreeFaultTest, CorruptReadFailsGetWithoutRetries) {
+  TreeFixture f(/*max_attempts=*/1);
+  ASSERT_TRUE(f.tree->Upsert("k", "v").ok());
+  f.fi.ArmNext(FaultOp::kRead, FaultClass::kCorruptRead);
+  EXPECT_TRUE(f.tree->Get("k").status().IsCorruption());
+}
+
+TEST(BwTreeFaultTest, CorruptReadHealedByReadRetry) {
+  TreeFixture f(/*max_attempts=*/4);
+  ASSERT_TRUE(f.tree->Upsert("k", "v").ok());
+  f.fi.ArmNext(FaultOp::kRead, FaultClass::kCorruptRead);
+  auto got = f.tree->Get("k");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), "v");
+  EXPECT_GT(f.store->stats().retries.Get(), 0u);
+}
+
+TEST(BwTreeFaultTest, TransientReadFaultHealedByRetry) {
+  TreeFixture f(/*max_attempts=*/4);
+  ASSERT_TRUE(f.tree->Upsert("k", "v").ok());
+  f.fi.ArmNext(FaultOp::kRead, FaultClass::kTransientError);
+  auto got = f.tree->Get("k");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), "v");
+}
+
+// --- RO node degradation ------------------------------------------------------
+
+struct RoFixture {
+  explicit RoFixture(int ro_max_attempts) {
+    store = std::make_unique<CloudStore>();
+    store->SetFaultInjector(&fi);
+    rw_opts.tree.tree_id = 1;
+    rw_opts.tree.base_stream = store->CreateStream("base");
+    rw_opts.tree.delta_stream = store->CreateStream("delta");
+    rw_opts.wal.stream = store->CreateStream("wal");
+    rw = std::make_unique<replication::RwNode>(store.get(), rw_opts);
+    ro_opts.wal_stream = rw_opts.wal.stream;
+    ro_opts.retry.max_attempts = ro_max_attempts;
+    ro = std::make_unique<replication::RoNode>(store.get(), ro_opts);
+  }
+  std::unique_ptr<CloudStore> store;
+  FaultInjector fi;
+  replication::RwNodeOptions rw_opts;
+  replication::RoNodeOptions ro_opts;
+  std::unique_ptr<replication::RwNode> rw;
+  std::unique_ptr<replication::RoNode> ro;
+};
+
+TEST(RoFaultTest, TailFaultDegradesToStaleReadThenCatchesUp) {
+  RoFixture f(/*ro_max_attempts=*/1);  // degradation path, no retries.
+  ASSERT_TRUE(f.rw->Put("k", "v1").ok());
+  EXPECT_EQ(f.ro->Get(1, "k").value(), "v1");
+
+  ASSERT_TRUE(f.rw->Put("k", "v2").ok());
+  f.fi.ArmNext(FaultOp::kTail, FaultClass::kTransientError);
+  // The poll budget runs dry: the node serves its last consistent state
+  // instead of failing the read, and records the degradation.
+  EXPECT_EQ(f.ro->Get(1, "k").value(), "v1");
+  EXPECT_EQ(f.ro->stats().poll_degraded.Get(), 1u);
+
+  // Substrate healthy again: the node catches up on the next poll.
+  EXPECT_EQ(f.ro->Get(1, "k").value(), "v2");
+}
+
+TEST(RoFaultTest, TailFaultAbsorbedByRetryStaysConsistent) {
+  RoFixture f(/*ro_max_attempts=*/4);
+  ASSERT_TRUE(f.rw->Put("k", "v1").ok());
+  EXPECT_EQ(f.ro->Get(1, "k").value(), "v1");
+
+  ASSERT_TRUE(f.rw->Put("k", "v2").ok());
+  f.fi.ArmNext(FaultOp::kTail, FaultClass::kTransientError);
+  EXPECT_EQ(f.ro->Get(1, "k").value(), "v2");
+  EXPECT_EQ(f.ro->stats().poll_degraded.Get(), 0u);
+  EXPECT_GT(f.store->stats().retries.Get(), 0u);
+}
+
+// --- GC deferral --------------------------------------------------------------
+
+struct GcFixture {
+  explicit GcFixture(int max_attempts) {
+    cloud::CloudStoreOptions store_opts;
+    store_opts.extent_capacity = 256;  // a few records seal an extent.
+    store = std::make_unique<CloudStore>(store_opts);
+    store->SetFaultInjector(&fi);
+    stream = store->CreateStream("ttl-data");
+    tracker = std::make_unique<gc::ExtentUsageTracker>(&clock);
+    store->SetObserver(tracker.get());
+
+    // The resolver is never consulted: TTL expiry frees extents in place.
+    tree_opts.tree_id = 99;
+    tree_opts.base_stream = store->CreateStream("unused-base");
+    tree_opts.delta_stream = store->CreateStream("unused-delta");
+    tree = std::make_unique<bwtree::BwTree>(store.get(), tree_opts);
+    resolver = std::make_unique<gc::SingleTreeResolver>(tree.get());
+
+    gc::ReclaimOptions opts;
+    opts.ttl_us = 1'000;
+    opts.retry.max_attempts = max_attempts;
+    reclaimer = std::make_unique<gc::SpaceReclaimer>(
+        store.get(), resolver.get(), &policy, tracker.get(), opts);
+  }
+
+  void FillAndExpire() {
+    const std::string payload(100, 'x');
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(store->Append(stream, payload).ok());
+    }
+    ASSERT_GE(store->SealedExtentStats(stream).size(), 2u);
+    clock.AdvanceUs(10'000'000);  // every sealed extent is past its TTL.
+  }
+
+  cloud::ManualTimeSource clock;
+  std::unique_ptr<CloudStore> store;
+  FaultInjector fi;
+  cloud::StreamId stream = 0;
+  std::unique_ptr<gc::ExtentUsageTracker> tracker;
+  bwtree::BwTreeOptions tree_opts;
+  std::unique_ptr<bwtree::BwTree> tree;
+  std::unique_ptr<gc::SingleTreeResolver> resolver;
+  gc::FifoPolicy policy;
+  std::unique_ptr<gc::SpaceReclaimer> reclaimer;
+};
+
+TEST(GcFaultTest, FreeExtentFaultDefersVictimToNextCycle) {
+  GcFixture f(/*max_attempts=*/1);
+  f.FillAndExpire();
+  const size_t sealed = f.store->SealedExtentStats(f.stream).size();
+
+  f.fi.ArmNext(FaultOp::kFreeExtent, FaultClass::kTransientError);
+  auto cycle = f.reclaimer->RunCycle(f.stream, 100);
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  EXPECT_EQ(cycle.value().extents_deferred, 1u);
+  EXPECT_EQ(cycle.value().extents_expired, sealed - 1);
+  // The deferred extent survived this cycle…
+  EXPECT_EQ(f.store->SealedExtentStats(f.stream).size(), 1u);
+
+  // …and the next (fault-free) cycle reclaims it.
+  auto next = f.reclaimer->RunCycle(f.stream, 100);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().extents_expired, 1u);
+  EXPECT_EQ(next.value().extents_deferred, 0u);
+  EXPECT_TRUE(f.store->SealedExtentStats(f.stream).empty());
+}
+
+TEST(GcFaultTest, FreeExtentFaultAbsorbedByRetry) {
+  GcFixture f(/*max_attempts=*/4);
+  f.FillAndExpire();
+  const size_t sealed = f.store->SealedExtentStats(f.stream).size();
+
+  f.fi.ArmNext(FaultOp::kFreeExtent, FaultClass::kTransientError);
+  auto cycle = f.reclaimer->RunCycle(f.stream, 100);
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  EXPECT_EQ(cycle.value().extents_deferred, 0u);
+  EXPECT_EQ(cycle.value().extents_expired, sealed);
+  EXPECT_GT(f.store->stats().retries.Get(), 0u);
+  EXPECT_TRUE(f.store->SealedExtentStats(f.stream).empty());
+}
+
+// --- probability-driven soak: the whole stack rides out a noisy substrate ----
+
+TEST(FaultSoakTest, RwRoPipelineSurvivesProbabilisticFaults) {
+  FaultInjectorOptions fopts;
+  fopts.seed = 0xB63B63;
+  fopts.transient_error_p = 0.02;
+  fopts.corrupt_read_p = 0.02;
+  fopts.torn_append_p = 0.01;
+  FaultInjector fi(fopts);
+
+  auto store = std::make_unique<CloudStore>();
+  store->SetFaultInjector(&fi);
+  replication::RwNodeOptions rw_opts;
+  rw_opts.tree.tree_id = 1;
+  rw_opts.tree.base_stream = store->CreateStream("base");
+  rw_opts.tree.delta_stream = store->CreateStream("delta");
+  rw_opts.wal.stream = store->CreateStream("wal");
+  rw_opts.flush_group_pages = 8;
+  replication::RwNode rw(store.get(), rw_opts);
+  replication::RoNodeOptions ro_opts;
+  ro_opts.wal_stream = rw_opts.wal.stream;
+  replication::RoNode ro(store.get(), ro_opts);
+
+  // Default 4-attempt budgets make exhaustion (0.02^4) vanishingly rare;
+  // the run must stay strongly consistent end to end.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(rw.Put(Key(i), "v" + std::to_string(i)).ok())
+        << "i=" << i << " " << fi.ToString();
+    ASSERT_EQ(ro.Get(1, Key(i)).value(), "v" + std::to_string(i))
+        << "i=" << i << " " << fi.ToString();
+  }
+  EXPECT_GT(store->stats().injected_faults.Get(), 0u) << fi.ToString();
+  EXPECT_EQ(store->stats().retry_exhausted.Get(), 0u) << fi.ToString();
+  EXPECT_EQ(ro.stats().poll_degraded.Get(), 0u) << fi.ToString();
+}
+
+}  // namespace
+}  // namespace bg3

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "cloud/cloud_store.h"
+#include "cloud/fault_injector.h"
 #include "replication/ro_node.h"
 #include "replication/rw_node.h"
+#include "test_seed.h"
 
 namespace bg3::replication {
 namespace {
@@ -138,6 +141,127 @@ TEST(RecoveryTest, DoubleCrashDoubleRecover) {
   ASSERT_TRUE(f.Recover().ok());
   for (int i = 0; i < 100; ++i) EXPECT_EQ(f.rw->Get(Key(i)).value(), "a");
   for (int i = 100; i < 200; ++i) EXPECT_EQ(f.rw->Get(Key(i)).value(), "b");
+}
+
+// --- fault matrix: crash + recover under each substrate failure mode ---------
+//
+// Every write the node acknowledged before the crash must be served after
+// recovery, with the fault injector attached the whole time (writes, crash,
+// recovery, verification). Default retry budgets absorb the injected
+// faults; the seed is printed so any failure replays exactly.
+
+class RecoveryFaultMatrixTest
+    : public ::testing::TestWithParam<cloud::FaultClass> {};
+
+cloud::FaultInjectorOptions MatrixOptions(cloud::FaultClass cls,
+                                          uint64_t seed) {
+  cloud::FaultInjectorOptions fopts;
+  fopts.seed = seed;
+  switch (cls) {
+    case cloud::FaultClass::kTransientError:
+      fopts.transient_error_p = 0.03;
+      break;
+    case cloud::FaultClass::kLatencySpike:
+      fopts.latency_spike_p = 0.20;
+      break;
+    case cloud::FaultClass::kTornAppend:
+      fopts.torn_append_p = 0.03;
+      break;
+    case cloud::FaultClass::kCorruptRead:
+      fopts.corrupt_read_p = 0.03;
+      break;
+  }
+  return fopts;
+}
+
+TEST_P(RecoveryFaultMatrixTest, NoAcknowledgedWriteLost) {
+  const cloud::FaultClass cls = GetParam();
+  const std::string name =
+      std::string("RecoveryFaultMatrix/") + cloud::FaultClassName(cls);
+  cloud::FaultInjector fi(MatrixOptions(
+      cls,
+      test::AnnouncedSeed(name.c_str(),
+                          0xFA0175 + static_cast<uint64_t>(cls))));
+  CrashFixture f;
+  f.store->SetFaultInjector(&fi);
+
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(f.rw->Put(Key(i), "v" + std::to_string(i)).ok())
+        << "i=" << i << " " << fi.ToString();
+  }
+  f.Crash();
+  ASSERT_TRUE(f.Recover().ok()) << fi.ToString();
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(f.rw->Get(Key(i)).value(), "v" + std::to_string(i))
+        << "i=" << i << " " << fi.ToString();
+  }
+  // An RO follower converges on the same recovered state.
+  RoNodeOptions ro_opts;
+  ro_opts.wal_stream = f.rw_opts.wal.stream;
+  RoNode ro(f.store.get(), ro_opts);
+  for (int i = 0; i < 300; i += 7) {
+    EXPECT_EQ(ro.Get(1, Key(i)).value(), "v" + std::to_string(i))
+        << "i=" << i << " " << fi.ToString();
+  }
+  EXPECT_GT(f.store->stats().injected_faults.Get(), 0u)
+      << "matrix must actually exercise " << cloud::FaultClassName(cls);
+  EXPECT_EQ(f.store->stats().retry_exhausted.Get(), 0u) << fi.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultClasses, RecoveryFaultMatrixTest,
+    ::testing::Values(cloud::FaultClass::kTransientError,
+                      cloud::FaultClass::kLatencySpike,
+                      cloud::FaultClass::kTornAppend,
+                      cloud::FaultClass::kCorruptRead),
+    [](const ::testing::TestParamInfo<cloud::FaultClass>& info) {
+      return cloud::FaultClassName(info.param);
+    });
+
+// The acceptance counter-example: with WAL retries disabled, a torn append
+// silently turns an *acknowledged* write into a buffered-only write — a
+// crash in that window loses it. The identical schedule with default
+// retries loses nothing.
+TEST(RecoveryFaultTest, TornWalAppendPlusCrashLosesAckedWriteWithoutRetries) {
+  for (const bool retries_enabled : {false, true}) {
+    cloud::FaultInjector fi;
+    auto store = std::make_unique<cloud::CloudStore>();
+    RwNodeOptions opts;
+    opts.tree.tree_id = 1;
+    opts.tree.base_stream = store->CreateStream("base");
+    opts.tree.delta_stream = store->CreateStream("delta");
+    opts.wal.stream = store->CreateStream("wal");
+    // Durability rests on the WAL alone: no group flush ever triggers.
+    opts.flush_group_pages = 1'000'000;
+    opts.flush_group_mutations = 1'000'000'000;
+    if (!retries_enabled) opts.wal.retry.max_attempts = 1;
+    auto rw = std::make_unique<RwNode>(store.get(), opts);
+    store->SetFaultInjector(&fi);
+
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(rw->Put(Key(i), "durable").ok());
+    }
+    fi.ArmNext(cloud::FaultOp::kAppend, cloud::FaultClass::kTornAppend);
+    // The node acknowledges the write either way: the WAL listener keeps a
+    // failed batch buffered for the next flush rather than failing the Put.
+    ASSERT_TRUE(rw->Put(Key(10), "acked").ok());
+
+    rw.reset();  // crash: the buffered (torn, un-retried) batch is gone.
+    auto recovered = RwNode::Recover(store.get(), opts);
+    ASSERT_TRUE(recovered.ok());
+    rw = recovered.take();
+
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(rw->Get(Key(i)).value(), "durable") << i;
+    }
+    if (retries_enabled) {
+      EXPECT_EQ(rw->Get(Key(10)).value(), "acked")
+          << "the retried append must make the acked write durable";
+    } else {
+      EXPECT_TRUE(rw->Get(Key(10)).status().IsNotFound())
+          << "without retries the acked write must be demonstrably lost";
+    }
+  }
 }
 
 TEST(RecoveryTest, RecoverEmptyWalFails) {

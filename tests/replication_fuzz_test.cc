@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "replication/ro_node.h"
 #include "replication/rw_node.h"
+#include "test_seed.h"
 
 namespace bg3::replication {
 namespace {
@@ -54,7 +55,10 @@ TEST_P(ReplicationFuzzTest, RoAlwaysMatchesModel) {
   RoNode ro(&store, ro_opts);
 
   std::map<std::string, std::string> model;
-  Random rng(p.seed);
+  // BG3_TEST_SEED replays a failing schedule (combine with --gtest_filter
+  // to pin the non-seed parameters of the failing instantiation).
+  Random rng(test::AnnouncedSeed("ReplicationFuzzTest.RoAlwaysMatchesModel",
+                                 p.seed));
   auto key_of = [](uint64_t k) {
     char buf[16];
     snprintf(buf, sizeof(buf), "k%06llu", static_cast<unsigned long long>(k));

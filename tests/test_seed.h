@@ -1,0 +1,32 @@
+#ifndef BG3_TESTS_TEST_SEED_H_
+#define BG3_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bg3::test {
+
+/// Returns the test's RNG seed — `BG3_TEST_SEED` from the environment if
+/// set (decimal or 0x-hex), else `default_seed` — and prints a replay line
+/// to stderr so any failing log carries the exact recipe to reproduce it:
+///
+///   [bg3] <name> seed=12345 (BG3_TEST_SEED=12345 replays this run)
+///
+/// Randomized tests call this once per test (or per parameter) and derive
+/// every Random they use from the returned value.
+inline uint64_t AnnouncedSeed(const char* name, uint64_t default_seed) {
+  uint64_t seed = default_seed;
+  if (const char* env = std::getenv("BG3_TEST_SEED")) {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  std::fprintf(stderr,
+               "[bg3] %s seed=%llu (BG3_TEST_SEED=%llu replays this run)\n",
+               name, static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(seed));
+  return seed;
+}
+
+}  // namespace bg3::test
+
+#endif  // BG3_TESTS_TEST_SEED_H_
