@@ -78,10 +78,14 @@ int main() {
 
   printf("%18s %20s %12s\n", "resident budget", "storage reads/query",
          "memory(MB)");
+  bench::BenchReport report("ablation_cache");
   for (double fraction : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
     const Point p = Run(fraction);
     printf("%17.0f%% %20.3f %12.1f\n", fraction * 100, p.reads_per_query,
            p.mem_mb);
+    report.AddRow("cache_budget", std::to_string(fraction))
+        .Num("reads_per_query", p.reads_per_query)
+        .Num("memory_mb", p.mem_mb);
     fflush(stdout);
   }
   bench::Note("Zipf(0.9) reads: a small resident budget already absorbs the "

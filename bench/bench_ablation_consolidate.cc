@@ -75,12 +75,19 @@ int main() {
          "read-optimized (BG3)");
   printf("%10s | %16s %16s | %16s %16s\n", "threshold", "reads/query",
          "bytes/write", "reads/query", "bytes/write");
+  bench::BenchReport report("ablation_consolidate");
   for (uint32_t threshold : {2u, 5u, 10u, 20u, 50u}) {
     const Point t = Run(DeltaMode::kTraditional, threshold);
     const Point r = Run(DeltaMode::kReadOptimized, threshold);
     printf("%10u | %16.2f %16.0f | %16.2f %16.0f\n", threshold,
            t.reads_per_query, t.bytes_per_write, r.reads_per_query,
            r.bytes_per_write);
+    report.AddRow("traditional", std::to_string(threshold))
+        .Num("reads_per_query", t.reads_per_query)
+        .Num("bytes_per_write", t.bytes_per_write);
+    report.AddRow("read_optimized", std::to_string(threshold))
+        .Num("reads_per_query", r.reads_per_query)
+        .Num("bytes_per_write", r.bytes_per_write);
     fflush(stdout);
   }
   bench::Note("read-optimized holds reads/query <= 2 at any threshold; the "

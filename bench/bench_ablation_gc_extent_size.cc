@@ -61,10 +61,15 @@ int main() {
 
   printf("%12s %12s %12s %14s\n", "extent", "moved(MB)", "freed(MB)",
          "moved/freed");
+  bench::BenchReport report("ablation_gc_extent_size");
   for (size_t cap : {16ul << 10, 64ul << 10, 256ul << 10, 1ul << 20}) {
     const Point p = Run(cap);
     printf("%10zuKB %12.2f %12.2f %14.3f\n", cap >> 10, p.moved_mb, p.freed_mb,
            p.move_ratio);
+    report.AddRow("extent_size", std::to_string(cap >> 10) + "KB")
+        .Num("moved_mb", p.moved_mb)
+        .Num("freed_mb", p.freed_mb)
+        .Num("move_ratio", p.move_ratio);
     fflush(stdout);
   }
   bench::Note("smaller extents free more space per moved byte (finer "

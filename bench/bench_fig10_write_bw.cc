@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   bench::Banner("Figure 10 — write bandwidth, write-only power-law (§4.3.1)",
                 "SLED 64.5MB vs BG3 70MB at 20K ops (+9.3%, all sequential "
                 "appends); counters MB_written / bytes_per_op below");
+  bench::BenchReport report("fig10_write_bw");
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();

@@ -116,6 +116,7 @@ int main() {
 
   printf("%10s %14s %10s %14s %12s\n", "#bw-trees", "1-thr QPS", "s-mass",
          "modeled-QPS", "memory(MB)");
+  bench::BenchReport report("fig11_forest");
   double first_qps = 0, first_mem = 0;
   for (size_t trees : {1ul, 64ul, 100'000ul, 1'000'000ul}) {
     const RunResult r = RunForest(trees);
@@ -127,6 +128,11 @@ int main() {
            bench::Qps(r.single_thread_qps).c_str(), r.serialization_mass,
            bench::Qps(r.modeled_qps).c_str(), r.mem_mb,
            r.modeled_qps / first_qps, r.mem_mb / first_mem);
+    report.AddRow("scaling", std::to_string(trees))
+        .Num("single_thread_qps", r.single_thread_qps)
+        .Num("serialization_mass", r.serialization_mass)
+        .Num("modeled_qps", r.modeled_qps)
+        .Num("memory_mb", r.mem_mb);
     fflush(stdout);
   }
   bench::Note(

@@ -73,10 +73,14 @@ int main() {
                 "BG3 WAL sync: 1.00 at any loss rate");
 
   printf("%-10s %-24s %-18s\n", "loss", "ByteGraph(forwarding)", "BG3(WAL)");
+  bench::BenchReport report("fig12_recall");
   const double bg3_recall = WalRecall();  // network loss cannot affect it
   for (double loss : {0.01, 0.02, 0.05, 0.08, 0.10}) {
-    printf("%8.0f%% %-24.4f %-18.4f\n", loss * 100, ForwardingRecall(loss),
-           bg3_recall);
+    const double fwd = ForwardingRecall(loss);
+    printf("%8.0f%% %-24.4f %-18.4f\n", loss * 100, fwd, bg3_recall);
+    report.AddRow("recall", std::to_string(loss))
+        .Num("bytegraph_forwarding", fwd)
+        .Num("bg3_wal", bg3_recall);
   }
   return 0;
 }

@@ -79,8 +79,13 @@ int main() {
 
   printf("%12s %10s %10s %10s\n", "write-QPS", "mean(ms)", "p50(ms)",
          "p99(ms)");
+  bench::BenchReport report("fig13_sync_latency");
   for (uint64_t qps : {10'000, 20'000, 30'000, 40'000, 50'000, 60'000}) {
     const LatencyPoint p = RunAtLoad(qps);
+    report.AddRow("sync_latency", std::to_string(qps))
+        .Num("mean_ms", p.mean_ms)
+        .Num("p50_ms", p.p50_ms)
+        .Num("p99_ms", p.p99_ms);
     printf("%12llu %10.1f %10.1f %10.1f\n", (unsigned long long)qps, p.mean_ms,
            p.p50_ms, p.p99_ms);
     fflush(stdout);

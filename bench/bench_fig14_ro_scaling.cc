@@ -118,6 +118,7 @@ int main() {
 
   printf("%12s %14s %16s %14s\n", "followers", "aggregate-QPS",
          "per-follower-QPS", "sync-lat(ms)");
+  bench::BenchReport report("fig14_ro_scaling");
   double first = 0;
   for (int followers : {1, 2, 4}) {
     const ScalePoint p = RunWithFollowers(followers);
@@ -126,6 +127,10 @@ int main() {
            bench::Qps(p.aggregate_qps).c_str(),
            bench::Qps(p.per_follower_qps).c_str(), p.sync_ms,
            p.aggregate_qps / first);
+    report.AddRow("ro_scaling", std::to_string(followers))
+        .Num("aggregate_qps", p.aggregate_qps)
+        .Num("per_follower_qps", p.per_follower_qps)
+        .Num("sync_ms", p.sync_ms);
     fflush(stdout);
   }
   bench::Note(

@@ -158,6 +158,7 @@ int main(int argc, char** argv) {
       "BG3 >= ByteGraph (1.68x/2.68x/4.06x at best), both >> conventional "
       "engine (17x-115x); near-linear scaling with cores and nodes");
 
+  bench::BenchReport report("fig8_overall");
   printf("\n-- vertical scaling: one machine, 4 -> 16 worker threads --\n");
   printf("%-18s %-18s %8s %8s %8s\n", "system", "workload", "4thr", "8thr",
          "16thr");
@@ -165,9 +166,12 @@ int main(int argc, char** argv) {
     for (System sys :
          {System::kBg3, System::kByteGraph, System::kRefStore}) {
       printf("%-18s %-18s", Name(sys), Name(wl));
+      auto& row = report.AddRow("vertical",
+                                std::string(Name(sys)) + "/" + Name(wl));
       for (int threads : {4, 8, 16}) {
         const double qps = RunOne(sys, wl, threads, 1, OpsFor(sys) / threads);
         printf(" %8s", bench::Qps(qps).c_str());
+        row.Num("qps_" + std::to_string(threads) + "thr", qps);
       }
       printf("\n");
       fflush(stdout);
@@ -180,9 +184,12 @@ int main(int argc, char** argv) {
   for (Wl wl : {Wl::kFollow, Wl::kRisk, Wl::kRecommend}) {
     for (System sys : {System::kBg3, System::kByteGraph}) {
       printf("%-18s %-18s", Name(sys), Name(wl));
+      auto& row = report.AddRow("horizontal",
+                                std::string(Name(sys)) + "/" + Name(wl));
       for (int nodes : {2, 4, 6, 8, 10}) {
         const double qps = RunOne(sys, wl, 16, nodes, OpsFor(sys) / 16);
         printf(" %8s", bench::Qps(qps).c_str());
+        row.Num("qps_" + std::to_string(nodes) + "n", qps);
       }
       printf("\n");
       fflush(stdout);

@@ -87,6 +87,7 @@ int main(int argc, char** argv) {
   bench::Banner("Figure 9 — read amplification, zero cache (§4.3.1)",
                 "SLED 3.87x vs BG3 2.4x storage reads per entry query "
                 "(-36.8%); counter storage_reads_per_query below");
+  bench::BenchReport report("fig9_read_amp");
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();

@@ -151,6 +151,7 @@ int main(int argc, char** argv) {
       "point gets: LSM stays competitive thanks to in-memory blooms, but "
       "range scans (the adjacency-list op graph workloads live on) must "
       "merge every LSM level, vs one leaf visit on the Bw-tree");
+  bench::BenchReport report("lsm_vs_bwtree");
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();

@@ -18,6 +18,7 @@ int main() {
                 "BG3 saves ~80% of storage cost vs ByteGraph across the "
                 "three workloads (write amplification + cheaper bytes)");
 
+  bench::BenchReport report("storage_cost");
   constexpr int kUsers = 2'000;
   constexpr int kRounds = 40;
   constexpr int kEdgesPerRound = 2'000;
@@ -68,6 +69,16 @@ int main() {
          100.0 * (1.0 - static_cast<double>(bg3_written) / bg_written));
   printf("live saving : %.1f%%\n",
          100.0 * (1.0 - static_cast<double>(bg3_live) / bg_live));
+  report.AddRow("bytes", "BG3")
+      .Num("written", static_cast<double>(bg3_written))
+      .Num("live", static_cast<double>(bg3_live));
+  report.AddRow("bytes", "ByteGraph")
+      .Num("written", static_cast<double>(bg_written))
+      .Num("live", static_cast<double>(bg_live));
+  report.Scalar("write_saving_pct",
+                100.0 * (1.0 - static_cast<double>(bg3_written) / bg_written));
+  report.Scalar("live_saving_pct",
+                100.0 * (1.0 - static_cast<double>(bg3_live) / bg_live));
   bench::Note(
       "the paper's 80%% also includes cheaper $/bit of shared cloud storage "
       "vs SSD-backed KV clusters, which a simulator cannot price");

@@ -123,6 +123,7 @@ int main() {
                 "WL1: 15 MB/s (dirty-ratio) vs 12.5 MB/s (+gradient), -16%; "
                 "WL2: 8 MB/s (dirty-ratio) vs 0 (+TTL natural expiry)");
 
+  bench::BenchReport report("table2_gc");
   printf("\n-- workload 1: Douyin Follow (40K write QPS, no TTL) --\n");
   const GcRun wl1_dirty = RunFollowChurn(core::GcPolicyKind::kDirtyRatio);
   const GcRun wl1_aware = RunFollowChurn(core::GcPolicyKind::kWorkloadAware);
@@ -140,6 +141,11 @@ int main() {
       "is already near-optimal; the gradient's benefit is therefore small "
       "here (paper reports -16%% on production traces; see EXPERIMENTS.md)");
 
+  report.AddRow("wl1_follow", "dirty_ratio")
+      .Num("moved_mb_per_s", wl1_dirty.moved_mb_per_s);
+  report.AddRow("wl1_follow", "workload_aware")
+      .Num("moved_mb_per_s", wl1_aware.moved_mb_per_s);
+
   printf("\n-- workload 2: Financial Risk Control (short TTL) --\n");
   const GcRun wl2_dirty =
       RunRiskControlTtl(core::GcPolicyKind::kDirtyRatio, /*use_ttl=*/false);
@@ -150,6 +156,13 @@ int main() {
   printf("%-28s %10.2f MB/s  (extents expired in place: %.0f, %.1f MB freed)\n",
          "+TTL bypass (BG3)", wl2_ttl.moved_mb_per_s, wl2_ttl.expired_extents,
          wl2_ttl.freed_mb);
+
+  report.AddRow("wl2_risk_ttl", "dirty_ratio")
+      .Num("moved_mb_per_s", wl2_dirty.moved_mb_per_s);
+  report.AddRow("wl2_risk_ttl", "ttl_bypass")
+      .Num("moved_mb_per_s", wl2_ttl.moved_mb_per_s)
+      .Num("expired_extents", wl2_ttl.expired_extents)
+      .Num("freed_mb", wl2_ttl.freed_mb);
 
   printf("\n-- extension: §4.4 future work, long-TTL workload --\n");
   // With a TTL far longer than the run, the pure bypass strands all dead
@@ -167,6 +180,12 @@ int main() {
   printf("%-28s moved %6.2f MB/s, resident at end %8.1f MB\n",
          "hybrid TTL+gradient", long_hybrid.moved_mb_per_s,
          long_hybrid.resident_mb);
+  report.AddRow("long_ttl", "ttl_bypass")
+      .Num("moved_mb_per_s", long_bypass.moved_mb_per_s)
+      .Num("resident_mb", long_bypass.resident_mb);
+  report.AddRow("long_ttl", "hybrid_ttl_gradient")
+      .Num("moved_mb_per_s", long_hybrid.moved_mb_per_s)
+      .Num("resident_mb", long_hybrid.resident_mb);
   bench::Note("the hybrid trades a little movement for not storing \"30 "
               "days' data\" of garbage (§4.4)");
   return 0;

@@ -11,7 +11,8 @@ using namespace bg3::workload;
 
 namespace {
 
-void Characterize(WorkloadGenerator* gen, int samples) {
+void Characterize(bench::BenchReport* report, WorkloadGenerator* gen,
+                  int samples) {
   int inserts = 0, one_hop = 0, multi_hop = 0, reach = 0;
   int hop_hist[16] = {0};
   uint64_t top10_src = 0;
@@ -40,6 +41,10 @@ void Characterize(WorkloadGenerator* gen, int samples) {
   printf("  %-24s reads=%5.1f%%  writes=%5.1f%%  top-10-src share=%4.1f%%\n",
          gen->name().c_str(), 100.0 * (samples - inserts) / n,
          100.0 * inserts / n, 100.0 * top10_src / n);
+  report->AddRow("table1", gen->name())
+      .Num("reads_pct", 100.0 * (samples - inserts) / n)
+      .Num("writes_pct", 100.0 * inserts / n)
+      .Num("top10_src_share_pct", 100.0 * top10_src / n);
   printf("  %-24s hop histogram:", "");
   for (int h = 1; h < 12; ++h) {
     if (hop_hist[h] > 0) printf(" %d-hop=%.1f%%", h, 100.0 * hop_hist[h] / n);
@@ -56,23 +61,25 @@ int main() {
       "read-only 70/20/10 x 1/2/3-hop; all Zipf-skewed");
 
   const int kSamples = 200'000;
+  bench::BenchReport report("workloads");
+  report.Config("samples", kSamples);
   {
     FollowWorkload::Options o;
     o.num_users = 100'000;
     FollowWorkload gen(o, 1);
-    Characterize(&gen, kSamples);
+    Characterize(&report, &gen, kSamples);
   }
   {
     RiskControlWorkload::Options o;
     o.num_accounts = 100'000;
     RiskControlWorkload gen(o, 2);
-    Characterize(&gen, kSamples);
+    Characterize(&report, &gen, kSamples);
   }
   {
     RecommendWorkload::Options o;
     o.num_users = 100'000;
     RecommendWorkload gen(o, 3);
-    Characterize(&gen, kSamples);
+    Characterize(&report, &gen, kSamples);
   }
   return 0;
 }

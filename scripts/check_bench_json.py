@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validates BENCH_<name>.json files emitted by bench::BenchReport.
+
+Usage:
+  check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+  check_bench_json.py --trace bg3_trace.json --min-layers 4
+
+Checks (bench mode):
+  - all schema keys present: schema_version, bench, config, series,
+    scalars, latency_ns, counters, gauges, io
+  - every latency histogram has monotone percentiles
+    (min <= p50 <= p95 <= p99 <= max) and count consistent with them
+  - counters are non-negative integers
+  - no metric was registered twice (bg3.registry.collisions == 0)
+  - the io breakdown carries all expected fields
+
+Checks (--trace mode): the chrome-tracing file parses, has events, and
+spans cover at least --min-layers distinct layers (trace categories).
+"""
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = [
+    "schema_version", "bench", "config", "series", "scalars",
+    "latency_ns", "counters", "gauges", "io",
+]
+IO_FIELDS = [
+    "append_ops", "append_bytes", "read_ops", "read_bytes",
+    "gc_moved_bytes", "extents_freed", "manifest_updates",
+    "injected_faults", "retries", "retry_exhausted",
+]
+KNOWN_LAYERS = {
+    "api", "bytegraph", "query", "forest", "bwtree", "wal",
+    "cloud", "gc", "replication", "trace",
+}
+
+errors = []
+
+
+def fail(path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def check_bench(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot parse: {e}")
+        return
+
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            fail(path, f"missing required key '{key}'")
+    if errors:
+        return
+
+    if doc["schema_version"] != 1:
+        fail(path, f"unexpected schema_version {doc['schema_version']}")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail(path, "'bench' must be a non-empty string")
+    if not isinstance(doc["series"], list):
+        fail(path, "'series' must be an array")
+    else:
+        for i, row in enumerate(doc["series"]):
+            if not isinstance(row, dict) or "series" not in row or "x" not in row:
+                fail(path, f"series[{i}] must be an object with series/x keys")
+
+    for name, h in doc["latency_ns"].items():
+        missing = [k for k in ("count", "mean", "min", "p50", "p95", "p99", "max")
+                   if k not in h]
+        if missing:
+            fail(path, f"latency_ns[{name}] missing {missing}")
+            continue
+        if h["count"] < 0:
+            fail(path, f"latency_ns[{name}] negative count")
+        if h["count"] > 0:
+            if not (h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"]):
+                fail(path, f"latency_ns[{name}] percentiles not monotone: {h}")
+            if h["mean"] < h["min"] or h["mean"] > h["max"]:
+                fail(path, f"latency_ns[{name}] mean outside [min,max]: {h}")
+
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"counter {name} not a non-negative integer: {v!r}")
+
+    collisions = doc["counters"].get("bg3.registry.collisions")
+    if collisions is None:
+        fail(path, "counters missing bg3.registry.collisions")
+    elif collisions != 0:
+        fail(path, f"{collisions} metric name collision(s) — a metric was "
+                   "registered twice")
+
+    for field in IO_FIELDS:
+        if field not in doc["io"]:
+            fail(path, f"io breakdown missing '{field}'")
+
+    if not doc["latency_ns"]:
+        # Per-layer latency is the point of the schema; an empty map means
+        # timing was disabled or the bench bypassed the instrumented layers.
+        print(f"{path}: note: latency_ns is empty "
+              "(no instrumented layer was exercised)")
+
+    print(f"{path}: OK ({len(doc['latency_ns'])} histograms, "
+          f"{len(doc['series'])} series rows, "
+          f"io.append_ops={doc['io']['append_ops']})")
+
+
+def check_trace(path, min_layers):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot parse: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "no traceEvents")
+        return
+    layers = {e.get("cat") for e in events} & KNOWN_LAYERS
+    if len(layers) < min_layers:
+        fail(path, f"only {sorted(layers)} layers traced, "
+                   f"need >= {min_layers}")
+        return
+    print(f"{path}: OK ({len(events)} events, layers: {sorted(layers)})")
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("files", nargs="*")
+    p.add_argument("--trace", help="validate a chrome-tracing JSON instead")
+    p.add_argument("--min-layers", type=int, default=4)
+    args = p.parse_args()
+
+    if args.trace:
+        check_trace(args.trace, args.min_layers)
+    if not args.files and not args.trace:
+        p.error("no input files")
+    for path in args.files:
+        check_bench(path)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

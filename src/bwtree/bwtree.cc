@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_annotations.h"
+#include "common/timed_scope.h"
 
 namespace bg3::bwtree {
 
@@ -111,6 +112,7 @@ Status BwTree::Delete(const Slice& key) {
 }
 
 Status BwTree::Write(DeltaEntry entry) {
+  BG3_TIMED_SCOPE("bg3.bwtree.write_ns");
   std::unique_lock<Mutex> lock;
   LeafPage* leaf = FindAndLatchLeaf(entry.key, &lock);
   leaf->latch.AssertHeld();
@@ -277,6 +279,7 @@ size_t BwTree::ResidentPageCount() const {
 }
 
 Status BwTree::ConsolidateLocked(LeafPage* leaf) {
+  BG3_TIMED_SCOPE("bg3.bwtree.consolidate_ns");
   BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
   stats_.consolidations.Inc();
   // Invalidate the storage images being superseded.
@@ -312,6 +315,7 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
     if (chain_entries <= opts_.max_leaf_entries) return Status::OK();
   }
   BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  BG3_TIMED_SCOPE("bg3.bwtree.smo_split_ns");
   stats_.splits.Inc();
   // Fold everything so we can cut the full ordered content in half.
   const cloud::PagePointer old_base = leaf->base_ptr;
@@ -437,6 +441,7 @@ void BwTree::CheckLeafInvariantsLocked(LeafPage* leaf) {
 }
 
 Result<std::string> BwTree::Get(const Slice& key) {
+  BG3_TIMED_SCOPE("bg3.bwtree.get_ns");
   stats_.gets.Inc();
   std::unique_lock<Mutex> lock;
   LeafPage* leaf = FindAndLatchLeaf(key, &lock);
@@ -570,6 +575,7 @@ Status BwTree::CollectRangeLocked(LeafPage* leaf, const std::string& start,
 }
 
 Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
+  BG3_TIMED_SCOPE("bg3.bwtree.scan_ns");
   stats_.scans.Inc();
   std::string cursor = options.start_key;
   const size_t target = options.limit == std::numeric_limits<size_t>::max()

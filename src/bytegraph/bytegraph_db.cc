@@ -1,5 +1,7 @@
 #include "bytegraph/bytegraph_db.h"
 
+#include "common/timed_scope.h"
+
 #include <algorithm>
 
 #include "common/coding.h"
@@ -178,14 +180,17 @@ void ByteGraphDB::CacheErase(const std::string& key) {
 }
 
 Status ByteGraphDB::AddVertex(graph::VertexId id, const Slice& properties) {
+  BG3_TIMED_SCOPE("bg3.bytegraph.add_vertex_ns");
   return CachedPut(VertexKey(id), properties.ToString());
 }
 
 Result<std::string> ByteGraphDB::GetVertex(graph::VertexId id) {
+  BG3_TIMED_SCOPE("bg3.bytegraph.get_vertex_ns");
   return CachedGet(VertexKey(id));
 }
 
 Status ByteGraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
+  BG3_TIMED_SCOPE("bg3.bytegraph.delete_vertex_ns");
   std::lock_guard<std::mutex> lock(StripeFor(id, type));
   CacheErase(VertexKey(id));
   BG3_RETURN_IF_ERROR(lsm_->Delete(VertexKey(id)));
@@ -206,6 +211,7 @@ Status ByteGraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
 Status ByteGraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
                             graph::VertexId dst, const Slice& properties,
                             graph::TimestampUs created_us) {
+  BG3_TIMED_SCOPE("bg3.bytegraph.add_edge_ns");
   std::lock_guard<std::mutex> lock(StripeFor(src, type));
   Meta meta;
   auto meta_data = CachedGet(MetaKey(src, type));
@@ -275,6 +281,7 @@ Status ByteGraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
 
 Status ByteGraphDB::DeleteEdge(graph::VertexId src, graph::EdgeType type,
                                graph::VertexId dst) {
+  BG3_TIMED_SCOPE("bg3.bytegraph.delete_edge_ns");
   std::lock_guard<std::mutex> lock(StripeFor(src, type));
   auto meta_data = CachedGet(MetaKey(src, type));
   if (meta_data.status().IsNotFound()) return Status::OK();
@@ -304,6 +311,7 @@ Status ByteGraphDB::DeleteEdge(graph::VertexId src, graph::EdgeType type,
 Result<std::string> ByteGraphDB::GetEdge(graph::VertexId src,
                                          graph::EdgeType type,
                                          graph::VertexId dst) {
+  BG3_TIMED_SCOPE("bg3.bytegraph.get_edge_ns");
   auto meta_data = CachedGet(MetaKey(src, type));
   BG3_RETURN_IF_ERROR(meta_data.status());
   Meta meta;
@@ -331,6 +339,7 @@ Result<std::string> ByteGraphDB::GetEdge(graph::VertexId src,
 Status ByteGraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
                                  size_t limit,
                                  std::vector<graph::Neighbor>* out) {
+  BG3_TIMED_SCOPE("bg3.bytegraph.get_neighbors_ns");
   auto meta_data = CachedGet(MetaKey(src, type));
   if (meta_data.status().IsNotFound()) return Status::OK();
   BG3_RETURN_IF_ERROR(meta_data.status());

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/timed_scope.h"
 
 namespace bg3::cloud {
 
@@ -32,8 +34,62 @@ std::string IoStats::ToString() const {
   return os.str();
 }
 
+void IoStats::RegisterWith(MetricsRegistry* registry,
+                           const std::string& prefix) const {
+  registry->RegisterCounter(prefix + "append_ops", &append_ops);
+  registry->RegisterCounter(prefix + "append_bytes", &append_bytes);
+  registry->RegisterCounter(prefix + "read_ops", &read_ops);
+  registry->RegisterCounter(prefix + "read_bytes", &read_bytes);
+  registry->RegisterCounter(prefix + "gc_moved_bytes", &gc_moved_bytes);
+  registry->RegisterCounter(prefix + "extents_freed", &extents_freed);
+  registry->RegisterCounter(prefix + "manifest_updates", &manifest_updates);
+  registry->RegisterCounter(prefix + "injected_faults", &injected_faults);
+  registry->RegisterCounter(prefix + "retries", &retries);
+  registry->RegisterCounter(prefix + "retry_exhausted", &retry_exhausted);
+}
+
 CloudStore::CloudStore(const CloudStoreOptions& opts)
-    : opts_(opts), latency_model_(opts.latency) {}
+    : opts_(opts),
+      metrics_prefix_("bg3.cloud.store" +
+                      std::to_string(MetricsRegistry::NextInstanceId("store")) +
+                      "."),
+      latency_model_(opts.latency) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  stats_.RegisterWith(&reg, metrics_prefix_);
+  reg.RegisterCallback(metrics_prefix_ + "total_bytes",
+                       [this] { return TotalBytes(); });
+  reg.RegisterCallback(metrics_prefix_ + "live_bytes",
+                       [this] { return LiveBytes(); });
+}
+
+CloudStore::~CloudStore() {
+  // Fold this store's lifetime totals into the registry-owned retired
+  // counters before the external registrations vanish: benches that build
+  // and tear down stores per scenario keep an I/O record that survives into
+  // the final BENCH_<name>.json (summed there with live stores').
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  static constexpr const char kRetired[] = "bg3.cloud.retired.";
+  reg.GetCounter(std::string(kRetired) + "append_ops")
+      ->Add(stats_.append_ops.Get());
+  reg.GetCounter(std::string(kRetired) + "append_bytes")
+      ->Add(stats_.append_bytes.Get());
+  reg.GetCounter(std::string(kRetired) + "read_ops")
+      ->Add(stats_.read_ops.Get());
+  reg.GetCounter(std::string(kRetired) + "read_bytes")
+      ->Add(stats_.read_bytes.Get());
+  reg.GetCounter(std::string(kRetired) + "gc_moved_bytes")
+      ->Add(stats_.gc_moved_bytes.Get());
+  reg.GetCounter(std::string(kRetired) + "extents_freed")
+      ->Add(stats_.extents_freed.Get());
+  reg.GetCounter(std::string(kRetired) + "manifest_updates")
+      ->Add(stats_.manifest_updates.Get());
+  reg.GetCounter(std::string(kRetired) + "injected_faults")
+      ->Add(stats_.injected_faults.Get());
+  reg.GetCounter(std::string(kRetired) + "retries")->Add(stats_.retries.Get());
+  reg.GetCounter(std::string(kRetired) + "retry_exhausted")
+      ->Add(stats_.retry_exhausted.Get());
+  reg.DeregisterPrefix(metrics_prefix_);
+}
 
 StreamId CloudStore::CreateStream(const std::string& name) {
   WriterMutexLock lock(&topology_mu_);
@@ -61,6 +117,7 @@ FaultDecision CloudStore::DecideFault(FaultOp op) const {
 
 Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
                                        uint64_t* latency_us) {
+  BG3_TIMED_SCOPE("bg3.cloud.append_ns");
   Stream* s = GetStream(stream);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
   const FaultDecision fault = DecideFault(FaultOp::kAppend);
@@ -97,12 +154,18 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
   if (latency_us != nullptr) {
     *latency_us =
         latency_model_.AppendLatencyUs(record.size()) + fault.extra_latency_us;
+    // Simulated service latency distribution (virtual clock; the wall-time
+    // scope above measures only the in-memory substrate).
+    static Histogram* const sim_hist =
+        MetricsRegistry::Default().GetHistogram("bg3.cloud.append_sim_us");
+    if (obs::TimingEnabled()) sim_hist->Record(*latency_us);
   }
   return ptr;
 }
 
 Result<std::string> CloudStore::Read(const PagePointer& ptr,
                                      uint64_t* latency_us) {
+  BG3_TIMED_SCOPE("bg3.cloud.read_ns");
   Stream* s = GetStream(ptr.stream_id);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
   const FaultDecision fault = DecideFault(FaultOp::kRead);
@@ -122,6 +185,9 @@ Result<std::string> CloudStore::Read(const PagePointer& ptr,
   if (latency_us != nullptr) {
     *latency_us =
         latency_model_.ReadLatencyUs(out.size()) + fault.extra_latency_us;
+    static Histogram* const sim_hist =
+        MetricsRegistry::Default().GetHistogram("bg3.cloud.read_sim_us");
+    if (obs::TimingEnabled()) sim_hist->Record(*latency_us);
   }
   return out;
 }

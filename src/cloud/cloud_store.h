@@ -18,10 +18,17 @@
 #include "common/result.h"
 #include "common/thread_annotations.h"
 
+namespace bg3 {
+class MetricsRegistry;
+}  // namespace bg3
+
 namespace bg3::cloud {
 
 /// Aggregate I/O accounting. Read/write amplification figures (Figs. 9/10,
 /// Table 2, storage-cost saving) are all computed from these counters.
+/// Every CloudStore registers its IoStats with the default MetricsRegistry
+/// under a per-instance prefix (`bg3.cloud.store<N>.`), so DumpMetrics()
+/// and the bench JSON read the same counters the figures are computed from.
 struct IoStats {
   Counter append_ops;
   Counter append_bytes;
@@ -40,6 +47,11 @@ struct IoStats {
 
   void Reset();
   std::string ToString() const;
+
+  /// Registers every counter as an external metric `<prefix><field>` in
+  /// `registry`; undo with registry->DeregisterPrefix(prefix). The stats
+  /// object must outlive the registration.
+  void RegisterWith(MetricsRegistry* registry, const std::string& prefix) const;
 };
 
 struct CloudStoreOptions {
@@ -71,9 +83,14 @@ class StoreObserver {
 class CloudStore {
  public:
   explicit CloudStore(const CloudStoreOptions& opts = {});
+  ~CloudStore();
 
   CloudStore(const CloudStore&) = delete;
   CloudStore& operator=(const CloudStore&) = delete;
+
+  /// Per-instance metric-name prefix this store registered its IoStats and
+  /// space gauges under (`bg3.cloud.store<N>.`).
+  const std::string& metrics_prefix() const { return metrics_prefix_; }
 
   /// Creates (or returns the existing) stream with this name.
   StreamId CreateStream(const std::string& name);
@@ -165,6 +182,7 @@ class CloudStore {
   FaultDecision DecideFault(FaultOp op) const;
 
   const CloudStoreOptions opts_;
+  std::string metrics_prefix_;
   LatencyModel latency_model_;
   /// mutable: const read paths (ManifestGet) still account injected faults.
   mutable IoStats stats_;

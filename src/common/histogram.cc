@@ -7,6 +7,41 @@
 
 namespace bg3 {
 
+namespace {
+
+// Per-thread shard index so each thread mostly touches one shard's cache
+// lines (same scheme as Counter's striping).
+int ThisThreadShard() {
+  static std::atomic<int> next{0};
+  thread_local int shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+uint64_t PercentileFromBuckets(const uint64_t* buckets, int num_buckets,
+                               uint64_t total, uint64_t max_seen, double q,
+                               uint64_t (*bucket_low)(int),
+                               uint64_t (*bucket_high)(int)) {
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (int b = 0; b < num_buckets; ++b) {
+    const uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const uint64_t lo = bucket_low(b);
+      const uint64_t hi = std::min(bucket_high(b), max_seen);
+      const uint64_t width = hi > lo ? hi - lo : 0;
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(width));
+    }
+    seen += in_bucket;
+  }
+  return max_seen;
+}
+
+}  // namespace
+
 Histogram::Histogram() { Reset(); }
 
 // Bucket layout: 4 sub-buckets per power of two. Bucket index for value v
@@ -40,78 +75,137 @@ uint64_t Histogram::BucketHigh(int b) {
   return BucketLow(b + 1) - 1;
 }
 
-void Histogram::Record(uint64_t value_us) {
-  buckets_[BucketFor(value_us)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value_us, std::memory_order_relaxed);
-  uint64_t cur_min = min_.load(std::memory_order_relaxed);
-  while (value_us < cur_min &&
-         !min_.compare_exchange_weak(cur_min, value_us,
-                                     std::memory_order_relaxed)) {
+void Histogram::Record(uint64_t value) {
+  Shard& s = shards_[ThisThreadShard() % kShards];
+  s.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur_min = s.min.load(std::memory_order_relaxed);
+  while (value < cur_min && !s.min.compare_exchange_weak(
+                                cur_min, value, std::memory_order_relaxed)) {
   }
-  uint64_t cur_max = max_.load(std::memory_order_relaxed);
-  while (value_us > cur_max &&
-         !max_.compare_exchange_weak(cur_max, value_us,
-                                     std::memory_order_relaxed)) {
+  uint64_t cur_max = s.max.load(std::memory_order_relaxed);
+  while (value > cur_max && !s.max.compare_exchange_weak(
+                                cur_max, value, std::memory_order_relaxed)) {
   }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  snap.min = std::numeric_limits<uint64_t>::max();
+  uint64_t bucket_total = 0;
+  for (const Shard& s : shards_) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += n;
+      bucket_total += n;
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, s.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+  }
+  // Derive count from the buckets actually captured so percentile math is
+  // internally consistent even while writers race the snapshot.
+  snap.count = bucket_total;
+  if (snap.count == 0) {
+    snap.min = 0;
+    snap.max = 0;
+    snap.sum = 0;
+    snap.buckets.clear();
+  }
+  return snap;
 }
 
 uint64_t Histogram::Count() const {
-  return count_.load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (const Shard& s : shards_)
+    total += s.count.load(std::memory_order_relaxed);
+  return total;
 }
 
 double Histogram::Mean() const {
-  const uint64_t c = Count();
-  return c == 0 ? 0.0
-                : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
-                      static_cast<double>(c);
+  const Snapshot snap = TakeSnapshot();
+  return snap.Mean();
 }
 
 uint64_t Histogram::Min() const {
-  const uint64_t m = min_.load(std::memory_order_relaxed);
-  return Count() == 0 ? 0 : m;
+  uint64_t m = std::numeric_limits<uint64_t>::max();
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+    m = std::min(m, s.min.load(std::memory_order_relaxed));
+  }
+  return total == 0 ? 0 : m;
 }
 
 uint64_t Histogram::Max() const {
-  return Count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+  uint64_t m = 0;
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+    m = std::max(m, s.max.load(std::memory_order_relaxed));
+  }
+  return total == 0 ? 0 : m;
 }
 
 uint64_t Histogram::Percentile(double q) const {
-  const uint64_t total = Count();
-  if (total == 0) return 0;
-  const double target = q * static_cast<double>(total);
-  uint64_t seen = 0;
+  return TakeSnapshot().Percentile(q);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  const Snapshot snap = other.TakeSnapshot();
+  if (snap.count == 0) return;
+  Shard& s = shards_[ThisThreadShard() % kShards];
   for (int b = 0; b < kNumBuckets; ++b) {
-    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
-    if (in_bucket == 0) continue;
-    if (static_cast<double>(seen + in_bucket) >= target) {
-      const double frac =
-          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      const uint64_t lo = BucketLow(b);
-      const uint64_t hi = std::min(BucketHigh(b), Max());
-      const uint64_t width = hi > lo ? hi - lo : 0;
-      return lo + static_cast<uint64_t>(frac * static_cast<double>(width));
-    }
-    seen += in_bucket;
+    if (snap.buckets[b] != 0)
+      s.buckets[b].fetch_add(snap.buckets[b], std::memory_order_relaxed);
   }
-  return Max();
+  s.count.fetch_add(snap.count, std::memory_order_relaxed);
+  s.sum.fetch_add(snap.sum, std::memory_order_relaxed);
+  uint64_t cur_min = s.min.load(std::memory_order_relaxed);
+  while (snap.min < cur_min &&
+         !s.min.compare_exchange_weak(cur_min, snap.min,
+                                      std::memory_order_relaxed)) {
+  }
+  uint64_t cur_max = s.max.load(std::memory_order_relaxed);
+  while (snap.max > cur_max &&
+         !s.max.compare_exchange_weak(cur_max, snap.max,
+                                      std::memory_order_relaxed)) {
+  }
 }
 
 void Histogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  min_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<uint64_t>::max(),
+                std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::string Histogram::ToString() const {
+  const Snapshot snap = TakeSnapshot();
   std::ostringstream os;
-  os << "count=" << Count() << " mean=" << Mean() << "us"
-     << " min=" << Min() << " p50=" << Percentile(0.50)
-     << " p95=" << Percentile(0.95) << " p99=" << Percentile(0.99)
-     << " max=" << Max();
+  os << "count=" << snap.count << " mean=" << snap.Mean()
+     << " min=" << snap.min << " p50=" << snap.Percentile(0.50)
+     << " p95=" << snap.Percentile(0.95) << " p99=" << snap.Percentile(0.99)
+     << " max=" << snap.max;
   return os.str();
+}
+
+double Histogram::Snapshot::Mean() const {
+  return count == 0
+             ? 0.0
+             : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  return PercentileFromBuckets(buckets.data(), kNumBuckets, count, max, q,
+                               &Histogram::BucketLow, &Histogram::BucketHigh);
 }
 
 }  // namespace bg3

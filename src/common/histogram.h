@@ -8,14 +8,33 @@
 
 namespace bg3 {
 
-/// Thread-safe log-bucketed latency histogram (microsecond inputs).
-/// Buckets grow geometrically so p50..p999 stay accurate from 1us to minutes
-/// with ~200 buckets. Records are lock-free atomic adds.
+/// Thread-safe log-bucketed latency histogram. Values are plain uint64s —
+/// by convention nanoseconds for wall-clock scopes (metric names ending
+/// `_ns`) and microseconds for simulated-latency series (`_us`).
+///
+/// Buckets grow geometrically (4 sub-buckets per power of two) so
+/// p50..p999 stay accurate from 1 unit to 2^63 with 256 buckets.
+///
+/// Concurrency: recording is lock-free. Buckets are striped across
+/// kShards cache-line-disjoint shards, each thread writing (mostly) its own
+/// shard, so concurrent recorders do not serialize on hot buckets. Readers
+/// merge the shards into a local snapshot first and derive every statistic
+/// (including the percentile total) from that one snapshot, so a percentile
+/// computed concurrently with writers is always internally consistent —
+/// it reflects some subset of the recorded values, never a torn mix of
+/// "count from now, buckets from earlier".
+///
+/// Reset() is not linearizable against concurrent Record() calls: a record
+/// racing a reset may survive it or be lost wholesale, but the histogram
+/// never ends up half-cleared in a way that breaks the invariants above.
+/// Reset at quiescence when exact semantics matter (benches do).
 class Histogram {
  public:
   Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
-  void Record(uint64_t value_us);
+  void Record(uint64_t value);
 
   uint64_t Count() const;
   double Mean() const;
@@ -24,22 +43,45 @@ class Histogram {
   /// q in (0, 1], e.g. 0.5, 0.99. Linear interpolation within a bucket.
   uint64_t Percentile(double q) const;
 
+  /// Folds all of `other`'s recorded values into this histogram (bucket
+  /// granularity; min/max/count/sum are exact, percentiles as accurate as
+  /// the shared bucket layout).
+  void Merge(const Histogram& other);
+
   void Reset();
 
-  /// "count=... mean=...us p50=... p99=... max=..." for bench output.
+  /// "count=... mean=... p50=... p99=... max=..." for bench output.
   std::string ToString() const;
+
+  /// Point-in-time coherent view, cheap to copy around (bench JSON,
+  /// registry snapshots). Percentile math matches Histogram's.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::vector<uint64_t> buckets;  ///< kNumBuckets entries; empty if count==0.
+
+    double Mean() const;
+    uint64_t Percentile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
 
  private:
   static constexpr int kNumBuckets = 256;
+  static constexpr int kShards = 4;
   static int BucketFor(uint64_t v);
   static uint64_t BucketLow(int b);
   static uint64_t BucketHigh(int b);
 
-  std::atomic<uint64_t> buckets_[kNumBuckets];
-  std::atomic<uint64_t> count_;
-  std::atomic<uint64_t> sum_;
-  std::atomic<uint64_t> min_;
-  std::atomic<uint64_t> max_;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kNumBuckets];
+    std::atomic<uint64_t> count;
+    std::atomic<uint64_t> sum;
+    std::atomic<uint64_t> min;
+    std::atomic<uint64_t> max;
+  };
+  Shard shards_[kShards];
 };
 
 }  // namespace bg3

@@ -1,0 +1,144 @@
+#include "common/json_writer.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace bg3 {
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ == 0) return;
+  out_ += '\n';
+  out_.append(static_cast<size_t>(indent_ * depth_), ' ');
+}
+
+void JsonWriter::Prefix(bool is_key) {
+  if (after_key_) {
+    // Value directly after its key; separator already emitted.
+    after_key_ = false;
+    return;
+  }
+  if (depth_ > 0) {
+    const uint64_t bit = 1ull << (depth_ < 64 ? depth_ : 63);
+    if (has_elem_ & bit) out_ += ',';
+    has_elem_ |= bit;
+    NewlineIndent();
+  }
+  (void)is_key;
+}
+
+void JsonWriter::BeginObject() {
+  Prefix(false);
+  out_ += '{';
+  ++depth_;
+  has_elem_ &= ~(1ull << (depth_ < 64 ? depth_ : 63));
+}
+
+void JsonWriter::EndObject() {
+  const bool had = has_elem_ & (1ull << (depth_ < 64 ? depth_ : 63));
+  --depth_;
+  if (had) NewlineIndent();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Prefix(false);
+  out_ += '[';
+  ++depth_;
+  has_elem_ &= ~(1ull << (depth_ < 64 ? depth_ : 63));
+}
+
+void JsonWriter::EndArray() {
+  const bool had = has_elem_ & (1ull << (depth_ < 64 ? depth_ : 63));
+  --depth_;
+  if (had) NewlineIndent();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  Prefix(true);
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  if (indent_ != 0) out_ += ' ';
+  after_key_ = true;
+}
+
+void JsonWriter::Value(const std::string& v) {
+  Prefix(false);
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Value(const char* v) { Value(std::string(v)); }
+
+void JsonWriter::Value(int64_t v) {
+  Prefix(false);
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  Prefix(false);
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(double v) {
+  Prefix(false);
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf.
+    return;
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(bool v) {
+  Prefix(false);
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Prefix(false);
+  out_ += "null";
+}
+
+}  // namespace bg3

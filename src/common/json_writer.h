@@ -1,0 +1,76 @@
+#ifndef BG3_COMMON_JSON_WRITER_H_
+#define BG3_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bg3 {
+
+/// Minimal append-only JSON emitter (no external deps). Produces compact or
+/// indented output; used by the metrics registry snapshot, the chrome-trace
+/// exporter, and the bench BENCH_<name>.json files.
+///
+/// Usage is push/pop style; the writer tracks nesting and inserts commas:
+///
+///   JsonWriter w(/*indent=*/2);
+///   w.BeginObject();
+///   w.Key("count"); w.Value(3);
+///   w.Key("series"); w.BeginArray();
+///   w.Value("a"); w.Value(1.5);
+///   w.EndArray();
+///   w.EndObject();
+///   std::string s = w.TakeString();
+///
+/// Misuse (Key outside an object, unbalanced End) is the caller's bug; the
+/// writer keeps going and produces invalid JSON rather than aborting, so a
+/// malformed metrics dump never takes the process down.
+class JsonWriter {
+ public:
+  /// indent == 0 emits compact single-line JSON.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits `"name":` — must be followed by a Value or Begin*.
+  void Key(const std::string& name);
+
+  void Value(const std::string& v);
+  void Value(const char* v);
+  void Value(int64_t v);
+  void Value(uint64_t v);
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(double v);
+  void Value(bool v);
+  void Null();
+
+  /// Convenience: Key + Value.
+  template <typename T>
+  void KV(const std::string& name, const T& v) {
+    Key(name);
+    Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  static std::string Escape(const std::string& s);
+
+ private:
+  void Prefix(bool is_key);
+  void NewlineIndent();
+
+  std::string out_;
+  int indent_ = 0;
+  int depth_ = 0;
+  // Whether the current nesting level already holds an element (comma
+  // needed); bit i = level i. 64 levels is far beyond any dump we emit.
+  uint64_t has_elem_ = 0;
+  bool after_key_ = false;
+};
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_JSON_WRITER_H_

@@ -31,18 +31,4 @@ void Counter::Reset() {
   for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return slot.get();
-}
-
-std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::map<std::string, uint64_t> out;
-  for (const auto& [name, counter] : counters_) out[name] = counter->Get();
-  return out;
-}
-
 }  // namespace bg3

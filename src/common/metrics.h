@@ -3,11 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <vector>
 
 namespace bg3 {
 
@@ -22,6 +17,17 @@ class Counter {
   void Add(uint64_t n);
   void Inc() { Add(1); }
   uint64_t Get() const;
+
+  /// Zeroes the counter shard-by-shard. Snapshot consistency contract:
+  ///  - Reset() concurrent with Add() is not atomic across shards: an
+  ///    increment racing the reset lands entirely before or entirely after
+  ///    it (per-shard atomicity) — it is either wiped with the old epoch or
+  ///    survives into the new one, never split.
+  ///  - Get() concurrent with Reset() may observe a partial mix of old and
+  ///    new shards, i.e. any value between 0 and the pre-reset total.
+  /// Callers that need an exact epoch boundary (benches, tests) must reset
+  /// at quiescence; production counters are monotonic and never reset —
+  /// rate computation belongs in the scraper, Prometheus-style.
   void Reset();
 
  private:
@@ -63,16 +69,9 @@ class Gauge {
   std::atomic<int64_t> v_{0};
 };
 
-/// Named counters registry, handy for dumping all stats from a bench binary.
-class MetricsRegistry {
- public:
-  Counter* GetCounter(const std::string& name);
-  std::map<std::string, uint64_t> Snapshot() const;
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-};
+// The process-wide named-metrics registry lives in
+// common/metrics_registry.h; it owns Counters/Gauges/Histograms by name and
+// renders Prometheus/JSON snapshots.
 
 }  // namespace bg3
 

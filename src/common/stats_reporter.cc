@@ -1,0 +1,74 @@
+#include "common/stats_reporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace bg3 {
+
+StatsReporter::StatsReporter(const StatsReporterOptions& options,
+                             MetricsRegistry* registry)
+    : opts_(options),
+      registry_(registry != nullptr ? registry : &MetricsRegistry::Default()) {
+  sink_ = [this](const std::string& text) {
+    if (opts_.path.empty()) {
+      fprintf(stderr, "%s\n", text.c_str());
+      return;
+    }
+    FILE* f = fopen(opts_.path.c_str(), "a");
+    if (f == nullptr) return;
+    fprintf(f, "%s\n", text.c_str());
+    fclose(f);
+  };
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::SetSink(std::function<void(const std::string&)> sink) {
+  sink_ = std::move(sink);
+}
+
+std::string StatsReporter::Render() const {
+  return opts_.format == "prometheus" ? registry_->RenderPrometheus()
+                                      : registry_->RenderJson(0);
+}
+
+void StatsReporter::ReportOnce() {
+  sink_(Render());
+  reports_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                       [this] { return stop_; })) {
+        break;
+      }
+      lock.unlock();
+      ReportOnce();
+      lock.lock();
+    }
+  });
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+}
+
+}  // namespace bg3

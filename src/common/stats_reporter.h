@@ -1,0 +1,69 @@
+#ifndef BG3_COMMON_STATS_REPORTER_H_
+#define BG3_COMMON_STATS_REPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/metrics_registry.h"
+
+namespace bg3 {
+
+struct StatsReporterOptions {
+  uint64_t interval_ms = 10'000;
+  /// "json" (one compact object per report) or "prometheus" (text
+  /// exposition format).
+  std::string format = "json";
+  /// File the reports are appended to; empty = stderr.
+  std::string path;
+};
+
+/// Background thread that periodically renders the registry and hands the
+/// text to a sink (default: append to options.path or stderr). The real
+/// system would expose an HTTP /metrics endpoint here; a file/stderr sink
+/// keeps the reproduction dependency-free while exercising the same
+/// snapshot path.
+class StatsReporter {
+ public:
+  /// `registry` defaults to MetricsRegistry::Default().
+  explicit StatsReporter(const StatsReporterOptions& options,
+                         MetricsRegistry* registry = nullptr);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// Replaces the output sink (call before Start).
+  void SetSink(std::function<void(const std::string&)> sink);
+
+  /// Idempotent; spawns the reporting thread.
+  void Start();
+  /// Blocks until the thread is joined. Called by the destructor.
+  void Stop();
+
+  /// One synchronous report through the sink (also used by the thread).
+  void ReportOnce();
+
+  uint64_t reports() const { return reports_; }
+
+ private:
+  std::string Render() const;
+
+  const StatsReporterOptions opts_;
+  MetricsRegistry* const registry_;
+  std::function<void(const std::string&)> sink_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::atomic<uint64_t> reports_{0};
+};
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_STATS_REPORTER_H_

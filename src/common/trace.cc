@@ -1,0 +1,344 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json_writer.h"
+#include "common/metrics_registry.h"
+
+namespace bg3 {
+
+namespace obs {
+namespace internal {
+
+std::atomic<uint32_t> g_flags{kTimingBit};
+
+namespace {
+std::atomic<uint64_t> g_slow_op_threshold_ns{0};
+std::atomic<uint64_t> g_slow_ops{0};
+std::atomic<size_t> g_ring_capacity{16384};
+
+bool InitFromEnv() {
+  uint32_t flags = kTimingBit;
+  if (const char* v = std::getenv("BG3_TIMED_SCOPES")) {
+    if (v[0] == '0' && v[1] == '\0') flags &= ~kTimingBit;
+  }
+  if (const char* v = std::getenv("BG3_TRACE")) {
+    if (!(v[0] == '0' && v[1] == '\0') && v[0] != '\0') flags |= kTraceBit;
+  }
+  if (const char* v = std::getenv("BG3_SLOW_OP_US")) {
+    const unsigned long long us = strtoull(v, nullptr, 10);
+    if (us > 0) {
+      g_slow_op_threshold_ns.store(us * 1000ull, std::memory_order_relaxed);
+      flags |= kSlowOpBit;
+    }
+  }
+  if (const char* v = std::getenv("BG3_TRACE_BUF_EVENTS")) {
+    const unsigned long long n = strtoull(v, nullptr, 10);
+    if (n >= 16)
+      g_ring_capacity.store(static_cast<size_t>(n), std::memory_order_relaxed);
+  }
+  g_flags.store(flags, std::memory_order_relaxed);
+  return true;
+}
+
+// Runs during static initialization, before main() spawns any threads.
+const bool g_env_inited = InitFromEnv();
+
+}  // namespace
+
+void EnsureInitFromEnv() { (void)g_env_inited; }
+
+}  // namespace internal
+
+void SetTimingEnabled(bool on) {
+  if (on) {
+    internal::g_flags.fetch_or(kTimingBit, std::memory_order_relaxed);
+  } else {
+    internal::g_flags.fetch_and(~kTimingBit, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+
+namespace trace {
+
+namespace {
+
+using obs::internal::g_ring_capacity;
+using obs::internal::g_slow_op_threshold_ns;
+using obs::internal::g_slow_ops;
+
+constexpr char kPhaseComplete = 'X';
+constexpr char kPhaseInstant = 'i';
+
+// One trace event = 4 words, each accessed as a relaxed atomic so
+// cross-thread export is race-free by construction (a wrapping writer can
+// still tear an in-flight event; see header).
+//   word0  name pointer (string literal)
+//   word1  start timestamp, ns
+//   word2  duration, ns (0 for instants)
+//   word3  tid | depth<<32 | phase<<48
+struct Ring {
+  explicit Ring(size_t capacity, uint32_t tid_in)
+      : words(capacity * 4), cap(capacity), tid(tid_in) {}
+
+  std::vector<std::atomic<uint64_t>> words;
+  std::atomic<uint64_t> pos{0};  ///< events ever written (monotonic).
+  const size_t cap;
+  const uint32_t tid;
+
+  void Emit(const char* name, uint64_t ts_ns, uint64_t dur_ns, uint32_t depth,
+            char phase) {
+    const uint64_t i = pos.load(std::memory_order_relaxed);
+    const size_t slot = (i % cap) * 4;
+    words[slot + 0].store(reinterpret_cast<uint64_t>(name),
+                          std::memory_order_relaxed);
+    words[slot + 1].store(ts_ns, std::memory_order_relaxed);
+    words[slot + 2].store(dur_ns, std::memory_order_relaxed);
+    words[slot + 3].store(static_cast<uint64_t>(tid) |
+                              (static_cast<uint64_t>(depth) << 32) |
+                              (static_cast<uint64_t>(
+                                   static_cast<unsigned char>(phase))
+                               << 48),
+                          std::memory_order_relaxed);
+    pos.store(i + 1, std::memory_order_release);
+  }
+};
+
+struct RingDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  uint32_t next_tid = 1;
+};
+
+RingDirectory& Directory() {
+  static RingDirectory* dir = new RingDirectory();
+  return *dir;
+}
+
+Ring& ThisThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    auto r = std::make_shared<Ring>(
+        g_ring_capacity.load(std::memory_order_relaxed), dir.next_tid++);
+    dir.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+// Per-thread span bookkeeping for depth and the slow-op log. The slow-op
+// log buffers spans completed inside the current top-level operation so a
+// threshold breach can print the whole tree, not just the root.
+struct SpanState {
+  uint32_t depth = 0;
+  struct Done {
+    const char* name;
+    uint64_t start_ns;
+    uint64_t dur_ns;
+    uint32_t depth;
+  };
+  std::vector<Done> op_log;
+  static constexpr size_t kMaxOpLog = 512;
+};
+
+SpanState& ThisThreadSpans() {
+  thread_local SpanState state;
+  return state;
+}
+
+void DumpSlowOp(const SpanState& state, const char* root_name,
+                uint64_t root_start_ns, uint64_t root_dur_ns) {
+  fprintf(stderr, "[bg3 slow-op] %s took %.3f ms (threshold %.3f ms)\n",
+          root_name, root_dur_ns / 1e6,
+          g_slow_op_threshold_ns.load(std::memory_order_relaxed) / 1e6);
+  // Children completed in start order; indent by recorded depth.
+  for (const auto& d : state.op_log) {
+    fprintf(stderr, "[bg3 slow-op]   %*s%s +%.3fms dur=%.3fms\n",
+            static_cast<int>(2 * d.depth), "", d.name,
+            (d.start_ns - root_start_ns) / 1e6, d.dur_ns / 1e6);
+  }
+}
+
+}  // namespace
+
+void Trace::SetEnabled(bool on) {
+  obs::internal::EnsureInitFromEnv();
+  if (on) {
+    obs::internal::g_flags.fetch_or(obs::kTraceBit, std::memory_order_relaxed);
+  } else {
+    obs::internal::g_flags.fetch_and(~obs::kTraceBit,
+                                     std::memory_order_relaxed);
+  }
+}
+
+void Trace::SetSlowOpThresholdNs(uint64_t ns) {
+  g_slow_op_threshold_ns.store(ns, std::memory_order_relaxed);
+  if (ns > 0) {
+    obs::internal::g_flags.fetch_or(obs::kSlowOpBit,
+                                    std::memory_order_relaxed);
+  } else {
+    obs::internal::g_flags.fetch_and(~obs::kSlowOpBit,
+                                     std::memory_order_relaxed);
+  }
+}
+
+uint64_t Trace::SlowOpThresholdNs() {
+  return g_slow_op_threshold_ns.load(std::memory_order_relaxed);
+}
+
+uint64_t Trace::SlowOpCount() {
+  return g_slow_ops.load(std::memory_order_relaxed);
+}
+
+void Trace::Instant(const char* name) {
+  if (!Enabled()) return;
+  ThisThreadRing().Emit(name, NowNanos(), 0, ThisThreadSpans().depth,
+                        kPhaseInstant);
+}
+
+void Trace::SetRingCapacityForTesting(size_t events) {
+  g_ring_capacity.store(events < 16 ? 16 : events,
+                        std::memory_order_relaxed);
+}
+
+size_t Trace::EventCountForTesting() {
+  RingDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  size_t total = 0;
+  for (const auto& r : dir.rings) {
+    const uint64_t pos = r->pos.load(std::memory_order_acquire);
+    total += pos < r->cap ? pos : r->cap;
+  }
+  return total;
+}
+
+void Trace::Reset() {
+  RingDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  for (auto it = dir.rings.begin(); it != dir.rings.end();) {
+    if (it->use_count() == 1) {
+      // Owning thread exited; drop the ring entirely.
+      it = dir.rings.erase(it);
+    } else {
+      (*it)->pos.store(0, std::memory_order_release);
+      ++it;
+    }
+  }
+  g_slow_ops.store(0, std::memory_order_relaxed);
+}
+
+std::string Trace::ExportChromeJson() {
+  JsonWriter w(0);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  RingDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  for (const auto& r : dir.rings) {
+    const uint64_t pos = r->pos.load(std::memory_order_acquire);
+    const size_t n = pos < r->cap ? static_cast<size_t>(pos) : r->cap;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t slot = i * 4;
+      const auto* name = reinterpret_cast<const char*>(
+          r->words[slot + 0].load(std::memory_order_relaxed));
+      const uint64_t ts_ns = r->words[slot + 1].load(std::memory_order_relaxed);
+      const uint64_t dur_ns =
+          r->words[slot + 2].load(std::memory_order_relaxed);
+      const uint64_t meta = r->words[slot + 3].load(std::memory_order_relaxed);
+      if (name == nullptr) continue;  // torn slot
+      const char phase = static_cast<char>((meta >> 48) & 0xff);
+      // Category = second dot-component of the metric-style name
+      // ("bg3.bwtree.get_ns" -> "bwtree"), so chrome://tracing can filter
+      // by layer.
+      std::string cat = "bg3";
+      {
+        const std::string full(name);
+        const size_t first = full.find('.');
+        if (first != std::string::npos) {
+          const size_t second = full.find('.', first + 1);
+          if (second != std::string::npos)
+            cat = full.substr(first + 1, second - first - 1);
+        }
+      }
+      w.BeginObject();
+      w.KV("name", name);
+      w.KV("cat", cat);
+      char ph[2] = {phase, 0};
+      w.KV("ph", ph);
+      w.KV("ts", static_cast<double>(ts_ns) / 1000.0);
+      if (phase == kPhaseComplete)
+        w.KV("dur", static_cast<double>(dur_ns) / 1000.0);
+      if (phase == kPhaseInstant) w.KV("s", "t");
+      w.KV("pid", 1);
+      w.KV("tid", static_cast<uint64_t>(r->tid));
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool Trace::WriteChromeJson(const std::string& path) {
+  const std::string json = ExportChromeJson();
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && fclose(f) == 0;
+  if (!ok && written == json.size()) {
+    // fclose failed after full write; nothing more to do.
+  }
+  return ok;
+}
+
+std::string Trace::ExportToEnvFile() {
+  if (!Enabled()) return "";
+  const char* env = std::getenv("BG3_TRACE_FILE");
+  const std::string path = env != nullptr && env[0] != '\0'
+                               ? std::string(env)
+                               : std::string("bg3_trace.json");
+  return WriteChromeJson(path) ? path : "";
+}
+
+void TraceSpan::Begin(const char* name) {
+  name_ = name;
+  start_ns_ = NowNanos();
+  active_ = true;
+  ++ThisThreadSpans().depth;
+}
+
+void TraceSpan::End() {
+  const uint64_t end_ns = NowNanos();
+  const uint64_t dur_ns = end_ns - start_ns_;
+  SpanState& state = ThisThreadSpans();
+  const uint32_t depth = --state.depth;
+  const uint32_t flags = obs::Flags();
+  if (flags & obs::kTraceBit)
+    ThisThreadRing().Emit(name_, start_ns_, dur_ns, depth, kPhaseComplete);
+  if (flags & obs::kSlowOpBit) {
+    if (depth > 0) {
+      if (state.op_log.size() < SpanState::kMaxOpLog)
+        state.op_log.push_back({name_, start_ns_, dur_ns, depth});
+    } else {
+      const uint64_t threshold =
+          g_slow_op_threshold_ns.load(std::memory_order_relaxed);
+      if (threshold > 0 && dur_ns >= threshold) {
+        g_slow_ops.fetch_add(1, std::memory_order_relaxed);
+        MetricsRegistry::Default().GetCounter("bg3.trace.slow_ops")->Inc();
+        DumpSlowOp(state, name_, start_ns_, dur_ns);
+      }
+      state.op_log.clear();
+    }
+  }
+}
+
+}  // namespace trace
+}  // namespace bg3

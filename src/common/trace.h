@@ -1,0 +1,126 @@
+#ifndef BG3_COMMON_TRACE_H_
+#define BG3_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bg3 {
+
+// ---------------------------------------------------------------------------
+// Global observability switches, packed into one atomic word so the
+// BG3_TIMED_SCOPE fast path is a single relaxed load + branch (~1 ns) when
+// everything is off. Defaults: timing on, tracing off, slow-op log off.
+// Environment overrides, read once at process start:
+//   BG3_TIMED_SCOPES=0      disable per-scope latency histograms
+//   BG3_TRACE=1             enable trace-event recording
+//   BG3_TRACE_FILE=path     where ExportToEnvFile() writes the chrome JSON
+//   BG3_TRACE_BUF_EVENTS=N  per-thread ring capacity (events)
+//   BG3_SLOW_OP_US=N        log the span tree of top-level ops slower than N
+// ---------------------------------------------------------------------------
+namespace obs {
+
+inline constexpr uint32_t kTimingBit = 1u;
+inline constexpr uint32_t kTraceBit = 2u;
+inline constexpr uint32_t kSlowOpBit = 4u;
+
+namespace internal {
+/// Bit set of the flags above; mutate via the setters only.
+extern std::atomic<uint32_t> g_flags;
+/// Forces the env-var read before first use (harmless to call repeatedly).
+void EnsureInitFromEnv();
+}  // namespace internal
+
+inline uint32_t Flags() {
+  return internal::g_flags.load(std::memory_order_relaxed);
+}
+inline bool TimingEnabled() { return Flags() & kTimingBit; }
+
+void SetTimingEnabled(bool on);
+
+}  // namespace obs
+
+namespace trace {
+
+/// Process-wide trace facility: every thread records fixed-size events into
+/// its own lock-free ring buffer (single-writer; overwrites oldest on
+/// wrap), and ExportChromeJson() merges all rings into a
+/// chrome://tracing-loadable JSON document.
+///
+/// Event `name` pointers must be string literals (or otherwise immortal):
+/// the ring stores the pointer, not a copy.
+///
+/// Export concurrent with active writers is safe (all slot accesses are
+/// relaxed atomics) but a thread wrapping its ring mid-export can tear an
+/// event; export at quiescence for exact output. Tests and benches do.
+class Trace {
+ public:
+  static bool Enabled() { return obs::Flags() & obs::kTraceBit; }
+  static void SetEnabled(bool on);
+
+  /// 0 disables the slow-op log.
+  static void SetSlowOpThresholdNs(uint64_t ns);
+  static uint64_t SlowOpThresholdNs();
+  /// Top-level spans that exceeded the threshold so far (also a counter
+  /// metric, `bg3.trace.slow_ops`).
+  static uint64_t SlowOpCount();
+
+  /// Records an instant event on the calling thread's timeline.
+  static void Instant(const char* name);
+
+  /// Merges every thread's ring into {"traceEvents":[...]} JSON.
+  static std::string ExportChromeJson();
+  /// ExportChromeJson() to `path`; false on I/O error.
+  static bool WriteChromeJson(const std::string& path);
+  /// Writes to $BG3_TRACE_FILE (default `bg3_trace.json`) if tracing is
+  /// enabled; returns the path written, empty string if disabled/failed.
+  static std::string ExportToEnvFile();
+
+  /// Clears all rings and the slow-op count (keeps enabled state). Rings
+  /// of exited threads are garbage-collected here.
+  static void Reset();
+
+  /// Ring capacity (events) for rings created *after* the call — i.e. for
+  /// threads that have not traced yet. Testing wraparound uses a tiny ring
+  /// on a fresh thread.
+  static void SetRingCapacityForTesting(size_t events);
+
+  /// Events currently held across all rings (post-wrap rings report their
+  /// full capacity).
+  static size_t EventCountForTesting();
+};
+
+/// RAII begin/end span: records one complete ('X') trace event on scope
+/// exit, maintains the per-thread span depth, and feeds the slow-op log.
+/// Near-zero cost (one flag load) when tracing and slow-op logging are both
+/// off. `name` must be a string literal.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (obs::Flags() & (obs::kTraceBit | obs::kSlowOpBit)) Begin(name);
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace trace
+}  // namespace bg3
+
+/// Standalone trace span (no histogram); use BG3_TIMED_SCOPE when the scope
+/// should also feed a latency histogram.
+#define BG3_TRACE_SPAN(name_literal) \
+  ::bg3::trace::TraceSpan bg3_trace_span_##__LINE__(name_literal)
+
+#endif  // BG3_COMMON_TRACE_H_

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/timed_scope.h"
 #include "graph/edge.h"
 
 namespace bg3::core {
@@ -52,10 +54,42 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
     reclaimer_ = std::make_unique<gc::SpaceReclaimer>(
         store_, resolver_.get(), gc_policy_.get(), tracker_.get(), reclaim);
   }
+
+  // Publish forest/GC internals in the process-wide registry so DumpMetrics
+  // and the bench JSON see the same numbers DbStats reports. Per-instance
+  // prefix: tests and benches routinely run several GraphDBs per process.
+  metrics_prefix_ =
+      "bg3.db" + std::to_string(MetricsRegistry::NextInstanceId("db")) + ".";
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.RegisterLightCounter(metrics_prefix_ + "forest.split_outs",
+                           &forest_->stats().split_outs);
+  reg.RegisterLightCounter(metrics_prefix_ + "forest.evictions",
+                           &forest_->stats().evictions);
+  reg.RegisterCallback(metrics_prefix_ + "forest.tree_count",
+                       [this] { return uint64_t{forest_->TreeCount()}; });
+  reg.RegisterCallback(metrics_prefix_ + "forest.init_entries",
+                       [this] { return uint64_t{forest_->InitEntryCount()}; });
+  reg.RegisterCallback(metrics_prefix_ + "forest.latch_conflicts",
+                       [this] { return forest_->TotalLatchConflicts(); });
+  reg.RegisterCallback(metrics_prefix_ + "approx_memory_bytes", [this] {
+    return uint64_t{forest_->ApproxMemoryBytes() +
+                    vertex_tree_->ApproxMemoryBytes()};
+  });
+  if (reclaimer_ != nullptr) {
+    reg.RegisterCallback(metrics_prefix_ + "gc.extents_reclaimed", [this] {
+      return reclaimer_->totals().extents_reclaimed;
+    });
+    reg.RegisterCallback(metrics_prefix_ + "gc.extents_expired", [this] {
+      return reclaimer_->totals().extents_expired;
+    });
+    reg.RegisterCallback(metrics_prefix_ + "gc.bytes_freed",
+                         [this] { return reclaimer_->totals().bytes_freed; });
+  }
 }
 
 GraphDB::~GraphDB() {
   StopMaintenance();
+  MetricsRegistry::Default().DeregisterPrefix(metrics_prefix_);
   store_->SetObserver(nullptr);
 }
 
@@ -94,14 +128,17 @@ bool GraphDB::EdgeExpired(graph::TimestampUs created_us) const {
 }
 
 Status GraphDB::AddVertex(graph::VertexId id, const Slice& properties) {
+  BG3_TIMED_SCOPE("bg3.api.add_vertex_ns");
   return vertex_tree_->Upsert(graph::EncodeDstKey(id), properties);
 }
 
 Result<std::string> GraphDB::GetVertex(graph::VertexId id) {
+  BG3_TIMED_SCOPE("bg3.api.get_vertex_ns");
   return vertex_tree_->Get(graph::EncodeDstKey(id));
 }
 
 Status GraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
+  BG3_TIMED_SCOPE("bg3.api.delete_vertex_ns");
   (void)vertex_tree_->Delete(graph::EncodeDstKey(id));
   const uint64_t owner = graph::MakeOwnerId(id, type);
   std::vector<bwtree::Entry> entries;
@@ -115,6 +152,7 @@ Status GraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
 Status GraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
                         graph::VertexId dst, const Slice& properties,
                         graph::TimestampUs created_us) {
+  BG3_TIMED_SCOPE("bg3.api.add_edge_ns");
   if (created_us == 0) created_us = time_source_->NowUs();
   return forest_->Upsert(graph::MakeOwnerId(src, type),
                          graph::EncodeDstKey(dst),
@@ -123,12 +161,14 @@ Status GraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
 
 Status GraphDB::DeleteEdge(graph::VertexId src, graph::EdgeType type,
                            graph::VertexId dst) {
+  BG3_TIMED_SCOPE("bg3.api.delete_edge_ns");
   return forest_->Delete(graph::MakeOwnerId(src, type),
                          graph::EncodeDstKey(dst));
 }
 
 Result<std::string> GraphDB::GetEdge(graph::VertexId src, graph::EdgeType type,
                                      graph::VertexId dst) {
+  BG3_TIMED_SCOPE("bg3.api.get_edge_ns");
   auto value = forest_->Get(graph::MakeOwnerId(src, type),
                             graph::EncodeDstKey(dst));
   BG3_RETURN_IF_ERROR(value.status());
@@ -145,6 +185,7 @@ Result<std::string> GraphDB::GetEdge(graph::VertexId src, graph::EdgeType type,
 Status GraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
                              size_t limit,
                              std::vector<graph::Neighbor>* out) {
+  BG3_TIMED_SCOPE("bg3.api.get_neighbors_ns");
   std::vector<bwtree::Entry> entries;
   BG3_RETURN_IF_ERROR(forest_->ScanOwner(graph::MakeOwnerId(src, type),
                                          Slice(), limit, &entries));
@@ -164,6 +205,7 @@ Status GraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
 }
 
 Status GraphDB::RunGcCycle() {
+  BG3_TIMED_SCOPE("bg3.api.run_gc_cycle_ns");
   if (opts_.memory_budget_bytes != 0) {
     const size_t memory =
         forest_->ApproxMemoryBytes() + vertex_tree_->ApproxMemoryBytes();
@@ -181,6 +223,10 @@ Status GraphDB::RunGcCycle() {
       reclaimer_->RunCycle(delta_stream_, opts_.gc_extents_per_cycle)
           .status());
   return Status::OK();
+}
+
+std::string GraphDB::DumpMetrics(int indent) const {
+  return MetricsRegistry::Default().RenderJson(indent);
 }
 
 DbStats GraphDB::Stats() const {

@@ -67,6 +67,15 @@ class GraphDB : public graph::GraphEngine {
 
   DbStats Stats() const;
 
+  /// Structured dump of the process-wide metrics registry (counters, gauges,
+  /// per-layer latency histograms) as JSON. The forest/GC internals of this
+  /// instance appear under its `bg3.db<N>.` prefix; see metrics_prefix().
+  std::string DumpMetrics(int indent = 2) const;
+
+  /// Per-instance metric-name prefix this DB registered its forest and GC
+  /// stats under (`bg3.db<N>.`).
+  const std::string& metrics_prefix() const { return metrics_prefix_; }
+
   forest::BwTreeForest* forest() { return forest_.get(); }
   bwtree::BwTree* vertex_tree() { return vertex_tree_.get(); }
   cloud::CloudStore* store() { return store_; }
@@ -90,6 +99,7 @@ class GraphDB : public graph::GraphEngine {
 
   cloud::CloudStore* const store_;
   const GraphDBOptions opts_;
+  std::string metrics_prefix_;
   cloud::WallTimeSource wall_time_;
   const cloud::TimeSource* time_source_;
 

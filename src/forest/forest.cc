@@ -5,6 +5,7 @@
 #include "common/coding.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/timed_scope.h"
 
 namespace bg3::forest {
 
@@ -77,6 +78,7 @@ std::shared_ptr<BwTreeForest::OwnerState> BwTreeForest::FindState(
 
 Status BwTreeForest::Upsert(OwnerId owner, const Slice& sort_key,
                             const Slice& value) {
+  BG3_TIMED_SCOPE("bg3.forest.upsert_ns");
   auto owned = GetOrCreateState(owner);
   OwnerState* state = owned.get();
   bool check_init_capacity = false;
@@ -124,6 +126,7 @@ Status BwTreeForest::Delete(OwnerId owner, const Slice& sort_key) {
 }
 
 Result<std::string> BwTreeForest::Get(OwnerId owner, const Slice& sort_key) {
+  BG3_TIMED_SCOPE("bg3.forest.lookup_ns");
   auto owned = FindState(owner);
   if (owned == nullptr) return Status::NotFound("unknown owner");
   OwnerState* state = owned.get();
@@ -134,6 +137,7 @@ Result<std::string> BwTreeForest::Get(OwnerId owner, const Slice& sort_key) {
 
 Status BwTreeForest::ScanOwner(OwnerId owner, const Slice& start_sort_key,
                                size_t limit, std::vector<bwtree::Entry>* out) {
+  BG3_TIMED_SCOPE("bg3.forest.scan_ns");
   auto owned = FindState(owner);
   if (owned == nullptr) return Status::OK();  // no entries yet
   OwnerState* state = owned.get();
@@ -174,6 +178,7 @@ Status BwTreeForest::DedicateOwner(OwnerId owner) {
 
 Status BwTreeForest::SplitOutLocked(OwnerId owner, OwnerState* state,
                                     LightCounter* reason) {
+  BG3_TIMED_SCOPE("bg3.forest.split_out_ns");
   BG3_CHECK(state->tree == nullptr);
   const bwtree::TreeId id =
       next_tree_id_.fetch_add(1, std::memory_order_relaxed);

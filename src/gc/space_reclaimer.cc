@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/retry.h"
+#include "common/timed_scope.h"
 
 namespace bg3::gc {
 
@@ -31,6 +32,7 @@ SpaceReclaimer::SpaceReclaimer(cloud::CloudStore* store,
 
 Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
                                              size_t max_extents) {
+  BG3_TIMED_SCOPE("bg3.gc.cycle_ns");
   CycleResult result;
   const uint64_t now = tracker_->NowUs();
 
@@ -45,6 +47,7 @@ Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
 
   // Phase 1: free extents whose TTL elapsed — no data movement at all.
   if (opts_.ttl_us != 0) {
+    BG3_TIMED_SCOPE("bg3.gc.expire_phase_ns");
     std::vector<GcCandidate> remaining;
     remaining.reserve(candidates.size());
     for (GcCandidate& cand : candidates) {
@@ -75,6 +78,7 @@ Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
       total == 0 ? 0.0
                  : static_cast<double>(total - live) / static_cast<double>(total);
   if (dead_ratio > opts_.target_dead_ratio) {
+    BG3_TIMED_SCOPE("bg3.gc.relocate_phase_ns");
     std::unordered_map<cloud::ExtentId, uint64_t> used_bytes;
     for (const GcCandidate& cand : candidates) {
       used_bytes[cand.stats.id] = cand.stats.used_bytes;
@@ -110,6 +114,7 @@ Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
 
 Result<uint64_t> SpaceReclaimer::RelocateExtent(cloud::StreamId stream,
                                                 cloud::ExtentId extent) {
+  BG3_TIMED_SCOPE("bg3.gc.relocate_extent_ns");
   auto records = RetryResultWithBackoff(StoreRetryOptions(), [&] {
     return store_->ReadValidRecords(stream, extent);
   });

@@ -1,5 +1,7 @@
 #include "query/query.h"
 
+#include "common/timed_scope.h"
+
 #include <algorithm>
 #include <unordered_set>
 
@@ -132,6 +134,7 @@ Query& Query::Sample(size_t k, uint64_t seed) {
 }
 
 Result<std::vector<graph::VertexId>> Query::Execute() {
+  BG3_TIMED_SCOPE("bg3.query.execute_ns");
   Frontier f;
   f.vertices = sources_;
   for (const Step& step : steps_) {

@@ -4,6 +4,8 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/timed_scope.h"
 #include "replication/page_image.h"
 
 namespace bg3::replication {
@@ -22,9 +24,26 @@ RoNode::RoNode(cloud::CloudStore* store, const RoNodeOptions& options)
     : store_(store),
       opts_(options),
       reader_(store, options.wal_stream),
-      rng_(options.seed) {}
+      rng_(options.seed),
+      metrics_prefix_("bg3.replication.ro" +
+                      std::to_string(MetricsRegistry::NextInstanceId("ro")) +
+                      ".") {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.RegisterHistogram(metrics_prefix_ + "sync_latency_us", &sync_latency_);
+  reg.RegisterCounter(metrics_prefix_ + "cache_hits", &stats_.cache_hits);
+  reg.RegisterCounter(metrics_prefix_ + "cache_misses", &stats_.cache_misses);
+  reg.RegisterCounter(metrics_prefix_ + "wal_mutations", &stats_.wal_mutations);
+  reg.RegisterCounter(metrics_prefix_ + "replayed", &stats_.replayed);
+  reg.RegisterCounter(metrics_prefix_ + "storage_reads", &stats_.storage_reads);
+  reg.RegisterCounter(metrics_prefix_ + "poll_degraded", &stats_.poll_degraded);
+}
+
+RoNode::~RoNode() {
+  MetricsRegistry::Default().DeregisterPrefix(metrics_prefix_);
+}
 
 Status RoNode::PollWal() {
+  BG3_TIMED_SCOPE("bg3.replication.poll_ns");
   MutexLock lock(&mu_);
   return PollWalLocked();
 }
@@ -411,6 +430,7 @@ void RoNode::EvictIfNeededLocked() {
 }
 
 Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
+  BG3_TIMED_SCOPE("bg3.replication.ro_get_ns");
   MutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);
@@ -431,6 +451,7 @@ Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
 Status RoNode::Scan(bwtree::TreeId tree, const Slice& start_key,
                     const Slice& end_key, size_t limit,
                     std::vector<bwtree::Entry>* out) {
+  BG3_TIMED_SCOPE("bg3.replication.ro_scan_ns");
   MutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);

@@ -70,6 +70,7 @@ struct RoNodeStats {
 class RoNode {
  public:
   RoNode(cloud::CloudStore* store, const RoNodeOptions& options);
+  ~RoNode();
 
   RoNode(const RoNode&) = delete;
   RoNode& operator=(const RoNode&) = delete;
@@ -190,6 +191,9 @@ class RoNode {
 
   Histogram sync_latency_;
   RoNodeStats stats_;
+  /// Per-instance registry prefix (`bg3.replication.ro<N>.`) the node's
+  /// sync-latency histogram and counters are registered under.
+  std::string metrics_prefix_;
 };
 
 }  // namespace bg3::replication

@@ -1,6 +1,7 @@
 #include "wal/writer.h"
 
 #include "common/retry.h"
+#include "common/timed_scope.h"
 
 namespace bg3::wal {
 
@@ -8,6 +9,7 @@ WalWriter::WalWriter(cloud::CloudStore* store, const WalWriterOptions& options)
     : store_(store), opts_(options), rng_(options.seed) {}
 
 Status WalWriter::Append(WalRecord record) {
+  BG3_TIMED_SCOPE("bg3.wal.append_ns");
   std::lock_guard<std::mutex> lock(mu_);
   buffer_.push_back(std::move(record));
   if (buffer_.size() >= opts_.group_size) return FlushLocked();
@@ -26,6 +28,7 @@ cloud::PagePointer WalWriter::last_append_ptr() const {
 
 Status WalWriter::FlushLocked() {
   if (buffer_.empty()) return Status::OK();
+  BG3_TIMED_SCOPE("bg3.wal.sync_ns");
   // Stamp each record's simulated publish latency: its residency in the
   // group buffer plus the append latency of the batch itself.
   const std::string probe = EncodeBatch(buffer_);

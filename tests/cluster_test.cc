@@ -265,7 +265,9 @@ TEST(ClusterTest, ConcurrentWritersAndFollowerReaders) {
     for (int round = 0; round < 10; ++round) {
       for (int i = 0; i < 1000; i += 37) {
         auto v = f.cluster->Get(Key(i));
-        if (v.ok()) EXPECT_EQ(v.value(), std::to_string(i));
+        if (v.ok()) {
+          EXPECT_EQ(v.value(), std::to_string(i));
+        }
       }
     }
   });

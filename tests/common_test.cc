@@ -15,6 +15,7 @@
 #include "common/hash.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/slice.h"
@@ -362,9 +363,9 @@ TEST(MetricsRegistryTest, NamedCountersPersist) {
   reg.GetCounter("reads")->Add(3);
   reg.GetCounter("reads")->Add(4);
   reg.GetCounter("writes")->Inc();
-  auto snap = reg.Snapshot();
-  EXPECT_EQ(snap["reads"], 7u);
-  EXPECT_EQ(snap["writes"], 1u);
+  auto snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters["reads"], 7u);
+  EXPECT_EQ(snap.counters["writes"], 1u);
 }
 
 // --- histogram ---------------------------------------------------------------
