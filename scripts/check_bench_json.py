@@ -35,6 +35,21 @@ KNOWN_LAYERS = {
     "cloud", "gc", "replication", "trace",
 }
 
+# Per-bench structural expectations, keyed by the JSON's "bench" name.
+# `series`: names that must each appear in at least one row;
+# `scalars`: (name, min_value) pairs that must be present and >= min.
+BENCH_EXPECTATIONS = {
+    "read_scaling": {
+        "series": [
+            "read_optimized_hit", "read_optimized_miss",
+            "traditional_hit", "traditional_miss",
+        ],
+        # The shared-latch read path must scale: >= 3x modeled speedup at
+        # 8 threads on the cache-hit workload (the PR's acceptance bar).
+        "scalars": [("modeled_speedup_8t_hit", 3.0)],
+    },
+}
+
 errors = []
 
 
@@ -95,6 +110,22 @@ def check_bench(path):
     for field in IO_FIELDS:
         if field not in doc["io"]:
             fail(path, f"io breakdown missing '{field}'")
+
+    expect = BENCH_EXPECTATIONS.get(doc["bench"])
+    if expect:
+        present = {row.get("series") for row in doc["series"]
+                   if isinstance(row, dict)}
+        for name in expect.get("series", []):
+            if name not in present:
+                fail(path, f"expected series '{name}' missing")
+        scalars = doc.get("scalars", {})
+        for name, minimum in expect.get("scalars", []):
+            if name not in scalars:
+                fail(path, f"expected scalar '{name}' missing")
+            elif not isinstance(scalars[name], (int, float)) or \
+                    scalars[name] < minimum:
+                fail(path, f"scalar {name}={scalars[name]!r} below "
+                           f"required minimum {minimum}")
 
     if not doc["latency_ns"]:
         # Per-layer latency is the point of the schema; an empty map means

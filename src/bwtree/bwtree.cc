@@ -15,7 +15,9 @@ BwTree::BwTree(cloud::CloudStore* store, const BwTreeOptions& options)
                                                 : &local_lsn_),
       page_id_source_(options.page_id_source != nullptr
                           ? options.page_id_source
-                          : &local_page_id_) {
+                          : &local_page_id_),
+      tick_source_(options.tick_source != nullptr ? options.tick_source
+                                                  : &local_tick_) {
   BG3_CHECK(store_ != nullptr || opts_.flush_mode == FlushMode::kNone)
       << "a cloud store is required unless flushing is disabled";
   BG3_CHECK(!(opts_.read_cache == ReadCacheMode::kNone &&
@@ -57,7 +59,7 @@ Status BwTree::InstallRecoveredPages(std::vector<RecoveredPage> pages) {
     {
       // Uncontended (the page is unpublished); latching makes the guarded
       // writes visible to the thread-safety analysis.
-      MutexLock init_lock(&page->latch);
+      WriterMutexLock init_lock(&page->latch);
       page->high_key = rp.high_key;
       page->has_high_key = rp.has_high_key;
       page->base_entries = std::move(rp.entries);
@@ -77,27 +79,65 @@ Status BwTree::InstallRecoveredPages(std::vector<RecoveredPage> pages) {
   return Status::OK();
 }
 
-LeafPage* BwTree::FindAndLatchLeaf(const Slice& key,
-                                   std::unique_lock<Mutex>* lock) {
+LeafPage* BwTree::FindAndLatchLeafExclusive(
+    const Slice& key, std::unique_lock<SharedMutex>* lock) {
+  bool refresh = false;
   for (;;) {
-    LeafPage* leaf = index_.FindLeaf(key);
+    LeafPage* leaf =
+        refresh ? index_.FindLeafFresh(key) : index_.FindLeaf(key);
     BG3_CHECK(leaf != nullptr);
-    std::unique_lock<Mutex> latch(leaf->latch, std::try_to_lock);
+    std::unique_lock<SharedMutex> latch(leaf->latch, std::try_to_lock);
     if (!latch.owns_lock()) {
-      stats_.latch_conflicts.Inc();
+      stats_.latch_exclusive_conflicts.Inc();
       latch.lock();
     }
     leaf->latch.AssertHeld();
-    // Re-validate: the leaf may have split between routing and latching.
+    stats_.latch_exclusive_acquires.Inc();
+    // Re-validate: the leaf may have split between routing and latching,
+    // or the routing snapshot/hint may have been stale.
     const bool in_range =
         key.compare(Slice(leaf->low_key)) >= 0 &&
         (!leaf->has_high_key || key.compare(Slice(leaf->high_key)) < 0);
     if (in_range) {
-      leaf->last_access_tick =
-          access_tick_.fetch_add(1, std::memory_order_relaxed);
+      leaf->last_access_tick.store(
+          tick_source_->fetch_add(1, std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      index_.NoteLeafHint(leaf, leaf->high_key, leaf->has_high_key);
       *lock = std::move(latch);
       return leaf;
     }
+    // Wrong leaf: retry against a freshly published route snapshot (the
+    // forced refresh prevents a stale thread-local snapshot from looping).
+    refresh = true;
+  }
+}
+
+LeafPage* BwTree::FindAndLatchLeafShared(const Slice& key,
+                                         std::shared_lock<SharedMutex>* lock) {
+  bool refresh = false;
+  for (;;) {
+    LeafPage* leaf =
+        refresh ? index_.FindLeafFresh(key) : index_.FindLeaf(key);
+    BG3_CHECK(leaf != nullptr);
+    std::shared_lock<SharedMutex> latch(leaf->latch, std::try_to_lock);
+    if (!latch.owns_lock()) {
+      stats_.latch_shared_conflicts.Inc();
+      latch.lock();
+    }
+    leaf->latch.AssertReaderHeld();
+    stats_.latch_shared_acquires.Inc();
+    const bool in_range =
+        key.compare(Slice(leaf->low_key)) >= 0 &&
+        (!leaf->has_high_key || key.compare(Slice(leaf->high_key)) < 0);
+    if (in_range) {
+      leaf->last_access_tick.store(
+          tick_source_->fetch_add(1, std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      index_.NoteLeafHint(leaf, leaf->high_key, leaf->has_high_key);
+      *lock = std::move(latch);
+      return leaf;
+    }
+    refresh = true;
   }
 }
 
@@ -113,8 +153,8 @@ Status BwTree::Delete(const Slice& key) {
 
 Status BwTree::Write(DeltaEntry entry) {
   BG3_TIMED_SCOPE("bg3.bwtree.write_ns");
-  std::unique_lock<Mutex> lock;
-  LeafPage* leaf = FindAndLatchLeaf(entry.key, &lock);
+  std::unique_lock<SharedMutex> lock;
+  LeafPage* leaf = FindAndLatchLeafExclusive(entry.key, &lock);
   leaf->latch.AssertHeld();
   const Lsn lsn = NextLsn();
   leaf->last_lsn = lsn;
@@ -233,7 +273,8 @@ Status BwTree::EnsureResidentLocked(LeafPage* leaf) {
 
 size_t BwTree::EvictColdPages(size_t target_resident) {
   // Collect eviction candidates: resident, clean, with a flushed base image
-  // (or nothing to lose), coldest first.
+  // (or nothing to lose), coldest first. Shared latches — the scan races
+  // benignly with readers and the winners are re-validated exclusively.
   struct Candidate {
     PageId id;
     uint64_t tick;
@@ -241,12 +282,13 @@ size_t BwTree::EvictColdPages(size_t target_resident) {
   std::vector<Candidate> candidates;
   size_t resident = 0;
   index_.ForEachPage([&](LeafPage* p) {
-    MutexLock lock(&p->latch);
+    ReaderMutexLock lock(&p->latch);
     if (!p->resident) return;
     ++resident;
     if (p->dirty) return;
     if (p->base_ptr.IsNull() && !p->base_entries.empty()) return;
-    candidates.push_back(Candidate{p->id, p->last_access_tick});
+    candidates.push_back(Candidate{
+        p->id, p->last_access_tick.load(std::memory_order_relaxed)});
   });
   if (resident <= target_resident) return 0;
   std::sort(candidates.begin(), candidates.end(),
@@ -258,7 +300,7 @@ size_t BwTree::EvictColdPages(size_t target_resident) {
     if (resident - evicted <= target_resident) break;
     LeafPage* p = index_.FindPage(c.id);
     if (p == nullptr) continue;
-    MutexLock lock(&p->latch);
+    WriterMutexLock lock(&p->latch);
     if (!p->resident || p->dirty) continue;
     p->base_entries.clear();
     p->base_entries.shrink_to_fit();
@@ -272,10 +314,52 @@ size_t BwTree::EvictColdPages(size_t target_resident) {
 size_t BwTree::ResidentPageCount() const {
   size_t resident = 0;
   index_.ForEachPage([&](LeafPage* p) {
-    MutexLock lock(&p->latch);
+    ReaderMutexLock lock(&p->latch);
     if (p->resident) ++resident;
   });
   return resident;
+}
+
+size_t BwTree::CollectResidency(std::vector<PageResidency>* out) const {
+  size_t total = 0;
+  index_.ForEachPage([&](LeafPage* p) {
+    ReaderMutexLock lock(&p->latch);
+    if (!p->resident) return;
+    PageResidency r;
+    r.id = p->id;
+    r.tick = p->last_access_tick.load(std::memory_order_relaxed);
+    r.bytes = EntryBytes(p->base_entries);
+    r.evictable =
+        !p->dirty && (!p->base_ptr.IsNull() || p->base_entries.empty());
+    total += r.bytes;
+    out->push_back(r);
+  });
+  return total;
+}
+
+size_t BwTree::ResidentBytes() const {
+  size_t total = 0;
+  index_.ForEachPage([&](LeafPage* p) {
+    ReaderMutexLock lock(&p->latch);
+    if (p->resident) total += EntryBytes(p->base_entries);
+  });
+  return total;
+}
+
+size_t BwTree::EvictPage(PageId id) {
+  LeafPage* p = index_.FindPage(id);
+  if (p == nullptr) return 0;
+  WriterMutexLock lock(&p->latch);
+  // Re-validate: the page may have been dirtied, evicted, or reloaded
+  // since the budget scan sampled it.
+  if (!p->resident || p->dirty) return 0;
+  if (p->base_ptr.IsNull() && !p->base_entries.empty()) return 0;
+  const size_t bytes = EntryBytes(p->base_entries);
+  p->base_entries.clear();
+  p->base_entries.shrink_to_fit();
+  p->resident = false;
+  stats_.page_evictions.Inc();
+  return bytes;
 }
 
 Status BwTree::ConsolidateLocked(LeafPage* leaf) {
@@ -345,7 +429,7 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
   auto sibling = std::make_unique<LeafPage>(NextPageId());
   LeafPage* sib = sibling.get();
   sib->low_key = separator;
-  std::unique_lock<Mutex> sib_latch(sib->latch);
+  std::unique_lock<SharedMutex> sib_latch(sib->latch);
   sib->latch.AssertHeld();
   sib->high_key = leaf->high_key;
   sib->has_high_key = leaf->has_high_key;
@@ -443,12 +527,28 @@ void BwTree::CheckLeafInvariantsLocked(LeafPage* leaf) {
 Result<std::string> BwTree::Get(const Slice& key) {
   BG3_TIMED_SCOPE("bg3.bwtree.get_ns");
   stats_.gets.Inc();
-  std::unique_lock<Mutex> lock;
-  LeafPage* leaf = FindAndLatchLeaf(key, &lock);
-  leaf->latch.AssertHeld();
 
-  if (opts_.read_cache == ReadCacheMode::kFull) {
-    // Check the delta chain newest-first, then the base page.
+  if (opts_.read_cache == ReadCacheMode::kNone) {
+    // Zero-cache path: fetch the storage images — one read for the base
+    // page plus one per delta (the I/O cost Fig. 9 measures). Read-only on
+    // the leaf, so concurrent point reads share the latch.
+    std::shared_lock<SharedMutex> lock;
+    LeafPage* leaf = FindAndLatchLeafShared(key, &lock);
+    leaf->latch.AssertReaderHeld();
+    std::vector<Entry> merged;
+    BG3_RETURN_IF_ERROR(LoadMergedFromStorageLocked(leaf, &merged));
+    std::string value;
+    if (LookupInBase(merged, key, &value)) return value;
+    return Status::NotFound("no such key");
+  }
+
+  // Full-cache fast path: check the delta chain newest-first, then the
+  // resident base — all under a shared latch, so readers of one hot leaf
+  // never serialize behind each other.
+  {
+    std::shared_lock<SharedMutex> lock;
+    LeafPage* leaf = FindAndLatchLeafShared(key, &lock);
+    leaf->latch.AssertReaderHeld();
     std::string value;
     bool deleted = false;
     for (const auto& d : leaf->chain) {
@@ -457,17 +557,28 @@ Result<std::string> BwTree::Get(const Slice& key) {
         return value;
       }
     }
-    BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
-    if (LookupInBase(leaf->base_entries, key, &value)) return value;
-    return Status::NotFound("no such key");
+    if (leaf->resident) {
+      if (LookupInBase(leaf->base_entries, key, &value)) return value;
+      return Status::NotFound("no such key");
+    }
   }
 
-  // Zero-cache path: fetch the storage images — one read for the base page
-  // plus one per delta (the I/O cost Fig. 9 measures).
-  std::vector<Entry> merged;
-  BG3_RETURN_IF_ERROR(LoadMergedFromStorageLocked(leaf, &merged));
+  // Cache miss on an evicted leaf: the reload mutates the page, so retake
+  // the latch exclusively and redo the lookup from scratch (the page may
+  // have changed while unlatched).
+  std::unique_lock<SharedMutex> lock;
+  LeafPage* leaf = FindAndLatchLeafExclusive(key, &lock);
+  leaf->latch.AssertHeld();
   std::string value;
-  if (LookupInBase(merged, key, &value)) return value;
+  bool deleted = false;
+  for (const auto& d : leaf->chain) {
+    if (LookupInDelta(d.entries, key, &value, &deleted)) {
+      if (deleted) return Status::NotFound("deleted");
+      return value;
+    }
+  }
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  if (LookupInBase(leaf->base_entries, key, &value)) return value;
   return Status::NotFound("no such key");
 }
 
@@ -541,7 +652,9 @@ Status BwTree::CollectRangeLocked(LeafPage* leaf, const std::string& start,
   }
   // In-memory fast path: merge-iterate the sorted base with a small overlay
   // built from the (short) delta chain — O(limit + chain), not O(page).
-  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  // Read-only: the caller made the leaf resident before collecting (Scan's
+  // exclusive-reload fallback handles evicted leaves).
+  BG3_DCHECK(leaf->resident);
   std::map<std::string, const DeltaEntry*> overlay;  // newest wins
   for (auto cit = leaf->chain.rbegin(); cit != leaf->chain.rend(); ++cit) {
     for (const DeltaEntry& e : cit->entries) {
@@ -584,9 +697,30 @@ Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
   const bool bounded_end = !options.end_key.empty();
   for (;;) {
     if (out->size() >= target) return Status::OK();
-    std::unique_lock<Mutex> lock;
-    LeafPage* leaf = FindAndLatchLeaf(cursor, &lock);
+    {
+      // Shared-latch fast path: collect from a resident leaf (or via the
+      // storage images in zero-cache mode) without blocking other readers.
+      std::shared_lock<SharedMutex> lock;
+      LeafPage* leaf = FindAndLatchLeafShared(cursor, &lock);
+      leaf->latch.AssertReaderHeld();
+      if (opts_.read_cache == ReadCacheMode::kNone || leaf->resident) {
+        BG3_RETURN_IF_ERROR(CollectRangeLocked(leaf, cursor, options.end_key,
+                                               target, out));
+        if (out->size() >= target) return Status::OK();
+        if (!leaf->has_high_key) return Status::OK();
+        if (bounded_end && leaf->high_key >= options.end_key) {
+          return Status::OK();
+        }
+        cursor = leaf->high_key;
+        continue;
+      }
+    }
+    // Evicted leaf: the reload mutates the page — retake exclusively,
+    // reload, then collect this hop under the exclusive latch.
+    std::unique_lock<SharedMutex> lock;
+    LeafPage* leaf = FindAndLatchLeafExclusive(cursor, &lock);
     leaf->latch.AssertHeld();
+    BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
     BG3_RETURN_IF_ERROR(CollectRangeLocked(leaf, cursor, options.end_key,
                                            target, out));
     if (out->size() >= target) return Status::OK();
@@ -599,7 +733,7 @@ Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
 std::vector<PageId> BwTree::DirtyPageIds() const {
   std::vector<PageId> out;
   index_.ForEachPage([&out](LeafPage* p) {
-    MutexLock lock(&p->latch);
+    ReaderMutexLock lock(&p->latch);
     if (p->dirty) out.push_back(p->id);
   });
   return out;
@@ -608,7 +742,7 @@ std::vector<PageId> BwTree::DirtyPageIds() const {
 Status BwTree::FlushPage(PageId id) {
   LeafPage* leaf = index_.FindPage(id);
   if (leaf == nullptr) return Status::NotFound("page");
-  MutexLock lock(&leaf->latch);
+  WriterMutexLock lock(&leaf->latch);
   if (!leaf->dirty) return Status::OK();
   BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
   // Deferred flushing always writes a consolidated image (group commit of
@@ -646,7 +780,7 @@ Result<uint64_t> BwTree::Relocate(const cloud::PagePointer& old_ptr,
     store_->MarkInvalid(old_ptr);
     return uint64_t{0};
   }
-  MutexLock lock(&leaf->latch);
+  WriterMutexLock lock(&leaf->latch);
   if (header.kind == RecordKind::kBasePage && leaf->base_ptr == old_ptr) {
     auto res = RetryingAppend(opts_.base_stream, record_bytes);
     BG3_RETURN_IF_ERROR(res.status());
@@ -674,11 +808,8 @@ Result<uint64_t> BwTree::Relocate(const cloud::PagePointer& old_ptr,
 
 size_t BwTree::CountEntries() const {
   size_t count = 0;
-  // const_cast: ForEachPage only hands out non-const pages; the walk itself
-  // does not mutate tree structure.
-  auto* self = const_cast<BwTree*>(this);
-  self->index_.ForEachPage([&count, self](LeafPage* p) {
-    MutexLock lock(&p->latch);
+  index_.ForEachPage([&count](LeafPage* p) {
+    ReaderMutexLock lock(&p->latch);
     std::vector<Entry> view;
     std::vector<const std::vector<DeltaEntry>*> oldest_first;
     for (auto it = p->chain.rbegin(); it != p->chain.rend(); ++it) {
@@ -693,7 +824,7 @@ size_t BwTree::CountEntries() const {
 size_t BwTree::ApproxMemoryBytes() const {
   size_t bytes = sizeof(*this) + index_.ApproxIndexBytes();
   index_.ForEachPage([&bytes](LeafPage* p) {
-    MutexLock lock(&p->latch);
+    ReaderMutexLock lock(&p->latch);
     bytes += EntryBytes(p->base_entries);
     bytes += p->low_key.capacity() + p->high_key.capacity();
     for (const auto& d : p->chain) {

@@ -81,6 +81,11 @@ struct BwTreeOptions {
   /// node-global counters); nullptr uses tree-local counters.
   std::atomic<Lsn>* lsn_source = nullptr;
   std::atomic<PageId>* page_id_source = nullptr;
+  /// Shared access-tick allocator for LRU eviction. A forest passes one
+  /// counter for all its trees so last-access ages are comparable
+  /// forest-wide (the forest::EvictToBudget ordering); nullptr uses a
+  /// tree-local counter.
+  std::atomic<uint64_t>* tick_source = nullptr;
 
   /// Crash recovery: skip creating the initial page (and its OnTreeInit
   /// notification); the caller installs the recovered layout via
@@ -111,9 +116,16 @@ struct BwTreeStats {
   LightCounter deletes;
   LightCounter gets;
   LightCounter scans;
-  /// Latch acquisitions that found the latch held — the write conflicts the
-  /// Bw-tree forest is designed to reduce (§3.2.1 Observation 1).
-  LightCounter latch_conflicts;
+  /// Leaf-latch acquisition counters, split by mode (exported through the
+  /// registry as bg3.db<N>.bwtree.latch.*). The conflict counters count
+  /// acquisitions whose try-lock failed because an incompatible holder was
+  /// present: exclusive conflicts are the write contention the Bw-tree
+  /// forest is designed to reduce (§3.2.1 Observation 1, Fig. 11); shared
+  /// conflicts measure readers stalled behind writers.
+  LightCounter latch_shared_acquires;
+  LightCounter latch_exclusive_acquires;
+  LightCounter latch_shared_conflicts;
+  LightCounter latch_exclusive_conflicts;
   LightCounter consolidations;
   LightCounter splits;
   /// Base pages reloaded from storage after eviction (cache misses of the
@@ -164,6 +176,29 @@ class BwTree {
 
   size_t ResidentPageCount() const;
 
+  /// One leaf's residency record for the forest-wide byte budget (see
+  /// forest::EvictToBudget). `bytes` is the in-memory payload of the
+  /// resident base entries; `evictable` marks clean pages whose flushed
+  /// image (or empty content) makes dropping them safe.
+  struct PageResidency {
+    PageId id = kInvalidPage;
+    uint64_t tick = 0;
+    size_t bytes = 0;
+    bool evictable = false;
+  };
+  /// Appends one record per resident leaf (shared latches only; safe to
+  /// call concurrently with reads and writes) and returns this tree's
+  /// total resident payload bytes.
+  size_t CollectResidency(std::vector<PageResidency>* out) const;
+  /// Total resident payload bytes (base entries of resident leaves).
+  size_t ResidentBytes() const;
+  /// Forest-budget eviction of a single page: drops the page's base
+  /// entries after re-validating (clean, resident, has a flushed image or
+  /// nothing to lose) under the exclusive latch. Returns bytes freed —
+  /// 0 if the page vanished, was dirtied, or was reloaded/evicted
+  /// concurrently.
+  size_t EvictPage(PageId id);
+
   // --- crash recovery (bootstrap mode) --------------------------------------
 
   /// Installs a recovered leaf layout into a tree constructed with
@@ -202,12 +237,18 @@ class BwTree {
     return page_id_source_->fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Routes to the leaf owning `key`, latches it, and re-validates the key
-  /// range (retrying if the leaf split concurrently). Returns the latched
-  /// leaf; `lock` holds the latch. Callers must follow up with
+  /// Routes to the leaf owning `key`, latches it exclusively, and
+  /// re-validates the key range (retrying — with a forced route-snapshot
+  /// refresh — if the leaf split concurrently). Returns the latched leaf;
+  /// `lock` holds the latch. Callers must follow up with
   /// `leaf->latch.AssertHeld()` so the thread-safety analysis learns about
   /// the acquisition it cannot see through std::unique_lock.
-  LeafPage* FindAndLatchLeaf(const Slice& key, std::unique_lock<Mutex>* lock);
+  LeafPage* FindAndLatchLeafExclusive(const Slice& key,
+                                      std::unique_lock<SharedMutex>* lock);
+  /// Shared-mode twin for the read path; callers follow up with
+  /// `leaf->latch.AssertReaderHeld()`.
+  LeafPage* FindAndLatchLeafShared(const Slice& key,
+                                   std::shared_lock<SharedMutex>* lock);
 
   Status Write(DeltaEntry entry);
   Status ApplyTraditionalLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn)
@@ -236,37 +277,44 @@ class BwTree {
   void NotifyFlushedLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
 
   /// Storage-image view of a page for cache-miss reads (Fig. 9 path).
+  /// Read-only on the leaf — runs under a shared latch so zero-cache reads
+  /// scale (an exclusive holder satisfies the shared requirement too).
   Status LoadMergedFromStorageLocked(LeafPage* leaf, std::vector<Entry>* out)
-      BG3_REQUIRES(leaf->latch);
-  /// Merged logical content per the read cache mode.
+      BG3_REQUIRES_SHARED(leaf->latch);
+  /// Merged logical content per the read cache mode (read-only).
   Status MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out)
-      BG3_REQUIRES(leaf->latch);
+      BG3_REQUIRES_SHARED(leaf->latch);
   /// Appends merged entries of [start, end) up to `limit` total entries in
-  /// `out`; O(result + chain) on the in-memory path.
+  /// `out`; O(result + chain) on the in-memory path. Read-only: in full-
+  /// cache mode the caller must have made the leaf resident first (Scan's
+  /// exclusive-reload fallback does this on a cache miss).
   Status CollectRangeLocked(LeafPage* leaf, const std::string& start,
                             const std::string& end, size_t limit,
-                            std::vector<Entry>* out) BG3_REQUIRES(leaf->latch);
+                            std::vector<Entry>* out)
+      BG3_REQUIRES_SHARED(leaf->latch);
 
   /// Debug invariant check for one latched leaf, called at consolidation,
   /// split and flush boundaries (BG3_DCHECK — compiled out when
-  /// BG3_ENABLE_DCHECKS is off):
+  /// BG3_ENABLE_DCHECKS is off). Read-only, so a shared latch suffices:
   ///  - read-optimized mode carries at most one delta (Alg. 1);
   ///  - base entries are strictly sorted;
   ///  - flushed_lsn never exceeds last_lsn;
   ///  - a dirty page implies deferred flushing;
   ///  - the key range is not inverted.
-  void CheckLeafInvariantsLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
+  void CheckLeafInvariantsLocked(LeafPage* leaf)
+      BG3_REQUIRES_SHARED(leaf->latch);
 
   cloud::CloudStore* const store_;
   const BwTreeOptions opts_;
   PageIndex index_;
   BwTreeStats stats_;
 
-  std::atomic<uint64_t> access_tick_{0};
+  std::atomic<uint64_t> local_tick_{0};
   std::atomic<Lsn> local_lsn_{0};
   std::atomic<PageId> local_page_id_{0};
   std::atomic<Lsn>* lsn_source_;
   std::atomic<PageId>* page_id_source_;
+  std::atomic<uint64_t>* tick_source_;
 };
 
 }  // namespace bg3::bwtree

@@ -13,7 +13,10 @@ std::string DbStats::ToString() const {
      << "\nforest: trees=" << tree_count << " init_entries=" << init_entries
      << " split_outs=" << split_outs << " evictions=" << evictions
      << " latch_conflicts=" << latch_conflicts
+     << " latch_acquires=" << latch_shared_acquires << "s/"
+     << latch_exclusive_acquires << "x"
      << " approx_memory=" << approx_memory_bytes << "B"
+     << " resident=" << resident_bytes << "B"
      << "\ngc: reclaimed=" << gc_extents_reclaimed
      << " expired=" << gc_extents_expired << " freed=" << gc_bytes_freed
      << "B";

@@ -24,8 +24,14 @@ struct DbStats {
   uint64_t init_entries = 0;
   uint64_t split_outs = 0;
   uint64_t evictions = 0;
+  /// Leaf-latch contention (shared + exclusive conflicts) across the forest.
   uint64_t latch_conflicts = 0;
+  uint64_t latch_shared_acquires = 0;
+  uint64_t latch_exclusive_acquires = 0;
   uint64_t approx_memory_bytes = 0;
+  /// Resident leaf payload bytes across every tree (the forest-wide
+  /// buffer-pool occupancy the memory budget acts on).
+  uint64_t resident_bytes = 0;
 
   // gc
   uint64_t gc_extents_reclaimed = 0;

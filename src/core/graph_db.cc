@@ -36,12 +36,14 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
       opts_.forest.tree_options.consolidate_threshold;
   vertex_opts.flush_mode = opts_.forest.tree_options.flush_mode;
   vertex_opts.tolerate_missing_extents = opts_.edge_ttl_us != 0;
+  vertex_opts.tick_source = &access_tick_;
   vertex_tree_ = std::make_unique<bwtree::BwTree>(store_, vertex_opts);
 
   forest::ForestOptions forest_opts = opts_.forest;
   forest_opts.tree_options.base_stream = base_stream_;
   forest_opts.tree_options.delta_stream = delta_stream_;
   forest_opts.tree_options.tolerate_missing_extents = opts_.edge_ttl_us != 0;
+  forest_opts.tree_options.tick_source = &access_tick_;
   forest_ = std::make_unique<forest::BwTreeForest>(store_, forest_opts);
 
   resolver_ = std::make_unique<ResolverImpl>(this);
@@ -69,11 +71,42 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
                        [this] { return uint64_t{forest_->TreeCount()}; });
   reg.RegisterCallback(metrics_prefix_ + "forest.init_entries",
                        [this] { return uint64_t{forest_->InitEntryCount()}; });
-  reg.RegisterCallback(metrics_prefix_ + "forest.latch_conflicts",
-                       [this] { return forest_->TotalLatchConflicts(); });
+  // Leaf-latch traffic across the whole DB (forest trees + vertex tree),
+  // split by mode: the shared/exclusive ratio is the read-path scalability
+  // signal, conflicts are the contention signal.
+  auto latch_counters = [this] {
+    forest::BwTreeForest::LatchCounters agg =
+        forest_->AggregateLatchCounters();
+    const bwtree::BwTreeStats& vs = vertex_tree_->stats();
+    agg.shared_acquires += vs.latch_shared_acquires.Get();
+    agg.exclusive_acquires += vs.latch_exclusive_acquires.Get();
+    agg.shared_conflicts += vs.latch_shared_conflicts.Get();
+    agg.exclusive_conflicts += vs.latch_exclusive_conflicts.Get();
+    return agg;
+  };
+  reg.RegisterCallback(metrics_prefix_ + "bwtree.latch.shared_acquires",
+                       [latch_counters] {
+                         return latch_counters().shared_acquires;
+                       });
+  reg.RegisterCallback(metrics_prefix_ + "bwtree.latch.exclusive_acquires",
+                       [latch_counters] {
+                         return latch_counters().exclusive_acquires;
+                       });
+  reg.RegisterCallback(metrics_prefix_ + "bwtree.latch.shared_conflicts",
+                       [latch_counters] {
+                         return latch_counters().shared_conflicts;
+                       });
+  reg.RegisterCallback(metrics_prefix_ + "bwtree.latch.exclusive_conflicts",
+                       [latch_counters] {
+                         return latch_counters().exclusive_conflicts;
+                       });
   reg.RegisterCallback(metrics_prefix_ + "approx_memory_bytes", [this] {
     return uint64_t{forest_->ApproxMemoryBytes() +
                     vertex_tree_->ApproxMemoryBytes()};
+  });
+  reg.RegisterCallback(metrics_prefix_ + "bwtree.resident_bytes", [this] {
+    return uint64_t{forest_->TotalResidentBytes() +
+                    vertex_tree_->ResidentBytes()};
   });
   if (reclaimer_ != nullptr) {
     reg.RegisterCallback(metrics_prefix_ + "gc.extents_reclaimed", [this] {
@@ -210,10 +243,20 @@ Status GraphDB::RunGcCycle() {
     const size_t memory =
         forest_->ApproxMemoryBytes() + vertex_tree_->ApproxMemoryBytes();
     if (memory > opts_.memory_budget_bytes) {
-      // Halve each tree's resident set; repeated cycles converge onto the
-      // budget while the LRU order keeps the hot head resident.
-      forest_->EvictColdPages(/*target_resident_per_tree=*/1);
-      (void)vertex_tree_->EvictColdPages(1);
+      // One buffer pool over every tree (forest + vertex): evict the
+      // globally coldest clean leaves until resident payload fits in the
+      // budget minus the structural overhead eviction cannot shrink. The
+      // old per-tree target made the footprint scale with the tree count
+      // as the forest split owners out; a byte budget does not.
+      std::vector<bwtree::BwTree*> trees;
+      forest_->AppendTrees(&trees);
+      trees.push_back(vertex_tree_.get());
+      const size_t resident = forest::TotalResidentBytesAcross(trees);
+      const size_t overhead = memory > resident ? memory - resident : 0;
+      const size_t payload_budget = opts_.memory_budget_bytes > overhead
+                                        ? opts_.memory_budget_bytes - overhead
+                                        : 0;
+      (void)forest::EvictTreesToBudget(trees, payload_budget);
     }
   }
   if (reclaimer_ == nullptr) return Status::OK();
@@ -245,9 +288,22 @@ DbStats GraphDB::Stats() const {
   s.init_entries = forest_->InitEntryCount();
   s.split_outs = forest_->stats().split_outs.Get();
   s.evictions = forest_->stats().evictions.Get();
-  s.latch_conflicts = forest_->TotalLatchConflicts();
+  {
+    forest::BwTreeForest::LatchCounters agg =
+        forest_->AggregateLatchCounters();
+    const bwtree::BwTreeStats& vs = vertex_tree_->stats();
+    s.latch_conflicts = agg.shared_conflicts + agg.exclusive_conflicts +
+                        vs.latch_shared_conflicts.Get() +
+                        vs.latch_exclusive_conflicts.Get();
+    s.latch_shared_acquires =
+        agg.shared_acquires + vs.latch_shared_acquires.Get();
+    s.latch_exclusive_acquires =
+        agg.exclusive_acquires + vs.latch_exclusive_acquires.Get();
+  }
   s.approx_memory_bytes =
       forest_->ApproxMemoryBytes() + vertex_tree_->ApproxMemoryBytes();
+  s.resident_bytes = forest_->TotalResidentBytes() +
+                     vertex_tree_->ResidentBytes();
 
   if (reclaimer_ != nullptr) {
     const gc::CycleResult& totals = reclaimer_->totals();

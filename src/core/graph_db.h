@@ -106,6 +106,11 @@ class GraphDB : public graph::GraphEngine {
   cloud::StreamId base_stream_ = 0;
   cloud::StreamId delta_stream_ = 0;
 
+  /// Process-wide LRU clock shared by the vertex tree and every forest tree
+  /// (via BwTreeOptions::tick_source), so the memory budget can rank leaf
+  /// coldness across all of them with comparable ticks.
+  mutable std::atomic<uint64_t> access_tick_{0};
+
   std::unique_ptr<gc::ExtentUsageTracker> tracker_;
   std::unique_ptr<bwtree::BwTree> vertex_tree_;
   std::unique_ptr<forest::BwTreeForest> forest_;

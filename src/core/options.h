@@ -49,9 +49,12 @@ struct GraphDBOptions {
   size_t vertex_tree_max_leaf_entries = 256;
 
   /// Soft memory budget for the engine's page state (0 = unlimited). The
-  /// maintenance loop evicts clean base pages LRU-first once
-  /// ApproxMemoryBytes exceeds the budget — the memory layer behaves as the
-  /// cache it is in the paper's architecture (§2.1).
+  /// maintenance loop treats all trees (forest + vertex) as one buffer
+  /// pool: once ApproxMemoryBytes exceeds the budget it evicts the
+  /// globally coldest clean leaves — ranked by a process-wide LRU tick —
+  /// until resident payload fits. Total footprint is bounded by the budget
+  /// regardless of how many trees the forest splits out; the memory layer
+  /// behaves as the cache it is in the paper's architecture (§2.1).
   size_t memory_budget_bytes = 0;
 
   /// Validates ranges; returns InvalidArgument on nonsense combinations.

@@ -1,0 +1,49 @@
+#include "forest/buffer_pool.h"
+
+#include <algorithm>
+
+namespace bg3::forest {
+
+size_t TotalResidentBytesAcross(const std::vector<bwtree::BwTree*>& trees) {
+  size_t total = 0;
+  for (bwtree::BwTree* t : trees) total += t->ResidentBytes();
+  return total;
+}
+
+EvictToBudgetResult EvictTreesToBudget(
+    const std::vector<bwtree::BwTree*>& trees, size_t budget_bytes) {
+  struct Candidate {
+    bwtree::BwTree* tree;
+    bwtree::PageId id;
+    uint64_t tick;
+  };
+  // One shared-latch pass over every tree: total resident bytes plus the
+  // eviction candidates (clean pages a flushed image makes droppable).
+  std::vector<Candidate> candidates;
+  size_t total = 0;
+  std::vector<bwtree::BwTree::PageResidency> residency;
+  for (bwtree::BwTree* t : trees) {
+    residency.clear();
+    total += t->CollectResidency(&residency);
+    for (const auto& r : residency) {
+      if (r.evictable) candidates.push_back(Candidate{t, r.id, r.tick});
+    }
+  }
+  EvictToBudgetResult result;
+  if (total <= budget_bytes) return result;
+  // Globally coldest first, regardless of which tree owns the page.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.tick < b.tick;
+            });
+  for (const Candidate& c : candidates) {
+    if (total - result.bytes_freed <= budget_bytes) break;
+    const size_t freed = c.tree->EvictPage(c.id);
+    if (freed == 0) continue;  // dirtied/reloaded/evicted since the scan
+    result.bytes_freed += freed;
+    ++result.pages_evicted;
+  }
+  return result;
+}
+
+}  // namespace bg3::forest

@@ -1,0 +1,41 @@
+#ifndef BG3_FOREST_BUFFER_POOL_H_
+#define BG3_FOREST_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+
+namespace bg3::forest {
+
+/// Forest-wide residency budget: the BGS memory layer behaves like the
+/// cache it is in the paper's §2.1 — a single byte budget over every
+/// tree's resident leaves, so hot owners keep memory that cold owners give
+/// up. This supersedes per-tree resident-page targets, whose total
+/// footprint silently scaled with the tree count as the forest split
+/// owners out.
+///
+/// Ticks are comparable across trees because the forest (and GraphDB)
+/// share one BwTreeOptions::tick_source among all their trees.
+
+struct EvictToBudgetResult {
+  size_t pages_evicted = 0;
+  size_t bytes_freed = 0;
+};
+
+/// Total resident payload bytes across `trees` (sum of
+/// BwTree::ResidentBytes).
+size_t TotalResidentBytesAcross(const std::vector<bwtree::BwTree*>& trees);
+
+/// Evicts the globally coldest clean leaves (LRU by shared access tick)
+/// across `trees` until total resident payload bytes fit in
+/// `budget_bytes`. Dirty pages and pages without a flushed image are never
+/// touched; every victim is re-validated under its exclusive latch
+/// (BwTree::EvictPage), so the pass is safe against concurrent reads,
+/// writes and reloads.
+EvictToBudgetResult EvictTreesToBudget(
+    const std::vector<bwtree::BwTree*>& trees, size_t budget_bytes);
+
+}  // namespace bg3::forest
+
+#endif  // BG3_FOREST_BUFFER_POOL_H_

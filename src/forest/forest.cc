@@ -56,6 +56,9 @@ bwtree::BwTreeOptions BwTreeForest::MakeTreeOptions(bwtree::TreeId id) const {
     o.page_id_source =
         const_cast<std::atomic<bwtree::PageId>*>(&page_id_source_);
   }
+  if (o.tick_source == nullptr) {
+    o.tick_source = &tick_source_;
+  }
   return o;
 }
 
@@ -130,6 +133,13 @@ Result<std::string> BwTreeForest::Get(OwnerId owner, const Slice& sort_key) {
   auto owned = FindState(owner);
   if (owned == nullptr) return Status::NotFound("unknown owner");
   OwnerState* state = owned.get();
+  // Dedicated owners are read without the owner mutex: the tree pointer is
+  // published once and never cleared, and the Bw-tree's own shared leaf
+  // latches carry the read. This is what lets N readers of one hot owner
+  // scale instead of convoying on `mu`.
+  if (bwtree::BwTree* tree = state->published.load(std::memory_order_acquire)) {
+    return tree->Get(sort_key);
+  }
   MutexLock lock(&state->mu);
   if (state->tree != nullptr) return state->tree->Get(sort_key);
   return init_tree_->Get(MakeInitKey(owner, sort_key));
@@ -141,6 +151,13 @@ Status BwTreeForest::ScanOwner(OwnerId owner, const Slice& start_sort_key,
   auto owned = FindState(owner);
   if (owned == nullptr) return Status::OK();  // no entries yet
   OwnerState* state = owned.get();
+  // Same lock-free dedicated-owner fast path as Get.
+  if (bwtree::BwTree* tree = state->published.load(std::memory_order_acquire)) {
+    bwtree::BwTree::ScanOptions scan;
+    scan.start_key = start_sort_key.ToString();
+    scan.limit = limit;
+    return tree->Scan(scan, out);
+  }
   MutexLock lock(&state->mu);
   if (state->tree != nullptr) {
     bwtree::BwTree::ScanOptions scan;
@@ -206,9 +223,11 @@ Status BwTreeForest::SplitOutLocked(OwnerId owner, OwnerState* state,
     registry_[id] = tree.get();
   }
   state->tree = std::move(tree);
-  // Publish after `tree` is installed; the eviction scan reads this flag
-  // with acquire order instead of touching `tree` without `mu`.
-  state->dedicated.store(true, std::memory_order_release);
+  // Publish after `tree` is fully populated and installed: from this store
+  // on, readers route to the dedicated tree without taking `mu` (acquire
+  // loads pair with this release), and the eviction scan keys off the
+  // pointer instead of touching `tree` unlatched.
+  state->published.store(state->tree.get(), std::memory_order_release);
   reason->Inc();
 
   Status delete_status;
@@ -252,11 +271,11 @@ void BwTreeForest::MaybeEvictFromInit() {
   for (const auto& shard : shards_) {
     MutexLock lock(&shard->mu);
     for (const auto& [owner, state] : shard->owners) {
-      // `dedicated` and `count` are atomics precisely so this scan does not
+      // `published` and `count` are atomics precisely so this scan does not
       // have to take every owner's mutex (which would deadlock against
       // Upsert holding its own owner mutex while calling here). The reads
       // are approximate; the winner is re-validated under its mutex below.
-      if (!state->dedicated.load(std::memory_order_acquire) &&
+      if (state->published.load(std::memory_order_acquire) == nullptr &&
           state->count.load(std::memory_order_relaxed) > victim_count) {
         victim = owner;
         victim_count = state->count.load(std::memory_order_relaxed);
@@ -293,18 +312,25 @@ size_t BwTreeForest::ApproxMemoryBytes() const {
   return bytes;
 }
 
-size_t BwTreeForest::EvictColdPages(size_t target_resident_per_tree) {
+void BwTreeForest::AppendTrees(std::vector<bwtree::BwTree*>* out) const {
+  MutexLock lock(&registry_mu_);
+  out->reserve(out->size() + registry_.size());
+  for (const auto& [id, tree] : registry_) out->push_back(tree);
+}
+
+size_t BwTreeForest::TotalResidentBytes() const {
   std::vector<bwtree::BwTree*> trees;
-  {
-    MutexLock lock(&registry_mu_);
-    trees.reserve(registry_.size());
-    for (const auto& [id, tree] : registry_) trees.push_back(tree);
-  }
-  size_t evicted = 0;
-  for (bwtree::BwTree* t : trees) {
-    evicted += t->EvictColdPages(target_resident_per_tree);
-  }
-  return evicted;
+  AppendTrees(&trees);
+  return TotalResidentBytesAcross(trees);
+}
+
+EvictToBudgetResult BwTreeForest::EvictToBudget(size_t budget_bytes) {
+  // Serialized with INIT-capacity evictions so concurrent budget passes do
+  // not double-evict each other's candidates.
+  MutexLock evict_lock(&evict_mu_);
+  std::vector<bwtree::BwTree*> trees;
+  AppendTrees(&trees);
+  return EvictTreesToBudget(trees, budget_bytes);
 }
 
 bwtree::BwTree* BwTreeForest::ResolveTree(bwtree::TreeId id) const {
@@ -313,13 +339,22 @@ bwtree::BwTree* BwTreeForest::ResolveTree(bwtree::TreeId id) const {
   return it == registry_.end() ? nullptr : it->second;
 }
 
-uint64_t BwTreeForest::TotalLatchConflicts() const {
-  uint64_t sum = 0;
+BwTreeForest::LatchCounters BwTreeForest::AggregateLatchCounters() const {
+  LatchCounters agg;
   MutexLock lock(&registry_mu_);
   for (const auto& [id, tree] : registry_) {
-    sum += tree->stats().latch_conflicts.Get();
+    const bwtree::BwTreeStats& s = tree->stats();
+    agg.shared_acquires += s.latch_shared_acquires.Get();
+    agg.exclusive_acquires += s.latch_exclusive_acquires.Get();
+    agg.shared_conflicts += s.latch_shared_conflicts.Get();
+    agg.exclusive_conflicts += s.latch_exclusive_conflicts.Get();
   }
-  return sum;
+  return agg;
+}
+
+uint64_t BwTreeForest::TotalLatchConflicts() const {
+  const LatchCounters agg = AggregateLatchCounters();
+  return agg.shared_conflicts + agg.exclusive_conflicts;
 }
 
 void BwTreeForest::CheckInvariants() const {
@@ -352,11 +387,15 @@ void BwTreeForest::CheckInvariants() const {
       if (!state->mu.TryLock()) continue;
       state->mu.AssertHeld();
       if (state->tree != nullptr) {
-        BG3_CHECK(state->dedicated.load(std::memory_order_relaxed))
-            << "owner has a dedicated tree but the dedicated flag is unset";
+        BG3_CHECK(state->published.load(std::memory_order_relaxed) ==
+                  state->tree.get())
+            << "owner has a dedicated tree but no published pointer to it";
         BG3_CHECK(ResolveTree(state->tree->options().tree_id) ==
                   state->tree.get())
             << "dedicated tree not resolvable through the registry";
+      } else {
+        BG3_CHECK(state->published.load(std::memory_order_relaxed) == nullptr)
+            << "published tree pointer without an owning tree";
       }
       state->mu.Unlock();
     }

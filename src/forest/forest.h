@@ -12,6 +12,7 @@
 #include "bwtree/bwtree.h"
 #include "common/metrics.h"
 #include "common/thread_annotations.h"
+#include "forest/buffer_pool.h"
 
 namespace bg3::forest {
 
@@ -51,10 +52,14 @@ struct ForestStats {
 /// (hot owners, stored with shortened [sort]-only keys — the key shrinking
 /// that saves space once all of a tree's edges share one source).
 ///
-/// Thread safety: a per-owner mutex serializes operations of one owner
+/// Thread safety: a per-owner mutex serializes *mutations* of one owner
 /// (consistent with §3.2.1 Observation 2: one user never likes two videos
 /// at the same moment); cross-owner writes only contend on the INIT tree's
 /// internal page latches — the contention the forest exists to reduce.
+/// Reads of a dedicated owner bypass the owner mutex entirely: the tree
+/// pointer is published once (atomically, never cleared) at split-out, and
+/// the Bw-tree itself is reader-concurrent via shared leaf latches — so
+/// fan-out reads of one hot owner scale across cores.
 class BwTreeForest {
  public:
   BwTreeForest(cloud::CloudStore* store, const ForestOptions& options);
@@ -91,10 +96,20 @@ class BwTreeForest {
   /// INIT + dedicated trees + owner-table overhead (Fig. 11 space axis).
   size_t ApproxMemoryBytes() const;
 
-  /// Memory pressure: evicts clean base pages LRU-first in every tree until
-  /// each tree holds at most `target_resident_per_tree` resident pages.
-  /// Returns total pages evicted (see BwTree::EvictColdPages).
-  size_t EvictColdPages(size_t target_resident_per_tree);
+  /// Memory pressure: evicts the globally coldest clean leaves across every
+  /// tree (INIT + dedicated) until total resident payload bytes fit in
+  /// `budget_bytes` — a forest-wide buffer-pool budget, so the footprint no
+  /// longer scales with the tree count as owners split out. Serialized on
+  /// evict_mu_; see forest::EvictTreesToBudget.
+  EvictToBudgetResult EvictToBudget(size_t budget_bytes);
+
+  /// Total resident payload bytes across every tree in the forest.
+  size_t TotalResidentBytes() const;
+
+  /// Appends every registered tree (INIT + dedicated) to `out`, for
+  /// callers that budget across more than one forest/tree (GraphDB pools
+  /// the vertex tree with the forest).
+  void AppendTrees(std::vector<bwtree::BwTree*>* out) const;
 
   /// Resolves a tree id to its tree (GC relocation); nullptr if unknown.
   bwtree::BwTree* ResolveTree(bwtree::TreeId id) const;
@@ -103,7 +118,15 @@ class BwTreeForest {
   ForestStats& stats() { return stats_; }
   const ForestOptions& options() const { return opts_; }
 
-  /// Aggregate of per-tree write-conflict counters (Fig. 11).
+  /// Aggregate of per-tree latch counters (the Fig. 11 contention signal).
+  struct LatchCounters {
+    uint64_t shared_acquires = 0;
+    uint64_t exclusive_acquires = 0;
+    uint64_t shared_conflicts = 0;
+    uint64_t exclusive_conflicts = 0;
+  };
+  LatchCounters AggregateLatchCounters() const;
+  /// Sum of shared + exclusive conflicts across all trees.
   uint64_t TotalLatchConflicts() const;
 
   /// INIT-tree composite key helpers, exposed for tests.
@@ -123,10 +146,14 @@ class BwTreeForest {
     /// the INIT-capacity eviction scan may read it without taking every
     /// owner's mutex (the winner is re-validated under `mu`).
     std::atomic<size_t> count{0};
-    /// Set (with release order) once `tree` is installed; the eviction scan
-    /// keys off this flag instead of reading `tree` unlatched.
-    std::atomic<bool> dedicated{false};
-    /// Null while resident in INIT.
+    /// Published (with release order) once `tree` is installed and never
+    /// cleared afterwards: readers load it with acquire order and, when
+    /// non-null, go straight to the tree without touching `mu` — the
+    /// Bw-tree's shared leaf latches make that safe. The eviction scan and
+    /// invariant checks also key off this instead of reading `tree`
+    /// unlatched.
+    std::atomic<bwtree::BwTree*> published{nullptr};
+    /// Null while resident in INIT. Owns the tree `published` points at.
     std::unique_ptr<bwtree::BwTree> tree BG3_GUARDED_BY(mu);
   };
 
@@ -156,6 +183,10 @@ class BwTreeForest {
 
   std::atomic<bwtree::Lsn> lsn_source_{0};
   std::atomic<bwtree::PageId> page_id_source_{0};
+  /// Shared LRU clock for every tree in the forest (comparable ticks are
+  /// what make the forest-wide eviction order meaningful). GraphDB overrides
+  /// this with a process-wide source so the vertex tree joins the pool.
+  mutable std::atomic<uint64_t> tick_source_{0};
   std::atomic<bwtree::TreeId> next_tree_id_{1};  // 0 is the INIT tree.
 
   std::unique_ptr<bwtree::BwTree> init_tree_;

@@ -36,6 +36,7 @@ RoNode::RoNode(cloud::CloudStore* store, const RoNodeOptions& options)
   reg.RegisterCounter(metrics_prefix_ + "replayed", &stats_.replayed);
   reg.RegisterCounter(metrics_prefix_ + "storage_reads", &stats_.storage_reads);
   reg.RegisterCounter(metrics_prefix_ + "poll_degraded", &stats_.poll_degraded);
+  reg.RegisterCounter(metrics_prefix_ + "fast_reads", &stats_.fast_reads);
 }
 
 RoNode::~RoNode() {
@@ -44,8 +45,8 @@ RoNode::~RoNode() {
 
 Status RoNode::PollWal() {
   BG3_TIMED_SCOPE("bg3.replication.poll_ns");
-  MutexLock lock(&mu_);
-  return PollWalLocked();
+  WriterMutexLock lock(&mu_);
+  return PollWalLocked(/*force=*/true);
 }
 
 RetryOptions RoNode::StoreRetryOptions() const {
@@ -71,14 +72,16 @@ Result<std::string> RoNode::RetryingStorageRead(const cloud::PagePointer& ptr) {
                                 [&] { return store_->Read(ptr); });
 }
 
-Status RoNode::PollWalLocked() {
+Status RoNode::PollWalLocked(bool force) {
   if (!bootstrapped_) {
     BootstrapFromManifestLocked();
     bootstrapped_ = true;
   }
   if (opts_.min_poll_gap_us > 0) {
     const uint64_t now = NowMicros();
-    if (now - last_poll_us_ < opts_.min_poll_gap_us) return Status::OK();
+    if (!force && now - last_poll_us_ < opts_.min_poll_gap_us) {
+      return Status::OK();
+    }
     last_poll_us_ = now;
   }
   // Drain everything appended since the last poll (the reader returns at
@@ -191,7 +194,8 @@ Status RoNode::ApplyWalRecordLocked(const wal::WalRecord& rec) {
       if (cit != cache_.end()) {
         CachedPage upper;
         upper.applied_lsn = cit->second.applied_lsn;
-        upper.last_use = ++use_tick_;
+        upper.last_use.store(use_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
         auto& entries = cit->second.entries;
         auto split_at = std::lower_bound(
             entries.begin(), entries.end(), rec.separator,
@@ -292,14 +296,17 @@ Result<RoNode::CachedPage*> RoNode::GetPageLocked(bwtree::TreeId tree,
   auto it = cache_.find({tree, page});
   if (it != cache_.end()) {
     stats_.cache_hits.Inc();
-    it->second.last_use = ++use_tick_;
+    it->second.last_use.store(
+        use_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
     ApplyPendingLocked(ts, tree, page, &it->second);
     return &it->second;
   }
   stats_.cache_misses.Inc();
   CachedPage cp;
   BG3_RETURN_IF_ERROR(BuildViewLocked(tree, page, &cp));
-  cp.last_use = ++use_tick_;
+  cp.last_use.store(use_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
   auto [cit, inserted] = cache_.emplace(CacheKey{tree, page}, std::move(cp));
   EvictIfNeededLocked();
   ApplyPendingLocked(ts, tree, page, &cit->second);
@@ -423,15 +430,67 @@ void RoNode::EvictIfNeededLocked() {
   while (cache_.size() > opts_.cache_capacity_pages && cache_.size() > 1) {
     auto victim = cache_.begin();
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-      if (it->second.last_use < victim->second.last_use) victim = it;
+      if (it->second.last_use.load(std::memory_order_relaxed) <
+          victim->second.last_use.load(std::memory_order_relaxed)) {
+        victim = it;
+      }
     }
     cache_.erase(victim);
   }
 }
 
+RoNode::FastRead RoNode::TryGetFastLocked(bwtree::TreeId tree, const Slice& key,
+                                          std::string* value) {
+  if (!bootstrapped_) return FastRead::kIneligible;
+  // A poll is due (or strict freshness is configured): the tail scan
+  // mutates node state, so it needs the exclusive latch.
+  if (NowMicros() - last_poll_us_ >= opts_.min_poll_gap_us) {
+    return FastRead::kIneligible;
+  }
+  auto tit = trees_.find(tree);
+  if (tit == trees_.end() || tit->second.route.empty()) {
+    return FastRead::kIneligible;
+  }
+  const TreeState& ts = tit->second;
+  auto rit = ts.route.upper_bound(key.ToString());
+  BG3_CHECK(rit != ts.route.begin());
+  --rit;
+  const bwtree::PageId page_id = rit->second;
+  auto cit = cache_.find({tree, page_id});
+  if (cit == cache_.end()) return FastRead::kIneligible;  // fill needs excl.
+  CachedPage& cp = cit->second;
+  // Pending records newer than the cached view require replay (a mutation).
+  // Records are LSN-ascending, so the tail carries the max.
+  auto pit = ts.pending.find(page_id);
+  if (pit != ts.pending.end() && !pit->second.records.empty() &&
+      pit->second.records.back().lsn > cp.applied_lsn) {
+    return FastRead::kIneligible;
+  }
+  cp.last_use.store(use_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  stats_.cache_hits.Inc();
+  stats_.fast_reads.Inc();
+  return bwtree::LookupInBase(cp.entries, key, value) ? FastRead::kHit
+                                                      : FastRead::kMiss;
+}
+
 Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
   BG3_TIMED_SCOPE("bg3.replication.ro_get_ns");
-  MutexLock lock(&mu_);
+  if (opts_.min_poll_gap_us > 0) {
+    // Warm-path attempt under the shared latch: a cached, fully replayed
+    // page with no poll due is served without excluding other readers.
+    ReaderMutexLock shared(&mu_);
+    std::string value;
+    switch (TryGetFastLocked(tree, key, &value)) {
+      case FastRead::kHit:
+        return value;
+      case FastRead::kMiss:
+        return Status::NotFound("no such key");
+      case FastRead::kIneligible:
+        break;
+    }
+  }
+  WriterMutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);
   if (tit == trees_.end() || tit->second.route.empty()) {
@@ -452,7 +511,7 @@ Status RoNode::Scan(bwtree::TreeId tree, const Slice& start_key,
                     const Slice& end_key, size_t limit,
                     std::vector<bwtree::Entry>* out) {
   BG3_TIMED_SCOPE("bg3.replication.ro_scan_ns");
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);
   if (tit == trees_.end() || tit->second.route.empty()) {
@@ -490,7 +549,7 @@ Status RoNode::Scan(bwtree::TreeId tree, const Slice& start_key,
 }
 
 Result<RoNode::ExportedTree> RoNode::ExportTree(bwtree::TreeId tree) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);
   if (tit == trees_.end() || tit->second.route.empty()) {
@@ -529,7 +588,7 @@ Result<RoNode::ExportedTree> RoNode::ExportTree(bwtree::TreeId tree) {
 }
 
 void RoNode::CompactPendingLogs() {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   for (auto& [tree_id, ts] : trees_) {
     for (auto& [page_id, log] : ts.pending) {
       if (log.records.size() > 1) {
@@ -542,12 +601,12 @@ void RoNode::CompactPendingLogs() {
 }
 
 cloud::PagePointer RoNode::WalCursor() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return reader_.cursor();
 }
 
 size_t RoNode::PendingRecordCount() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& [tree_id, ts] : trees_) {
     for (const auto& [page_id, log] : ts.pending) n += log.records.size();
@@ -556,7 +615,7 @@ size_t RoNode::PendingRecordCount() const {
 }
 
 size_t RoNode::CachedPageCount() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return cache_.size();
 }
 

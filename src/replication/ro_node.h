@@ -57,6 +57,9 @@ struct RoNodeStats {
   /// WAL polls abandoned after retry exhaustion: the node fell behind and
   /// will catch up once the substrate recovers.
   Counter poll_degraded;
+  /// Reads served entirely under the shared node latch (cache hit, no
+  /// pending replay, no poll due). Only possible with min_poll_gap_us > 0.
+  Counter fast_reads;
 };
 
 /// A Read-Only node of §3.4 / Fig. 7: tails the WAL into an in-memory
@@ -65,8 +68,12 @@ struct RoNodeStats {
 /// the mechanism that gives BG3 strong leader-follower consistency without
 /// blocking the RW node.
 ///
-/// Thread safe via a single node mutex (reads of one RO node serialize;
-/// read scaling in Fig. 14 comes from adding RO nodes, as in the paper).
+/// Thread safe via a single node latch. Mutating paths (WAL polls, cache
+/// fills, pending replay) hold it exclusively; with min_poll_gap_us > 0 a
+/// point read whose page is cached and fully replayed is served under a
+/// *shared* hold, so concurrent readers of a warm node no longer serialize.
+/// Cross-node read scaling in Fig. 14 still comes from adding RO nodes, as
+/// in the paper; the shared path scales readers within one node.
 class RoNode {
  public:
   RoNode(cloud::CloudStore* store, const RoNodeOptions& options);
@@ -76,7 +83,9 @@ class RoNode {
   RoNode& operator=(const RoNode&) = delete;
 
   /// Consumes newly appended WAL records (route/meta updates, pending-log
-  /// growth, checkpoint-based discard). Also called implicitly by reads.
+  /// growth, checkpoint-based discard). Explicit calls always tail the WAL
+  /// (this is the background poller's entry point); the implicit polls
+  /// reads issue are additionally throttled by min_poll_gap_us.
   Status PollWal();
 
   /// Strongly consistent point read: reflects every write the RW node
@@ -140,12 +149,34 @@ class RoNode {
   struct CachedPage {
     std::vector<bwtree::Entry> entries;  ///< sorted merged view.
     bwtree::Lsn applied_lsn = 0;
-    uint64_t last_use = 0;
+    /// LRU tick; atomic so shared-latch readers may refresh it.
+    std::atomic<uint64_t> last_use{0};
+
+    CachedPage() = default;
+    CachedPage(CachedPage&& o) noexcept
+        : entries(std::move(o.entries)),
+          applied_lsn(o.applied_lsn),
+          last_use(o.last_use.load(std::memory_order_relaxed)) {}
+    CachedPage& operator=(CachedPage&& o) noexcept {
+      entries = std::move(o.entries);
+      applied_lsn = o.applied_lsn;
+      last_use.store(o.last_use.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      return *this;
+    }
   };
 
   using CacheKey = std::pair<bwtree::TreeId, bwtree::PageId>;
 
-  Status PollWalLocked() BG3_REQUIRES(mu_);
+  /// Shared-latch point-read attempt. kHit/kMiss are authoritative (page
+  /// cached, fully replayed, no poll due); kIneligible means the caller
+  /// must retry under the exclusive latch.
+  enum class FastRead { kHit, kMiss, kIneligible };
+  FastRead TryGetFastLocked(bwtree::TreeId tree, const Slice& key,
+                            std::string* value) BG3_REQUIRES_SHARED(mu_);
+
+  /// `force` skips the min_poll_gap_us throttle (explicit PollWal calls).
+  Status PollWalLocked(bool force = false) BG3_REQUIRES(mu_);
   Status ApplyWalRecordLocked(const wal::WalRecord& record) BG3_REQUIRES(mu_);
 
   /// opts_.retry with accounting wired to the store's IoStats; the read
@@ -180,13 +211,14 @@ class RoNode {
   const RoNodeOptions opts_;
   wal::WalReader reader_;
 
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   bool bootstrapped_ BG3_GUARDED_BY(mu_) = false;
   uint64_t last_poll_us_ BG3_GUARDED_BY(mu_) = 0;
   bwtree::Lsn max_lsn_seen_ BG3_GUARDED_BY(mu_) = 0;
   std::map<bwtree::TreeId, TreeState> trees_ BG3_GUARDED_BY(mu_);
   std::map<CacheKey, CachedPage> cache_ BG3_GUARDED_BY(mu_);
-  uint64_t use_tick_ BG3_GUARDED_BY(mu_) = 0;
+  /// LRU clock; atomic (not latch-guarded) so shared-latch reads can tick.
+  std::atomic<uint64_t> use_tick_{0};
   Random rng_ BG3_GUARDED_BY(mu_);
 
   Histogram sync_latency_;

@@ -530,7 +530,8 @@ TEST(BwTreeTest, HotKeyContentionCountsLatchConflicts) {
   }
   go.store(true);  // start all writers together so latches actually contend
   for (auto& th : threads) th.join();
-  EXPECT_GT(f.tree->stats().latch_conflicts.Get(), 0u);
+  EXPECT_GT(f.tree->stats().latch_exclusive_conflicts.Get(), 0u);
+  EXPECT_GT(f.tree->stats().latch_exclusive_acquires.Get(), 0u);
 }
 
 }  // namespace

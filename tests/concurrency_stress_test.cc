@@ -134,7 +134,7 @@ TEST(ForestStressTest, ConcurrentUpsertScanDeleteWithGcAndEviction) {
     f.clock.AdvanceUs(1000);
     auto r = f.reclaimer->RunCycle(/*stream=*/0, /*max_extents=*/2);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
-    f.forest->EvictColdPages(/*target_resident_per_tree=*/4);
+    f.forest->EvictToBudget(/*budget_bytes=*/16 << 10);
     std::this_thread::yield();
   }
 
@@ -250,6 +250,139 @@ TEST(BwTreeStressTest, ConcurrentWritersScansAndEviction) {
   ASSERT_TRUE(tree.Scan(scan, &all).ok());
   for (size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1].key, all[i].key);
+  }
+}
+
+// Shared-latch read path: many readers hammer one hot leaf while a writer
+// mutates it and the driver concurrently evicts — the exact
+// reader/reader/writer/evictor interleavings the SharedMutex conversion
+// must survive. TSan builds verify the shared/exclusive handoffs.
+TEST(BwTreeStressTest, SharedReadersVsWriterAndEvictionOnHotLeaf) {
+  cloud::CloudStoreOptions copts;
+  copts.extent_capacity = 1 << 12;
+  cloud::CloudStore store(copts);
+  bwtree::BwTreeOptions topts;
+  topts.base_stream = store.CreateStream("base");
+  topts.delta_stream = store.CreateStream("delta");
+  topts.consolidate_threshold = 4;
+  topts.max_leaf_entries = 64;  // everything fits in one hot leaf
+  bwtree::BwTree tree(&store, topts);
+
+  constexpr int kHotKeys = 16;
+  for (int i = 0; i < kHotKeys; ++i) {
+    ASSERT_TRUE(tree.Upsert(SortKey(i), "seed").ok());
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&tree, &failures, r] {
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        auto v = tree.Get(SortKey((i + r) % kHotKeys));
+        // A seeded key never disappears; it may change value.
+        if (!v.ok()) failures.fetch_add(1);
+        if (i % 64 == 0) {
+          std::vector<bwtree::Entry> out;
+          bwtree::BwTree::ScanOptions scan;
+          scan.limit = kHotKeys;
+          if (!tree.Scan(scan, &out).ok()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&tree, &failures, &stop] {
+    int round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string v = "w" + std::to_string(round++);
+      for (int i = 0; i < kHotKeys; ++i) {
+        if (!tree.Upsert(SortKey(i), v).ok()) failures.fetch_add(1);
+      }
+    }
+  });
+
+  // Evictor: repeatedly drop the hot leaf (flushing it first via the
+  // eviction path's own clean-page rule) so readers also race reloads.
+  for (int i = 0; i < 50; ++i) {
+    (void)tree.EvictColdPages(/*target_resident=*/0);
+    std::this_thread::yield();
+  }
+  for (int r = 0; r < kReaders; ++r) threads[r].join();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Reads really took the shared path (and writers the exclusive one).
+  EXPECT_GT(tree.stats().latch_shared_acquires.Get(), 0u);
+  EXPECT_GT(tree.stats().latch_exclusive_acquires.Get(), 0u);
+  for (int i = 0; i < kHotKeys; ++i) {
+    EXPECT_TRUE(tree.Get(SortKey(i)).ok());
+  }
+}
+
+// Readers race the forest's structural transitions: owners being split out
+// of INIT into dedicated trees (publishing the lock-free read pointer) and
+// the forest-wide budget eviction dropping INIT/dedicated leaves mid-read.
+TEST(ForestStressTest, ReadersRaceSplitOutAndBudgetEviction) {
+  forest::ForestOptions fopts;
+  fopts.split_out_threshold = 8;    // writers constantly trip split-outs
+  fopts.init_tree_capacity = 256;   // and INIT-capacity evictions
+  fopts.owner_shards = 4;
+  StressFixture f(fopts);
+
+  constexpr int kOwners = 12;
+  constexpr int kWriters = 2;
+  constexpr int kOpsPerWriter = 400;
+  const uint64_t seed = test::AnnouncedSeed(
+      "ForestStressTest.ReadersRaceSplitOutAndBudgetEviction", 0x5EED5);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&f, &failures, seed, w] {
+      Random rng(seed ^ (0x9E3779B9u * (w + 1)));
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const forest::OwnerId owner =
+            1 + static_cast<forest::OwnerId>(rng.Uniform(kOwners));
+        const std::string key = SortKey(static_cast<int>(rng.Uniform(30)));
+        if (!f.forest->Upsert(owner, key, "v" + std::to_string(i)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&f, &failures, &stop, r] {
+      uint64_t reads = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const forest::OwnerId owner = 1 + ((reads + r) % kOwners);
+        (void)f.forest->Get(owner, SortKey(static_cast<int>(reads % 30)));
+        std::vector<bwtree::Entry> out;
+        if (!f.forest->ScanOwner(owner, "", 8, &out).ok()) {
+          failures.fetch_add(1);
+        }
+        ++reads;
+      }
+    });
+  }
+
+  // Driver: forest-wide budget eviction racing the reads and split-outs.
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    (void)f.forest->EvictToBudget(/*budget_bytes=*/8 << 10);
+    std::this_thread::yield();
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(f.forest->stats().split_outs.Get(), 0u);
+  f.forest->CheckInvariants();
+  for (int o = 1; o <= kOwners; ++o) {
+    std::vector<bwtree::Entry> out;
+    ASSERT_TRUE(f.forest->ScanOwner(o, "", 1000, &out).ok());
   }
 }
 

@@ -291,5 +291,92 @@ TEST(ForestTest, DedicateOwnerBeforeAnyWrite) {
   EXPECT_EQ(f.forest->InitEntryCount(), 0u);  // never touched INIT
 }
 
+// --- forest-wide residency budget --------------------------------------------
+
+// Regression: cold-page eviction used to take a per-tree resident-page
+// target, so the post-eviction footprint scaled linearly with the tree
+// count — split-outs silently grew memory under a "fixed" setting. The
+// byte budget must hold regardless of how many trees the forest fans out
+// into.
+TEST(ForestTest, ResidentBytesPinnedAcrossSplitOuts) {
+  ForestOptions opts;
+  opts.split_out_threshold = 8;  // many dedicated trees
+  opts.tree_options.max_leaf_entries = 16;
+  opts.tree_options.consolidate_threshold = 4;
+  ForestFixture f(opts);
+
+  const std::string value(64, 'x');
+  for (int owner = 1; owner <= 24; ++owner) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(f.forest->Upsert(owner, SortKey(i), value).ok());
+    }
+  }
+  ASSERT_GT(f.forest->DedicatedTreeCount(), 8u);
+
+  // Quiesce: flush every tree so all leaves are clean and thus evictable.
+  std::vector<bwtree::BwTree*> trees;
+  f.forest->AppendTrees(&trees);
+  for (bwtree::BwTree* t : trees) (void)t->FlushDirtyPages(~size_t{0});
+
+  const size_t before = f.forest->TotalResidentBytes();
+  ASSERT_GT(before, 0u);
+  const size_t budget = before / 4;
+  const EvictToBudgetResult r = f.forest->EvictToBudget(budget);
+  EXPECT_GT(r.pages_evicted, 0u);
+  // The byte budget holds no matter how many trees exist — the property
+  // the per-tree page target violated.
+  EXPECT_LE(f.forest->TotalResidentBytes(), budget);
+
+  // Evicted data reloads transparently.
+  for (int owner = 1; owner <= 24; ++owner) {
+    for (int i = 0; i < 40; i += 7) {
+      EXPECT_EQ(f.forest->Get(owner, SortKey(i)).value(), value);
+    }
+  }
+  f.forest->CheckInvariants();
+}
+
+// The budget pass evicts globally coldest-first: after touching one
+// owner's pages last, a partial eviction should preferentially keep them.
+TEST(ForestTest, BudgetEvictionKeepsHottestPages) {
+  ForestOptions opts;
+  opts.split_out_threshold = 8;
+  opts.tree_options.max_leaf_entries = 16;
+  opts.tree_options.consolidate_threshold = 4;
+  ForestFixture f(opts);
+
+  const std::string value(64, 'x');
+  for (int owner = 1; owner <= 8; ++owner) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(f.forest->Upsert(owner, SortKey(i), value).ok());
+    }
+  }
+  std::vector<bwtree::BwTree*> trees;
+  f.forest->AppendTrees(&trees);
+  for (bwtree::BwTree* t : trees) (void)t->FlushDirtyPages(~size_t{0});
+
+  // Heat exactly one owner; its tree's leaves now carry the newest ticks.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(f.forest->Get(3, SortKey(i)).ok());
+    }
+  }
+  const uint64_t reloads_before = [&] {
+    uint64_t sum = 0;
+    for (bwtree::BwTree* t : trees) sum += t->stats().page_reloads.Get();
+    return sum;
+  }();
+
+  (void)f.forest->EvictToBudget(f.forest->TotalResidentBytes() / 2);
+
+  // Re-reading the hot owner must not need reloads: its pages survived.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(f.forest->Get(3, SortKey(i)).ok());
+  }
+  uint64_t reloads_after = 0;
+  for (bwtree::BwTree* t : trees) reloads_after += t->stats().page_reloads.Get();
+  EXPECT_EQ(reloads_after, reloads_before);
+}
+
 }  // namespace
 }  // namespace bg3::forest

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cloud/cloud_store.h"
 #include "replication/channel.h"
@@ -30,7 +32,8 @@ struct ReplFixture {
     rw_opts.tree.max_leaf_entries = max_leaf_entries;
     rw_opts.tree.base_stream = store->CreateStream("base");
     rw_opts.tree.delta_stream = store->CreateStream("delta");
-    rw_opts.wal.stream = store->CreateStream("wal");
+    wal_stream = store->CreateStream("wal");
+    rw_opts.wal.stream = wal_stream;
     rw_opts.flush_group_pages = flush_group_pages;
     rw = std::make_unique<RwNode>(store.get(), rw_opts);
 
@@ -42,6 +45,7 @@ struct ReplFixture {
   std::unique_ptr<cloud::CloudStore> store;
   std::unique_ptr<RwNode> rw;
   std::unique_ptr<RoNode> ro;
+  cloud::StreamId wal_stream = 0;
 };
 
 // --- page image meta -------------------------------------------------------------
@@ -381,6 +385,71 @@ TEST(RwRoSyncTest, CheckpointDoesNotStalenessCachedPages) {
   for (int i = 1; i < 50; ++i) {
     EXPECT_TRUE(f.ro->Get(1, Key(i)).ok()) << i;
   }
+}
+
+// --- shared-latch fast reads (min_poll_gap_us > 0) ---------------------------
+
+struct CadenceFixture : ReplFixture {
+  CadenceFixture() : ReplFixture() {
+    RoNodeOptions opts;
+    opts.wal_stream = wal_stream;
+    // Far longer than any test run but well below wall-clock-since-epoch,
+    // so the very first read still polls (0 -> now exceeds the gap) and
+    // every later warm read is eligible for the shared-latch path.
+    opts.min_poll_gap_us = 1'000'000'000;  // ~16 minutes
+    cadence_ro = std::make_unique<RoNode>(store.get(), opts);
+  }
+  std::unique_ptr<RoNode> cadence_ro;
+};
+
+TEST(RoFastReadTest, WarmReadsTakeSharedPathAndStayCorrect) {
+  CadenceFixture f;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(f.rw->Put(Key(i), "v" + std::to_string(i)).ok());
+  }
+  // First read polls + fills the cache under the exclusive latch.
+  ASSERT_EQ(f.cadence_ro->Get(1, Key(0)).value(), "v0");
+  const uint64_t fast_before = f.cadence_ro->stats().fast_reads.Get();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(f.cadence_ro->Get(1, Key(i)).value(), "v" + std::to_string(i));
+  }
+  // Misses on uncached keys of a cached page are authoritative too.
+  EXPECT_TRUE(f.cadence_ro->Get(1, "nope").status().IsNotFound());
+  EXPECT_GT(f.cadence_ro->stats().fast_reads.Get(), fast_before);
+}
+
+TEST(RoFastReadTest, PendingReplayDisqualifiesFastPath) {
+  CadenceFixture f;
+  ASSERT_TRUE(f.rw->Put(Key(0), "old").ok());
+  ASSERT_EQ(f.cadence_ro->Get(1, Key(0)).value(), "old");  // warm the cache
+  ASSERT_TRUE(f.rw->Put(Key(0), "new").ok());
+  // An explicit poll pulls the record into the pending log; the next read
+  // must notice the unreplayed tail and take the exclusive path.
+  ASSERT_TRUE(f.cadence_ro->PollWal().ok());
+  EXPECT_EQ(f.cadence_ro->Get(1, Key(0)).value(), "new");
+}
+
+TEST(RoFastReadTest, ConcurrentWarmReadersAgree) {
+  CadenceFixture f;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(f.rw->Put(Key(i), "v").ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(f.cadence_ro->Get(1, Key(i)).ok());  // warm every page
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&f, &failures, t] {
+      for (int i = 0; i < 500; ++i) {
+        auto v = f.cadence_ro->Get(1, Key((i + t) % 30));
+        if (!v.ok() || v.value() != "v") failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(f.cadence_ro->stats().fast_reads.Get(), 0u);
 }
 
 }  // namespace
