@@ -48,6 +48,13 @@ BENCH_EXPECTATIONS = {
         # 8 threads on the cache-hit workload (the PR's acceptance bar).
         "scalars": [("modeled_speedup_8t_hit", 3.0)],
     },
+    "overload": {
+        "series": ["protected", "unprotected"],
+        # With protection on, goodput at 4x offered load must retain
+        # >= 70% of the goodput at sustainable (1x) load (DESIGN.md §5.5
+        # acceptance bar); the unprotected series shows the collapse.
+        "scalars": [("goodput_retention_4x", 0.7)],
+    },
 }
 
 errors = []

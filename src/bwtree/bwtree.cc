@@ -141,18 +141,21 @@ LeafPage* BwTree::FindAndLatchLeafShared(const Slice& key,
   }
 }
 
-Status BwTree::Upsert(const Slice& key, const Slice& value) {
+Status BwTree::Upsert(const Slice& key, const Slice& value,
+                      const OpContext* ctx) {
   stats_.upserts.Inc();
-  return Write(DeltaEntry{DeltaOp::kUpsert, key.ToString(), value.ToString()});
+  return Write(DeltaEntry{DeltaOp::kUpsert, key.ToString(), value.ToString()},
+               ctx);
 }
 
-Status BwTree::Delete(const Slice& key) {
+Status BwTree::Delete(const Slice& key, const OpContext* ctx) {
   stats_.deletes.Inc();
-  return Write(DeltaEntry{DeltaOp::kDelete, key.ToString(), {}});
+  return Write(DeltaEntry{DeltaOp::kDelete, key.ToString(), {}}, ctx);
 }
 
-Status BwTree::Write(DeltaEntry entry) {
+Status BwTree::Write(DeltaEntry entry, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bwtree.write_ns");
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "bwtree write"));
   std::unique_lock<SharedMutex> lock;
   LeafPage* leaf = FindAndLatchLeafExclusive(entry.key, &lock);
   leaf->latch.AssertHeld();
@@ -162,37 +165,39 @@ Status BwTree::Write(DeltaEntry entry) {
     opts_.listener->OnMutation(opts_.tree_id, leaf->id, lsn, entry);
   }
   Status s = opts_.delta_mode == DeltaMode::kTraditional
-                 ? ApplyTraditionalLocked(leaf, std::move(entry), lsn)
-                 : ApplyReadOptimizedLocked(leaf, std::move(entry), lsn);
+                 ? ApplyTraditionalLocked(leaf, std::move(entry), lsn, ctx)
+                 : ApplyReadOptimizedLocked(leaf, std::move(entry), lsn, ctx);
   if (!s.ok()) return s;
   if (opts_.flush_mode == FlushMode::kDeferred) leaf->dirty = true;
-  return MaybeSplitLocked(leaf);
+  return MaybeSplitLocked(leaf, ctx);
 }
 
 Status BwTree::ApplyTraditionalLocked(LeafPage* leaf, DeltaEntry entry,
-                                      Lsn lsn) {
+                                      Lsn lsn, const OpContext* ctx) {
   // Classic Bw-tree: prepend a single-entry delta to the chain.
   leaf->chain.insert(leaf->chain.begin(),
                      LeafPage::Delta{{std::move(entry)}, {}});
   if (opts_.flush_mode == FlushMode::kSync) {
-    BG3_RETURN_IF_ERROR(AppendDeltaLocked(leaf, &leaf->chain.front(), lsn));
+    BG3_RETURN_IF_ERROR(
+        AppendDeltaLocked(leaf, &leaf->chain.front(), lsn, ctx));
   }
   if (leaf->chain.size() >= opts_.consolidate_threshold) {
-    return ConsolidateLocked(leaf);
+    return ConsolidateLocked(leaf, ctx);
   }
   if (opts_.flush_mode == FlushMode::kSync) NotifyFlushedLocked(leaf);
   return Status::OK();
 }
 
 Status BwTree::ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry,
-                                        Lsn lsn) {
+                                        Lsn lsn, const OpContext* ctx) {
   // Algorithm 1 of the paper.
   if (leaf->chain.empty()) {
     // Lines 9-17: first modification since the last consolidation — behave
     // like a traditional Bw-tree.
     leaf->chain.push_back(LeafPage::Delta{{std::move(entry)}, {}});
     if (opts_.flush_mode == FlushMode::kSync) {
-      BG3_RETURN_IF_ERROR(AppendDeltaLocked(leaf, &leaf->chain.front(), lsn));
+      BG3_RETURN_IF_ERROR(
+          AppendDeltaLocked(leaf, &leaf->chain.front(), lsn, ctx));
       NotifyFlushedLocked(leaf);
     }
     return Status::OK();
@@ -204,7 +209,7 @@ Status BwTree::ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry,
     // Lines 21-27: the merged delta has absorbed ConsolidateNum updates —
     // consolidate the base page with everything instead.
     leaf->chain.front().entries.push_back(std::move(entry));
-    return ConsolidateLocked(leaf);
+    return ConsolidateLocked(leaf, ctx);
   }
   std::vector<DeltaEntry> merged = MergeDeltas(cur.entries, {entry});
   const cloud::PagePointer old_ptr = cur.ptr;
@@ -213,7 +218,7 @@ Status BwTree::ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry,
   cur.update_count = updates;
   cur.ptr = {};
   if (opts_.flush_mode == FlushMode::kSync) {
-    BG3_RETURN_IF_ERROR(AppendDeltaLocked(leaf, &cur, lsn));
+    BG3_RETURN_IF_ERROR(AppendDeltaLocked(leaf, &cur, lsn, ctx));
     if (!old_ptr.IsNull()) store_->MarkInvalid(old_ptr);
     NotifyFlushedLocked(leaf);
   }
@@ -233,26 +238,33 @@ void BwTree::FoldChainLocked(LeafPage* leaf) {
 }
 
 Result<cloud::PagePointer> BwTree::RetryingAppend(cloud::StreamId stream,
-                                                  const Slice& record) {
+                                                  const Slice& record,
+                                                  const OpContext* ctx) {
   RetryOptions retry = opts_.retry;
   retry.retries = &store_->stats().retries;
   retry.retry_exhausted = &store_->stats().retry_exhausted;
-  return RetryResultWithBackoff(retry,
-                                [&] { return store_->Append(stream, record); });
+  retry.ctx = ctx;
+  retry.breaker = &store_->breaker();
+  return RetryResultWithBackoff(
+      retry, [&] { return store_->Append(stream, record, nullptr, ctx); });
 }
 
-Result<std::string> BwTree::RetryingRead(const cloud::PagePointer& ptr) {
+Result<std::string> BwTree::RetryingRead(const cloud::PagePointer& ptr,
+                                         const OpContext* ctx) {
   RetryOptions retry = opts_.retry;
   retry.retry_corruption = true;  // wire corruption is transient
   retry.retries = &store_->stats().retries;
   retry.retry_exhausted = &store_->stats().retry_exhausted;
-  return RetryResultWithBackoff(retry, [&] { return store_->Read(ptr); });
+  retry.ctx = ctx;
+  retry.breaker = &store_->breaker();
+  return RetryResultWithBackoff(
+      retry, [&] { return store_->Read(ptr, nullptr, ctx); });
 }
 
-Status BwTree::EnsureResidentLocked(LeafPage* leaf) {
+Status BwTree::EnsureResidentLocked(LeafPage* leaf, const OpContext* ctx) {
   if (leaf->resident) return Status::OK();
   if (!leaf->base_ptr.IsNull()) {
-    auto base = RetryingRead(leaf->base_ptr);
+    auto base = RetryingRead(leaf->base_ptr, ctx);
     if (!base.ok()) {
       if (opts_.tolerate_missing_extents && base.status().IsIOError()) {
         leaf->base_entries.clear();
@@ -362,9 +374,9 @@ size_t BwTree::EvictPage(PageId id) {
   return bytes;
 }
 
-Status BwTree::ConsolidateLocked(LeafPage* leaf) {
+Status BwTree::ConsolidateLocked(LeafPage* leaf, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bwtree.consolidate_ns");
-  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf, ctx));
   stats_.consolidations.Inc();
   // Invalidate the storage images being superseded.
   const cloud::PagePointer old_base = leaf->base_ptr;
@@ -375,7 +387,7 @@ Status BwTree::ConsolidateLocked(LeafPage* leaf) {
   FoldChainLocked(leaf);
   leaf->chain.clear();
   if (opts_.flush_mode == FlushMode::kSync) {
-    BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf));
+    BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf, ctx));
     if (!old_base.IsNull()) store_->MarkInvalid(old_base);
     for (const auto& p : old_deltas) store_->MarkInvalid(p);
     NotifyFlushedLocked(leaf);
@@ -386,7 +398,7 @@ Status BwTree::ConsolidateLocked(LeafPage* leaf) {
   return Status::OK();
 }
 
-Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
+Status BwTree::MaybeSplitLocked(LeafPage* leaf, const OpContext* ctx) {
   if (!opts_.allow_split) return Status::OK();
   size_t chain_entries = 0;
   for (const auto& d : leaf->chain) chain_entries += d.entries.size();
@@ -398,7 +410,7 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
     if (leaf->resident) return Status::OK();
     if (chain_entries <= opts_.max_leaf_entries) return Status::OK();
   }
-  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf, ctx));
   BG3_TIMED_SCOPE("bg3.bwtree.smo_split_ns");
   stats_.splits.Inc();
   // Fold everything so we can cut the full ordered content in half.
@@ -412,7 +424,7 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
   if (leaf->base_entries.size() <= opts_.max_leaf_entries) {
     // Deletes can shrink the folded content below the threshold.
     if (opts_.flush_mode == FlushMode::kSync) {
-      BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf));
+      BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf, ctx));
       if (!old_base.IsNull()) store_->MarkInvalid(old_base);
       for (const auto& p : old_deltas) store_->MarkInvalid(p);
       NotifyFlushedLocked(leaf);
@@ -452,8 +464,8 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
   }
 
   if (opts_.flush_mode == FlushMode::kSync) {
-    BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf));
-    BG3_RETURN_IF_ERROR(AppendBaseLocked(sib));
+    BG3_RETURN_IF_ERROR(AppendBaseLocked(leaf, ctx));
+    BG3_RETURN_IF_ERROR(AppendBaseLocked(sib, ctx));
     if (!old_base.IsNull()) store_->MarkInvalid(old_base);
     for (const auto& p : old_deltas) store_->MarkInvalid(p);
     NotifyFlushedLocked(leaf);
@@ -468,10 +480,10 @@ Status BwTree::MaybeSplitLocked(LeafPage* leaf) {
   return Status::OK();
 }
 
-Status BwTree::AppendBaseLocked(LeafPage* leaf) {
+Status BwTree::AppendBaseLocked(LeafPage* leaf, const OpContext* ctx) {
   const std::string record = EncodeBasePage(opts_.tree_id, leaf->id,
                                             leaf->last_lsn, leaf->base_entries);
-  auto res = RetryingAppend(opts_.base_stream, record);
+  auto res = RetryingAppend(opts_.base_stream, record, ctx);
   BG3_RETURN_IF_ERROR(res.status());
   leaf->base_ptr = res.value();
   leaf->flushed_lsn = leaf->last_lsn;
@@ -480,10 +492,10 @@ Status BwTree::AppendBaseLocked(LeafPage* leaf) {
 }
 
 Status BwTree::AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta,
-                                 Lsn lsn) {
+                                 Lsn lsn, const OpContext* ctx) {
   const std::string record =
       EncodeDelta(opts_.tree_id, leaf->id, lsn, delta->entries);
-  auto res = RetryingAppend(opts_.delta_stream, record);
+  auto res = RetryingAppend(opts_.delta_stream, record, ctx);
   BG3_RETURN_IF_ERROR(res.status());
   delta->ptr = res.value();
   leaf->flushed_lsn = lsn;
@@ -524,9 +536,10 @@ void BwTree::CheckLeafInvariantsLocked(LeafPage* leaf) {
   }
 }
 
-Result<std::string> BwTree::Get(const Slice& key) {
+Result<std::string> BwTree::Get(const Slice& key, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bwtree.get_ns");
   stats_.gets.Inc();
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "bwtree get"));
 
   if (opts_.read_cache == ReadCacheMode::kNone) {
     // Zero-cache path: fetch the storage images — one read for the base
@@ -536,7 +549,7 @@ Result<std::string> BwTree::Get(const Slice& key) {
     LeafPage* leaf = FindAndLatchLeafShared(key, &lock);
     leaf->latch.AssertReaderHeld();
     std::vector<Entry> merged;
-    BG3_RETURN_IF_ERROR(LoadMergedFromStorageLocked(leaf, &merged));
+    BG3_RETURN_IF_ERROR(LoadMergedFromStorageLocked(leaf, &merged, ctx));
     std::string value;
     if (LookupInBase(merged, key, &value)) return value;
     return Status::NotFound("no such key");
@@ -577,17 +590,18 @@ Result<std::string> BwTree::Get(const Slice& key) {
       return value;
     }
   }
-  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf, ctx));
   if (LookupInBase(leaf->base_entries, key, &value)) return value;
   return Status::NotFound("no such key");
 }
 
 Status BwTree::LoadMergedFromStorageLocked(LeafPage* leaf,
-                                           std::vector<Entry>* out) {
+                                           std::vector<Entry>* out,
+                                           const OpContext* ctx) {
   out->clear();
   std::vector<Entry> base;
   if (!leaf->base_ptr.IsNull()) {
-    auto res = RetryingRead(leaf->base_ptr);
+    auto res = RetryingRead(leaf->base_ptr, ctx);
     if (!res.ok()) {
       if (!(opts_.tolerate_missing_extents && res.status().IsIOError())) {
         return res.status();
@@ -602,7 +616,7 @@ Status BwTree::LoadMergedFromStorageLocked(LeafPage* leaf,
   std::vector<std::vector<DeltaEntry>> chains;  // oldest-first
   for (auto it = leaf->chain.rbegin(); it != leaf->chain.rend(); ++it) {
     if (it->ptr.IsNull()) continue;
-    auto res = RetryingRead(it->ptr);
+    auto res = RetryingRead(it->ptr, ctx);
     if (!res.ok()) {
       if (opts_.tolerate_missing_extents && res.status().IsIOError()) continue;
       return res.status();
@@ -621,9 +635,10 @@ Status BwTree::LoadMergedFromStorageLocked(LeafPage* leaf,
   return Status::OK();
 }
 
-Status BwTree::MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out) {
+Status BwTree::MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out,
+                                const OpContext* ctx) {
   if (opts_.read_cache == ReadCacheMode::kNone) {
-    return LoadMergedFromStorageLocked(leaf, out);
+    return LoadMergedFromStorageLocked(leaf, out, ctx);
   }
   std::vector<const std::vector<DeltaEntry>*> oldest_first;
   for (auto it = leaf->chain.rbegin(); it != leaf->chain.rend(); ++it) {
@@ -635,12 +650,13 @@ Status BwTree::MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out) {
 
 Status BwTree::CollectRangeLocked(LeafPage* leaf, const std::string& start,
                                   const std::string& end, size_t limit,
-                                  std::vector<Entry>* out) {
+                                  std::vector<Entry>* out,
+                                  const OpContext* ctx) {
   const bool bounded = !end.empty();
   if (opts_.read_cache == ReadCacheMode::kNone) {
     // Storage-backed read: the whole page must be fetched anyway.
     std::vector<Entry> view;
-    BG3_RETURN_IF_ERROR(LoadMergedFromStorageLocked(leaf, &view));
+    BG3_RETURN_IF_ERROR(LoadMergedFromStorageLocked(leaf, &view, ctx));
     auto it = std::lower_bound(
         view.begin(), view.end(), start,
         [](const Entry& e, const std::string& k) { return e.key < k; });
@@ -687,7 +703,8 @@ Status BwTree::CollectRangeLocked(LeafPage* leaf, const std::string& start,
   return Status::OK();
 }
 
-Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
+Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out,
+                    const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bwtree.scan_ns");
   stats_.scans.Inc();
   std::string cursor = options.start_key;
@@ -697,6 +714,9 @@ Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
   const bool bounded_end = !options.end_key.empty();
   for (;;) {
     if (out->size() >= target) return Status::OK();
+    // Per-hop deadline check: a long scan over many leaves stops at the
+    // first hop past the deadline instead of finishing the range.
+    BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "bwtree scan"));
     {
       // Shared-latch fast path: collect from a resident leaf (or via the
       // storage images in zero-cache mode) without blocking other readers.
@@ -705,7 +725,7 @@ Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
       leaf->latch.AssertReaderHeld();
       if (opts_.read_cache == ReadCacheMode::kNone || leaf->resident) {
         BG3_RETURN_IF_ERROR(CollectRangeLocked(leaf, cursor, options.end_key,
-                                               target, out));
+                                               target, out, ctx));
         if (out->size() >= target) return Status::OK();
         if (!leaf->has_high_key) return Status::OK();
         if (bounded_end && leaf->high_key >= options.end_key) {
@@ -720,9 +740,9 @@ Status BwTree::Scan(const ScanOptions& options, std::vector<Entry>* out) {
     std::unique_lock<SharedMutex> lock;
     LeafPage* leaf = FindAndLatchLeafExclusive(cursor, &lock);
     leaf->latch.AssertHeld();
-    BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf));
+    BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf, ctx));
     BG3_RETURN_IF_ERROR(CollectRangeLocked(leaf, cursor, options.end_key,
-                                           target, out));
+                                           target, out, ctx));
     if (out->size() >= target) return Status::OK();
     if (!leaf->has_high_key) return Status::OK();
     if (bounded_end && leaf->high_key >= options.end_key) return Status::OK();

@@ -143,11 +143,16 @@ class BwTree {
   BwTree(const BwTree&) = delete;
   BwTree& operator=(const BwTree&) = delete;
 
-  Status Upsert(const Slice& key, const Slice& value);
-  Status Delete(const Slice& key);
+  /// All foreground ops take an optional OpContext (DESIGN.md §5.5): its
+  /// deadline is checked at entry, per leaf hop (scans), and before every
+  /// store I/O the op issues, and it rides the retry loop so an expired
+  /// request stops burning attempts. Null = exact historical behavior.
+  Status Upsert(const Slice& key, const Slice& value,
+                const OpContext* ctx = nullptr);
+  Status Delete(const Slice& key, const OpContext* ctx = nullptr);
 
   /// Point lookup; NotFound if absent or deleted.
-  Result<std::string> Get(const Slice& key);
+  Result<std::string> Get(const Slice& key, const OpContext* ctx = nullptr);
 
   struct ScanOptions {
     std::string start_key;          ///< inclusive; empty = from the start.
@@ -155,7 +160,8 @@ class BwTree {
     size_t limit = std::numeric_limits<size_t>::max();
   };
   /// Ordered range scan into `out` (appends).
-  Status Scan(const ScanOptions& options, std::vector<Entry>* out);
+  Status Scan(const ScanOptions& options, std::vector<Entry>* out,
+              const OpContext* ctx = nullptr);
 
   // --- deferred-flush support (replication, §3.4) --------------------------
 
@@ -250,39 +256,51 @@ class BwTree {
   LeafPage* FindAndLatchLeafShared(const Slice& key,
                                    std::shared_lock<SharedMutex>* lock);
 
-  Status Write(DeltaEntry entry);
-  Status ApplyTraditionalLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn)
+  Status Write(DeltaEntry entry, const OpContext* ctx);
+  Status ApplyTraditionalLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn,
+                                const OpContext* ctx)
       BG3_REQUIRES(leaf->latch);
-  Status ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn)
+  Status ApplyReadOptimizedLocked(LeafPage* leaf, DeltaEntry entry, Lsn lsn,
+                                  const OpContext* ctx)
       BG3_REQUIRES(leaf->latch);
 
   /// Folds the delta chain into base_entries (memory only).
   void FoldChainLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
   /// FoldChainLocked + flush of the new base image (sync mode).
-  Status ConsolidateLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
-  Status MaybeSplitLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
+  Status ConsolidateLocked(LeafPage* leaf, const OpContext* ctx = nullptr)
+      BG3_REQUIRES(leaf->latch);
+  Status MaybeSplitLocked(LeafPage* leaf, const OpContext* ctx = nullptr)
+      BG3_REQUIRES(leaf->latch);
 
   /// Reloads an evicted page's base entries from its storage image.
-  Status EnsureResidentLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
+  Status EnsureResidentLocked(LeafPage* leaf, const OpContext* ctx = nullptr)
+      BG3_REQUIRES(leaf->latch);
 
-  /// Store I/O with the tree's bounded retry policy applied (and retry
-  /// accounting wired to the store's IoStats).
+  /// Store I/O with the tree's bounded retry policy applied (retry
+  /// accounting wired to the store's IoStats, exhaustion reported to the
+  /// store's circuit breaker, and the caller's deadline riding the loop).
   Result<cloud::PagePointer> RetryingAppend(cloud::StreamId stream,
-                                            const Slice& record);
-  Result<std::string> RetryingRead(const cloud::PagePointer& ptr);
+                                            const Slice& record,
+                                            const OpContext* ctx = nullptr);
+  Result<std::string> RetryingRead(const cloud::PagePointer& ptr,
+                                   const OpContext* ctx = nullptr);
 
-  Status AppendBaseLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
-  Status AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta, Lsn lsn)
+  Status AppendBaseLocked(LeafPage* leaf, const OpContext* ctx = nullptr)
+      BG3_REQUIRES(leaf->latch);
+  Status AppendDeltaLocked(LeafPage* leaf, LeafPage::Delta* delta, Lsn lsn,
+                           const OpContext* ctx = nullptr)
       BG3_REQUIRES(leaf->latch);
   void NotifyFlushedLocked(LeafPage* leaf) BG3_REQUIRES(leaf->latch);
 
   /// Storage-image view of a page for cache-miss reads (Fig. 9 path).
   /// Read-only on the leaf — runs under a shared latch so zero-cache reads
   /// scale (an exclusive holder satisfies the shared requirement too).
-  Status LoadMergedFromStorageLocked(LeafPage* leaf, std::vector<Entry>* out)
+  Status LoadMergedFromStorageLocked(LeafPage* leaf, std::vector<Entry>* out,
+                                     const OpContext* ctx = nullptr)
       BG3_REQUIRES_SHARED(leaf->latch);
   /// Merged logical content per the read cache mode (read-only).
-  Status MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out)
+  Status MergedViewLocked(LeafPage* leaf, std::vector<Entry>* out,
+                          const OpContext* ctx = nullptr)
       BG3_REQUIRES_SHARED(leaf->latch);
   /// Appends merged entries of [start, end) up to `limit` total entries in
   /// `out`; O(result + chain) on the in-memory path. Read-only: in full-
@@ -290,7 +308,8 @@ class BwTree {
   /// exclusive-reload fallback does this on a cache miss).
   Status CollectRangeLocked(LeafPage* leaf, const std::string& start,
                             const std::string& end, size_t limit,
-                            std::vector<Entry>* out)
+                            std::vector<Entry>* out,
+                            const OpContext* ctx = nullptr)
       BG3_REQUIRES_SHARED(leaf->latch);
 
   /// Debug invariant check for one latched leaf, called at consolidation,

@@ -179,18 +179,24 @@ void ByteGraphDB::CacheErase(const std::string& key) {
   cache_.erase(it);
 }
 
-Status ByteGraphDB::AddVertex(graph::VertexId id, const Slice& properties) {
+Status ByteGraphDB::AddVertex(graph::VertexId id, const Slice& properties,
+                              const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bytegraph.add_vertex_ns");
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   return CachedPut(VertexKey(id), properties.ToString());
 }
 
-Result<std::string> ByteGraphDB::GetVertex(graph::VertexId id) {
+Result<std::string> ByteGraphDB::GetVertex(graph::VertexId id,
+                                           const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bytegraph.get_vertex_ns");
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   return CachedGet(VertexKey(id));
 }
 
-Status ByteGraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
+Status ByteGraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type,
+                                 const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bytegraph.delete_vertex_ns");
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   std::lock_guard<std::mutex> lock(StripeFor(id, type));
   CacheErase(VertexKey(id));
   BG3_RETURN_IF_ERROR(lsm_->Delete(VertexKey(id)));
@@ -200,6 +206,7 @@ Status ByteGraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
   Meta meta;
   BG3_RETURN_IF_ERROR(DecodeMeta(Slice(meta_data.value()), &meta));
   for (const MetaEntry& entry : meta.entries) {
+    BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "bytegraph delete vertex"));
     const std::string node_key = NodeKey(id, type, entry.node_seq);
     CacheErase(node_key);
     BG3_RETURN_IF_ERROR(lsm_->Delete(node_key));
@@ -210,8 +217,10 @@ Status ByteGraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
 
 Status ByteGraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
                             graph::VertexId dst, const Slice& properties,
-                            graph::TimestampUs created_us) {
+                            graph::TimestampUs created_us,
+                            const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bytegraph.add_edge_ns");
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   std::lock_guard<std::mutex> lock(StripeFor(src, type));
   Meta meta;
   auto meta_data = CachedGet(MetaKey(src, type));
@@ -280,8 +289,9 @@ Status ByteGraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
 }
 
 Status ByteGraphDB::DeleteEdge(graph::VertexId src, graph::EdgeType type,
-                               graph::VertexId dst) {
+                               graph::VertexId dst, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bytegraph.delete_edge_ns");
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   std::lock_guard<std::mutex> lock(StripeFor(src, type));
   auto meta_data = CachedGet(MetaKey(src, type));
   if (meta_data.status().IsNotFound()) return Status::OK();
@@ -310,8 +320,10 @@ Status ByteGraphDB::DeleteEdge(graph::VertexId src, graph::EdgeType type,
 
 Result<std::string> ByteGraphDB::GetEdge(graph::VertexId src,
                                          graph::EdgeType type,
-                                         graph::VertexId dst) {
+                                         graph::VertexId dst,
+                                         const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bytegraph.get_edge_ns");
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   auto meta_data = CachedGet(MetaKey(src, type));
   BG3_RETURN_IF_ERROR(meta_data.status());
   Meta meta;
@@ -338,8 +350,10 @@ Result<std::string> ByteGraphDB::GetEdge(graph::VertexId src,
 
 Status ByteGraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
                                  size_t limit,
-                                 std::vector<graph::Neighbor>* out) {
+                                 std::vector<graph::Neighbor>* out,
+                                 const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.bytegraph.get_neighbors_ns");
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   auto meta_data = CachedGet(MetaKey(src, type));
   if (meta_data.status().IsNotFound()) return Status::OK();
   BG3_RETURN_IF_ERROR(meta_data.status());
@@ -348,6 +362,7 @@ Status ByteGraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
   size_t remaining = limit;
   for (const MetaEntry& entry : meta.entries) {
     if (remaining == 0) break;
+    BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "bytegraph neighbors"));
     auto node_data = CachedGet(NodeKey(src, type, entry.node_seq));
     BG3_RETURN_IF_ERROR(node_data.status());
     std::vector<EdgeRec> edges;

@@ -53,7 +53,10 @@ CloudStore::CloudStore(const CloudStoreOptions& opts)
       metrics_prefix_("bg3.cloud.store" +
                       std::to_string(MetricsRegistry::NextInstanceId("store")) +
                       "."),
-      latency_model_(opts.latency) {
+      clock_(opts.time_source != nullptr ? opts.time_source
+                                         : DefaultWallTimeSource()),
+      latency_model_(opts.latency),
+      breaker_(opts.breaker, clock_) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   stats_.RegisterWith(&reg, metrics_prefix_);
   reg.RegisterCallback(metrics_prefix_ + "total_bytes",
@@ -107,6 +110,11 @@ Stream* CloudStore::GetStream(StreamId id) const {
   return id < streams_.size() ? streams_[id].get() : nullptr;
 }
 
+Status CloudStore::CheckBreaker() const {
+  if (breaker_.Allow()) return Status::OK();
+  return Status::Overloaded("cloud circuit breaker open");
+}
+
 FaultDecision CloudStore::DecideFault(FaultOp op) const {
   FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
   if (injector == nullptr) return {};
@@ -116,12 +124,18 @@ FaultDecision CloudStore::DecideFault(FaultOp op) const {
 }
 
 Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
-                                       uint64_t* latency_us) {
+                                       uint64_t* latency_us,
+                                       const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.cloud.append_ns");
   Stream* s = GetStream(stream);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "cloud append"));
+  BG3_RETURN_IF_ERROR(CheckLatencyBudget(
+      ctx, latency_model_.AppendLatencyUs(record.size()), "append"));
+  BG3_RETURN_IF_ERROR(CheckBreaker());
   const FaultDecision fault = DecideFault(FaultOp::kAppend);
   if (fault.fail) {
+    breaker_.RecordError();
     return Status::IOError("injected transient append failure");
   }
   if (fault.torn) {
@@ -143,11 +157,13 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
     }
     s->MarkInvalid(ptr);  // never becomes live data
     if (obs != nullptr) obs->OnInvalidate(ptr);
+    breaker_.RecordError();
     return Status::IOError("injected torn append at stream tail");
   }
   const PagePointer ptr = s->Append(record);
   stats_.append_ops.Inc();
   stats_.append_bytes.Add(record.size());
+  breaker_.RecordSuccess();
   if (StoreObserver* obs = observer_.load(std::memory_order_acquire)) {
     obs->OnAppend(ptr);
   }
@@ -164,24 +180,40 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
 }
 
 Result<std::string> CloudStore::Read(const PagePointer& ptr,
-                                     uint64_t* latency_us) {
+                                     uint64_t* latency_us,
+                                     const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.cloud.read_ns");
   Stream* s = GetStream(ptr.stream_id);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "cloud read"));
+  // Record size is unknown until read; the base cost is a lower bound on
+  // the predicted latency, which is all fail-fast needs.
+  BG3_RETURN_IF_ERROR(
+      CheckLatencyBudget(ctx, latency_model_.ReadLatencyUs(0), "read"));
+  BG3_RETURN_IF_ERROR(CheckBreaker());
   const FaultDecision fault = DecideFault(FaultOp::kRead);
   if (fault.fail) {
+    breaker_.RecordError();
     return Status::IOError("injected transient read failure");
   }
   if (fault.corrupt) {
     // Bit flips on the wire: the stored record is intact, so a retry of the
     // same pointer succeeds (unlike CorruptRecordForTesting, which damages
     // the medium itself).
+    breaker_.RecordError();
     return Status::Corruption("injected corrupt read (checksum mismatch)");
   }
   std::string out;
-  BG3_RETURN_IF_ERROR(s->Read(ptr, &out));
+  {
+    Status read_status = s->Read(ptr, &out);
+    if (!read_status.ok()) {
+      breaker_.RecordError();
+      return read_status;
+    }
+  }
   stats_.read_ops.Inc();
   stats_.read_bytes.Add(out.size());
+  breaker_.RecordSuccess();
   if (latency_us != nullptr) {
     *latency_us =
         latency_model_.ReadLatencyUs(out.size()) + fault.extra_latency_us;
@@ -223,25 +255,34 @@ std::vector<ExtentStats> CloudStore::SealedExtentStats(StreamId stream) const {
 }
 
 Result<std::vector<std::pair<PagePointer, std::string>>>
-CloudStore::ReadValidRecords(StreamId stream, ExtentId extent) {
+CloudStore::ReadValidRecords(StreamId stream, ExtentId extent,
+                             const OpContext* ctx) {
   Stream* s = GetStream(stream);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "cloud extent scan"));
+  BG3_RETURN_IF_ERROR(CheckBreaker());
   auto result = s->ReadValidRecords(extent);
   if (result.ok()) {
     for (const auto& [ptr, data] : result.value()) {
       stats_.read_ops.Inc();
       stats_.read_bytes.Add(data.size());
     }
+    breaker_.RecordSuccess();
+  } else {
+    breaker_.RecordError();
   }
   return result;
 }
 
 Result<std::vector<std::pair<PagePointer, std::string>>>
 CloudStore::TailRecords(StreamId stream, const PagePointer& cursor,
-                        size_t max_records) {
+                        size_t max_records, const OpContext* ctx) {
   Stream* s = GetStream(stream);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "cloud tail"));
+  BG3_RETURN_IF_ERROR(CheckBreaker());
   if (DecideFault(FaultOp::kTail).fail) {
+    breaker_.RecordError();
     return Status::IOError("injected transient tail failure");
   }
   auto out = s->TailRecords(cursor, max_records);
@@ -249,6 +290,7 @@ CloudStore::TailRecords(StreamId stream, const PagePointer& cursor,
     stats_.read_ops.Inc();
     stats_.read_bytes.Add(data.size());
   }
+  breaker_.RecordSuccess();
   return out;
 }
 
@@ -267,12 +309,18 @@ uint64_t CloudStore::ManifestPut(const std::string& key, const Slice& value) {
 }
 
 Result<std::string> CloudStore::ManifestGet(const std::string& key,
-                                            uint64_t* version) const {
+                                            uint64_t* version,
+                                            const OpContext* ctx) const {
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "cloud manifest get"));
+  BG3_RETURN_IF_ERROR(CheckBreaker());
   if (DecideFault(FaultOp::kManifestGet).fail) {
+    breaker_.RecordError();
     return Status::IOError("injected transient manifest-get failure");
   }
   MutexLock lock(&manifest_mu_);
   auto it = manifest_.find(key);
+  // NotFound is an answer from a healthy substrate, not a substrate error.
+  breaker_.RecordSuccess();
   if (it == manifest_.end()) return Status::NotFound("manifest key " + key);
   if (version != nullptr) *version = it->second.second;
   return it->second.first;

@@ -14,7 +14,9 @@
 #include "cloud/latency_model.h"
 #include "cloud/stream.h"
 #include "cloud/types.h"
+#include "common/circuit_breaker.h"
 #include "common/metrics.h"
+#include "common/op_context.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 
@@ -57,6 +59,17 @@ struct IoStats {
 struct CloudStoreOptions {
   size_t extent_capacity = 1 << 20;  ///< 1 MiB, ArkDB-style uniform extents.
   LatencyModelOptions latency;
+
+  /// Circuit breaker around the store (DESIGN.md §5.5). Disabled by
+  /// default; when enabled, retry-exhaustion reports from callers trip it
+  /// open and every operation fails fast with Status::Overloaded until
+  /// half-open probes prove the substrate recovered.
+  CircuitBreakerOptions breaker;
+
+  /// Clock for the breaker's failure window / cooldown and for
+  /// deadline-vs-predicted-latency checks. Null = process wall clock;
+  /// tests pass a ManualTimeSource.
+  const TimeSource* time_source = nullptr;
 };
 
 /// Event hook consumed by the GC usage tracker (§3.3 "Extent Usage
@@ -97,11 +110,19 @@ class CloudStore {
 
   /// Appends one record; returns its permanent location and, optionally,
   /// the simulated latency of the operation in `latency_us`.
+  ///
+  /// All I/O entry points take an optional OpContext: an expired deadline
+  /// (or one the latency model predicts cannot be met) fails fast with
+  /// DeadlineExceeded, and an open circuit breaker fails fast with
+  /// Overloaded — both before touching the substrate. Null ctx keeps the
+  /// exact historical behavior.
   Result<PagePointer> Append(StreamId stream, const Slice& record,
-                             uint64_t* latency_us = nullptr);
+                             uint64_t* latency_us = nullptr,
+                             const OpContext* ctx = nullptr);
 
   Result<std::string> Read(const PagePointer& ptr,
-                           uint64_t* latency_us = nullptr);
+                           uint64_t* latency_us = nullptr,
+                           const OpContext* ctx = nullptr);
 
   /// Out-of-place update bookkeeping: the record at `ptr` no longer holds
   /// live data.
@@ -114,14 +135,15 @@ class CloudStore {
   /// Re-reads all valid records of an extent (GC relocation input); counted
   /// against read stats like any other I/O.
   Result<std::vector<std::pair<PagePointer, std::string>>> ReadValidRecords(
-      StreamId stream, ExtentId extent);
+      StreamId stream, ExtentId extent, const OpContext* ctx = nullptr);
 
   /// Log tailing (WAL readers): records appended strictly after `cursor`
   /// in append order; a default-constructed cursor reads from the start.
   /// Records that fail their CRC check (torn appends) are skipped — they
   /// were never durably written, so they are not part of the log.
   Result<std::vector<std::pair<PagePointer, std::string>>> TailRecords(
-      StreamId stream, const PagePointer& cursor, size_t max_records);
+      StreamId stream, const PagePointer& cursor, size_t max_records,
+      const OpContext* ctx = nullptr);
 
   // --- strongly consistent manifest ---------------------------------------
   // Small KV area modelling the shared mapping-table region of §3.4: the RW
@@ -131,7 +153,8 @@ class CloudStore {
   uint64_t ManifestPut(const std::string& key, const Slice& value);
   /// Returns NotFound if the key was never written.
   Result<std::string> ManifestGet(const std::string& key,
-                                  uint64_t* version = nullptr) const;
+                                  uint64_t* version = nullptr,
+                                  const OpContext* ctx = nullptr) const;
 
   /// All manifest entries whose key starts with `prefix`, key order
   /// (readers bootstrapping the page-table layout).
@@ -153,6 +176,15 @@ class CloudStore {
   const IoStats& stats() const { return stats_; }
   LatencyModel& latency_model() { return latency_model_; }
   const CloudStoreOptions& options() const { return opts_; }
+
+  /// The store's circuit breaker. Retry-wrapped callers pass this as
+  /// RetryOptions::breaker so exhausted budgets feed the trip threshold;
+  /// the store itself records successes and gates every entry point on
+  /// Allow(). Inert unless CloudStoreOptions::breaker.enabled.
+  CircuitBreaker& breaker() const { return breaker_; }
+
+  /// Clock in effect (options().time_source or the process wall clock).
+  const TimeSource* time_source() const { return clock_; }
 
   /// At most one observer; must outlive the store or be reset to nullptr.
   /// Normally set before concurrent use; the pointer itself is atomic so a
@@ -180,10 +212,16 @@ class CloudStore {
   Stream* GetStream(StreamId id) const;
   /// Consults the attached injector (if any) for `op`; counts fired faults.
   FaultDecision DecideFault(FaultOp op) const;
+  /// Overloaded when the breaker rejects, OK otherwise.
+  Status CheckBreaker() const;
 
   const CloudStoreOptions opts_;
   std::string metrics_prefix_;
+  const TimeSource* clock_;
   LatencyModel latency_model_;
+  /// mutable: const read paths (ManifestGet) still gate on / feed the
+  /// breaker.
+  mutable CircuitBreaker breaker_;
   /// mutable: const read paths (ManifestGet) still account injected faults.
   mutable IoStats stats_;
   std::atomic<StoreObserver*> observer_{nullptr};

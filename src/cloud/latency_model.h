@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <cstddef>
 
+#include "common/op_context.h"
+#include "common/status.h"
+
 namespace bg3::cloud {
 
 /// Parameters of the simulated shared cloud storage service.
@@ -47,6 +50,23 @@ class LatencyModel {
   LatencyModelOptions opts_;
   std::atomic<double> rho_{0.0};
 };
+
+/// Deadline-aware admission of a single I/O: when the model predicts the
+/// operation takes longer than the caller's remaining budget, fail fast
+/// with DeadlineExceeded *before* issuing it — the simulated latency would
+/// be charged against a request whose caller already stopped waiting, and
+/// on a real service the bytes would be wasted wire traffic. Null or
+/// deadline-less contexts always pass.
+inline Status CheckLatencyBudget(const OpContext* ctx, uint64_t predicted_us,
+                                 const char* what) {
+  if (ctx == nullptr || !ctx->has_deadline()) return Status::OK();
+  if (ctx->RemainingUs() < predicted_us) {
+    return Status::DeadlineExceeded(
+        std::string("predicted ") + what +
+        " latency exceeds remaining deadline budget");
+  }
+  return Status::OK();
+}
 
 }  // namespace bg3::cloud
 

@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/slice.h"
+#include "common/time_source.h"
 
 namespace bg3::cloud {
 
@@ -46,34 +47,12 @@ struct PagePointer {
   }
 };
 
-/// Pluggable time source. GC experiments (update gradient, TTL) advance a
-/// manual clock instead of sleeping; production-like paths use wall time.
-class TimeSource {
- public:
-  virtual ~TimeSource() = default;
-  virtual uint64_t NowUs() const = 0;
-};
-
-class WallTimeSource : public TimeSource {
- public:
-  uint64_t NowUs() const override { return NowMicros(); }
-};
-
-class ManualTimeSource : public TimeSource {
- public:
-  // Atomic: tests advance the clock from a driver thread while store
-  // observers read it from worker threads.
-  uint64_t NowUs() const override {
-    return now_us_.load(std::memory_order_relaxed);
-  }
-  void AdvanceUs(uint64_t d) {
-    now_us_.fetch_add(d, std::memory_order_relaxed);
-  }
-  void SetUs(uint64_t t) { now_us_.store(t, std::memory_order_relaxed); }
-
- private:
-  std::atomic<uint64_t> now_us_{0};
-};
+/// The pluggable time source moved to common/time_source.h so the deadline
+/// machinery (OpContext, retry, admission) can use it below the cloud
+/// layer; these aliases keep the historical cloud::TimeSource spelling.
+using TimeSource = ::bg3::TimeSource;
+using WallTimeSource = ::bg3::WallTimeSource;
+using ManualTimeSource = ::bg3::ManualTimeSource;
 
 }  // namespace bg3::cloud
 

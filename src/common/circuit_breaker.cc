@@ -1,0 +1,132 @@
+#include "common/circuit_breaker.h"
+
+#include "common/logging.h"
+
+namespace bg3 {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options,
+                               const TimeSource* clock)
+    : opts_(options), clock_(clock) {
+  BG3_CHECK(clock_ != nullptr);
+  state_gauge_.Set(static_cast<int64_t>(State::kClosed));
+}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  state_.store(static_cast<int>(next), std::memory_order_release);
+  state_gauge_.Set(static_cast<int64_t>(next));
+}
+
+bool CircuitBreaker::Allow() {
+  if (!opts_.enabled) return true;
+  if (state() == State::kClosed) return true;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state()) {
+    case State::kClosed:
+      return true;  // closed while we waited for the lock.
+    case State::kOpen: {
+      const uint64_t now = clock_->NowUs();
+      if (now < opened_at_us_ + opts_.open_cooldown_us) {
+        rejected_.Inc();
+        return false;
+      }
+      // Cooldown elapsed: half-open and admit this op as the first probe.
+      TransitionLocked(State::kHalfOpen);
+      probes_inflight_ = 1;
+      probe_successes_ = 0;
+      return true;
+    }
+    case State::kHalfOpen:
+      if (probes_inflight_ >= opts_.half_open_probes) {
+        rejected_.Inc();
+        return false;
+      }
+      ++probes_inflight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (!opts_.enabled) return;
+  // Hot path: closed with a clean window — nothing to update.
+  if (state() == State::kClosed &&
+      window_failures_.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state()) {
+    case State::kClosed:
+      // A success proves the substrate serves again; forgive the window so
+      // unrelated failures minutes apart never accumulate into a trip.
+      window_failures_.store(0, std::memory_order_relaxed);
+      return;
+    case State::kOpen:
+      // Straggler from before the trip; the cooldown still applies.
+      return;
+    case State::kHalfOpen:
+      if (probes_inflight_ > 0) --probes_inflight_;
+      if (++probe_successes_ >= opts_.close_after_successes) {
+        TransitionLocked(State::kClosed);
+        window_failures_.store(0, std::memory_order_relaxed);
+        probes_inflight_ = 0;
+        probe_successes_ = 0;
+      }
+      return;
+  }
+}
+
+void CircuitBreaker::RecordError() {
+  if (!opts_.enabled) return;
+  if (state() == State::kClosed) return;  // only exhausted budgets count.
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state()) {
+    case State::kClosed:
+      return;  // closed while we waited for the lock.
+    case State::kOpen:
+      opened_at_us_ = clock_->NowUs();
+      return;
+    case State::kHalfOpen:
+      // The probe failed — reopen and restart the cooldown.
+      if (probes_inflight_ > 0) --probes_inflight_;
+      TransitionLocked(State::kOpen);
+      opened_at_us_ = clock_->NowUs();
+      trips_.Inc();
+      return;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (!opts_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t now = clock_->NowUs();
+  switch (state()) {
+    case State::kClosed: {
+      if (now >= window_start_us_ + opts_.failure_window_us) {
+        window_start_us_ = now;
+        window_failures_.store(0, std::memory_order_relaxed);
+      }
+      const int failures =
+          window_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (failures >= opts_.failure_threshold) {
+        TransitionLocked(State::kOpen);
+        opened_at_us_ = now;
+        trips_.Inc();
+      }
+      return;
+    }
+    case State::kOpen:
+      // Stragglers keep the cooldown fresh: the substrate is still failing.
+      opened_at_us_ = now;
+      return;
+    case State::kHalfOpen:
+      // The probe failed — reopen and restart the cooldown.
+      if (probes_inflight_ > 0) --probes_inflight_;
+      TransitionLocked(State::kOpen);
+      opened_at_us_ = now;
+      trips_.Inc();
+      return;
+  }
+}
+
+}  // namespace bg3

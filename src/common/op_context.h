@@ -1,0 +1,80 @@
+#ifndef BG3_COMMON_OP_CONTEXT_H_
+#define BG3_COMMON_OP_CONTEXT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+#include "common/time_source.h"
+
+namespace bg3 {
+
+/// Per-request context threaded from the public API (GraphDB / ByteGraph /
+/// replication nodes / Query) down through forest, bwtree, WAL and cloud
+/// I/O. Today it carries the request deadline; every layer that can block
+/// or retry consults it so a request never spends work past the point its
+/// caller stopped waiting (the overload model of DESIGN.md §5.5).
+///
+/// A null OpContext* (the default everywhere) means "no deadline" and takes
+/// the exact pre-deadline fast path: no clock reads, no behavior change.
+/// Deadlines are absolute microseconds on `clock`'s timeline, which may be
+/// wall time or a manual/virtual test clock.
+struct OpContext {
+  const TimeSource* clock = nullptr;  ///< required when deadline_us != 0.
+  uint64_t deadline_us = 0;           ///< absolute; 0 = no deadline.
+
+  /// Context expiring `timeout_us` from now on `clock`'s timeline.
+  static OpContext WithTimeout(const TimeSource* clock, uint64_t timeout_us) {
+    OpContext ctx;
+    ctx.clock = clock;
+    ctx.deadline_us = clock->NowUs() + timeout_us;
+    return ctx;
+  }
+
+  bool has_deadline() const { return deadline_us != 0; }
+
+  bool Expired() const {
+    return has_deadline() && clock != nullptr &&
+           clock->NowUs() >= deadline_us;
+  }
+
+  /// Microseconds until the deadline; ~0 when no deadline is set, 0 once
+  /// expired.
+  uint64_t RemainingUs() const {
+    if (!has_deadline() || clock == nullptr) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    const uint64_t now = clock->NowUs();
+    return now >= deadline_us ? 0 : deadline_us - now;
+  }
+};
+
+/// Mid-operation deadline check: OK for a null/deadline-less context,
+/// DeadlineExceeded once the deadline passed. `what` names the layer for
+/// the error message ("bwtree read", "admission queue", ...).
+inline Status CheckDeadline(const OpContext* ctx, const char* what) {
+  if (ctx == nullptr || !ctx->Expired()) return Status::OK();
+  return Status::DeadlineExceeded(std::string("deadline expired in ") + what);
+}
+
+/// API-boundary validation (DESIGN.md §5.5): a context whose deadline is
+/// malformed — set without a clock, or already zero/past at entry — is a
+/// caller bug and is rejected with InvalidArgument *before any work or
+/// admission*, distinct from DeadlineExceeded which means a valid deadline
+/// ran out mid-operation. Null and deadline-less contexts pass untouched.
+inline Status ValidateOpContext(const OpContext* ctx) {
+  if (ctx == nullptr || !ctx->has_deadline()) return Status::OK();
+  if (ctx->clock == nullptr) {
+    return Status::InvalidArgument("OpContext deadline set without a clock");
+  }
+  if (ctx->clock->NowUs() >= ctx->deadline_us) {
+    return Status::InvalidArgument(
+        "OpContext deadline is zero or already past at the API boundary");
+  }
+  return Status::OK();
+}
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_OP_CONTEXT_H_

@@ -1,12 +1,16 @@
 #ifndef BG3_COMMON_RETRY_H_
 #define BG3_COMMON_RETRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <utility>
 
+#include "common/circuit_breaker.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/op_context.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -27,6 +31,15 @@ struct RetryOptions {
   double backoff_multiplier = 2.0;
   uint64_t max_backoff_us = 64'000;
 
+  /// Full-jitter backoff (AWS-style): each delay is drawn uniformly from
+  /// [0, exponential schedule value], so a fleet of callers whose retries
+  /// were triggered by the same substrate blip cannot re-converge into a
+  /// synchronized retry storm. Driven by bg3::Random for determinism:
+  /// `jitter_seed != 0` pins the exact delay sequence (tests);
+  /// `jitter_seed == 0` (default) picks a distinct per-Backoff stream.
+  bool jitter = true;
+  uint64_t jitter_seed = 0;
+
   // Which error codes count as transient. Corruption is off by default:
   // an append never "partially corrupts" on retryable paths, but read
   // paths opt in because an injected corrupt read models bit-flips on the
@@ -41,19 +54,33 @@ struct RetryOptions {
   /// `[&clock](uint64_t us) { clock.AdvanceUs(us); }`.
   std::function<void(uint64_t)> sleep;
 
+  /// Request deadline. Checked before every attempt (including after a
+  /// backoff sleep advanced a virtual clock): once expired, the loop stops
+  /// with Status::DeadlineExceeded carrying the first (root-cause) error
+  /// observed so far. Null = no deadline, exact pre-deadline behavior.
+  const OpContext* ctx = nullptr;
+
   /// Observability hooks (normally CloudStore's IoStats counters).
   Counter* retries = nullptr;          ///< incremented per re-attempt.
   Counter* retry_exhausted = nullptr;  ///< incremented when the budget dies.
+
+  /// Circuit breaker to notify when the budget dies against a retryable
+  /// error (normally the CloudStore's breaker; see DESIGN.md §5.5).
+  CircuitBreaker* breaker = nullptr;
 };
 
-/// Deterministic exponential backoff schedule:
-/// initial, initial*m, initial*m^2, ... capped at max_backoff_us.
+/// Exponential backoff schedule: initial, initial*m, initial*m^2, ... capped
+/// at max_backoff_us. With `opts.jitter` each returned delay is full-jitter:
+/// uniform in [0, schedule value]; without it the schedule is returned
+/// verbatim (deterministic, the pre-jitter behavior).
 class Backoff {
  public:
   explicit Backoff(const RetryOptions& opts)
       : multiplier_(opts.backoff_multiplier),
         max_us_(opts.max_backoff_us),
-        next_us_(opts.initial_backoff_us) {}
+        next_us_(opts.initial_backoff_us),
+        jitter_(opts.jitter),
+        rng_(opts.jitter_seed != 0 ? opts.jitter_seed : AutoSeed()) {}
 
   /// Delay before the next retry; advances the schedule.
   uint64_t NextDelayUs() {
@@ -62,13 +89,26 @@ class Backoff {
     next_us_ = scaled >= static_cast<double>(max_us_)
                    ? max_us_
                    : static_cast<uint64_t>(scaled);
-    return cur;
+    if (!jitter_ || cur == 0) return cur;
+    return rng_.Uniform(cur + 1);  // full jitter: [0, cur]
   }
 
  private:
+  /// Distinct deterministic stream per Backoff instance: same-process
+  /// retriers draw different jitter (the whole point), while runs of the
+  /// same binary remain reproducible.
+  static uint64_t AutoSeed() {
+    static std::atomic<uint64_t> stream{0};
+    return 0x5eedULL ^
+           ((stream.fetch_add(1, std::memory_order_relaxed) + 1) *
+            0x9E3779B97F4A7C15ull);
+  }
+
   const double multiplier_;
   const uint64_t max_us_;
   uint64_t next_us_;
+  const bool jitter_;
+  Random rng_;
 };
 
 inline bool IsRetryableError(const RetryOptions& opts, const Status& s) {
@@ -77,10 +117,22 @@ inline bool IsRetryableError(const RetryOptions& opts, const Status& s) {
          (opts.retry_corruption && s.IsCorruption());
 }
 
-/// Runs `op` (a callable returning Status) until it succeeds, returns a
-/// non-retryable error, or the attempt budget is exhausted. On exhaustion
-/// the *first* error is returned — it is the root cause; later attempts
+/// DeadlineExceeded for a deadline that ran out inside the retry loop,
+/// preserving the first (root-cause) error of the sequence — later attempts
 /// often fail with derived or less specific messages.
+inline Status RetryDeadlineExceeded(const Status& first) {
+  if (first.ok()) {
+    return Status::DeadlineExceeded("deadline expired before I/O attempt");
+  }
+  return Status::DeadlineExceeded("deadline expired during retry; first "
+                                  "error: " +
+                                  first.ToString());
+}
+
+/// Runs `op` (a callable returning Status) until it succeeds, returns a
+/// non-retryable error, the deadline expires, or the attempt budget is
+/// exhausted. On exhaustion the *first* error is returned — it is the root
+/// cause; on deadline expiry DeadlineExceeded wraps that root cause.
 template <typename Op>
 Status RetryWithBackoff(const RetryOptions& opts, Op&& op) {
   BG3_DCHECK_GE(opts.max_attempts, 1)
@@ -88,11 +140,15 @@ Status RetryWithBackoff(const RetryOptions& opts, Op&& op) {
   Backoff backoff(opts);
   Status first;
   for (int attempt = 1;; ++attempt) {
+    if (opts.ctx != nullptr && opts.ctx->Expired()) {
+      return RetryDeadlineExceeded(first);
+    }
     Status s = op();
     if (s.ok() || !IsRetryableError(opts, s)) return s;
     if (first.ok()) first = std::move(s);
     if (attempt >= opts.max_attempts) {
       if (opts.retry_exhausted != nullptr) opts.retry_exhausted->Inc();
+      if (opts.breaker != nullptr) opts.breaker->RecordFailure();
       return first;
     }
     if (opts.retries != nullptr) opts.retries->Inc();
@@ -111,11 +167,15 @@ auto RetryResultWithBackoff(const RetryOptions& opts, Op&& op)
   Backoff backoff(opts);
   Status first;
   for (int attempt = 1;; ++attempt) {
+    if (opts.ctx != nullptr && opts.ctx->Expired()) {
+      return decltype(op())(RetryDeadlineExceeded(first));
+    }
     auto res = op();
     if (res.ok() || !IsRetryableError(opts, res.status())) return res;
     if (first.ok()) first = res.status();
     if (attempt >= opts.max_attempts) {
       if (opts.retry_exhausted != nullptr) opts.retry_exhausted->Inc();
+      if (opts.breaker != nullptr) opts.breaker->RecordFailure();
       return decltype(op())(first);
     }
     if (opts.retries != nullptr) opts.retries->Inc();

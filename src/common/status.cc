@@ -22,6 +22,10 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kAborted:
       return "Aborted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

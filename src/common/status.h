@@ -21,6 +21,11 @@ class Status {
     kBusy,
     kNotSupported,
     kAborted,
+    /// The operation's OpContext deadline expired before it completed.
+    kDeadlineExceeded,
+    /// Load was shed: admission queue full, watermark throttle, tripped
+    /// circuit breaker. Retrying immediately is pointless; back off.
+    kOverloaded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -52,6 +57,12 @@ class Status {
   static Status Aborted(std::string_view msg = "") {
     return Status(Code::kAborted, msg);
   }
+  static Status DeadlineExceeded(std::string_view msg = "") {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
+  static Status Overloaded(std::string_view msg = "") {
+    return Status(Code::kOverloaded, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -60,6 +71,10 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -1,26 +1,55 @@
 #include "common/threadpool.h"
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 
 namespace bg3 {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : capacity_(queue_capacity) {
   BG3_CHECK_GT(num_threads, 0);
+  metrics_prefix_ =
+      "bg3.threadpool.pool" +
+      std::to_string(MetricsRegistry::NextInstanceId("threadpool")) + ".";
+  MetricsRegistry::Default().RegisterGauge(metrics_prefix_ + "queue_depth",
+                                           &queue_depth_gauge_);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() { Shutdown(); }
+ThreadPool::~ThreadPool() {
+  Shutdown();
+  MetricsRegistry::Default().DeregisterPrefix(metrics_prefix_);
+}
 
-void ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (capacity_ > 0) {
+      space_cv_.wait(lock, [this] {
+        return shutdown_ || queue_.size() < capacity_;
+      });
+    }
+    if (shutdown_) return Status::Aborted("threadpool is shut down");
     queue_.push_back(std::move(task));
+    queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
   }
   work_cv_.notify_one();
+  return Status::OK();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    if (capacity_ > 0 && queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+    queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Drain() {
@@ -35,6 +64,7 @@ void ThreadPool::Shutdown() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  space_cv_.notify_all();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -57,8 +87,10 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
       ++active_;
     }
+    space_cv_.notify_one();
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -5,23 +5,42 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
 
 namespace bg3 {
 
 /// Fixed-size background worker pool used for asynchronous dirty-page
 /// flushing (§3.4 "flushed ... by a background thread pool") and GC.
+///
+/// The queue is bounded when `queue_capacity > 0`: Submit() then blocks
+/// until space frees up (producer backpressure) while TrySubmit() sheds by
+/// returning false — the building block benches and servers use to avoid
+/// the unbounded-backlog collapse mode (DESIGN.md §5.5). The default
+/// capacity 0 keeps the historical unbounded behavior.
+///
+/// Queue depth is exported as the registry gauge
+/// `bg3.threadpool.pool<N>.queue_depth`.
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads);
+  explicit ThreadPool(int num_threads, size_t queue_capacity = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks submitted after Shutdown() are dropped.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task, blocking while a bounded queue is full. Returns
+  /// Aborted once Shutdown() ran (the task is not enqueued — previously
+  /// such tasks were silently dropped).
+  Status Submit(std::function<void()> task);
+
+  /// Non-blocking enqueue: false when the pool is shut down or a bounded
+  /// queue is full (the caller sheds the work).
+  bool TrySubmit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all in-flight tasks finished.
   void Drain();
@@ -30,13 +49,19 @@ class ThreadPool {
   void Shutdown();
 
   size_t QueueDepth() const;
+  size_t queue_capacity() const { return capacity_; }
 
  private:
   void WorkerLoop();
 
+  const size_t capacity_;  ///< 0 = unbounded.
+  std::string metrics_prefix_;
+  Gauge queue_depth_gauge_;
+
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable drain_cv_;
+  std::condition_variable space_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   int active_ = 0;

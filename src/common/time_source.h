@@ -1,0 +1,52 @@
+#ifndef BG3_COMMON_TIME_SOURCE_H_
+#define BG3_COMMON_TIME_SOURCE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace bg3 {
+
+/// Pluggable time source. GC experiments (update gradient, TTL) and the
+/// overload tests advance a manual clock instead of sleeping;
+/// production-like paths use wall time. Lives in common (not cloud) so the
+/// deadline machinery (OpContext, retry, admission control) can reference
+/// it without depending on the storage layer.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  virtual uint64_t NowUs() const = 0;
+};
+
+class WallTimeSource : public TimeSource {
+ public:
+  uint64_t NowUs() const override { return NowMicros(); }
+};
+
+class ManualTimeSource : public TimeSource {
+ public:
+  // Atomic: tests advance the clock from a driver thread while store
+  // observers read it from worker threads.
+  uint64_t NowUs() const override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+  void AdvanceUs(uint64_t d) {
+    now_us_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void SetUs(uint64_t t) { now_us_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_us_{0};
+};
+
+/// Process-wide wall-clock instance for components that need *a* clock but
+/// were not handed one (circuit breakers, admission control).
+inline const TimeSource* DefaultWallTimeSource() {
+  static const WallTimeSource kWall;
+  return &kWall;
+}
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_TIME_SOURCE_H_

@@ -9,13 +9,33 @@
 
 namespace bg3::core {
 
+namespace {
+
+/// The admission controller's queue-wait clock defaults to the DB's own
+/// time source, so benches driving a ManualTimeSource get consistent
+/// service-time estimates.
+AdmissionOptions AdmissionWithDbClock(AdmissionOptions a,
+                                      const cloud::TimeSource* db_clock) {
+  if (a.time_source == nullptr) a.time_source = db_clock;
+  return a;
+}
+
+/// Watermark refresh cadence: cheap enough to run inline, rare enough to
+/// stay off the per-op fast path.
+constexpr uint64_t kWritesPerOverloadRefresh = 256;
+
+}  // namespace
+
 bwtree::BwTree* GraphDB::ResolverImpl::Resolve(bwtree::TreeId id) {
   if (id == kVertexTreeId) return db_->vertex_tree_.get();
   return db_->forest_->ResolveTree(id);
 }
 
 GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
-    : store_(store), opts_(options) {
+    : store_(store),
+      opts_(options),
+      admission_(AdmissionWithDbClock(options.admission,
+                                      options.time_source)) {
   BG3_CHECK(opts_.Validate().ok()) << opts_.Validate().ToString();
   time_source_ =
       opts_.time_source != nullptr ? opts_.time_source : &wall_time_;
@@ -108,6 +128,21 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
     return uint64_t{forest_->TotalResidentBytes() +
                     vertex_tree_->ResidentBytes()};
   });
+  // Overload-protection surface (DESIGN.md §5.5): admission outcomes, the
+  // shared queue depth, and the cloud breaker state, all under one prefix
+  // so a single dashboard shows whether the DB is shedding and why.
+  reg.RegisterCounter(metrics_prefix_ + "overload.admitted",
+                      &admission_.admitted());
+  reg.RegisterCounter(metrics_prefix_ + "overload.shed", &admission_.shed());
+  reg.RegisterCounter(metrics_prefix_ + "overload.deadline_exceeded",
+                      &admission_.deadline_exceeded());
+  reg.RegisterGauge(metrics_prefix_ + "overload.queue_depth",
+                    &admission_.queue_depth());
+  reg.RegisterGauge(metrics_prefix_ + "overload.breaker_state",
+                    &store_->breaker().state_gauge());
+  reg.RegisterCallback(metrics_prefix_ + "overload.write_throttle", [this] {
+    return uint64_t{admission_.write_throttle_reasons()};
+  });
   if (reclaimer_ != nullptr) {
     reg.RegisterCallback(metrics_prefix_ + "gc.extents_reclaimed", [this] {
       return reclaimer_->totals().extents_reclaimed;
@@ -160,50 +195,101 @@ bool GraphDB::EdgeExpired(graph::TimestampUs created_us) const {
          created_us + opts_.edge_ttl_us <= time_source_->NowUs();
 }
 
-Status GraphDB::AddVertex(graph::VertexId id, const Slice& properties) {
+Status GraphDB::AdmitOp(OpClass cls, const OpContext* ctx,
+                        AdmissionController::Permit* permit) {
+  // A deadline already dead at the boundary is the caller's bug
+  // (InvalidArgument), not a DeadlineExceeded — see ValidateOpContext.
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
+  BG3_RETURN_IF_ERROR(admission_.Admit(cls, ctx, permit));
+  if (cls == OpClass::kWrite && admission_.enabled() &&
+      writes_since_refresh_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          kWritesPerOverloadRefresh) {
+    RefreshOverloadState();
+  }
+  return Status::OK();
+}
+
+void GraphDB::RefreshOverloadState() {
+  writes_since_refresh_.store(0, std::memory_order_relaxed);
+  if (!admission_.enabled()) return;
+  uint32_t reasons = admission_.write_throttle_reasons();
+  if (opts_.memory_budget_bytes != 0 &&
+      opts_.admission.memory_throttle_ratio > 0) {
+    const size_t memory =
+        forest_->ApproxMemoryBytes() + vertex_tree_->ApproxMemoryBytes();
+    const double limit =
+        opts_.admission.memory_throttle_ratio *
+        static_cast<double>(opts_.memory_budget_bytes);
+    if (static_cast<double>(memory) > limit) {
+      reasons |= ThrottleReason::kMemoryPressure;
+    } else {
+      reasons &= ~ThrottleReason::kMemoryPressure;
+    }
+  }
+  admission_.SetWriteThrottle(reasons);
+}
+
+Status GraphDB::AddVertex(graph::VertexId id, const Slice& properties,
+                          const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.add_vertex_ns");
-  return vertex_tree_->Upsert(graph::EncodeDstKey(id), properties);
+  AdmissionController::Permit permit;
+  BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
+  return vertex_tree_->Upsert(graph::EncodeDstKey(id), properties, ctx);
 }
 
-Result<std::string> GraphDB::GetVertex(graph::VertexId id) {
+Result<std::string> GraphDB::GetVertex(graph::VertexId id,
+                                       const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.get_vertex_ns");
-  return vertex_tree_->Get(graph::EncodeDstKey(id));
+  AdmissionController::Permit permit;
+  BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kRead, ctx, &permit));
+  return vertex_tree_->Get(graph::EncodeDstKey(id), ctx);
 }
 
-Status GraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type) {
+Status GraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type,
+                             const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.delete_vertex_ns");
-  (void)vertex_tree_->Delete(graph::EncodeDstKey(id));
+  AdmissionController::Permit permit;
+  BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
+  (void)vertex_tree_->Delete(graph::EncodeDstKey(id), ctx);
   const uint64_t owner = graph::MakeOwnerId(id, type);
   std::vector<bwtree::Entry> entries;
-  BG3_RETURN_IF_ERROR(forest_->ScanOwner(owner, Slice(), ~0ull, &entries));
+  BG3_RETURN_IF_ERROR(forest_->ScanOwner(owner, Slice(), ~0ull, &entries,
+                                         ctx));
   for (const bwtree::Entry& e : entries) {
-    BG3_RETURN_IF_ERROR(forest_->Delete(owner, e.key));
+    BG3_RETURN_IF_ERROR(forest_->Delete(owner, e.key, ctx));
   }
   return Status::OK();
 }
 
 Status GraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
                         graph::VertexId dst, const Slice& properties,
-                        graph::TimestampUs created_us) {
+                        graph::TimestampUs created_us, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.add_edge_ns");
+  AdmissionController::Permit permit;
+  BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
   if (created_us == 0) created_us = time_source_->NowUs();
   return forest_->Upsert(graph::MakeOwnerId(src, type),
                          graph::EncodeDstKey(dst),
-                         graph::EncodeEdgeValue(created_us, properties));
+                         graph::EncodeEdgeValue(created_us, properties), ctx);
 }
 
 Status GraphDB::DeleteEdge(graph::VertexId src, graph::EdgeType type,
-                           graph::VertexId dst) {
+                           graph::VertexId dst, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.delete_edge_ns");
+  AdmissionController::Permit permit;
+  BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
   return forest_->Delete(graph::MakeOwnerId(src, type),
-                         graph::EncodeDstKey(dst));
+                         graph::EncodeDstKey(dst), ctx);
 }
 
 Result<std::string> GraphDB::GetEdge(graph::VertexId src, graph::EdgeType type,
-                                     graph::VertexId dst) {
+                                     graph::VertexId dst,
+                                     const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.get_edge_ns");
+  AdmissionController::Permit permit;
+  BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kRead, ctx, &permit));
   auto value = forest_->Get(graph::MakeOwnerId(src, type),
-                            graph::EncodeDstKey(dst));
+                            graph::EncodeDstKey(dst), ctx);
   BG3_RETURN_IF_ERROR(value.status());
   graph::TimestampUs created_us;
   std::string properties;
@@ -217,11 +303,14 @@ Result<std::string> GraphDB::GetEdge(graph::VertexId src, graph::EdgeType type,
 
 Status GraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
                              size_t limit,
-                             std::vector<graph::Neighbor>* out) {
+                             std::vector<graph::Neighbor>* out,
+                             const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.get_neighbors_ns");
+  AdmissionController::Permit permit;
+  BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kRead, ctx, &permit));
   std::vector<bwtree::Entry> entries;
   BG3_RETURN_IF_ERROR(forest_->ScanOwner(graph::MakeOwnerId(src, type),
-                                         Slice(), limit, &entries));
+                                         Slice(), limit, &entries, ctx));
   out->reserve(out->size() + entries.size());
   for (const bwtree::Entry& e : entries) {
     graph::VertexId dst;
@@ -239,6 +328,11 @@ Status GraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
 
 Status GraphDB::RunGcCycle() {
   BG3_TIMED_SCOPE("bg3.api.run_gc_cycle_ns");
+  // GC competes under its own (small) admission class so a maintenance
+  // storm cannot crowd out foreground work; it never carries a deadline.
+  AdmissionController::Permit permit;
+  BG3_RETURN_IF_ERROR(admission_.Admit(OpClass::kBackground, nullptr,
+                                       &permit));
   if (opts_.memory_budget_bytes != 0) {
     const size_t memory =
         forest_->ApproxMemoryBytes() + vertex_tree_->ApproxMemoryBytes();
@@ -259,6 +353,9 @@ Status GraphDB::RunGcCycle() {
       (void)forest::EvictTreesToBudget(trees, payload_budget);
     }
   }
+  // Eviction just ran, so the memory watermark is freshest here — the GC
+  // cycle is what clears a memory-pressure write throttle.
+  RefreshOverloadState();
   if (reclaimer_ == nullptr) return Status::OK();
   BG3_RETURN_IF_ERROR(
       reclaimer_->RunCycle(base_stream_, opts_.gc_extents_per_cycle).status());

@@ -11,6 +11,7 @@
 
 #include "bwtree/bwtree.h"
 #include "cloud/cloud_store.h"
+#include "core/admission.h"
 #include "core/db_stats.h"
 #include "core/options.h"
 #include "forest/forest.h"
@@ -40,18 +41,28 @@ class GraphDB : public graph::GraphEngine {
   std::string name() const override { return "BG3"; }
 
   // --- graph::GraphEngine ---------------------------------------------------
-  Status AddVertex(graph::VertexId id, const Slice& properties) override;
-  Result<std::string> GetVertex(graph::VertexId id) override;
-  Status DeleteVertex(graph::VertexId id, graph::EdgeType type) override;
+  // Every op passes admission control (per-class limits, bounded queues,
+  // write throttling — no-ops unless options.admission.enabled) and
+  // threads its OpContext deadline down through forest/tree/cloud I/O.
+  Status AddVertex(graph::VertexId id, const Slice& properties,
+                   const OpContext* ctx = nullptr) override;
+  Result<std::string> GetVertex(graph::VertexId id,
+                                const OpContext* ctx = nullptr) override;
+  Status DeleteVertex(graph::VertexId id, graph::EdgeType type,
+                      const OpContext* ctx = nullptr) override;
   Status AddEdge(graph::VertexId src, graph::EdgeType type,
                  graph::VertexId dst, const Slice& properties,
-                 graph::TimestampUs created_us) override;
+                 graph::TimestampUs created_us,
+                 const OpContext* ctx = nullptr) override;
   Status DeleteEdge(graph::VertexId src, graph::EdgeType type,
-                    graph::VertexId dst) override;
+                    graph::VertexId dst,
+                    const OpContext* ctx = nullptr) override;
   Result<std::string> GetEdge(graph::VertexId src, graph::EdgeType type,
-                              graph::VertexId dst) override;
+                              graph::VertexId dst,
+                              const OpContext* ctx = nullptr) override;
   Status GetNeighbors(graph::VertexId src, graph::EdgeType type, size_t limit,
-                      std::vector<graph::Neighbor>* out) override;
+                      std::vector<graph::Neighbor>* out,
+                      const OpContext* ctx = nullptr) override;
 
   // --- maintenance -----------------------------------------------------------
   /// One space-reclamation cycle over the base and delta streams. Call
@@ -76,6 +87,15 @@ class GraphDB : public graph::GraphEngine {
   /// stats under (`bg3.db<N>.`).
   const std::string& metrics_prefix() const { return metrics_prefix_; }
 
+  /// Front-door admission controller (see AdmissionOptions). Exposed so
+  /// replication facades and tests can share / inspect it.
+  AdmissionController& admission() { return admission_; }
+
+  /// Re-evaluates the graceful-degradation watermarks (currently: resident
+  /// memory vs. budget) and updates the write throttle. Runs inline every
+  /// few hundred writes and on each RunGcCycle; cheap enough for both.
+  void RefreshOverloadState();
+
   forest::BwTreeForest* forest() { return forest_.get(); }
   bwtree::BwTree* vertex_tree() { return vertex_tree_.get(); }
   cloud::CloudStore* store() { return store_; }
@@ -96,6 +116,10 @@ class GraphDB : public graph::GraphEngine {
   static constexpr bwtree::TreeId kVertexTreeId = 1ull << 62;
 
   bool EdgeExpired(graph::TimestampUs created_us) const;
+  /// Boundary validation + admission for one public op; on success the
+  /// permit holds the op's concurrency slot until it returns.
+  Status AdmitOp(OpClass cls, const OpContext* ctx,
+                 AdmissionController::Permit* permit);
 
   cloud::CloudStore* const store_;
   const GraphDBOptions opts_;
@@ -117,6 +141,10 @@ class GraphDB : public graph::GraphEngine {
   std::unique_ptr<ResolverImpl> resolver_;
   std::unique_ptr<gc::GcPolicy> gc_policy_;
   std::unique_ptr<gc::SpaceReclaimer> reclaimer_;
+
+  AdmissionController admission_;
+  /// Writes since the last watermark refresh (RefreshOverloadState cadence).
+  std::atomic<uint64_t> writes_since_refresh_{0};
 
   std::mutex maint_mu_;
   std::condition_variable maint_cv_;

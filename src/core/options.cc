@@ -15,6 +15,14 @@ Status GraphDBOptions::Validate() const {
   if (vertex_tree_max_leaf_entries == 0) {
     return Status::InvalidArgument("vertex_tree_max_leaf_entries must be > 0");
   }
+  if (admission.enabled) {
+    if (admission.memory_throttle_ratio > 1.0) {
+      return Status::InvalidArgument("memory_throttle_ratio out of (0,1]");
+    }
+    if (admission.poll_granularity_us == 0) {
+      return Status::InvalidArgument("poll_granularity_us must be > 0");
+    }
+  }
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "cloud/types.h"
+#include "core/admission.h"
 #include "forest/forest.h"
 #include "gc/policy.h"
 
@@ -47,6 +48,11 @@ struct GraphDBOptions {
 
   /// Leaf capacity of the vertex-property tree.
   size_t vertex_tree_max_leaf_entries = 256;
+
+  /// Overload protection (DESIGN.md §5.5): per-class admission limits and
+  /// bounded queues, plus the memory-pressure write throttle. Disabled by
+  /// default; the deadline/breaker machinery beneath works either way.
+  AdmissionOptions admission;
 
   /// Soft memory budget for the engine's page state (0 = unlimited). The
   /// maintenance loop treats all trees (forest + vertex) as one buffer

@@ -80,7 +80,7 @@ std::shared_ptr<BwTreeForest::OwnerState> BwTreeForest::FindState(
 }
 
 Status BwTreeForest::Upsert(OwnerId owner, const Slice& sort_key,
-                            const Slice& value) {
+                            const Slice& value, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.forest.upsert_ns");
   auto owned = GetOrCreateState(owner);
   OwnerState* state = owned.get();
@@ -88,12 +88,12 @@ Status BwTreeForest::Upsert(OwnerId owner, const Slice& sort_key,
   {
     MutexLock lock(&state->mu);
     if (state->tree != nullptr) {
-      BG3_RETURN_IF_ERROR(state->tree->Upsert(sort_key, value));
+      BG3_RETURN_IF_ERROR(state->tree->Upsert(sort_key, value, ctx));
       state->count.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
     BG3_RETURN_IF_ERROR(
-        init_tree_->Upsert(MakeInitKey(owner, sort_key), value));
+        init_tree_->Upsert(MakeInitKey(owner, sort_key), value, ctx));
     state->count.fetch_add(1, std::memory_order_relaxed);
     init_entries_.fetch_add(1, std::memory_order_relaxed);
     if (opts_.split_out_threshold == 0 ||
@@ -108,14 +108,16 @@ Status BwTreeForest::Upsert(OwnerId owner, const Slice& sort_key,
   return Status::OK();
 }
 
-Status BwTreeForest::Delete(OwnerId owner, const Slice& sort_key) {
+Status BwTreeForest::Delete(OwnerId owner, const Slice& sort_key,
+                            const OpContext* ctx) {
   auto owned = GetOrCreateState(owner);
   OwnerState* state = owned.get();
   MutexLock lock(&state->mu);
   if (state->tree != nullptr) {
-    BG3_RETURN_IF_ERROR(state->tree->Delete(sort_key));
+    BG3_RETURN_IF_ERROR(state->tree->Delete(sort_key, ctx));
   } else {
-    BG3_RETURN_IF_ERROR(init_tree_->Delete(MakeInitKey(owner, sort_key)));
+    BG3_RETURN_IF_ERROR(
+        init_tree_->Delete(MakeInitKey(owner, sort_key), ctx));
     if (init_entries_.load(std::memory_order_relaxed) > 0) {
       init_entries_.fetch_sub(1, std::memory_order_relaxed);
     }
@@ -128,7 +130,8 @@ Status BwTreeForest::Delete(OwnerId owner, const Slice& sort_key) {
   return Status::OK();
 }
 
-Result<std::string> BwTreeForest::Get(OwnerId owner, const Slice& sort_key) {
+Result<std::string> BwTreeForest::Get(OwnerId owner, const Slice& sort_key,
+                                      const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.forest.lookup_ns");
   auto owned = FindState(owner);
   if (owned == nullptr) return Status::NotFound("unknown owner");
@@ -138,15 +141,16 @@ Result<std::string> BwTreeForest::Get(OwnerId owner, const Slice& sort_key) {
   // latches carry the read. This is what lets N readers of one hot owner
   // scale instead of convoying on `mu`.
   if (bwtree::BwTree* tree = state->published.load(std::memory_order_acquire)) {
-    return tree->Get(sort_key);
+    return tree->Get(sort_key, ctx);
   }
   MutexLock lock(&state->mu);
-  if (state->tree != nullptr) return state->tree->Get(sort_key);
-  return init_tree_->Get(MakeInitKey(owner, sort_key));
+  if (state->tree != nullptr) return state->tree->Get(sort_key, ctx);
+  return init_tree_->Get(MakeInitKey(owner, sort_key), ctx);
 }
 
 Status BwTreeForest::ScanOwner(OwnerId owner, const Slice& start_sort_key,
-                               size_t limit, std::vector<bwtree::Entry>* out) {
+                               size_t limit, std::vector<bwtree::Entry>* out,
+                               const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.forest.scan_ns");
   auto owned = FindState(owner);
   if (owned == nullptr) return Status::OK();  // no entries yet
@@ -156,14 +160,14 @@ Status BwTreeForest::ScanOwner(OwnerId owner, const Slice& start_sort_key,
     bwtree::BwTree::ScanOptions scan;
     scan.start_key = start_sort_key.ToString();
     scan.limit = limit;
-    return tree->Scan(scan, out);
+    return tree->Scan(scan, out, ctx);
   }
   MutexLock lock(&state->mu);
   if (state->tree != nullptr) {
     bwtree::BwTree::ScanOptions scan;
     scan.start_key = start_sort_key.ToString();
     scan.limit = limit;
-    return state->tree->Scan(scan, out);
+    return state->tree->Scan(scan, out, ctx);
   }
   // INIT-resident: prefix scan [owner|start, owner+1) and strip the prefix.
   bwtree::BwTree::ScanOptions scan;
@@ -171,7 +175,7 @@ Status BwTreeForest::ScanOwner(OwnerId owner, const Slice& start_sort_key,
   scan.end_key = owner == ~0ull ? std::string() : OwnerPrefix(owner + 1);
   scan.limit = limit;
   std::vector<bwtree::Entry> raw;
-  BG3_RETURN_IF_ERROR(init_tree_->Scan(scan, &raw));
+  BG3_RETURN_IF_ERROR(init_tree_->Scan(scan, &raw, ctx));
   out->reserve(out->size() + raw.size());
   for (auto& e : raw) {
     out->push_back(bwtree::Entry{e.key.substr(8), std::move(e.value)});

@@ -68,15 +68,21 @@ class BwTreeForest {
   BwTreeForest& operator=(const BwTreeForest&) = delete;
 
   /// Inserts/updates one entry of `owner`'s list, keyed by `sort_key`.
-  Status Upsert(OwnerId owner, const Slice& sort_key, const Slice& value);
-  Status Delete(OwnerId owner, const Slice& sort_key);
-  Result<std::string> Get(OwnerId owner, const Slice& sort_key);
+  /// Every foreground op forwards the optional OpContext deadline to the
+  /// owning Bw-tree (null = no deadline; see DESIGN.md §5.5).
+  Status Upsert(OwnerId owner, const Slice& sort_key, const Slice& value,
+                const OpContext* ctx = nullptr);
+  Status Delete(OwnerId owner, const Slice& sort_key,
+                const OpContext* ctx = nullptr);
+  Result<std::string> Get(OwnerId owner, const Slice& sort_key,
+                          const OpContext* ctx = nullptr);
 
   /// Ordered scan of one owner's entries from `start_sort_key`; returned
   /// entry keys are sort keys (the owner prefix is stripped for INIT-tree
   /// residents).
   Status ScanOwner(OwnerId owner, const Slice& start_sort_key, size_t limit,
-                   std::vector<bwtree::Entry>* out);
+                   std::vector<bwtree::Entry>* out,
+                   const OpContext* ctx = nullptr);
 
   /// Entries currently attributed to `owner` (tracked count).
   size_t OwnerEntryCount(OwnerId owner) const;

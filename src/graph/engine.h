@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/op_context.h"
 #include "common/result.h"
 #include "graph/edge.h"
 
@@ -19,34 +20,49 @@ struct Neighbor {
 /// Minimal property-graph engine surface shared by BG3, the ByteGraph
 /// baseline and the reference (Neptune stand-in) engine, so the overall
 /// comparison (Fig. 8) drives all three through identical workloads.
+///
+/// Every op takes an optional OpContext carrying a request deadline.
+/// Contract (identical across engines so the comparison stays fair):
+/// nullptr = no deadline (the historical behavior, bit for bit); a
+/// deadline already expired at the call boundary is the caller's bug and
+/// returns InvalidArgument; a deadline that expires mid-op returns
+/// DeadlineExceeded, preserving the first root cause in the message.
 class GraphEngine {
  public:
   virtual ~GraphEngine() = default;
 
   virtual std::string name() const = 0;
 
-  virtual Status AddVertex(VertexId id, const Slice& properties) = 0;
-  virtual Result<std::string> GetVertex(VertexId id) = 0;
+  virtual Status AddVertex(VertexId id, const Slice& properties,
+                           const OpContext* ctx = nullptr) = 0;
+  virtual Result<std::string> GetVertex(VertexId id,
+                                        const OpContext* ctx = nullptr) = 0;
   /// Removes the vertex record and all its out-edges of `type` (engines
   /// have no in-edge index, so incoming edges are the caller's problem, as
   /// in every adjacency-list store). No-op if absent.
-  virtual Status DeleteVertex(VertexId id, EdgeType type) = 0;
+  virtual Status DeleteVertex(VertexId id, EdgeType type,
+                              const OpContext* ctx = nullptr) = 0;
 
   virtual Status AddEdge(VertexId src, EdgeType type, VertexId dst,
-                         const Slice& properties, TimestampUs created_us) = 0;
-  virtual Status DeleteEdge(VertexId src, EdgeType type, VertexId dst) = 0;
+                         const Slice& properties, TimestampUs created_us,
+                         const OpContext* ctx = nullptr) = 0;
+  virtual Status DeleteEdge(VertexId src, EdgeType type, VertexId dst,
+                            const OpContext* ctx = nullptr) = 0;
   virtual Result<std::string> GetEdge(VertexId src, EdgeType type,
-                                      VertexId dst) = 0;
+                                      VertexId dst,
+                                      const OpContext* ctx = nullptr) = 0;
 
   /// Up to `limit` neighbors of (src, type) in ascending destination order.
   virtual Status GetNeighbors(VertexId src, EdgeType type, size_t limit,
-                              std::vector<Neighbor>* out) = 0;
+                              std::vector<Neighbor>* out,
+                              const OpContext* ctx = nullptr) = 0;
 
   /// Out-degree of (src, type), bounded by `limit`.
   virtual Result<size_t> CountNeighbors(VertexId src, EdgeType type,
-                                        size_t limit) {
+                                        size_t limit,
+                                        const OpContext* ctx = nullptr) {
     std::vector<Neighbor> neighbors;
-    BG3_RETURN_IF_ERROR(GetNeighbors(src, type, limit, &neighbors));
+    BG3_RETURN_IF_ERROR(GetNeighbors(src, type, limit, &neighbors, ctx));
     return neighbors.size();
   }
 };

@@ -14,6 +14,11 @@ Query::Query(graph::GraphEngine* engine) : engine_(engine) {
   BG3_CHECK(engine != nullptr);
 }
 
+Query& Query::Context(const OpContext* ctx) {
+  ctx_ = ctx;
+  return *this;
+}
+
 Query& Query::V(graph::VertexId start) {
   sources_.push_back(start);
   return *this;
@@ -37,7 +42,7 @@ Query& Query::Out(graph::EdgeType type, size_t per_vertex_limit) {
     for (graph::VertexId v : f->vertices) {
       neighbors.clear();
       BG3_RETURN_IF_ERROR(
-          engine_->GetNeighbors(v, type, per_vertex_limit, &neighbors));
+          engine_->GetNeighbors(v, type, per_vertex_limit, &neighbors, ctx_));
       for (graph::Neighbor& n : neighbors) {
         next.vertices.push_back(n.dst);
         next.via.push_back(std::move(n));
@@ -135,9 +140,13 @@ Query& Query::Sample(size_t k, uint64_t seed) {
 
 Result<std::vector<graph::VertexId>> Query::Execute() {
   BG3_TIMED_SCOPE("bg3.query.execute_ns");
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx_));
   Frontier f;
   f.vertices = sources_;
   for (const Step& step : steps_) {
+    // Between-step check: a deadline'd traversal gives up at a hop
+    // boundary instead of starting another fan-out it cannot finish.
+    BG3_RETURN_IF_ERROR(CheckDeadline(ctx_, "query step"));
     BG3_RETURN_IF_ERROR(step(&f));
   }
   return std::move(f.vertices);

@@ -27,6 +27,12 @@ class Query {
  public:
   explicit Query(graph::GraphEngine* engine);
 
+  /// Attaches a request context: the deadline is checked between pipeline
+  /// steps (a multi-hop traversal stops between hops, not only inside
+  /// engine I/O) and rides every GetNeighbors expansion. The context must
+  /// outlive the terminal call.
+  Query& Context(const OpContext* ctx);
+
   // --- traversal source ---------------------------------------------------
   /// Starts from a single vertex.
   Query& V(graph::VertexId start);
@@ -82,6 +88,7 @@ class Query {
   Query& AddStep(Step step);
 
   graph::GraphEngine* const engine_;
+  const OpContext* ctx_ = nullptr;
   std::vector<graph::VertexId> sources_;
   std::vector<Step> steps_;
 };

@@ -53,31 +53,34 @@ Status RefGraphStore::DecodeAdjPage(const Slice& data,
 }
 
 Result<std::map<graph::VertexId, RefGraphStore::AdjEntry>>
-RefGraphStore::LoadAdjLocked(const AdjKey& key) const {
+RefGraphStore::LoadAdjLocked(const AdjKey& key, const OpContext* ctx) const {
   std::map<graph::VertexId, AdjEntry> adj;
   auto it = adj_index_.find(key);
   if (it == adj_index_.end()) return adj;
-  auto data = store_->Read(it->second);
+  auto data = store_->Read(it->second, nullptr, ctx);
   BG3_RETURN_IF_ERROR(data.status());
   BG3_RETURN_IF_ERROR(DecodeAdjPage(Slice(data.value()), &adj));
   return adj;
 }
 
 Status RefGraphStore::StoreAdjLocked(
-    const AdjKey& key, const std::map<graph::VertexId, AdjEntry>& adj) {
+    const AdjKey& key, const std::map<graph::VertexId, AdjEntry>& adj,
+    const OpContext* ctx) {
   auto old = adj_index_.find(key);
   const std::string page = EncodeAdjPage(adj);
-  auto ptr = store_->Append(stream_, page);
+  auto ptr = store_->Append(stream_, page, nullptr, ctx);
   BG3_RETURN_IF_ERROR(ptr.status());
   if (old != adj_index_.end()) store_->MarkInvalid(old->second);
   adj_index_[key] = ptr.value();
   return Status::OK();
 }
 
-Status RefGraphStore::AddVertex(graph::VertexId id, const Slice& properties) {
+Status RefGraphStore::AddVertex(graph::VertexId id, const Slice& properties,
+                                const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   BurnCpu();
   std::unique_lock lock(mu_);
-  auto ptr = store_->Append(stream_, properties);
+  auto ptr = store_->Append(stream_, properties, nullptr, ctx);
   BG3_RETURN_IF_ERROR(ptr.status());
   auto it = vertex_index_.find(id);
   if (it != vertex_index_.end()) store_->MarkInvalid(it->second);
@@ -85,16 +88,19 @@ Status RefGraphStore::AddVertex(graph::VertexId id, const Slice& properties) {
   return Status::OK();
 }
 
-Result<std::string> RefGraphStore::GetVertex(graph::VertexId id) {
+Result<std::string> RefGraphStore::GetVertex(graph::VertexId id,
+                                             const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   BurnCpu();
   std::shared_lock lock(mu_);
   auto it = vertex_index_.find(id);
   if (it == vertex_index_.end()) return Status::NotFound("no such vertex");
-  return store_->Read(it->second);
+  return store_->Read(it->second, nullptr, ctx);
 }
 
-Status RefGraphStore::DeleteVertex(graph::VertexId id,
-                                   graph::EdgeType type) {
+Status RefGraphStore::DeleteVertex(graph::VertexId id, graph::EdgeType type,
+                                   const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   BurnCpu();
   std::unique_lock lock(mu_);
   auto vit = vertex_index_.find(id);
@@ -112,31 +118,36 @@ Status RefGraphStore::DeleteVertex(graph::VertexId id,
 
 Status RefGraphStore::AddEdge(graph::VertexId src, graph::EdgeType type,
                               graph::VertexId dst, const Slice& properties,
-                              graph::TimestampUs created_us) {
+                              graph::TimestampUs created_us,
+                              const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   BurnCpu();
   std::unique_lock lock(mu_);
-  auto adj = LoadAdjLocked({src, type});
+  auto adj = LoadAdjLocked({src, type}, ctx);
   BG3_RETURN_IF_ERROR(adj.status());
   adj.value()[dst] = AdjEntry{created_us, properties.ToString()};
-  return StoreAdjLocked({src, type}, adj.value());
+  return StoreAdjLocked({src, type}, adj.value(), ctx);
 }
 
 Status RefGraphStore::DeleteEdge(graph::VertexId src, graph::EdgeType type,
-                                 graph::VertexId dst) {
+                                 graph::VertexId dst, const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   BurnCpu();
   std::unique_lock lock(mu_);
-  auto adj = LoadAdjLocked({src, type});
+  auto adj = LoadAdjLocked({src, type}, ctx);
   BG3_RETURN_IF_ERROR(adj.status());
   adj.value().erase(dst);
-  return StoreAdjLocked({src, type}, adj.value());
+  return StoreAdjLocked({src, type}, adj.value(), ctx);
 }
 
 Result<std::string> RefGraphStore::GetEdge(graph::VertexId src,
                                            graph::EdgeType type,
-                                           graph::VertexId dst) {
+                                           graph::VertexId dst,
+                                           const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   BurnCpu();
   std::shared_lock lock(mu_);
-  auto adj = LoadAdjLocked({src, type});
+  auto adj = LoadAdjLocked({src, type}, ctx);
   BG3_RETURN_IF_ERROR(adj.status());
   auto it = adj.value().find(dst);
   if (it == adj.value().end()) return Status::NotFound("no such edge");
@@ -145,10 +156,12 @@ Result<std::string> RefGraphStore::GetEdge(graph::VertexId src,
 
 Status RefGraphStore::GetNeighbors(graph::VertexId src, graph::EdgeType type,
                                    size_t limit,
-                                   std::vector<graph::Neighbor>* out) {
+                                   std::vector<graph::Neighbor>* out,
+                                   const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(ValidateOpContext(ctx));
   BurnCpu();
   std::shared_lock lock(mu_);
-  auto adj = LoadAdjLocked({src, type});
+  auto adj = LoadAdjLocked({src, type}, ctx);
   BG3_RETURN_IF_ERROR(adj.status());
   for (auto& [dst, entry] : adj.value()) {
     if (out->size() >= limit) break;

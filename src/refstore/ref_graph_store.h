@@ -29,20 +29,27 @@ class RefGraphStore : public graph::GraphEngine {
 
   std::string name() const override { return "RefStore(Neptune-standin)"; }
 
-  Status AddVertex(graph::VertexId id, const Slice& properties) override;
-  Result<std::string> GetVertex(graph::VertexId id) override;
-  Status DeleteVertex(graph::VertexId id, graph::EdgeType type) override;
+  Status AddVertex(graph::VertexId id, const Slice& properties,
+                   const OpContext* ctx = nullptr) override;
+  Result<std::string> GetVertex(graph::VertexId id,
+                                const OpContext* ctx = nullptr) override;
+  Status DeleteVertex(graph::VertexId id, graph::EdgeType type,
+                      const OpContext* ctx = nullptr) override;
 
   Status AddEdge(graph::VertexId src, graph::EdgeType type,
                  graph::VertexId dst, const Slice& properties,
-                 graph::TimestampUs created_us) override;
+                 graph::TimestampUs created_us,
+                 const OpContext* ctx = nullptr) override;
   Status DeleteEdge(graph::VertexId src, graph::EdgeType type,
-                    graph::VertexId dst) override;
+                    graph::VertexId dst,
+                    const OpContext* ctx = nullptr) override;
   Result<std::string> GetEdge(graph::VertexId src, graph::EdgeType type,
-                              graph::VertexId dst) override;
+                              graph::VertexId dst,
+                              const OpContext* ctx = nullptr) override;
 
   Status GetNeighbors(graph::VertexId src, graph::EdgeType type, size_t limit,
-                      std::vector<graph::Neighbor>* out) override;
+                      std::vector<graph::Neighbor>* out,
+                      const OpContext* ctx = nullptr) override;
 
  private:
   struct AdjEntry {
@@ -58,9 +65,10 @@ class RefGraphStore : public graph::GraphEngine {
 
   /// Reads + parses the adjacency page of (src, type) from storage.
   Result<std::map<graph::VertexId, AdjEntry>> LoadAdjLocked(
-      const AdjKey& key) const;
+      const AdjKey& key, const OpContext* ctx = nullptr) const;
   Status StoreAdjLocked(const AdjKey& key,
-                        const std::map<graph::VertexId, AdjEntry>& adj);
+                        const std::map<graph::VertexId, AdjEntry>& adj,
+                        const OpContext* ctx = nullptr);
 
   void BurnCpu() const;
 

@@ -36,6 +36,7 @@ RoNode::RoNode(cloud::CloudStore* store, const RoNodeOptions& options)
   reg.RegisterCounter(metrics_prefix_ + "replayed", &stats_.replayed);
   reg.RegisterCounter(metrics_prefix_ + "storage_reads", &stats_.storage_reads);
   reg.RegisterCounter(metrics_prefix_ + "poll_degraded", &stats_.poll_degraded);
+  reg.RegisterGauge(metrics_prefix_ + "overload.degraded", &stats_.degraded);
   reg.RegisterCounter(metrics_prefix_ + "fast_reads", &stats_.fast_reads);
 }
 
@@ -49,27 +50,32 @@ Status RoNode::PollWal() {
   return PollWalLocked(/*force=*/true);
 }
 
-RetryOptions RoNode::StoreRetryOptions() const {
+RetryOptions RoNode::StoreRetryOptions(const OpContext* ctx) const {
   RetryOptions retry = opts_.retry;
   retry.retries = &store_->stats().retries;
   retry.retry_exhausted = &store_->stats().retry_exhausted;
+  retry.ctx = ctx;
+  retry.breaker = &store_->breaker();
   return retry;
 }
 
-RetryOptions RoNode::ReadRetryOptions() const {
-  RetryOptions retry = StoreRetryOptions();
+RetryOptions RoNode::ReadRetryOptions(const OpContext* ctx) const {
+  RetryOptions retry = StoreRetryOptions(ctx);
   retry.retry_corruption = true;  // wire corruption is transient
   return retry;
 }
 
-Result<std::string> RoNode::RetryingManifestGet(const std::string& key) {
-  return RetryResultWithBackoff(StoreRetryOptions(),
-                                [&] { return store_->ManifestGet(key); });
+Result<std::string> RoNode::RetryingManifestGet(const std::string& key,
+                                               const OpContext* ctx) {
+  return RetryResultWithBackoff(
+      StoreRetryOptions(ctx),
+      [&] { return store_->ManifestGet(key, nullptr, ctx); });
 }
 
-Result<std::string> RoNode::RetryingStorageRead(const cloud::PagePointer& ptr) {
-  return RetryResultWithBackoff(ReadRetryOptions(),
-                                [&] { return store_->Read(ptr); });
+Result<std::string> RoNode::RetryingStorageRead(const cloud::PagePointer& ptr,
+                                                const OpContext* ctx) {
+  return RetryResultWithBackoff(ReadRetryOptions(ctx),
+                                [&] { return store_->Read(ptr, nullptr, ctx); });
 }
 
 Status RoNode::PollWalLocked(bool force) {
@@ -95,10 +101,14 @@ Status RoNode::PollWalLocked(bool force) {
       // simply falls behind and catches up on a later poll. Reads served
       // meanwhile see the last consistently replicated state.
       stats_.poll_degraded.Inc();
+      stats_.degraded.Set(1);
       return Status::OK();
     }
     BG3_RETURN_IF_ERROR(records.status());
-    if (records.value().empty()) return Status::OK();
+    if (records.value().empty()) {
+      stats_.degraded.Set(0);  // fully caught up with the WAL again.
+      return Status::OK();
+    }
     for (const wal::WalRecord& rec : records.value()) {
       BG3_RETURN_IF_ERROR(ApplyWalRecordLocked(rec));
     }
@@ -291,7 +301,8 @@ void RoNode::ApplyPendingLocked(TreeState& ts, bwtree::TreeId tree,
 }
 
 Result<RoNode::CachedPage*> RoNode::GetPageLocked(bwtree::TreeId tree,
-                                                  bwtree::PageId page) {
+                                                  bwtree::PageId page,
+                                                  const OpContext* ctx) {
   TreeState& ts = trees_[tree];
   auto it = cache_.find({tree, page});
   if (it != cache_.end()) {
@@ -304,7 +315,7 @@ Result<RoNode::CachedPage*> RoNode::GetPageLocked(bwtree::TreeId tree,
   }
   stats_.cache_misses.Inc();
   CachedPage cp;
-  BG3_RETURN_IF_ERROR(BuildViewLocked(tree, page, &cp));
+  BG3_RETURN_IF_ERROR(BuildViewLocked(tree, page, &cp, ctx));
   cp.last_use.store(use_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
                     std::memory_order_relaxed);
   auto [cit, inserted] = cache_.emplace(CacheKey{tree, page}, std::move(cp));
@@ -314,7 +325,7 @@ Result<RoNode::CachedPage*> RoNode::GetPageLocked(bwtree::TreeId tree,
 }
 
 Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
-                               CachedPage* out) {
+                               CachedPage* out, const OpContext* ctx) {
   TreeState& ts = trees_[tree];
   auto target_meta_it = ts.meta.find(page);
   if (target_meta_it == ts.meta.end()) {
@@ -335,7 +346,7 @@ Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
     bool restart = false;
     for (;;) {
       chain.push_back(cur);
-      auto manifest = RetryingManifestGet(PageImageKey(tree, cur));
+      auto manifest = RetryingManifestGet(PageImageKey(tree, cur), ctx);
       if (manifest.ok()) {
         BG3_RETURN_IF_ERROR(
             PageImageMeta::Decode(Slice(manifest.value()), &image));
@@ -366,7 +377,7 @@ Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
     bwtree::Lsn base_lsn = 0;
     if (have_image) {
       base_lsn = image.flushed_lsn;
-      auto base = RetryingStorageRead(image.base_ptr);
+      auto base = RetryingStorageRead(image.base_ptr, ctx);
       BG3_RETURN_IF_ERROR(base.status());
       stats_.storage_reads.Inc();
       Slice in(base.value());
@@ -375,7 +386,7 @@ Status RoNode::BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
       BG3_RETURN_IF_ERROR(bwtree::DecodeBasePagePayload(in, &entries));
       std::vector<std::vector<bwtree::DeltaEntry>> chains;
       for (const auto& ptr : image.delta_ptrs) {
-        auto delta = RetryingStorageRead(ptr);
+        auto delta = RetryingStorageRead(ptr, ctx);
         BG3_RETURN_IF_ERROR(delta.status());
         stats_.storage_reads.Inc();
         Slice din(delta.value());
@@ -474,8 +485,10 @@ RoNode::FastRead RoNode::TryGetFastLocked(bwtree::TreeId tree, const Slice& key,
                                                       : FastRead::kMiss;
 }
 
-Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
+Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key,
+                                const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.replication.ro_get_ns");
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "ro get"));
   if (opts_.min_poll_gap_us > 0) {
     // Warm-path attempt under the shared latch: a cached, fully replayed
     // page with no poll due is served without excluding other readers.
@@ -500,7 +513,7 @@ Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
   auto rit = ts.route.upper_bound(key.ToString());
   BG3_CHECK(rit != ts.route.begin());
   --rit;
-  auto page = GetPageLocked(tree, rit->second);
+  auto page = GetPageLocked(tree, rit->second, ctx);
   BG3_RETURN_IF_ERROR(page.status());
   std::string value;
   if (bwtree::LookupInBase(page.value()->entries, key, &value)) return value;
@@ -509,8 +522,9 @@ Result<std::string> RoNode::Get(bwtree::TreeId tree, const Slice& key) {
 
 Status RoNode::Scan(bwtree::TreeId tree, const Slice& start_key,
                     const Slice& end_key, size_t limit,
-                    std::vector<bwtree::Entry>* out) {
+                    std::vector<bwtree::Entry>* out, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.replication.ro_scan_ns");
+  BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "ro scan"));
   WriterMutexLock lock(&mu_);
   BG3_RETURN_IF_ERROR(PollWalLocked());
   auto tit = trees_.find(tree);
@@ -523,11 +537,12 @@ Status RoNode::Scan(bwtree::TreeId tree, const Slice& start_key,
   size_t remaining = limit;
   for (;;) {
     if (remaining == 0) return Status::OK();
+    BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "ro scan"));
     auto rit = ts.route.upper_bound(cursor);
     BG3_CHECK(rit != ts.route.begin());
     --rit;
     const bwtree::PageId page_id = rit->second;
-    auto page = GetPageLocked(tree, page_id);
+    auto page = GetPageLocked(tree, page_id, ctx);
     BG3_RETURN_IF_ERROR(page.status());
     const auto& entries = page.value()->entries;
     auto it = std::lower_bound(entries.begin(), entries.end(), cursor,

@@ -57,6 +57,11 @@ struct RoNodeStats {
   /// WAL polls abandoned after retry exhaustion: the node fell behind and
   /// will catch up once the substrate recovers.
   Counter poll_degraded;
+  /// 1 while the node is serving stale-but-consistent state because its
+  /// last WAL poll degraded; 0 once a poll fully succeeds again. Exported
+  /// as `overload.degraded` so operators see degradation as a level, not
+  /// just an episode count (DESIGN.md §5.5).
+  Gauge degraded;
   /// Reads served entirely under the shared node latch (cache hit, no
   /// pending replay, no poll due). Only possible with min_poll_gap_us > 0.
   Counter fast_reads;
@@ -89,13 +94,16 @@ class RoNode {
   Status PollWal();
 
   /// Strongly consistent point read: reflects every write the RW node
-  /// WAL-published before this call.
-  Result<std::string> Get(bwtree::TreeId tree, const Slice& key);
+  /// WAL-published before this call. The optional OpContext deadline rides
+  /// every store read the node issues on behalf of this request (cache
+  /// fills, manifest gets); background catch-up polls stay deadline-free.
+  Result<std::string> Get(bwtree::TreeId tree, const Slice& key,
+                          const OpContext* ctx = nullptr);
 
   /// Ordered range scan (multi-hop graph reads on RO nodes).
   Status Scan(bwtree::TreeId tree, const Slice& start_key,
               const Slice& end_key, size_t limit,
-              std::vector<bwtree::Entry>* out);
+              std::vector<bwtree::Entry>* out, const OpContext* ctx = nullptr);
 
   /// Background maintenance: merge pending logs page by page.
   void CompactPendingLogs();
@@ -179,24 +187,30 @@ class RoNode {
   Status PollWalLocked(bool force = false) BG3_REQUIRES(mu_);
   Status ApplyWalRecordLocked(const wal::WalRecord& record) BG3_REQUIRES(mu_);
 
-  /// opts_.retry with accounting wired to the store's IoStats; the read
-  /// variant additionally retries Corruption (wire bit-flips re-read fine).
-  RetryOptions StoreRetryOptions() const;
-  RetryOptions ReadRetryOptions() const;
+  /// opts_.retry with accounting wired to the store's IoStats and
+  /// exhaustion reported to the store's circuit breaker; the read variant
+  /// additionally retries Corruption (wire bit-flips re-read fine). The
+  /// caller's deadline (if any) bounds the whole retry schedule.
+  RetryOptions StoreRetryOptions(const OpContext* ctx = nullptr) const;
+  RetryOptions ReadRetryOptions(const OpContext* ctx = nullptr) const;
   /// ManifestGet with retry; NotFound (a semantic "no image") passes
   /// through untouched.
-  Result<std::string> RetryingManifestGet(const std::string& key);
-  Result<std::string> RetryingStorageRead(const cloud::PagePointer& ptr);
+  Result<std::string> RetryingManifestGet(const std::string& key,
+                                          const OpContext* ctx = nullptr);
+  Result<std::string> RetryingStorageRead(const cloud::PagePointer& ptr,
+                                          const OpContext* ctx = nullptr);
   /// Seeds route/meta from the shared mapping table, so a node can come up
   /// against a truncated WAL (images + ranges substitute for the dropped
   /// prefix of TreeInit/Split records).
   void BootstrapFromManifestLocked() BG3_REQUIRES(mu_);
 
   /// Returns the cached page, building it from storage + replay on a miss.
-  Result<CachedPage*> GetPageLocked(bwtree::TreeId tree, bwtree::PageId page)
+  Result<CachedPage*> GetPageLocked(bwtree::TreeId tree, bwtree::PageId page,
+                                    const OpContext* ctx = nullptr)
       BG3_REQUIRES(mu_);
   Status BuildViewLocked(bwtree::TreeId tree, bwtree::PageId page,
-                         CachedPage* out) BG3_REQUIRES(mu_);
+                         CachedPage* out, const OpContext* ctx = nullptr)
+      BG3_REQUIRES(mu_);
   /// Applies pending records newer than the page's applied_lsn.
   void ApplyPendingLocked(TreeState& ts, bwtree::TreeId tree,
                           bwtree::PageId page, CachedPage* cp)

@@ -54,21 +54,43 @@ Result<std::unique_ptr<RwNode>> RwNode::Recover(cloud::CloudStore* store,
   return node;
 }
 
-Status RwNode::Put(const Slice& key, const Slice& value) {
-  BG3_RETURN_IF_ERROR(tree_->Upsert(key, value));
+namespace {
+
+/// Write-degradation watermark (DESIGN.md §5.5): a growing WAL flush
+/// backlog means appends keep failing; piling more mutations onto it turns
+/// a substrate blip into unbounded memory growth and an unbounded
+/// recovery-replay window. Writes shed, reads never come through here.
+Status CheckWalBacklog(const wal::WalWriter& wal, size_t watermark,
+                       LightCounter* shed) {
+  if (watermark == 0 || wal.BufferedRecords() < watermark) return Status::OK();
+  shed->Inc();
+  return Status::Overloaded("WAL flush backlog over watermark; write shed");
+}
+
+}  // namespace
+
+Status RwNode::Put(const Slice& key, const Slice& value,
+                   const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(
+      CheckWalBacklog(wal_, opts_.wal_backlog_watermark, &writes_shed_));
+  BG3_RETURN_IF_ERROR(tree_->Upsert(key, value, ctx));
   return MaybeFlushGroup();
 }
 
-Status RwNode::Delete(const Slice& key) {
-  BG3_RETURN_IF_ERROR(tree_->Delete(key));
+Status RwNode::Delete(const Slice& key, const OpContext* ctx) {
+  BG3_RETURN_IF_ERROR(
+      CheckWalBacklog(wal_, opts_.wal_backlog_watermark, &writes_shed_));
+  BG3_RETURN_IF_ERROR(tree_->Delete(key, ctx));
   return MaybeFlushGroup();
 }
 
-Result<std::string> RwNode::Get(const Slice& key) { return tree_->Get(key); }
+Result<std::string> RwNode::Get(const Slice& key, const OpContext* ctx) {
+  return tree_->Get(key, ctx);
+}
 
 Status RwNode::Scan(const bwtree::BwTree::ScanOptions& options,
-                    std::vector<bwtree::Entry>* out) {
-  return tree_->Scan(options, out);
+                    std::vector<bwtree::Entry>* out, const OpContext* ctx) {
+  return tree_->Scan(options, out, ctx);
 }
 
 Status RwNode::MaybeFlushGroup() {

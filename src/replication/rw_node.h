@@ -28,6 +28,13 @@ struct RwNodeOptions {
   /// checkpoint (bounds RO replay-log growth when the working set is small
   /// and the dirty-page threshold alone would never trigger).
   uint64_t flush_group_mutations = 8192;
+
+  /// Graceful write degradation (DESIGN.md §5.5): once the WAL flush
+  /// backlog (records buffered because batch appends keep failing) reaches
+  /// this many records, Put/Delete shed with Status::Overloaded instead of
+  /// growing the backlog without bound — reads keep serving from memory.
+  /// 0 disables the watermark (historical behavior).
+  size_t wal_backlog_watermark = 0;
 };
 
 /// The Read/Write node of BG3's write-once read-many architecture (§3.4,
@@ -51,11 +58,18 @@ class RwNode : public bwtree::TreeListener {
   RwNode(const RwNode&) = delete;
   RwNode& operator=(const RwNode&) = delete;
 
-  Status Put(const Slice& key, const Slice& value);
-  Status Delete(const Slice& key);
-  Result<std::string> Get(const Slice& key);
+  /// Writes shed with Overloaded once the WAL backlog watermark is hit;
+  /// reads are never shed here. The optional OpContext deadline threads
+  /// through the tree and WAL I/O beneath.
+  Status Put(const Slice& key, const Slice& value,
+             const OpContext* ctx = nullptr);
+  Status Delete(const Slice& key, const OpContext* ctx = nullptr);
+  Result<std::string> Get(const Slice& key, const OpContext* ctx = nullptr);
   Status Scan(const bwtree::BwTree::ScanOptions& options,
-              std::vector<bwtree::Entry>* out);
+              std::vector<bwtree::Entry>* out, const OpContext* ctx = nullptr);
+
+  /// Writes shed by the WAL-backlog watermark so far.
+  uint64_t writes_shed() const { return writes_shed_.Get(); }
 
   /// Flushes a dirty-page group if the threshold is reached.
   Status MaybeFlushGroup();
@@ -115,6 +129,8 @@ class RwNode : public bwtree::TreeListener {
   cloud::PagePointer last_checkpoint_wal_ptr_ BG3_GUARDED_BY(ckpt_ptr_mu_);
 
   std::atomic<bwtree::Lsn> last_checkpoint_{0};
+
+  LightCounter writes_shed_;
 };
 
 }  // namespace bg3::replication

@@ -8,17 +8,18 @@ namespace bg3::wal {
 WalWriter::WalWriter(cloud::CloudStore* store, const WalWriterOptions& options)
     : store_(store), opts_(options), rng_(options.seed) {}
 
-Status WalWriter::Append(WalRecord record) {
+Status WalWriter::Append(WalRecord record, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.wal.append_ns");
   std::lock_guard<std::mutex> lock(mu_);
   buffer_.push_back(std::move(record));
-  if (buffer_.size() >= opts_.group_size) return FlushLocked();
+  buffered_records_.store(buffer_.size(), std::memory_order_relaxed);
+  if (buffer_.size() >= opts_.group_size) return FlushLocked(ctx);
   return Status::OK();
 }
 
-Status WalWriter::Flush() {
+Status WalWriter::Flush(const OpContext* ctx) {
   std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
+  return FlushLocked(ctx);
 }
 
 cloud::PagePointer WalWriter::last_append_ptr() const {
@@ -26,7 +27,7 @@ cloud::PagePointer WalWriter::last_append_ptr() const {
   return last_append_ptr_;
 }
 
-Status WalWriter::FlushLocked() {
+Status WalWriter::FlushLocked(const OpContext* ctx) {
   if (buffer_.empty()) return Status::OK();
   BG3_TIMED_SCOPE("bg3.wal.sync_ns");
   // Stamp each record's simulated publish latency: its residency in the
@@ -44,13 +45,16 @@ Status WalWriter::FlushLocked() {
   RetryOptions retry = opts_.retry;
   retry.retries = &store_->stats().retries;
   retry.retry_exhausted = &store_->stats().retry_exhausted;
+  retry.ctx = ctx;
+  retry.breaker = &store_->breaker();
   auto res = RetryResultWithBackoff(
-      retry, [&] { return store_->Append(opts_.stream, batch); });
+      retry, [&] { return store_->Append(opts_.stream, batch, nullptr, ctx); });
   BG3_RETURN_IF_ERROR(res.status());
   last_append_ptr_ = res.value();
   batches_.Inc();
   records_.Add(buffer_.size());
   buffer_.clear();
+  buffered_records_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef BG3_WAL_WRITER_H_
 #define BG3_WAL_WRITER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -42,26 +43,36 @@ class WalWriter {
 
   /// Buffers one record; triggers a batch append once group_size is
   /// reached. Records become visible to readers only after their batch is
-  /// appended.
-  Status Append(WalRecord record);
+  /// appended. The optional OpContext deadline rides the batch append's
+  /// retry loop (a failed flush leaves the records buffered either way).
+  Status Append(WalRecord record, const OpContext* ctx = nullptr);
 
   /// Forces out any buffered records.
-  Status Flush();
+  Status Flush(const OpContext* ctx = nullptr);
 
   uint64_t batches_appended() const { return batches_.Get(); }
   uint64_t records_appended() const { return records_.Get(); }
+
+  /// Records waiting for a batch append — the WAL flush backlog. Grows
+  /// when appends keep failing (retry exhaustion leaves records buffered),
+  /// so it is the write-degradation watermark signal of DESIGN.md §5.5.
+  /// Lock-free (atomic mirror of buffer_.size()).
+  size_t BufferedRecords() const {
+    return buffered_records_.load(std::memory_order_relaxed);
+  }
 
   /// Location of the most recently appended batch (null before the first).
   cloud::PagePointer last_append_ptr() const;
 
  private:
-  Status FlushLocked();
+  Status FlushLocked(const OpContext* ctx);
 
   cloud::CloudStore* const store_;
   const WalWriterOptions opts_;
 
   mutable std::mutex mu_;
   std::vector<WalRecord> buffer_;
+  std::atomic<size_t> buffered_records_{0};
   cloud::PagePointer last_append_ptr_;
   Random rng_;
 

@@ -25,40 +25,47 @@ graph::GraphEngine* PartitionedEngine::Route(graph::VertexId src) {
 }
 
 Status PartitionedEngine::AddVertex(graph::VertexId id,
-                                    const Slice& properties) {
-  return Route(id)->AddVertex(id, properties);
+                                    const Slice& properties,
+                                    const OpContext* ctx) {
+  return Route(id)->AddVertex(id, properties, ctx);
 }
 
-Result<std::string> PartitionedEngine::GetVertex(graph::VertexId id) {
-  return Route(id)->GetVertex(id);
+Result<std::string> PartitionedEngine::GetVertex(graph::VertexId id,
+                                                 const OpContext* ctx) {
+  return Route(id)->GetVertex(id, ctx);
 }
 
 Status PartitionedEngine::DeleteVertex(graph::VertexId id,
-                                       graph::EdgeType type) {
-  return Route(id)->DeleteVertex(id, type);
+                                       graph::EdgeType type,
+                                       const OpContext* ctx) {
+  return Route(id)->DeleteVertex(id, type, ctx);
 }
 
 Status PartitionedEngine::AddEdge(graph::VertexId src, graph::EdgeType type,
                                   graph::VertexId dst, const Slice& properties,
-                                  graph::TimestampUs created_us) {
-  return Route(src)->AddEdge(src, type, dst, properties, created_us);
+                                  graph::TimestampUs created_us,
+                                  const OpContext* ctx) {
+  return Route(src)->AddEdge(src, type, dst, properties, created_us, ctx);
 }
 
 Status PartitionedEngine::DeleteEdge(graph::VertexId src, graph::EdgeType type,
-                                     graph::VertexId dst) {
-  return Route(src)->DeleteEdge(src, type, dst);
+                                     graph::VertexId dst,
+                                     const OpContext* ctx) {
+  return Route(src)->DeleteEdge(src, type, dst, ctx);
 }
 
 Result<std::string> PartitionedEngine::GetEdge(graph::VertexId src,
                                                graph::EdgeType type,
-                                               graph::VertexId dst) {
-  return Route(src)->GetEdge(src, type, dst);
+                                               graph::VertexId dst,
+                                               const OpContext* ctx) {
+  return Route(src)->GetEdge(src, type, dst, ctx);
 }
 
 Status PartitionedEngine::GetNeighbors(graph::VertexId src,
                                        graph::EdgeType type, size_t limit,
-                                       std::vector<graph::Neighbor>* out) {
-  return Route(src)->GetNeighbors(src, type, limit, out);
+                                       std::vector<graph::Neighbor>* out,
+                                       const OpContext* ctx) {
+  return Route(src)->GetNeighbors(src, type, limit, out, ctx);
 }
 
 void RunWorkload(

@@ -21,18 +21,25 @@ class PartitionedEngine : public graph::GraphEngine {
 
   std::string name() const override;
 
-  Status AddVertex(graph::VertexId id, const Slice& properties) override;
-  Result<std::string> GetVertex(graph::VertexId id) override;
-  Status DeleteVertex(graph::VertexId id, graph::EdgeType type) override;
+  Status AddVertex(graph::VertexId id, const Slice& properties,
+                   const OpContext* ctx = nullptr) override;
+  Result<std::string> GetVertex(graph::VertexId id,
+                                const OpContext* ctx = nullptr) override;
+  Status DeleteVertex(graph::VertexId id, graph::EdgeType type,
+                      const OpContext* ctx = nullptr) override;
   Status AddEdge(graph::VertexId src, graph::EdgeType type,
                  graph::VertexId dst, const Slice& properties,
-                 graph::TimestampUs created_us) override;
+                 graph::TimestampUs created_us,
+                 const OpContext* ctx = nullptr) override;
   Status DeleteEdge(graph::VertexId src, graph::EdgeType type,
-                    graph::VertexId dst) override;
+                    graph::VertexId dst,
+                    const OpContext* ctx = nullptr) override;
   Result<std::string> GetEdge(graph::VertexId src, graph::EdgeType type,
-                              graph::VertexId dst) override;
+                              graph::VertexId dst,
+                              const OpContext* ctx = nullptr) override;
   Status GetNeighbors(graph::VertexId src, graph::EdgeType type, size_t limit,
-                      std::vector<graph::Neighbor>* out) override;
+                      std::vector<graph::Neighbor>* out,
+                      const OpContext* ctx = nullptr) override;
 
  private:
   graph::GraphEngine* Route(graph::VertexId src);

@@ -21,6 +21,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/threadpool.h"
+#include "test_seed.h"
 
 namespace bg3 {
 namespace {
@@ -456,8 +457,48 @@ TEST(ThreadPoolTest, ShutdownIsIdempotentAndDropsLateTasks) {
   pool.Submit([&count] { count.fetch_add(1); });
   pool.Shutdown();
   pool.Shutdown();
-  pool.Submit([&count] { count.fetch_add(1); });  // dropped
+  // A late Submit is refused, visibly: Aborted, and the task never runs.
+  const Status late = pool.Submit([&count] { count.fetch_add(1); });
+  EXPECT_TRUE(late.IsAborted()) << late.ToString();
   EXPECT_LE(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, TrySubmitShedsWhenBoundedQueueIsFull) {
+  // One worker pinned on a gate; capacity 2 fills with the next two tasks.
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::mutex gate;
+  gate.lock();
+  ASSERT_TRUE(pool.TrySubmit([&gate] { gate.lock(); gate.unlock(); }));
+  // Wait until the worker picked the gate task up, so the queue is empty.
+  while (pool.QueueDepth() > 0) std::this_thread::yield();
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {})) << "full bounded queue must shed";
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+  gate.unlock();
+  pool.Drain();
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, BoundedSubmitBlocksUntilSpaceFrees) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::mutex gate;
+  gate.lock();
+  ASSERT_TRUE(pool.Submit([&gate] { gate.lock(); gate.unlock(); }).ok());
+  while (pool.QueueDepth() > 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.Submit([] {}).ok());  // fills the queue
+  std::atomic<bool> third_submitted{false};
+  std::thread blocked([&] {
+    // Blocks on the full queue until the gate task finishes.
+    EXPECT_TRUE(pool.Submit([] {}).ok());
+    third_submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_submitted.load()) << "Submit must apply backpressure";
+  gate.unlock();
+  blocked.join();
+  EXPECT_TRUE(third_submitted.load());
+  pool.Drain();
 }
 
 }  // namespace
@@ -491,6 +532,7 @@ TEST(LightCounterTest, IsCompact) {
 
 TEST(BackoffTest, ScheduleIsDeterministicAndCapped) {
   RetryOptions opts;
+  opts.jitter = false;  // assert the exact un-jittered schedule
   opts.initial_backoff_us = 1'000;
   opts.backoff_multiplier = 2.0;
   opts.max_backoff_us = 8'000;
@@ -500,6 +542,48 @@ TEST(BackoffTest, ScheduleIsDeterministicAndCapped) {
   EXPECT_EQ(b.NextDelayUs(), 4'000u);
   EXPECT_EQ(b.NextDelayUs(), 8'000u);
   EXPECT_EQ(b.NextDelayUs(), 8'000u) << "stays at the cap";
+}
+
+TEST(BackoffTest, FullJitterStaysWithinTheScheduleEnvelope) {
+  const uint64_t seed =
+      test::AnnouncedSeed("BackoffTest.FullJitterStaysWithinTheScheduleEnvelope",
+                          0x7e57);
+  RetryOptions opts;
+  opts.initial_backoff_us = 1'000;
+  opts.backoff_multiplier = 2.0;
+  opts.max_backoff_us = 8'000;
+  opts.jitter_seed = seed;
+  Backoff jittered(opts);
+  // Envelope = the un-jittered schedule; full jitter draws from [0, env].
+  const uint64_t envelope[] = {1'000, 2'000, 4'000, 8'000, 8'000, 8'000};
+  for (uint64_t env : envelope) {
+    EXPECT_LE(jittered.NextDelayUs(), env);
+  }
+}
+
+TEST(BackoffTest, JitterSeedPinsTheDelaySequence) {
+  RetryOptions opts;
+  opts.jitter_seed = 0xfeed;
+  Backoff a(opts);
+  Backoff b(opts);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.NextDelayUs(), b.NextDelayUs()) << "draw " << i;
+  }
+}
+
+TEST(BackoffTest, AutoSeededInstancesDrawDistinctStreams) {
+  // jitter_seed == 0: each Backoff gets its own stream, so concurrent
+  // retriers woken by the same blip cannot re-synchronize into a storm.
+  RetryOptions opts;
+  opts.initial_backoff_us = 1'000'000;  // wide range: collisions unlikely
+  opts.max_backoff_us = 1'000'000;
+  Backoff a(opts);
+  Backoff b(opts);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextDelayUs() != b.NextDelayUs()) ++differing;
+  }
+  EXPECT_GT(differing, 0) << "independent streams should diverge";
 }
 
 TEST(RetryTest, SucceedsAfterTransientFailures) {
@@ -576,6 +660,7 @@ TEST(RetryTest, CorruptionRetriedOnlyWhenOptedIn) {
 TEST(RetryTest, SleepHookDrivesManualClockThroughTheSchedule) {
   cloud::ManualTimeSource clock;
   RetryOptions opts;
+  opts.jitter = false;  // the clock assertion needs the exact schedule
   opts.max_attempts = 4;
   opts.initial_backoff_us = 1'000;
   opts.max_backoff_us = 64'000;

@@ -4,8 +4,10 @@
 // retry/degradation paths are disabled (ISSUE 2 acceptance matrix).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -500,6 +502,91 @@ TEST(FaultSoakTest, RwRoPipelineSurvivesProbabilisticFaults) {
   EXPECT_GT(store->stats().injected_faults.Get(), 0u) << fi.ToString();
   EXPECT_EQ(store->stats().retry_exhausted.Get(), 0u) << fi.ToString();
   EXPECT_EQ(ro.stats().poll_degraded.Get(), 0u) << fi.ToString();
+}
+
+// --- combined fault + overload matrix (ISSUE 5 satellite) ---------------------
+
+// A dead substrate under concurrent write pressure must *shed*, not
+// deadlock or retry-spin: the WAL backlog watermark turns Puts into
+// Overloaded at the door, the circuit breaker turns retry exhaustion into
+// fail-fast, reads keep serving from memory, and once the substrate heals
+// the breaker closes and writes resume. Runs multithreaded so the asan/
+// tsan presets police the whole shed path.
+TEST(FaultOverloadMatrixTest, SaturatedWritesShedFailFastAndRecover) {
+  cloud::ManualTimeSource clock;
+  cloud::CloudStoreOptions sopts;
+  sopts.breaker.enabled = true;
+  sopts.breaker.failure_threshold = 4;
+  sopts.breaker.open_cooldown_us = 200'000;
+  sopts.time_source = &clock;
+  auto store = std::make_unique<CloudStore>(sopts);
+
+  replication::RwNodeOptions rw_opts;
+  rw_opts.tree.tree_id = 1;
+  rw_opts.tree.base_stream = store->CreateStream("base");
+  rw_opts.tree.delta_stream = store->CreateStream("delta");
+  rw_opts.wal.stream = store->CreateStream("wal");
+  rw_opts.wal_backlog_watermark = 16;
+  replication::RwNode rw(store.get(), rw_opts);
+
+  // Warm keys the readers will hold onto through the outage.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(rw.Put(Key(i), "warm").ok());
+  }
+
+  FaultInjectorOptions fopts;
+  fopts.transient_error_p = 1.0;  // substrate fully down.
+  FaultInjector fi(fopts);
+  store->SetFaultInjector(&fi);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 60;
+  std::atomic<uint64_t> ok{0}, overloaded{0}, io_error{0}, other{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Status s = rw.Put(Key(1000 + t * kOpsPerThread + i), "storm");
+        if (s.ok()) {
+          ok.fetch_add(1);
+        } else if (s.IsOverloaded()) {
+          overloaded.fetch_add(1);
+        } else if (s.IsIOError()) {
+          io_error.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+        // Reads are never shed: warm keys stay served from memory.
+        EXPECT_EQ(rw.Get(Key(i % 32)).value(), "warm");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(other.load(), 0u)
+      << "saturation may only produce OK/Overloaded/IOError";
+  EXPECT_GT(overloaded.load(), 0u) << "the watermark must shed, not queue";
+  EXPECT_GT(rw.writes_shed(), 0u);
+  EXPECT_GE(store->breaker().trips(), 1u)
+      << "repeated retry exhaustion must trip the breaker";
+  EXPECT_GT(store->breaker().rejected(), 0u)
+      << "an open breaker must fail fast instead of burning retry budgets";
+
+  // Heal: faults stop, the cooldown passes, probes close the breaker, the
+  // backlog drains, and writes are accepted again.
+  store->SetFaultInjector(nullptr);
+  clock.AdvanceUs(300'000);
+  // The first successful batch append is a half-open probe success and
+  // clears the backlog (and with it the watermark).
+  ASSERT_TRUE(rw.wal_writer()->Flush().ok());
+  EXPECT_EQ(rw.wal_writer()->BufferedRecords(), 0u);
+  for (int i = 0; store->breaker().state() != CircuitBreaker::State::kClosed;
+       ++i) {
+    ASSERT_LT(i, 100) << "breaker failed to close against a healthy store";
+    (void)rw.Put(Key(5000 + i), "probe");
+  }
+  EXPECT_TRUE(rw.Put(Key(9000), "after-recovery").ok());
+  EXPECT_EQ(rw.Get(Key(9000)).value(), "after-recovery");
 }
 
 }  // namespace
