@@ -44,7 +44,7 @@ Point Run(double resident_fraction) {
 
   Random load_rng(1);
   for (uint64_t i = 0; i < kKeys; ++i) {
-    (void)tree.Upsert(KeyOf(i), "profile-payload-32-bytes-long!!!");
+    BG3_IGNORE_STATUS(tree.Upsert(KeyOf(i), "profile-payload-32-bytes-long!!!"));
   }
   const size_t pages = tree.LeafCount();
   const size_t budget =
@@ -56,7 +56,7 @@ Point Run(double resident_fraction) {
   (void)tree.EvictColdPages(budget);
   const uint64_t reads_before = store.stats().read_ops.Get();
   for (int i = 0; i < kReads; ++i) {
-    (void)tree.Get(KeyOf(keys.Next()));
+    BG3_IGNORE_STATUS(tree.Get(KeyOf(keys.Next())));
     if (i % 1024 == 0) (void)tree.EvictColdPages(budget);
   }
   Point p;

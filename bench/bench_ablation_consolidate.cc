@@ -47,14 +47,14 @@ Point Run(DeltaMode mode, uint32_t consolidate_threshold) {
 
   ZipfGenerator write_keys(kKeys, 0.8, 1);
   for (int i = 0; i < kWrites; ++i) {
-    (void)tree.Upsert(KeyOf(write_keys.Next()), "payload-32-bytes-of-props!!");
+    BG3_IGNORE_STATUS(tree.Upsert(KeyOf(write_keys.Next()), "payload-32-bytes-of-props!!"));
   }
   const uint64_t bytes = store.stats().append_bytes.Get();
 
   ZipfGenerator read_keys(kKeys, 0.8, 2);
   const uint64_t reads_before = store.stats().read_ops.Get();
   for (int i = 0; i < kReads; ++i) {
-    (void)tree.Get(KeyOf(read_keys.Next()));
+    BG3_IGNORE_STATUS(tree.Get(KeyOf(read_keys.Next())));
   }
   Point p;
   p.reads_per_query =

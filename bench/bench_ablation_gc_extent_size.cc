@@ -40,10 +40,10 @@ Point Run(size_t extent_capacity) {
   const std::string props(24, 'x');
   for (int i = 0; i < 80'000; ++i) {
     clock.AdvanceUs(25);
-    (void)db.AddEdge(users.Next(), 1, rng.Uniform(20'000), props, 0);
+    BG3_IGNORE_STATUS(db.AddEdge(users.Next(), 1, rng.Uniform(20'000), props, 0));
     if (i % 2'000 == 0) (void)db.RunGcCycle();
   }
-  (void)db.RunGcCycle();
+  BG3_IGNORE_STATUS(db.RunGcCycle());
 
   Point p;
   p.moved_mb = store.stats().gc_moved_bytes.Get() / 1e6;

@@ -44,7 +44,7 @@ void BM_Fig10_WriteOnly(benchmark::State& state) {
   const std::string payload = "follow-record-payload-48-bytes-of-properties!";
   uint64_t ops = 0;
   for (auto _ : state) {
-    (void)tree.Upsert(KeyOf(keys.Next()), payload);
+    BG3_IGNORE_STATUS(tree.Upsert(KeyOf(keys.Next()), payload));
     ++ops;
   }
   const double written = static_cast<double>(store.stats().append_bytes.Get());

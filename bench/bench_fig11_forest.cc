@@ -56,7 +56,7 @@ RunResult RunForest(size_t num_trees) {
   // Dedicate the num_trees-1 hottest users (Zipf item k is the k-th
   // hottest); everyone else shares INIT.
   for (uint64_t u = 0; u + 1 < num_trees; ++u) {
-    (void)forest.DedicateOwner(u);
+    BG3_IGNORE_STATUS(forest.DedicateOwner(u));
   }
 
   // Single-thread measured write phase.
@@ -70,7 +70,7 @@ RunResult RunForest(size_t num_trees) {
     for (int b = 0; b < 8; ++b) {
       sort_key[b] = static_cast<char>(video >> (8 * b));
     }
-    (void)forest.Upsert(user, sort_key, "like-event");
+    BG3_IGNORE_STATUS(forest.Upsert(user, sort_key, "like-event"));
   }
   const double seconds = (NowMicros() - start) / 1e6;
 

@@ -35,7 +35,7 @@ double ForwardingRecall(double loss_rate) {
   ForwardingRwNode rw({&channel});
   ForwardingRoNode ro(&channel);
   for (int i = 0; i < kEdges; ++i) {
-    (void)rw.Put(EdgeKey(i), "transfer");
+    BG3_IGNORE_STATUS(rw.Put(EdgeKey(i), "transfer"));
   }
   ro.Drain();
   int recalled = 0;
@@ -56,7 +56,7 @@ double WalRecall() {
   ro_opts.wal_stream = rw_opts.wal.stream;
   RoNode ro(&store, ro_opts);
   for (int i = 0; i < kEdges; ++i) {
-    (void)rw.Put(EdgeKey(i), graph::EncodeEdgeValue(i, "transfer"));
+    BG3_IGNORE_STATUS(rw.Put(EdgeKey(i), graph::EncodeEdgeValue(i, "transfer")));
   }
   int recalled = 0;
   for (int i = 0; i < kEdges; ++i) {

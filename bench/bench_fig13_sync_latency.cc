@@ -56,11 +56,11 @@ LatencyPoint RunAtLoad(uint64_t write_qps) {
   constexpr int kWrites = 30'000;
   for (int i = 0; i < kWrites; ++i) {
     const auto key = graph::EncodeFlatEdgeKey(i % 700, 1, i);
-    (void)rw.Put(key, graph::EncodeEdgeValue(i, "risk-audit-record"));
+    BG3_IGNORE_STATUS(rw.Put(key, graph::EncodeEdgeValue(i, "risk-audit-record")));
     if (i % 512 == 0) (void)ro.PollWal();
   }
-  (void)rw.FlushGroup();
-  (void)ro.PollWal();
+  BG3_IGNORE_STATUS(rw.FlushGroup());
+  BG3_IGNORE_STATUS(ro.PollWal());
 
   LatencyPoint p;
   p.mean_ms = ro.sync_latency().Mean() / 1e3;

@@ -71,10 +71,10 @@ ScalePoint RunWithFollowers(int followers) {
   // Preload so readers hit data from the first read; warm every follower
   // (drain the preload WAL + populate caches) outside the timed region.
   for (int i = 0; i < kKeySpace; ++i) {
-    (void)rw.Put(EdgeKey(i), graph::EncodeEdgeValue(i, "v"));
+    BG3_IGNORE_STATUS(rw.Put(EdgeKey(i), graph::EncodeEdgeValue(i, "v")));
   }
   for (auto& ro : ros) {
-    (void)ro->PollWal();
+    BG3_IGNORE_STATUS(ro->PollWal());
     for (int i = 0; i < kKeySpace; i += 37) (void)ro->Get(1, EdgeKey(i));
   }
 
@@ -84,7 +84,7 @@ ScalePoint RunWithFollowers(int followers) {
   uint64_t read_time_us = 0;
   for (int round = 0; round < kRounds; ++round) {
     for (int w = 0; w < kWritesPerRound; ++w, ++write_seq) {
-      (void)rw.Put(EdgeKey(write_seq), graph::EncodeEdgeValue(write_seq, "v"));
+      BG3_IGNORE_STATUS(rw.Put(EdgeKey(write_seq), graph::EncodeEdgeValue(write_seq, "v")));
     }
     const uint64_t t0 = NowMicros();
     for (auto& ro : ros) {

@@ -74,7 +74,7 @@ struct Db {
     // Warm adjacency the read mix will scan.
     for (int v = 0; v < kVertices; ++v) {
       for (int e = 0; e < kEdgesPerVertex; ++e) {
-        (void)db->AddEdge(v, 1, (v + e + 1) % kVertices, "edge-props", 1);
+        BG3_IGNORE_STATUS(db->AddEdge(v, 1, (v + e + 1) % kVertices, "edge-props", 1));
       }
     }
   }
@@ -108,7 +108,7 @@ double CalibrateCapacityQps() {
       Random rng(17 + t);
       std::vector<graph::Neighbor> scratch;
       for (uint64_t i = 0; i < per_thread; ++i) {
-        (void)OneOp(fixture.db.get(), &rng, &scratch, nullptr);
+        BG3_IGNORE_STATUS(OneOp(fixture.db.get(), &rng, &scratch, nullptr));
       }
     });
   }

@@ -84,14 +84,14 @@ RunResult RunConfig(const Setup& setup) {
   bwtree::BwTree tree(&store, topts);
 
   for (int i = 0; i < kKeys; ++i) {
-    (void)tree.Upsert(Key(i), "value-" + std::to_string(i));
+    BG3_IGNORE_STATUS(tree.Upsert(Key(i), "value-" + std::to_string(i)));
   }
   // Leave live delta chains on the hot head so reads traverse them (the
   // read-optimized mode keeps them at <=1; traditional grows chains).
   ZipfGenerator hot(kKeys, kTheta, 17);
   for (int i = 0; i < kKeys / 4; ++i) {
     const int k = static_cast<int>(hot.Next());
-    (void)tree.Upsert(Key(k), "update");
+    BG3_IGNORE_STATUS(tree.Upsert(Key(k), "update"));
   }
 
   const int reads = std::string(setup.workload) == "miss" ? kMissReads
@@ -99,7 +99,7 @@ RunResult RunConfig(const Setup& setup) {
   // Warm pass (also populates the per-thread route hints).
   ZipfGenerator warm(kKeys, kTheta, 23);
   for (int i = 0; i < 2'000; ++i) {
-    (void)tree.Get(Key(static_cast<int>(warm.Next())));
+    BG3_IGNORE_STATUS(tree.Get(Key(static_cast<int>(warm.Next()))));
   }
 
   RunResult r;
@@ -110,7 +110,7 @@ RunResult RunConfig(const Setup& setup) {
     ZipfGenerator zipf(kKeys, kTheta, 29);
     const uint64_t start = NowMicros();
     for (int i = 0; i < reads; ++i) {
-      (void)tree.Get(Key(static_cast<int>(zipf.Next())));
+      BG3_IGNORE_STATUS(tree.Get(Key(static_cast<int>(zipf.Next()))));
     }
     r.single_qps = reads / ((NowMicros() - start) / 1e6);
   }

@@ -49,10 +49,10 @@ int main() {
     for (int i = 0; i < kEdgesPerRound; ++i) {
       const graph::VertexId src = src_gen.Next();
       const graph::VertexId dst = dst_gen.Next();
-      (void)bg3.AddEdge(src, 1, dst, props, 1);
-      (void)bytegraph.AddEdge(src, 1, dst, props, 1);
+      BG3_IGNORE_STATUS(bg3.AddEdge(src, 1, dst, props, 1));
+      BG3_IGNORE_STATUS(bytegraph.AddEdge(src, 1, dst, props, 1));
     }
-    (void)bg3.RunGcCycle();
+    BG3_IGNORE_STATUS(bg3.RunGcCycle());
   }
 
   const uint64_t bg3_written = bg3_store.stats().append_bytes.Get();

@@ -58,17 +58,17 @@ GcRun RunFollowChurn(core::GcPolicyKind policy) {
   for (int i = 0; i < kOps; ++i) {
     clock.AdvanceUs(kOpIntervalUs);
     if (rng.Uniform(2) == 0) {
-      (void)db.AddEdge(1'000'000 + (cold_seq % 50'000), 1,
-                       2'000'000 + cold_seq, props, 0);
+      BG3_IGNORE_STATUS(db.AddEdge(1'000'000 + (cold_seq % 50'000), 1,
+                       2'000'000 + cold_seq, props, 0));
       ++cold_seq;
     } else {
       const uint64_t cohort = static_cast<uint64_t>(i / kCohortOps);
       const uint64_t user = cohort * 64 + rng.Uniform(64);
-      (void)db.AddEdge(user, 1, rng.Uniform(256), props, 0);
+      BG3_IGNORE_STATUS(db.AddEdge(user, 1, rng.Uniform(256), props, 0));
     }
     if (i % 250 == 0) (void)db.RunGcCycle();
   }
-  (void)db.RunGcCycle();
+  BG3_IGNORE_STATUS(db.RunGcCycle());
   const double sim_seconds = kOps * kOpIntervalUs / 1e6;
   GcRun r;
   r.moved_mb_per_s = store.stats().gc_moved_bytes.Get() / 1e6 / sim_seconds;
@@ -103,10 +103,10 @@ GcRun RunRiskControlTtl(core::GcPolicyKind policy, bool use_ttl,
     clock.AdvanceUs(kOpIntervalUs);
     // Fresh audit edges; hot accounts overwrite their recent records, so
     // extents do fragment (the dirty-ratio baseline finds victims).
-    (void)db.AddEdge(accounts.Next(), 1, rng.Uniform(5'000), props, 0);
+    BG3_IGNORE_STATUS(db.AddEdge(accounts.Next(), 1, rng.Uniform(5'000), props, 0));
     if (i % 500 == 0) (void)db.RunGcCycle();
   }
-  (void)db.RunGcCycle();
+  BG3_IGNORE_STATUS(db.RunGcCycle());
   const double sim_seconds = kOps * kOpIntervalUs / 1e6;
   const core::DbStats stats = db.Stats();
   r.moved_mb_per_s = store.stats().gc_moved_bytes.Get() / 1e6 / sim_seconds;

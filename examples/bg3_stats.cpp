@@ -53,7 +53,7 @@ int main() {
             o, /*seed=*/1 + thread);
       },
       dopts, &result);
-  (void)db.RunGcCycle();
+  BG3_IGNORE_STATUS(db.RunGcCycle());
 
   printf("ran %llu ops at %.0f qps (%llu errors)\n",
          (unsigned long long)result.ops, result.qps,

@@ -27,7 +27,7 @@ int main() {
 
   const int kKeys = 5'000;
   for (int i = 0; i < kKeys; ++i) {
-    cluster.Put("user:" + std::to_string(i), "profile-v1");
+    BG3_CHECK(cluster.Put("user:" + std::to_string(i), "profile-v1").ok());
   }
   int follower_hits = 0;
   for (int i = 0; i < kKeys; i += 7) {
@@ -48,23 +48,23 @@ int main() {
 
   // Writes keep flowing; followers keep following.
   for (int i = 0; i < kKeys; ++i) {
-    cluster.Put("user:" + std::to_string(i), "profile-v2");
+    BG3_CHECK(cluster.Put("user:" + std::to_string(i), "profile-v2").ok());
   }
   printf("post-recovery update visible on follower: %s\n",
          cluster.Get("user:42").value().c_str());
 
   // Globally ordered scan across the hash partitions.
   std::vector<bwtree::Entry> page;
-  cluster.Scan("user:100", "user:101", 5, &page);
+  BG3_CHECK(cluster.Scan("user:100", "user:101", 5, &page).ok());
   printf("merged scan from 'user:100': %zu keys, first=%s\n", page.size(),
          page.empty() ? "-" : page.front().key.c_str());
 
   // WAL truncation: checkpoint everywhere, let followers catch up, drop the
   // consumed prefix.
-  cluster.FlushAll();
+  BG3_CHECK(cluster.FlushAll().ok());
   for (int p = 0; p < opts.partitions; ++p) {
     for (int f = 0; f < opts.followers_per_partition; ++f) {
-      cluster.follower(p, f)->PollWal();
+      BG3_CHECK(cluster.follower(p, f)->PollWal().ok());
     }
   }
   const uint64_t before = store.TotalBytes();

@@ -20,15 +20,15 @@ int main() {
 
   // Vertices carry opaque property bytes.
   constexpr graph::VertexId kAlice = 1, kBob = 2, kCarol = 3;
-  db.AddVertex(kAlice, "name=alice");
-  db.AddVertex(kBob, "name=bob");
-  db.AddVertex(kCarol, "name=carol");
+  BG3_CHECK(db.AddVertex(kAlice, "name=alice").ok());
+  BG3_CHECK(db.AddVertex(kBob, "name=bob").ok());
+  BG3_CHECK(db.AddVertex(kCarol, "name=carol").ok());
 
   // Edge type 1 = "follows". Timestamps default to the DB clock when 0.
   constexpr graph::EdgeType kFollows = 1;
-  db.AddEdge(kAlice, kFollows, kBob, "since=2024", 0);
-  db.AddEdge(kAlice, kFollows, kCarol, "since=2025", 0);
-  db.AddEdge(kBob, kFollows, kCarol, "since=2026", 0);
+  BG3_CHECK(db.AddEdge(kAlice, kFollows, kBob, "since=2024", 0).ok());
+  BG3_CHECK(db.AddEdge(kAlice, kFollows, kCarol, "since=2025", 0).ok());
+  BG3_CHECK(db.AddEdge(kBob, kFollows, kCarol, "since=2026", 0).ok());
 
   // Point lookups.
   auto props = db.GetEdge(kAlice, kFollows, kBob);
@@ -36,15 +36,15 @@ int main() {
 
   // Adjacency scan: whom does alice follow?
   std::vector<graph::Neighbor> followees;
-  db.GetNeighbors(kAlice, kFollows, /*limit=*/10, &followees);
+  BG3_CHECK(db.GetNeighbors(kAlice, kFollows, /*limit=*/10, &followees).ok());
   printf("alice follows %zu users:", followees.size());
   for (const auto& n : followees) printf(" %llu", (unsigned long long)n.dst);
   printf("\n");
 
   // Unfollow.
-  db.DeleteEdge(kAlice, kFollows, kCarol);
+  BG3_CHECK(db.DeleteEdge(kAlice, kFollows, kCarol).ok());
   followees.clear();
-  db.GetNeighbors(kAlice, kFollows, 10, &followees);
+  BG3_CHECK(db.GetNeighbors(kAlice, kFollows, 10, &followees).ok());
   printf("after unfollow, alice follows %zu user(s)\n", followees.size());
 
   // Engine internals.

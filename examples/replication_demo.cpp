@@ -37,7 +37,9 @@ int main() {
   printf("writing %d fund-transfer edges on the RW node...\n", kEdges);
   for (int i = 0; i < kEdges; ++i) {
     const auto key = graph::EncodeFlatEdgeKey(i % 50, 1, 10'000 + i);
-    rw.Put(key, graph::EncodeEdgeValue(i, "amount=" + std::to_string(i)));
+    BG3_CHECK(rw.Put(key, graph::EncodeEdgeValue(
+                         i, "amount=" + std::to_string(i)))
+                  .ok());
   }
 
   int visible_a = 0, visible_b = 0;
@@ -58,7 +60,7 @@ int main() {
   replication::ForwardingRwNode old_rw({&channel});
   replication::ForwardingRoNode old_ro(&channel);
   for (int i = 0; i < kEdges; ++i) {
-    old_rw.Put("k" + std::to_string(i), "v");
+    BG3_CHECK(old_rw.Put("k" + std::to_string(i), "v").ok());
   }
   old_ro.Drain();
   int recalled = 0;

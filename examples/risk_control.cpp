@@ -35,12 +35,12 @@ int main() {
   clock.SetUs(1'000'000);
   for (graph::VertexId a = 0; a < 100; ++a) {
     for (graph::VertexId b = 0; b < 5; ++b) {
-      db.AddEdge(a, kTransfer, 1000 + (a * 7 + b) % 400, "amt=10", 0);
+      BG3_CHECK(db.AddEdge(a, kTransfer, 1000 + (a * 7 + b) % 400, "amt=10", 0).ok());
     }
   }
-  db.AddEdge(100, kTransfer, 101, "amt=9999", 0);
-  db.AddEdge(101, kTransfer, 102, "amt=9999", 0);
-  db.AddEdge(102, kTransfer, 100, "amt=9999", 0);
+  BG3_CHECK(db.AddEdge(100, kTransfer, 101, "amt=9999", 0).ok());
+  BG3_CHECK(db.AddEdge(101, kTransfer, 102, "amt=9999", 0).ok());
+  BG3_CHECK(db.AddEdge(102, kTransfer, 100, "amt=9999", 0).ok());
 
   // Loop detection — the MPP-style risk query of §2.6.
   graph::CycleOptions cycle;
@@ -66,7 +66,7 @@ int main() {
   // GC frees the extents outright — no relocation bandwidth (Table 2).
   const core::DbStats before = db.Stats();
   clock.AdvanceUs(30ull * 60 * 1'000'000);  // +30 minutes
-  db.RunGcCycle();
+  BG3_CHECK(db.RunGcCycle().ok());
   const core::DbStats after = db.Stats();
   printf("\nTTL reclamation:\n");
   printf("  storage before : %.1f KB\n", before.storage_total_bytes / 1e3);

@@ -70,7 +70,7 @@ int main() {
          (unsigned long long)stats.read_ops);
 
   // One reclamation pass to clean up overwrite garbage.
-  db.RunGcCycle();
+  BG3_CHECK(db.RunGcCycle().ok());
   const core::DbStats after = db.Stats();
   printf("after GC: extents freed=%llu moved=%.1f MB\n",
          (unsigned long long)after.extents_freed, after.gc_moved_bytes / 1e6);

@@ -1,0 +1,28 @@
+"""bg3-lint: project-specific static analysis for the BG3 codebase.
+
+Four passes over the C++ sources (DESIGN.md §5.6):
+
+  status-discard        a call returning Status/Result<T> whose value is
+                        silently dropped (or laundered through a (void) cast
+                        instead of the sanctioned BG3_IGNORE_STATUS sink).
+  latch-discipline      a path that reaches a BG3_BLOCKING function while a
+                        bg3::Mutex / bg3::SharedMutex capability is held,
+                        or a BG3_NO_BLOCKING function that can block.
+  deadline-propagation  a function that accepts an OpContext* and calls an
+                        OpContext-accepting callee without forwarding it.
+  lock-rank             extracts the static lock-acquisition-order graph,
+                        fails on cycles, and emits the ranking consumed by
+                        the debug-build runtime checker (common/lock_rank.h).
+
+Run via scripts/bg3_lint/run.py; see README "Linting".
+
+The default frontend is a self-contained tokenizer/indexer (model.py) tuned
+to this codebase's idiom — no third-party dependencies, driven by the file
+list in the CMake-exported compile_commands.json. When the libclang Python
+bindings are installed, `run.py --engine=libclang` cross-checks annotations
+and function extents against the real AST (clang_engine.py); environments
+without them (including the default container toolchain) fall back to the
+text engine automatically.
+"""
+
+__all__ = ["model", "passes", "run"]

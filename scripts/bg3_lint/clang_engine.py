@@ -1,0 +1,70 @@
+"""Optional libclang cross-check engine for bg3-lint.
+
+The default frontend (model.py) is textual and dependency-free. When the
+libclang Python bindings are available (`pip install libclang` in CI; not
+part of the container toolchain), `--engine=libclang` parses each TU with
+the real AST and cross-checks the annotation surface the text frontend
+recovered: every function the AST sees carrying an `annotate("bg3_blocking")`
+/ `annotate("bg3_no_blocking")` attribute must be known to the text index
+with the same marker, and vice versa for declarations in the same files.
+
+This engine deliberately does not replace the passes — it validates their
+input. Environments without the bindings fall back to the text engine with
+a note (never an error), so the lint job's result does not depend on an
+optional dependency.
+"""
+
+from __future__ import annotations
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def cross_check(index, compile_args_by_file):
+    """Returns a list of mismatch strings, or None if libclang is missing."""
+    try:
+        import clang.cindex as ci
+    except ImportError:
+        return None
+    notes = []
+    try:
+        clang_index = ci.Index.create()
+    except Exception as e:  # libclang.so itself missing
+        return [f"libclang unavailable ({e}); text engine results stand"]
+    ann_kinds = {"bg3_blocking": "BG3_BLOCKING",
+                 "bg3_no_blocking": "BG3_NO_BLOCKING"}
+    for path, args in sorted(compile_args_by_file.items()):
+        try:
+            tu = clang_index.parse(path, args=args)
+        except Exception as e:
+            notes.append(f"{path}: libclang parse failed: {e}")
+            continue
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind not in (ci.CursorKind.FUNCTION_DECL,
+                                ci.CursorKind.CXX_METHOD):
+                continue
+            if cur.location.file is None or \
+                    cur.location.file.name != path:
+                continue
+            ast_marks = set()
+            for ch in cur.get_children():
+                if ch.kind == ci.CursorKind.ANNOTATE_ATTR and \
+                        ch.spelling in ann_kinds:
+                    ast_marks.add(ann_kinds[ch.spelling])
+            if not ast_marks:
+                continue
+            cls = cur.semantic_parent.spelling \
+                if cur.kind == ci.CursorKind.CXX_METHOD else None
+            text_ann = index.annotations_for(cls, cur.spelling)
+            for mark in ast_marks:
+                if mark not in text_ann:
+                    notes.append(
+                        f"{path}:{cur.location.line}: AST sees {mark} on "
+                        f"{cur.spelling} but the text index does not — "
+                        f"frontend gap, please report")
+    return notes

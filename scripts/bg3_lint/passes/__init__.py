@@ -1,0 +1,39 @@
+"""bg3-lint passes.
+
+Each pass module exposes `run(index, config) -> list[Finding]`. A Finding's
+`key` is stable across unrelated edits (no line numbers) so the suppression
+baseline (scripts/bg3_lint/baseline.json) survives reformatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Finding:
+    pass_name: str
+    file: str       # repo-relative path
+    line: int
+    func: str       # qualified enclosing function ("" for file-level)
+    detail: str     # stable discriminator within (pass, file, func)
+    message: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.pass_name}:{self.file}:{self.func}:{self.detail}"
+
+    def render(self) -> str:
+        return (f"{self.file}:{self.line}: [{self.pass_name}] "
+                f"{self.func or '<file>'}: {self.message}")
+
+
+def all_passes():
+    from . import (deadline_propagation, latch_discipline, lock_rank,
+                   status_discard)
+    return {
+        "status-discard": status_discard,
+        "latch-discipline": latch_discipline,
+        "deadline-propagation": deadline_propagation,
+        "lock-rank": lock_rank,
+    }

@@ -1,0 +1,62 @@
+"""deadline-propagation: an OpContext, once accepted, must be forwarded.
+
+The overload-protection layer (DESIGN.md §5.5) threads an OpContext* —
+deadline plus shared clock — down every request path; CheckDeadline() gates
+each expensive step. A function that accepts an OpContext but calls an
+OpContext-accepting callee without passing it punches a hole in that chain:
+the subtree below the call runs with no deadline and cannot be shed under
+overload.
+
+Rule: for each function with an `OpContext*` parameter, every call that
+resolves to a function which itself accepts an OpContext must mention the
+context parameter in its argument list. Passing an explicit `nullptr` is
+treated as a visible, reviewable opt-out (detached/background work) and is
+not flagged; silently omitting a defaulted `ctx = nullptr` parameter — the
+actual bug class — is.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import Finding
+
+CTX_PARAM = re.compile(r"\bOpContext\s*\*\s*(?:const\s+)?(\w+)")
+
+
+def _ctx_param_name(fn):
+    m = CTX_PARAM.search(fn.params)
+    return m.group(1) if m else None
+
+
+def _accepts_ctx(cands):
+    return any("OpContext" in c.params for c in cands)
+
+
+def run(index, config):
+    findings = []
+    for path, fm in sorted(index.models.items()):
+        for fn in fm.functions:
+            if fn.body is None or fn.is_lambda:
+                continue
+            ctx = _ctx_param_name(fn)
+            if ctx is None:
+                continue
+            for call in fm.calls(fn):
+                cands = index.resolve_callees(call, fn)
+                if not cands or not _accepts_ctx(cands):
+                    continue
+                if re.search(rf"\b{re.escape(ctx)}\b", call.args):
+                    continue  # forwarded
+                if re.search(r"\bnullptr\b", call.args):
+                    continue  # explicit, reviewable opt-out
+                callee = cands[0].qname
+                findings.append(Finding(
+                    pass_name="deadline-propagation", file=path,
+                    line=call.line, func=fn.qname,
+                    detail=f"dropped-ctx:{call.name}",
+                    message=(f"calls {callee}() without forwarding "
+                             f"OpContext* {ctx}; the callee runs with no "
+                             f"deadline (pass {ctx}, or an explicit nullptr "
+                             f"to opt out visibly)")))
+    return findings

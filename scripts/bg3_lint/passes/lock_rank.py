@@ -1,0 +1,224 @@
+"""lock-rank: extract the static lock-acquisition-order graph; fail on cycles.
+
+Nodes are bg3::Mutex / bg3::SharedMutex member sites ("Class::member").
+There is an edge A -> B when some code path acquires B while holding A:
+
+  - a guard/explicit acquisition of B textually inside a held region of A
+    within one function, or
+  - a call made while holding A to a function whose transitive acquisition
+    set (own RAII/explicit acquisitions plus those of its callees) includes
+    B. BG3_REQUIRES regions count as "holding A" for the caller's edges but
+    are not acquisitions themselves.
+
+Self-edges (re-acquiring the same site, i.e. latch coupling over the
+per-leaf latches) mark a site as dynamically ordered: it is excluded from
+ranking and listed as unranked in the generated header, alongside any site
+in FORCED_UNRANKED.
+
+The acyclic graph is totally ordered with a deterministic Kahn topological
+sort (lexicographic tie-break) and emitted as src/common/lock_rank_gen.h:
+one `inline constexpr int kClass_member` per ranked site, strictly
+increasing along every static acquisition path. The debug-build runtime
+checker (common/lock_rank.{h,cc}) enforces exactly this order on every
+acquisition of a SetRank-enrolled mutex. A cycle is a hard lint error —
+it is a statically provable deadlock candidate.
+
+EXTRA_EDGES exists for orders the frontend cannot see (callbacks through
+std::function, lambdas handed to executors): add the pair here with a
+comment instead of weakening the runtime check.
+"""
+
+from __future__ import annotations
+
+from . import Finding
+
+# Sites whose acquisition order is inherently dynamic. The per-leaf Bw-tree
+# latches are acquired in key order during latch coupling — a property of
+# the traversal, not of a static site pair.
+FORCED_UNRANKED = {
+    suffix: reason for suffix, reason in [
+        ("::latch", "per-leaf latch; ordered dynamically by latch coupling"),
+    ]
+}
+
+# (holder, acquired, why) edges invisible to the text frontend.
+EXTRA_EDGES: list[tuple] = [
+    # none yet
+]
+
+
+def _site_unranked(site):
+    for suffix, reason in FORCED_UNRANKED.items():
+        if site.endswith(suffix):
+            return reason
+    return None
+
+
+def const_name(site: str) -> str:
+    cls, _, member = site.partition("::")
+    return f"k{cls}_{member.rstrip('_')}"
+
+
+def analyze(index):
+    """Returns (ranking: {site: rank}, unranked: {site: reason},
+    edges: {(a, b): witness}, findings)."""
+    findings = []
+
+    # Per-function regions and direct acquisitions.
+    fn_regions = []  # (fn, fm, regions)
+    own = {}         # fn.key -> set(site)
+    for fm in index.models.values():
+        for fn in fm.functions:
+            if fn.body is None or fn.is_lambda:
+                continue
+            regions = index.lock_regions(fn)
+            regions = [r for r in regions if not r.site.startswith("?")]
+            fn_regions.append((fn, fm, regions))
+            acq = own.setdefault(fn.key, set())
+            for r in regions:
+                if r.kind in ("guard", "explicit"):
+                    acq.add(r.site)
+
+    # Transitive acquisition closure over the call graph.
+    acq = {k: set(v) for k, v in own.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fn, fm, _ in fn_regions:
+            mine = acq.setdefault(fn.key, set())
+            before = len(mine)
+            for call in fm.calls(fn):
+                for c in index.resolve_callees(call, fn):
+                    mine |= acq.get(c.key, set())
+            if len(mine) != before:
+                changed = True
+
+    # Edges.
+    edges = {}
+    self_sites = {}
+    def add_edge(a, b, witness):
+        if a == b:
+            self_sites.setdefault(a, witness)
+            return
+        edges.setdefault((a, b), witness)
+
+    for fn, fm, regions in fn_regions:
+        where = f"{fn.file}:{fn.qname}"
+        for r in regions:
+            for r2 in regions:
+                if r2.kind in ("guard", "explicit") and \
+                        r.start < r2.start < r.end:
+                    add_edge(r.site, r2.site, where)
+        if not regions:
+            continue
+        for call in fm.calls(fn):
+            held = [r for r in regions if r.start <= call.tok < r.end]
+            if not held:
+                continue
+            inner = set()
+            for c in index.resolve_callees(call, fn):
+                inner |= acq.get(c.key, set())
+            for r in held:
+                for s in inner:
+                    add_edge(r.site, s, f"{where} -> {call.name}()")
+    for a, b, why in EXTRA_EDGES:
+        add_edge(a, b, f"EXTRA_EDGES: {why}")
+
+    # Partition: unranked sites drop out of the graph entirely.
+    unranked = {}
+    for site in sorted(index.mutex_sites):
+        reason = _site_unranked(site)
+        if reason:
+            unranked[site] = reason
+    for site, witness in sorted(self_sites.items()):
+        unranked.setdefault(
+            site, f"re-acquired while held ({witness}); dynamic order")
+    graph_edges = {e: w for e, w in edges.items()
+                   if e[0] not in unranked and e[1] not in unranked}
+
+    nodes = sorted({n for e in graph_edges for n in e})
+    succ = {n: set() for n in nodes}
+    pred = {n: set() for n in nodes}
+    for (a, b) in graph_edges:
+        succ[a].add(b)
+        pred[b].add(a)
+
+    # Cycle detection + deterministic topological ranking (Kahn).
+    ranking = {}
+    ready = sorted(n for n in nodes if not pred[n])
+    indeg = {n: len(pred[n]) for n in nodes}
+    order = []
+    while ready:
+        n = ready.pop(0)
+        order.append(n)
+        for m in sorted(succ[n]):
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                ready.append(m)
+        ready.sort()
+    if len(order) != len(nodes):
+        cyc = sorted(n for n in nodes if n not in order)
+        cyc_edges = [f"{a} -> {b} [{graph_edges[(a, b)]}]"
+                     for (a, b) in sorted(graph_edges)
+                     if a in cyc and b in cyc]
+        findings.append(Finding(
+            pass_name="lock-rank", file="src/common/lock_rank_gen.h",
+            line=1, func="", detail="cycle:" + ",".join(cyc),
+            message=("acquisition-order cycle (statically provable deadlock "
+                     "candidate) among {" + ", ".join(cyc) + "}; edges: " +
+                     "; ".join(cyc_edges))))
+    for i, n in enumerate(order):
+        ranking[n] = i + 1
+    return ranking, unranked, edges, findings
+
+
+def emit_header(ranking, unranked, edges) -> str:
+    lines = [
+        "// GENERATED FILE — do not edit by hand.",
+        "//",
+        "// Produced by bg3-lint's lock-rank pass:",
+        "//   python3 scripts/bg3_lint/run.py --emit-lock-ranks "
+        "src/common/lock_rank_gen.h",
+        "//",
+        "// One constant per ranked mutex site (Class::member), topologically",
+        "// ordered by the statically extracted acquisition graph: if any code",
+        "// path acquires B while holding A, then rank(A) < rank(B). The CI",
+        "// lint job regenerates this header and fails on a diff. Consumed by",
+        "// common/lock_rank.h (runtime checker) via the SetRank calls in each",
+        "// owning class's constructor.",
+        "//",
+        "// Acquisition edges (holder -> acquired  [witness]):",
+    ]
+    for (a, b), w in sorted(edges.items()):
+        lines.append(f"//   {a} -> {b}  [{w}]")
+    lines += [
+        "",
+        "#ifndef BG3_COMMON_LOCK_RANK_GEN_H_",
+        "#define BG3_COMMON_LOCK_RANK_GEN_H_",
+        "",
+        "namespace bg3::lock_rank {",
+        "",
+    ]
+    for site, rank in sorted(ranking.items(), key=lambda kv: kv[1]):
+        lines.append(f"inline constexpr int {const_name(site)} = {rank};"
+                     f"  // {site}")
+    if unranked:
+        lines += ["", "// Unranked (dynamic order; stay kUnranked):"]
+        for site, reason in sorted(unranked.items()):
+            lines.append(f"//   {site}: {reason}")
+    lines += [
+        "",
+        "}  // namespace bg3::lock_rank",
+        "",
+        "#endif  // BG3_COMMON_LOCK_RANK_GEN_H_",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def run(index, config):
+    ranking, unranked, edges, findings = analyze(index)
+    config.setdefault("lock_rank", {})
+    config["lock_rank"].update(
+        {"ranking": ranking, "unranked": unranked, "edges": edges})
+    return findings

@@ -1,0 +1,126 @@
+"""status-discard: flag silently dropped bg3::Status / bg3::Result values.
+
+The compiler already enforces the easy 90% through the class-level
+BG3_NODISCARD on Status/Result (-Wunused-result, promoted by BG3_WERROR in
+CI). This pass covers what [[nodiscard]] cannot:
+
+  - `(void)Foo();` and `static_cast<void>(Foo());` casts, which silence the
+    compiler warning without leaving an audit trail. The sanctioned sink is
+    BG3_IGNORE_STATUS(expr) (common/status.h), which this pass treats as the
+    only legitimate discard.
+  - plain expression statements whose outermost call returns Status/Result,
+    independent of whether the translation unit was compiled with warnings
+    enabled (e.g. generated code, tools/ one-offs outside the CMake build).
+
+Only the *outermost* call of a statement is considered: a Status nested in
+BG3_CHECK(db.Put(...).ok()) is consumed by the enclosing expression.
+Unresolvable callees (macros, std:: functions) are never flagged — the pass
+prefers false negatives over noise; the compiler backstop catches the rest.
+"""
+
+from __future__ import annotations
+
+from . import Finding
+
+# Macros that deliberately consume or forward a Status-valued argument.
+SINK_MACROS = {
+    "BG3_IGNORE_STATUS",
+}
+
+CONTROL = {"if", "else", "for", "while", "do", "switch", "return", "case",
+           "break", "continue", "goto", "throw", "co_return", "delete",
+           "new", "try", "catch", "default", "using", "typedef", "template"}
+
+
+def _returns_status(cands):
+    saw_status = False
+    for f in cands:
+        ret = " ".join(f.ret)
+        if "Status" in ret or "Result" in ret:
+            saw_status = True
+        elif "void" in ret.split():
+            return False  # ambiguous overload set; stay quiet
+    return saw_status
+
+
+def _outermost_call(fm, stmt):
+    """If stmt is exactly `[chain] name(args)`, returns (name, recv, args,
+    name_tok_idx); else None."""
+    n = len(stmt)
+    i = 0
+    recv = []
+    while i < n:
+        idx, t = stmt[i]
+        if t.kind != "id" or t.text in CONTROL:
+            return None
+        if i + 1 < n and stmt[i + 1][1].text == "(":
+            open_idx = stmt[i + 1][0]
+            close = fm.close_of(open_idx)
+            if close != stmt[-1][0]:
+                return None  # trailing tokens: .ok(), operators, etc.
+            args = " ".join(tok.text for tok in
+                            fm.toks[open_idx + 1:close])
+            return (t.text, recv, args, idx)
+        if i + 1 < n and stmt[i + 1][1].text in (".", "->", "::"):
+            recv.append(t.text)
+            i += 2
+            continue
+        return None
+    return None
+
+
+def _strip_void_cast(stmt):
+    """Removes a leading (void) / static_cast<void>( ... ) wrapper; returns
+    (stripped_stmt, had_cast)."""
+    texts = [t.text for _, t in stmt]
+    if texts[:3] == ["(", "void", ")"]:
+        return stmt[3:], True
+    if texts[:5] == ["static_cast", "<", "void", ">", "("] and \
+            texts[-1] == ")":
+        return stmt[5:-1], True
+    return stmt, False
+
+
+def run(index, config):
+    findings = []
+    for path, fm in sorted(index.models.items()):
+        for fn in fm.functions:
+            if fn.body is None:
+                continue
+            for stmt in fm.statements(fn):
+                if not stmt:
+                    continue
+                first = stmt[0][1]
+                if first.kind == "id" and first.text in CONTROL:
+                    continue
+                body, had_cast = _strip_void_cast(stmt)
+                if not body:
+                    continue
+                call = _outermost_call(fm, body)
+                if call is None:
+                    continue
+                name, recv, args, name_idx = call
+                if name in SINK_MACROS:
+                    continue
+                from ..model import CallSite
+                cs = CallSite(name=name, recv=recv, args=args,
+                              line=fm.toks[name_idx].line, tok=name_idx)
+                cands = index.resolve_callees(cs, fn)
+                if not cands or not _returns_status(cands):
+                    continue
+                callee = cands[0].qname
+                if had_cast:
+                    msg = (f"Status/Result from {callee}() silenced with a "
+                           f"void cast; use BG3_IGNORE_STATUS(...) so the "
+                           f"discard is auditable")
+                    detail = f"void-cast:{name}"
+                else:
+                    msg = (f"discarded Status/Result returned by {callee}(); "
+                           f"handle it, BG3_RETURN_IF_ERROR it, or wrap in "
+                           f"BG3_IGNORE_STATUS(...)")
+                    detail = f"discard:{name}"
+                findings.append(Finding(
+                    pass_name="status-discard", file=path,
+                    line=fm.toks[name_idx].line, func=fn.qname,
+                    detail=detail, message=msg))
+    return findings

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""bg3-lint driver.
+
+Typical use (from the repo root):
+
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    python3 scripts/bg3_lint/run.py                  # all passes, baseline-aware
+    python3 scripts/bg3_lint/run.py --update-baseline
+    python3 scripts/bg3_lint/run.py --emit-lock-ranks src/common/lock_rank_gen.h
+    python3 scripts/bg3_lint/run.py --check-lock-ranks   # CI: header up to date?
+
+Exit status: 0 when every finding is baselined and (with --check-lock-ranks)
+the generated header matches; 1 otherwise; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(_HERE))
+
+from bg3_lint import clang_engine  # noqa: E402
+from bg3_lint.model import ProjectIndex  # noqa: E402
+from bg3_lint.passes import all_passes  # noqa: E402
+from bg3_lint.passes import lock_rank as lock_rank_pass  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(_HERE))
+DEFAULT_BASELINE = os.path.join(_HERE, "baseline.json")
+
+SOURCE_EXTS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+
+def discover_files(compdb_path):
+    """Translation units from compile_commands.json plus all headers under
+    src/ (headers carry the class/annotation surface the passes need)."""
+    files = []
+    seen = set()
+
+    def add(path):
+        rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+        if rel.startswith(".."):
+            return
+        if not rel.endswith(SOURCE_EXTS):
+            return
+        if rel in seen or not os.path.isfile(os.path.join(REPO_ROOT, rel)):
+            return
+        seen.add(rel)
+        files.append(rel)
+
+    compdb_used = False
+    if compdb_path and os.path.isfile(compdb_path):
+        with open(compdb_path) as f:
+            for entry in json.load(f):
+                add(os.path.join(entry.get("directory", ""),
+                                 entry.get("file", "")))
+        compdb_used = True
+    else:
+        for pat in ("src/**/*.cc", "tests/*.cc", "examples/*.cpp",
+                    "bench/*.cc", "tools/*.cc"):
+            for p in glob.glob(os.path.join(REPO_ROOT, pat), recursive=True):
+                add(p)
+    for pat in ("src/**/*.h", "bench/*.h", "tests/*.h", "tools/*.h"):
+        for p in glob.glob(os.path.join(REPO_ROOT, pat), recursive=True):
+            add(p)
+    return sorted(files), compdb_used
+
+
+def load_baseline(path):
+    if not os.path.isfile(path):
+        return {"version": 1, "suppressions": {}}
+    with open(path) as f:
+        data = json.load(f)
+    data.setdefault("suppressions", {})
+    return data
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="bg3-lint", description=__doc__)
+    ap.add_argument("--compdb",
+                    default=os.path.join(REPO_ROOT, "build",
+                                         "compile_commands.json"),
+                    help="compile_commands.json (default: build/)")
+    ap.add_argument("--files", nargs="*",
+                    help="lint exactly these files (overrides discovery)")
+    ap.add_argument("--pass", dest="passes", action="append",
+                    choices=sorted(all_passes().keys()),
+                    help="run only the named pass (repeatable)")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="suppression baseline JSON")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, ignoring the baseline")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to exactly the current "
+                         "findings (prunes stale entries)")
+    ap.add_argument("--emit-lock-ranks", metavar="PATH",
+                    help="write the generated lock-rank header to PATH")
+    ap.add_argument("--check-lock-ranks", action="store_true",
+                    help="fail if src/common/lock_rank_gen.h is stale")
+    ap.add_argument("--engine", choices=("text", "libclang"), default="text",
+                    help="libclang adds an AST cross-check when the bindings "
+                         "are installed; falls back to text otherwise")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.files:
+        files = [os.path.relpath(os.path.abspath(f), REPO_ROOT)
+                 for f in args.files]
+        compdb_used = False
+    else:
+        files, compdb_used = discover_files(args.compdb)
+    if not files:
+        print("bg3-lint: no input files found", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        src = ("compile_commands.json" if compdb_used
+               else "glob fallback (no compile_commands.json — run cmake "
+                    "with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+        print(f"bg3-lint: indexing {len(files)} files [{src}]")
+
+    os.chdir(REPO_ROOT)
+    index = ProjectIndex(files)
+
+    if args.engine == "libclang":
+        if clang_engine.available():
+            notes = clang_engine.cross_check(index, {})
+            for n in notes or []:
+                print(f"bg3-lint[libclang]: {n}")
+        elif not args.quiet:
+            print("bg3-lint: libclang bindings not installed; "
+                  "using text engine")
+
+    config = {}
+    selected = args.passes or sorted(all_passes().keys())
+    findings = []
+    for name in selected:
+        mod = all_passes()[name]
+        got = mod.run(index, config)
+        if not args.quiet:
+            print(f"bg3-lint: pass {name}: {len(got)} finding(s)")
+        findings.extend(got)
+
+    rc = 0
+
+    # Lock-rank header emission / staleness check.
+    need_ranks = args.emit_lock_ranks or args.check_lock_ranks
+    if need_ranks and "lock_rank" not in config:
+        findings.extend(lock_rank_pass.run(index, config))
+    if need_ranks:
+        lr = config["lock_rank"]
+        header = lock_rank_pass.emit_header(
+            lr["ranking"], lr["unranked"], lr["edges"])
+        if args.emit_lock_ranks:
+            with open(args.emit_lock_ranks, "w") as f:
+                f.write(header)
+            if not args.quiet:
+                print(f"bg3-lint: wrote {args.emit_lock_ranks} "
+                      f"({len(lr['ranking'])} ranked, "
+                      f"{len(lr['unranked'])} unranked sites)")
+        if args.check_lock_ranks:
+            checked_in = os.path.join(REPO_ROOT, "src/common/lock_rank_gen.h")
+            current = ""
+            if os.path.isfile(checked_in):
+                with open(checked_in) as f:
+                    current = f.read()
+            if current != header:
+                print("bg3-lint: src/common/lock_rank_gen.h is stale; "
+                      "regenerate with --emit-lock-ranks", file=sys.stderr)
+                rc = 1
+
+    # Baseline filtering.
+    baseline = load_baseline(args.baseline)
+    supp = baseline["suppressions"]
+    if args.update_baseline:
+        new_supp = {}
+        for f in findings:
+            new_supp[f.key] = supp.get(f.key, "TODO: justify this suppression")
+        baseline["suppressions"] = dict(sorted(new_supp.items()))
+        with open(args.baseline, "w") as fp:
+            json.dump(baseline, fp, indent=2)
+            fp.write("\n")
+        print(f"bg3-lint: baseline updated: {len(new_supp)} suppression(s) "
+              f"-> {args.baseline}")
+        return 0
+
+    active = supp if not args.no_baseline else {}
+    used = set()
+    fresh = []
+    for f in findings:
+        if f.key in active:
+            used.add(f.key)  # one baseline entry covers every duplicate site
+            continue
+        fresh.append(f)
+    for f in fresh:
+        print(f.render())
+    stale = sorted(set(active) - used)
+    if stale and not args.quiet:
+        for key in stale:
+            print(f"bg3-lint: stale baseline entry (no longer fires): {key}")
+    if fresh:
+        print(f"bg3-lint: {len(fresh)} new finding(s) "
+              f"({len(findings) - len(fresh)} baselined)", file=sys.stderr)
+        rc = 1
+    elif not args.quiet:
+        print(f"bg3-lint: clean ({len(findings)} baselined finding(s))")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

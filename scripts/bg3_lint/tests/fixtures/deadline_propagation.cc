@@ -1,0 +1,38 @@
+// bg3-lint fixture: deadline-propagation pass.
+//
+// A function that accepts an OpContext* must hand it to every callee that
+// can take one; an explicit nullptr argument is a visible, reviewable
+// opt-out and is not flagged. Callees return void here so the
+// status-discard pass stays quiet on this fixture.
+
+struct OpContext {
+  long deadline_us;
+};
+
+void Inner(int v, const OpContext* ctx) { v = v + (ctx != nullptr); }
+void Leafy(int v) { v = v + 1; }
+
+class Api {
+ public:
+  void Drops(int v, const OpContext* ctx);
+  void Forwards(int v, const OpContext* ctx);
+  void OptsOut(int v, const OpContext* ctx);
+  void NoCtxParam(int v);
+};
+
+void Api::Drops(int v, const OpContext* ctx) {
+  Inner(v);  // LINT-EXPECT: deadline-propagation dropped-ctx:Inner
+  Leafy(v);  // callee takes no OpContext: nothing to forward
+}
+
+void Api::Forwards(int v, const OpContext* ctx) {
+  Inner(v, ctx);
+}
+
+void Api::OptsOut(int v, const OpContext* ctx) {
+  Inner(v, nullptr);  // deliberate, visible opt-out
+}
+
+void Api::NoCtxParam(int v) {
+  Inner(v);  // caller has no context to forward: out of scope
+}

@@ -1,0 +1,97 @@
+// bg3-lint fixture: latch-discipline pass.
+//
+// Exercises: BG3_BLOCKING seeds, builtin blocking names, transitive
+// propagation through the call graph, RAII-guard regions, BG3_REQUIRES
+// regions merged from the in-class declaration, and BG3_NO_BLOCKING
+// functions that in fact block.
+
+class CloudStore {
+ public:
+  void PutBlob() BG3_BLOCKING;
+  void Touch();  // not blocking
+};
+
+// Blocks transitively: no annotation of its own, but its body reaches a
+// BG3_BLOCKING callee.
+class Wal {
+ public:
+  void Append() { store_->PutBlob(); }
+
+ private:
+  CloudStore* store_;
+};
+
+class Cache {
+ public:
+  void Insert(int v);
+  void InsertSlow(int v);
+  void Probe() BG3_NO_BLOCKING;
+
+ private:
+  Mutex mu_;
+  CloudStore* store_;
+};
+
+void Cache::Insert(int v) {
+  MutexLock lock(&mu_);
+  store_->Touch();  // non-blocking callee under the latch: fine
+  v = v + 1;
+}
+
+void Cache::InsertSlow(int v) {
+  MutexLock lock(&mu_);
+  store_->PutBlob();  // LINT-EXPECT: latch-discipline under-lock:Cache::mu_->PutBlob
+  v = v + 1;
+}
+
+void Cache::Probe() {
+  store_->PutBlob();  // LINT-EXPECT: latch-discipline no-blocking:PutBlob
+}
+
+class Engine {
+ public:
+  void Commit();
+
+ private:
+  Mutex mu_;
+  Wal* wal_;
+};
+
+void Engine::Commit() {
+  MutexLock lock(&mu_);
+  wal_->Append();  // LINT-EXPECT: latch-discipline under-lock:Engine::mu_->Append
+}
+
+class Backoff {
+ public:
+  void Nap();
+  void NapOutside();
+
+ private:
+  Mutex mu_;
+};
+
+void Backoff::Nap() {
+  MutexLock lock(&mu_);
+  std::this_thread::sleep_for(10);  // LINT-EXPECT: latch-discipline under-lock:Backoff::mu_->sleep_for
+}
+
+void Backoff::NapOutside() {
+  { MutexLock lock(&mu_); }
+  std::this_thread::sleep_for(10);  // latch already released: fine
+}
+
+// BG3_REQUIRES on the in-class declaration makes the whole out-of-line
+// body a held region (decl/def annotation merge).
+class Registry {
+ public:
+  void Publish() BG3_REQUIRES(mu_);
+
+ private:
+  Mutex mu_;
+  CloudStore* store_;
+};
+
+void Registry::Publish() {
+  store_->PutBlob();  // LINT-EXPECT: latch-discipline under-lock:Registry::mu_->PutBlob
+}

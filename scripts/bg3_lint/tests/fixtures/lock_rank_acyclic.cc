@@ -1,0 +1,35 @@
+// bg3-lint fixture: lock-rank pass, acyclic case.
+//
+// Two edge sources: a nested guard inside one function
+// (Outer::mu_ -> Outer::aux_mu_) and a call made while a guard is held
+// whose callee acquires its own lock (Outer::aux_mu_ -> Inner::mu_).
+// Expected ranking: Outer::mu_ < Outer::aux_mu_ < Inner::mu_, no findings.
+
+class Inner {
+ public:
+  void Touch() { MutexLock lock(&mu_); }
+
+ private:
+  Mutex mu_;
+};
+
+class Outer {
+ public:
+  void Nest();
+  void Call();
+
+ private:
+  Mutex mu_;
+  Mutex aux_mu_;
+  Inner* inner_;
+};
+
+void Outer::Nest() {
+  MutexLock lock(&mu_);
+  MutexLock lock2(&aux_mu_);
+}
+
+void Outer::Call() {
+  MutexLock lock(&aux_mu_);
+  inner_->Touch();
+}

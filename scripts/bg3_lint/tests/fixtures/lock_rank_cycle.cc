@@ -1,0 +1,42 @@
+// bg3-lint fixture: lock-rank pass, cycle case.
+//
+// Left::Cross acquires Left::mu_ then a callee acquires Right::mu_;
+// Right::Cross does the mirror image. The acquisition-order graph is the
+// two-cycle {Left::mu_ <-> Right::mu_} — a statically provable deadlock
+// candidate the pass must report (and refuse to rank). Peers are passed as
+// parameters, not stored as members, so the transitive-acquisition closure
+// introduces no self-edges (self-edges divert a site to "unranked" instead
+// of cycle detection).
+
+class Right;
+
+class Left {
+ public:
+  void LockOnly();
+  void Cross(Right* peer);
+
+ private:
+  Mutex mu_;
+};
+
+class Right {
+ public:
+  void LockOnly();
+  void Cross(Left* peer);
+
+ private:
+  Mutex mu_;
+};
+
+void Left::LockOnly() { MutexLock lock(&mu_); }
+void Right::LockOnly() { MutexLock lock(&mu_); }
+
+void Left::Cross(Right* peer) {
+  MutexLock lock(&mu_);
+  peer->LockOnly();
+}
+
+void Right::Cross(Left* peer) {
+  MutexLock lock(&mu_);
+  peer->LockOnly();
+}

@@ -1,0 +1,43 @@
+// bg3-lint fixture: status-discard pass.
+//
+// LINT-EXPECT markers (pass name + detail prefix) declare the findings the
+// pass must produce on that exact line. Comments are stripped by the
+// tokenizer, so the markers are invisible to the pass under test.
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status Flaky() { return Status(); }
+Status Other() { return Status(); }
+void Sink(Status s);
+
+class Store {
+ public:
+  Status Write();
+  int Size();
+};
+
+void DiscardsPlain() {
+  Flaky();  // LINT-EXPECT: status-discard discard:Flaky
+}
+
+void DiscardsMethod(Store* store) {
+  store->Write();  // LINT-EXPECT: status-discard discard:Write
+}
+
+void DiscardsViaVoidCast() {
+  (void)Flaky();               // LINT-EXPECT: status-discard void-cast:Flaky
+  static_cast<void>(Other());  // LINT-EXPECT: status-discard void-cast:Other
+}
+
+Status HandledUses(Store* store) {
+  Status s = Flaky();        // bound to a variable: consumed
+  if (!Flaky().ok()) {       // control statement: the value is inspected
+    Sink(Flaky());           // nested call, not the outermost expression
+  }
+  BG3_IGNORE_STATUS(Other());  // the sanctioned, auditable sink
+  store->Size();             // void/int callee: nothing to discard
+  return Flaky();            // propagated
+}

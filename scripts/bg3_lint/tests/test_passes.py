@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Fixture tests for the bg3-lint passes.
+
+Each fixture under fixtures/ is a small C++ file whose expected findings
+are declared inline with `// LINT-EXPECT: <pass> <detail-prefix>` comments
+on the offending line (comments are stripped by the tokenizer, so the
+markers cannot influence the pass under test). The runner builds a
+ProjectIndex per fixture, runs every pass, and asserts the finding set
+matches the expectations exactly — a missing finding and an unexpected
+finding are both failures.
+
+Runs standalone (no pytest in the base container):
+
+    python3 scripts/bg3_lint/tests/test_passes.py
+
+and is pytest-compatible (every `test_*` function is a plain zero-argument
+assertion function) for environments that have it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import traceback
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(os.path.dirname(_HERE)))  # scripts/
+
+from bg3_lint.model import ProjectIndex  # noqa: E402
+from bg3_lint.passes import all_passes  # noqa: E402
+
+FIXTURES = os.path.join(_HERE, "fixtures")
+BASELINE = os.path.join(os.path.dirname(_HERE), "baseline.json")
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*(\S+)\s+(\S+)")
+
+
+def _expectations(path):
+    """[(line, pass_name, detail_prefix)] parsed from LINT-EXPECT comments."""
+    out = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                out.append((lineno, m.group(1), m.group(2)))
+    return out
+
+
+def _run_fixture(name):
+    """Runs every pass over one fixture in isolation.
+
+    Returns (findings, config) — config carries the lock-rank pass's
+    ranking/unranked/edges side channel.
+    """
+    path = os.path.join(FIXTURES, name)
+    index = ProjectIndex([path])
+    config = {}
+    findings = []
+    for mod in all_passes().values():
+        findings.extend(mod.run(index, config))
+    return findings, config
+
+
+def _check_expectations(name):
+    path = os.path.join(FIXTURES, name)
+    expected = _expectations(path)
+    assert expected, f"{name}: fixture declares no LINT-EXPECT markers"
+    findings, _ = _run_fixture(name)
+
+    actual = [(f.line, f.pass_name, f.detail) for f in findings]
+    problems = []
+
+    matched = set()
+    for line, pname, prefix in expected:
+        hit = next((i for i, (al, ap, ad) in enumerate(actual)
+                    if i not in matched and al == line and ap == pname
+                    and ad.startswith(prefix)), None)
+        if hit is None:
+            problems.append(
+                f"missing: line {line} expected [{pname}] {prefix}…")
+        else:
+            matched.add(hit)
+    for i, (al, ap, ad) in enumerate(actual):
+        if i not in matched:
+            problems.append(f"unexpected: line {al} [{ap}] {ad}")
+
+    assert not problems, f"{name}:\n  " + "\n  ".join(problems)
+
+
+def test_status_discard_fixture():
+    _check_expectations("status_discard.cc")
+
+
+def test_latch_discipline_fixture():
+    _check_expectations("latch_discipline.cc")
+
+
+def test_deadline_propagation_fixture():
+    _check_expectations("deadline_propagation.cc")
+
+
+def test_lock_rank_acyclic_ranking():
+    findings, config = _run_fixture("lock_rank_acyclic.cc")
+    assert not findings, [f.render() for f in findings]
+    ranking = config["lock_rank"]["ranking"]
+    for site in ("Outer::mu_", "Outer::aux_mu_", "Inner::mu_"):
+        assert site in ranking, f"{site} missing from ranking {ranking}"
+    assert ranking["Outer::mu_"] < ranking["Outer::aux_mu_"], ranking
+    assert ranking["Outer::aux_mu_"] < ranking["Inner::mu_"], ranking
+    assert sorted(ranking.values()) == list(range(1, len(ranking) + 1)), \
+        f"ranks must be dense 1..N: {ranking}"
+    assert not config["lock_rank"]["unranked"], config["lock_rank"]
+
+
+def test_lock_rank_cycle_detected():
+    findings, config = _run_fixture("lock_rank_cycle.cc")
+    cycles = [f for f in findings if f.pass_name == "lock-rank"
+              and f.detail.startswith("cycle:")]
+    assert cycles, ("mutual Left::mu_ <-> Right::mu_ acquisition must be "
+                    f"reported as a cycle; findings: "
+                    f"{[f.render() for f in findings]}")
+    detail = cycles[0].detail
+    assert "Left::mu_" in detail and "Right::mu_" in detail, detail
+    # Neither site may receive a rank — a cycle is unrankable by definition.
+    ranking = config["lock_rank"]["ranking"]
+    assert "Left::mu_" not in ranking and "Right::mu_" not in ranking, ranking
+
+
+def test_baseline_is_well_formed():
+    with open(BASELINE, encoding="utf-8") as f:
+        data = json.load(f)
+    assert data.get("version") == 1, data.get("version")
+    sup = data.get("suppressions", {})
+    assert isinstance(sup, dict) and sup, "baseline has no suppressions"
+    known = set(all_passes())
+    for key, reason in sup.items():
+        pass_name = key.split(":", 1)[0]
+        assert pass_name in known, f"unknown pass in baseline key: {key}"
+        assert key.count(":") >= 3, f"malformed baseline key: {key}"
+        assert isinstance(reason, str) and len(reason) >= 20, \
+            f"baseline entry {key} needs a real justification, got: {reason!r}"
+
+
+def main():
+    tests = [(n, fn) for n, fn in sorted(globals().items())
+             if n.startswith("test_") and callable(fn)]
+    failures = 0
+    for name, fn in tests:
+        try:
+            fn()
+        except Exception:
+            failures += 1
+            print(f"FAIL {name}")
+            traceback.print_exc()
+        else:
+            print(f"PASS {name}")
+    print(f"{len(tests) - failures}/{len(tests)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

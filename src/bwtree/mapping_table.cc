@@ -37,6 +37,7 @@ TlsRouteCache& SlotFor(uint64_t instance_id) {
 
 PageIndex::PageIndex()
     : instance_id_(g_next_index_id.fetch_add(1, std::memory_order_relaxed)) {
+  mu_.SetRank(lock_rank::kPageIndex_mu, "PageIndex::mu_");
   WriterMutexLock lock(&mu_);
   snapshot_ = std::make_shared<RouteSnapshot>();
 }

@@ -57,6 +57,10 @@ CloudStore::CloudStore(const CloudStoreOptions& opts)
                                          : DefaultWallTimeSource()),
       latency_model_(opts.latency),
       breaker_(opts.breaker, clock_) {
+  topology_mu_.SetRank(lock_rank::kCloudStore_topology_mu,
+                       "CloudStore::topology_mu_");
+  manifest_mu_.SetRank(lock_rank::kCloudStore_manifest_mu,
+                       "CloudStore::manifest_mu_");
   MetricsRegistry& reg = MetricsRegistry::Default();
   stats_.RegisterWith(&reg, metrics_prefix_);
   reg.RegisterCallback(metrics_prefix_ + "total_bytes",

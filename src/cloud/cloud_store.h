@@ -116,11 +116,11 @@ class CloudStore {
   /// DeadlineExceeded, and an open circuit breaker fails fast with
   /// Overloaded — both before touching the substrate. Null ctx keeps the
   /// exact historical behavior.
-  Result<PagePointer> Append(StreamId stream, const Slice& record,
+  BG3_BLOCKING Result<PagePointer> Append(StreamId stream, const Slice& record,
                              uint64_t* latency_us = nullptr,
                              const OpContext* ctx = nullptr);
 
-  Result<std::string> Read(const PagePointer& ptr,
+  BG3_BLOCKING Result<std::string> Read(const PagePointer& ptr,
                            uint64_t* latency_us = nullptr,
                            const OpContext* ctx = nullptr);
 
@@ -128,20 +128,22 @@ class CloudStore {
   /// live data.
   void MarkInvalid(const PagePointer& ptr);
 
-  Status FreeExtent(StreamId stream, ExtentId extent);
+  BG3_BLOCKING Status FreeExtent(StreamId stream, ExtentId extent);
 
   std::vector<ExtentStats> SealedExtentStats(StreamId stream) const;
 
   /// Re-reads all valid records of an extent (GC relocation input); counted
   /// against read stats like any other I/O.
-  Result<std::vector<std::pair<PagePointer, std::string>>> ReadValidRecords(
+  BG3_BLOCKING Result<std::vector<std::pair<PagePointer, std::string>>>
+  ReadValidRecords(
       StreamId stream, ExtentId extent, const OpContext* ctx = nullptr);
 
   /// Log tailing (WAL readers): records appended strictly after `cursor`
   /// in append order; a default-constructed cursor reads from the start.
   /// Records that fail their CRC check (torn appends) are skipped — they
   /// were never durably written, so they are not part of the log.
-  Result<std::vector<std::pair<PagePointer, std::string>>> TailRecords(
+  BG3_BLOCKING Result<std::vector<std::pair<PagePointer, std::string>>>
+  TailRecords(
       StreamId stream, const PagePointer& cursor, size_t max_records,
       const OpContext* ctx = nullptr);
 
@@ -150,9 +152,9 @@ class CloudStore {
   // node atomically publishes new page-table versions here (step (8) in
   // Fig. 7) and RO nodes read them. Each Put returns a monotonically
   // increasing version.
-  uint64_t ManifestPut(const std::string& key, const Slice& value);
+  BG3_BLOCKING uint64_t ManifestPut(const std::string& key, const Slice& value);
   /// Returns NotFound if the key was never written.
-  Result<std::string> ManifestGet(const std::string& key,
+  BG3_BLOCKING Result<std::string> ManifestGet(const std::string& key,
                                   uint64_t* version = nullptr,
                                   const OpContext* ctx = nullptr) const;
 

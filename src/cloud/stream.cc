@@ -10,6 +10,7 @@ Stream::Stream(StreamId id, std::string name, size_t extent_capacity,
       name_(std::move(name)),
       extent_capacity_(extent_capacity),
       extent_id_allocator_(extent_id_allocator) {
+  mu_.SetRank(lock_rank::kStream_mu, "Stream::mu_");
   // Uncontended (the stream is not yet published), but the lock makes the
   // guarded-member writes visible to the thread-safety analysis.
   MutexLock lock(&mu_);

@@ -1,0 +1,83 @@
+#include "common/lock_rank.h"
+
+#ifdef BG3_ENABLE_DCHECKS
+
+#include "common/logging.h"
+
+namespace bg3::lock_rank {
+namespace {
+
+/// Per-thread stack of held ranked locks. Depth 16 is generous: the deepest
+/// static chain bg3-lint extracts today is 3 (api → forest → tree).
+struct HeldStack {
+  static constexpr int kMaxDepth = 16;
+  int ranks[kMaxDepth];
+  const char* names[kMaxDepth];
+  int depth = 0;
+};
+
+HeldStack& Tls() {
+  thread_local HeldStack stack;
+  return stack;
+}
+
+}  // namespace
+
+void NoteAcquire(int rank, const char* name) {
+  if (rank == kUnranked) return;
+  HeldStack& s = Tls();
+  BG3_CHECK(s.depth < HeldStack::kMaxDepth)
+      << "lock-rank: held-lock stack overflow acquiring " << name;
+  if (s.depth > 0) {
+    const int top = s.ranks[s.depth - 1];
+    BG3_CHECK(rank > top)
+        << "lock-rank violation: acquiring \"" << name << "\" (rank " << rank
+        << ") while holding \"" << s.names[s.depth - 1] << "\" (rank " << top
+        << "); the statically extracted order (src/common/lock_rank_gen.h) "
+           "requires strictly increasing ranks — re-run "
+           "scripts/bg3_lint/run.py to see the acquisition-order graph";
+  }
+  s.ranks[s.depth] = rank;
+  s.names[s.depth] = name;
+  ++s.depth;
+}
+
+void NoteTryAcquire(int rank, const char* name) {
+  if (rank == kUnranked) return;
+  HeldStack& s = Tls();
+  BG3_CHECK(s.depth < HeldStack::kMaxDepth)
+      << "lock-rank: held-lock stack overflow try-acquiring " << name;
+  s.ranks[s.depth] = rank;
+  s.names[s.depth] = name;
+  ++s.depth;
+}
+
+void NoteRelease(int rank) {
+  if (rank == kUnranked) return;
+  HeldStack& s = Tls();
+  // Releases are almost always LIFO (RAII guards), but explicit
+  // Lock()/Unlock() pairs may interleave; drop the most recent matching
+  // entry wherever it sits.
+  for (int i = s.depth - 1; i >= 0; --i) {
+    if (s.ranks[i] != rank) continue;
+    for (int j = i; j + 1 < s.depth; ++j) {
+      s.ranks[j] = s.ranks[j + 1];
+      s.names[j] = s.names[j + 1];
+    }
+    --s.depth;
+    return;
+  }
+  BG3_CHECK(false) << "lock-rank: releasing rank " << rank
+                   << " that this thread does not hold";
+}
+
+int HeldDepth() { return Tls().depth; }
+
+int TopRank() {
+  const HeldStack& s = Tls();
+  return s.depth == 0 ? kUnranked : s.ranks[s.depth - 1];
+}
+
+}  // namespace bg3::lock_rank
+
+#endif  // BG3_ENABLE_DCHECKS

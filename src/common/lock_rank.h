@@ -1,0 +1,68 @@
+#ifndef BG3_COMMON_LOCK_RANK_H_
+#define BG3_COMMON_LOCK_RANK_H_
+
+/// Debug-build runtime validation of the statically extracted lock
+/// acquisition order (DESIGN.md §5.6).
+///
+/// bg3-lint's lock-rank pass walks every Mutex/SharedMutex acquisition in
+/// bwtree/forest/gc/wal/cloud/replication, extracts the "A held while B is
+/// acquired" edges, fails the build on cycles, and emits the resulting
+/// topological ranking as `common/lock_rank_gen.h` (regenerate with
+/// `python3 scripts/bg3_lint/run.py --emit-lock-ranks src/common/lock_rank_gen.h`).
+///
+/// This header is the dynamic half: ranked mutexes (Mutex::SetRank /
+/// SharedMutex::SetRank, wired in each owning class's constructor) push
+/// their rank onto a thread-local held stack on acquisition. Acquiring a
+/// ranked lock while holding one of equal or higher rank is an order
+/// violation the static pass proved cannot be part of any deadlock-free
+/// schedule — it aborts immediately (BG3_CHECK) naming both locks, instead
+/// of deadlocking some future run. Unranked locks (rank kUnranked, e.g.
+/// per-page leaf latches, which are ordered dynamically by latch coupling,
+/// or locks private to tests) opt out entirely.
+///
+/// All checking compiles away unless BG3_ENABLE_DCHECKS is defined.
+
+namespace bg3::lock_rank {
+
+/// Rank of a mutex that does not participate in order checking.
+inline constexpr int kUnranked = 0;
+
+#ifdef BG3_ENABLE_DCHECKS
+
+/// Validates `rank` against the calling thread's held stack and records the
+/// acquisition. Called by Mutex/SharedMutex immediately before blocking on
+/// the underlying lock (so a violation aborts rather than deadlocks).
+/// No-op when rank == kUnranked.
+void NoteAcquire(int rank, const char* name);
+
+/// Records a successful try-acquisition. No order check: a try-lock cannot
+/// deadlock, and opportunistic paths legitimately probe out of order — but
+/// the lock still joins the held stack so everything acquired *after* it is
+/// validated against it.
+void NoteTryAcquire(int rank, const char* name);
+
+/// Removes the most recent acquisition of `rank` from the held stack.
+void NoteRelease(int rank);
+
+/// Number of ranked locks the calling thread currently holds (tests).
+int HeldDepth();
+
+/// Highest rank currently held by the calling thread, kUnranked if none
+/// (tests).
+int TopRank();
+
+#else  // !BG3_ENABLE_DCHECKS
+
+inline void NoteAcquire(int /*rank*/, const char* /*name*/) {}
+inline void NoteTryAcquire(int /*rank*/, const char* /*name*/) {}
+inline void NoteRelease(int /*rank*/) {}
+inline int HeldDepth() { return 0; }
+inline int TopRank() { return kUnranked; }
+
+#endif  // BG3_ENABLE_DCHECKS
+
+}  // namespace bg3::lock_rank
+
+#include "common/lock_rank_gen.h"
+
+#endif  // BG3_COMMON_LOCK_RANK_H_

@@ -1,0 +1,60 @@
+// GENERATED FILE — do not edit by hand.
+//
+// Produced by bg3-lint's lock-rank pass:
+//   python3 scripts/bg3_lint/run.py --emit-lock-ranks src/common/lock_rank_gen.h
+//
+// One constant per ranked mutex site (Class::member), topologically
+// ordered by the statically extracted acquisition graph: if any code
+// path acquires B while holding A, then rank(A) < rank(B). The CI
+// lint job regenerates this header and fails on a diff. Consumed by
+// common/lock_rank.h (runtime checker) via the SetRank calls in each
+// owning class's constructor.
+//
+// Acquisition edges (holder -> acquired  [witness]):
+//   BwTreeForest::evict_mu_ -> BwTreeForest::registry_mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::MaybeEvictFromInit -> SplitOutLocked()]
+//   BwTreeForest::evict_mu_ -> CloudStore::topology_mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::MaybeEvictFromInit -> SplitOutLocked()]
+//   BwTreeForest::evict_mu_ -> LeafPage::latch  [src/forest/forest.cc:bg3::forest::BwTreeForest::MaybeEvictFromInit -> SplitOutLocked()]
+//   BwTreeForest::evict_mu_ -> OwnerState::mu  [src/forest/forest.cc:bg3::forest::BwTreeForest::MaybeEvictFromInit]
+//   BwTreeForest::evict_mu_ -> PageIndex::mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::MaybeEvictFromInit -> SplitOutLocked()]
+//   BwTreeForest::evict_mu_ -> Stream::mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::MaybeEvictFromInit -> SplitOutLocked()]
+//   CloudStore::topology_mu_ -> Stream::mu_  [src/cloud/cloud_store.cc:bg3::cloud::CloudStore::TotalBytes -> total_bytes()]
+//   LeafPage::latch -> CloudStore::topology_mu_  [src/bwtree/bwtree.cc:bg3::bwtree::BwTree::ApplyTraditionalLocked -> ConsolidateLocked()]
+//   LeafPage::latch -> PageIndex::mu_  [src/bwtree/bwtree.cc:bg3::bwtree::BwTree::MaybeSplitLocked -> InsertPage()]
+//   LeafPage::latch -> Stream::mu_  [src/bwtree/bwtree.cc:bg3::bwtree::BwTree::ApplyTraditionalLocked -> ConsolidateLocked()]
+//   OwnerState::mu -> BwTreeForest::registry_mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::Upsert -> SplitOutLocked()]
+//   OwnerState::mu -> CloudStore::topology_mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::Upsert -> Upsert()]
+//   OwnerState::mu -> LeafPage::latch  [src/forest/forest.cc:bg3::forest::BwTreeForest::Upsert -> Upsert()]
+//   OwnerState::mu -> PageIndex::mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::Upsert -> Upsert()]
+//   OwnerState::mu -> Stream::mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::Upsert -> Upsert()]
+//   RoNode::mu_ -> CloudStore::manifest_mu_  [src/replication/ro_node.cc:bg3::replication::RoNode::PollWal -> PollWalLocked()]
+//   RwNode::flush_mu_ -> CloudStore::manifest_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> ManifestPut()]
+//   RwNode::flush_mu_ -> CloudStore::topology_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> FlushPage()]
+//   RwNode::flush_mu_ -> LeafPage::latch  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> FlushPage()]
+//   RwNode::flush_mu_ -> PageIndex::mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> DirtyPageIds()]
+//   RwNode::flush_mu_ -> RwNode::ckpt_ptr_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup]
+//   RwNode::flush_mu_ -> RwNode::staged_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup]
+//   RwNode::flush_mu_ -> Stream::mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> FlushPage()]
+
+#ifndef BG3_COMMON_LOCK_RANK_GEN_H_
+#define BG3_COMMON_LOCK_RANK_GEN_H_
+
+namespace bg3::lock_rank {
+
+inline constexpr int kBwTreeForest_evict_mu = 1;  // BwTreeForest::evict_mu_
+inline constexpr int kOwnerState_mu = 2;  // OwnerState::mu
+inline constexpr int kBwTreeForest_registry_mu = 3;  // BwTreeForest::registry_mu_
+inline constexpr int kRoNode_mu = 4;  // RoNode::mu_
+inline constexpr int kRwNode_flush_mu = 5;  // RwNode::flush_mu_
+inline constexpr int kCloudStore_manifest_mu = 6;  // CloudStore::manifest_mu_
+inline constexpr int kCloudStore_topology_mu = 7;  // CloudStore::topology_mu_
+inline constexpr int kPageIndex_mu = 8;  // PageIndex::mu_
+inline constexpr int kRwNode_ckpt_ptr_mu = 9;  // RwNode::ckpt_ptr_mu_
+inline constexpr int kRwNode_staged_mu = 10;  // RwNode::staged_mu_
+inline constexpr int kStream_mu = 11;  // Stream::mu_
+
+// Unranked (dynamic order; stay kUnranked):
+//   LeafPage::latch: per-leaf latch; ordered dynamically by latch coupling
+
+}  // namespace bg3::lock_rank
+
+#endif  // BG3_COMMON_LOCK_RANK_GEN_H_

@@ -10,9 +10,11 @@
 namespace bg3 {
 
 /// A value-or-Status holder (absl::StatusOr-like). `value()` aborts if the
-/// result holds an error; check `ok()` first on fallible paths.
+/// result holds an error; check `ok()` first on fallible paths. Declared
+/// BG3_NODISCARD like Status: a dropped Result silently swallows both the
+/// error and the value.
 template <typename T>
-class Result {
+class BG3_NODISCARD Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): mirrors StatusOr ergonomics.
   Result(T value) : var_(std::move(value)) {}

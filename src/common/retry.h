@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace bg3 {
 
@@ -134,7 +135,7 @@ inline Status RetryDeadlineExceeded(const Status& first) {
 /// exhausted. On exhaustion the *first* error is returned — it is the root
 /// cause; on deadline expiry DeadlineExceeded wraps that root cause.
 template <typename Op>
-Status RetryWithBackoff(const RetryOptions& opts, Op&& op) {
+BG3_BLOCKING Status RetryWithBackoff(const RetryOptions& opts, Op&& op) {
   BG3_DCHECK_GE(opts.max_attempts, 1)
       << "retry budget must allow at least one attempt";
   Backoff backoff(opts);
@@ -160,7 +161,7 @@ Status RetryWithBackoff(const RetryOptions& opts, Op&& op) {
 /// Result<T> variant: `op` returns Result<T>; the successful value is
 /// passed through, exhaustion surfaces the first error.
 template <typename Op>
-auto RetryResultWithBackoff(const RetryOptions& opts, Op&& op)
+BG3_BLOCKING auto RetryResultWithBackoff(const RetryOptions& opts, Op&& op)
     -> decltype(op()) {
   BG3_DCHECK_GE(opts.max_attempts, 1)
       << "retry budget must allow at least one attempt";

@@ -5,12 +5,35 @@
 #include <string_view>
 #include <utility>
 
+/// [[nodiscard]] spelled through a macro so generated code and the lint
+/// fixtures can detect the retrofit, and so it can be disabled wholesale on
+/// a compiler that mishandles class-level nodiscard. Applied to the *types*
+/// Status and Result<T>: every function returning one of them by value
+/// becomes warn-on-discard without per-declaration annotations (bg3-lint's
+/// status-discard pass enforces the same rule ahead of compilation, see
+/// scripts/bg3_lint/).
+#ifndef BG3_NODISCARD
+#define BG3_NODISCARD [[nodiscard]]
+#endif
+
+/// Explicit sink for a deliberately discarded Status/Result. Grep-able and
+/// recognized by bg3-lint's status-discard pass as the one sanctioned way to
+/// drop an error: best-effort shutdown paths, metrics-only probes, and
+/// tests that only care about a side effect. Anything else must check,
+/// propagate (BG3_RETURN_IF_ERROR), or assert on the value.
+#define BG3_IGNORE_STATUS(expr)                    \
+  do {                                             \
+    const auto& _bg3_ignored_status = (expr);      \
+    static_cast<void>(_bg3_ignored_status);        \
+  } while (false)
+
 namespace bg3 {
 
 /// RocksDB-style status object used across the codebase instead of
 /// exceptions. Cheap to copy when OK (no allocation), carries a message
-/// otherwise.
-class Status {
+/// otherwise. Declared BG3_NODISCARD: silently dropping a Status is a bug
+/// class this codebase mechanically rejects (compiler + bg3-lint).
+class BG3_NODISCARD Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,

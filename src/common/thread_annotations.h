@@ -4,6 +4,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_rank.h"
+
 /// Clang thread-safety-analysis attribute macros plus annotated mutex
 /// wrappers. Building with Clang and -Wthread-safety (see the
 /// BG3_THREAD_SAFETY_ANALYSIS CMake option) turns lock-discipline
@@ -69,6 +71,32 @@
 #define BG3_NO_THREAD_SAFETY_ANALYSIS \
   BG3_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// --- blocking-discipline annotations (bg3-lint, DESIGN.md §5.6) -------------
+//
+// BG3_BLOCKING marks a function that can stall the calling thread for an
+// unbounded or I/O-scale time: cloud-store RPCs, WAL appends/flushes,
+// thread-pool queue waits, retry/backoff sleeps, admission-queue waits.
+// BG3_NO_BLOCKING is the dual assertion: the function promises never to
+// block, and bg3-lint's latch-discipline pass errors if its body (or
+// anything it transitively calls) reaches a BG3_BLOCKING function.
+//
+// The pass's core rule: no path may reach a BG3_BLOCKING call while a
+// bg3::Mutex / bg3::SharedMutex capability is held (RAII guard in scope,
+// explicit Lock(), or a BG3_REQUIRES precondition). Holding a latch across
+// a cloud RPC turns one slow shard into a pile-up of blocked threads — the
+// exact failure mode the overload layer (§5.5) exists to prevent.
+//
+// Under Clang the markers also emit `annotate` attributes so AST tooling
+// can read them; under GCC they expand to nothing. Either way bg3-lint's
+// text frontend recognizes the literal tokens in the declaration.
+#if defined(__clang__)
+#define BG3_BLOCKING __attribute__((annotate("bg3_blocking")))
+#define BG3_NO_BLOCKING __attribute__((annotate("bg3_no_blocking")))
+#else
+#define BG3_BLOCKING     // recognized textually by bg3-lint
+#define BG3_NO_BLOCKING  // recognized textually by bg3-lint
+#endif
+
 namespace bg3 {
 
 /// std::mutex with thread-safety annotations. Exposes both the annotated
@@ -81,14 +109,43 @@ class BG3_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() BG3_ACQUIRE() { mu_.lock(); }
-  void Unlock() BG3_RELEASE() { mu_.unlock(); }
-  bool TryLock() BG3_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// Enrolls this mutex in debug-build lock-rank checking (see
+  /// common/lock_rank.h; ranks come from the generated lock_rank_gen.h).
+  /// Call once, from the owning object's constructor, before concurrent
+  /// use. `name` must outlive the mutex (string literal).
+  void SetRank(int rank, const char* name) {
+    rank_ = rank;
+    name_ = name;
+  }
+
+  void Lock() BG3_ACQUIRE() {
+    lock_rank::NoteAcquire(rank_, name_);
+    mu_.lock();
+  }
+  void Unlock() BG3_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(rank_);
+  }
+  bool TryLock() BG3_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank::NoteTryAcquire(rank_, name_);
+    return true;
+  }
 
   // BasicLockable / Lockable, for std lock holders.
-  void lock() BG3_ACQUIRE() { mu_.lock(); }
-  void unlock() BG3_RELEASE() { mu_.unlock(); }
-  bool try_lock() BG3_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() BG3_ACQUIRE() {
+    lock_rank::NoteAcquire(rank_, name_);
+    mu_.lock();
+  }
+  void unlock() BG3_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(rank_);
+  }
+  bool try_lock() BG3_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank::NoteTryAcquire(rank_, name_);
+    return true;
+  }
 
   /// Declares to the analysis that the calling thread already holds this
   /// mutex (acquired through a path it cannot track). No runtime effect.
@@ -96,6 +153,8 @@ class BG3_CAPABILITY("mutex") Mutex {
 
  private:
   std::mutex mu_;
+  int rank_ = lock_rank::kUnranked;
+  const char* name_ = "Mutex";
 };
 
 /// std::shared_mutex with thread-safety annotations (same dual interface).
@@ -105,20 +164,61 @@ class BG3_CAPABILITY("shared_mutex") SharedMutex {
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() BG3_ACQUIRE() { mu_.lock(); }
-  void Unlock() BG3_RELEASE() { mu_.unlock(); }
-  bool TryLock() BG3_TRY_ACQUIRE(true) { return mu_.try_lock(); }
-  void ReaderLock() BG3_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void ReaderUnlock() BG3_RELEASE_SHARED() { mu_.unlock_shared(); }
+  /// Same contract as Mutex::SetRank; shared and exclusive acquisitions
+  /// of a SharedMutex check the same rank.
+  void SetRank(int rank, const char* name) {
+    rank_ = rank;
+    name_ = name;
+  }
+
+  void Lock() BG3_ACQUIRE() {
+    lock_rank::NoteAcquire(rank_, name_);
+    mu_.lock();
+  }
+  void Unlock() BG3_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(rank_);
+  }
+  bool TryLock() BG3_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank::NoteTryAcquire(rank_, name_);
+    return true;
+  }
+  void ReaderLock() BG3_ACQUIRE_SHARED() {
+    lock_rank::NoteAcquire(rank_, name_);
+    mu_.lock_shared();
+  }
+  void ReaderUnlock() BG3_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lock_rank::NoteRelease(rank_);
+  }
 
   // std compatibility (std::shared_lock / std::unique_lock).
-  void lock() BG3_ACQUIRE() { mu_.lock(); }
-  void unlock() BG3_RELEASE() { mu_.unlock(); }
-  bool try_lock() BG3_TRY_ACQUIRE(true) { return mu_.try_lock(); }
-  void lock_shared() BG3_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() BG3_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void lock() BG3_ACQUIRE() {
+    lock_rank::NoteAcquire(rank_, name_);
+    mu_.lock();
+  }
+  void unlock() BG3_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(rank_);
+  }
+  bool try_lock() BG3_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank::NoteTryAcquire(rank_, name_);
+    return true;
+  }
+  void lock_shared() BG3_ACQUIRE_SHARED() {
+    lock_rank::NoteAcquire(rank_, name_);
+    mu_.lock_shared();
+  }
+  void unlock_shared() BG3_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lock_rank::NoteRelease(rank_);
+  }
   bool try_lock_shared() BG3_TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+    if (!mu_.try_lock_shared()) return false;
+    lock_rank::NoteTryAcquire(rank_, name_);
+    return true;
   }
 
   void AssertHeld() const BG3_ASSERT_CAPABILITY(this) {}
@@ -126,6 +226,8 @@ class BG3_CAPABILITY("shared_mutex") SharedMutex {
 
  private:
   std::shared_mutex mu_;
+  int rank_ = lock_rank::kUnranked;
+  const char* name_ = "SharedMutex";
 };
 
 /// RAII exclusive lock over a Mutex, tracked by the analysis.

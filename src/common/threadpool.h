@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 
 namespace bg3 {
@@ -36,17 +37,17 @@ class ThreadPool {
   /// Enqueues a task, blocking while a bounded queue is full. Returns
   /// Aborted once Shutdown() ran (the task is not enqueued — previously
   /// such tasks were silently dropped).
-  Status Submit(std::function<void()> task);
+  BG3_BLOCKING Status Submit(std::function<void()> task);
 
   /// Non-blocking enqueue: false when the pool is shut down or a bounded
   /// queue is full (the caller sheds the work).
   bool TrySubmit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all in-flight tasks finished.
-  void Drain();
+  BG3_BLOCKING void Drain();
 
   /// Stops accepting work, drains the queue, joins all workers. Idempotent.
-  void Shutdown();
+  BG3_BLOCKING void Shutdown();
 
   size_t QueueDepth() const;
   size_t queue_capacity() const { return capacity_; }

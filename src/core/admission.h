@@ -142,7 +142,7 @@ class AdmissionController {
   ///                       predicted queue wait exceeds the op's deadline.
   ///   DeadlineExceeded  — the op's deadline expired while queued.
   /// With the controller disabled this is a counter bump and always OK.
-  Status Admit(OpClass cls, const OpContext* ctx, Permit* permit);
+  BG3_BLOCKING Status Admit(OpClass cls, const OpContext* ctx, Permit* permit);
 
   /// Sets the write-throttle reason bitmask (ThrottleReason bits). While
   /// nonzero, kWrite ops are shed with Overloaded at the door; reads and

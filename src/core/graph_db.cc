@@ -172,7 +172,9 @@ void GraphDB::StartMaintenance(uint64_t interval_ms) {
                          [this] { return maint_stop_; });
       if (maint_stop_) return;
       lock.unlock();
-      (void)RunGcCycle();
+      // Best-effort background cycle; failures surface via gc stats and the
+      // next foreground RunGcCycle caller.
+      BG3_IGNORE_STATUS(RunGcCycle());
       lock.lock();
     }
   });
@@ -250,7 +252,12 @@ Status GraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type,
   BG3_TIMED_SCOPE("bg3.api.delete_vertex_ns");
   AdmissionController::Permit permit;
   BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
-  (void)vertex_tree_->Delete(graph::EncodeDstKey(id), ctx);
+  {
+    // The vertex row may never have been materialized; only NotFound is
+    // ignorable — a real storage error must fail the delete.
+    Status s = vertex_tree_->Delete(graph::EncodeDstKey(id), ctx);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
   const uint64_t owner = graph::MakeOwnerId(id, type);
   std::vector<bwtree::Entry> entries;
   BG3_RETURN_IF_ERROR(forest_->ScanOwner(owner, Slice(), ~0ull, &entries,
@@ -350,7 +357,9 @@ Status GraphDB::RunGcCycle() {
       const size_t payload_budget = opts_.memory_budget_bytes > overhead
                                         ? opts_.memory_budget_bytes - overhead
                                         : 0;
-      (void)forest::EvictTreesToBudget(trees, payload_budget);
+      // Eviction is advisory here: the cycle still reports success when the
+      // budget cannot be met (the write throttle reacts to the watermark).
+      BG3_IGNORE_STATUS(forest::EvictTreesToBudget(trees, payload_budget));
     }
   }
   // Eviction just ran, so the memory watermark is freshest here — the GC

@@ -36,6 +36,10 @@ std::string BwTreeForest::OwnerPrefix(OwnerId owner) {
 BwTreeForest::BwTreeForest(cloud::CloudStore* store,
                            const ForestOptions& options)
     : store_(store), opts_(options) {
+  registry_mu_.SetRank(lock_rank::kBwTreeForest_registry_mu,
+                       "BwTreeForest::registry_mu_");
+  evict_mu_.SetRank(lock_rank::kBwTreeForest_evict_mu,
+                    "BwTreeForest::evict_mu_");
   BG3_CHECK_GT(opts_.owner_shards, 0u);
   shards_.reserve(opts_.owner_shards);
   for (size_t i = 0; i < opts_.owner_shards; ++i) {
@@ -291,7 +295,9 @@ void BwTreeForest::MaybeEvictFromInit() {
   OwnerState* vs = victim_state.get();
   MutexLock lock(&vs->mu);
   if (vs->tree != nullptr) return;  // raced with a split-out
-  (void)SplitOutLocked(victim, vs, &stats_.evictions);
+  // Opportunistic eviction: on failure the owner simply stays in the init
+  // tree and a later cycle (or EvictToBudget) retries.
+  BG3_IGNORE_STATUS(SplitOutLocked(victim, vs, &stats_.evictions));
 }
 
 size_t BwTreeForest::DedicatedTreeCount() const {

@@ -147,6 +147,8 @@ class BwTreeForest {
 
  private:
   struct OwnerState {
+    OwnerState() { mu.SetRank(lock_rank::kOwnerState_mu, "OwnerState::mu"); }
+
     Mutex mu;
     /// Entries attributed to the owner. Mutated only under `mu`; atomic so
     /// the INIT-capacity eviction scan may read it without taking every

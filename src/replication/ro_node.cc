@@ -28,6 +28,7 @@ RoNode::RoNode(cloud::CloudStore* store, const RoNodeOptions& options)
       metrics_prefix_("bg3.replication.ro" +
                       std::to_string(MetricsRegistry::NextInstanceId("ro")) +
                       ".") {
+  mu_.SetRank(lock_rank::kRoNode_mu, "RoNode::mu_");
   MetricsRegistry& reg = MetricsRegistry::Default();
   reg.RegisterHistogram(metrics_prefix_ + "sync_latency_us", &sync_latency_);
   reg.RegisterCounter(metrics_prefix_ + "cache_hits", &stats_.cache_hits);

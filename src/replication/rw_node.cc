@@ -9,6 +9,7 @@ namespace bg3::replication {
 
 RwNode::RwNode(cloud::CloudStore* store, const RwNodeOptions& options)
     : store_(store), opts_(options), wal_(store, options.wal) {
+  SetLockRanks();
   bwtree::BwTreeOptions tree_opts = opts_.tree;
   tree_opts.flush_mode = bwtree::FlushMode::kDeferred;
   tree_opts.read_cache = bwtree::ReadCacheMode::kFull;
@@ -20,6 +21,7 @@ RwNode::RwNode(cloud::CloudStore* store, const RwNodeOptions& options)
 RwNode::RwNode(BootstrapTag, cloud::CloudStore* store,
                const RwNodeOptions& options)
     : store_(store), opts_(options), wal_(store, options.wal) {
+  SetLockRanks();
   bwtree::BwTreeOptions tree_opts = opts_.tree;
   tree_opts.flush_mode = bwtree::FlushMode::kDeferred;
   tree_opts.read_cache = bwtree::ReadCacheMode::kFull;
@@ -27,6 +29,12 @@ RwNode::RwNode(BootstrapTag, cloud::CloudStore* store,
   tree_opts.bootstrap = true;  // layout installed by Recover()
   if (tree_opts.lsn_source == nullptr) tree_opts.lsn_source = &lsn_source_;
   tree_ = std::make_unique<bwtree::BwTree>(store_, tree_opts);
+}
+
+void RwNode::SetLockRanks() {
+  flush_mu_.SetRank(lock_rank::kRwNode_flush_mu, "RwNode::flush_mu_");
+  staged_mu_.SetRank(lock_rank::kRwNode_staged_mu, "RwNode::staged_mu_");
+  ckpt_ptr_mu_.SetRank(lock_rank::kRwNode_ckpt_ptr_mu, "RwNode::ckpt_ptr_mu_");
 }
 
 Result<std::unique_ptr<RwNode>> RwNode::Recover(cloud::CloudStore* store,
@@ -171,8 +179,14 @@ void RwNode::OnTreeInit(bwtree::TreeId tree, bwtree::PageId initial_page) {
   rec.type = wal::WalRecord::Type::kTreeInit;
   rec.tree_id = tree;
   rec.page_id = initial_page;
-  (void)wal_.Append(std::move(rec));
-  (void)wal_.Flush();
+  // Observer callbacks return void; a failed append cannot abort the tree
+  // init, but it must not vanish either — count it for monitoring.
+  if (Status s = wal_.Append(std::move(rec)); !s.ok()) {
+    wal_append_errors_.Inc();
+  }
+  if (Status s = wal_.Flush(); !s.ok()) {
+    wal_append_errors_.Inc();
+  }
 }
 
 void RwNode::OnMutation(bwtree::TreeId tree, bwtree::PageId page,
@@ -183,7 +197,9 @@ void RwNode::OnMutation(bwtree::TreeId tree, bwtree::PageId page,
   rec.page_id = page;
   rec.lsn = lsn;
   rec.entry = entry;
-  (void)wal_.Append(std::move(rec));
+  if (Status s = wal_.Append(std::move(rec)); !s.ok()) {
+    wal_append_errors_.Inc();
+  }
 }
 
 void RwNode::OnSplit(bwtree::TreeId tree, bwtree::PageId old_page,
@@ -196,7 +212,9 @@ void RwNode::OnSplit(bwtree::TreeId tree, bwtree::PageId old_page,
   rec.aux_page_id = new_page;
   rec.lsn = lsn;
   rec.separator = separator;
-  (void)wal_.Append(std::move(rec));
+  if (Status s = wal_.Append(std::move(rec)); !s.ok()) {
+    wal_append_errors_.Inc();
+  }
 }
 
 void RwNode::OnPageFlushed(bwtree::TreeId tree, bwtree::PageId page,

@@ -71,6 +71,11 @@ class RwNode : public bwtree::TreeListener {
   /// Writes shed by the WAL-backlog watermark so far.
   uint64_t writes_shed() const { return writes_shed_.Get(); }
 
+  /// WAL appends dropped from the void observer callbacks (OnTreeInit /
+  /// OnMutation / OnSplit). Non-zero means RO followers may be missing
+  /// records until the next group flush rewrites the tail; monitor it.
+  uint64_t wal_append_errors() const { return wal_append_errors_.Get(); }
+
   /// Flushes a dirty-page group if the threshold is reached.
   Status MaybeFlushGroup();
   /// Flushes all dirty pages, publishes their mapping entries (children
@@ -115,6 +120,9 @@ class RwNode : public bwtree::TreeListener {
   struct BootstrapTag {};
   RwNode(BootstrapTag, cloud::CloudStore* store, const RwNodeOptions& options);
 
+  /// Enrolls flush_mu_/staged_mu_/ckpt_ptr_mu_ in debug lock-rank checking.
+  void SetLockRanks();
+
   cloud::CloudStore* const store_;
   RwNodeOptions opts_;
   wal::WalWriter wal_;
@@ -131,6 +139,7 @@ class RwNode : public bwtree::TreeListener {
   std::atomic<bwtree::Lsn> last_checkpoint_{0};
 
   LightCounter writes_shed_;
+  LightCounter wal_append_errors_;
 };
 
 }  // namespace bg3::replication

@@ -45,10 +45,10 @@ class WalWriter {
   /// reached. Records become visible to readers only after their batch is
   /// appended. The optional OpContext deadline rides the batch append's
   /// retry loop (a failed flush leaves the records buffered either way).
-  Status Append(WalRecord record, const OpContext* ctx = nullptr);
+  BG3_BLOCKING Status Append(WalRecord record, const OpContext* ctx = nullptr);
 
   /// Forces out any buffered records.
-  Status Flush(const OpContext* ctx = nullptr);
+  BG3_BLOCKING Status Flush(const OpContext* ctx = nullptr);
 
   uint64_t batches_appended() const { return batches_.Get(); }
   uint64_t records_appended() const { return records_.Get(); }
@@ -65,7 +65,7 @@ class WalWriter {
   cloud::PagePointer last_append_ptr() const;
 
  private:
-  Status FlushLocked(const OpContext* ctx);
+  BG3_BLOCKING Status FlushLocked(const OpContext* ctx);
 
   cloud::CloudStore* const store_;
   const WalWriterOptions opts_;

@@ -65,7 +65,7 @@ TEST(CloudStoreTest, IoStatsCountOpsAndBytes) {
   CloudStore store;
   const StreamId s = store.CreateStream("data");
   auto ptr = store.Append(s, "12345");
-  (void)store.Read(ptr.value());
+  BG3_IGNORE_STATUS(store.Read(ptr.value()));
   EXPECT_EQ(store.stats().append_ops.Get(), 1u);
   EXPECT_EQ(store.stats().append_bytes.Get(), 5u);
   EXPECT_EQ(store.stats().read_ops.Get(), 1u);
@@ -131,7 +131,7 @@ TEST(CloudStoreTest, CannotFreeActiveExtent) {
   // stats never include the active extent instead.
   CloudStore store(SmallExtents(1024));
   const StreamId s = store.CreateStream("data");
-  (void)store.Append(s, "live data");
+  BG3_IGNORE_STATUS(store.Append(s, "live data"));
   EXPECT_TRUE(store.SealedExtentStats(s).empty());
 }
 
@@ -156,7 +156,7 @@ TEST(CloudStoreTest, TailRecordsFromStart) {
   CloudStore store(SmallExtents(64));
   const StreamId s = store.CreateStream("log");
   for (int i = 0; i < 5; ++i) {
-    (void)store.Append(s, "rec" + std::to_string(i));
+    BG3_IGNORE_STATUS(store.Append(s, "rec" + std::to_string(i)));
   }
   auto records = store.TailRecords(s, PagePointer{}, 100).value();
   ASSERT_EQ(records.size(), 5u);
@@ -188,7 +188,7 @@ TEST(CloudStoreTest, TailSpansExtentBoundaries) {
   CloudStore store(SmallExtents(32));
   const StreamId s = store.CreateStream("log");
   for (int i = 0; i < 8; ++i) {
-    (void)store.Append(s, std::string(20, static_cast<char>('0' + i)));
+    BG3_IGNORE_STATUS(store.Append(s, std::string(20, static_cast<char>('0' + i))));
   }
   auto all = store.TailRecords(s, PagePointer{}, 100).value();
   ASSERT_EQ(all.size(), 8u);
@@ -284,7 +284,7 @@ TEST(CloudStoreTest, ObserverSeesAllEvents) {
   store.SetObserver(&obs);
   const StreamId s = store.CreateStream("data");
   auto p1 = store.Append(s, std::string(20, 'a'));
-  (void)store.Append(s, std::string(20, 'b'));  // seals extent of p1
+  BG3_IGNORE_STATUS(store.Append(s, std::string(20, 'b')));  // seals extent of p1
   store.MarkInvalid(p1.value());
   ASSERT_TRUE(store.FreeExtent(s, p1.value().extent_id).ok());
   EXPECT_EQ(obs.appends, 2);

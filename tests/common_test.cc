@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/threadpool.h"
 #include "test_seed.h"
 
@@ -434,7 +435,7 @@ TEST(ThreadPoolTest, ExecutesAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> done{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&done] { done.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&done] { done.fetch_add(1); }).ok());
   }
   pool.Drain();
   EXPECT_EQ(done.load(), 100);
@@ -443,10 +444,11 @@ TEST(ThreadPoolTest, ExecutesAllTasks) {
 TEST(ThreadPoolTest, DrainWaitsForInFlight) {
   ThreadPool pool(2);
   std::atomic<bool> finished{false};
-  pool.Submit([&finished] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    finished.store(true);
-  });
+  ASSERT_TRUE(pool.Submit([&finished] {
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(50));
+                     finished.store(true);
+                   }).ok());
   pool.Drain();
   EXPECT_TRUE(finished.load());
 }
@@ -454,7 +456,7 @@ TEST(ThreadPoolTest, DrainWaitsForInFlight) {
 TEST(ThreadPoolTest, ShutdownIsIdempotentAndDropsLateTasks) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
-  pool.Submit([&count] { count.fetch_add(1); });
+  ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }).ok());
   pool.Shutdown();
   pool.Shutdown();
   // A late Submit is refused, visibly: Aborted, and the task never runs.
@@ -697,6 +699,120 @@ TEST(RetryTest, ResultVariantSurfacesFirstErrorOnExhaustion) {
   });
   EXPECT_TRUE(res.status().IsIOError());
   EXPECT_NE(res.status().ToString().find("err 1"), std::string::npos);
+}
+
+// --- Lock rank ---------------------------------------------------------------
+//
+// Runtime half of the bg3-lint lock-rank pass (DESIGN.md §5.6): ranked
+// mutexes push onto a thread-local held stack and out-of-order acquisition
+// aborts in debug builds. Release builds compile all of it away, so every
+// assertion on HeldDepth/TopRank is gated on BG3_DCHECK_IS_ON().
+
+TEST(LockRankTest, IncreasingAcquisitionOrderIsAccepted) {
+  Mutex low, high;
+  low.SetRank(10, "test::low");
+  high.SetRank(20, "test::high");
+  low.Lock();
+  high.Lock();
+  if (BG3_DCHECK_IS_ON()) {
+    EXPECT_EQ(lock_rank::HeldDepth(), 2);
+    EXPECT_EQ(lock_rank::TopRank(), 20);
+  }
+  high.Unlock();
+  low.Unlock();
+  EXPECT_EQ(lock_rank::HeldDepth(), 0);
+}
+
+TEST(LockRankTest, UnrankedLocksOptOutOfChecking) {
+  Mutex plain;  // never SetRank'd -> kUnranked
+  plain.Lock();
+  EXPECT_EQ(lock_rank::HeldDepth(), 0);
+  EXPECT_EQ(lock_rank::TopRank(), lock_rank::kUnranked);
+  plain.Unlock();
+}
+
+TEST(LockRankTest, TryLockSkipsOrderCheckButJoinsHeldStack) {
+  Mutex low, high;
+  low.SetRank(10, "test::low");
+  high.SetRank(20, "test::high");
+  // Out-of-order probe: a try-lock cannot deadlock, so no order check —
+  // but the lock still joins the stack and guards later acquisitions.
+  high.Lock();
+  ASSERT_TRUE(low.TryLock());
+  if (BG3_DCHECK_IS_ON()) {
+    EXPECT_EQ(lock_rank::HeldDepth(), 2);
+    EXPECT_EQ(lock_rank::TopRank(), 10);
+  }
+  low.Unlock();
+  high.Unlock();
+  EXPECT_EQ(lock_rank::HeldDepth(), 0);
+}
+
+TEST(LockRankTest, NonLifoReleaseDropsTheMatchingEntry) {
+  Mutex low, high;
+  low.SetRank(10, "test::low");
+  high.SetRank(20, "test::high");
+  low.Lock();
+  high.Lock();
+  low.Unlock();  // release out of LIFO order
+  if (BG3_DCHECK_IS_ON()) {
+    EXPECT_EQ(lock_rank::HeldDepth(), 1);
+    EXPECT_EQ(lock_rank::TopRank(), 20);
+  }
+  high.Unlock();
+  EXPECT_EQ(lock_rank::HeldDepth(), 0);
+}
+
+TEST(LockRankTest, SharedAcquisitionsAreRankedToo) {
+  SharedMutex low;
+  Mutex high;
+  low.SetRank(10, "test::shared_low");
+  high.SetRank(20, "test::high");
+  low.ReaderLock();
+  high.Lock();
+  if (BG3_DCHECK_IS_ON()) {
+    EXPECT_EQ(lock_rank::HeldDepth(), 2);
+    EXPECT_EQ(lock_rank::TopRank(), 20);
+  }
+  high.Unlock();
+  low.ReaderUnlock();
+  EXPECT_EQ(lock_rank::HeldDepth(), 0);
+}
+
+TEST(LockRankTest, GeneratedRankingRespectsWitnessedEdges) {
+  // Acquisition orders witnessed by the static pass; regeneration may
+  // renumber the constants but must keep these edges strict.
+  EXPECT_LT(lock_rank::kBwTreeForest_evict_mu, lock_rank::kOwnerState_mu);
+  EXPECT_LT(lock_rank::kRwNode_flush_mu, lock_rank::kRwNode_staged_mu);
+  EXPECT_LT(lock_rank::kRwNode_flush_mu, lock_rank::kRwNode_ckpt_ptr_mu);
+  EXPECT_GT(lock_rank::kBwTreeForest_evict_mu, lock_rank::kUnranked);
+}
+
+TEST(LockRankDeathTest, DescendingAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low, high;
+  low.SetRank(10, "test::low");
+  high.SetRank(20, "test::high");
+  if (BG3_DCHECK_IS_ON()) {
+    EXPECT_DEATH(
+        {
+          high.Lock();
+          low.Lock();
+        },
+        "lock-rank violation");
+  } else {
+    // Release builds don't check; the acquisitions simply proceed.
+    high.Lock();
+    low.Lock();
+    low.Unlock();
+    high.Unlock();
+  }
+}
+
+TEST(LockRankDeathTest, ReleasingUnheldRankAborts) {
+  if (!BG3_DCHECK_IS_ON()) return;  // inline no-op in release builds
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(lock_rank::NoteRelease(7), "does not hold");
 }
 
 TEST(RetryDeathTest, ZeroAttemptBudgetTrapsWhenDchecksOn) {

@@ -134,7 +134,7 @@ TEST(ForestStressTest, ConcurrentUpsertScanDeleteWithGcAndEviction) {
     f.clock.AdvanceUs(1000);
     auto r = f.reclaimer->RunCycle(/*stream=*/0, /*max_extents=*/2);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
-    f.forest->EvictToBudget(/*budget_bytes=*/16 << 10);
+    BG3_IGNORE_STATUS(f.forest->EvictToBudget(/*budget_bytes=*/16 << 10));
     std::this_thread::yield();
   }
 
@@ -370,7 +370,7 @@ TEST(ForestStressTest, ReadersRaceSplitOutAndBudgetEviction) {
 
   // Driver: forest-wide budget eviction racing the reads and split-outs.
   for (int cycle = 0; cycle < 30; ++cycle) {
-    (void)f.forest->EvictToBudget(/*budget_bytes=*/8 << 10);
+    BG3_IGNORE_STATUS(f.forest->EvictToBudget(/*budget_bytes=*/8 << 10));
     std::this_thread::yield();
   }
   for (int w = 0; w < kWriters; ++w) threads[w].join();

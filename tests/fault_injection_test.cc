@@ -583,7 +583,7 @@ TEST(FaultOverloadMatrixTest, SaturatedWritesShedFailFastAndRecover) {
   for (int i = 0; store->breaker().state() != CircuitBreaker::State::kClosed;
        ++i) {
     ASSERT_LT(i, 100) << "breaker failed to close against a healthy store";
-    (void)rw.Put(Key(5000 + i), "probe");
+    BG3_IGNORE_STATUS(rw.Put(Key(5000 + i), "probe"));
   }
   EXPECT_TRUE(rw.Put(Key(9000), "after-recovery").ok());
   EXPECT_EQ(rw.Get(Key(9000)).value(), "after-recovery");

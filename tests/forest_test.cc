@@ -367,7 +367,7 @@ TEST(ForestTest, BudgetEvictionKeepsHottestPages) {
     return sum;
   }();
 
-  (void)f.forest->EvictToBudget(f.forest->TotalResidentBytes() / 2);
+  BG3_IGNORE_STATUS(f.forest->EvictToBudget(f.forest->TotalResidentBytes() / 2));
 
   // Re-reading the hot owner must not need reloads: its pages survived.
   for (int i = 0; i < 40; ++i) {

@@ -297,8 +297,8 @@ TEST(SpaceReclaimerTest, TotalsAccumulateAcrossCycles) {
       ASSERT_TRUE(f.tree->Upsert(Key(i), std::string(40, 'x')).ok());
     }
   }
-  (void)f.reclaimer->RunCycle(0, 2);
-  (void)f.reclaimer->RunCycle(0, 2);
+  BG3_IGNORE_STATUS(f.reclaimer->RunCycle(0, 2));
+  BG3_IGNORE_STATUS(f.reclaimer->RunCycle(0, 2));
   EXPECT_GE(f.reclaimer->totals().extents_examined, 2u);
 }
 

@@ -163,7 +163,7 @@ TEST(RwRoSyncTest, RoSeesWritesAfterGroupFlushAndCheckpoint) {
   }
   // Checkpoints let the RO discard replay log entries.
   EXPECT_GT(f.rw->last_checkpoint_lsn(), 0u);
-  (void)f.ro->PollWal();
+  BG3_IGNORE_STATUS(f.ro->PollWal());
   EXPECT_EQ(f.ro->PendingRecordCount(), 0u);
 }
 
@@ -256,7 +256,7 @@ TEST(RwRoSyncTest, PendingLogCompactionPreservesCorrectness) {
       ASSERT_TRUE(f.rw->Put(Key(i), "r" + std::to_string(round)).ok());
     }
   }
-  (void)f.ro->PollWal();
+  BG3_IGNORE_STATUS(f.ro->PollWal());
   const size_t before = f.ro->PendingRecordCount();
   f.ro->CompactPendingLogs();
   EXPECT_LT(f.ro->PendingRecordCount(), before);
@@ -268,7 +268,7 @@ TEST(RwRoSyncTest, PendingLogCompactionPreservesCorrectness) {
 TEST(RwRoSyncTest, SyncLatencyRecorded) {
   ReplFixture f;
   for (int i = 0; i < 50; ++i) ASSERT_TRUE(f.rw->Put(Key(i), "v").ok());
-  (void)f.ro->PollWal();
+  BG3_IGNORE_STATUS(f.ro->PollWal());
   EXPECT_EQ(f.ro->sync_latency().Count(), 50u);
   EXPECT_GT(f.ro->sync_latency().Mean(), 0.0);
 }
@@ -331,7 +331,7 @@ TEST(RwRoSyncTest, PendingCompactionWatermarkAndCorrectness) {
       ASSERT_TRUE(f.rw->Put(Key(i), "r" + std::to_string(round)).ok());
     }
   }
-  (void)f.ro->PollWal();
+  BG3_IGNORE_STATUS(f.ro->PollWal());
   EXPECT_EQ(f.ro->PendingRecordCount(), 1600u);  // nothing checkpointed
   f.ro->CompactPendingLogs();
   // Merging keeps at most one record per key per page log (a key may appear
@@ -357,7 +357,7 @@ TEST(RwRoSyncTest, MutationPressureTriggersCheckpoints) {
     ASSERT_TRUE(f.rw->Put(Key(i % 64), "v" + std::to_string(i)).ok());
   }
   EXPECT_GT(f.rw->last_checkpoint_lsn(), 0u);
-  (void)f.ro->PollWal();
+  BG3_IGNORE_STATUS(f.ro->PollWal());
   EXPECT_LT(f.ro->PendingRecordCount(), 10'000u);
   for (int i = 0; i < 64; ++i) EXPECT_TRUE(f.ro->Get(1, Key(i)).ok());
 }

@@ -203,7 +203,7 @@ TEST(WalReaderTest, CursorTracksConsumption) {
   WalFixture f;
   EXPECT_TRUE(f.reader->cursor().IsNull());
   ASSERT_TRUE(f.writer->Append(Mutation(1, "a", "1")).ok());
-  (void)f.reader->Poll();
+  BG3_IGNORE_STATUS(f.reader->Poll());
   EXPECT_FALSE(f.reader->cursor().IsNull());
   EXPECT_TRUE(f.reader->cursor() == f.writer->last_append_ptr());
 }
@@ -219,7 +219,7 @@ TEST(WalReaderTest, SurvivesTruncationOfConsumedPrefix) {
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(writer.Append(Mutation(i, "key-" + std::to_string(i), "v")).ok());
   }
-  (void)reader.Poll();  // consume everything
+  BG3_IGNORE_STATUS(reader.Poll());  // consume everything
   // Truncate the consumed prefix; new appends still flow to this reader.
   (void)store.TruncateStreamBefore(wopts.stream,
                                    reader.cursor().extent_id);
