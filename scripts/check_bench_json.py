@@ -55,6 +55,17 @@ BENCH_EXPECTATIONS = {
         # acceptance bar); the unprotected series shows the collapse.
         "scalars": [("goodput_retention_4x", 0.7)],
     },
+    "restart": {
+        "series": ["checkpointed", "full_replay"],
+        # Instant-restart floors (DESIGN.md §5.7) are deterministic byte
+        # ratios, immune to machine speed: the checkpointed restart must
+        # skip >= 50% of the 16x WAL, and the full-replay baseline must
+        # read >= 4x more bytes than the checkpointed path. Wall-clock
+        # time_to_first_read_us / time_to_full_qps_us ride along in the
+        # series rows for inspection.
+        "scalars": [("replay_savings_16x", 0.5),
+                    ("full_vs_checkpoint_replay_ratio_16x", 4.0)],
+    },
 }
 
 errors = []

@@ -54,6 +54,10 @@ Status BwTree::InstallRecoveredPages(std::vector<RecoveredPage> pages) {
         (!rp.has_high_key || rp.high_key != pages[i + 1].low_key)) {
       return Status::InvalidArgument("recovered pages do not tile key space");
     }
+    if (!rp.resident && (!rp.clean || rp.base_ptr.IsNull())) {
+      return Status::InvalidArgument(
+          "non-resident install requires a clean page with a base image");
+    }
     auto page = std::make_unique<LeafPage>(rp.id);
     page->low_key = rp.low_key;
     {
@@ -62,10 +66,23 @@ Status BwTree::InstallRecoveredPages(std::vector<RecoveredPage> pages) {
       WriterMutexLock init_lock(&page->latch);
       page->high_key = rp.high_key;
       page->has_high_key = rp.has_high_key;
-      page->base_entries = std::move(rp.entries);
       page->base_ptr = rp.base_ptr;
       page->last_lsn = rp.last_lsn;
-      page->dirty = true;  // republish a fresh image on the next flush
+      if (rp.clean) {
+        // The published image is current; keep it authoritative so the
+        // post-recovery flush skips this page (and eviction stays safe).
+        page->dirty = false;
+        page->flushed_lsn = rp.last_lsn;
+      } else {
+        page->dirty = true;  // republish a fresh image on the next flush
+      }
+      if (rp.resident) {
+        page->base_entries = std::move(rp.entries);
+      } else {
+        // Metadata-only install: the first read (or the warm sweep)
+        // demand-loads the base image via EnsureResidentLocked.
+        page->resident = false;
+      }
     }
     max_id = std::max(max_id, rp.id);
     LeafPage* raw = index_.InsertPage(std::move(page));
@@ -281,6 +298,16 @@ Status BwTree::EnsureResidentLocked(LeafPage* leaf, const OpContext* ctx) {
   leaf->resident = true;
   stats_.page_reloads.Inc();
   return Status::OK();
+}
+
+Result<size_t> BwTree::WarmPage(PageId id, const OpContext* ctx) {
+  LeafPage* leaf = index_.FindPage(id);
+  if (leaf == nullptr) return Status::NotFound("page");
+  WriterMutexLock lock(&leaf->latch);
+  if (leaf->resident) return size_t{0};
+  const size_t bytes = leaf->base_ptr.IsNull() ? 0 : leaf->base_ptr.length;
+  BG3_RETURN_IF_ERROR(EnsureResidentLocked(leaf, ctx));
+  return bytes;
 }
 
 size_t BwTree::EvictColdPages(size_t target_resident) {

@@ -108,6 +108,16 @@ struct RecoveredPage {
   /// Current storage image, if any (so the first post-recovery flush can
   /// invalidate it); null when the page was never flushed pre-crash.
   cloud::PagePointer base_ptr;
+  /// Content exactly matches the published base image at `base_ptr` (same
+  /// key range, no deltas, no newer replayed mutation). Clean pages install
+  /// with dirty = false, so the post-recovery flush republishes only what
+  /// the WAL suffix touched — bounded restart instead of O(DB).
+  bool clean = false;
+  /// Install with content materialized (the default). False installs only
+  /// the metadata + base_ptr; the first access demand-loads the base image
+  /// (checkpoint restore: reads go live before the warm sweep finishes).
+  /// Requires `clean` with a non-null base_ptr.
+  bool resident = true;
 };
 
 /// Write/read activity counters of one tree.
@@ -209,9 +219,15 @@ class BwTree {
 
   /// Installs a recovered leaf layout into a tree constructed with
   /// `bootstrap = true`. Pages must tile the key space (first low_key empty,
-  /// contiguous ranges). All pages come up dirty so the next group flush
-  /// republishes fresh images. Call once, before any other operation.
+  /// contiguous ranges). Pages not marked `clean` come up dirty so the next
+  /// group flush republishes fresh images; clean pages keep their published
+  /// image authoritative. Call once, before any other operation.
   Status InstallRecoveredPages(std::vector<RecoveredPage> pages);
+
+  /// Materializes one non-resident page (checkpoint-restore warm sweep or
+  /// restore-priority queue). Returns the storage bytes read — 0 if the
+  /// page was already resident (demand reads may win the race).
+  Result<size_t> WarmPage(PageId id, const OpContext* ctx = nullptr);
 
   // --- space-reclamation support (GC, §3.3) --------------------------------
 

@@ -27,12 +27,12 @@
 //   OwnerState::mu -> PageIndex::mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::Upsert -> Upsert()]
 //   OwnerState::mu -> Stream::mu_  [src/forest/forest.cc:bg3::forest::BwTreeForest::Upsert -> Upsert()]
 //   RoNode::mu_ -> CloudStore::manifest_mu_  [src/replication/ro_node.cc:bg3::replication::RoNode::PollWal -> PollWalLocked()]
-//   RwNode::flush_mu_ -> CloudStore::manifest_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> ManifestPut()]
+//   RwNode::flush_mu_ -> CloudStore::manifest_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> PublishStagedLocked()]
 //   RwNode::flush_mu_ -> CloudStore::topology_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> FlushPage()]
 //   RwNode::flush_mu_ -> LeafPage::latch  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> FlushPage()]
 //   RwNode::flush_mu_ -> PageIndex::mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> DirtyPageIds()]
-//   RwNode::flush_mu_ -> RwNode::ckpt_ptr_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup]
-//   RwNode::flush_mu_ -> RwNode::staged_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup]
+//   RwNode::flush_mu_ -> RwNode::ckpt_ptr_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> PublishStagedLocked()]
+//   RwNode::flush_mu_ -> RwNode::staged_mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> PublishStagedLocked()]
 //   RwNode::flush_mu_ -> Stream::mu_  [src/replication/rw_node.cc:bg3::replication::RwNode::FlushGroup -> FlushPage()]
 
 #ifndef BG3_COMMON_LOCK_RANK_GEN_H_

@@ -1,5 +1,6 @@
 #include "core/graph_db.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.h"
@@ -46,6 +47,21 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
   tracker_ = std::make_unique<gc::ExtentUsageTracker>(time_source_);
   store_->SetObserver(tracker_.get());
 
+  // Checkpoint restore happens before the trees exist: the manifest decides
+  // which trees come up in bootstrap mode with their checkpointed layout.
+  replication::CheckpointManifest restore_manifest;
+  bool restoring = false;
+  if (opts_.checkpoint.enabled && opts_.checkpoint.restore) {
+    auto loaded = replication::LoadCheckpoint(store_, kCheckpointScope);
+    if (loaded.ok()) {
+      restore_manifest = std::move(loaded.value().manifest);
+      checkpoint_fell_back_ = loaded.value().fell_back;
+      restoring = true;
+    }
+  }
+  std::vector<bwtree::RecoveredPage> vertex_pages;
+  if (restoring) vertex_pages = LoadTreeImages(kVertexTreeId);
+
   bwtree::BwTreeOptions vertex_opts;
   vertex_opts.tree_id = kVertexTreeId;
   vertex_opts.base_stream = base_stream_;
@@ -57,14 +73,58 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
   vertex_opts.flush_mode = opts_.forest.tree_options.flush_mode;
   vertex_opts.tolerate_missing_extents = opts_.edge_ttl_us != 0;
   vertex_opts.tick_source = &access_tick_;
+  if (opts_.checkpoint.enabled) {
+    // Checkpointing owns durability: writes stay in memory and the cycle's
+    // bounded flush rounds persist them (the staged images publish through
+    // image_listener_).
+    vertex_opts.flush_mode = bwtree::FlushMode::kDeferred;
+    vertex_opts.listener = &image_listener_;
+    vertex_opts.lsn_source = &vertex_lsn_;
+  }
+  vertex_opts.bootstrap = !vertex_pages.empty();
   vertex_tree_ = std::make_unique<bwtree::BwTree>(store_, vertex_opts);
+  if (vertex_opts.bootstrap) {
+    std::vector<std::pair<bwtree::TreeId, bwtree::PageId>> warm;
+    for (const auto& rp : vertex_pages) {
+      if (!rp.resident) warm.emplace_back(kVertexTreeId, rp.id);
+    }
+    if (vertex_tree_->InstallRecoveredPages(std::move(vertex_pages)).ok()) {
+      warm_queue_.insert(warm_queue_.end(), warm.begin(), warm.end());
+    } else {
+      // Unusable layout (e.g. a crash tore a split's image pair): fall back
+      // to a fresh tree — the vertex data beyond the last coherent images
+      // is past the restore horizon.
+      vertex_opts.bootstrap = false;
+      vertex_tree_ = std::make_unique<bwtree::BwTree>(store_, vertex_opts);
+    }
+  }
 
   forest::ForestOptions forest_opts = opts_.forest;
   forest_opts.tree_options.base_stream = base_stream_;
   forest_opts.tree_options.delta_stream = delta_stream_;
   forest_opts.tree_options.tolerate_missing_extents = opts_.edge_ttl_us != 0;
   forest_opts.tree_options.tick_source = &access_tick_;
+  if (opts_.checkpoint.enabled) {
+    forest_opts.tree_options.flush_mode = bwtree::FlushMode::kDeferred;
+    forest_opts.tree_options.listener = &image_listener_;
+  }
+  std::vector<bwtree::RecoveredPage> init_pages;
+  if (restoring) init_pages = LoadTreeImages(0);
+  forest_opts.bootstrap_init = !init_pages.empty();
   forest_ = std::make_unique<forest::BwTreeForest>(store_, forest_opts);
+  if (forest_opts.bootstrap_init) {
+    std::vector<std::pair<bwtree::TreeId, bwtree::PageId>> warm;
+    for (const auto& rp : init_pages) {
+      if (!rp.resident) warm.emplace_back(0, rp.id);
+    }
+    if (forest_->InstallInitPages(std::move(init_pages)).ok()) {
+      warm_queue_.insert(warm_queue_.end(), warm.begin(), warm.end());
+    } else {
+      forest_opts.bootstrap_init = false;
+      forest_ = std::make_unique<forest::BwTreeForest>(store_, forest_opts);
+    }
+  }
+  if (restoring) RestoreFromManifest(restore_manifest);
 
   resolver_ = std::make_unique<ResolverImpl>(this);
   gc_policy_ = MakeGcPolicy(opts_.gc_policy, opts_.gc_min_fragmentation,
@@ -87,6 +147,12 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
                            &forest_->stats().split_outs);
   reg.RegisterLightCounter(metrics_prefix_ + "forest.evictions",
                            &forest_->stats().evictions);
+  reg.RegisterLightCounter(metrics_prefix_ + "checkpoint.pages_flushed",
+                           &ckpt_pages_flushed_);
+  reg.RegisterLightCounter(metrics_prefix_ + "checkpoint.manifests_written",
+                           &ckpt_manifests_written_);
+  reg.RegisterLightCounter(metrics_prefix_ + "checkpoint.replay_bytes",
+                           &ckpt_replay_bytes_);
   reg.RegisterCallback(metrics_prefix_ + "forest.tree_count",
                        [this] { return uint64_t{forest_->TreeCount()}; });
   reg.RegisterCallback(metrics_prefix_ + "forest.init_entries",
@@ -156,6 +222,7 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
 }
 
 GraphDB::~GraphDB() {
+  StopCheckpointing();
   StopMaintenance();
   MetricsRegistry::Default().DeregisterPrefix(metrics_prefix_);
   store_->SetObserver(nullptr);
@@ -189,6 +256,276 @@ void GraphDB::StopMaintenance() {
     joinee = std::move(maint_thread_);
   }
   maint_cv_.notify_all();
+  joinee.join();
+}
+
+void GraphDB::ImageListener::OnPageFlushed(
+    bwtree::TreeId tree, bwtree::PageId page, bwtree::Lsn flushed_lsn,
+    const cloud::PagePointer& base_ptr,
+    const std::vector<cloud::PagePointer>& delta_ptrs,
+    const std::string& low_key, const std::string& high_key,
+    bool has_high_key) {
+  StagedImage staged;
+  staged.tree = tree;
+  staged.page = page;
+  staged.meta.flushed_lsn = flushed_lsn;
+  staged.meta.base_ptr = base_ptr;
+  staged.meta.delta_ptrs = delta_ptrs;
+  staged.meta.low_key = low_key;
+  staged.meta.high_key = high_key;
+  staged.meta.has_high_key = has_high_key;
+  std::lock_guard<std::mutex> lock(db_->staged_mu_);
+  bwtree::Lsn& tree_lsn = db_->ckpt_tree_lsn_[tree];
+  tree_lsn = std::max(tree_lsn, flushed_lsn);
+  db_->ckpt_staged_.push_back(std::move(staged));
+}
+
+std::vector<bwtree::RecoveredPage> GraphDB::LoadTreeImages(
+    bwtree::TreeId tree) {
+  std::vector<bwtree::RecoveredPage> pages;
+  for (const auto& [key, value] :
+       store_->ManifestList(replication::PageImagePrefix(tree))) {
+    bwtree::TreeId parsed_tree;
+    bwtree::PageId page;
+    if (!replication::ParsePageImageKey(key, &parsed_tree, &page) ||
+        parsed_tree != tree) {
+      continue;
+    }
+    replication::PageImageMeta meta;
+    if (!replication::PageImageMeta::Decode(Slice(value), &meta).ok() ||
+        !meta.delta_ptrs.empty()) {
+      // A corrupt or delta-carrying image cannot be demand-paged; treat the
+      // whole tree as unrestorable (fresh-tree fallback) rather than
+      // resurrecting a partial layout.
+      return {};
+    }
+    bwtree::RecoveredPage rp;
+    rp.id = page;
+    rp.low_key = meta.low_key;
+    rp.high_key = meta.high_key;
+    rp.has_high_key = meta.has_high_key;
+    rp.last_lsn = meta.flushed_lsn;
+    rp.base_ptr = meta.base_ptr;
+    rp.clean = true;
+    // Demand-paged install whenever there is an image to demand; a null
+    // base pointer means the page flushed empty — install it resident.
+    rp.resident = meta.base_ptr.IsNull();
+    pages.push_back(std::move(rp));
+  }
+  return pages;
+}
+
+void GraphDB::RestoreFromManifest(
+    const replication::CheckpointManifest& manifest) {
+  for (const auto& owner : manifest.owners) {
+    forest::OwnerRecord rec;
+    rec.owner = owner.owner;
+    rec.tree_id = owner.tree_id;
+    rec.entry_count = owner.entry_count;
+    std::vector<bwtree::RecoveredPage> pages;
+    if (rec.tree_id != 0) pages = LoadTreeImages(rec.tree_id);
+    std::vector<std::pair<bwtree::TreeId, bwtree::PageId>> warm;
+    for (const auto& rp : pages) {
+      if (!rp.resident) warm.emplace_back(rec.tree_id, rp.id);
+    }
+    if (forest_->RestoreOwner(rec, std::move(pages)).ok()) {
+      warm_queue_.insert(warm_queue_.end(), warm.begin(), warm.end());
+    } else {
+      // Dedicated layout unusable: restore the owner empty, INIT-resident.
+      BG3_IGNORE_STATUS(forest_->RestoreOwner(rec, {}));
+    }
+  }
+  // Post-restore mutations must extend the checkpointed LSN order so the
+  // per-page flushed_lsn <= last_lsn invariant holds.
+  forest_->RestoreLsnFloor(manifest.checkpoint_lsn);
+  bwtree::Lsn cur = vertex_lsn_.load(std::memory_order_relaxed);
+  while (cur < manifest.checkpoint_lsn &&
+         !vertex_lsn_.compare_exchange_weak(cur, manifest.checkpoint_lsn,
+                                            std::memory_order_relaxed)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    for (const auto& t : manifest.trees) {
+      bwtree::Lsn& tree_lsn = ckpt_tree_lsn_[t.tree_id];
+      tree_lsn = std::max(tree_lsn, t.flushed_lsn);
+    }
+  }
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  ckpt_epoch_ = manifest.epoch;
+  restored_from_checkpoint_ = true;
+}
+
+void GraphDB::PublishStagedImages() {
+  std::vector<StagedImage> staged;
+  {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    staged.swap(ckpt_staged_);
+  }
+  if (staged.empty()) return;
+  // Children before parents (page ids are allocated monotonically, so a
+  // split child always outranks its parent) and one image per page — the
+  // same ordering the RW node's group flush uses, so a crash between puts
+  // can only leave an overlap (caught by restore's tiling validation),
+  // never a silent hole.
+  std::sort(staged.begin(), staged.end(),
+            [](const StagedImage& a, const StagedImage& b) {
+              return a.page > b.page;
+            });
+  for (auto it = staged.begin(); it != staged.end();) {
+    auto next = it + 1;
+    if (next != staged.end() && next->tree == it->tree &&
+        next->page == it->page) {
+      if (next->meta.flushed_lsn < it->meta.flushed_lsn) *next = *it;
+      it = staged.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const StagedImage& s : staged) {
+    store_->ManifestPut(replication::PageImageKey(s.tree, s.page),
+                        s.meta.Encode());
+  }
+  ckpt_pages_flushed_.Add(staged.size());
+}
+
+Status GraphDB::CheckpointCycle() {
+  if (!opts_.checkpoint.enabled) {
+    return Status::InvalidArgument("checkpointing disabled");
+  }
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  return CheckpointCycleLocked();
+}
+
+Status GraphDB::CheckpointCycleLocked() {
+  if (!ckpt_cut_.active) {
+    // Begin a fuzzy cut: snapshot every tree's dirty pages. Writers keep
+    // mutating; pages dirtied after this point belong to the next cut.
+    ckpt_cut_.active = true;
+    ckpt_cut_.pending.clear();
+    ckpt_cut_.next = 0;
+    std::vector<bwtree::BwTree*> trees;
+    forest_->AppendTrees(&trees);
+    trees.push_back(vertex_tree_.get());
+    for (bwtree::BwTree* t : trees) {
+      for (bwtree::PageId id : t->DirtyPageIds()) {
+        ckpt_cut_.pending.emplace_back(t->options().tree_id, id);
+      }
+    }
+    return Status::OK();
+  }
+  // One bounded flush round.
+  size_t budget = opts_.checkpoint.max_pages_per_cycle;
+  while (ckpt_cut_.next < ckpt_cut_.pending.size() && budget > 0) {
+    const auto& [tree_id, page_id] = ckpt_cut_.pending[ckpt_cut_.next];
+    bwtree::BwTree* tree = resolver_->Resolve(tree_id);
+    if (tree != nullptr) {
+      Status s = tree->FlushPage(page_id);
+      // NotFound: the page merged away since the snapshot — nothing to
+      // cover. Any other failure keeps the cut open for retry.
+      if (!s.ok() && !s.IsNotFound()) {
+        PublishStagedImages();
+        return s;
+      }
+    }
+    ++ckpt_cut_.next;
+    --budget;
+  }
+  PublishStagedImages();
+  if (ckpt_cut_.next < ckpt_cut_.pending.size()) return Status::OK();
+  // Cut drained: images first, manifest last — the manifest's promise must
+  // never be readable before the images it promises.
+  replication::CheckpointManifest manifest;
+  manifest.epoch = ckpt_epoch_ + 1;
+  {
+    std::lock_guard<std::mutex> staged_lock(staged_mu_);
+    manifest.trees.reserve(ckpt_tree_lsn_.size());
+    for (const auto& [tree_id, lsn] : ckpt_tree_lsn_) {
+      manifest.trees.push_back(replication::CheckpointTree{tree_id, lsn});
+      manifest.checkpoint_lsn = std::max(manifest.checkpoint_lsn, lsn);
+    }
+  }
+  for (const forest::OwnerRecord& rec : forest_->ExportOwners()) {
+    manifest.owners.push_back(
+        replication::CheckpointOwner{rec.owner, rec.tree_id, rec.entry_count});
+  }
+  BG3_RETURN_IF_ERROR(
+      replication::PublishCheckpoint(store_, kCheckpointScope, manifest));
+  ++ckpt_epoch_;
+  ckpt_manifests_written_.Inc();
+  ckpt_cut_ = CheckpointCut{};
+  return Status::OK();
+}
+
+Status GraphDB::CheckpointNow() {
+  if (!opts_.checkpoint.enabled) {
+    return Status::InvalidArgument("checkpointing disabled");
+  }
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  const uint64_t target = ckpt_epoch_ + 1;
+  while (ckpt_epoch_ < target) {
+    BG3_RETURN_IF_ERROR(CheckpointCycleLocked());
+  }
+  return Status::OK();
+}
+
+Result<size_t> GraphDB::WarmRestoredPages(size_t max) {
+  std::lock_guard<std::mutex> lock(warm_mu_);
+  size_t warmed = 0;
+  while (warm_next_ < warm_queue_.size() && warmed < max) {
+    const auto& [tree_id, page_id] = warm_queue_[warm_next_];
+    bwtree::BwTree* tree = resolver_->Resolve(tree_id);
+    if (tree != nullptr) {
+      auto bytes = tree->WarmPage(page_id);
+      if (bytes.ok()) {
+        ckpt_replay_bytes_.Add(bytes.value());
+      } else if (!bytes.status().IsNotFound()) {
+        // Leave the entry in place; the next drain retries it.
+        return bytes.status();
+      }
+    }
+    ++warm_next_;
+    ++warmed;
+  }
+  return warm_queue_.size() - warm_next_;
+}
+
+uint64_t GraphDB::checkpoint_epoch() const {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  return ckpt_epoch_;
+}
+
+void GraphDB::StartCheckpointing() {
+  if (!opts_.checkpoint.enabled) return;
+  std::lock_guard<std::mutex> lock(ckpt_thread_mu_);
+  if (ckpt_thread_.joinable()) return;
+  ckpt_stop_ = false;
+  const uint64_t interval_ms = opts_.checkpoint.interval_ms;
+  ckpt_thread_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(ckpt_thread_mu_);
+    while (!ckpt_stop_) {
+      ckpt_thread_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                               [this] { return ckpt_stop_; });
+      if (ckpt_stop_) return;
+      lock.unlock();
+      // Restore warming first (time-to-full-QPS), then one checkpoint
+      // increment. Best-effort: failures keep the cut/queue for retry.
+      BG3_IGNORE_STATUS(
+          WarmRestoredPages(opts_.checkpoint.warm_pages_per_cycle).status());
+      BG3_IGNORE_STATUS(CheckpointCycle());
+      lock.lock();
+    }
+  });
+}
+
+void GraphDB::StopCheckpointing() {
+  std::thread joinee;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_thread_mu_);
+    if (!ckpt_thread_.joinable()) return;
+    ckpt_stop_ = true;
+    joinee = std::move(ckpt_thread_);
+  }
+  ckpt_thread_cv_.notify_all();
   joinee.join();
 }
 

@@ -63,6 +63,32 @@ struct GraphDBOptions {
   /// behaves as the cache it is in the paper's architecture (§2.1).
   size_t memory_budget_bytes = 0;
 
+  /// Continuous fuzzy checkpointing of the whole engine (DESIGN.md §5.7).
+  /// When enabled, every tree (forest + vertex) runs deferred flushing and
+  /// a decoupled checkpoint thread incrementally flushes dirty pages,
+  /// publishes their images in the shared mapping table, and commits a
+  /// checkpoint manifest (tree list + forest owner registry) under the
+  /// "db" scope. Restart restores the manifest's layout with demand-paged
+  /// (non-resident) pages: reads go live at checkpoint consistency after a
+  /// bounded amount of I/O, independent of database size. Durability is
+  /// checkpoint-granular — the WAL that narrows the loss window to the
+  /// replayed suffix lives in the replication layer (RwNode/RwRestart).
+  struct CheckpointPolicy {
+    bool enabled = false;
+    /// Background checkpoint thread cadence (StartCheckpointing).
+    uint64_t interval_ms = 200;
+    /// Dirty pages flushed per CheckpointCycle — the increment size.
+    size_t max_pages_per_cycle = 64;
+    /// Look for a "db"-scope checkpoint manifest at construction and
+    /// restore from it (no-op when none exists).
+    bool restore = true;
+    /// Pages the background thread rewarm per cycle after a restore (the
+    /// restore-priority queue drain rate; demand reads warm their own
+    /// pages regardless).
+    size_t warm_pages_per_cycle = 32;
+  };
+  CheckpointPolicy checkpoint;
+
   /// Validates ranges; returns InvalidArgument on nonsense combinations.
   Status Validate() const;
 };

@@ -45,14 +45,17 @@ BwTreeForest::BwTreeForest(cloud::CloudStore* store,
   for (size_t i = 0; i < opts_.owner_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  init_tree_ = std::make_unique<bwtree::BwTree>(store_, MakeTreeOptions(0));
+  init_tree_ = std::make_unique<bwtree::BwTree>(
+      store_, MakeTreeOptions(0, opts_.bootstrap_init));
   MutexLock lock(&registry_mu_);
   registry_[0] = init_tree_.get();
 }
 
-bwtree::BwTreeOptions BwTreeForest::MakeTreeOptions(bwtree::TreeId id) const {
+bwtree::BwTreeOptions BwTreeForest::MakeTreeOptions(bwtree::TreeId id,
+                                                    bool bootstrap) const {
   bwtree::BwTreeOptions o = opts_.tree_options;
   o.tree_id = id;
+  o.bootstrap = bootstrap;
   if (o.lsn_source == nullptr) {
     o.lsn_source = const_cast<std::atomic<bwtree::Lsn>*>(&lsn_source_);
   }
@@ -365,6 +368,76 @@ BwTreeForest::LatchCounters BwTreeForest::AggregateLatchCounters() const {
 uint64_t BwTreeForest::TotalLatchConflicts() const {
   const LatchCounters agg = AggregateLatchCounters();
   return agg.shared_conflicts + agg.exclusive_conflicts;
+}
+
+std::vector<OwnerRecord> BwTreeForest::ExportOwners() const {
+  std::vector<OwnerRecord> out;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    for (const auto& [owner, state] : shard->owners) {
+      OwnerRecord rec;
+      rec.owner = owner;
+      bwtree::BwTree* tree =
+          state->published.load(std::memory_order_acquire);
+      rec.tree_id = tree == nullptr ? 0 : tree->options().tree_id;
+      rec.entry_count = state->count.load(std::memory_order_relaxed);
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+Status BwTreeForest::RestoreOwner(const OwnerRecord& rec,
+                                  std::vector<bwtree::RecoveredPage> pages) {
+  if (rec.tree_id == 0 && !pages.empty()) {
+    return Status::InvalidArgument("INIT pages go through InstallInitPages");
+  }
+  auto owned = GetOrCreateState(rec.owner);
+  OwnerState* state = owned.get();
+  MutexLock lock(&state->mu);
+  if (state->tree != nullptr) {
+    return Status::InvalidArgument("owner already dedicated");
+  }
+  if (rec.tree_id == 0 || pages.empty()) {
+    // INIT residency. A dedicated owner with no checkpointed images lost
+    // its (never-flushed) dedicated content past the restore horizon; it
+    // comes back empty and re-dedicates once it grows again.
+    const uint64_t count = rec.tree_id == 0 ? rec.entry_count : 0;
+    state->count.store(count, std::memory_order_relaxed);
+    if (rec.tree_id == 0) {
+      init_entries_.fetch_add(rec.entry_count, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+  // Future split-outs must mint ids past every restored tree.
+  bwtree::TreeId cur = next_tree_id_.load(std::memory_order_relaxed);
+  while (cur <= rec.tree_id &&
+         !next_tree_id_.compare_exchange_weak(cur, rec.tree_id + 1,
+                                              std::memory_order_relaxed)) {
+  }
+  auto tree = std::make_unique<bwtree::BwTree>(
+      store_, MakeTreeOptions(rec.tree_id, /*bootstrap=*/true));
+  BG3_RETURN_IF_ERROR(tree->InstallRecoveredPages(std::move(pages)));
+  {
+    MutexLock reg_lock(&registry_mu_);
+    registry_[rec.tree_id] = tree.get();
+  }
+  state->count.store(rec.entry_count, std::memory_order_relaxed);
+  state->tree = std::move(tree);
+  state->published.store(state->tree.get(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status BwTreeForest::InstallInitPages(std::vector<bwtree::RecoveredPage> pages) {
+  BG3_CHECK(opts_.bootstrap_init) << "InstallInitPages requires bootstrap_init";
+  return init_tree_->InstallRecoveredPages(std::move(pages));
+}
+
+void BwTreeForest::RestoreLsnFloor(bwtree::Lsn lsn) {
+  bwtree::Lsn cur = lsn_source_.load(std::memory_order_relaxed);
+  while (cur < lsn && !lsn_source_.compare_exchange_weak(
+                          cur, lsn, std::memory_order_relaxed)) {
+  }
 }
 
 void BwTreeForest::CheckInvariants() const {

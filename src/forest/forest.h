@@ -39,6 +39,21 @@ struct ForestOptions {
 
   /// Shard count of the owner hash table.
   size_t owner_shards = 64;
+
+  /// Checkpoint restore: create the INIT tree in bootstrap mode (no initial
+  /// page) so the restorer can install its checkpointed layout via
+  /// InstallInitPages before any request is served.
+  bool bootstrap_init = false;
+};
+
+/// One owner-table row exported with a checkpoint (the core layer persists
+/// these in the checkpoint manifest): which tree the owner's adjacency list
+/// routes to (0 = the shared INIT tree) and its tracked entry count, so a
+/// restored forest resumes split-out/eviction decisions without rescanning.
+struct OwnerRecord {
+  OwnerId owner = 0;
+  bwtree::TreeId tree_id = 0;
+  uint64_t entry_count = 0;
 };
 
 struct ForestStats {
@@ -135,6 +150,28 @@ class BwTreeForest {
   /// Sum of shared + exclusive conflicts across all trees.
   uint64_t TotalLatchConflicts() const;
 
+  // --- checkpoint restore (DESIGN.md §5.7) ---------------------------------
+
+  /// Snapshot of the owner table for a checkpoint manifest.
+  std::vector<OwnerRecord> ExportOwners() const;
+
+  /// Recreates one owner from a checkpoint. Non-empty `pages` rebuilds the
+  /// owner's dedicated tree (bootstrap mode, recovered layout installed,
+  /// registered and published). Empty `pages` restores the owner as
+  /// INIT-resident; a dedicated owner whose images never reached the
+  /// checkpoint falls back to an empty INIT residency (its post-checkpoint
+  /// content is beyond the restore horizon). Call before serving requests.
+  Status RestoreOwner(const OwnerRecord& rec,
+                      std::vector<bwtree::RecoveredPage> pages);
+
+  /// Installs the INIT tree's checkpointed layout (requires bootstrap_init).
+  Status InstallInitPages(std::vector<bwtree::RecoveredPage> pages);
+
+  /// Raises the shared LSN source to at least `lsn` so post-restore
+  /// mutations never run the per-page flushed_lsn <= last_lsn invariant
+  /// backwards (page-id collision safety is handled per install).
+  void RestoreLsnFloor(bwtree::Lsn lsn);
+
   /// INIT-tree composite key helpers, exposed for tests.
   static std::string MakeInitKey(OwnerId owner, const Slice& sort_key);
   static std::string OwnerPrefix(OwnerId owner);
@@ -183,7 +220,8 @@ class BwTreeForest {
   /// entries and splits it out.
   void MaybeEvictFromInit();
 
-  bwtree::BwTreeOptions MakeTreeOptions(bwtree::TreeId id) const;
+  bwtree::BwTreeOptions MakeTreeOptions(bwtree::TreeId id,
+                                        bool bootstrap = false) const;
 
   cloud::CloudStore* const store_;
   const ForestOptions opts_;

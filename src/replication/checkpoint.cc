@@ -1,0 +1,347 @@
+#include "replication/checkpoint.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "replication/rw_node.h"
+
+namespace bg3::replication {
+
+std::string CheckpointManifest::Encode() const {
+  std::string out;
+  PutFixed64(&out, epoch);
+  PutFixed32(&out, wal_stream);
+  wal_cursor.EncodeTo(&out);
+  PutFixed64(&out, checkpoint_lsn);
+  PutVarint32(&out, static_cast<uint32_t>(trees.size()));
+  for (const CheckpointTree& t : trees) {
+    PutVarint64(&out, t.tree_id);
+    PutFixed64(&out, t.flushed_lsn);
+  }
+  PutVarint32(&out, static_cast<uint32_t>(owners.size()));
+  for (const CheckpointOwner& o : owners) {
+    PutFixed64(&out, o.owner);
+    PutVarint64(&out, o.tree_id);
+    PutVarint64(&out, o.entry_count);
+  }
+  PutFixed32(&out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+Status CheckpointManifest::Decode(const Slice& input, CheckpointManifest* out) {
+  if (input.size() < 4) return Status::Corruption("checkpoint manifest short");
+  const size_t body_len = input.size() - 4;
+  const uint32_t stored_crc = DecodeFixed32(input.data() + body_len);
+  if (Crc32c(input.data(), body_len) != stored_crc) {
+    return Status::Corruption("checkpoint manifest crc mismatch");
+  }
+  Slice in(input.data(), body_len);
+  uint32_t tree_count = 0;
+  if (!GetFixed64(&in, &out->epoch) || !GetFixed32(&in, &out->wal_stream) ||
+      !cloud::PagePointer::DecodeFrom(&in, &out->wal_cursor) ||
+      !GetFixed64(&in, &out->checkpoint_lsn) ||
+      !GetVarint32(&in, &tree_count)) {
+    return Status::Corruption("checkpoint manifest header");
+  }
+  out->trees.clear();
+  out->trees.reserve(tree_count);
+  for (uint32_t i = 0; i < tree_count; ++i) {
+    CheckpointTree t;
+    if (!GetVarint64(&in, &t.tree_id) || !GetFixed64(&in, &t.flushed_lsn)) {
+      return Status::Corruption("checkpoint manifest tree entry");
+    }
+    out->trees.push_back(t);
+  }
+  uint32_t owner_count = 0;
+  if (!GetVarint32(&in, &owner_count)) {
+    return Status::Corruption("checkpoint manifest owner count");
+  }
+  out->owners.clear();
+  out->owners.reserve(owner_count);
+  for (uint32_t i = 0; i < owner_count; ++i) {
+    CheckpointOwner o;
+    if (!GetFixed64(&in, &o.owner) || !GetVarint64(&in, &o.tree_id) ||
+        !GetVarint64(&in, &o.entry_count)) {
+      return Status::Corruption("checkpoint manifest owner entry");
+    }
+    out->owners.push_back(o);
+  }
+  if (!in.empty()) return Status::Corruption("checkpoint manifest trailing");
+  return Status::OK();
+}
+
+std::string CheckpointHeadKey(const std::string& scope) {
+  return "ckpt/" + scope + "/head";
+}
+
+std::string CheckpointSlotKey(const std::string& scope, uint64_t epoch) {
+  return "ckpt/" + scope + "/slot" + std::to_string(epoch & 1);
+}
+
+std::string WalCheckpointScope(cloud::StreamId stream) {
+  return "wal" + std::to_string(stream);
+}
+
+Status PublishCheckpoint(cloud::CloudStore* store, const std::string& scope,
+                         const CheckpointManifest& manifest) {
+  // Slot first, head second. The head value is CRC-framed like the slots so
+  // a torn head read is detectable rather than silently misdirecting.
+  store->ManifestPut(CheckpointSlotKey(scope, manifest.epoch),
+                     manifest.Encode());
+  std::string head;
+  PutFixed64(&head, manifest.epoch);
+  PutFixed32(&head, Crc32c(head.data(), head.size()));
+  store->ManifestPut(CheckpointHeadKey(scope), head);
+  return Status::OK();
+}
+
+namespace {
+
+Result<std::string> RetryingGet(cloud::CloudStore* store,
+                                const std::string& key,
+                                const RetryOptions& retry,
+                                const OpContext* ctx) {
+  RetryOptions opts = retry;
+  opts.ctx = ctx;
+  return RetryResultWithBackoff(
+      opts, [&] { return store->ManifestGet(key, nullptr, ctx); });
+}
+
+/// Decodes one slot; any failure (missing, torn, epoch echo mismatch) is
+/// reported as a non-OK status so the caller can fall back.
+Status TryLoadSlot(cloud::CloudStore* store, const std::string& scope,
+                   uint64_t epoch, const RetryOptions& retry,
+                   const OpContext* ctx, CheckpointManifest* out) {
+  auto raw = RetryingGet(store, CheckpointSlotKey(scope, epoch), retry, ctx);
+  BG3_RETURN_IF_ERROR(raw.status());
+  BG3_RETURN_IF_ERROR(CheckpointManifest::Decode(Slice(raw.value()), out));
+  if (out->epoch != epoch) {
+    return Status::Corruption("checkpoint slot epoch mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LoadedCheckpoint> LoadCheckpoint(cloud::CloudStore* store,
+                                        const std::string& scope,
+                                        const RetryOptions& retry,
+                                        const OpContext* ctx) {
+  auto head_raw = RetryingGet(store, CheckpointHeadKey(scope), retry, ctx);
+  if (head_raw.status().IsNotFound()) {
+    return Status::NotFound("no checkpoint published for scope " + scope);
+  }
+  BG3_RETURN_IF_ERROR(head_raw.status());
+
+  uint64_t head_epoch = 0;
+  bool head_ok = false;
+  {
+    Slice in(head_raw.value());
+    uint32_t crc = 0;
+    if (in.size() == 12 && GetFixed64(&in, &head_epoch) &&
+        GetFixed32(&in, &crc) &&
+        crc == Crc32c(head_raw.value().data(), 8)) {
+      head_ok = true;
+    }
+  }
+
+  LoadedCheckpoint loaded;
+  if (head_ok) {
+    Status s =
+        TryLoadSlot(store, scope, head_epoch, retry, ctx, &loaded.manifest);
+    if (s.ok()) return loaded;
+    if (!s.IsNotFound() && !s.IsCorruption()) return s;  // substrate failure
+    // Torn or missing head slot: fall back to the previous epoch's slot —
+    // the publish order (slot, then head) guarantees it was complete before
+    // the head ever pointed past it.
+    loaded.fell_back = true;
+    s = TryLoadSlot(store, scope, head_epoch - 1, retry, ctx,
+                    &loaded.manifest);
+    if (s.ok()) return loaded;
+    if (!s.IsNotFound() && !s.IsCorruption()) return s;
+    return Status::NotFound("no usable checkpoint for scope " + scope);
+  }
+
+  // Torn head: probe both slots and take the newest decodable manifest.
+  loaded.fell_back = true;
+  CheckpointManifest a, b;
+  const bool have_a =
+      TryLoadSlot(store, scope, 0, retry, ctx, &a).ok();
+  const bool have_b =
+      TryLoadSlot(store, scope, 1, retry, ctx, &b).ok();
+  if (!have_a && !have_b) {
+    return Status::NotFound("no usable checkpoint for scope " + scope);
+  }
+  if (have_a && (!have_b || a.epoch > b.epoch)) {
+    loaded.manifest = std::move(a);
+  } else {
+    loaded.manifest = std::move(b);
+  }
+  return loaded;
+}
+
+Checkpointer::Checkpointer(cloud::CloudStore* store, RwNode* node,
+                           const CheckpointerOptions& options)
+    : store_(store),
+      node_(node),
+      opts_(options),
+      scope_(WalCheckpointScope(node->options().wal.stream)),
+      metrics_prefix_("bg3.replication.ckpt" +
+                      std::to_string(MetricsRegistry::NextInstanceId("ckpt")) +
+                      ".") {
+  // Continue the epoch sequence of any prior incarnation, so slot
+  // alternation keeps protecting the previous manifest.
+  if (auto prior = LoadCheckpoint(store_, scope_); prior.ok()) {
+    epoch_ = prior.value().manifest.epoch;
+    published_lsn_ = prior.value().manifest.checkpoint_lsn;
+  }
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.RegisterCounter(metrics_prefix_ + "cuts_started", &stats_.cuts_started);
+  reg.RegisterCounter(metrics_prefix_ + "pages_flushed", &stats_.pages_flushed);
+  reg.RegisterCounter(metrics_prefix_ + "manifests_written",
+                      &stats_.manifests_written);
+  reg.RegisterCounter(metrics_prefix_ + "wal_extents_truncated",
+                      &stats_.wal_extents_truncated);
+  reg.RegisterCounter(metrics_prefix_ + "step_errors", &stats_.step_errors);
+}
+
+Checkpointer::~Checkpointer() {
+  Stop();
+  MetricsRegistry::Default().DeregisterPrefix(metrics_prefix_);
+}
+
+void Checkpointer::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void Checkpointer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  thread_cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    running_ = false;
+  }
+}
+
+void Checkpointer::ThreadMain() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(thread_mu_);
+      thread_cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                          [this] { return stop_; });
+      if (stop_) return;
+    }
+    // Substrate errors abandon the step but keep the cut open; the next
+    // tick resumes where this one stopped (counted in step_errors).
+    BG3_IGNORE_STATUS(Step());
+  }
+}
+
+Status Checkpointer::Step() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StepLocked();
+}
+
+Status Checkpointer::CheckpointNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  do {
+    BG3_RETURN_IF_ERROR(StepLocked());
+  } while (cut_.active);
+  return Status::OK();
+}
+
+bool Checkpointer::CutInProgress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cut_.active;
+}
+
+uint64_t Checkpointer::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+bwtree::Lsn Checkpointer::published_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_lsn_;
+}
+
+Status Checkpointer::StepLocked() {
+  if (!cut_.active) {
+    const bwtree::Lsn l0 = node_->CurrentLsn();
+    if (l0 == published_lsn_ && !node_->HasStagedImages()) {
+      return Status::OK();  // nothing durable to add since the last manifest
+    }
+    // Fuzzy-cut capture order — LSN, then WAL flush + cursor, then the
+    // dirty snapshot (see the class comment for the soundness argument).
+    BG3_RETURN_IF_ERROR(node_->wal_writer()->Flush());
+    cut_.lsn = l0;
+    cut_.wal_cursor = node_->wal_writer()->last_append_ptr();
+    cut_.pending = node_->tree()->DirtyPageIds();
+    cut_.next = 0;
+    cut_.active = true;
+    stats_.cuts_started.Inc();
+    return Status::OK();
+  }
+
+  if (cut_.next < cut_.pending.size()) {
+    const size_t end =
+        std::min(cut_.pending.size(), cut_.next + opts_.max_pages_per_round);
+    while (cut_.next < end) {
+      // A page the group flusher beat us to is already clean — FlushPage is
+      // a latched no-op then; its staged image publishes with our commit.
+      Status s = node_->tree()->FlushPage(cut_.pending[cut_.next]);
+      if (!s.ok() && !s.IsNotFound()) {
+        stats_.step_errors.Inc();
+        return s;
+      }
+      stats_.pages_flushed.Inc();
+      ++cut_.next;
+    }
+    if (cut_.next < cut_.pending.size()) return Status::OK();
+  }
+
+  if (Status s = PublishCutLocked(); !s.ok()) {
+    stats_.step_errors.Inc();
+    return s;
+  }
+  return Status::OK();
+}
+
+Status Checkpointer::PublishCutLocked() {
+  // Every page of the cut has an image staged (or already published).
+  // Publish order: mapping entries + WAL checkpoint record first, the
+  // checkpoint manifest last — the manifest's promise ("images cover
+  // everything <= checkpoint_lsn") must never be readable before the
+  // images themselves are.
+  BG3_RETURN_IF_ERROR(node_->CommitCheckpoint(cut_.lsn));
+  CheckpointManifest m;
+  m.epoch = epoch_ + 1;
+  m.wal_stream = node_->options().wal.stream;
+  m.wal_cursor = cut_.wal_cursor;
+  m.checkpoint_lsn = cut_.lsn;
+  m.trees.push_back({node_->options().tree.tree_id, cut_.lsn});
+  BG3_RETURN_IF_ERROR(PublishCheckpoint(store_, scope_, m));
+  epoch_ = m.epoch;
+  published_lsn_ = cut_.lsn;
+  stats_.manifests_written.Inc();
+  if (opts_.truncate_wal && !cut_.wal_cursor.IsNull()) {
+    stats_.wal_extents_truncated.Add(store_->TruncateStreamBefore(
+        m.wal_stream, cut_.wal_cursor.extent_id));
+  }
+  cut_ = Cut{};
+  return Status::OK();
+}
+
+}  // namespace bg3::replication

@@ -1,0 +1,191 @@
+#ifndef BG3_REPLICATION_CHECKPOINT_H_
+#define BG3_REPLICATION_CHECKPOINT_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "cloud/cloud_store.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/retry.h"
+
+namespace bg3::replication {
+
+class RwNode;
+
+/// One tree covered by a checkpoint: every mutation of `tree_id` with
+/// LSN <= `flushed_lsn` is contained in the published page images.
+struct CheckpointTree {
+  bwtree::TreeId tree_id = 0;
+  bwtree::Lsn flushed_lsn = 0;
+};
+
+/// Forest owner-registry entry persisted with a checkpoint: which tree an
+/// owner's adjacency list lives in (0 = the shared INIT tree) and how many
+/// entries it had, so a restored forest resumes split-out/merge-back
+/// decisions without rescanning (core layer; unused by WAL-stream scopes).
+struct CheckpointOwner {
+  uint64_t owner = 0;
+  bwtree::TreeId tree_id = 0;
+  uint64_t entry_count = 0;
+};
+
+/// The durable checkpoint manifest (DESIGN.md §5.7). Its contract: every
+/// mutation with LSN <= `checkpoint_lsn` is covered by page images published
+/// in the shared mapping table, so recovery may start its WAL scan strictly
+/// after `wal_cursor` and drop replayed mutations at or below the LSN —
+/// replay cost is the WAL *suffix*, independent of total WAL length.
+struct CheckpointManifest {
+  uint64_t epoch = 0;  ///< monotonically increasing publish counter.
+  cloud::StreamId wal_stream = 0;
+  /// Last WAL batch whose records are all covered; null when the scope has
+  /// no WAL (GraphDB-level checkpoints).
+  cloud::PagePointer wal_cursor;
+  bwtree::Lsn checkpoint_lsn = 0;
+  std::vector<CheckpointTree> trees;    ///< last-flushed LSN per tree.
+  std::vector<CheckpointOwner> owners;  ///< forest owner registry.
+
+  /// Encoding carries a trailing CRC-32C; Decode fails with Corruption on
+  /// any mismatch, which is what makes torn-manifest fallback detectable.
+  std::string Encode() const;
+  static Status Decode(const Slice& input, CheckpointManifest* out);
+};
+
+/// Manifest keys. Two alternating slots plus a head pointer give atomic
+/// checkpoint publication on a plain KV manifest: the new manifest is
+/// written to slot (epoch % 2) first, then the head is flipped to the new
+/// epoch. A crash (or torn write) between the two steps leaves the head on
+/// the previous epoch, whose slot is untouched — recovery falls back to it.
+std::string CheckpointHeadKey(const std::string& scope);
+std::string CheckpointSlotKey(const std::string& scope, uint64_t epoch);
+/// Scope naming for per-WAL-stream checkpoints (RW-node Checkpointer).
+std::string WalCheckpointScope(cloud::StreamId stream);
+
+/// Slot write then head flip, in that order.
+Status PublishCheckpoint(cloud::CloudStore* store, const std::string& scope,
+                         const CheckpointManifest& manifest);
+
+struct LoadedCheckpoint {
+  CheckpointManifest manifest;
+  /// True when the head-designated slot was unusable (torn/corrupt/missing)
+  /// and the previous epoch's slot was used instead.
+  bool fell_back = false;
+};
+
+/// Loads the newest durable checkpoint of `scope`. Falls back to the other
+/// slot when the head slot is torn; NotFound when no usable checkpoint
+/// exists (never checkpointed, or both slots torn — full-WAL replay).
+Result<LoadedCheckpoint> LoadCheckpoint(cloud::CloudStore* store,
+                                        const std::string& scope,
+                                        const RetryOptions& retry = {},
+                                        const OpContext* ctx = nullptr);
+
+/// Continuous fuzzy checkpointing options.
+struct CheckpointerOptions {
+  /// Background thread cadence; each tick runs one bounded Step().
+  uint64_t interval_ms = 20;
+  /// Dirty pages flushed per Step() — the increment size. Small values keep
+  /// the checkpoint thread from monopolizing the store; the cut just takes
+  /// more steps to drain.
+  size_t max_pages_per_round = 32;
+  /// Advance the WAL truncation point to the checkpoint cursor after each
+  /// durable publish. Only safe when no reader's cursor can be behind the
+  /// checkpoint (single-node deployments, or truncation coordinated by
+  /// Cluster::TruncateWal); hence off by default.
+  bool truncate_wal = false;
+};
+
+struct CheckpointerStats {
+  Counter cuts_started;
+  Counter pages_flushed;
+  Counter manifests_written;
+  Counter wal_extents_truncated;
+  Counter step_errors;  ///< Steps abandoned on I/O error (cut stays open).
+};
+
+/// The decoupled checkpoint thread (DESIGN.md §5.7): incrementally flushes
+/// the RW node's dirty pages and publishes a checkpoint manifest, without
+/// ever blocking the write path for more than one bounded flush round.
+///
+/// A cut is fuzzy in the ARIES sense — writers keep mutating while it
+/// drains. Soundness of the capture order (LSN, WAL flush + cursor, dirty
+/// snapshot): a writer assigns its LSN, appends to the WAL and sets the
+/// page's dirty bit all under the exclusive leaf latch, so any mutation
+/// with LSN <= the cut LSN either has its page in the dirty snapshot (the
+/// snapshot latches each leaf) or the page was flushed since — in both
+/// cases an image covering it is staged before the manifest publishes.
+/// Mutations that land after the WAL-flush point sit past the cut cursor
+/// and are replayed from the suffix; replaying a record an image already
+/// covers is harmless (RO replay is LSN-gated per page).
+class Checkpointer {
+ public:
+  Checkpointer(cloud::CloudStore* store, RwNode* node,
+               const CheckpointerOptions& options = {});
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Starts / stops the background thread. Stop() is idempotent and leaves
+  /// any open cut to be finished by later Step()/CheckpointNow() calls.
+  void Start();
+  void Stop();
+
+  /// One bounded increment of the state machine: begin a cut, flush the
+  /// next page round, or publish. Deterministic test entry point; also what
+  /// each background tick runs. An I/O failure abandons the step but keeps
+  /// the cut open — the next step retries the remaining pages.
+  Status Step();
+
+  /// Drives the current (or a fresh) cut to a durable manifest.
+  Status CheckpointNow();
+
+  bool CutInProgress() const;
+  uint64_t epoch() const;
+  /// LSN of the newest durable (manifest-published) checkpoint.
+  bwtree::Lsn published_lsn() const;
+  const std::string& scope() const { return scope_; }
+  CheckpointerStats& stats() { return stats_; }
+
+ private:
+  struct Cut {
+    bool active = false;
+    bwtree::Lsn lsn = 0;
+    cloud::PagePointer wal_cursor;
+    std::vector<bwtree::PageId> pending;  ///< dirty snapshot, drained in order.
+    size_t next = 0;
+  };
+
+  Status StepLocked();
+  Status PublishCutLocked();
+  void ThreadMain();
+
+  cloud::CloudStore* const store_;
+  RwNode* const node_;
+  const CheckpointerOptions opts_;
+  const std::string scope_;
+
+  /// Serializes Step/CheckpointNow/Stop; plain std::mutex (like the GraphDB
+  /// maintenance thread) — it never nests inside ranked locks.
+  mutable std::mutex mu_;
+  Cut cut_;
+  uint64_t epoch_ = 0;
+  bwtree::Lsn published_lsn_ = 0;
+
+  std::thread thread_;
+  std::mutex thread_mu_;
+  std::condition_variable thread_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+
+  CheckpointerStats stats_;
+  std::string metrics_prefix_;
+};
+
+}  // namespace bg3::replication
+
+#endif  // BG3_REPLICATION_CHECKPOINT_H_

@@ -18,6 +18,10 @@ Bg3Cluster::Bg3Cluster(cloud::CloudStore* store, const ClusterOptions& options)
     part->wal_stream =
         store_->CreateStream("cluster-p" + std::to_string(p) + "-wal");
     part->leader = std::make_unique<RwNode>(store_, LeaderOptions(*part));
+    if (opts_.checkpointing) {
+      part->checkpointer = std::make_unique<Checkpointer>(
+          store_, part->leader.get(), opts_.checkpointer);
+    }
     for (int f = 0; f < opts_.followers_per_partition; ++f) {
       RoNodeOptions ro = opts_.ro;
       ro.wal_stream = part->wal_stream;
@@ -103,11 +107,30 @@ Status Bg3Cluster::CrashAndRecoverLeader(int partition) {
   }
   Partition& part = *parts_[partition];
   const RwNodeOptions opts = LeaderOptions(part);
-  part.leader.reset();  // crash: all volatile state gone
+  part.checkpointer.reset();  // dies with the leader it observed
+  part.leader.reset();        // crash: all volatile state gone
+  // Recover resumes from the newest wal<stream>-scope checkpoint manifest
+  // (when one exists) and replays only the WAL suffix past its cursor.
   auto recovered = RwNode::Recover(store_, opts);
   BG3_RETURN_IF_ERROR(recovered.status());
   part.leader = recovered.take();
+  if (opts_.checkpointing) {
+    part.checkpointer = std::make_unique<Checkpointer>(
+        store_, part.leader.get(), opts_.checkpointer);
+  }
   return Status::OK();
+}
+
+void Bg3Cluster::StartCheckpointers() {
+  for (auto& part : parts_) {
+    if (part->checkpointer != nullptr) part->checkpointer->Start();
+  }
+}
+
+void Bg3Cluster::StopCheckpointers() {
+  for (auto& part : parts_) {
+    if (part->checkpointer != nullptr) part->checkpointer->Stop();
+  }
 }
 
 size_t Bg3Cluster::TruncateWal(int partition) {

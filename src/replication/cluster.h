@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cloud/cloud_store.h"
+#include "replication/checkpoint.h"
 #include "replication/ro_node.h"
 #include "replication/rw_node.h"
 
@@ -27,6 +28,15 @@ struct ClusterOptions {
   RetryOptions tree_retry;
   wal::WalWriterOptions wal;  ///< template; stream assigned per partition.
   RoNodeOptions ro;           ///< template; wal_stream assigned per partition.
+
+  /// Continuous fuzzy checkpointing (DESIGN.md §5.7): every partition
+  /// leader gets a Checkpointer publishing wal<stream>-scope manifests, so
+  /// leader recovery and fresh followers replay only the WAL suffix and
+  /// TruncateWal can reclaim the covered prefix. Threads are not started
+  /// automatically — call StartCheckpointers(), or step deterministically
+  /// via checkpointer(partition) in tests.
+  bool checkpointing = false;
+  CheckpointerOptions checkpointer;
 };
 
 /// A full BG3 deployment over one shared cloud store (Fig. 2): hashed write
@@ -71,8 +81,17 @@ class Bg3Cluster {
   size_t TruncateWal(int partition);
 
   // --- introspection -------------------------------------------------------------
+  /// Starts/stops every partition's checkpoint thread (no-op unless
+  /// options.checkpointing).
+  void StartCheckpointers();
+  void StopCheckpointers();
+
   int partitions() const { return static_cast<int>(parts_.size()); }
   RwNode* leader(int partition) { return parts_[partition]->leader.get(); }
+  /// Per-partition checkpointer; nullptr unless options.checkpointing.
+  Checkpointer* checkpointer(int partition) {
+    return parts_[partition]->checkpointer.get();
+  }
   RoNode* follower(int partition, int index) {
     return parts_[partition]->followers[index].get();
   }
@@ -83,6 +102,7 @@ class Bg3Cluster {
     bwtree::TreeId tree_id = 0;
     cloud::StreamId wal_stream = 0;
     std::unique_ptr<RwNode> leader;
+    std::unique_ptr<Checkpointer> checkpointer;
     std::vector<std::unique_ptr<RoNode>> followers;
   };
 

@@ -1,0 +1,79 @@
+#include "replication/restart.h"
+
+namespace bg3::replication {
+
+RwRestart::RwRestart(cloud::CloudStore* store, const RestartOptions& options)
+    : store_(store), opts_(options) {}
+
+Status RwRestart::Begin() {
+  RoNodeOptions ro_opts;
+  ro_opts.wal_stream = opts_.node.wal.stream;
+  // The restore view must hold the whole tree for Take(); warming never
+  // fights eviction.
+  ro_opts.cache_capacity_pages = ~0ull;
+  ro_opts.seed = opts_.ro_seed;
+  ro_opts.resume_from_checkpoint = opts_.resume_from_checkpoint;
+  ro_ = std::make_unique<RoNode>(store_, ro_opts);
+  // One explicit tail: bootstrap (checkpoint load + route/meta seed) plus
+  // the full WAL-suffix replay into the lazy log area. Page *content* stays
+  // on storage until demanded — this is the cheap part of recovery.
+  BG3_RETURN_IF_ERROR(ro_->PollWal());
+  progress_.reads_live = true;
+  RefreshProgress();
+  return Status::OK();
+}
+
+Result<std::string> RwRestart::Get(const Slice& key, const OpContext* ctx) {
+  if (ro_ == nullptr) return Status::InvalidArgument("restart not begun");
+  return ro_->Get(opts_.node.tree.tree_id, key, ctx);
+}
+
+Status RwRestart::Scan(const Slice& start_key, const Slice& end_key,
+                       size_t limit, std::vector<bwtree::Entry>* out,
+                       const OpContext* ctx) {
+  if (ro_ == nullptr) return Status::InvalidArgument("restart not begun");
+  return ro_->Scan(opts_.node.tree.tree_id, start_key, end_key, limit, out,
+                   ctx);
+}
+
+Result<size_t> RwRestart::Step() {
+  if (ro_ == nullptr) return Status::InvalidArgument("restart not begun");
+  auto remaining =
+      ro_->WarmPages(opts_.node.tree.tree_id, opts_.warm_pages_per_step);
+  BG3_RETURN_IF_ERROR(remaining.status());
+  RefreshProgress();
+  return remaining;
+}
+
+Status RwRestart::RunToCompletion() {
+  while (true) {
+    auto remaining = Step();
+    BG3_RETURN_IF_ERROR(remaining.status());
+    if (remaining.value() == 0) return Status::OK();
+  }
+}
+
+Result<std::unique_ptr<RwNode>> RwRestart::Take() {
+  if (ro_ == nullptr) return Status::InvalidArgument("restart not begun");
+  auto exported = ro_->ExportTree(opts_.node.tree.tree_id);
+  BG3_RETURN_IF_ERROR(exported.status());
+  RefreshProgress();
+  progress_.warm_complete = true;
+  progress_.pages_remaining = 0;
+  ro_.reset();
+  return RwNode::FromExport(store_, opts_.node, std::move(exported.value()));
+}
+
+void RwRestart::RefreshProgress() {
+  auto remaining = ro_->WarmPages(opts_.node.tree.tree_id, 0);
+  if (remaining.ok()) {
+    progress_.pages_remaining = remaining.value();
+    progress_.warm_complete = remaining.value() == 0;
+  }
+  progress_.replayed_wal_bytes = ro_->WalBytesReplayed();
+  progress_.total_wal_bytes = store_->TotalBytes(opts_.node.wal.stream);
+  progress_.resumed_from_checkpoint = ro_->ResumedFromCheckpoint();
+  progress_.checkpoint_fell_back = ro_->CheckpointFellBack();
+}
+
+}  // namespace bg3::replication

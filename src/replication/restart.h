@@ -1,0 +1,97 @@
+#ifndef BG3_REPLICATION_RESTART_H_
+#define BG3_REPLICATION_RESTART_H_
+
+#include <memory>
+
+#include "replication/checkpoint.h"
+#include "replication/ro_node.h"
+#include "replication/rw_node.h"
+
+namespace bg3::replication {
+
+struct RestartOptions {
+  /// Configuration of the node being restarted (same options the crashed
+  /// incarnation ran with).
+  RwNodeOptions node;
+  /// Pages the background warm sweep materializes per Step().
+  size_t warm_pages_per_step = 16;
+  uint64_t ro_seed = 0x7e57a27;
+  /// Disable to force a full-WAL replay (bench baseline for the
+  /// replayed_bytes < total_wal_bytes comparison).
+  bool resume_from_checkpoint = true;
+};
+
+struct RestartProgress {
+  /// Reads are being served (checkpoint-consistent + full WAL suffix).
+  bool reads_live = false;
+  /// Every route page is materialized; Take() will not touch storage.
+  bool warm_complete = false;
+  size_t pages_remaining = 0;
+  /// WAL payload bytes actually replayed vs the stream's total — the
+  /// bounded-restart ratio (suffix-only when a checkpoint was found).
+  uint64_t replayed_wal_bytes = 0;
+  uint64_t total_wal_bytes = 0;
+  bool resumed_from_checkpoint = false;
+  bool checkpoint_fell_back = false;
+};
+
+/// Two-phase bounded-time crash restart of an RW node (DESIGN.md §5.7).
+///
+/// Begin() loads the last durable checkpoint manifest, seeks the WAL reader
+/// past its cursor and replays only the suffix into a restore view — after
+/// which *reads go live*: Get/Scan serve the recovered state immediately,
+/// and a read whose page is not yet materialized triggers its own
+/// single-page fetch (demand-driven restore) instead of waiting for the
+/// full sweep. Step() warms remaining pages in the background; Take()
+/// installs the materialized state into a fresh RwNode — only then do
+/// writes resume ("reads at checkpoint-consistency, writes after replay").
+///
+/// Time-to-first-read is bounded by the WAL suffix + one page fetch,
+/// independent of total WAL length; time-to-full-QPS adds the warm sweep,
+/// bounded by the database size, not the WAL.
+class RwRestart {
+ public:
+  RwRestart(cloud::CloudStore* store, const RestartOptions& options);
+
+  RwRestart(const RwRestart&) = delete;
+  RwRestart& operator=(const RwRestart&) = delete;
+
+  /// Phase 1: checkpoint load + WAL-suffix replay. On return reads are
+  /// live. Fails only on substrate errors (NotFound if the tree never
+  /// existed — nothing to restart into).
+  Status Begin();
+
+  /// Reads during restore (phase 1.5): checkpoint-consistent plus the full
+  /// replayed suffix — the same strong consistency a finished recovery
+  /// gives, just served from the restore view with demand paging.
+  Result<std::string> Get(const Slice& key, const OpContext* ctx = nullptr);
+  Status Scan(const Slice& start_key, const Slice& end_key, size_t limit,
+              std::vector<bwtree::Entry>* out, const OpContext* ctx = nullptr);
+
+  /// One background warm round (warm_pages_per_step pages); returns the
+  /// pages still unmaterialized. 0 = warm sweep complete.
+  Result<size_t> Step();
+
+  /// Drives Step() until the warm sweep completes.
+  Status RunToCompletion();
+
+  /// Phase 2: installs the restored state into a fresh RwNode and returns
+  /// it — the write path re-opens here. Warms any pages the sweep has not
+  /// reached yet (call RunToCompletion first for a fully bounded Take).
+  /// The restore view is consumed; only progress() remains valid.
+  Result<std::unique_ptr<RwNode>> Take();
+
+  const RestartProgress& progress() const { return progress_; }
+
+ private:
+  void RefreshProgress();
+
+  cloud::CloudStore* const store_;
+  const RestartOptions opts_;
+  std::unique_ptr<RoNode> ro_;
+  RestartProgress progress_;
+};
+
+}  // namespace bg3::replication
+
+#endif  // BG3_REPLICATION_RESTART_H_

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/timed_scope.h"
+#include "replication/checkpoint.h"
 #include "replication/page_image.h"
 
 namespace bg3::replication {
@@ -117,6 +118,23 @@ Status RoNode::PollWalLocked(bool force) {
 }
 
 void RoNode::BootstrapFromManifestLocked() {
+  // Suffix-bounded replay (DESIGN.md §5.7): a durable checkpoint manifest
+  // promises that published images cover every mutation at or below its
+  // LSN, so the WAL reader can seek straight past the checkpoint cursor.
+  // Any load failure (never checkpointed, torn slots, substrate down) falls
+  // back to the historical full-WAL replay — strictly slower, never wrong.
+  if (opts_.resume_from_checkpoint) {
+    auto loaded = LoadCheckpoint(
+        store_, WalCheckpointScope(opts_.wal_stream), StoreRetryOptions());
+    if (loaded.ok()) {
+      const CheckpointManifest& m = loaded.value().manifest;
+      reader_.SeekTo(m.wal_cursor, m.checkpoint_lsn);
+      max_lsn_seen_ = std::max(max_lsn_seen_, m.checkpoint_lsn);
+      resumed_from_checkpoint_ = true;
+      checkpoint_fell_back_ = loaded.value().fell_back;
+      resume_checkpoint_lsn_ = m.checkpoint_lsn;
+    }
+  }
   // Published page images carry their key ranges, so the route/meta tables
   // can be seeded without the WAL prefix that created them (which may have
   // been truncated). WAL records that survive truncation re-apply on top:
@@ -595,6 +613,17 @@ Result<RoNode::ExportedTree> RoNode::ExportTree(bwtree::TreeId tree) {
       PageImageMeta image;
       BG3_RETURN_IF_ERROR(PageImageMeta::Decode(Slice(manifest.value()), &image));
       rp.base_ptr = image.base_ptr;
+      // Clean ⇔ the exported content is byte-equivalent to the published
+      // base image: no delta records, no replayed mutation newer than the
+      // image, and the same key range (a post-flush split narrows the live
+      // range without touching applied_lsn — such a page must reflush).
+      // Clean pages keep their image authoritative, which is what bounds
+      // the recovered node's first flush to the WAL suffix.
+      rp.clean = image.delta_ptrs.empty() &&
+                 cp.value()->applied_lsn == image.flushed_lsn &&
+                 image.low_key == meta.low_key &&
+                 image.has_high_key == meta.has_high_key &&
+                 (!meta.has_high_key || image.high_key == meta.high_key);
     } else if (!manifest.status().IsNotFound()) {
       return manifest.status();
     }
@@ -619,6 +648,46 @@ void RoNode::CompactPendingLogs() {
 cloud::PagePointer RoNode::WalCursor() const {
   ReaderMutexLock lock(&mu_);
   return reader_.cursor();
+}
+
+uint64_t RoNode::WalBytesReplayed() const {
+  ReaderMutexLock lock(&mu_);
+  return reader_.bytes_consumed();
+}
+
+bool RoNode::ResumedFromCheckpoint() const {
+  ReaderMutexLock lock(&mu_);
+  return resumed_from_checkpoint_;
+}
+
+bool RoNode::CheckpointFellBack() const {
+  ReaderMutexLock lock(&mu_);
+  return checkpoint_fell_back_;
+}
+
+bwtree::Lsn RoNode::ResumeCheckpointLsn() const {
+  ReaderMutexLock lock(&mu_);
+  return resume_checkpoint_lsn_;
+}
+
+Result<size_t> RoNode::WarmPages(bwtree::TreeId tree, size_t max) {
+  WriterMutexLock lock(&mu_);
+  BG3_RETURN_IF_ERROR(PollWalLocked());
+  auto tit = trees_.find(tree);
+  if (tit == trees_.end()) return Status::NotFound("tree not replicated yet");
+  size_t warmed = 0;
+  size_t remaining = 0;
+  for (const auto& [low_key, page_id] : tit->second.route) {
+    if (cache_.count({tree, page_id}) > 0) continue;
+    if (warmed >= max) {
+      ++remaining;
+      continue;
+    }
+    auto cp = GetPageLocked(tree, page_id);
+    BG3_RETURN_IF_ERROR(cp.status());
+    ++warmed;
+  }
+  return remaining;
 }
 
 size_t RoNode::PendingRecordCount() const {

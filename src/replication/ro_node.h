@@ -43,6 +43,12 @@ struct RoNodeOptions {
   /// state, leaves its WAL cursor in place, and catches up on a later poll
   /// (stats().poll_degraded counts these episodes).
   RetryOptions retry;
+  /// Bootstrap from the durable checkpoint manifest when one exists: seek
+  /// the WAL reader past the checkpoint cursor so only the suffix is read
+  /// (DESIGN.md §5.7). With no checkpoint published (or the manifest
+  /// unusable and both slots torn), behavior is the historical full-WAL
+  /// replay. Disable to force full replay (bench baselines).
+  bool resume_from_checkpoint = true;
 };
 
 /// Aggregated RO-node counters.
@@ -124,6 +130,26 @@ class RoNode {
   /// WAL position this node has consumed through; the minimum across all
   /// readers bounds safe WAL truncation.
   cloud::PagePointer WalCursor() const;
+
+  /// WAL payload bytes this node has read — with a checkpoint resume,
+  /// exactly the replayed suffix (compare to the stream's total bytes for
+  /// the replayed_bytes < total_wal_bytes restart assertion).
+  uint64_t WalBytesReplayed() const;
+
+  /// True once bootstrap found a usable checkpoint manifest and seeked the
+  /// WAL reader past its cursor.
+  bool ResumedFromCheckpoint() const;
+  /// True when the head checkpoint slot was torn and the previous epoch's
+  /// manifest was used instead.
+  bool CheckpointFellBack() const;
+  /// LSN of the checkpoint the node resumed from (0 = full replay).
+  bwtree::Lsn ResumeCheckpointLsn() const;
+
+  /// Checkpoint-restore warm sweep: materializes up to `max` uncached pages
+  /// of `tree` (route order) and returns how many remain unmaterialized.
+  /// `max` 0 just counts. Demand reads warm their own pages concurrently —
+  /// the restore-priority rule is simply "whoever is read first, first".
+  Result<size_t> WarmPages(bwtree::TreeId tree, size_t max);
 
   /// Simulated leader-follower latency samples (publish + poll + log read).
   Histogram& sync_latency() { return sync_latency_; }
@@ -227,6 +253,9 @@ class RoNode {
 
   mutable SharedMutex mu_;
   bool bootstrapped_ BG3_GUARDED_BY(mu_) = false;
+  bool resumed_from_checkpoint_ BG3_GUARDED_BY(mu_) = false;
+  bool checkpoint_fell_back_ BG3_GUARDED_BY(mu_) = false;
+  bwtree::Lsn resume_checkpoint_lsn_ BG3_GUARDED_BY(mu_) = 0;
   uint64_t last_poll_us_ BG3_GUARDED_BY(mu_) = 0;
   bwtree::Lsn max_lsn_seen_ BG3_GUARDED_BY(mu_) = 0;
   std::map<bwtree::TreeId, TreeState> trees_ BG3_GUARDED_BY(mu_);

@@ -39,25 +39,32 @@ void RwNode::SetLockRanks() {
 
 Result<std::unique_ptr<RwNode>> RwNode::Recover(cloud::CloudStore* store,
                                                 const RwNodeOptions& options) {
-  // Materialize the full tree state the way an RO node would: manifest
-  // images ("old mapping") + WAL lazy replay.
+  // Materialize the full tree state the way an RO node would: the durable
+  // checkpoint (if any) bounds the WAL scan to the suffix past its cursor;
+  // manifest images ("old mapping") supply everything the prefix held.
   RoNodeOptions ro_opts;
   ro_opts.wal_stream = options.wal.stream;
   ro_opts.cache_capacity_pages = ~0ull;
   RoNode builder(store, ro_opts);
   auto exported = builder.ExportTree(options.tree.tree_id);
   BG3_RETURN_IF_ERROR(exported.status());
+  return FromExport(store, options, std::move(exported.value()));
+}
 
+Result<std::unique_ptr<RwNode>> RwNode::FromExport(
+    cloud::CloudStore* store, const RwNodeOptions& options,
+    RoNode::ExportedTree&& exported) {
   auto node = std::unique_ptr<RwNode>(new RwNode(BootstrapTag{}, store, options));
   // Resume the LSN sequence after everything already in the WAL, so the
   // recovered node's records extend the same total order.
-  node->lsn_source_.store(exported.value().max_lsn, std::memory_order_release);
-  node->last_checkpoint_.store(exported.value().max_lsn,
-                               std::memory_order_release);
+  node->lsn_source_.store(exported.max_lsn, std::memory_order_release);
+  node->last_checkpoint_.store(exported.max_lsn, std::memory_order_release);
   BG3_RETURN_IF_ERROR(
-      node->tree_->InstallRecoveredPages(std::move(exported.value().pages)));
-  // Republish images for the recovered layout and checkpoint, so RO replay
-  // logs can be discarded and the WAL prefix becomes logically dead.
+      node->tree_->InstallRecoveredPages(std::move(exported.pages)));
+  // Republish images for pages the WAL suffix touched and checkpoint, so RO
+  // replay logs can be discarded and the WAL prefix becomes logically dead.
+  // Pages whose exported content still matches their published image were
+  // installed clean — this flush is bounded by the suffix, not the DB size.
   BG3_RETURN_IF_ERROR(node->FlushGroup());
   return node;
 }
@@ -126,6 +133,15 @@ Status RwNode::FlushGroup() {
   for (bwtree::PageId id : dirty) {
     BG3_RETURN_IF_ERROR(tree_->FlushPage(id));
   }
+  return PublishStagedLocked(checkpoint, /*force_record=*/!dirty.empty());
+}
+
+Status RwNode::CommitCheckpoint(bwtree::Lsn checkpoint_lsn) {
+  MutexLock flush_lock(&flush_mu_);
+  return PublishStagedLocked(checkpoint_lsn, /*force_record=*/false);
+}
+
+Status RwNode::PublishStagedLocked(bwtree::Lsn checkpoint, bool force_record) {
   // The WAL must be visible before any manifest entry that presumes it
   // (RO nodes replay from the WAL on top of published images).
   BG3_RETURN_IF_ERROR(wal_.Flush());
@@ -160,14 +176,21 @@ Status RwNode::FlushGroup() {
     store_->ManifestPut(PageImageKey(s.tree, s.page), s.meta.Encode());
   }
 
-  if (!dirty.empty() || !staged.empty()) {
+  if (force_record || !staged.empty()) {
     wal::WalRecord rec;
     rec.type = wal::WalRecord::Type::kCheckpoint;
     rec.tree_id = opts_.tree.tree_id;
     rec.lsn = checkpoint;
     BG3_RETURN_IF_ERROR(wal_.Append(std::move(rec)));
     BG3_RETURN_IF_ERROR(wal_.Flush());
-    last_checkpoint_.store(checkpoint, std::memory_order_release);
+    // Max-update: a fuzzy-cut commit carries the cut's (older) LSN and must
+    // not roll back a further-along group-flush checkpoint.
+    bwtree::Lsn prev = last_checkpoint_.load(std::memory_order_relaxed);
+    while (prev < checkpoint &&
+           !last_checkpoint_.compare_exchange_weak(
+               prev, checkpoint, std::memory_order_release,
+               std::memory_order_relaxed)) {
+    }
     MutexLock lock(&ckpt_ptr_mu_);
     last_checkpoint_wal_ptr_ = wal_.last_append_ptr();
   }

@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/thread_annotations.h"
 #include "replication/page_image.h"
+#include "replication/ro_node.h"
 #include "wal/writer.h"
 
 namespace bg3::replication {
@@ -55,6 +56,15 @@ class RwNode : public bwtree::TreeListener {
   static Result<std::unique_ptr<RwNode>> Recover(cloud::CloudStore* store,
                                                  const RwNodeOptions& options);
 
+  /// Builds an RW node from an already-materialized tree export (the tail
+  /// half of Recover(); RwRestart uses it after demand-driven restore). The
+  /// export's clean/dirty page marking bounds the install-time flush to the
+  /// pages the WAL suffix actually touched — restart work is proportional
+  /// to the suffix, not the database.
+  static Result<std::unique_ptr<RwNode>> FromExport(
+      cloud::CloudStore* store, const RwNodeOptions& options,
+      RoNode::ExportedTree&& exported);
+
   RwNode(const RwNode&) = delete;
   RwNode& operator=(const RwNode&) = delete;
 
@@ -82,8 +92,30 @@ class RwNode : public bwtree::TreeListener {
   /// before parents) and appends the checkpoint WAL record.
   Status FlushGroup();
 
+  /// Publishes every staged mapping entry and appends a checkpoint WAL
+  /// record announcing coverage through `checkpoint_lsn`. The incremental
+  /// (fuzzy) checkpoint commit path: the Checkpointer has already flushed
+  /// the pages of its cut, one bounded round at a time, and calls this once
+  /// the cut drains. Never regresses last_checkpoint_lsn (a concurrent
+  /// group flush may have checkpointed further).
+  Status CommitCheckpoint(bwtree::Lsn checkpoint_lsn);
+
   bwtree::BwTree* tree() { return tree_.get(); }
   wal::WalWriter* wal_writer() { return &wal_; }
+  const RwNodeOptions& options() const { return opts_; }
+
+  /// Newest LSN handed out; mutations at or below it are in memory and
+  /// (once the WAL flushes) durable. The fuzzy-cut capture point.
+  bwtree::Lsn CurrentLsn() const {
+    return lsn_source_.load(std::memory_order_acquire);
+  }
+
+  /// True while flushed-page mapping entries await publication.
+  bool HasStagedImages() const {
+    MutexLock lock(&staged_mu_);
+    return !staged_.empty();
+  }
+
   bwtree::Lsn last_checkpoint_lsn() const {
     return last_checkpoint_.load(std::memory_order_relaxed);
   }
@@ -123,6 +155,13 @@ class RwNode : public bwtree::TreeListener {
   /// Enrolls flush_mu_/staged_mu_/ckpt_ptr_mu_ in debug lock-rank checking.
   void SetLockRanks();
 
+  /// Shared tail of FlushGroup/CommitCheckpoint: WAL flush, staged mapping
+  /// publication (children before parents, deduped), checkpoint record.
+  /// `force_record` appends the record even with nothing staged (a group
+  /// flush that wrote pages whose images were published by a racing commit).
+  Status PublishStagedLocked(bwtree::Lsn checkpoint, bool force_record)
+      BG3_REQUIRES(flush_mu_);
+
   cloud::CloudStore* const store_;
   RwNodeOptions opts_;
   wal::WalWriter wal_;
@@ -130,7 +169,7 @@ class RwNode : public bwtree::TreeListener {
   std::unique_ptr<bwtree::BwTree> tree_;
 
   Mutex flush_mu_;  ///< one group flush at a time.
-  Mutex staged_mu_;
+  mutable Mutex staged_mu_;
   std::vector<StagedImage> staged_ BG3_GUARDED_BY(staged_mu_);
 
   mutable Mutex ckpt_ptr_mu_;

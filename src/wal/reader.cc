@@ -18,10 +18,21 @@ Result<std::vector<WalRecord>> WalReader::Poll(size_t max_batches) {
       if (!out.empty()) break;
       return s;
     }
+    if (lsn_floor_ > 0) {
+      // Seeked replay: mutations at or below the checkpoint LSN are covered
+      // by published page images; dropping them keeps pending logs from
+      // accumulating records that per-page LSN gating would skip anyway.
+      const size_t before = decoded.size();
+      std::erase_if(decoded, [&](const WalRecord& r) {
+        return r.type == WalRecord::Type::kMutation && r.lsn <= lsn_floor_;
+      });
+      records_filtered_ += before - decoded.size();
+    }
     out.insert(out.end(), std::make_move_iterator(decoded.begin()),
                std::make_move_iterator(decoded.end()));
     cursor_ = ptr;
     ++batches_consumed_;
+    bytes_consumed_ += data.size();
   }
   return out;
 }

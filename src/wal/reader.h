@@ -19,7 +19,28 @@ class WalReader {
   /// Decodes all batches appended since the previous poll, in order.
   Result<std::vector<WalRecord>> Poll(size_t max_batches = 1024);
 
+  /// Suffix-bounded entry point for checkpoint recovery: positions the
+  /// reader so the next Poll() returns only batches appended strictly after
+  /// `cursor`. The store seeks straight to the cursor's extent, so none of
+  /// the prefix is read (or re-read) — replay cost is proportional to the
+  /// WAL suffix, not its total length. Mutation records with
+  /// lsn <= `lsn_floor` that a suffix batch may still carry are dropped at
+  /// decode time (the checkpoint guarantees published page images cover
+  /// them); structural records (tree-init, split, checkpoint) always pass
+  /// through — their replay is idempotent.
+  void SeekTo(const cloud::PagePointer& cursor, bwtree::Lsn lsn_floor = 0) {
+    cursor_ = cursor;
+    lsn_floor_ = lsn_floor;
+  }
+
   uint64_t batches_consumed() const { return batches_consumed_; }
+
+  /// Payload bytes of all batches consumed so far — with SeekTo, exactly
+  /// the replayed WAL suffix (compare against the stream's total bytes).
+  uint64_t bytes_consumed() const { return bytes_consumed_; }
+
+  /// Mutation records dropped because they were at or below the seek floor.
+  uint64_t records_filtered() const { return records_filtered_; }
 
   /// Position of the last consumed batch (null before the first poll).
   /// Everything at or before this pointer may be truncated for this reader.
@@ -29,7 +50,10 @@ class WalReader {
   cloud::CloudStore* const store_;
   const cloud::StreamId stream_;
   cloud::PagePointer cursor_;  ///< last consumed batch.
+  bwtree::Lsn lsn_floor_ = 0;  ///< mutations at or below are checkpointed.
   uint64_t batches_consumed_ = 0;
+  uint64_t bytes_consumed_ = 0;
+  uint64_t records_filtered_ = 0;
 };
 
 }  // namespace bg3::wal

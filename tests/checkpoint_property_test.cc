@@ -1,0 +1,161 @@
+// Property test for continuous fuzzy checkpointing (DESIGN.md §5.7):
+// random interleavings of writes, bounded checkpoint steps, group flushes
+// and crash/recover must always recover to the in-memory model, and once a
+// checkpoint manifest is durable, recovery replays strictly less WAL than
+// the stream holds (the bounded-restart property).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cloud/cloud_store.h"
+#include "common/random.h"
+#include "replication/checkpoint.h"
+#include "replication/ro_node.h"
+#include "replication/rw_node.h"
+#include "test_seed.h"
+
+namespace bg3::replication {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "k%08llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+struct Harness {
+  Harness() {
+    store = std::make_unique<cloud::CloudStore>();
+    opts.tree.tree_id = 1;
+    opts.tree.max_leaf_entries = 16;
+    opts.tree.base_stream = store->CreateStream("base");
+    opts.tree.delta_stream = store->CreateStream("delta");
+    opts.wal.stream = store->CreateStream("wal");
+    opts.flush_group_pages = 1'000'000;  // explicit flushes only
+    opts.flush_group_mutations = 1'000'000'000;
+    rw = std::make_unique<RwNode>(store.get(), opts);
+    NewCheckpointer();
+  }
+
+  void NewCheckpointer() {
+    CheckpointerOptions copts;
+    copts.max_pages_per_round = 3;  // small rounds → cuts straddle crashes
+    ckpt = std::make_unique<Checkpointer>(store.get(), rw.get(), copts);
+  }
+
+  Status CrashAndRecover() {
+    ckpt.reset();  // dies with the node it observes
+    rw.reset();
+    auto recovered = RwNode::Recover(store.get(), opts);
+    BG3_RETURN_IF_ERROR(recovered.status());
+    rw = recovered.take();
+    NewCheckpointer();
+    return Status::OK();
+  }
+
+  std::unique_ptr<cloud::CloudStore> store;
+  RwNodeOptions opts;
+  std::unique_ptr<RwNode> rw;
+  std::unique_ptr<Checkpointer> ckpt;
+};
+
+void VerifyModel(Harness& h, const std::map<std::string, std::string>& model,
+                 uint64_t seed, int step) {
+  for (const auto& [k, v] : model) {
+    auto got = h.rw->Get(k);
+    ASSERT_TRUE(got.ok()) << "seed=" << seed << " step=" << step << " key=" << k
+                          << " " << got.status().ToString();
+    ASSERT_EQ(got.value(), v) << "seed=" << seed << " step=" << step;
+  }
+  // Spot-check absence: keys adjacent to the model's range must miss.
+  ASSERT_TRUE(h.rw->Get("zzz-not-a-key").status().IsNotFound())
+      << "seed=" << seed << " step=" << step;
+}
+
+TEST(CheckpointPropertyTest, RandomSchedulesRecoverToModel) {
+  const uint64_t seed = test::AnnouncedSeed(
+      "CheckpointPropertyTest.RandomSchedulesRecoverToModel", 0xC4EC4);
+  for (int round = 0; round < 4; ++round) {
+    Random rng(seed + round * 0x9E3779B97F4A7C15ull);
+    Harness h;
+    std::map<std::string, std::string> model;
+    bool checkpointed = false;
+    const int kSteps = 400;
+    for (int step = 0; step < kSteps; ++step) {
+      const uint32_t dice = rng.Next() % 100;
+      if (dice < 55) {  // Put
+        const std::string k = Key(rng.Next() % 200);
+        const std::string v = "v" + std::to_string(rng.Next() % 1000);
+        ASSERT_TRUE(h.rw->Put(k, v).ok());
+        model[k] = v;
+      } else if (dice < 70) {  // Delete (possibly absent — both must agree)
+        const std::string k = Key(rng.Next() % 200);
+        Status s = h.rw->Delete(k);
+        ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+        model.erase(k);
+      } else if (dice < 85) {  // one bounded checkpoint increment
+        ASSERT_TRUE(h.ckpt->Step().ok());
+        checkpointed |= h.ckpt->epoch() > 0;
+      } else if (dice < 92) {  // group flush (the RW node's own checkpoint)
+        ASSERT_TRUE(h.rw->FlushGroup().ok());
+      } else {  // crash at an arbitrary point — possibly mid-cut
+        ASSERT_NO_FATAL_FAILURE({
+          Status s = h.CrashAndRecover();
+          ASSERT_TRUE(s.ok()) << "seed=" << seed << " step=" << step << " "
+                              << s.ToString();
+        });
+        VerifyModel(h, model, seed, step);
+      }
+    }
+    // Drive the cut to a durable manifest, then final crash + recover.
+    ASSERT_TRUE(h.ckpt->CheckpointNow().ok());
+    checkpointed = true;
+    ASSERT_TRUE(h.CrashAndRecover().ok());
+    VerifyModel(h, model, seed, kSteps);
+
+    // Bounded restart: with a durable checkpoint, a fresh reader replays
+    // strictly less than the stream's total bytes.
+    if (checkpointed) {
+      RoNodeOptions ro_opts;
+      ro_opts.wal_stream = h.opts.wal.stream;
+      RoNode fresh(h.store.get(), ro_opts);
+      ASSERT_TRUE(fresh.PollWal().ok());
+      EXPECT_TRUE(fresh.ResumedFromCheckpoint());
+      const uint64_t total = h.store->TotalBytes(h.opts.wal.stream);
+      EXPECT_LT(fresh.WalBytesReplayed(), total)
+          << "checkpointed recovery must replay only the WAL suffix";
+      // And the reader still observes the model exactly.
+      for (const auto& [k, v] : model) {
+        auto got = fresh.Get(1, k);
+        ASSERT_TRUE(got.ok()) << k;
+        EXPECT_EQ(got.value(), v) << k;
+      }
+    }
+  }
+}
+
+TEST(CheckpointPropertyTest, StepIsAlwaysSafeToInterleaveWithWrites) {
+  // A dumber, denser interleaving: every write is followed by a checkpoint
+  // step, so cuts constantly open/drain/publish while the tree mutates.
+  const uint64_t seed = test::AnnouncedSeed(
+      "CheckpointPropertyTest.StepIsAlwaysSafeToInterleaveWithWrites",
+      0xC4EC5);
+  Random rng(seed);
+  Harness h;
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 600; ++i) {
+    const std::string k = Key(rng.Next() % 64);
+    const std::string v = "v" + std::to_string(i);
+    ASSERT_TRUE(h.rw->Put(k, v).ok());
+    model[k] = v;
+    ASSERT_TRUE(h.ckpt->Step().ok()) << i;
+  }
+  EXPECT_GT(h.ckpt->epoch(), 0u) << "dense stepping must publish manifests";
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  VerifyModel(h, model, seed, 600);
+}
+
+}  // namespace
+}  // namespace bg3::replication

@@ -8,6 +8,7 @@
 
 #include "cloud/cloud_store.h"
 #include "cloud/fault_injector.h"
+#include "replication/checkpoint.h"
 #include "replication/ro_node.h"
 #include "replication/rw_node.h"
 #include "test_seed.h"
@@ -260,6 +261,171 @@ TEST(RecoveryFaultTest, TornWalAppendPlusCrashLosesAckedWriteWithoutRetries) {
     } else {
       EXPECT_TRUE(rw->Get(Key(10)).status().IsNotFound())
           << "without retries the acked write must be demonstrably lost";
+    }
+  }
+}
+
+// --- mid-checkpoint crashes (DESIGN.md §5.7) ---------------------------------
+//
+// The fuzzy checkpoint publishes in a fixed order: page images, manifest
+// slot, head flip, (optionally) WAL truncation. A crash between any two of
+// those steps must recover to the exact acknowledged state — either from
+// the new checkpoint or by falling back to the previous one.
+
+TEST(RecoveryCheckpointTest, CrashBetweenManifestPutAndTruncationAdvance) {
+  CrashFixture f;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(f.rw->Put(Key(i), "v" + std::to_string(i)).ok());
+  }
+  // Publish a durable checkpoint but crash before the truncation advance
+  // (truncate_wal off models exactly that window: manifest durable, WAL
+  // prefix still present).
+  Checkpointer ckpt(f.store.get(), f.rw.get());
+  ASSERT_TRUE(ckpt.CheckpointNow().ok());
+  ASSERT_GT(ckpt.epoch(), 0u);
+  const uint64_t wal_total = f.store->TotalBytes(f.rw_opts.wal.stream);
+
+  // More writes past the checkpoint, then crash.
+  for (int i = 300; i < 350; ++i) {
+    ASSERT_TRUE(f.rw->Put(Key(i), "suffix").ok());
+  }
+  f.Crash();
+  ASSERT_TRUE(f.Recover().ok());
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(f.rw->Get(Key(i)).value(), "v" + std::to_string(i)) << i;
+  }
+  for (int i = 300; i < 350; ++i) {
+    EXPECT_EQ(f.rw->Get(Key(i)).value(), "suffix") << i;
+  }
+
+  // Recovery resumed from the manifest: a fresh follower (which bootstraps
+  // the same way) replays only the post-checkpoint suffix.
+  RoNodeOptions ro_opts;
+  ro_opts.wal_stream = f.rw_opts.wal.stream;
+  RoNode fresh(f.store.get(), ro_opts);
+  ASSERT_TRUE(fresh.PollWal().ok());
+  EXPECT_TRUE(fresh.ResumedFromCheckpoint());
+  EXPECT_LT(fresh.WalBytesReplayed(), wal_total);
+}
+
+TEST(RecoveryCheckpointTest, CrashAfterTruncationAdvanceStillRecovers) {
+  // The complementary window: checkpoint durable AND the covered WAL prefix
+  // already reclaimed. Recovery must come up from images + suffix alone.
+  cloud::CloudStoreOptions copts;
+  copts.extent_capacity = 256;  // many small extents so truncation bites
+  auto store = std::make_unique<cloud::CloudStore>(copts);
+  RwNodeOptions opts;
+  opts.tree.tree_id = 1;
+  opts.tree.max_leaf_entries = 32;
+  opts.tree.base_stream = store->CreateStream("base");
+  opts.tree.delta_stream = store->CreateStream("delta");
+  opts.wal.stream = store->CreateStream("wal");
+  opts.flush_group_pages = 8;
+  auto rw = std::make_unique<RwNode>(store.get(), opts);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(rw->Put(Key(i), "pre-truncate").ok());
+  }
+  CheckpointerOptions copts2;
+  copts2.truncate_wal = true;
+  Checkpointer ckpt(store.get(), rw.get(), copts2);
+  ASSERT_TRUE(ckpt.CheckpointNow().ok());
+  EXPECT_GT(ckpt.stats().wal_extents_truncated.Get(), 0u)
+      << "test must actually exercise a truncated prefix";
+  for (int i = 400; i < 450; ++i) {
+    ASSERT_TRUE(rw->Put(Key(i), "suffix").ok());
+  }
+  rw.reset();  // crash
+  auto recovered = RwNode::Recover(store.get(), opts);
+  ASSERT_TRUE(recovered.ok());
+  rw = recovered.take();
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_EQ(rw->Get(Key(i)).value(), "pre-truncate") << i;
+  }
+  for (int i = 400; i < 450; ++i) {
+    EXPECT_EQ(rw->Get(Key(i)).value(), "suffix") << i;
+  }
+}
+
+TEST(RecoveryCheckpointTest, TornManifestHeadFallsBackToPreviousCheckpoint) {
+  CrashFixture f;
+  const std::string scope = WalCheckpointScope(f.rw_opts.wal.stream);
+  Checkpointer ckpt(f.store.get(), f.rw.get());
+
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(f.rw->Put(Key(i), "epoch1").ok());
+  ASSERT_TRUE(ckpt.CheckpointNow().ok());
+  const uint64_t epoch1 = ckpt.epoch();
+  for (int i = 100; i < 200; ++i) ASSERT_TRUE(f.rw->Put(Key(i), "epoch2").ok());
+  ASSERT_TRUE(ckpt.CheckpointNow().ok());
+  ASSERT_GT(ckpt.epoch(), epoch1);
+
+  // Tear the newest slot (a torn manifest write crashed mid-publish).
+  f.store->ManifestPut(CheckpointSlotKey(scope, ckpt.epoch()),
+                       "torn-garbage-not-a-manifest");
+  auto loaded = LoadCheckpoint(f.store.get(), scope);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().fell_back);
+  EXPECT_EQ(loaded.value().manifest.epoch, epoch1);
+
+  // Recovery still serves everything: the older checkpoint plus a longer
+  // WAL suffix replay covers the full acknowledged state.
+  f.Crash();
+  ASSERT_TRUE(f.Recover().ok());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f.rw->Get(Key(i)).value(), "epoch1");
+  for (int i = 100; i < 200; ++i) EXPECT_EQ(f.rw->Get(Key(i)).value(), "epoch2");
+
+  RoNodeOptions ro_opts;
+  ro_opts.wal_stream = f.rw_opts.wal.stream;
+  RoNode follower(f.store.get(), ro_opts);
+  ASSERT_TRUE(follower.PollWal().ok());
+  EXPECT_TRUE(follower.ResumedFromCheckpoint());
+  EXPECT_TRUE(follower.CheckpointFellBack());
+}
+
+TEST(RecoveryCheckpointTest, BothSlotsTornFallsBackToFullReplay) {
+  CrashFixture f;
+  const std::string scope = WalCheckpointScope(f.rw_opts.wal.stream);
+  Checkpointer ckpt(f.store.get(), f.rw.get());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(f.rw->Put(Key(i), "a").ok());
+  ASSERT_TRUE(ckpt.CheckpointNow().ok());
+  for (int i = 100; i < 200; ++i) ASSERT_TRUE(f.rw->Put(Key(i), "b").ok());
+  ASSERT_TRUE(ckpt.CheckpointNow().ok());
+
+  f.store->ManifestPut(CheckpointSlotKey(scope, 0), "torn");
+  f.store->ManifestPut(CheckpointSlotKey(scope, 1), "torn");
+  EXPECT_TRUE(LoadCheckpoint(f.store.get(), scope).status().IsNotFound());
+
+  f.Crash();
+  ASSERT_TRUE(f.Recover().ok());  // full-WAL replay path
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f.rw->Get(Key(i)).value(), "a");
+  for (int i = 100; i < 200; ++i) EXPECT_EQ(f.rw->Get(Key(i)).value(), "b");
+
+  RoNodeOptions ro_opts;
+  ro_opts.wal_stream = f.rw_opts.wal.stream;
+  RoNode follower(f.store.get(), ro_opts);
+  ASSERT_TRUE(follower.PollWal().ok());
+  EXPECT_FALSE(follower.ResumedFromCheckpoint());
+}
+
+TEST(RecoveryCheckpointTest, CrashAfterEveryCheckpointStep) {
+  // Drive the cut one bounded Step at a time and crash after each: every
+  // intermediate state (cut open, images partially published, manifest
+  // committed) must recover to the full acknowledged state.
+  for (int crash_after = 1; crash_after <= 6; ++crash_after) {
+    CrashFixture f(/*flush_group_pages=*/1'000'000, /*max_leaf_entries=*/8);
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_TRUE(f.rw->Put(Key(i), "v" + std::to_string(i)).ok());
+    }
+    CheckpointerOptions copts;
+    copts.max_pages_per_round = 2;  // many steps per cut
+    Checkpointer ckpt(f.store.get(), f.rw.get(), copts);
+    for (int s = 0; s < crash_after; ++s) {
+      ASSERT_TRUE(ckpt.Step().ok()) << "step " << s;
+    }
+    f.Crash();
+    ASSERT_TRUE(f.Recover().ok()) << "crash_after=" << crash_after;
+    for (int i = 0; i < 120; ++i) {
+      EXPECT_EQ(f.rw->Get(Key(i)).value(), "v" + std::to_string(i))
+          << "crash_after=" << crash_after << " i=" << i;
     }
   }
 }
