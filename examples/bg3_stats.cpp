@@ -6,14 +6,22 @@
 //   $ ./bg3_stats                  # metrics dump on stdout
 //   $ BG3_TRACE=1 ./bg3_stats      # additionally writes bg3_trace.json
 //   $ BG3_SLOW_OP_US=50 ./bg3_stats  # span trees of slow ops on stderr
+//   $ BG3_DEBUG_SERVER=1 BG3_SERVE_MS=5000 ./bg3_stats
+//                                  # serve /metrics /tracez /costz /healthz
+//                                  # on an ephemeral loopback port for 5s
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "cloud/cloud_store.h"
 #include "common/metrics_registry.h"
+#include "common/op_context.h"
 #include "common/stats_reporter.h"
 #include "common/trace.h"
 #include "core/graph_db.h"
+#include "query/query.h"
 #include "workload/driver.h"
 #include "workload/workloads.h"
 
@@ -22,7 +30,24 @@ int main() {
 
   cloud::CloudStore store;
   core::GraphDBOptions options;
+  // BG3_DEBUG_SERVER=1 exposes the introspection endpoint; BG3_DEBUG_PORT
+  // picks a fixed port (default 0 = ephemeral, printed below).
+  const char* dbg_env = std::getenv("BG3_DEBUG_SERVER");
+  if (dbg_env != nullptr && dbg_env[0] == '1') {
+    options.debug_server.enabled = true;
+    const char* port_env = std::getenv("BG3_DEBUG_PORT");
+    if (port_env != nullptr) {
+      options.debug_server.port =
+          static_cast<uint16_t>(std::strtoul(port_env, nullptr, 10));
+    }
+  }
   core::GraphDB db(&store, options);
+  if (db.debug_server_port() != 0) {
+    // Parsed by scripts/check_debug_endpoints.py; keep the format stable.
+    printf("debug server listening on 127.0.0.1:%u\n",
+           static_cast<unsigned>(db.debug_server_port()));
+    fflush(stdout);
+  }
 
   // Periodic reporter, as a service deployment would run it. The interval
   // is short so this demo produces at least one background report.
@@ -59,6 +84,31 @@ int main() {
          (unsigned long long)result.ops, result.qps,
          (unsigned long long)result.errors);
 
+  // One traced request (DESIGN.md §5.8) so /tracez retains a span tree and
+  // /costz shows per-class attribution. Threshold 0 = retain every traced
+  // request; BG3_SLOW_OP_US overrides for tail-based sampling.
+  {
+    // Deterministic 2-hop neighborhood for the traced query, independent of
+    // what the random workload generated around vertex 1.
+    for (graph::VertexId mid = 2; mid <= 5; ++mid) {
+      BG3_IGNORE_STATUS(db.AddEdge(1, 1, mid, "demo", 1));
+      BG3_IGNORE_STATUS(db.AddEdge(mid, 1, 100 + mid, "demo", 1));
+    }
+    // Evict resident leaves first so the traced hops fault pages back from
+    // the cloud store — the span tree then reaches the cloud layer and the
+    // request's account carries real I/O for /costz.
+    std::vector<bwtree::BwTree*> trees;
+    db.forest()->AppendTrees(&trees);
+    for (bwtree::BwTree* t : trees) t->EvictColdPages(0);
+
+    OpStats op_stats;
+    OpContext ctx = OpContext::Traced("bg3_stats_demo", &op_stats);
+    auto traced = query::Query(&db).V(1).Out(1).Out(1).Dedup().Context(&ctx)
+                      .Execute();
+    BG3_IGNORE_STATUS(traced.status());
+    printf("traced demo query: %s\n", op_stats.ToJson().c_str());
+  }
+
   reporter.Stop();
   printf("background reports emitted: %llu\n",
          (unsigned long long)background_reports);
@@ -76,6 +126,15 @@ int main() {
   if (!trace_path.empty()) {
     printf("\ntrace written to %s (load in chrome://tracing)\n",
            trace_path.c_str());
+  }
+
+  // Keep the debug endpoint up for scrapes (BG3_SERVE_MS, default 0).
+  const char* serve_env = std::getenv("BG3_SERVE_MS");
+  if (db.debug_server_port() != 0 && serve_env != nullptr) {
+    const unsigned long serve_ms = std::strtoul(serve_env, nullptr, 10);
+    printf("serving debug endpoints for %lu ms\n", serve_ms);
+    fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
   }
   return 0;
 }

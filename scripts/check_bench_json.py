@@ -37,7 +37,10 @@ KNOWN_LAYERS = {
 
 # Per-bench structural expectations, keyed by the JSON's "bench" name.
 # `series`: names that must each appear in at least one row;
-# `scalars`: (name, min_value) pairs that must be present and >= min.
+# `scalars`: (name, min_value) pairs that must be present and >= min;
+# `scalar_order`: (smaller, larger) pairs — both must be present and
+# smaller <= larger (pins orderings like "workload-aware GC costs no more
+# than FIFO" without hard-coding machine-dependent absolute dollars).
 BENCH_EXPECTATIONS = {
     "read_scaling": {
         "series": [
@@ -65,6 +68,14 @@ BENCH_EXPECTATIONS = {
         # series rows for inspection.
         "scalars": [("replay_savings_16x", 0.5),
                     ("full_vs_checkpoint_replay_ratio_16x", 4.0)],
+    },
+    "storage_cost": {
+        "series": ["bytes", "gc_cost"],
+        # TTL workload under per-GB-written pricing: FIFO relocates
+        # soon-to-expire bytes that workload-aware GC lets die in place, so
+        # the workload-aware bill must come out <= the FIFO bill.
+        "scalar_order": [("estimated_monthly_cost_usd_workload_aware",
+                          "estimated_monthly_cost_usd_fifo")],
     },
 }
 
@@ -144,6 +155,14 @@ def check_bench(path):
                     scalars[name] < minimum:
                 fail(path, f"scalar {name}={scalars[name]!r} below "
                            f"required minimum {minimum}")
+        for smaller, larger in expect.get("scalar_order", []):
+            missing = [n for n in (smaller, larger) if n not in scalars]
+            if missing:
+                fail(path, f"expected scalar(s) {missing} missing")
+            elif scalars[smaller] > scalars[larger]:
+                fail(path, f"scalar order violated: {smaller}="
+                           f"{scalars[smaller]!r} > {larger}="
+                           f"{scalars[larger]!r}")
 
     if not doc["latency_ns"]:
         # Per-layer latency is the point of the schema; an empty map means

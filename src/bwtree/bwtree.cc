@@ -257,6 +257,9 @@ void BwTree::FoldChainLocked(LeafPage* leaf) {
 Result<cloud::PagePointer> BwTree::RetryingAppend(cloud::StreamId stream,
                                                   const Slice& record,
                                                   const OpContext* ctx) {
+  // Every cloud append the tree issues funnels through here; bill it to
+  // the bwtree layer in the request's account.
+  OpLayerScope layer(OpLayer::kBwtree);
   RetryOptions retry = opts_.retry;
   retry.retries = &store_->stats().retries;
   retry.retry_exhausted = &store_->stats().retry_exhausted;
@@ -268,6 +271,7 @@ Result<cloud::PagePointer> BwTree::RetryingAppend(cloud::StreamId stream,
 
 Result<std::string> BwTree::RetryingRead(const cloud::PagePointer& ptr,
                                          const OpContext* ctx) {
+  OpLayerScope layer(OpLayer::kBwtree);
   RetryOptions retry = opts_.retry;
   retry.retry_corruption = true;  // wire corruption is transient
   retry.retries = &store_->stats().retries;
@@ -279,7 +283,11 @@ Result<std::string> BwTree::RetryingRead(const cloud::PagePointer& ptr,
 }
 
 Status BwTree::EnsureResidentLocked(LeafPage* leaf, const OpContext* ctx) {
-  if (leaf->resident) return Status::OK();
+  if (leaf->resident) {
+    OpStats::RecordCacheHit(ctx != nullptr ? ctx->stats : nullptr);
+    return Status::OK();
+  }
+  OpStats::RecordCacheMiss(ctx != nullptr ? ctx->stats : nullptr);
   if (!leaf->base_ptr.IsNull()) {
     auto base = RetryingRead(leaf->base_ptr, ctx);
     if (!base.ok()) {

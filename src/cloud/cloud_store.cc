@@ -152,6 +152,10 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
     const PagePointer ptr = s->Append(record);
     stats_.append_ops.Inc();
     stats_.append_bytes.Add(record.size());
+    // The bytes landed (and were billed by the service) even though the
+    // caller sees an error — the request account mirrors the store's.
+    OpStats::RecordCloudAppend(ctx != nullptr ? ctx->stats : nullptr,
+                               record.size());
     StoreObserver* obs = observer_.load(std::memory_order_acquire);
     if (obs != nullptr) obs->OnAppend(ptr);
     if (record.size() > 0) {
@@ -167,6 +171,8 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
   const PagePointer ptr = s->Append(record);
   stats_.append_ops.Inc();
   stats_.append_bytes.Add(record.size());
+  OpStats::RecordCloudAppend(ctx != nullptr ? ctx->stats : nullptr,
+                             record.size());
   breaker_.RecordSuccess();
   if (StoreObserver* obs = observer_.load(std::memory_order_acquire)) {
     obs->OnAppend(ptr);
@@ -217,6 +223,7 @@ Result<std::string> CloudStore::Read(const PagePointer& ptr,
   }
   stats_.read_ops.Inc();
   stats_.read_bytes.Add(out.size());
+  OpStats::RecordCloudRead(ctx != nullptr ? ctx->stats : nullptr, out.size());
   breaker_.RecordSuccess();
   if (latency_us != nullptr) {
     *latency_us =
@@ -270,6 +277,8 @@ CloudStore::ReadValidRecords(StreamId stream, ExtentId extent,
     for (const auto& [ptr, data] : result.value()) {
       stats_.read_ops.Inc();
       stats_.read_bytes.Add(data.size());
+      OpStats::RecordCloudRead(ctx != nullptr ? ctx->stats : nullptr,
+                               data.size());
     }
     breaker_.RecordSuccess();
   } else {
@@ -293,6 +302,8 @@ CloudStore::TailRecords(StreamId stream, const PagePointer& cursor,
   for (const auto& [ptr, data] : out) {
     stats_.read_ops.Inc();
     stats_.read_bytes.Add(data.size());
+    OpStats::RecordCloudRead(ctx != nullptr ? ctx->stats : nullptr,
+                             data.size());
   }
   breaker_.RecordSuccess();
   return out;

@@ -1,0 +1,175 @@
+#include "common/debug_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/cost_model.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
+
+namespace bg3 {
+
+namespace {
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string DebugServer::HandleRequest(const std::string& target) {
+  // Strip any query string; routes take no parameters today.
+  const size_t q = target.find('?');
+  const std::string path = q == std::string::npos ? target : target.substr(0, q);
+
+  if (path == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
+  }
+  if (path == "/metrics") {
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                        MetricsRegistry::Default().RenderPrometheus());
+  }
+  if (path == "/tracez") {
+    return HttpResponse(200, "OK", "application/json",
+                        trace::Trace::RenderTracez());
+  }
+  if (path == "/costz") {
+    return HttpResponse(200, "OK", "application/json", RenderCostz());
+  }
+  if (path == "/" || path.empty()) {
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8",
+                        "bg3 debug server\n"
+                        "  /metrics  prometheus exposition\n"
+                        "  /healthz  liveness\n"
+                        "  /tracez   retained slow traces (chrome json)\n"
+                        "  /costz    cloud cost breakdown (json)\n");
+  }
+  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                      "not found\n");
+}
+
+DebugServer::~DebugServer() { Stop(); }
+
+Status DebugServer::Start(const DebugServerOptions& opts) {
+  if (running_) return Status::OK();
+  opts_ = opts;
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("debug server: bad bind address " +
+                                   opts_.bind_address);
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("debug server: socket: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0 ||
+      listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("debug server: bind/listen on " +
+                           opts_.bind_address + ":" +
+                           std::to_string(opts_.port) + ": " + err);
+  }
+
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  if (pipe(wake_pipe_) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("debug server: pipe: ") +
+                           std::strerror(errno));
+  }
+
+  running_ = true;
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void DebugServer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  // Wake poll(); the loop re-checks running_ and exits.
+  const char b = 'x';
+  ssize_t ignored = write(wake_pipe_[1], &b, 1);
+  (void)ignored;
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  close(wake_pipe_[0]);
+  close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  port_ = 0;
+}
+
+void DebugServer::AcceptLoop() {
+  while (running_) {
+    struct pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int n = poll(fds, 2, /*timeout_ms=*/1000);
+    if (!running_) break;
+    if (n <= 0) continue;  // timeout or EINTR; re-check running_.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    close(conn);
+  }
+}
+
+void DebugServer::ServeConnection(int fd) {
+  // Read until the end of the request head (or a defensive cap); the
+  // request body, if any, is ignored — all routes are GETs.
+  std::string req;
+  char buf[1024];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    req.append(buf, static_cast<size_t>(n));
+  }
+  // Request line: METHOD SP target SP version.
+  const size_t sp1 = req.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : req.find(' ', sp1 + 1);
+  std::string response;
+  if (sp2 == std::string::npos) {
+    response = HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                            "bad request\n");
+  } else {
+    response = HandleRequest(req.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t n = write(fd, response.data() + off, response.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace bg3

@@ -1,0 +1,74 @@
+#ifndef BG3_COMMON_DEBUG_SERVER_H_
+#define BG3_COMMON_DEBUG_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace bg3 {
+
+/// Wiring for the in-process introspection endpoint (embed in
+/// GraphDBOptions as `debug_server`). Default-off; port 0 binds an
+/// ephemeral port (read it back with DebugServer::port()).
+struct DebugServerOptions {
+  bool enabled = false;
+  std::string bind_address = "127.0.0.1";  ///< loopback only by default.
+  uint16_t port = 0;                       ///< 0 = ephemeral.
+};
+
+/// Minimal single-threaded HTTP/1.1 introspection server (DESIGN.md §5.8):
+///
+///   /metrics   Prometheus text exposition of the default metrics registry
+///   /healthz   liveness ("ok")
+///   /tracez    retained slow traces, chrome://tracing-loadable JSON
+///   /costz     cloud cost breakdown JSON (see cost_model.h)
+///
+/// One accept thread serves requests serially — this is an operator
+/// endpoint scraped every few seconds, not a data path. Responses are
+/// rendered outside any request lock; a slow scraper can delay the next
+/// scrape but never a database operation. Stop() (or the destructor)
+/// wakes the accept loop via a self-pipe and joins it.
+class DebugServer {
+ public:
+  DebugServer() = default;
+  ~DebugServer();
+
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  /// Binds + listens + starts the accept thread. InvalidArgument for a bad
+  /// bind address, IOError if the socket cannot be bound. No-op (OK) while
+  /// already running.
+  Status Start(const DebugServerOptions& opts);
+  /// Idempotent; joins the accept thread.
+  void Stop();
+
+  bool running() const { return running_; }
+  /// Actual bound port (after Start() with port 0 resolves the ephemeral
+  /// port); 0 before Start().
+  uint16_t port() const { return port_; }
+  const std::string& bind_address() const { return opts_.bind_address; }
+
+  /// Routes one request target ("/metrics", "/costz?x=1") to its handler
+  /// and returns the full HTTP response bytes. Exposed so tests can check
+  /// routing without sockets; the accept loop uses it verbatim.
+  static std::string HandleRequest(const std::string& target);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  DebugServerOptions opts_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe to interrupt poll() on Stop.
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_DEBUG_SERVER_H_

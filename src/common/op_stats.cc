@@ -1,0 +1,69 @@
+#include "common/op_stats.h"
+
+#include "common/json_writer.h"
+
+namespace bg3 {
+
+namespace internal {
+thread_local OpLayer tls_op_layer = OpLayer::kOther;
+}  // namespace internal
+
+void OpStats::Reset() {
+  for (LayerIo& io : layers) {
+    io.cloud_read_ops.store(0, std::memory_order_relaxed);
+    io.cloud_read_bytes.store(0, std::memory_order_relaxed);
+    io.cloud_append_ops.store(0, std::memory_order_relaxed);
+    io.cloud_append_bytes.store(0, std::memory_order_relaxed);
+  }
+  wal_appends.store(0, std::memory_order_relaxed);
+  wal_append_bytes.store(0, std::memory_order_relaxed);
+  cache_hits.store(0, std::memory_order_relaxed);
+  cache_misses.store(0, std::memory_order_relaxed);
+  retries.store(0, std::memory_order_relaxed);
+  queue_wait_us.store(0, std::memory_order_relaxed);
+  sheds.store(0, std::memory_order_relaxed);
+  throttle_reasons.store(0, std::memory_order_relaxed);
+}
+
+std::string OpStats::ToJson() const {
+  JsonWriter w(0);
+  w.BeginObject();
+  w.KV("cloud_read_ops", CloudReadOps());
+  w.KV("cloud_read_bytes", CloudReadBytes());
+  w.KV("cloud_append_ops", CloudAppendOps());
+  w.KV("cloud_append_bytes", CloudAppendBytes());
+  w.Key("layers");
+  w.BeginObject();
+  for (size_t i = 0; i < kOpLayerCount; ++i) {
+    const LayerIo& io = layers[i];
+    const uint64_t r_ops = io.cloud_read_ops.load(std::memory_order_relaxed);
+    const uint64_t r_bytes =
+        io.cloud_read_bytes.load(std::memory_order_relaxed);
+    const uint64_t a_ops = io.cloud_append_ops.load(std::memory_order_relaxed);
+    const uint64_t a_bytes =
+        io.cloud_append_bytes.load(std::memory_order_relaxed);
+    if (r_ops == 0 && a_ops == 0 && r_bytes == 0 && a_bytes == 0) continue;
+    w.Key(OpLayerName(static_cast<OpLayer>(i)));
+    w.BeginObject();
+    w.KV("read_ops", r_ops);
+    w.KV("read_bytes", r_bytes);
+    w.KV("append_ops", a_ops);
+    w.KV("append_bytes", a_bytes);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.KV("wal_appends", wal_appends.load(std::memory_order_relaxed));
+  w.KV("wal_append_bytes", wal_append_bytes.load(std::memory_order_relaxed));
+  w.KV("cache_hits", cache_hits.load(std::memory_order_relaxed));
+  w.KV("cache_misses", cache_misses.load(std::memory_order_relaxed));
+  w.KV("retries", retries.load(std::memory_order_relaxed));
+  w.KV("queue_wait_us", queue_wait_us.load(std::memory_order_relaxed));
+  w.KV("sheds", sheds.load(std::memory_order_relaxed));
+  w.KV("throttle_reasons",
+       static_cast<uint64_t>(
+           throttle_reasons.load(std::memory_order_relaxed)));
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace bg3

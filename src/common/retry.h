@@ -153,6 +153,7 @@ BG3_BLOCKING Status RetryWithBackoff(const RetryOptions& opts, Op&& op) {
       return first;
     }
     if (opts.retries != nullptr) opts.retries->Inc();
+    OpStats::RecordRetry(opts.ctx != nullptr ? opts.ctx->stats : nullptr);
     const uint64_t delay = backoff.NextDelayUs();
     if (opts.sleep) opts.sleep(delay);
   }
@@ -180,6 +181,7 @@ BG3_BLOCKING auto RetryResultWithBackoff(const RetryOptions& opts, Op&& op)
       return decltype(op())(first);
     }
     if (opts.retries != nullptr) opts.retries->Inc();
+    OpStats::RecordRetry(opts.ctx != nullptr ? opts.ctx->stats : nullptr);
     const uint64_t delay = backoff.NextDelayUs();
     if (opts.sleep) opts.sleep(delay);
   }

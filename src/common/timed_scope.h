@@ -33,7 +33,7 @@ class TimedScope {
       hist_ = hist;
       start_ns_ = NowNanos();
     }
-    if (flags & (obs::kTraceBit | obs::kSlowOpBit)) {
+    if (flags & (obs::kTraceBit | obs::kSlowOpBit | obs::kReqTraceBit)) {
       span_.emplace(name);
     }
   }

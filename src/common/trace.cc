@@ -2,13 +2,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/cost_model.h"
 #include "common/json_writer.h"
 #include "common/metrics_registry.h"
+#include "common/op_context.h"
 
 namespace bg3 {
 
@@ -76,6 +79,11 @@ using obs::internal::g_slow_ops;
 constexpr char kPhaseComplete = 'X';
 constexpr char kPhaseInstant = 'i';
 
+// ---------------------------------------------------------------------------
+// Firehose plane: per-thread lock-free rings (unchanged from the flat
+// design, still behind BG3_TRACE).
+// ---------------------------------------------------------------------------
+
 // One trace event = 4 words, each accessed as a relaxed atomic so
 // cross-thread export is race-free by construction (a wrapping writer can
 // still tear an in-flight event; see header).
@@ -121,16 +129,160 @@ RingDirectory& Directory() {
   return *dir;
 }
 
+// Stable per-thread id shared by both recording planes, allocated lazily so
+// span-only threads do not pay for a ring.
+uint32_t ThisThreadTid() {
+  thread_local const uint32_t tid = [] {
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    return dir.next_tid++;
+  }();
+  return tid;
+}
+
 Ring& ThisThreadRing() {
   thread_local std::shared_ptr<Ring> ring = [] {
+    const uint32_t tid = ThisThreadTid();
     RingDirectory& dir = Directory();
     std::lock_guard<std::mutex> lock(dir.mu);
     auto r = std::make_shared<Ring>(
-        g_ring_capacity.load(std::memory_order_relaxed), dir.next_tid++);
+        g_ring_capacity.load(std::memory_order_relaxed), tid);
     dir.rings.push_back(r);
     return r;
   }();
   return *ring;
+}
+
+// ---------------------------------------------------------------------------
+// Per-request plane: trace-id-keyed span capture with parent/child
+// causality and tail-based retention (DESIGN.md §5.8).
+// ---------------------------------------------------------------------------
+
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+// Traced roots currently in flight; drives obs::kReqTraceBit so TraceSpan
+// stays one-flag-load cheap when no request is being traced.
+std::atomic<uint32_t> g_traced_roots{0};
+
+/// The thread's current trace identity: which trace new spans join and who
+/// their parent is. Installed by the root OpScope, propagated across
+/// threads with TraceBinding.
+struct Binding {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  ///< innermost open span (next span's parent).
+  const char* workload_class = nullptr;
+};
+thread_local Binding tls_binding;
+
+void IncTracedRoots() {
+  if (g_traced_roots.fetch_add(1, std::memory_order_relaxed) == 0) {
+    obs::internal::g_flags.fetch_or(obs::kReqTraceBit,
+                                    std::memory_order_relaxed);
+  }
+}
+
+void DecTracedRoots() {
+  if (g_traced_roots.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    obs::internal::g_flags.fetch_and(~obs::kReqTraceBit,
+                                     std::memory_order_relaxed);
+    // A new root may have raced the clear; re-assert for it.
+    if (g_traced_roots.load(std::memory_order_relaxed) != 0) {
+      obs::internal::g_flags.fetch_or(obs::kReqTraceBit,
+                                      std::memory_order_relaxed);
+    }
+  }
+}
+
+constexpr size_t kMaxActiveTraces = 128;
+constexpr size_t kMaxSpansPerTrace = 512;
+constexpr size_t kMaxRetainedTraces = 32;
+
+struct ActiveTrace {
+  uint64_t trace_id = 0;
+  const char* root_name = nullptr;
+  const char* workload_class = nullptr;
+  uint64_t root_start_ns = 0;
+  uint64_t dropped = 0;
+  std::vector<SpanRecord> spans;
+};
+
+struct CaptureState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ActiveTrace>> active;
+  std::deque<SlowTrace> retained;  ///< newest at the back.
+};
+
+CaptureState& Capture() {
+  static CaptureState* s = new CaptureState();
+  return *s;
+}
+
+void StartCapture(uint64_t trace_id, const char* root_name,
+                  const char* workload_class, uint64_t start_ns) {
+  CaptureState& c = Capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.active.size() >= kMaxActiveTraces) return;  // spans will be dropped.
+  auto t = std::make_unique<ActiveTrace>();
+  t->trace_id = trace_id;
+  t->root_name = root_name;
+  t->workload_class = workload_class;
+  t->root_start_ns = start_ns;
+  c.active.push_back(std::move(t));
+}
+
+void AppendSpanToCapture(uint64_t trace_id, const SpanRecord& rec) {
+  CaptureState& c = Capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (auto& t : c.active) {
+    if (t->trace_id != trace_id) continue;
+    if (t->spans.size() < kMaxSpansPerTrace) {
+      t->spans.push_back(rec);
+    } else {
+      ++t->dropped;
+    }
+    return;
+  }
+}
+
+std::unique_ptr<ActiveTrace> FinishCapture(uint64_t trace_id) {
+  CaptureState& c = Capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (auto it = c.active.begin(); it != c.active.end(); ++it) {
+    if ((*it)->trace_id == trace_id) {
+      std::unique_ptr<ActiveTrace> t = std::move(*it);
+      c.active.erase(it);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void RetainTrace(SlowTrace st) {
+  CaptureState& c = Capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.retained.size() >= kMaxRetainedTraces) c.retained.pop_front();
+  c.retained.push_back(std::move(st));
+}
+
+// Category = second dot-component of the metric-style name
+// ("bg3.bwtree.get_ns" -> "bwtree"), so chrome://tracing can filter by
+// layer.
+std::string CategoryOf(const char* name) {
+  const std::string full(name);
+  const size_t first = full.find('.');
+  if (first != std::string::npos) {
+    const size_t second = full.find('.', first + 1);
+    if (second != std::string::npos)
+      return full.substr(first + 1, second - first - 1);
+  }
+  return "bg3";
+}
+
+std::string TraceIdHex(uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
 }
 
 // Per-thread span bookkeeping for depth and the slow-op log. The slow-op
@@ -155,9 +307,20 @@ SpanState& ThisThreadSpans() {
 
 void DumpSlowOp(const SpanState& state, const char* root_name,
                 uint64_t root_start_ns, uint64_t root_dur_ns) {
-  fprintf(stderr, "[bg3 slow-op] %s took %.3f ms (threshold %.3f ms)\n",
+  // Traced requests get their identity on the line so the log entry joins
+  // against /tracez.
+  char trace_tag[96] = "";
+  if (tls_binding.trace_id != 0) {
+    std::snprintf(trace_tag, sizeof(trace_tag), " (trace=%016llx class=%s)",
+                  static_cast<unsigned long long>(tls_binding.trace_id),
+                  tls_binding.workload_class != nullptr
+                      ? tls_binding.workload_class
+                      : "default");
+  }
+  fprintf(stderr, "[bg3 slow-op] %s took %.3f ms (threshold %.3f ms)%s\n",
           root_name, root_dur_ns / 1e6,
-          g_slow_op_threshold_ns.load(std::memory_order_relaxed) / 1e6);
+          g_slow_op_threshold_ns.load(std::memory_order_relaxed) / 1e6,
+          trace_tag);
   // Children completed in start order; indent by recorded depth.
   for (const auto& d : state.op_log) {
     fprintf(stderr, "[bg3 slow-op]   %*s%s +%.3fms dur=%.3fms\n",
@@ -167,6 +330,29 @@ void DumpSlowOp(const SpanState& state, const char* root_name,
 }
 
 }  // namespace
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t CurrentTraceId() { return tls_binding.trace_id; }
+uint64_t CurrentSpanId() { return tls_binding.span_id; }
+
+TraceBinding::TraceBinding(uint64_t trace_id, uint64_t parent_span_id,
+                           const char* workload_class)
+    : prev_trace_id_(tls_binding.trace_id),
+      prev_span_id_(tls_binding.span_id),
+      prev_class_(tls_binding.workload_class) {
+  tls_binding.trace_id = trace_id;
+  tls_binding.span_id = parent_span_id;
+  if (workload_class != nullptr) tls_binding.workload_class = workload_class;
+}
+
+TraceBinding::~TraceBinding() {
+  tls_binding.trace_id = prev_trace_id_;
+  tls_binding.span_id = prev_span_id_;
+  tls_binding.workload_class = prev_class_;
+}
 
 void Trace::SetEnabled(bool on) {
   obs::internal::EnsureInitFromEnv();
@@ -220,16 +406,24 @@ size_t Trace::EventCountForTesting() {
 }
 
 void Trace::Reset() {
-  RingDirectory& dir = Directory();
-  std::lock_guard<std::mutex> lock(dir.mu);
-  for (auto it = dir.rings.begin(); it != dir.rings.end();) {
-    if (it->use_count() == 1) {
-      // Owning thread exited; drop the ring entirely.
-      it = dir.rings.erase(it);
-    } else {
-      (*it)->pos.store(0, std::memory_order_release);
-      ++it;
+  {
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    for (auto it = dir.rings.begin(); it != dir.rings.end();) {
+      if (it->use_count() == 1) {
+        // Owning thread exited; drop the ring entirely.
+        it = dir.rings.erase(it);
+      } else {
+        (*it)->pos.store(0, std::memory_order_release);
+        ++it;
+      }
     }
+  }
+  {
+    CaptureState& c = Capture();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.active.clear();
+    c.retained.clear();
   }
   g_slow_ops.store(0, std::memory_order_relaxed);
 }
@@ -254,22 +448,9 @@ std::string Trace::ExportChromeJson() {
       const uint64_t meta = r->words[slot + 3].load(std::memory_order_relaxed);
       if (name == nullptr) continue;  // torn slot
       const char phase = static_cast<char>((meta >> 48) & 0xff);
-      // Category = second dot-component of the metric-style name
-      // ("bg3.bwtree.get_ns" -> "bwtree"), so chrome://tracing can filter
-      // by layer.
-      std::string cat = "bg3";
-      {
-        const std::string full(name);
-        const size_t first = full.find('.');
-        if (first != std::string::npos) {
-          const size_t second = full.find('.', first + 1);
-          if (second != std::string::npos)
-            cat = full.substr(first + 1, second - first - 1);
-        }
-      }
       w.BeginObject();
       w.KV("name", name);
-      w.KV("cat", cat);
+      w.KV("cat", CategoryOf(name));
       char ph[2] = {phase, 0};
       w.KV("ph", ph);
       w.KV("ts", static_cast<double>(ts_ns) / 1000.0);
@@ -308,11 +489,73 @@ std::string Trace::ExportToEnvFile() {
   return WriteChromeJson(path) ? path : "";
 }
 
+std::vector<SlowTrace> Trace::RetainedTraces() {
+  CaptureState& c = Capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return std::vector<SlowTrace>(c.retained.begin(), c.retained.end());
+}
+
+std::string Trace::RenderTracez() {
+  const std::vector<SlowTrace> traces = RetainedTraces();
+  JsonWriter w(0);
+  w.BeginObject();
+  w.KV("slow_op_threshold_us",
+       g_slow_op_threshold_ns.load(std::memory_order_relaxed) / 1000);
+  w.KV("retained", static_cast<uint64_t>(traces.size()));
+  w.Key("traces");
+  w.BeginArray();
+  for (const SlowTrace& t : traces) {
+    w.BeginObject();
+    w.KV("trace_id", TraceIdHex(t.trace_id));
+    w.KV("root", t.root_name);
+    w.KV("workload_class", t.workload_class);
+    w.KV("root_dur_us", static_cast<double>(t.root_dur_ns) / 1000.0);
+    w.KV("span_count", static_cast<uint64_t>(t.spans.size()));
+    w.KV("dropped_spans", t.dropped_spans);
+    w.EndObject();
+  }
+  w.EndArray();
+  // chrome://tracing-loadable: load the whole /tracez response directly.
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const SlowTrace& t : traces) {
+    const std::string id_hex = TraceIdHex(t.trace_id);
+    for (const SpanRecord& s : t.spans) {
+      w.BeginObject();
+      w.KV("name", s.name);
+      w.KV("cat", CategoryOf(s.name));
+      w.KV("ph", "X");
+      w.KV("ts", static_cast<double>(s.start_ns) / 1000.0);
+      w.KV("dur", static_cast<double>(s.dur_ns) / 1000.0);
+      w.KV("pid", 1);
+      w.KV("tid", static_cast<uint64_t>(s.tid));
+      w.Key("args");
+      w.BeginObject();
+      w.KV("trace", id_hex);
+      w.KV("span", s.span_id);
+      w.KV("parent", s.parent_id);
+      w.KV("class", t.workload_class);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
 void TraceSpan::Begin(const char* name) {
   name_ = name;
   start_ns_ = NowNanos();
   active_ = true;
   ++ThisThreadSpans().depth;
+  Binding& b = tls_binding;
+  if (b.trace_id != 0) {
+    span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_id_ = b.span_id;
+    b.span_id = span_id_;
+  }
 }
 
 void TraceSpan::End() {
@@ -323,6 +566,15 @@ void TraceSpan::End() {
   const uint32_t flags = obs::Flags();
   if (flags & obs::kTraceBit)
     ThisThreadRing().Emit(name_, start_ns_, dur_ns, depth, kPhaseComplete);
+  if (span_id_ != 0) {
+    Binding& b = tls_binding;
+    b.span_id = parent_id_;
+    if (b.trace_id != 0) {
+      AppendSpanToCapture(b.trace_id,
+                          {name_, span_id_, parent_id_, start_ns_, dur_ns,
+                           ThisThreadTid()});
+    }
+  }
   if (flags & obs::kSlowOpBit) {
     if (depth > 0) {
       if (state.op_log.size() < SpanState::kMaxOpLog)
@@ -337,6 +589,93 @@ void TraceSpan::End() {
       }
       state.op_log.clear();
     }
+  }
+}
+
+OpScope::OpScope(const char* name, const OpContext* ctx) {
+  if (ctx == nullptr || ctx->trace_id == 0) return;
+  ctx_ = ctx;
+  Begin(name);
+}
+
+void OpScope::Begin(const char* name) {
+  name_ = name;
+  start_ns_ = NowNanos();
+  active_ = true;
+  Binding& b = tls_binding;
+  root_ = b.trace_id != ctx_->trace_id;
+  if (root_) {
+    prev_trace_id_ = b.trace_id;
+    prev_span_id_ = b.span_id;
+    prev_class_ = b.workload_class;
+    b.trace_id = ctx_->trace_id;
+    b.span_id = 0;
+    b.workload_class = ctx_->workload_class;
+    IncTracedRoots();
+    StartCapture(ctx_->trace_id, name, ctx_->workload_class_name(),
+                 start_ns_);
+  }
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = b.span_id;
+  b.span_id = span_id_;
+  ++ThisThreadSpans().depth;
+}
+
+void OpScope::End() {
+  const uint64_t end_ns = NowNanos();
+  const uint64_t dur_ns = end_ns - start_ns_;
+  SpanState& state = ThisThreadSpans();
+  const uint32_t depth = --state.depth;
+  if (obs::Flags() & obs::kTraceBit)
+    ThisThreadRing().Emit(name_, start_ns_, dur_ns, depth, kPhaseComplete);
+  Binding& b = tls_binding;
+  b.span_id = parent_id_;
+  AppendSpanToCapture(ctx_->trace_id, {name_, span_id_, parent_id_, start_ns_,
+                                       dur_ns, ThisThreadTid()});
+  if (!root_) return;
+
+  // Root teardown: restore the thread binding, close the capture, decide
+  // retention (tail-based), and fold the request's account into the cost
+  // counters.
+  b.trace_id = prev_trace_id_;
+  b.span_id = prev_span_id_;
+  b.workload_class = prev_class_;
+  DecTracedRoots();
+  std::unique_ptr<ActiveTrace> capture = FinishCapture(ctx_->trace_id);
+  state.op_log.clear();
+
+  const uint64_t threshold =
+      g_slow_op_threshold_ns.load(std::memory_order_relaxed);
+  const bool slow = threshold > 0 && dur_ns >= threshold;
+  if (slow) {
+    g_slow_ops.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Default().GetCounter("bg3.trace.slow_ops")->Inc();
+    fprintf(stderr,
+            "[bg3 slow-op] %s took %.3f ms (threshold %.3f ms) "
+            "(trace=%016llx class=%s) retained in /tracez\n",
+            name_, dur_ns / 1e6, threshold / 1e6,
+            static_cast<unsigned long long>(ctx_->trace_id),
+            ctx_->workload_class_name());
+  }
+  // threshold == 0 means "retain every traced request" (tests, opt-in
+  // always-on capture); otherwise only slow roots survive.
+  if ((threshold == 0 || slow) && capture != nullptr) {
+    SlowTrace st;
+    st.trace_id = capture->trace_id;
+    st.root_name = capture->root_name;
+    st.workload_class = capture->workload_class != nullptr
+                            ? capture->workload_class
+                            : "default";
+    st.root_start_ns = capture->root_start_ns;
+    st.root_dur_ns = dur_ns;
+    st.dropped_spans = capture->dropped;
+    st.spans = std::move(capture->spans);
+    RetainTrace(std::move(st));
+  }
+
+  if (ctx_->stats != nullptr) {
+    CostAccounting::Default().RecordOp(*ctx_->stats,
+                                       ctx_->workload_class_name());
   }
 }
 

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace bg3 {
+
+struct OpContext;
 
 // ---------------------------------------------------------------------------
 // Global observability switches, packed into one atomic word so the
@@ -16,13 +19,17 @@ namespace bg3 {
 //   BG3_TRACE=1             enable trace-event recording
 //   BG3_TRACE_FILE=path     where ExportToEnvFile() writes the chrome JSON
 //   BG3_TRACE_BUF_EVENTS=N  per-thread ring capacity (events)
-//   BG3_SLOW_OP_US=N        log the span tree of top-level ops slower than N
+//   BG3_SLOW_OP_US=N        log + retain top-level ops slower than N
 // ---------------------------------------------------------------------------
 namespace obs {
 
 inline constexpr uint32_t kTimingBit = 1u;
 inline constexpr uint32_t kTraceBit = 2u;
 inline constexpr uint32_t kSlowOpBit = 4u;
+/// Set while at least one traced request (OpContext::Traced + trace::OpScope
+/// root) is in flight anywhere in the process; makes every TraceSpan check
+/// its thread's trace binding. Maintained by trace::OpScope, never by hand.
+inline constexpr uint32_t kReqTraceBit = 8u;
 
 namespace internal {
 /// Bit set of the flags above; mutate via the setters only.
@@ -42,23 +49,60 @@ void SetTimingEnabled(bool on);
 
 namespace trace {
 
-/// Process-wide trace facility: every thread records fixed-size events into
-/// its own lock-free ring buffer (single-writer; overwrites oldest on
-/// wrap), and ExportChromeJson() merges all rings into a
-/// chrome://tracing-loadable JSON document.
+/// Process-unique nonzero trace id (also reachable as
+/// bg3::trace::NewTraceId() via op_context.h's forward declaration).
+uint64_t NewTraceId();
+
+/// One completed span inside a retained trace. `name` is the span's string
+/// literal; parent_id 0 marks the root.
+struct SpanRecord {
+  const char* name = nullptr;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+};
+
+/// A fully retained request trace: the root op plus every span (across all
+/// threads that carried a TraceBinding for it), kept when the root exceeded
+/// the slow-op threshold — tail-based sampling — or unconditionally when the
+/// threshold is 0.
+struct SlowTrace {
+  uint64_t trace_id = 0;
+  std::string root_name;
+  std::string workload_class;
+  uint64_t root_start_ns = 0;
+  uint64_t root_dur_ns = 0;
+  uint64_t dropped_spans = 0;  ///< spans lost to the per-trace cap.
+  std::vector<SpanRecord> spans;
+};
+
+/// Process-wide trace facility, two recording planes:
+///
+///  - **Firehose** (BG3_TRACE=1): every thread records fixed-size events
+///    into its own lock-free ring buffer (single-writer; overwrites oldest
+///    on wrap); ExportChromeJson() merges all rings into a
+///    chrome://tracing-loadable JSON document.
+///  - **Per-request** (OpContext::Traced + OpScope): spans are additionally
+///    keyed by trace id with parent/child causality and buffered per trace;
+///    when the root ends, the whole tree is retained iff the root was slow
+///    (tail-based), and served from RetainedTraces() / `/tracez`.
 ///
 /// Event `name` pointers must be string literals (or otherwise immortal):
-/// the ring stores the pointer, not a copy.
+/// both planes store the pointer, not a copy.
 ///
-/// Export concurrent with active writers is safe (all slot accesses are
-/// relaxed atomics) but a thread wrapping its ring mid-export can tear an
-/// event; export at quiescence for exact output. Tests and benches do.
+/// Ring export concurrent with active writers is safe (all slot accesses
+/// are relaxed atomics) but a thread wrapping its ring mid-export can tear
+/// an event; export at quiescence for exact output. Tests and benches do.
 class Trace {
  public:
   static bool Enabled() { return obs::Flags() & obs::kTraceBit; }
   static void SetEnabled(bool on);
 
-  /// 0 disables the slow-op log.
+  /// Tail-sampling control. Threshold > 0: retain (and log) only traces
+  /// whose root exceeds it; 0: retain every traced request, disable the
+  /// slow-op log for untraced spans.
   static void SetSlowOpThresholdNs(uint64_t ns);
   static uint64_t SlowOpThresholdNs();
   /// Top-level spans that exceeded the threshold so far (also a counter
@@ -76,8 +120,16 @@ class Trace {
   /// enabled; returns the path written, empty string if disabled/failed.
   static std::string ExportToEnvFile();
 
-  /// Clears all rings and the slow-op count (keeps enabled state). Rings
-  /// of exited threads are garbage-collected here.
+  /// Copies of the currently retained slow traces, newest last.
+  static std::vector<SlowTrace> RetainedTraces();
+  /// `/tracez` document: a chrome://tracing-loadable {"traceEvents":[...]}
+  /// (each event carries trace/span/parent ids in "args") plus a per-trace
+  /// summary table under "traces".
+  static std::string RenderTracez();
+
+  /// Clears all rings, per-request captures, retained traces, and the
+  /// slow-op count (keeps enabled state). Rings of exited threads are
+  /// garbage-collected here.
   static void Reset();
 
   /// Ring capacity (events) for rings created *after* the call — i.e. for
@@ -90,14 +142,83 @@ class Trace {
   static size_t EventCountForTesting();
 };
 
+/// Trace id + innermost span id bound to the calling thread (0/0 when the
+/// thread is not carrying a traced request). Capture these before handing
+/// work to another thread, then install them there with TraceBinding so the
+/// worker's spans join the same trace under the right parent.
+uint64_t CurrentTraceId();
+uint64_t CurrentSpanId();
+
+/// RAII cross-thread trace propagation: binds {trace_id, parent_span_id}
+/// to the current thread for the scope's lifetime, restoring the previous
+/// binding on exit. Spans recorded while bound attach to `trace_id` as
+/// children of `parent_span_id`.
+class TraceBinding {
+ public:
+  TraceBinding(uint64_t trace_id, uint64_t parent_span_id,
+               const char* workload_class = nullptr);
+  ~TraceBinding();
+
+  TraceBinding(const TraceBinding&) = delete;
+  TraceBinding& operator=(const TraceBinding&) = delete;
+
+ private:
+  uint64_t prev_trace_id_;
+  uint64_t prev_span_id_;
+  const char* prev_class_;
+};
+
+/// RAII request-root span, placed at every public API entry that accepts an
+/// OpContext (GraphDB ops, Query::Execute, ByteGraph ops). Inert — one
+/// pointer compare — unless `ctx` is traced (ctx->trace_id != 0).
+///
+/// The *outermost* OpScope of a trace on its thread becomes the trace root:
+/// it starts per-request capture, binds the trace to the thread, and on
+/// destruction makes the tail-based retention decision and folds the
+/// request's OpStats into the cost accounting (CostAccounting::Default()).
+/// Nested OpScopes of the same trace record ordinary child spans. `name`
+/// must be a string literal, conventionally `bg3.<layer>.<op>` (no unit
+/// suffix — it is an operation, not a histogram).
+class OpScope {
+ public:
+  OpScope(const char* name, const OpContext* ctx);
+  ~OpScope() {
+    if (active_) End();
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  const OpContext* ctx_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  // Thread binding saved by the root, restored when the root ends.
+  uint64_t prev_trace_id_ = 0;
+  uint64_t prev_span_id_ = 0;
+  const char* prev_class_ = nullptr;
+  bool active_ = false;
+  bool root_ = false;
+};
+
 /// RAII begin/end span: records one complete ('X') trace event on scope
-/// exit, maintains the per-thread span depth, and feeds the slow-op log.
-/// Near-zero cost (one flag load) when tracing and slow-op logging are both
-/// off. `name` must be a string literal.
+/// exit, maintains the per-thread span depth, feeds the slow-op log, and —
+/// when the thread carries a trace binding — records a causal span into the
+/// bound trace's capture. Near-zero cost (one flag load) when tracing,
+/// slow-op logging, and request tracing are all off. `name` must be a
+/// string literal.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (obs::Flags() & (obs::kTraceBit | obs::kSlowOpBit)) Begin(name);
+    if (obs::Flags() &
+        (obs::kTraceBit | obs::kSlowOpBit | obs::kReqTraceBit)) {
+      Begin(name);
+    }
   }
   ~TraceSpan() {
     if (active_) End();
@@ -112,6 +233,8 @@ class TraceSpan {
 
   const char* name_ = nullptr;
   uint64_t start_ns_ = 0;
+  uint64_t span_id_ = 0;   ///< nonzero only when bound to a traced request.
+  uint64_t parent_id_ = 0;
   bool active_ = false;
 };
 
@@ -122,5 +245,9 @@ class TraceSpan {
 /// should also feed a latency histogram.
 #define BG3_TRACE_SPAN(name_literal) \
   ::bg3::trace::TraceSpan bg3_trace_span_##__LINE__(name_literal)
+
+/// Request-root span at an OpContext-accepting API boundary.
+#define BG3_OP_SCOPE(name_literal, ctx_expr) \
+  ::bg3::trace::OpScope bg3_op_scope_##__LINE__(name_literal, ctx_expr)
 
 #endif  // BG3_COMMON_TRACE_H_

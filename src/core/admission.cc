@@ -43,6 +43,7 @@ Status AdmissionController::Admit(OpClass cls, const OpContext* ctx,
     admitted_.Inc();
     return Status::OK();
   }
+  OpStats* sink = ctx != nullptr ? ctx->stats : nullptr;
   // Writes shed at the door while a degradation watermark holds: admitting
   // them would grow exactly the backlog the watermark protects (reads and
   // background catch-up work pass — they drain pressure, not add it).
@@ -50,6 +51,7 @@ Status AdmissionController::Admit(OpClass cls, const OpContext* ctx,
     const uint32_t reasons = throttle_reasons_.load(std::memory_order_acquire);
     if (reasons != 0) {
       shed_.Inc();
+      OpStats::RecordShed(sink, reasons);
       return Status::Overloaded("writes throttled: " +
                                 ThrottleReasonString(reasons));
     }
@@ -76,6 +78,7 @@ Status AdmissionController::Admit(OpClass cls, const OpContext* ctx,
       cs.last_sample_us = now;  // one probe per interval
     } else {
       shed_.Inc();
+      OpStats::RecordShed(sink, 0);
       return Status::Overloaded(std::string("predicted service time (") +
                                 OpClassName(cls) + ") exceeds deadline");
     }
@@ -88,6 +91,7 @@ Status AdmissionController::Admit(OpClass cls, const OpContext* ctx,
   }
   if (cs.waiters >= cs.queue_cap) {
     shed_.Inc();
+    OpStats::RecordShed(sink, 0);
     return Status::Overloaded(std::string("admission queue full (") +
                               OpClassName(cls) + ")");
   }
@@ -101,6 +105,7 @@ Status AdmissionController::Admit(OpClass cls, const OpContext* ctx,
         static_cast<uint64_t>(batches * cs.ewma_service_us);
     if (ctx->RemainingUs() < predicted_wait_us) {
       shed_.Inc();
+      OpStats::RecordShed(sink, 0);
       return Status::Overloaded(std::string("predicted admission wait (") +
                                 OpClassName(cls) + ") exceeds deadline");
     }
@@ -108,6 +113,7 @@ Status AdmissionController::Admit(OpClass cls, const OpContext* ctx,
 
   ++cs.waiters;
   queue_depth_.Add(1);
+  const uint64_t wait_start_us = clock_->NowUs();
   // Polling waits (rather than one long cv wait) so a deadline on a
   // ManualTimeSource is still honored: a condition variable can only watch
   // the wall clock.
@@ -127,6 +133,13 @@ Status AdmissionController::Admit(OpClass cls, const OpContext* ctx,
   }
   --cs.waiters;
   queue_depth_.Sub(1);
+  // Queue residency is billed whether or not admission ultimately
+  // succeeded — a deadline death after waiting is exactly the case the
+  // per-request account should explain.
+  const uint64_t wait_end_us = clock_->NowUs();
+  if (wait_end_us > wait_start_us) {
+    OpStats::RecordQueueWait(sink, wait_end_us - wait_start_us);
+  }
   if (!result.ok()) return result;
   ++cs.inflight;
   admitted_.Inc();

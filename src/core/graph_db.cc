@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "common/metrics_registry.h"
@@ -219,9 +220,22 @@ GraphDB::GraphDB(cloud::CloudStore* store, const GraphDBOptions& options)
     reg.RegisterCallback(metrics_prefix_ + "gc.bytes_freed",
                          [this] { return reclaimer_->totals().bytes_freed; });
   }
+
+  if (opts_.debug_server.enabled) {
+    // Best effort: a debug endpoint that cannot bind (port in use) must
+    // not fail database startup. debug_server_port() stays 0.
+    Status s = debug_server_.Start(opts_.debug_server);
+    if (!s.ok()) {
+      std::fprintf(stderr, "[bg3] debug server not started: %s\n",
+                   s.ToString().c_str());
+    }
+  }
 }
 
 GraphDB::~GraphDB() {
+  // Stop serving before engine teardown so no handler renders metrics while
+  // callbacks registered against this instance are being torn down.
+  debug_server_.Stop();
   StopCheckpointing();
   StopMaintenance();
   MetricsRegistry::Default().DeregisterPrefix(metrics_prefix_);
@@ -571,6 +585,8 @@ void GraphDB::RefreshOverloadState() {
 Status GraphDB::AddVertex(graph::VertexId id, const Slice& properties,
                           const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.add_vertex_ns");
+  BG3_OP_SCOPE("bg3.api.add_vertex", ctx);
+  OpLayerScope api_layer(OpLayer::kApi);
   AdmissionController::Permit permit;
   BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
   return vertex_tree_->Upsert(graph::EncodeDstKey(id), properties, ctx);
@@ -579,6 +595,8 @@ Status GraphDB::AddVertex(graph::VertexId id, const Slice& properties,
 Result<std::string> GraphDB::GetVertex(graph::VertexId id,
                                        const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.get_vertex_ns");
+  BG3_OP_SCOPE("bg3.api.get_vertex", ctx);
+  OpLayerScope api_layer(OpLayer::kApi);
   AdmissionController::Permit permit;
   BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kRead, ctx, &permit));
   return vertex_tree_->Get(graph::EncodeDstKey(id), ctx);
@@ -587,6 +605,8 @@ Result<std::string> GraphDB::GetVertex(graph::VertexId id,
 Status GraphDB::DeleteVertex(graph::VertexId id, graph::EdgeType type,
                              const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.delete_vertex_ns");
+  BG3_OP_SCOPE("bg3.api.delete_vertex", ctx);
+  OpLayerScope api_layer(OpLayer::kApi);
   AdmissionController::Permit permit;
   BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
   {
@@ -609,6 +629,8 @@ Status GraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
                         graph::VertexId dst, const Slice& properties,
                         graph::TimestampUs created_us, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.add_edge_ns");
+  BG3_OP_SCOPE("bg3.api.add_edge", ctx);
+  OpLayerScope api_layer(OpLayer::kApi);
   AdmissionController::Permit permit;
   BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
   if (created_us == 0) created_us = time_source_->NowUs();
@@ -620,6 +642,8 @@ Status GraphDB::AddEdge(graph::VertexId src, graph::EdgeType type,
 Status GraphDB::DeleteEdge(graph::VertexId src, graph::EdgeType type,
                            graph::VertexId dst, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.delete_edge_ns");
+  BG3_OP_SCOPE("bg3.api.delete_edge", ctx);
+  OpLayerScope api_layer(OpLayer::kApi);
   AdmissionController::Permit permit;
   BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kWrite, ctx, &permit));
   return forest_->Delete(graph::MakeOwnerId(src, type),
@@ -630,6 +654,8 @@ Result<std::string> GraphDB::GetEdge(graph::VertexId src, graph::EdgeType type,
                                      graph::VertexId dst,
                                      const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.get_edge_ns");
+  BG3_OP_SCOPE("bg3.api.get_edge", ctx);
+  OpLayerScope api_layer(OpLayer::kApi);
   AdmissionController::Permit permit;
   BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kRead, ctx, &permit));
   auto value = forest_->Get(graph::MakeOwnerId(src, type),
@@ -650,6 +676,8 @@ Status GraphDB::GetNeighbors(graph::VertexId src, graph::EdgeType type,
                              std::vector<graph::Neighbor>* out,
                              const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.api.get_neighbors_ns");
+  BG3_OP_SCOPE("bg3.api.get_neighbors", ctx);
+  OpLayerScope api_layer(OpLayer::kApi);
   AdmissionController::Permit permit;
   BG3_RETURN_IF_ERROR(AdmitOp(OpClass::kRead, ctx, &permit));
   std::vector<bwtree::Entry> entries;

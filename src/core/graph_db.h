@@ -149,6 +149,12 @@ class GraphDB : public graph::GraphEngine {
   /// few hundred writes and on each RunGcCycle; cheap enough for both.
   void RefreshOverloadState();
 
+  /// Port of the in-process debug HTTP server (options.debug_server), 0
+  /// when disabled or the bind failed. With port 0 in the options this is
+  /// the ephemeral port the kernel assigned.
+  uint16_t debug_server_port() const { return debug_server_.port(); }
+  DebugServer& debug_server() { return debug_server_; }
+
   forest::BwTreeForest* forest() { return forest_.get(); }
   bwtree::BwTree* vertex_tree() { return vertex_tree_.get(); }
   cloud::CloudStore* store() { return store_; }
@@ -244,6 +250,10 @@ class GraphDB : public graph::GraphEngine {
   AdmissionController admission_;
   /// Writes since the last watermark refresh (RefreshOverloadState cadence).
   std::atomic<uint64_t> writes_since_refresh_{0};
+
+  /// Debug/observability HTTP endpoint (started in the ctor when
+  /// options.debug_server.enabled; stopped before teardown).
+  DebugServer debug_server_;
 
   std::mutex maint_mu_;
   std::condition_variable maint_cv_;

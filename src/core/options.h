@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "cloud/types.h"
+#include "common/debug_server.h"
 #include "core/admission.h"
 #include "forest/forest.h"
 #include "gc/policy.h"
@@ -88,6 +89,12 @@ struct GraphDBOptions {
     size_t warm_pages_per_cycle = 32;
   };
   CheckpointPolicy checkpoint;
+
+  /// In-process debug/observability HTTP endpoint (DESIGN.md §5.8):
+  /// `/metrics` (Prometheus), `/healthz`, `/tracez` (slow-op span trees),
+  /// `/costz` (cloud cost accounting). Off by default; port 0 binds an
+  /// ephemeral port readable via GraphDB::debug_server_port().
+  DebugServerOptions debug_server;
 
   /// Validates ranges; returns InvalidArgument on nonsense combinations.
   Status Validate() const;

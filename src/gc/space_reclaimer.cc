@@ -33,6 +33,7 @@ SpaceReclaimer::SpaceReclaimer(cloud::CloudStore* store,
 Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
                                              size_t max_extents) {
   BG3_TIMED_SCOPE("bg3.gc.cycle_ns");
+  OpLayerScope gc_layer(OpLayer::kGc);
   CycleResult result;
   const uint64_t now = tracker_->NowUs();
 
@@ -115,6 +116,7 @@ Result<CycleResult> SpaceReclaimer::RunCycle(cloud::StreamId stream,
 Result<uint64_t> SpaceReclaimer::RelocateExtent(cloud::StreamId stream,
                                                 cloud::ExtentId extent) {
   BG3_TIMED_SCOPE("bg3.gc.relocate_extent_ns");
+  OpLayerScope gc_layer(OpLayer::kGc);
   auto records = RetryResultWithBackoff(StoreRetryOptions(), [&] {
     return store_->ReadValidRecords(stream, extent);
   });

@@ -10,6 +10,14 @@ WalWriter::WalWriter(cloud::CloudStore* store, const WalWriterOptions& options)
 
 Status WalWriter::Append(WalRecord record, const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.wal.append_ns");
+  OpLayerScope wal_layer(OpLayer::kWal);
+  if (ctx != nullptr && ctx->stats != nullptr) {
+    // Bill the record to the request at enqueue time — the group flush that
+    // eventually publishes it may run under a different request's context.
+    std::string encoded;
+    record.EncodeTo(&encoded);
+    OpStats::RecordWalAppend(ctx->stats, 1, encoded.size());
+  }
   std::lock_guard<std::mutex> lock(mu_);
   buffer_.push_back(std::move(record));
   buffered_records_.store(buffer_.size(), std::memory_order_relaxed);
@@ -30,6 +38,9 @@ cloud::PagePointer WalWriter::last_append_ptr() const {
 Status WalWriter::FlushLocked(const OpContext* ctx) {
   if (buffer_.empty()) return Status::OK();
   BG3_TIMED_SCOPE("bg3.wal.sync_ns");
+  // The batch append's cloud I/O is WAL work regardless of which layer's
+  // request happened to trigger the flush.
+  OpLayerScope wal_layer(OpLayer::kWal);
   // Stamp each record's simulated publish latency: its residency in the
   // group buffer plus the append latency of the batch itself.
   const std::string probe = EncodeBatch(buffer_);

@@ -1,0 +1,144 @@
+// Debug/observability HTTP endpoint (DESIGN.md §5.8): socketless routing
+// through DebugServer::HandleRequest, and an end-to-end smoke test over a
+// real loopback socket (ephemeral port).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/debug_server.h"
+#include "common/metrics_registry.h"
+
+namespace bg3 {
+namespace {
+
+TEST(DebugServerRoutingTest, HealthzIsOk) {
+  const std::string resp = DebugServer::HandleRequest("/healthz");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("\r\n\r\nok\n"), std::string::npos);
+}
+
+TEST(DebugServerRoutingTest, MetricsIsPrometheusExposition) {
+  MetricsRegistry::Default().GetCounter("bg3.debugsrv_test.counter")->Add(3);
+  const std::string resp = DebugServer::HandleRequest("/metrics");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+  // Prometheus names use underscores; dots are sanitized.
+  EXPECT_NE(resp.find("bg3_debugsrv_test_counter"), std::string::npos);
+}
+
+TEST(DebugServerRoutingTest, TracezAndCostzAreJson) {
+  const std::string tracez = DebugServer::HandleRequest("/tracez");
+  EXPECT_NE(tracez.find("application/json"), std::string::npos);
+  EXPECT_NE(tracez.find("\"traceEvents\""), std::string::npos);
+
+  const std::string costz = DebugServer::HandleRequest("/costz");
+  EXPECT_NE(costz.find("application/json"), std::string::npos);
+  EXPECT_NE(costz.find("\"pricing\""), std::string::npos);
+  EXPECT_NE(costz.find("\"by_layer\""), std::string::npos);
+}
+
+TEST(DebugServerRoutingTest, QueryStringIsIgnored) {
+  const std::string resp = DebugServer::HandleRequest("/healthz?verbose=1");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+}
+
+TEST(DebugServerRoutingTest, UnknownPathIs404) {
+  const std::string resp = DebugServer::HandleRequest("/nope");
+  EXPECT_NE(resp.find("HTTP/1.1 404 Not Found"), std::string::npos);
+}
+
+TEST(DebugServerRoutingTest, IndexListsRoutes) {
+  const std::string resp = DebugServer::HandleRequest("/");
+  EXPECT_NE(resp.find("/metrics"), std::string::npos);
+  EXPECT_NE(resp.find("/costz"), std::string::npos);
+}
+
+// Issues one HTTP GET against 127.0.0.1:port and returns the raw response.
+std::string HttpGet(uint16_t port, const std::string& target) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target + " HTTP/1.1\r\n"
+                          "Host: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = write(fd, req.data() + off, req.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return resp;
+}
+
+TEST(DebugServerSmokeTest, ServesOverLoopbackSocket) {
+  DebugServer server;
+  DebugServerOptions opts;
+  opts.enabled = true;
+  opts.port = 0;  // ephemeral
+  ASSERT_TRUE(server.Start(opts).ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("bg3_"), std::string::npos);
+
+  // Serial requests on one accept loop: a second scrape still works.
+  const std::string costz = HttpGet(server.port(), "/costz");
+  EXPECT_NE(costz.find("\"cloud\""), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(DebugServerSmokeTest, BadBindAddressFailsCleanly) {
+  DebugServer server;
+  DebugServerOptions opts;
+  opts.enabled = true;
+  opts.bind_address = "not-an-address";
+  const Status s = server.Start(opts);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+TEST(DebugServerSmokeTest, StartIsIdempotentWhileRunning) {
+  DebugServer server;
+  DebugServerOptions opts;
+  opts.enabled = true;
+  ASSERT_TRUE(server.Start(opts).ok());
+  const uint16_t port = server.port();
+  EXPECT_TRUE(server.Start(opts).ok());  // no-op
+  EXPECT_EQ(server.port(), port);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace bg3

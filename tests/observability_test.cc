@@ -16,6 +16,7 @@
 #include "common/histogram.h"
 #include "common/json_writer.h"
 #include "common/metrics_registry.h"
+#include "common/op_context.h"
 #include "common/stats_reporter.h"
 #include "common/timed_scope.h"
 #include "common/trace.h"
@@ -328,6 +329,166 @@ TEST_F(TraceTest, DisabledRecordsNothing) {
   const std::string json = trace::Trace::ExportChromeJson();
   EXPECT_EQ(json.find("bg3.test.while_disabled"), std::string::npos);
   EXPECT_EQ(json.find("bg3.test.span_disabled"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-request plane: OpScope / TraceBinding / tail-based retention
+// ---------------------------------------------------------------------------
+
+class RequestTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::Trace::Reset();
+    trace::Trace::SetSlowOpThresholdNs(0);
+  }
+  void TearDown() override {
+    trace::Trace::SetSlowOpThresholdNs(0);
+    trace::Trace::Reset();
+  }
+};
+
+TEST_F(RequestTraceTest, SpanCausalityAcrossThreads) {
+  OpContext ctx = OpContext::Traced("xthread", nullptr);
+  uint64_t root_span = 0;
+  {
+    trace::OpScope root("bg3.test.xthread_root", &ctx);
+    // What a thread-pool handoff captures...
+    const uint64_t trace_id = trace::CurrentTraceId();
+    const uint64_t parent_span = trace::CurrentSpanId();
+    ASSERT_EQ(trace_id, ctx.trace_id);
+    ASSERT_NE(parent_span, 0u);
+    root_span = parent_span;
+    // ...and installs on the worker; the worker's spans join the trace as
+    // children of the handoff point.
+    std::thread worker([trace_id, parent_span] {
+      trace::TraceBinding binding(trace_id, parent_span, "xthread");
+      BG3_TRACE_SPAN("bg3.test.xthread_worker");
+    });
+    worker.join();
+  }
+  const auto retained = trace::Trace::RetainedTraces();
+  const trace::SlowTrace* mine = nullptr;
+  for (const auto& t : retained) {
+    if (t.trace_id == ctx.trace_id) mine = &t;
+  }
+  ASSERT_NE(mine, nullptr);
+  bool worker_seen = false;
+  uint32_t root_tid = 0, worker_tid = 0;
+  for (const auto& s : mine->spans) {
+    if (std::string(s.name) == "bg3.test.xthread_worker") {
+      worker_seen = true;
+      worker_tid = s.tid;
+      EXPECT_EQ(s.parent_id, root_span)
+          << "worker span must attach under the handoff span";
+    }
+    if (std::string(s.name) == "bg3.test.xthread_root") root_tid = s.tid;
+  }
+  EXPECT_TRUE(worker_seen);
+  EXPECT_NE(root_tid, worker_tid) << "spans recorded on distinct threads";
+}
+
+TEST_F(RequestTraceTest, TailSamplingKeepsSlowDropsFast) {
+  trace::Trace::SetSlowOpThresholdNs(5'000'000);  // 5 ms
+
+  OpContext fast = OpContext::Traced("fast", nullptr);
+  {
+    trace::OpScope scope("bg3.test.fast_op", &fast);
+  }
+  OpContext slow = OpContext::Traced("slow", nullptr);
+  {
+    trace::OpScope scope("bg3.test.slow_op", &slow);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  const auto retained = trace::Trace::RetainedTraces();
+  bool fast_kept = false, slow_kept = false;
+  for (const auto& t : retained) {
+    if (t.trace_id == fast.trace_id) fast_kept = true;
+    if (t.trace_id == slow.trace_id) slow_kept = true;
+  }
+  EXPECT_FALSE(fast_kept) << "sub-threshold trace must be dropped";
+  EXPECT_TRUE(slow_kept) << "over-threshold trace must be retained";
+}
+
+TEST_F(RequestTraceTest, ThresholdZeroRetainsEveryTracedRequest) {
+  OpContext ctx = OpContext::Traced("always", nullptr);
+  {
+    trace::OpScope scope("bg3.test.instant_op", &ctx);
+  }
+  bool kept = false;
+  for (const auto& t : trace::Trace::RetainedTraces()) {
+    if (t.trace_id == ctx.trace_id) kept = true;
+  }
+  EXPECT_TRUE(kept);
+}
+
+TEST_F(RequestTraceTest, NestedOpScopesShareOneRoot) {
+  OpContext ctx = OpContext::Traced("nested", nullptr);
+  {
+    trace::OpScope outer("bg3.test.outer_op", &ctx);
+    trace::OpScope inner("bg3.test.inner_op", &ctx);  // same trace: child
+  }
+  const auto retained = trace::Trace::RetainedTraces();
+  const trace::SlowTrace* mine = nullptr;
+  for (const auto& t : retained) {
+    if (t.trace_id == ctx.trace_id) mine = &t;
+  }
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->root_name, "bg3.test.outer_op");
+  size_t roots = 0;
+  for (const auto& s : mine->spans) {
+    if (s.parent_id == 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST_F(RequestTraceTest, UntracedContextRecordsNothing) {
+  OpContext plain;  // trace_id 0
+  const size_t before = trace::Trace::RetainedTraces().size();
+  {
+    trace::OpScope scope("bg3.test.untraced_op", &plain);
+    trace::OpScope null_scope("bg3.test.null_op", nullptr);
+  }
+  EXPECT_EQ(trace::Trace::RetainedTraces().size(), before);
+}
+
+// Acceptance bar: with no traced request in flight, BG3_OP_SCOPE on an
+// untraced context must cost single-digit nanoseconds (one null/zero check).
+// Same budget regime as DisabledOverheadUnderBudget below.
+TEST_F(RequestTraceTest, UntracedOpScopeOverheadUnderBudget) {
+  trace::Trace::SetEnabled(false);
+  trace::Trace::SetSlowOpThresholdNs(0);
+  OpContext plain;
+
+  constexpr int kIters = 200'000;
+  constexpr int kReps = 20;
+  double ns_per_op = 1e18;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const uint64_t start = NowNanos();
+    for (int i = 0; i < kIters; ++i) {
+      BG3_OP_SCOPE("bg3.test.overhead_op", &plain);
+    }
+    const uint64_t elapsed = NowNanos() - start;
+    ns_per_op = std::min(ns_per_op, static_cast<double>(elapsed) / kIters);
+  }
+  printf("untraced BG3_OP_SCOPE: %.2f ns/op\n", ns_per_op);
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define BG3_OBS_TEST_SANITIZED_OPSCOPE 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define BG3_OBS_TEST_SANITIZED_OPSCOPE 1
+#endif
+#if !defined(BG3_OBS_TEST_SANITIZED_OPSCOPE) && defined(NDEBUG)
+  const char* budget_env = getenv("BG3_OVERHEAD_BUDGET_NS");
+  const double budget =
+      budget_env != nullptr ? strtod(budget_env, nullptr) : 10.0;
+  EXPECT_LT(ns_per_op, budget)
+      << "untraced OpScope fast path regressed past " << budget << " ns/op";
+#else
+  EXPECT_LT(ns_per_op, 1'000.0);
+#endif
 }
 
 // ---------------------------------------------------------------------------
