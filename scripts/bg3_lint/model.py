@@ -224,6 +224,8 @@ class LockRegion:
     end: int
     line: int
     kind: str            # "guard" | "explicit" | "requires"
+    cap: str = "bg3"     # "bg3" (annotated Mutex/SharedMutex) | "std"
+    var: str = ""        # guard variable name (RAII guards only)
 
 
 ANNOTATION_MACROS = {
@@ -823,14 +825,15 @@ class FileModel:
             # RAII guards.
             g = self._guard_in(stmt)
             if g is not None:
-                varname, expr_chain, expr_text, idx0 = g
+                varname, expr_chain, expr_text, idx0, cap = g
                 site = resolve(expr_chain, fn)
                 end = self.scope_end(idx0, fn)
                 # Early release via var.unlock()/var.Unlock().
                 end = min(end, self._early_release(varname, idx0, fn))
                 regions.append(LockRegion(
                     site=site, expr=expr_text, start=stmt[-1][0] + 1,
-                    end=end, line=stmt[0][1].line, kind="guard"))
+                    end=end, line=stmt[0][1].line, kind="guard",
+                    cap=cap, var=varname))
                 continue
             # Explicit chain.Lock() / .lock() / .ReaderLock() / .lock_shared().
             m = self._explicit_lock(stmt)
@@ -844,11 +847,15 @@ class FileModel:
         return regions
 
     def _guard_in(self, stmt):
-        """Detects `MutexLock l(&mu_)` / `std::unique_lock<SharedMutex> l(x)`.
+        """Detects `MutexLock l(&mu_)` / `std::unique_lock<SharedMutex> l(x)`
+        and std guards over plain std::mutex (cap "std" — the WAL pipeline's
+        internal latches, which the latch-discipline pass scopes by class).
 
-        Returns (varname, lock_expr_chain, expr_text, first_tok_idx) or None.
+        Returns (varname, lock_expr_chain, expr_text, first_tok_idx, cap)
+        or None.
         """
         texts = [t.text for _, t in stmt]
+        cap = "bg3"
         i = 0
         if texts[:2] == ["std", "::"]:
             i = 2
@@ -858,7 +865,8 @@ class FileModel:
         if head in BG3_GUARDS:
             i += 1
         elif head in STD_GUARDS:
-            # require a bg3 Mutex/SharedMutex template argument
+            # a bg3 Mutex/SharedMutex template argument, or plain std::mutex
+            # (tagged cap "std" so passes can opt in selectively)
             if i + 1 >= len(texts) or texts[i + 1] != "<":
                 return None
             j = i + 2
@@ -873,7 +881,11 @@ class FileModel:
                         break
                 targ.append(texts[j])
                 j += 1
-            if not any(t in BG3_MUTEX_TYPES for t in targ):
+            if any(t in BG3_MUTEX_TYPES for t in targ):
+                cap = "bg3"
+            elif "mutex" in targ:
+                cap = "std"
+            else:
                 return None
             i = j + 1
         else:
@@ -899,7 +911,7 @@ class FileModel:
             first.append(t)
         chain = [p for p in first if re.match(r"^\w+$", p) and p != "this"]
         expr_text = "".join(first)
-        return (varname, chain, expr_text, stmt[0][0])
+        return (varname, chain, expr_text, stmt[0][0], cap)
 
     def _early_release(self, varname, after_idx, fn):
         toks = self.toks

@@ -11,8 +11,14 @@ reach a blocking call.
 Held regions come from the source model: RAII guards (MutexLock /
 WriterMutexLock / ReaderMutexLock, std lock holders over bg3 types),
 explicit Lock()/Unlock() pairs, and BG3_REQUIRES preconditions (the whole
-body counts as held). std::mutex members are out of scope — only the
-annotated bg3::Mutex / bg3::SharedMutex capabilities participate.
+body counts as held). std::mutex members are normally out of scope — only
+the annotated bg3::Mutex / bg3::SharedMutex capabilities participate —
+with one exception: inside the WAL pipeline classes (WAL_PIPELINE_CLASSES)
+std::mutex guard regions are checked too, because blocking cloud I/O under
+the writer or ledger mutex would stall every appender behind one round
+trip, the exact head-of-line blocking the pipeline exists to remove.
+Condition-variable waits that pass the guard variable are exempt there
+(the wait releases the lock it holds).
 
 A call inside a held region that resolves to a blocking function is an
 error. Accepted exceptions (e.g. the Bw-tree's paged-leaf I/O under the
@@ -25,6 +31,17 @@ from . import Finding
 
 BUILTIN_BLOCKING = {"sleep_for", "sleep_until", "wait", "wait_for",
                     "wait_until", "join"}
+
+# Classes whose plain-std::mutex guard regions are checked (DESIGN.md §5.9):
+# the pipelined WAL's enqueue mutex, commit ledger, append workers, and the
+# commit-waiter primitive. Everything else keeps the bg3-capabilities-only
+# scope.
+WAL_PIPELINE_CLASSES = {"WalWriter", "AppendPipeline", "CommitSequencer"}
+
+# Condition-variable waits: blocking, but they *release* the lock they are
+# given, so a wait naming the region's guard variable is not "blocking
+# while holding" that latch.
+CV_WAITS = {"wait", "wait_for", "wait_until"}
 
 
 def _annotated(index, key, macro):
@@ -100,12 +117,25 @@ def run(index, config):
                 for region in regions:
                     if not (region.start <= call.tok < region.end):
                         continue
-                    if region.site.startswith("?"):
+                    if region.cap == "std":
+                        # std::mutex regions participate only inside the WAL
+                        # pipeline classes.
+                        if fn.cls not in WAL_PIPELINE_CLASSES:
+                            continue
+                        # cv.wait(lock, ...) releases the guard's lock.
+                        if (call.name in CV_WAITS and region.var
+                                and region.var in call.args.split()):
+                            continue
+                    elif region.site.startswith("?"):
                         continue  # unresolved lock expression: stay quiet
                     w = _call_witness(index, call, fn, blocking)
                     if w is None:
                         continue
                     held = region.site
+                    if region.cap == "std" and held.startswith("?"):
+                        # std members are not registered mutex sites; name
+                        # the region by class and source spelling instead.
+                        held = f"{fn.cls}::{region.expr.lstrip('&')}"
                     how = {"guard": "RAII guard",
                            "explicit": "explicit Lock()",
                            "requires": "BG3_REQUIRES precondition"}[region.kind]

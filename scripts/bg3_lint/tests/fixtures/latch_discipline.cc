@@ -95,3 +95,43 @@ class Registry {
 void Registry::Publish() {
   store_->PutBlob();  // LINT-EXPECT: latch-discipline under-lock:Registry::mu_->PutBlob
 }
+
+// WAL pipeline classes (DESIGN.md §5.9): plain std::mutex guard regions
+// are checked too — blocking cloud I/O under the writer or ledger mutex
+// stalls every appender behind one round trip. Condition-variable waits
+// naming the guard variable are exempt (the wait releases the lock).
+class WalWriter {
+ public:
+  void FlushInline();
+  void WaitDrained();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  CloudStore* store_;
+};
+
+void WalWriter::FlushInline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_->PutBlob();  // LINT-EXPECT: latch-discipline under-lock:WalWriter::mu_->PutBlob
+}
+
+void WalWriter::WaitDrained() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock);  // releases mu_ while waiting: fine
+}
+
+// Outside the pipeline classes, std::mutex guards stay out of scope.
+class SideCar {
+ public:
+  void FlushInline();
+
+ private:
+  std::mutex mu_;
+  CloudStore* store_;
+};
+
+void SideCar::FlushInline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_->PutBlob();  // std::mutex outside the WAL pipeline: not checked
+}

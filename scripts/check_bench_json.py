@@ -69,6 +69,16 @@ BENCH_EXPECTATIONS = {
         "scalars": [("replay_savings_16x", 0.5),
                     ("full_vs_checkpoint_replay_ratio_16x", 4.0)],
     },
+    "write_latency": {
+        "series": ["sync", "pipelined"],
+        # Pipelined-WAL acceptance bar (DESIGN.md §5.9): at the default
+        # group size the deepest pipeline's enqueue-to-ack p99 must be at
+        # least 5x below the sync baseline's. Both runs pay identical
+        # simulated I/O in real wall time, so the ratio isolates the
+        # head-of-line blocking the pipeline removes and is immune to
+        # machine speed.
+        "scalars": [("p99_speedup_default_group", 5.0)],
+    },
     "storage_cost": {
         "series": ["bytes", "gc_cost"],
         # TTL workload under per-GB-written pricing: FIFO relocates

@@ -1,0 +1,105 @@
+#ifndef BG3_COMMON_COMMIT_SEQUENCER_H_
+#define BG3_COMMON_COMMIT_SEQUENCER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/op_context.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace bg3 {
+
+/// The commit-waiter primitive of the pipelined WAL (DESIGN.md §5.9): a
+/// monotone commit index plus blocking waiters. The pipeline's ledger calls
+/// Advance(n) as batches acknowledge in order; callers holding a ticket
+/// (their record's cumulative enqueue index) call WaitReached(ticket) and
+/// wake exactly when everything up to and including their record is
+/// durable — acknowledgment order is commit-index order, never completion
+/// order.
+///
+/// Disturb() wakes every waiter without advancing, returning Busy from
+/// their waits; the pipeline uses it to surface an append failure to
+/// waiters immediately (the caller then reads the pipeline's error under
+/// its own lock). Waits slice on the OpContext deadline, so an expired
+/// context stops waiting even though the commit index may advance later.
+class CommitSequencer {
+ public:
+  CommitSequencer() = default;
+  CommitSequencer(const CommitSequencer&) = delete;
+  CommitSequencer& operator=(const CommitSequencer&) = delete;
+
+  /// Lock-free read of the current commit index.
+  uint64_t current() const { return value_.load(std::memory_order_acquire); }
+
+  /// Monotone max-advance; wakes waiters at or below `v`.
+  void Advance(uint64_t v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t prev = value_.load(std::memory_order_relaxed);
+      if (v <= prev) return;
+      value_.store(v, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  /// Wakes all current waiters with Status::Busy (they re-check their
+  /// pipeline's error state). Waits that begin after the Disturb() only see
+  /// it if they have not yet observed their target.
+  void Disturb() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++disturb_epoch_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Disturb-epoch snapshot for the two-phase wait: capture the epoch,
+  /// re-check the caller's own failure state, then WaitReached with the
+  /// snapshot — a Disturb between the check and the wait is then never
+  /// missed (the wait returns Busy immediately on the epoch mismatch).
+  uint64_t disturb_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return disturb_epoch_;
+  }
+
+  /// Blocks until current() >= target, the context deadline expires, or a
+  /// Disturb() arrives after `epoch` was captured (Busy — the caller
+  /// re-checks its pipeline's error state and re-enters with a fresh
+  /// snapshot). Returns OK / DeadlineExceeded / Busy respectively.
+  BG3_BLOCKING Status WaitReached(uint64_t target, uint64_t epoch,
+                                  const OpContext* ctx) {
+    if (current() >= target) return Status::OK();
+    std::unique_lock<std::mutex> lock(mu_);
+    while (value_.load(std::memory_order_relaxed) < target) {
+      if (disturb_epoch_ != epoch) {
+        return Status::Busy("commit wait disturbed");
+      }
+      BG3_RETURN_IF_ERROR(CheckDeadline(ctx, "commit wait"));
+      // Slice the wait: deadlines may run on a simulated clock that a cv
+      // timeout cannot observe, and Disturb/Advance wakeups re-check the
+      // predicate anyway.
+      cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    return Status::OK();
+  }
+
+  /// One-phase form: snapshots the epoch itself. Only safe when the caller
+  /// has no pre-wait failure state to miss.
+  BG3_BLOCKING Status WaitReached(uint64_t target, const OpContext* ctx) {
+    return WaitReached(target, disturb_epoch(), ctx);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<uint64_t> value_{0};
+  uint64_t disturb_epoch_ BG3_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_COMMIT_SEQUENCER_H_

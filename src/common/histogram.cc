@@ -18,7 +18,8 @@ int ThisThreadShard() {
 }
 
 uint64_t PercentileFromBuckets(const uint64_t* buckets, int num_buckets,
-                               uint64_t total, uint64_t max_seen, double q,
+                               uint64_t total, uint64_t min_seen,
+                               uint64_t max_seen, double q,
                                uint64_t (*bucket_low)(int),
                                uint64_t (*bucket_high)(int)) {
   if (total == 0) return 0;
@@ -33,7 +34,12 @@ uint64_t PercentileFromBuckets(const uint64_t* buckets, int num_buckets,
       const uint64_t lo = bucket_low(b);
       const uint64_t hi = std::min(bucket_high(b), max_seen);
       const uint64_t width = hi > lo ? hi - lo : 0;
-      return lo + static_cast<uint64_t>(frac * static_cast<double>(width));
+      // Clamp to the exact observed min: interpolating inside the lowest
+      // occupied bucket can land below every recorded value (e.g. all
+      // samples equal, sitting mid-bucket), which would make p50 < min.
+      return std::max(min_seen,
+                      lo + static_cast<uint64_t>(
+                               frac * static_cast<double>(width)));
     }
     seen += in_bucket;
   }
@@ -204,8 +210,9 @@ double Histogram::Snapshot::Mean() const {
 
 uint64_t Histogram::Snapshot::Percentile(double q) const {
   if (count == 0 || buckets.empty()) return 0;
-  return PercentileFromBuckets(buckets.data(), kNumBuckets, count, max, q,
-                               &Histogram::BucketLow, &Histogram::BucketHigh);
+  return PercentileFromBuckets(buckets.data(), kNumBuckets, count, min, max,
+                               q, &Histogram::BucketLow,
+                               &Histogram::BucketHigh);
 }
 
 }  // namespace bg3

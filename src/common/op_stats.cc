@@ -4,10 +4,6 @@
 
 namespace bg3 {
 
-namespace internal {
-thread_local OpLayer tls_op_layer = OpLayer::kOther;
-}  // namespace internal
-
 void OpStats::Reset() {
   for (LayerIo& io : layers) {
     io.cloud_read_ops.store(0, std::memory_order_relaxed);

@@ -41,20 +41,28 @@ inline const char* OpLayerName(OpLayer layer) {
 
 namespace internal {
 /// Innermost declared layer of the calling thread (kOther when none).
-extern thread_local OpLayer tls_op_layer;
+/// Function-local rather than a namespace-scope extern: gcc's cross-TU TLS
+/// wrapper can hand instrumented callers a null address for the extern form
+/// (PR 85400-style), which ubsan flags on freshly spawned worker threads.
+/// The accessor form is init-on-first-use and still compiles to a direct
+/// TLS slot access for this trivially constructed type.
+inline OpLayer& TlsOpLayer() {
+  thread_local OpLayer layer = OpLayer::kOther;
+  return layer;
+}
 }  // namespace internal
 
-inline OpLayer CurrentOpLayer() { return internal::tls_op_layer; }
+inline OpLayer CurrentOpLayer() { return internal::TlsOpLayer(); }
 
 /// RAII layer declaration: the innermost scope wins, so a forest op that
 /// descends into a Bw-tree bills its storage reads to "bwtree". Costs one
 /// thread-local store each way — cheap enough for every hot path.
 class OpLayerScope {
  public:
-  explicit OpLayerScope(OpLayer layer) : prev_(internal::tls_op_layer) {
-    internal::tls_op_layer = layer;
+  explicit OpLayerScope(OpLayer layer) : prev_(internal::TlsOpLayer()) {
+    internal::TlsOpLayer() = layer;
   }
-  ~OpLayerScope() { internal::tls_op_layer = prev_; }
+  ~OpLayerScope() { internal::TlsOpLayer() = prev_; }
 
   OpLayerScope(const OpLayerScope&) = delete;
   OpLayerScope& operator=(const OpLayerScope&) = delete;

@@ -1,0 +1,82 @@
+#ifndef BG3_COMMON_SEQLOCK_H_
+#define BG3_COMMON_SEQLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace bg3 {
+
+/// Lock-free published snapshot of a small trivially-copyable value.
+///
+/// Readers never block and never touch a mutex — the use case is hot-path
+/// observers (checkpoint cut capture reading the WAL committed cursor, the
+/// backlog watermark) that must not queue behind the pipeline's internal
+/// locks. Writers must be externally serialized (the WAL ledger updates its
+/// cursors under the pipeline mutex); concurrent Write() calls are a bug.
+///
+/// The value is stored as relaxed atomic words bracketed by an odd/even
+/// version counter, so torn reads are detected and retried rather than
+/// observed — and every access is an atomic access, which keeps the pattern
+/// clean under TSAN (a byte-wise seqlock over plain storage is a data race
+/// by the letter of the memory model even though the torn value is
+/// discarded).
+template <typename T>
+class SeqLock {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SeqLock values are copied as raw words");
+
+ public:
+  SeqLock() {
+    T zero{};
+    StoreWords(zero);
+  }
+
+  /// Publishes `v`. Callers serialize writers externally.
+  void Write(const T& v) {
+    const uint32_t ver = version_.load(std::memory_order_relaxed);
+    version_.store(ver + 1, std::memory_order_relaxed);  // odd: write begun
+    std::atomic_thread_fence(std::memory_order_release);
+    StoreWords(v);
+    version_.store(ver + 2, std::memory_order_release);  // even: consistent
+  }
+
+  /// Returns a consistent snapshot; retries while a write is in progress.
+  T Read() const {
+    for (;;) {
+      const uint32_t before = version_.load(std::memory_order_acquire);
+      if (before & 1) continue;  // writer mid-flight
+      T out;
+      LoadWords(&out);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (version_.load(std::memory_order_relaxed) == before) return out;
+    }
+  }
+
+ private:
+  static constexpr size_t kWords = (sizeof(T) + 7) / 8;
+
+  void StoreWords(const T& v) {
+    uint64_t raw[kWords] = {};
+    std::memcpy(raw, &v, sizeof(T));
+    for (size_t i = 0; i < kWords; ++i) {
+      words_[i].store(raw[i], std::memory_order_relaxed);
+    }
+  }
+
+  void LoadWords(T* out) const {
+    uint64_t raw[kWords];
+    for (size_t i = 0; i < kWords; ++i) {
+      raw[i] = words_[i].load(std::memory_order_relaxed);
+    }
+    std::memcpy(out, raw, sizeof(T));
+  }
+
+  std::atomic<uint32_t> version_{0};
+  std::atomic<uint64_t> words_[kWords];
+};
+
+}  // namespace bg3
+
+#endif  // BG3_COMMON_SEQLOCK_H_

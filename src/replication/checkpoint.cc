@@ -27,6 +27,10 @@ std::string CheckpointManifest::Encode() const {
     PutVarint64(&out, o.tree_id);
     PutVarint64(&out, o.entry_count);
   }
+  // Appended after the original layout so pre-pipeline manifests (which end
+  // here) still decode, reading (0, 0) — the "no frame identity" sentinel.
+  PutVarint64(&out, wal_term);
+  PutVarint64(&out, wal_seq);
   PutFixed32(&out, Crc32c(out.data(), out.size()));
   return out;
 }
@@ -68,6 +72,12 @@ Status CheckpointManifest::Decode(const Slice& input, CheckpointManifest* out) {
       return Status::Corruption("checkpoint manifest owner entry");
     }
     out->owners.push_back(o);
+  }
+  out->wal_term = 0;
+  out->wal_seq = 0;
+  if (!in.empty() &&
+      (!GetVarint64(&in, &out->wal_term) || !GetVarint64(&in, &out->wal_seq))) {
+    return Status::Corruption("checkpoint manifest wal frame identity");
   }
   if (!in.empty()) return Status::Corruption("checkpoint manifest trailing");
   return Status::OK();
@@ -285,9 +295,12 @@ Status Checkpointer::StepLocked() {
     }
     // Fuzzy-cut capture order — LSN, then WAL flush + cursor, then the
     // dirty snapshot (see the class comment for the soundness argument).
+    // The Flush barrier waits out every in-flight pipelined append, so the
+    // committed cursor it leaves behind is gap-free: nothing with a higher
+    // seq can land physically before it.
     BG3_RETURN_IF_ERROR(node_->wal_writer()->Flush());
     cut_.lsn = l0;
-    cut_.wal_cursor = node_->wal_writer()->last_append_ptr();
+    cut_.wal_cursor = node_->wal_writer()->committed_cursor();
     cut_.pending = node_->tree()->DirtyPageIds();
     cut_.next = 0;
     cut_.active = true;
@@ -329,16 +342,18 @@ Status Checkpointer::PublishCutLocked() {
   CheckpointManifest m;
   m.epoch = epoch_ + 1;
   m.wal_stream = node_->options().wal.stream;
-  m.wal_cursor = cut_.wal_cursor;
+  m.wal_cursor = cut_.wal_cursor.ptr;
+  m.wal_term = cut_.wal_cursor.term;
+  m.wal_seq = cut_.wal_cursor.seq;
   m.checkpoint_lsn = cut_.lsn;
   m.trees.push_back({node_->options().tree.tree_id, cut_.lsn});
   BG3_RETURN_IF_ERROR(PublishCheckpoint(store_, scope_, m));
   epoch_ = m.epoch;
   published_lsn_ = cut_.lsn;
   stats_.manifests_written.Inc();
-  if (opts_.truncate_wal && !cut_.wal_cursor.IsNull()) {
+  if (opts_.truncate_wal && !cut_.wal_cursor.ptr.IsNull()) {
     stats_.wal_extents_truncated.Add(store_->TruncateStreamBefore(
-        m.wal_stream, cut_.wal_cursor.extent_id));
+        m.wal_stream, cut_.wal_cursor.ptr.extent_id));
   }
   cut_ = Cut{};
   return Status::OK();

@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/retry.h"
+#include "wal/record.h"
 
 namespace bg3::replication {
 
@@ -45,7 +46,17 @@ struct CheckpointManifest {
   /// Last WAL batch whose records are all covered; null when the scope has
   /// no WAL (GraphDB-level checkpoints).
   cloud::PagePointer wal_cursor;
+  /// (term, seq) identity of that batch under the pipelined writer's batch
+  /// framing (0, 0 for pre-pipeline manifests): recovery seeds its reader
+  /// with them so late-landing duplicates of batches at or below the cursor
+  /// are deduplicated rather than replayed out of order.
+  uint64_t wal_term = 0;
+  uint64_t wal_seq = 0;
   bwtree::Lsn checkpoint_lsn = 0;
+
+  wal::WalCursor WalResumeCursor() const {
+    return wal::WalCursor{wal_cursor, wal_term, wal_seq};
+  }
   std::vector<CheckpointTree> trees;    ///< last-flushed LSN per tree.
   std::vector<CheckpointOwner> owners;  ///< forest owner registry.
 
@@ -155,7 +166,7 @@ class Checkpointer {
   struct Cut {
     bool active = false;
     bwtree::Lsn lsn = 0;
-    cloud::PagePointer wal_cursor;
+    wal::WalCursor wal_cursor;
     std::vector<bwtree::PageId> pending;  ///< dirty snapshot, drained in order.
     size_t next = 0;
   };

@@ -16,6 +16,9 @@ RwNode::RwNode(cloud::CloudStore* store, const RwNodeOptions& options)
   tree_opts.listener = this;
   if (tree_opts.lsn_source == nullptr) tree_opts.lsn_source = &lsn_source_;
   tree_ = std::make_unique<bwtree::BwTree>(store_, tree_opts);
+  if (opts_.async_group_flush) {
+    flusher_ = std::thread([this] { FlusherMain(); });
+  }
 }
 
 RwNode::RwNode(BootstrapTag, cloud::CloudStore* store,
@@ -29,6 +32,38 @@ RwNode::RwNode(BootstrapTag, cloud::CloudStore* store,
   tree_opts.bootstrap = true;  // layout installed by Recover()
   if (tree_opts.lsn_source == nullptr) tree_opts.lsn_source = &lsn_source_;
   tree_ = std::make_unique<bwtree::BwTree>(store_, tree_opts);
+  if (opts_.async_group_flush) {
+    flusher_ = std::thread([this] { FlusherMain(); });
+  }
+}
+
+RwNode::~RwNode() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flusher_mu_);
+      flusher_stop_ = true;
+    }
+    flusher_cv_.notify_all();
+    flusher_.join();
+  }
+}
+
+void RwNode::FlusherMain() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(flusher_mu_);
+      flusher_cv_.wait(lock,
+                       [this] { return flusher_stop_ || flush_requested_; });
+      // A request signalled before stop still runs (a write crossed the
+      // threshold and was told the flusher would take it).
+      if (flusher_stop_ && !flush_requested_) return;
+      flush_requested_ = false;
+    }
+    async_flushes_.Inc();
+    // Failures are counted, not retried here: the dirty pages stay dirty,
+    // so the next threshold crossing re-signals and retries naturally.
+    if (Status s = FlushGroup(); !s.ok()) async_flush_errors_.Inc();
+  }
 }
 
 void RwNode::SetLockRanks() {
@@ -118,6 +153,14 @@ Status RwNode::MaybeFlushGroup() {
       tree_->DirtyPageIds().size() < opts_.flush_group_pages) {
     return Status::OK();
   }
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flusher_mu_);
+      flush_requested_ = true;
+    }
+    flusher_cv_.notify_one();
+    return Status::OK();
+  }
   return FlushGroup();
 }
 
@@ -191,8 +234,11 @@ Status RwNode::PublishStagedLocked(bwtree::Lsn checkpoint, bool force_record) {
                prev, checkpoint, std::memory_order_release,
                std::memory_order_relaxed)) {
     }
+    // Committed cursor, not the raw physical tail: with pipelined appends
+    // the tail may belong to an out-of-order batch whose predecessors are
+    // still in flight — truncating up to it could drop unacked records.
     MutexLock lock(&ckpt_ptr_mu_);
-    last_checkpoint_wal_ptr_ = wal_.last_append_ptr();
+    last_checkpoint_wal_ptr_ = wal_.committed_cursor().ptr;
   }
   return Status::OK();
 }

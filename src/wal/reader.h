@@ -1,6 +1,7 @@
 #ifndef BG3_WAL_READER_H_
 #define BG3_WAL_READER_H_
 
+#include <map>
 #include <vector>
 
 #include "cloud/cloud_store.h"
@@ -11,12 +12,23 @@ namespace bg3::wal {
 /// Tails the WAL stream of the shared store (step (3) in Fig. 7: the WAL
 /// "is instantly read into the RO node's memory"). Each RO node owns one
 /// reader; not thread safe (an RO node polls from one thread).
+///
+/// The pipelined writer may land batches physically out of log order
+/// (parallel in-flight appends; a late retry lands after its successors).
+/// The reader restores log order from the (term, seq) batch frames: a
+/// batch arriving ahead of a seq gap is held until the gap fills, batches
+/// at or below the delivered seq (redelivered duplicates — a successful
+/// append whose acknowledgment the writer lost, or replay past a
+/// conservative cursor) are dropped, and a term change (writer restart)
+/// resets the expected seq to 1 and abandons holds from the dead term
+/// (those batches were never acknowledged). Legacy v1 batches carry no
+/// frame and pass straight through.
 class WalReader {
  public:
   WalReader(cloud::CloudStore* store, cloud::StreamId stream)
       : store_(store), stream_(stream) {}
 
-  /// Decodes all batches appended since the previous poll, in order.
+  /// Decodes all batches appended since the previous poll, in log order.
   Result<std::vector<WalRecord>> Poll(size_t max_batches = 1024);
 
   /// Suffix-bounded entry point for checkpoint recovery: positions the
@@ -28,9 +40,27 @@ class WalReader {
   /// decode time (the checkpoint guarantees published page images cover
   /// them); structural records (tree-init, split, checkpoint) always pass
   /// through — their replay is idempotent.
+  ///
+  /// This legacy overload has no (term, seq) anchor, so the first framed
+  /// batch encountered anchors the expected sequence — only safe when the
+  /// suffix was appended in order (single in-flight append), which every
+  /// barrier-produced cursor guarantees. Prefer the WalCursor overload.
   void SeekTo(const cloud::PagePointer& cursor, bwtree::Lsn lsn_floor = 0) {
-    cursor_ = cursor;
-    lsn_floor_ = lsn_floor;
+    Reset(cursor, lsn_floor);
+    anchor_on_first_ = true;
+  }
+
+  /// Cursor-exact seek: resumes after `cursor.ptr` expecting
+  /// (cursor.term, cursor.seq) to be the last delivered batch. Batches of
+  /// that term at or below the seq (late-landing duplicates of already
+  /// acknowledged appends) are dropped; higher terms restart at seq 1. A
+  /// null cursor means "the stream's true beginning": the first term is
+  /// expected to open at seq 1 even if a later batch lands physically
+  /// first (the strict mode an out-of-order async writer needs).
+  void SeekTo(const WalCursor& cursor, bwtree::Lsn lsn_floor = 0) {
+    Reset(cursor.ptr, lsn_floor);
+    expected_term_ = cursor.term;
+    delivered_seq_ = cursor.seq;
   }
 
   uint64_t batches_consumed() const { return batches_consumed_; }
@@ -42,18 +72,59 @@ class WalReader {
   /// Mutation records dropped because they were at or below the seek floor.
   uint64_t records_filtered() const { return records_filtered_; }
 
-  /// Position of the last consumed batch (null before the first poll).
-  /// Everything at or before this pointer may be truncated for this reader.
+  /// Duplicate batches dropped by (term, seq) dedupe.
+  uint64_t batches_deduped() const { return batches_deduped_; }
+
+  /// Batches currently held back waiting for a seq gap to fill.
+  size_t batches_held() const { return held_.size(); }
+
+  /// Position of the last batch consumed with no reordering outstanding
+  /// (null before the first poll). Everything at or before this pointer may
+  /// be truncated for this reader: while a seq gap is open the cursor stays
+  /// put, so held batches are re-read (and deduped) after a restart rather
+  /// than lost.
   const cloud::PagePointer& cursor() const { return cursor_; }
 
+  /// Cursor plus the (term, seq) identity of the newest delivered batch —
+  /// the resumable form for manifests and follower handoff.
+  WalCursor Cursor() const {
+    return WalCursor{cursor_, expected_term_, delivered_seq_};
+  }
+
  private:
+  void Reset(const cloud::PagePointer& cursor, bwtree::Lsn lsn_floor) {
+    cursor_ = cursor;
+    raw_cursor_ = cursor;
+    lsn_floor_ = lsn_floor;
+    expected_term_ = 0;
+    delivered_seq_ = 0;
+    anchor_on_first_ = false;
+    held_.clear();
+  }
+
+  /// Applies the lsn floor and appends `batch` to `out`.
+  void Deliver(std::vector<WalRecord>&& batch, std::vector<WalRecord>* out);
+
   cloud::CloudStore* const store_;
   const cloud::StreamId stream_;
-  cloud::PagePointer cursor_;  ///< last consumed batch.
+  cloud::PagePointer cursor_;      ///< safe (truncation/restart) position.
+  cloud::PagePointer raw_cursor_;  ///< physical tail position.
   bwtree::Lsn lsn_floor_ = 0;  ///< mutations at or below are checkpointed.
+  uint64_t expected_term_ = 0;   ///< 0 until the first framed batch.
+  uint64_t delivered_seq_ = 0;   ///< newest delivered seq of expected_term_.
+  /// Adopt the first framed batch seen as the sequence anchor. The default
+  /// (and legacy SeekTo) state: a never-positioned reader replays whatever
+  /// physically survives — a truncated stream starts mid-term at a
+  /// barrier-cursor boundary, so its head is in order and the anchor is
+  /// exact. Cleared by the WalCursor SeekTo, whose anchor is explicit; seek
+  /// to a null WalCursor for a strict expect-seq-1 replay of an untruncated
+  /// stream that may open out of order.
+  bool anchor_on_first_ = true;
+  std::map<uint64_t, std::vector<WalRecord>> held_;  ///< seq -> records.
   uint64_t batches_consumed_ = 0;
   uint64_t bytes_consumed_ = 0;
   uint64_t records_filtered_ = 0;
+  uint64_t batches_deduped_ = 0;
 };
 
 }  // namespace bg3::wal

@@ -1,6 +1,7 @@
 #include "wal/record.h"
 
 #include "common/coding.h"
+#include "common/crc32.h"
 
 namespace bg3::wal {
 
@@ -15,6 +16,15 @@ void WalRecord::EncodeTo(std::string* dst) const {
   PutLengthPrefixedSlice(dst, entry.key);
   PutLengthPrefixedSlice(dst, entry.value);
   PutLengthPrefixedSlice(dst, separator);
+}
+
+size_t WalRecord::EncodedSize() const {
+  return 1 + VarintLength(tree_id) + VarintLength(page_id) +
+         VarintLength(aux_page_id) + VarintLength(lsn) +
+         VarintLength(sim_publish_latency_us) + 1 +
+         VarintLength(entry.key.size()) + entry.key.size() +
+         VarintLength(entry.value.size()) + entry.value.size() +
+         VarintLength(separator.size()) + separator.size();
 }
 
 Status WalRecord::DecodeFrom(Slice* input, WalRecord* out) {
@@ -49,19 +59,19 @@ Status WalRecord::DecodeFrom(Slice* input, WalRecord* out) {
   return Status::OK();
 }
 
-std::string EncodeBatch(const std::vector<WalRecord>& records) {
-  std::string out;
-  PutVarint32(&out, static_cast<uint32_t>(records.size()));
+namespace {
+
+void AppendBatchBody(std::string* out, const std::vector<WalRecord>& records) {
+  PutVarint32(out, static_cast<uint32_t>(records.size()));
   std::string scratch;
   for (const WalRecord& r : records) {
     scratch.clear();
     r.EncodeTo(&scratch);
-    PutLengthPrefixedSlice(&out, scratch);
+    PutLengthPrefixedSlice(out, scratch);
   }
-  return out;
 }
 
-Status DecodeBatch(Slice input, std::vector<WalRecord>* out) {
+Status DecodeBatchBody(Slice input, std::vector<WalRecord>* out) {
   uint32_t count;
   if (!GetVarint32(&input, &count)) return Status::Corruption("batch count");
   out->reserve(out->size() + count);
@@ -75,6 +85,55 @@ Status DecodeBatch(Slice input, std::vector<WalRecord>* out) {
     out->push_back(std::move(r));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeBatch(const std::vector<WalRecord>& records) {
+  std::string out;
+  AppendBatchBody(&out, records);
+  return out;
+}
+
+Status DecodeBatch(Slice input, std::vector<WalRecord>* out) {
+  return DecodeBatchBody(input, out);
+}
+
+std::string EncodeFramedBatch(uint64_t term, uint64_t seq,
+                              const std::vector<WalRecord>& records) {
+  std::string out;
+  out.push_back(0);  // v2 marker; a v1 batch never starts with 0x00.
+  PutVarint64(&out, term);
+  PutVarint64(&out, seq);
+  const size_t crc_at = out.size();
+  PutFixed32(&out, 0);  // patched below once the body is known.
+  const size_t body_at = out.size();
+  AppendBatchBody(&out, records);
+  const uint32_t crc = Crc32c(out.data() + body_at, out.size() - body_at);
+  std::string crc_bytes;
+  PutFixed32(&crc_bytes, crc);
+  out.replace(crc_at, 4, crc_bytes);
+  return out;
+}
+
+Status DecodeAnyBatch(Slice input, BatchHeader* header,
+                      std::vector<WalRecord>* out) {
+  *header = BatchHeader{};
+  if (input.empty()) return Status::Corruption("empty batch");
+  if (input[0] != 0) return DecodeBatchBody(input, out);  // legacy v1
+  input.remove_prefix(1);
+  uint32_t crc = 0;
+  if (!GetVarint64(&input, &header->term) ||
+      !GetVarint64(&input, &header->seq) || !GetFixed32(&input, &crc)) {
+    return Status::Corruption("batch frame header");
+  }
+  if (header->term == 0 || header->seq == 0) {
+    return Status::Corruption("batch frame ids");
+  }
+  if (Crc32c(input.data(), input.size()) != crc) {
+    return Status::Corruption("batch frame crc mismatch");
+  }
+  return DecodeBatchBody(input, out);
 }
 
 }  // namespace bg3::wal

@@ -2,17 +2,41 @@
 #define BG3_WAL_WRITER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "cloud/append_pipeline.h"
 #include "cloud/cloud_store.h"
+#include "common/commit_sequencer.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/retry.h"
+#include "common/seqlock.h"
 #include "wal/record.h"
 
 namespace bg3::wal {
+
+/// How Append/Flush reach the cloud store.
+enum class WalWriterMode : uint8_t {
+  /// Legacy inline path: the sealing thread encodes and appends the batch
+  /// synchronously under the writer mutex. Kept as the measured baseline
+  /// for bench_write_latency and for tests that pin the historical
+  /// behavior.
+  kSync,
+  /// BtrLog-style pipeline (DESIGN.md §5.9): Append is a memory-only
+  /// enqueue; a serializer thread stamps+encodes sealed batches off the
+  /// caller thread; up to `inflight_appends` cloud appends run concurrently
+  /// and complete out of order into a commit ledger that acknowledges
+  /// strictly in log order.
+  kPipelined,
+};
 
 struct WalWriterOptions {
   cloud::StreamId stream = 0;
@@ -27,57 +51,176 @@ struct WalWriterOptions {
   /// Batch-append retry policy. A torn or transiently failed append is
   /// simply re-appended: the damaged copy never passes its CRC check, so
   /// tailing readers skip it, and duplicate *successful* batches are safe
-  /// (replay is LSN-gated and split/init records are idempotent on RO
-  /// nodes). On exhaustion the records stay buffered — the WAL falls
-  /// behind and the next Append/Flush tries again; nothing acknowledged is
-  /// ever dropped.
+  /// (batches carry (term, seq) identities the reader dedupes on, and
+  /// replay is LSN-gated besides). On exhaustion the records stay buffered
+  /// — the WAL falls behind and the next Append/Flush tries again; nothing
+  /// acknowledged is ever dropped.
   RetryOptions retry;
+
+  WalWriterMode mode = WalWriterMode::kPipelined;
+  /// Cloud appends allowed in flight at once (pipelined mode).
+  size_t inflight_appends = 4;
+  /// When true (the default), an Append that seals a batch blocks until
+  /// that batch acknowledges — group-commit semantics identical to kSync:
+  /// returning OK means the record (and everything before it) is durable,
+  /// and a failed append surfaces on the sealing call with the records
+  /// still buffered. Set false for fully asynchronous enqueue; callers
+  /// then order durability themselves via WaitCommitted/Flush.
+  bool commit_wait_on_seal = true;
+  /// Forwarded to the append pipeline: sleep `simulated latency * scale`
+  /// wall time per append so latency benches see real queueing. 0 = off.
+  double wall_latency_scale = 0.0;
 };
 
-/// Appends WAL batches to the shared cloud store, totally ordered. Thread
-/// safe (single internal mutex — the WAL is one serialized stream by
-/// design).
+/// Durability ticket: the cumulative enqueue index (1-based) of a record.
+/// Acknowledgment is in-order, so waiting on a ticket waits for that record
+/// *and every record enqueued before it*.
+struct WalTicket {
+  uint64_t index = 0;
+};
+
+/// Appends WAL batches to the shared cloud store, totally ordered by
+/// enqueue. Thread safe. In pipelined mode the physical stream may carry
+/// batches out of log order (parallel in-flight appends, late retries);
+/// every batch is framed with this writer's term and a seal-order seq so
+/// readers restore log order, and all externally visible state —
+/// acknowledgments, committed_cursor(), batches_appended() — moves strictly
+/// in log order regardless of completion order.
 class WalWriter {
  public:
   WalWriter(cloud::CloudStore* store, const WalWriterOptions& options);
+  /// Joins the pipeline: sealed and queued batches get one final shot
+  /// (their normal retry loop), parked (already failed) batches are not
+  /// retried again, and records still in the open buffer are dropped —
+  /// exactly the loss surface of the legacy writer, where an unflushed
+  /// buffer died with the process.
+  ~WalWriter();
 
-  /// Buffers one record; triggers a batch append once group_size is
-  /// reached. Records become visible to readers only after their batch is
-  /// appended. The optional OpContext deadline rides the batch append's
-  /// retry loop (a failed flush leaves the records buffered either way).
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Buffers one record; seals a batch once group_size is reached. Records
+  /// become visible to readers only after their batch is appended. With
+  /// commit_wait_on_seal (default) the sealing call blocks for its batch's
+  /// in-order acknowledgment — so this returns exactly what the legacy
+  /// inline flush returned; otherwise it is a memory-only enqueue. The
+  /// optional OpContext deadline bounds the acknowledgment wait (sync mode:
+  /// rides the batch append's retry loop).
   BG3_BLOCKING Status Append(WalRecord record, const OpContext* ctx = nullptr);
 
-  /// Forces out any buffered records.
+  /// Memory-only enqueue, never blocks on I/O or acknowledgment (pipelined
+  /// mode; in sync mode this is Append minus nothing — it may still flush
+  /// inline). Hands back the record's durability ticket.
+  Status AppendAsync(WalRecord record, const OpContext* ctx, WalTicket* ticket);
+
+  /// Blocks until every record up to `ticket` is durably acknowledged, the
+  /// context deadline expires, or the pipeline reports an append failure
+  /// (the failed batch stays buffered; a later Append/Flush re-kicks it).
+  /// Seals the open buffer first if the ticket's record is still in it —
+  /// a waiter forces its (possibly short) group out.
+  BG3_BLOCKING Status WaitCommitted(WalTicket ticket,
+                                    const OpContext* ctx = nullptr);
+
+  /// Full durability barrier: seals any open records, re-kicks parked
+  /// batches, and waits until everything enqueued before the call is
+  /// acknowledged (no I/O on the calling thread in pipelined mode).
   BG3_BLOCKING Status Flush(const OpContext* ctx = nullptr);
 
   uint64_t batches_appended() const { return batches_.Get(); }
   uint64_t records_appended() const { return records_.Get(); }
 
-  /// Records waiting for a batch append — the WAL flush backlog. Grows
-  /// when appends keep failing (retry exhaustion leaves records buffered),
-  /// so it is the write-degradation watermark signal of DESIGN.md §5.5.
-  /// Lock-free (atomic mirror of buffer_.size()).
+  /// Records enqueued but not yet acknowledged (open buffer + sealed +
+  /// in-flight + parked) — the WAL flush backlog. Grows when appends keep
+  /// failing, so it is the write-degradation watermark signal of DESIGN.md
+  /// §5.5; under the pipeline it also counts batches riding their cloud
+  /// round trip. Lock-free.
   size_t BufferedRecords() const {
     return buffered_records_.load(std::memory_order_relaxed);
   }
 
-  /// Location of the most recently appended batch (null before the first).
-  cloud::PagePointer last_append_ptr() const;
+  /// Records durably acknowledged (in enqueue order). Lock-free.
+  uint64_t committed_records() const { return sequencer_.current(); }
+
+  /// Physical location of the furthest successful append (null before the
+  /// first). Lock-free (seqlock); in pipelined mode this can run ahead of
+  /// the committed prefix — use committed_cursor() for anything that must
+  /// name a durable, gap-free log position.
+  cloud::PagePointer last_append_ptr() const { return physical_ptr_.Read(); }
+
+  /// The safe resume point: every batch with seq > cursor.seq is physically
+  /// at or after cursor.ptr, and everything at or below cursor.seq is
+  /// acknowledged. Only advances when no completion is outstanding out of
+  /// order (a Flush barrier always leaves it fresh). Lock-free (seqlock) —
+  /// read on the checkpoint cut's hot path under the PR 7 latch order.
+  WalCursor committed_cursor() const { return committed_cursor_.Read(); }
+
+  /// This writer's incarnation id (stamped into every batch frame).
+  uint64_t term() const { return term_; }
 
  private:
+  struct SealedBatch {
+    uint64_t seq = 0;
+    uint64_t last_ticket = 0;
+    std::vector<WalRecord> records;
+  };
+
   BG3_BLOCKING Status FlushLocked(const OpContext* ctx);
+  /// Seals the open buffer into the serializer queue, billing the batch's
+  /// eventual cloud append to `ctx` (the sealer pays for the group, as with
+  /// the legacy inline flush). Returns the sealed seq, or 0 when the buffer
+  /// was empty.
+  uint64_t SealLocked(const OpContext* ctx);
+  void SerializerMain();
+  void OnAppendComplete(cloud::AppendPipeline::Completion done);
+  /// Moves parked (failed) batches with seq < `below_seq` back into the
+  /// append queue. The bound keeps a sealing Append from re-kicking its own
+  /// just-failed batch — a failure must surface on that call, not get a
+  /// retry its policy never granted.
+  void KickParked(uint64_t below_seq);
+  /// Waits for `target` tickets to commit, mapping pipeline failures to the
+  /// append error exactly like the legacy inline flush surfaced it.
+  BG3_BLOCKING Status WaitTicket(uint64_t target, const OpContext* ctx);
 
   cloud::CloudStore* const store_;
   const WalWriterOptions opts_;
+  const uint64_t term_;
 
+  // -- enqueue stage: the open buffer ---------------------------------------
   mutable std::mutex mu_;
   std::vector<WalRecord> buffer_;
+  uint64_t enqueued_records_ = 0;  ///< cumulative; ticket of the newest.
+  uint64_t next_seal_seq_ = 1;
   std::atomic<size_t> buffered_records_{0};
-  cloud::PagePointer last_append_ptr_;
-  Random rng_;
 
+  // -- serializer + ledger --------------------------------------------------
+  mutable std::mutex led_mu_;
+  std::condition_variable led_cv_;
+  std::deque<SealedBatch> seal_queue_;          ///< awaiting serialization.
+  std::map<uint64_t, std::pair<cloud::PagePointer, uint64_t>>
+      pending_;                                 ///< landed out of order.
+  std::map<uint64_t, std::pair<std::string, uint64_t>>
+      parked_;                                  ///< failed; await re-kick.
+  uint64_t next_commit_seq_ = 1;
+  uint64_t committed_record_count_ = 0;
+  uint64_t outstanding_ = 0;  ///< serializing / queued / mid-append batches.
+  cloud::PagePointer max_physical_ptr_;
+  Status last_error_;
+  bool stop_serializer_ = false;
+
+  CommitSequencer sequencer_;
+  SeqLock<cloud::PagePointer> physical_ptr_;
+  SeqLock<WalCursor> committed_cursor_;
+
+  Random rng_;  ///< serializer-owned in pipelined mode; under mu_ in sync.
   Counter batches_;
   Counter records_;
+
+  std::unique_ptr<cloud::AppendPipeline> pipeline_;
+  std::thread serializer_;
+
+  // Sync mode keeps everything under mu_.
+  cloud::PagePointer last_append_ptr_sync_;
+  uint64_t sync_seq_ = 0;
 };
 
 }  // namespace bg3::wal

@@ -1,0 +1,224 @@
+// Property tests for the pipelined WAL (DESIGN.md §5.9): with latency
+// spikes and transient errors permuting the completion order of parallel
+// in-flight appends, acknowledgments still move strictly in log order, a
+// crash leaves a contiguous committed prefix, and cursor-exact SeekTo
+// replays exactly the suffix. Failing runs print their seed;
+// BG3_TEST_SEED=<seed> replays them.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_store.h"
+#include "cloud/fault_injector.h"
+#include "common/random.h"
+#include "test_seed.h"
+#include "wal/reader.h"
+#include "wal/record.h"
+#include "wal/writer.h"
+
+namespace bg3::wal {
+namespace {
+
+WalRecord Mutation(bwtree::Lsn lsn) {
+  WalRecord r;
+  r.type = WalRecord::Type::kMutation;
+  r.tree_id = 1;
+  r.page_id = lsn % 7;
+  r.lsn = lsn;
+  r.entry = {bwtree::DeltaOp::kUpsert, "k" + std::to_string(lsn),
+             "v" + std::to_string(lsn)};
+  return r;
+}
+
+/// Reads everything a fresh reader can deliver from the stream in strict
+/// log order (null-cursor seek: the first term must open at seq 1, exactly
+/// what an out-of-order physical stream needs).
+std::vector<WalRecord> StrictReplay(cloud::CloudStore* store,
+                                    cloud::StreamId stream) {
+  // These properties are about what the writer left in the stream, not
+  // about the reader's own fault handling — stop injecting before replay.
+  store->SetFaultInjector(nullptr);
+  WalReader reader(store, stream);
+  reader.SeekTo(WalCursor{});
+  std::vector<WalRecord> all;
+  for (;;) {
+    auto batch = reader.Poll();
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    if (!batch.ok() || batch.value().empty()) break;
+    for (auto& r : batch.value()) all.push_back(std::move(r));
+  }
+  return all;
+}
+
+/// `records` must be exactly lsns 1..records.size() in order — the
+/// contiguous-prefix invariant (no loss inside the prefix, no duplicates,
+/// no reordering).
+void ExpectContiguousPrefix(const std::vector<WalRecord>& records,
+                            uint64_t seed, int trial) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    ASSERT_EQ(records[i].lsn, i + 1)
+        << "seed=" << seed << " trial=" << trial << " at index " << i;
+  }
+}
+
+WalWriterOptions PipelinedOptions(cloud::StreamId stream, Random& rng) {
+  WalWriterOptions w;
+  w.stream = stream;
+  w.mode = WalWriterMode::kPipelined;
+  w.commit_wait_on_seal = false;  // fully async enqueue.
+  w.group_size = 1 + rng.Uniform(3);
+  w.group_window_us = 0;
+  w.inflight_appends = 2 + rng.Uniform(3);  // 2..4 parallel appends.
+  w.retry.max_attempts = 6;  // transient_error_p^6: exhaustion ~never.
+  // Sleep a slice of the simulated latency for real, so a latency spike
+  // genuinely delays one in-flight append past its successors — the
+  // completion-order permutation these properties are about.
+  w.wall_latency_scale = 0.02;
+  return w;
+}
+
+cloud::FaultInjectorOptions SpikyFaults(Random& rng) {
+  cloud::FaultInjectorOptions fopts;
+  fopts.seed = rng.Next();
+  fopts.latency_spike_p = 0.35;
+  fopts.latency_spike_us = 20'000;
+  fopts.transient_error_p = 0.05;
+  return fopts;
+}
+
+// Acknowledgment order is log order, never completion order: whatever the
+// spikes do to which append lands first, WaitCommitted(ticket) implies
+// every earlier record is durable, and the committed count never runs
+// ahead of a contiguous durable prefix.
+TEST(WalPipelineTest, AcksAreLogOrderedUnderCompletionReorder) {
+  const uint64_t seed =
+      test::AnnouncedSeed("WalPipelineTest.AcksLogOrdered", 0xB7101);
+  Random rng(seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    cloud::FaultInjector fi(SpikyFaults(rng));
+    cloud::CloudStore store;
+    store.SetFaultInjector(&fi);
+    const cloud::StreamId stream = store.CreateStream("wal");
+    WalWriter writer(&store, PipelinedOptions(stream, rng));
+
+    const size_t n = 20 + rng.Uniform(40);
+    std::vector<WalTicket> tickets(n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          writer.AppendAsync(Mutation(i + 1), nullptr, &tickets[i]).ok())
+          << "seed=" << seed << " trial=" << trial;
+    }
+    // Wait on a random subset of tickets, deliberately out of enqueue
+    // order. Each successful wait pins the in-order invariant at that
+    // point: committed_records() covers the ticket's whole prefix.
+    for (int probe = 0; probe < 8; ++probe) {
+      const size_t idx = rng.Uniform(n);
+      ASSERT_TRUE(writer.WaitCommitted(tickets[idx]).ok())
+          << "seed=" << seed << " trial=" << trial;
+      EXPECT_GE(writer.committed_records(), tickets[idx].index)
+          << "seed=" << seed << " trial=" << trial;
+    }
+    ASSERT_TRUE(writer.Flush().ok()) << "seed=" << seed << " trial=" << trial;
+    EXPECT_EQ(writer.committed_records(), n);
+
+    // The stream replays to exactly the full run, in order, no duplicates
+    // — retries may have landed duplicate batches physically, but the
+    // (term, seq) dedupe hides them.
+    const auto replay = StrictReplay(&store, stream);
+    ASSERT_EQ(replay.size(), n) << "seed=" << seed << " trial=" << trial;
+    ExpectContiguousPrefix(replay, seed, trial);
+  }
+}
+
+// Crashing mid-pipeline (writer destroyed with appends still in flight)
+// leaves a stream whose strict replay is a contiguous prefix covering at
+// least everything that was acknowledged before the crash.
+TEST(WalPipelineTest, CrashLeavesContiguousCommittedPrefix) {
+  const uint64_t seed =
+      test::AnnouncedSeed("WalPipelineTest.CrashPrefix", 0xB7102);
+  Random rng(seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    cloud::FaultInjector fi(SpikyFaults(rng));
+    cloud::CloudStore store;
+    store.SetFaultInjector(&fi);
+    const cloud::StreamId stream = store.CreateStream("wal");
+
+    const size_t n = 20 + rng.Uniform(40);
+    uint64_t acked = 0;
+    {
+      WalWriter writer(&store, PipelinedOptions(stream, rng));
+      std::vector<WalTicket> tickets(n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(
+            writer.AppendAsync(Mutation(i + 1), nullptr, &tickets[i]).ok())
+            << "seed=" << seed << " trial=" << trial;
+      }
+      // Wait for a random mid-stream ticket, then "crash" by destroying
+      // the writer with the rest still in flight.
+      const size_t idx = rng.Uniform(n);
+      ASSERT_TRUE(writer.WaitCommitted(tickets[idx]).ok())
+          << "seed=" << seed << " trial=" << trial;
+      acked = writer.committed_records();
+      ASSERT_GE(acked, tickets[idx].index);
+    }
+
+    const auto replay = StrictReplay(&store, stream);
+    EXPECT_GE(replay.size(), acked) << "seed=" << seed << " trial=" << trial;
+    EXPECT_LE(replay.size(), n) << "seed=" << seed << " trial=" << trial;
+    ExpectContiguousPrefix(replay, seed, trial);
+  }
+}
+
+// Cursor-exact SeekTo replays exactly the records enqueued after the
+// cursor — even when both halves of the stream were physically reordered.
+TEST(WalPipelineTest, SeekToCursorReplaysExactSuffix) {
+  const uint64_t seed =
+      test::AnnouncedSeed("WalPipelineTest.SeekToSuffix", 0xB7103);
+  Random rng(seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    cloud::FaultInjector fi(SpikyFaults(rng));
+    cloud::CloudStore store;
+    store.SetFaultInjector(&fi);
+    const cloud::StreamId stream = store.CreateStream("wal");
+    WalWriter writer(&store, PipelinedOptions(stream, rng));
+
+    const size_t first = 10 + rng.Uniform(20);
+    const size_t second = 10 + rng.Uniform(20);
+    for (size_t i = 0; i < first; ++i) {
+      ASSERT_TRUE(writer.AppendAsync(Mutation(i + 1), nullptr, nullptr).ok());
+    }
+    // The Flush barrier leaves committed_cursor() fresh: nothing pending,
+    // nothing in flight, so the cursor names a durable gap-free position.
+    ASSERT_TRUE(writer.Flush().ok()) << "seed=" << seed << " trial=" << trial;
+    const WalCursor cut = writer.committed_cursor();
+    ASSERT_EQ(cut.term, writer.term());
+
+    for (size_t i = 0; i < second; ++i) {
+      ASSERT_TRUE(
+          writer.AppendAsync(Mutation(first + i + 1), nullptr, nullptr).ok());
+    }
+    ASSERT_TRUE(writer.Flush().ok()) << "seed=" << seed << " trial=" << trial;
+
+    store.SetFaultInjector(nullptr);  // replay the suffix without faults.
+    WalReader reader(&store, stream);
+    reader.SeekTo(cut);
+    std::vector<WalRecord> suffix;
+    for (;;) {
+      auto batch = reader.Poll();
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      if (batch.value().empty()) break;
+      for (auto& r : batch.value()) suffix.push_back(std::move(r));
+    }
+    ASSERT_EQ(suffix.size(), second)
+        << "seed=" << seed << " trial=" << trial;
+    for (size_t i = 0; i < suffix.size(); ++i) {
+      EXPECT_EQ(suffix[i].lsn, first + i + 1)
+          << "seed=" << seed << " trial=" << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bg3::wal
