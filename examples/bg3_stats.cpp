@@ -22,6 +22,7 @@
 #include "common/trace.h"
 #include "core/graph_db.h"
 #include "query/query.h"
+#include "replication/cluster.h"
 #include "workload/driver.h"
 #include "workload/workloads.h"
 
@@ -127,6 +128,27 @@ int main() {
     printf("\ntrace written to %s (load in chrome://tracing)\n",
            trace_path.c_str());
   }
+
+  // A small replicated cluster so /healthz carries per-partition roles,
+  // terms and WAL cursors (DESIGN.md §5.10). One leader failover leaves a
+  // promoted leader (term > 1) and a fenced zombie in the report; the
+  // cluster registers itself as a health source on construction and stays
+  // alive through the serve window below.
+  cloud::CloudStore cluster_store;
+  replication::ClusterOptions cluster_opts;
+  cluster_opts.partitions = 2;
+  cluster_opts.followers_per_partition = 2;
+  cluster_opts.wal.group_window_us = 0;
+  replication::Bg3Cluster cluster(&cluster_store, cluster_opts);
+  for (int i = 0; i < 200; ++i) {
+    BG3_IGNORE_STATUS(
+        cluster.Put("health-key-" + std::to_string(i), "health-value"));
+  }
+  BG3_IGNORE_STATUS(cluster.PromoteFollower(0));
+  printf("cluster health: %llu partitions, %llu promotions, term %llu\n",
+         (unsigned long long)cluster.partitions(),
+         (unsigned long long)cluster.promotions(),
+         (unsigned long long)cluster.term(0));
 
   // Keep the debug endpoint up for scrapes (BG3_SERVE_MS, default 0).
   const char* serve_env = std::getenv("BG3_SERVE_MS");

@@ -69,6 +69,17 @@ BENCH_EXPECTATIONS = {
         "scalars": [("replay_savings_16x", 0.5),
                     ("full_vs_checkpoint_replay_ratio_16x", 4.0)],
     },
+    "failover": {
+        "series": ["checkpointed", "full_replay"],
+        # Failover floors (DESIGN.md §5.10), deterministic byte ratios:
+        # promoting a cold follower with a checkpoint manifest must replay
+        # <= 50% of the 16x WAL backlog (the catch-up is bounded by the
+        # checkpoint suffix, not total WAL length), and the no-checkpoint
+        # promotion must read >= 4x more bytes. Wall-clock
+        # unavailability_us rides along in the series rows for inspection.
+        "scalars": [("promotion_replay_savings_16x", 0.5),
+                    ("full_vs_checkpoint_promotion_replay_ratio_16x", 4.0)],
+    },
     "write_latency": {
         "series": ["sync", "pipelined"],
         # Pipelined-WAL acceptance bar (DESIGN.md §5.9): at the default

@@ -5,7 +5,10 @@ Launches a binary (default: build/examples/bg3_stats) with the debug server
 enabled, parses the "debug server listening on 127.0.0.1:PORT" line, then
 scrapes and validates every route while the process keeps serving:
 
-  /healthz   must return "ok"
+  /healthz   JSON: status "ok"; when a Bg3Cluster is registered as a
+             health source, every partition reports node roles
+             (leader/follower/zombie), leader terms >= 1 and a committed
+             WAL cursor (DESIGN.md §5.10)
   /metrics   Prometheus text exposition: every sample line parses, known
              bg3 counters are present and non-negative
   /tracez    chrome-tracing JSON: traceEvents parse; when a traced request
@@ -38,10 +41,68 @@ def fetch(port, path):
         return resp.status, resp.read().decode("utf-8")
 
 
+VALID_ROLES = {"leader", "follower", "zombie"}
+
+
 def check_healthz(port):
     status, body = fetch(port, "/healthz")
-    if status != 200 or body.strip() != "ok":
+    if status != 200:
         fail(f"/healthz: status={status} body={body!r}")
+        return
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as e:
+        fail(f"/healthz: not JSON: {e} body={body!r}")
+        return
+    if doc.get("status") != "ok":
+        fail(f"/healthz: status field {doc.get('status')!r} != 'ok'")
+        return
+    # Failover health (DESIGN.md §5.10): every registered cluster source
+    # must report well-formed per-partition role/term/cursor entries.
+    clusters = 0
+    for name, source in doc.get("sources", {}).items():
+        parts = source.get("partitions")
+        if parts is None:
+            continue
+        clusters += 1
+        if not parts:
+            fail(f"/healthz: source {name} has no partitions")
+            return
+        for part in parts:
+            nodes = part.get("nodes", [])
+            roles = [n.get("role") for n in nodes]
+            bad = [r for r in roles if r not in VALID_ROLES]
+            if bad:
+                fail(f"/healthz: source {name} partition "
+                     f"{part.get('partition')} has invalid roles {bad}")
+                return
+            if "leader" not in roles or "follower" not in roles:
+                fail(f"/healthz: source {name} partition "
+                     f"{part.get('partition')} lacks a leader+follower "
+                     f"(roles: {roles})")
+                return
+            for n in nodes:
+                if n["role"] == "leader":
+                    if not isinstance(n.get("term"), int) or n["term"] < 1:
+                        fail(f"/healthz: source {name} leader term "
+                             f"{n.get('term')!r} invalid")
+                        return
+                    committed = n.get("committed", {})
+                    for key in ("term", "seq", "extent", "offset"):
+                        if key not in committed:
+                            fail(f"/healthz: source {name} leader committed "
+                                 f"cursor missing '{key}'")
+                            return
+                elif n["role"] == "follower":
+                    if "wal_offset" not in n:
+                        fail(f"/healthz: source {name} follower missing "
+                             "wal_offset")
+                        return
+    if clusters == 0:
+        fail("/healthz: no cluster health source registered "
+             "(the demo builds a Bg3Cluster and fails one leader over)")
+        return
+    print(f"/healthz: OK ({clusters} cluster source(s))")
 
 
 PROM_LINE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+naif]+)$")

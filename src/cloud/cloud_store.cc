@@ -130,6 +130,31 @@ FaultDecision CloudStore::DecideFault(FaultOp op) const {
 Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
                                        uint64_t* latency_us,
                                        const OpContext* ctx) {
+  return AppendImpl(stream, /*fenced=*/false, /*term=*/0, record, latency_us,
+                    ctx);
+}
+
+Result<PagePointer> CloudStore::AppendFenced(StreamId stream, uint64_t term,
+                                             const Slice& record,
+                                             uint64_t* latency_us,
+                                             const OpContext* ctx) {
+  return AppendImpl(stream, /*fenced=*/true, term, record, latency_us, ctx);
+}
+
+void CloudStore::FenceStream(StreamId stream, uint64_t min_term) {
+  Stream* s = GetStream(stream);
+  if (s != nullptr) s->Fence(min_term);
+}
+
+uint64_t CloudStore::StreamFenceTerm(StreamId stream) const {
+  const Stream* s = GetStream(stream);
+  return s == nullptr ? 0 : s->fence_term();
+}
+
+Result<PagePointer> CloudStore::AppendImpl(StreamId stream, bool fenced,
+                                           uint64_t term, const Slice& record,
+                                           uint64_t* latency_us,
+                                           const OpContext* ctx) {
   BG3_TIMED_SCOPE("bg3.cloud.append_ns");
   Stream* s = GetStream(stream);
   if (s == nullptr) return Status::InvalidArgument("unknown stream");
@@ -137,6 +162,12 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
   BG3_RETURN_IF_ERROR(CheckLatencyBudget(
       ctx, latency_model_.AppendLatencyUs(record.size()), "append"));
   BG3_RETURN_IF_ERROR(CheckBreaker());
+  // Places the record, honoring the fence check atomically with placement
+  // when this is a fenced append.
+  auto place = [&]() -> Result<PagePointer> {
+    if (fenced) return s->AppendFenced(record, term);
+    return s->Append(record);
+  };
   const FaultDecision fault = DecideFault(FaultOp::kAppend);
   if (fault.fail) {
     breaker_.RecordError();
@@ -149,7 +180,14 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
     // died mid-append before acknowledging). The dead bytes occupy extent
     // capacity until GC frees it, exactly like a real partial append, so
     // the record is appended for real, then garbled and invalidated.
-    const PagePointer ptr = s->Append(record);
+    Result<PagePointer> placed = place();
+    if (!placed.ok()) {
+      // A fenced rejection is a healthy answer, not a substrate failure —
+      // and it wins over the injected fault (the record never landed).
+      breaker_.RecordSuccess();
+      return placed.status();
+    }
+    const PagePointer ptr = placed.value();
     stats_.append_ops.Inc();
     stats_.append_bytes.Add(record.size());
     // The bytes landed (and were billed by the service) even though the
@@ -168,7 +206,13 @@ Result<PagePointer> CloudStore::Append(StreamId stream, const Slice& record,
     breaker_.RecordError();
     return Status::IOError("injected torn append at stream tail");
   }
-  const PagePointer ptr = s->Append(record);
+  Result<PagePointer> placed = place();
+  if (!placed.ok()) {
+    // Status::Fenced: the stream correctly rejected a deposed writer.
+    breaker_.RecordSuccess();
+    return placed.status();
+  }
+  const PagePointer ptr = placed.value();
   stats_.append_ops.Inc();
   stats_.append_bytes.Add(record.size());
   OpStats::RecordCloudAppend(ctx != nullptr ? ctx->stats : nullptr,
@@ -317,6 +361,23 @@ bool CloudStore::CorruptRecordForTesting(const PagePointer& ptr,
 
 uint64_t CloudStore::ManifestPut(const std::string& key, const Slice& value) {
   MutexLock lock(&manifest_mu_);
+  const uint64_t version = ++manifest_version_;
+  manifest_[key] = {value.ToString(), version};
+  stats_.manifest_updates.Inc();
+  return version;
+}
+
+Result<uint64_t> CloudStore::ManifestCas(const std::string& key,
+                                         uint64_t expected_version,
+                                         const Slice& value) {
+  MutexLock lock(&manifest_mu_);
+  auto it = manifest_.find(key);
+  const uint64_t current = it == manifest_.end() ? 0 : it->second.second;
+  if (current != expected_version) {
+    return Status::Aborted("manifest CAS lost on " + key + ": expected v" +
+                           std::to_string(expected_version) + ", current v" +
+                           std::to_string(current));
+  }
   const uint64_t version = ++manifest_version_;
   manifest_[key] = {value.ToString(), version};
   stats_.manifest_updates.Inc();

@@ -120,6 +120,27 @@ class CloudStore {
                              uint64_t* latency_us = nullptr,
                              const OpContext* ctx = nullptr);
 
+  /// Term-fenced append (DESIGN.md §5.10): fails with Status::Fenced —
+  /// atomically with record placement — when `term` is below the stream's
+  /// fence term. Fenced is a *correct rejection* by a healthy substrate, not
+  /// a substrate failure: it does not feed the circuit breaker's error
+  /// window and is not retryable. Plain Append() does not participate in
+  /// fencing (page-flush and GC streams are never fenced; only the WAL
+  /// stream of a partition is).
+  BG3_BLOCKING Result<PagePointer> AppendFenced(StreamId stream, uint64_t term,
+                                   const Slice& record,
+                                   uint64_t* latency_us = nullptr,
+                                   const OpContext* ctx = nullptr);
+
+  /// Raises `stream`'s fence to `min_term` (monotone, idempotent). Every
+  /// AppendFenced carrying a lower term fails from this point on — the
+  /// promotion barrier that makes a deposed leader's in-flight pipelined
+  /// groups land nowhere.
+  void FenceStream(StreamId stream, uint64_t min_term);
+
+  /// Current fence term of `stream` (0 = never fenced / unknown stream).
+  uint64_t StreamFenceTerm(StreamId stream) const;
+
   BG3_BLOCKING Result<std::string> Read(const PagePointer& ptr,
                            uint64_t* latency_us = nullptr,
                            const OpContext* ctx = nullptr);
@@ -153,6 +174,14 @@ class CloudStore {
   // Fig. 7) and RO nodes read them. Each Put returns a monotonically
   // increasing version.
   BG3_BLOCKING uint64_t ManifestPut(const std::string& key, const Slice& value);
+  /// Compare-and-swap put: succeeds only if the key's current version equals
+  /// `expected_version` (0 = key must not exist yet). Returns the new
+  /// version on success; Aborted (carrying the current version in the
+  /// message) when another writer got there first — the primitive behind
+  /// epoch-record publication, where the double-promotion loser must lose
+  /// deterministically (DESIGN.md §5.10).
+  BG3_BLOCKING Result<uint64_t> ManifestCas(const std::string& key,
+                               uint64_t expected_version, const Slice& value);
   /// Returns NotFound if the key was never written.
   BG3_BLOCKING Result<std::string> ManifestGet(const std::string& key,
                                   uint64_t* version = nullptr,
@@ -212,6 +241,9 @@ class CloudStore {
 
  private:
   Stream* GetStream(StreamId id) const;
+  Result<PagePointer> AppendImpl(StreamId stream, bool fenced, uint64_t term,
+                                 const Slice& record, uint64_t* latency_us,
+                                 const OpContext* ctx);
   /// Consults the attached injector (if any) for `op`; counts fired faults.
   FaultDecision DecideFault(FaultOp op) const;
   /// Overloaded when the breaker rejects, OK otherwise.

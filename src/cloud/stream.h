@@ -55,6 +55,22 @@ class Stream {
   /// oversized extent.
   PagePointer Append(const Slice& record);
 
+  /// Term-fenced append (DESIGN.md §5.10): the record is placed only if
+  /// `term` is at least the stream's fence term, atomically with the fence
+  /// check — a deposed leader's batch can never land after a newer leader's
+  /// fence is raised. `term == 0` means unfenced legacy callers, which are
+  /// rejected too once a fence is raised (a fenced stream accepts only
+  /// writers that present a current term).
+  Result<PagePointer> AppendFenced(const Slice& record, uint64_t term);
+
+  /// Raises the fence to `min_term` (monotone; lower values are ignored).
+  /// After this returns, every append carrying a term < min_term fails with
+  /// Status::Fenced.
+  void Fence(uint64_t min_term);
+
+  /// Current fence term (0 = never fenced).
+  uint64_t fence_term() const;
+
   Status Read(const PagePointer& ptr, std::string* out) const;
 
   /// See Extent::MarkInvalid; returns the invalidated length (0 if unknown).
@@ -88,6 +104,7 @@ class Stream {
 
  private:
   void OpenNewExtent(size_t capacity) BG3_REQUIRES(mu_);
+  PagePointer AppendLocked(const Slice& record) BG3_REQUIRES(mu_);
   Extent* FindExtentLocked(ExtentId id) BG3_REQUIRES(mu_);
   const Extent* FindExtentLocked(ExtentId id) const BG3_REQUIRES(mu_);
 
@@ -102,6 +119,9 @@ class Stream {
   Extent* active_ BG3_GUARDED_BY(mu_) = nullptr;
   uint64_t total_bytes_ BG3_GUARDED_BY(mu_) = 0;
   uint64_t dead_bytes_ BG3_GUARDED_BY(mu_) = 0;
+  // Minimum term an AppendFenced caller must present (0 = no fence yet).
+  // Guarded by mu_ so the check is atomic with record placement.
+  uint64_t fence_term_ BG3_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bg3::cloud

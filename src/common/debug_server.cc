@@ -8,6 +8,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <map>
+#include <mutex>
 
 #include "common/cost_model.h"
 #include "common/metrics_registry.h"
@@ -27,7 +29,50 @@ std::string HttpResponse(int code, const char* reason,
   return out;
 }
 
+std::mutex& HealthMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, std::function<std::string()>>& HealthSources() {
+  static auto* sources =
+      new std::map<std::string, std::function<std::string()>>();
+  return *sources;
+}
+
+/// The /healthz body. Callbacks run under the registry lock: that makes
+/// UnregisterHealthSource a barrier (no callback in flight after it
+/// returns), which destructors rely on. Sources are cheap snapshot
+/// renderers on an operator endpoint, not a data path.
+std::string RenderHealthz() {
+  std::string body = "{\"status\": \"ok\"";
+  std::lock_guard<std::mutex> lock(HealthMutex());
+  if (!HealthSources().empty()) {
+    body += ", \"sources\": {";
+    bool first = true;
+    for (const auto& [name, fn] : HealthSources()) {
+      if (!first) body += ", ";
+      first = false;
+      body += "\"" + name + "\": {" + fn() + "}";
+    }
+    body += "}";
+  }
+  body += "}";
+  return body;
+}
+
 }  // namespace
+
+void DebugServer::RegisterHealthSource(const std::string& name,
+                                       std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lock(HealthMutex());
+  HealthSources()[name] = std::move(fn);
+}
+
+void DebugServer::UnregisterHealthSource(const std::string& name) {
+  std::lock_guard<std::mutex> lock(HealthMutex());
+  HealthSources().erase(name);
+}
 
 std::string DebugServer::HandleRequest(const std::string& target) {
   // Strip any query string; routes take no parameters today.
@@ -35,7 +80,7 @@ std::string DebugServer::HandleRequest(const std::string& target) {
   const std::string path = q == std::string::npos ? target : target.substr(0, q);
 
   if (path == "/healthz") {
-    return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    return HttpResponse(200, "OK", "application/json", RenderHealthz());
   }
   if (path == "/metrics") {
     return HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
@@ -52,7 +97,7 @@ std::string DebugServer::HandleRequest(const std::string& target) {
     return HttpResponse(200, "OK", "text/plain; charset=utf-8",
                         "bg3 debug server\n"
                         "  /metrics  prometheus exposition\n"
-                        "  /healthz  liveness\n"
+                        "  /healthz  liveness + health sources (json)\n"
                         "  /tracez   retained slow traces (chrome json)\n"
                         "  /costz    cloud cost breakdown (json)\n");
   }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -22,7 +23,7 @@ struct DebugServerOptions {
 /// Minimal single-threaded HTTP/1.1 introspection server (DESIGN.md §5.8):
 ///
 ///   /metrics   Prometheus text exposition of the default metrics registry
-///   /healthz   liveness ("ok")
+///   /healthz   liveness + registered health sources, JSON (DESIGN.md §5.10)
 ///   /tracez    retained slow traces, chrome://tracing-loadable JSON
 ///   /costz     cloud cost breakdown JSON (see cost_model.h)
 ///
@@ -56,6 +57,18 @@ class DebugServer {
   /// and returns the full HTTP response bytes. Exposed so tests can check
   /// routing without sockets; the accept loop uses it verbatim.
   static std::string HandleRequest(const std::string& target);
+
+  /// Registers a named health fragment for /healthz. `fn` returns a JSON
+  /// key-value fragment (e.g. `"partitions": [...]`) rendered under the
+  /// source's name: {"status": "ok", "sources": {"<name>": {<fragment>}}}.
+  /// Process-global, like the metrics registry — a Bg3Cluster registers its
+  /// per-partition role/term/cursor report here (DESIGN.md §5.10).
+  /// Re-registering a name replaces its callback.
+  static void RegisterHealthSource(const std::string& name,
+                                   std::function<std::string()> fn);
+  /// Idempotent. Callbacks run under the registry lock, so once this
+  /// returns the callback is not (and will never again be) in flight.
+  static void UnregisterHealthSource(const std::string& name);
 
  private:
   void AcceptLoop();

@@ -26,6 +26,8 @@ const char* CodeName(Status::Code code) {
       return "DeadlineExceeded";
     case Status::Code::kOverloaded:
       return "Overloaded";
+    case Status::Code::kFenced:
+      return "Fenced";
   }
   return "Unknown";
 }

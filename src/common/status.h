@@ -49,6 +49,10 @@ class BG3_NODISCARD Status {
     /// Load was shed: admission queue full, watermark throttle, tripped
     /// circuit breaker. Retrying immediately is pointless; back off.
     kOverloaded,
+    /// The caller's fencing term has been superseded: a newer leader holds
+    /// the stream (DESIGN.md §5.10). Never retryable — the writer has been
+    /// deposed and must drain, not resubmit.
+    kFenced,
   };
 
   Status() : code_(Code::kOk) {}
@@ -86,6 +90,9 @@ class BG3_NODISCARD Status {
   static Status Overloaded(std::string_view msg = "") {
     return Status(Code::kOverloaded, msg);
   }
+  static Status Fenced(std::string_view msg = "") {
+    return Status(Code::kFenced, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -98,6 +105,7 @@ class BG3_NODISCARD Status {
     return code_ == Code::kDeadlineExceeded;
   }
   bool IsOverloaded() const { return code_ == Code::kOverloaded; }
+  bool IsFenced() const { return code_ == Code::kFenced; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

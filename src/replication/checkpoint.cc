@@ -6,6 +6,7 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "common/time_source.h"
 #include "replication/rw_node.h"
 
 namespace bg3::replication {
@@ -193,6 +194,147 @@ Result<LoadedCheckpoint> LoadCheckpoint(cloud::CloudStore* store,
   return loaded;
 }
 
+std::string EpochRecord::Encode() const {
+  std::string out;
+  PutFixed64(&out, epoch);
+  PutFixed64(&out, term);
+  PutFixed32(&out, wal_stream);
+  PutFixed32(&out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+Status EpochRecord::Decode(const Slice& input, EpochRecord* out) {
+  if (input.size() < 4) return Status::Corruption("epoch record short");
+  const size_t body_len = input.size() - 4;
+  const uint32_t stored_crc = DecodeFixed32(input.data() + body_len);
+  if (Crc32c(input.data(), body_len) != stored_crc) {
+    return Status::Corruption("epoch record crc mismatch");
+  }
+  Slice in(input.data(), body_len);
+  if (!GetFixed64(&in, &out->epoch) || !GetFixed64(&in, &out->term) ||
+      !GetFixed32(&in, &out->wal_stream) || !in.empty()) {
+    return Status::Corruption("epoch record layout");
+  }
+  return Status::OK();
+}
+
+std::string EpochHeadKey(const std::string& scope) {
+  return "epoch/" + scope + "/head";
+}
+
+std::string EpochSlotKey(const std::string& scope, uint64_t epoch) {
+  return "epoch/" + scope + "/slot" + std::to_string(epoch & 1);
+}
+
+std::string WalEpochScope(cloud::StreamId stream) {
+  return "wal" + std::to_string(stream);
+}
+
+namespace {
+
+/// Decodes one epoch slot, echo-checking the epoch like checkpoint slots.
+Status TryLoadEpochSlot(cloud::CloudStore* store, const std::string& scope,
+                        uint64_t epoch, EpochRecord* out) {
+  auto raw = store->ManifestGet(EpochSlotKey(scope, epoch));
+  BG3_RETURN_IF_ERROR(raw.status());
+  BG3_RETURN_IF_ERROR(EpochRecord::Decode(Slice(raw.value()), out));
+  if ((out->epoch & 1) != (epoch & 1)) {
+    return Status::Corruption("epoch slot echo mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EpochRecord> LoadEpochRecord(cloud::CloudStore* store,
+                                    const std::string& scope) {
+  // Slots are self-validating (CRC plus parity echo), so recovery probes
+  // both and takes the newest epoch. The head is only a hint: a promoter
+  // can crash between the slot CAS and the head flip, leaving the head
+  // torn or one epoch stale, and a head-directed read would then resurrect
+  // a record from two epochs back.
+  EpochRecord a, b;
+  const bool have_a = TryLoadEpochSlot(store, scope, 0, &a).ok();
+  const bool have_b = TryLoadEpochSlot(store, scope, 1, &b).ok();
+  if (!have_a && !have_b) {
+    return Status::NotFound("no epoch record for scope " + scope);
+  }
+  return (have_a && (!have_b || a.epoch > b.epoch)) ? a : b;
+}
+
+Result<EpochRecord> PublishEpochRecord(cloud::CloudStore* store,
+                                       const std::string& scope,
+                                       uint64_t term,
+                                       cloud::StreamId wal_stream) {
+  EpochRecord current;
+  auto loaded = LoadEpochRecord(store, scope);
+  if (loaded.ok()) {
+    current = loaded.value();
+    if (term <= current.term) {
+      return Status::Aborted("epoch term " + std::to_string(term) +
+                             " not newer than current " +
+                             std::to_string(current.term));
+    }
+  } else if (!loaded.status().IsNotFound()) {
+    return loaded.status();
+  }
+
+  EpochRecord rec;
+  rec.epoch = current.epoch + 1;
+  rec.term = term;
+  rec.wal_stream = wal_stream;
+
+  // The CAS rides on the target *slot*: two racing promoters computed the
+  // same next epoch, hence the same slot key and the same expected version —
+  // exactly one Cas succeeds; the loser never reaches the head flip. (A
+  // plain slot put with a head CAS would let the loser overwrite the
+  // winner's slot bytes after the winner's head flip.)
+  const std::string slot_key = EpochSlotKey(scope, rec.epoch);
+  uint64_t slot_version = 0;
+  {
+    auto existing = store->ManifestGet(slot_key, &slot_version);
+    if (!existing.ok() && !existing.status().IsNotFound()) {
+      return existing.status();
+    }
+    if (existing.status().IsNotFound()) slot_version = 0;
+  }
+  auto cas = store->ManifestCas(slot_key, slot_version, rec.Encode());
+  if (!cas.ok()) {
+    return cas.status().IsAborted()
+               ? Status::Aborted("lost promotion race for scope " + scope)
+               : cas.status();
+  }
+  std::string head;
+  PutFixed64(&head, rec.epoch);
+  PutFixed32(&head, Crc32c(head.data(), head.size()));
+  store->ManifestPut(EpochHeadKey(scope), head);
+  return rec;
+}
+
+uint64_t AutotuneCheckpointIntervalMs(const CheckpointerOptions& opts,
+                                      uint64_t bytes_appended,
+                                      uint64_t elapsed_us,
+                                      uint64_t fallback_ms) {
+  const uint64_t lo = opts.min_interval_ms == 0 ? 1 : opts.min_interval_ms;
+  const uint64_t hi = std::max(lo, opts.max_interval_ms);
+  const auto clamp = [lo, hi](uint64_t v) {
+    return std::min(hi, std::max(lo, v));
+  };
+  if (opts.target_suffix_replay_bytes == 0 || elapsed_us == 0 ||
+      bytes_appended == 0) {
+    return clamp(fallback_ms);
+  }
+  // interval such that rate * interval == target:
+  //   target_bytes / (bytes / elapsed_ms)
+  const double elapsed_ms = static_cast<double>(elapsed_us) / 1000.0;
+  const double rate = static_cast<double>(bytes_appended) / elapsed_ms;
+  const double ival =
+      static_cast<double>(opts.target_suffix_replay_bytes) / rate;
+  if (ival >= static_cast<double>(hi)) return hi;
+  if (ival <= static_cast<double>(lo)) return lo;
+  return clamp(static_cast<uint64_t>(ival));
+}
+
 Checkpointer::Checkpointer(cloud::CloudStore* store, RwNode* node,
                            const CheckpointerOptions& options)
     : store_(store),
@@ -208,6 +350,12 @@ Checkpointer::Checkpointer(cloud::CloudStore* store, RwNode* node,
     epoch_ = prior.value().manifest.epoch;
     published_lsn_ = prior.value().manifest.checkpoint_lsn;
   }
+  effective_interval_ms_ = opts_.interval_ms;
+  autotune_clock_ = opts_.time_source != nullptr ? opts_.time_source
+                                                 : DefaultWallTimeSource();
+  last_publish_us_ = autotune_clock_->NowUs();
+  last_publish_wal_bytes_ =
+      store_->TotalBytes(node->options().wal.stream);
   MetricsRegistry& reg = MetricsRegistry::Default();
   reg.RegisterCounter(metrics_prefix_ + "cuts_started", &stats_.cuts_started);
   reg.RegisterCounter(metrics_prefix_ + "pages_flushed", &stats_.pages_flushed);
@@ -247,9 +395,10 @@ void Checkpointer::Stop() {
 
 void Checkpointer::ThreadMain() {
   for (;;) {
+    const uint64_t tick_ms = effective_interval_ms();
     {
       std::unique_lock<std::mutex> lock(thread_mu_);
-      thread_cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+      thread_cv_.wait_for(lock, std::chrono::milliseconds(tick_ms),
                           [this] { return stop_; });
       if (stop_) return;
     }
@@ -285,6 +434,11 @@ uint64_t Checkpointer::epoch() const {
 bwtree::Lsn Checkpointer::published_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return published_lsn_;
+}
+
+uint64_t Checkpointer::effective_interval_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return effective_interval_ms_;
 }
 
 Status Checkpointer::StepLocked() {
@@ -354,6 +508,18 @@ Status Checkpointer::PublishCutLocked() {
   if (opts_.truncate_wal && !cut_.wal_cursor.ptr.IsNull()) {
     stats_.wal_extents_truncated.Add(store_->TruncateStreamBefore(
         m.wal_stream, cut_.wal_cursor.ptr.extent_id));
+  }
+  if (opts_.target_suffix_replay_bytes > 0) {
+    // Re-derive the cadence from the append rate observed since the last
+    // publish: faster writers get shorter intervals, so the WAL suffix a
+    // promotion must replay stays near the byte target.
+    const uint64_t now_us = autotune_clock_->NowUs();
+    const uint64_t wal_bytes = store_->TotalBytes(m.wal_stream);
+    effective_interval_ms_ = AutotuneCheckpointIntervalMs(
+        opts_, wal_bytes - last_publish_wal_bytes_,
+        now_us - last_publish_us_, effective_interval_ms_);
+    last_publish_us_ = now_us;
+    last_publish_wal_bytes_ = wal_bytes;
   }
   cut_ = Cut{};
   return Status::OK();

@@ -95,9 +95,51 @@ Result<LoadedCheckpoint> LoadCheckpoint(cloud::CloudStore* store,
                                         const RetryOptions& retry = {},
                                         const OpContext* ctx = nullptr);
 
+// --- failover epoch records (DESIGN.md §5.10) ------------------------------
+
+/// The durable leadership record of one WAL stream: who currently holds the
+/// pen, at which term, since which promotion. Published with the same
+/// two-slot + CRC-framed-head discipline as checkpoint manifests, but CAS'd
+/// instead of blindly put — a double promotion must have exactly one winner,
+/// decided by the manifest's version counter, not by timing.
+struct EpochRecord {
+  uint64_t epoch = 0;            ///< promotion counter (1 = first leader).
+  uint64_t term = 0;             ///< fencing term of the leader it crowns.
+  cloud::StreamId wal_stream = 0;
+
+  /// Trailing CRC-32C, like CheckpointManifest; Decode fails with
+  /// Corruption on a torn write.
+  std::string Encode() const;
+  static Status Decode(const Slice& input, EpochRecord* out);
+};
+
+std::string EpochHeadKey(const std::string& scope);
+std::string EpochSlotKey(const std::string& scope, uint64_t epoch);
+/// Scope naming for per-WAL-stream epoch records (mirrors
+/// WalCheckpointScope).
+std::string WalEpochScope(cloud::StreamId stream);
+
+/// Loads the newest durable epoch record of `scope`: head slot first,
+/// previous-epoch (or both-slot probe) fallback when the head or its slot is
+/// torn. NotFound when no promotion was ever published.
+Result<EpochRecord> LoadEpochRecord(cloud::CloudStore* store,
+                                    const std::string& scope);
+
+/// CAS-publishes {epoch: current+1, term} for `scope`. Fails with Aborted
+/// when `term` does not exceed the current record's term, or when a
+/// concurrent promotion won the slot CAS first (the double-promotion loser).
+/// On success the record is durable and `term` is the one true leadership
+/// term — the caller must fence the WAL stream to it before reading the
+/// tail.
+Result<EpochRecord> PublishEpochRecord(cloud::CloudStore* store,
+                                       const std::string& scope,
+                                       uint64_t term,
+                                       cloud::StreamId wal_stream);
+
 /// Continuous fuzzy checkpointing options.
 struct CheckpointerOptions {
-  /// Background thread cadence; each tick runs one bounded Step().
+  /// Background thread cadence; each tick runs one bounded Step(). With
+  /// autotuning enabled this is only the starting value.
   uint64_t interval_ms = 20;
   /// Dirty pages flushed per Step() — the increment size. Small values keep
   /// the checkpoint thread from monopolizing the store; the cut just takes
@@ -108,7 +150,31 @@ struct CheckpointerOptions {
   /// checkpoint (single-node deployments, or truncation coordinated by
   /// Cluster::TruncateWal); hence off by default.
   bool truncate_wal = false;
+  /// Cadence autotuning (DESIGN.md §5.10): when > 0, the effective interval
+  /// is re-derived at every publish from the observed WAL append rate so
+  /// the expected suffix a promotion must replay stays at or below this
+  /// many bytes — promotion cost stays bounded as the write rate grows
+  /// instead of scaling with whatever fixed interval accumulated. 0 keeps
+  /// the fixed interval_ms cadence.
+  uint64_t target_suffix_replay_bytes = 0;
+  /// Clamp for the autotuned interval.
+  uint64_t min_interval_ms = 1;
+  uint64_t max_interval_ms = 1000;
+  /// Clock for rate observation (autotuning only). Null = process wall
+  /// clock; tests pass a ManualTimeSource.
+  const TimeSource* time_source = nullptr;
 };
+
+/// The pure cadence rule behind the autotuner, exposed for deterministic
+/// unit testing: given `bytes_appended` WAL bytes observed over
+/// `elapsed_us`, returns the interval at which the append rate accumulates
+/// about `opts.target_suffix_replay_bytes` between publishes, clamped to
+/// [min_interval_ms, max_interval_ms]. A zero rate (idle stream, or zero
+/// elapsed time) returns `fallback_ms` clamped — no observation, no change.
+uint64_t AutotuneCheckpointIntervalMs(const CheckpointerOptions& opts,
+                                      uint64_t bytes_appended,
+                                      uint64_t elapsed_us,
+                                      uint64_t fallback_ms);
 
 struct CheckpointerStats {
   Counter cuts_started;
@@ -159,6 +225,9 @@ class Checkpointer {
   uint64_t epoch() const;
   /// LSN of the newest durable (manifest-published) checkpoint.
   bwtree::Lsn published_lsn() const;
+  /// The cadence currently in effect: interval_ms until the autotuner's
+  /// first observation, then the derived value.
+  uint64_t effective_interval_ms() const;
   const std::string& scope() const { return scope_; }
   CheckpointerStats& stats() { return stats_; }
 
@@ -186,6 +255,12 @@ class Checkpointer {
   Cut cut_;
   uint64_t epoch_ = 0;
   bwtree::Lsn published_lsn_ = 0;
+  // Autotuner state (under mu_): cadence in effect plus the (time, WAL
+  // bytes) sample taken at the previous publish.
+  uint64_t effective_interval_ms_ = 0;
+  uint64_t last_publish_us_ = 0;
+  uint64_t last_publish_wal_bytes_ = 0;
+  const TimeSource* autotune_clock_ = nullptr;
 
   std::thread thread_;
   std::mutex thread_mu_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/debug_server.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 
 namespace bg3::replication {
 
@@ -18,18 +20,60 @@ Bg3Cluster::Bg3Cluster(cloud::CloudStore* store, const ClusterOptions& options)
     part->wal_stream =
         store_->CreateStream("cluster-p" + std::to_string(p) + "-wal");
     part->leader = std::make_unique<RwNode>(store_, LeaderOptions(*part));
+    part->term.store(part->leader->wal_writer()->term(),
+                     std::memory_order_relaxed);
     if (opts_.checkpointing) {
       part->checkpointer = std::make_unique<Checkpointer>(
           store_, part->leader.get(), opts_.checkpointer);
     }
     for (int f = 0; f < opts_.followers_per_partition; ++f) {
-      RoNodeOptions ro = opts_.ro;
-      ro.wal_stream = part->wal_stream;
-      ro.seed = opts_.ro.seed + p * 131 + f;
-      part->followers.push_back(std::make_unique<RoNode>(store_, ro));
+      part->followers.push_back(MakeFollower(*part, f));
     }
     parts_.push_back(std::move(part));
   }
+  RegisterMetrics();
+}
+
+Bg3Cluster::~Bg3Cluster() {
+  if (!health_source_.empty()) {
+    // Barrier: after this returns, no /healthz render can touch the nodes
+    // the member destructors are about to tear down.
+    DebugServer::UnregisterHealthSource(health_source_);
+  }
+  if (!metrics_prefix_.empty()) {
+    MetricsRegistry::Default().DeregisterPrefix(metrics_prefix_);
+  }
+}
+
+std::unique_ptr<RoNode> Bg3Cluster::MakeFollower(const Partition& part,
+                                                 int index) const {
+  RoNodeOptions ro = opts_.ro;
+  ro.wal_stream = part.wal_stream;
+  ro.seed = opts_.ro.seed + (part.tree_id - 1) * 131 + index;
+  return std::make_unique<RoNode>(store_, ro);
+}
+
+void Bg3Cluster::RegisterMetrics() {
+  auto& reg = MetricsRegistry::Default();
+  const std::string instance =
+      "bg3.db" + std::to_string(MetricsRegistry::NextInstanceId("db"));
+  metrics_prefix_ = instance + ".failover.";
+  health_source_ = instance;
+  DebugServer::RegisterHealthSource(health_source_,
+                                    [this] { return HealthJson(); });
+  reg.RegisterCounter(metrics_prefix_ + "promotions", &promotions_);
+  reg.RegisterCallback(metrics_prefix_ + "fenced_appends",
+                       [this] { return fenced_appends(); });
+  reg.RegisterCallback(metrics_prefix_ + "zombie_drained",
+                       [this] { return zombie_drained(); });
+  reg.RegisterCallback(metrics_prefix_ + "term", [this] {
+    uint64_t max_term = 0;
+    for (const auto& part : parts_) {
+      max_term =
+          std::max(max_term, part->term.load(std::memory_order_relaxed));
+    }
+    return max_term;
+  });
 }
 
 RwNodeOptions Bg3Cluster::LeaderOptions(const Partition& part) const {
@@ -108,17 +152,252 @@ Status Bg3Cluster::CrashAndRecoverLeader(int partition) {
   Partition& part = *parts_[partition];
   const RwNodeOptions opts = LeaderOptions(part);
   part.checkpointer.reset();  // dies with the leader it observed
-  part.leader.reset();        // crash: all volatile state gone
+  {
+    std::lock_guard<std::mutex> lock(zombie_mu_);
+    part.leader.reset();  // crash: all volatile state gone
+  }
   // Recover resumes from the newest wal<stream>-scope checkpoint manifest
   // (when one exists) and replays only the WAL suffix past its cursor.
   auto recovered = RwNode::Recover(store_, opts);
   BG3_RETURN_IF_ERROR(recovered.status());
-  part.leader = recovered.take();
+  {
+    std::lock_guard<std::mutex> lock(zombie_mu_);
+    part.leader = recovered.take();
+    part.term.store(part.leader->wal_writer()->term(),
+                    std::memory_order_relaxed);
+  }
   if (opts_.checkpointing) {
     part.checkpointer = std::make_unique<Checkpointer>(
         store_, part.leader.get(), opts_.checkpointer);
   }
   return Status::OK();
+}
+
+Status Bg3Cluster::PromoteFollower(int partition, int follower_index) {
+  if (partition < 0 || partition >= partitions()) {
+    return Status::InvalidArgument("no such partition");
+  }
+  Partition& part = *parts_[partition];
+  if (follower_index < 0 ||
+      follower_index >= static_cast<int>(part.followers.size())) {
+    return Status::InvalidArgument("no such follower");
+  }
+
+  // Pick a term strictly newer than anything durable or local: adopt the
+  // persisted epoch record's term into the process allocator first, so the
+  // allocation exceeds both it and every writer this process ever made.
+  const std::string scope = WalEpochScope(part.wal_stream);
+  auto current = LoadEpochRecord(store_, scope);
+  if (current.ok()) wal::ObserveWalTerm(current.value().term);
+  const uint64_t term = wal::AllocateWalTerm();
+
+  // Durably crown the term. Exactly one concurrent promoter survives the
+  // epoch-slot CAS; the loser gets Aborted here, before it has touched the
+  // stream or any node.
+  auto crowned = PublishEpochRecord(store_, scope, term, part.wal_stream);
+  BG3_RETURN_IF_ERROR(crowned.status());
+
+  // Fence the WAL at the crowned term: from this instant the old leader's
+  // in-flight pipelined groups land nowhere (Status::Fenced) and the tail
+  // is final — the catch-up below cannot be outrun.
+  store_->FenceStream(part.wal_stream, term);
+
+  // Catch every follower up to the immutable tail, then cross the epoch
+  // boundary: stale-term batches still held in seq-gap maps are dropped,
+  // never applied (the zero-stale-records invariant). The poll MUST precede
+  // the advance — an explicit term advance on a lagging reader would dedupe
+  // the acked old-term suffix it never delivered. The candidate's catch-up
+  // is load-bearing (its export becomes the new leader); a peer whose poll
+  // fails under injected faults just skips the advance and crosses the
+  // boundary organically on its next successful poll.
+  RoNode* cand = part.followers[follower_index].get();
+  BG3_RETURN_IF_ERROR(cand->PollWal());
+  for (auto& follower : part.followers) {
+    if (follower.get() != cand && !follower->PollWal().ok()) continue;
+    follower->AdvanceWalTerm(term);
+  }
+
+  // Reopen the candidate's materialized state as the RW leader, stamping
+  // the crowned term into every batch it will write. Because the candidate
+  // tails continuously (or bootstrapped from the checkpoint manifest), the
+  // WAL it ever read is bounded by the checkpoint suffix — promotion cost
+  // does not scale with total WAL length.
+  auto exported = cand->ExportTree(part.tree_id);
+  BG3_RETURN_IF_ERROR(exported.status());
+  RwNodeOptions opts = LeaderOptions(part);
+  opts.wal.term = term;
+  auto promoted = RwNode::FromExport(store_, opts, exported.take());
+  BG3_RETURN_IF_ERROR(promoted.status());
+
+  // Depose. The checkpointer dies first (it observes the old leader); the
+  // old leader itself lives on as the partition zombie so its in-flight and
+  // parked batches drain against the fence instead of vanishing silently.
+  part.checkpointer.reset();
+  {
+    std::lock_guard<std::mutex> lock(zombie_mu_);
+    if (part.zombie != nullptr) {
+      part.retired_fenced += part.zombie->wal_writer()->fenced_appends();
+      part.retired_drained += part.zombie->wal_writer()->zombie_drained();
+    }
+    part.zombie = std::move(part.leader);
+    part.leader = promoted.take();
+    part.term.store(term, std::memory_order_relaxed);
+  }
+
+  // Refill the promoted follower's pool slot with a fresh node; it
+  // bootstraps from the checkpoint manifest (suffix-only replay).
+  part.followers[follower_index] = MakeFollower(part, follower_index);
+  if (opts_.checkpointing) {
+    part.checkpointer = std::make_unique<Checkpointer>(
+        store_, part.leader.get(), opts_.checkpointer);
+  }
+  promotions_.Inc();
+  return Status::OK();
+}
+
+void Bg3Cluster::ReapZombie(int partition) {
+  if (partition < 0 || partition >= partitions()) return;
+  Partition& part = *parts_[partition];
+  std::unique_ptr<RwNode> dead;
+  {
+    std::lock_guard<std::mutex> lock(zombie_mu_);
+    if (part.zombie == nullptr) return;
+    part.retired_fenced += part.zombie->wal_writer()->fenced_appends();
+    part.retired_drained += part.zombie->wal_writer()->zombie_drained();
+    dead = std::move(part.zombie);
+  }
+  dead.reset();  // outside the lock: the dtor joins pipeline threads
+}
+
+Status Bg3Cluster::RestartFollower(int partition, int index) {
+  if (partition < 0 || partition >= partitions()) {
+    return Status::InvalidArgument("no such partition");
+  }
+  Partition& part = *parts_[partition];
+  if (index < 0 || index >= static_cast<int>(part.followers.size())) {
+    return Status::InvalidArgument("no such follower");
+  }
+  // Pre-warm source: a live peer follower when the pool has one; a
+  // single-node pool snapshots the outgoing node's own resident set before
+  // teardown. Either way the replacement materializes the working set from
+  // the shared store's images, not from a cold sweep.
+  const size_t peer = (index + 1) % part.followers.size();
+  std::vector<std::pair<bwtree::TreeId, bwtree::PageId>> warm =
+      part.followers[peer]->ResidentPages();
+  part.followers[index].reset();  // one at a time: the rest keep serving
+  part.followers[index] = MakeFollower(part, index);
+  // Pre-warm is an optimization, never a correctness step: if it fails the
+  // replacement node is installed anyway and warms on demand.
+  auto warmed = part.followers[index]->WarmPageSet(warm);
+  return warmed.status();
+}
+
+Status Bg3Cluster::RollingRestart() {
+  for (int p = 0; p < partitions(); ++p) {
+    Partition& part = *parts_[p];
+    for (size_t f = 0; f < part.followers.size(); ++f) {
+      BG3_RETURN_IF_ERROR(RestartFollower(p, static_cast<int>(f)));
+    }
+    // Leader last, via failover: the partition's write outage is exactly
+    // one promotion wide, and the deposed process is fenced, not trusted.
+    BG3_RETURN_IF_ERROR(PromoteFollower(p, 0));
+    ReapZombie(p);
+  }
+  return Status::OK();
+}
+
+uint64_t Bg3Cluster::fenced_appends() const {
+  std::lock_guard<std::mutex> lock(zombie_mu_);
+  uint64_t total = 0;
+  for (const auto& part : parts_) {
+    total += part->retired_fenced;
+    if (part->zombie != nullptr) {
+      total += part->zombie->wal_writer()->fenced_appends();
+    }
+  }
+  return total;
+}
+
+uint64_t Bg3Cluster::zombie_drained() const {
+  std::lock_guard<std::mutex> lock(zombie_mu_);
+  uint64_t total = 0;
+  for (const auto& part : parts_) {
+    total += part->retired_drained;
+    if (part->zombie != nullptr) {
+      total += part->zombie->wal_writer()->zombie_drained();
+    }
+  }
+  return total;
+}
+
+std::vector<Bg3Cluster::PartitionHealth> Bg3Cluster::Health() const {
+  std::vector<PartitionHealth> out;
+  out.reserve(parts_.size());
+  std::lock_guard<std::mutex> lock(zombie_mu_);
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    const Partition& part = *parts_[p];
+    PartitionHealth ph;
+    ph.partition = static_cast<int>(p);
+    if (part.leader != nullptr) {
+      NodeHealth nh;
+      nh.role = "leader";
+      nh.term = part.term.load(std::memory_order_relaxed);
+      nh.committed = part.leader->wal_writer()->committed_cursor();
+      ph.nodes.push_back(std::move(nh));
+    }
+    for (const auto& follower : part.followers) {
+      NodeHealth nh;
+      nh.role = "follower";
+      nh.cursor = follower->WalCursor();
+      ph.nodes.push_back(std::move(nh));
+    }
+    if (part.zombie != nullptr) {
+      NodeHealth nh;
+      nh.role = "zombie";
+      nh.term = part.zombie->wal_writer()->term();
+      ph.nodes.push_back(std::move(nh));
+    }
+    out.push_back(std::move(ph));
+  }
+  return out;
+}
+
+std::string Bg3Cluster::HealthJson() const {
+  const std::vector<PartitionHealth> health = Health();
+  std::string out = "\"partitions\": [";
+  for (size_t p = 0; p < health.size(); ++p) {
+    const PartitionHealth& ph = health[p];
+    if (p > 0) out += ", ";
+    out += "{\"partition\": " + std::to_string(ph.partition) +
+           ", \"nodes\": [";
+    for (size_t n = 0; n < ph.nodes.size(); ++n) {
+      const NodeHealth& nh = ph.nodes[n];
+      if (n > 0) out += ", ";
+      out += "{\"role\": \"" + nh.role + "\"";
+      if (nh.role != "follower") {
+        out += ", \"term\": " + std::to_string(nh.term);
+      }
+      if (nh.role == "leader") {
+        out += ", \"committed\": {\"term\": " + std::to_string(nh.committed.term) +
+               ", \"seq\": " + std::to_string(nh.committed.seq) +
+               ", \"extent\": " +
+               (nh.committed.ptr.IsNull()
+                    ? std::string("null")
+                    : std::to_string(nh.committed.ptr.extent_id)) +
+               ", \"offset\": " + std::to_string(nh.committed.ptr.offset) +
+               "}";
+      } else if (nh.role == "follower") {
+        out += ", \"wal_extent\": " +
+               (nh.cursor.IsNull() ? std::string("null")
+                                   : std::to_string(nh.cursor.extent_id)) +
+               ", \"wal_offset\": " + std::to_string(nh.cursor.offset);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
 }
 
 void Bg3Cluster::StartCheckpointers() {

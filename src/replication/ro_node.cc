@@ -695,6 +695,39 @@ Result<size_t> RoNode::WarmPages(bwtree::TreeId tree, size_t max) {
   return remaining;
 }
 
+std::vector<std::pair<bwtree::TreeId, bwtree::PageId>> RoNode::ResidentPages()
+    const {
+  ReaderMutexLock lock(&mu_);
+  std::vector<std::pair<bwtree::TreeId, bwtree::PageId>> out;
+  out.reserve(cache_.size());
+  for (const auto& [key, page] : cache_) out.push_back(key);
+  return out;
+}
+
+Result<size_t> RoNode::WarmPageSet(
+    const std::vector<std::pair<bwtree::TreeId, bwtree::PageId>>& pages) {
+  WriterMutexLock lock(&mu_);
+  BG3_RETURN_IF_ERROR(PollWalLocked());
+  size_t warmed = 0;
+  for (const auto& [tree, page_id] : pages) {
+    if (cache_.count({tree, page_id}) > 0) continue;
+    auto tit = trees_.find(tree);
+    // Pages that vanished from the layout between the peer's snapshot and
+    // now (splits, truncation) are simply skipped — the peer's working set
+    // is a hint, not a contract.
+    if (tit == trees_.end() || tit->second.meta.count(page_id) == 0) continue;
+    auto cp = GetPageLocked(tree, page_id);
+    BG3_RETURN_IF_ERROR(cp.status());
+    ++warmed;
+  }
+  return warmed;
+}
+
+void RoNode::AdvanceWalTerm(uint64_t term) {
+  WriterMutexLock lock(&mu_);
+  reader_.AdvanceTerm(term);
+}
+
 size_t RoNode::PendingRecordCount() const {
   ReaderMutexLock lock(&mu_);
   size_t n = 0;

@@ -151,6 +151,22 @@ class RoNode {
   /// the restore-priority rule is simply "whoever is read first, first".
   Result<size_t> WarmPages(bwtree::TreeId tree, size_t max);
 
+  /// Snapshot of the cache's resident (tree, page) set — what a rolling
+  /// restart hands the replacement node so it pre-warms the peer's working
+  /// set instead of sweeping cold storage (DESIGN.md §5.10).
+  std::vector<std::pair<bwtree::TreeId, bwtree::PageId>> ResidentPages() const;
+
+  /// Targeted pre-warm: materializes exactly the listed pages (skipping
+  /// ones already cached or no longer present in the layout). Returns how
+  /// many were newly materialized.
+  Result<size_t> WarmPageSet(
+      const std::vector<std::pair<bwtree::TreeId, bwtree::PageId>>& pages);
+
+  /// Failover epoch boundary: a promotion published `term`, so stale-term
+  /// WAL batches still held in the reader's seq-gap map are dropped and
+  /// future stale arrivals are deduped on sight (wal::WalReader::AdvanceTerm).
+  void AdvanceWalTerm(uint64_t term);
+
   /// Simulated leader-follower latency samples (publish + poll + log read).
   Histogram& sync_latency() { return sync_latency_; }
   RoNodeStats& stats() { return stats_; }

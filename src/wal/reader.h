@@ -63,6 +63,25 @@ class WalReader {
     delivered_seq_ = cursor.seq;
   }
 
+  /// Epoch-boundary notification (DESIGN.md §5.10): a promotion published
+  /// `term`, so every batch of an older term that has not been delivered is
+  /// now permanently stale — its writer was fenced before the batch could
+  /// commit. Drops held batches from older terms and raises the expected
+  /// term so future stale-term arrivals are deduped on sight instead of
+  /// parking in the seq-gap map forever (organic term advance only happens
+  /// when a newer-term batch is *seen*, which may be long after the stale
+  /// holds arrived). Idempotent; lower terms are ignored.
+  void AdvanceTerm(uint64_t term) {
+    if (term <= expected_term_) return;
+    batches_deduped_ += held_.size();
+    held_.clear();
+    expected_term_ = term;
+    delivered_seq_ = 0;
+    anchor_on_first_ = false;
+    // With no gap outstanding the physical tail is once again safe.
+    cursor_ = raw_cursor_;
+  }
+
   uint64_t batches_consumed() const { return batches_consumed_; }
 
   /// Payload bytes of all batches consumed so far — with SeekTo, exactly

@@ -45,10 +45,32 @@ size_t FramedBatchSize(uint64_t term, uint64_t seq,
 
 }  // namespace
 
+uint64_t AllocateWalTerm() {
+  return g_next_term.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ObserveWalTerm(uint64_t observed) {
+  uint64_t cur = g_next_term.load(std::memory_order_relaxed);
+  while (cur <= observed &&
+         !g_next_term.compare_exchange_weak(cur, observed + 1,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+uint64_t PickTerm(uint64_t explicit_term) {
+  if (explicit_term == 0) return AllocateWalTerm();
+  ObserveWalTerm(explicit_term);
+  return explicit_term;
+}
+
+}  // namespace
+
 WalWriter::WalWriter(cloud::CloudStore* store, const WalWriterOptions& options)
     : store_(store),
       opts_(options),
-      term_(g_next_term.fetch_add(1, std::memory_order_relaxed)),
+      term_(PickTerm(options.term)),
       rng_(options.seed) {
   if (opts_.mode == WalWriterMode::kPipelined) {
     cloud::AppendPipelineOptions po;
@@ -56,6 +78,7 @@ WalWriter::WalWriter(cloud::CloudStore* store, const WalWriterOptions& options)
     po.inflight = opts_.inflight_appends;
     po.retry = opts_.retry;
     po.wall_latency_scale = opts_.wall_latency_scale;
+    po.term = term_;
     pipeline_ = std::make_unique<cloud::AppendPipeline>(
         store_, po,
         [this](cloud::AppendPipeline::Completion done) {
@@ -247,7 +270,19 @@ void WalWriter::OnAppendComplete(cloud::AppendPipeline::Completion done) {
   {
     std::lock_guard<std::mutex> lock(led_mu_);
     --outstanding_;
-    if (!done.status.ok()) {
+    if (done.status.IsFenced()) {
+      // Deposed: a newer leader fenced the stream. The batch never landed
+      // and never will — drop it (no park, no retry), account the records
+      // as drained, and latch the fence so every current and future waiter
+      // fails with Fenced instead of hanging on a commit that cannot come.
+      fenced_ = true;
+      ++fenced_appends_;
+      zombie_drained_ += done.record_count;
+      buffered_records_.fetch_sub(done.record_count,
+                                  std::memory_order_relaxed);
+      last_error_ = done.status;
+      failed = true;
+    } else if (!done.status.ok()) {
       parked_.emplace(done.seq,
                       std::make_pair(std::move(done.payload),
                                      done.record_count));
@@ -293,6 +328,17 @@ void WalWriter::KickParked(uint64_t below_seq) {
   {
     std::lock_guard<std::mutex> lock(led_mu_);
     if (parked_.empty()) return;
+    if (fenced_) {
+      // A fenced writer's parked batches are dead — resubmitting them would
+      // only bounce off the stream fence. Drain them so the zombie reaches
+      // a quiescent state instead of churning the pipeline.
+      for (auto& [seq, item] : parked_) {
+        zombie_drained_ += item.second;
+        buffered_records_.fetch_sub(item.second, std::memory_order_relaxed);
+      }
+      parked_.clear();
+      return;
+    }
     for (auto it = parked_.begin(); it != parked_.end();) {
       if (it->first >= below_seq) break;  // sealed by (or after) the caller
       again.emplace_back(it->first, std::move(it->second));
@@ -317,6 +363,12 @@ Status WalWriter::WaitTicket(uint64_t target, const OpContext* ctx) {
     {
       std::lock_guard<std::mutex> lock(led_mu_);
       if (committed_record_count_ >= target) return Status::OK();
+      if (fenced_) {
+        // Nothing parked to re-kick: post-fence batches are dropped, so the
+        // awaited commit can never arrive. Fail the waiter with the fence.
+        return last_error_.IsFenced() ? last_error_
+                                      : Status::Fenced("wal writer deposed");
+      }
       if (!parked_.empty()) {
         // Some batch exhausted its retries. Surface the append error with
         // the records still buffered — the legacy inline flush's contract.
@@ -329,6 +381,21 @@ Status WalWriter::WaitTicket(uint64_t target, const OpContext* ctx) {
     if (!s.IsBusy()) return s;  // deadline expired mid-wait
     // Busy: loop to re-check the parked state under the next snapshot.
   }
+}
+
+bool WalWriter::fenced() const {
+  std::lock_guard<std::mutex> lock(led_mu_);
+  return fenced_;
+}
+
+uint64_t WalWriter::fenced_appends() const {
+  std::lock_guard<std::mutex> lock(led_mu_);
+  return fenced_appends_;
+}
+
+uint64_t WalWriter::zombie_drained() const {
+  std::lock_guard<std::mutex> lock(led_mu_);
+  return zombie_drained_;
 }
 
 Status WalWriter::FlushLocked(const OpContext* ctx) {
@@ -358,8 +425,17 @@ Status WalWriter::FlushLocked(const OpContext* ctx) {
   retry.breaker = &store_->breaker();
   uint64_t latency_us = 0;
   auto res = RetryResultWithBackoff(retry, [&] {
-    return store_->Append(opts_.stream, batch, &latency_us, ctx);
+    return store_->AppendFenced(opts_.stream, term_, batch, &latency_us, ctx);
   });
+  if (res.status().IsFenced()) {
+    // Deposed mid-flush: latch the fence (sync mode keeps the records
+    // buffered — they were never acknowledged, and every later flush fails
+    // the same way).
+    std::lock_guard<std::mutex> lock(led_mu_);
+    fenced_ = true;
+    ++fenced_appends_;
+    last_error_ = res.status();
+  }
   BG3_RETURN_IF_ERROR(res.status());
   if (opts_.wall_latency_scale > 0 && latency_us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(

@@ -70,7 +70,20 @@ struct WalWriterOptions {
   /// Forwarded to the append pipeline: sleep `simulated latency * scale`
   /// wall time per append so latency benches see real queueing. 0 = off.
   double wall_latency_scale = 0.0;
+  /// Writer incarnation term. 0 (default) allocates the next process-wide
+  /// term; failover passes the term it won via the epoch-record CAS so the
+  /// promoted leader's batches carry it (DESIGN.md §5.10). Explicit terms
+  /// raise the process allocator's floor, keeping later implicit writers
+  /// strictly newer.
+  uint64_t term = 0;
 };
+
+/// Allocates the next writer incarnation term — strictly greater than every
+/// term allocated or observed in this process so far.
+uint64_t AllocateWalTerm();
+/// Raises the allocator floor so future AllocateWalTerm() results exceed
+/// `observed` (call when adopting a term from a persisted epoch record).
+void ObserveWalTerm(uint64_t observed);
 
 /// Durability ticket: the cumulative enqueue index (1-based) of a record.
 /// Acknowledgment is in-order, so waiting on a ticket waits for that record
@@ -157,6 +170,20 @@ class WalWriter {
   /// This writer's incarnation id (stamped into every batch frame).
   uint64_t term() const { return term_; }
 
+  // --- failover fencing (DESIGN.md §5.10) ----------------------------------
+  /// True once any append completed with Status::Fenced: this writer has
+  /// been deposed by a newer leader. The latch is permanent — a fenced
+  /// writer drains, it never recovers. Appends already buffered or in
+  /// flight are dropped (never acknowledged), and every waiter fails with
+  /// the fence error.
+  bool fenced() const;
+  /// Batch appends rejected by the stream fence.
+  uint64_t fenced_appends() const;
+  /// Records dropped on the floor after the fence latched (in-flight
+  /// batches plus parked batches drained instead of resubmitted). None of
+  /// them was ever acknowledged.
+  uint64_t zombie_drained() const;
+
  private:
   struct SealedBatch {
     uint64_t seq = 0;
@@ -206,6 +233,9 @@ class WalWriter {
   cloud::PagePointer max_physical_ptr_;
   Status last_error_;
   bool stop_serializer_ = false;
+  bool fenced_ = false;            ///< permanent once set; under led_mu_.
+  uint64_t fenced_appends_ = 0;    ///< under led_mu_.
+  uint64_t zombie_drained_ = 0;    ///< records dropped post-fence; led_mu_.
 
   CommitSequencer sequencer_;
   SeqLock<cloud::PagePointer> physical_ptr_;

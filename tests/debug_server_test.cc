@@ -20,7 +20,26 @@ namespace {
 TEST(DebugServerRoutingTest, HealthzIsOk) {
   const std::string resp = DebugServer::HandleRequest("/healthz");
   EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
-  EXPECT_NE(resp.find("\r\n\r\nok\n"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.find("\"status\": \"ok\""), std::string::npos);
+}
+
+TEST(DebugServerRoutingTest, HealthzRendersRegisteredSources) {
+  DebugServer::RegisterHealthSource("routing-test", [] {
+    return std::string("\"partitions\": [{\"partition\": 0}]");
+  });
+  const std::string resp = DebugServer::HandleRequest("/healthz");
+  EXPECT_NE(resp.find("\"sources\""), std::string::npos);
+  EXPECT_NE(resp.find("\"routing-test\": {\"partitions\": "
+                      "[{\"partition\": 0}]}"),
+            std::string::npos)
+      << resp;
+
+  // Unregister is a barrier: the source is gone from the next render.
+  DebugServer::UnregisterHealthSource("routing-test");
+  const std::string after = DebugServer::HandleRequest("/healthz");
+  EXPECT_EQ(after.find("routing-test"), std::string::npos);
+  DebugServer::UnregisterHealthSource("routing-test");  // idempotent
 }
 
 TEST(DebugServerRoutingTest, MetricsIsPrometheusExposition) {
